@@ -1,0 +1,75 @@
+// ablation_blocksize - the paper's block-size choice (Sec. IV-A mentions
+// "switching to a block size of 128 threads" as part of the occupancy fix).
+// Sweeps the block/tile size for the fully-unrolled SoAoaS kernel and
+// reports occupancy and cycles; 128 should sit at or near the optimum.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gravit/gpu_runner.hpp"
+#include "gravit/spawn.hpp"
+
+namespace {
+
+using bench::fmt;
+using gravit::FarfieldGpu;
+using gravit::FarfieldGpuOptions;
+
+struct Row {
+  std::uint32_t block = 0;
+  std::uint32_t regs = 0;
+  double occupancy = 0;
+  double cycles = 0;
+};
+
+std::vector<Row> run_all() {
+  auto set = gravit::spawn_uniform_cube(12288, 1.0f, 41);
+  std::vector<Row> rows;
+  for (const std::uint32_t block : {32u, 64u, 96u, 128u, 192u, 256u}) {
+    FarfieldGpuOptions opt;
+    opt.kernel.scheme = layout::SchemeKind::kSoAoaS;
+    opt.kernel.block = block;
+    opt.kernel.unroll = block;  // full unroll of the K = block inner loop
+    opt.sample_tiles = 8;
+    opt.max_waves = 1;
+    FarfieldGpu gpu(opt);
+    const auto res = gpu.run_timed(set);
+    rows.push_back(Row{block, res.regs_per_thread, res.stats.occupancy,
+                       res.cycles});
+  }
+  return rows;
+}
+
+void print_table(const std::vector<Row>& rows) {
+  bench::Table table({"block (=K)", "regs", "occupancy", "cycles", "vs block 128"});
+  double base = 0;
+  for (const Row& r : rows) {
+    if (r.block == 128) base = r.cycles;
+  }
+  for (const Row& r : rows) {
+    table.add_row({std::to_string(r.block), std::to_string(r.regs),
+                   fmt(100.0 * r.occupancy, 0) + "%", fmt(r.cycles, 0),
+                   fmt(base / r.cycles, 3) + "x"});
+  }
+  table.print("Ablation - block/tile size sweep (SoAoaS, fully unrolled, n = 12288)",
+              "the paper settles on 128 threads per block");
+}
+
+void bm_block256_kernel_compile(benchmark::State& state) {
+  for (auto _ : state) {
+    gravit::KernelOptions opt;
+    opt.block = 256;
+    opt.unroll = 256;
+    auto built = gravit::make_farfield_kernel(opt);
+    benchmark::DoNotOptimize(built);
+  }
+}
+BENCHMARK(bm_block256_kernel_compile)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table(run_all());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,118 @@
+// ablation_hotcold - does the access-frequency grouping (Sec. IV step 1:
+// "group data in portions with similar access frequencies") actually pay?
+// A full simulation step runs two kernels with opposite appetites: the
+// far-field force kernel wants positions+mass (hot), the integration kernel
+// wants velocities too (cold). Per layout we measure the DRAM traffic and
+// cycles of each kernel: SoAoaS lets both kernels stream exactly the arrays
+// they need, while AoS drags the whole 28-byte record through the bus both
+// times.
+#include <bit>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gravit/gpu_kernels2.hpp"
+#include "gravit/gpu_runner.hpp"
+#include "gravit/spawn.hpp"
+#include "layout/transform.hpp"
+#include "vgpu/device.hpp"
+
+namespace {
+
+using bench::fmt;
+
+struct Row {
+  std::string name;
+  double force_bytes_pp = 0;      // B-phase DRAM bytes per particle per tile
+  double integrate_bytes_pp = 0;  // integration DRAM bytes per particle
+  double integrate_cycles = 0;
+};
+
+Row run_scheme(layout::SchemeKind scheme) {
+  const std::uint32_t n = 4096;
+  const std::uint32_t block = 128;
+  auto set = gravit::spawn_uniform_cube(n, 1.0f, 53);
+
+  Row row;
+  row.name = layout::to_string(scheme);
+
+  // force kernel traffic: functional launch counts every transaction
+  {
+    gravit::FarfieldGpuOptions opt;
+    opt.kernel.scheme = scheme;
+    gravit::FarfieldGpu gpu(opt);
+    const auto res = gpu.run_functional(set);
+    const double tiles = n / block;
+    // staging reads: bytes / (particles * tiles); subtract the accel stores
+    const double store_bytes = 12.0 * n;
+    row.force_bytes_pp =
+        (static_cast<double>(res.stats.global_bytes) - store_bytes) /
+        (static_cast<double>(n) * tiles);
+  }
+
+  // integration kernel traffic + cycles
+  {
+    const layout::PhysicalLayout phys =
+        layout::plan_layout(layout::gravit_record(), scheme);
+    const vgpu::Program prog = gravit::make_integrate_kernel(phys, block);
+    const std::vector<float> flat = set.flatten();
+    const std::vector<std::byte> image = layout::pack(phys, flat, n);
+    vgpu::Device dev;
+    vgpu::Buffer img = dev.malloc(image.size());
+    dev.memcpy_h2d(img, image);
+    vgpu::Buffer acc = dev.malloc_n<float>(static_cast<std::size_t>(n) * 3);
+    std::vector<std::uint32_t> params;
+    for (const std::uint64_t base : phys.group_bases(n)) {
+      params.push_back(img.addr + static_cast<std::uint32_t>(base));
+    }
+    params.push_back(acc.addr);
+    params.push_back(n);
+    params.push_back(std::bit_cast<std::uint32_t>(0.01f));
+    const auto stats = dev.launch_timed(prog, vgpu::LaunchConfig{n / block, block},
+                                        params, {});
+    row.integrate_bytes_pp = static_cast<double>(stats.global_bytes) / n;
+    row.integrate_cycles = static_cast<double>(stats.cycles);
+  }
+  return row;
+}
+
+std::vector<Row> run_all() {
+  std::vector<Row> rows;
+  for (layout::SchemeKind scheme : layout::all_schemes()) {
+    rows.push_back(run_scheme(scheme));
+  }
+  return rows;
+}
+
+void print_table(const std::vector<Row>& rows) {
+  bench::Table table({"layout", "force B/particle/tile", "integrate B/particle",
+                      "integrate cycles", "vs AoS"});
+  const double base = rows.front().integrate_cycles;
+  for (const Row& r : rows) {
+    table.add_row({r.name, fmt(r.force_bytes_pp, 1), fmt(r.integrate_bytes_pp, 1),
+                   fmt(r.integrate_cycles, 0),
+                   fmt(base / r.integrate_cycles) + "x"});
+  }
+  table.print(
+      "Ablation - access-frequency grouping across the whole step (n = 4096)",
+      "force kernel reads hot fields only; integration reads/writes all six "
+      "position/velocity fields plus the accelerations");
+}
+
+void bm_integrate_kernel_compile(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto phys =
+        layout::plan_layout(layout::gravit_record(), layout::SchemeKind::kSoAoaS);
+    auto prog = gravit::make_integrate_kernel(phys);
+    benchmark::DoNotOptimize(prog);
+  }
+}
+BENCHMARK(bm_integrate_kernel_compile)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table(run_all());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// ablation_maxrregcount - the road not taken: the paper reaches 67%
+// occupancy by fully unrolling the inner loop (freeing the iterator
+// registers). nvcc's -maxrregcount offers a shortcut - cap the rolled
+// kernel at 16 registers and let the compiler spill. This ablation shows
+// why the paper's route wins: the cap buys the same occupancy but pays
+// with per-iteration local-memory traffic in the hot loop, while unrolling
+// *removes* instructions instead of adding them.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gravit/gpu_runner.hpp"
+#include "gravit/spawn.hpp"
+
+namespace {
+
+using bench::fmt;
+using gravit::FarfieldGpu;
+using gravit::FarfieldGpuOptions;
+
+struct Row {
+  std::string name;
+  std::uint32_t regs = 0;
+  double occupancy = 0;
+  std::uint64_t local_requests = 0;
+  double cycles = 0;
+};
+
+Row run_variant(const gravit::KernelOptions& kopt,
+                const gravit::ParticleSet& set) {
+  FarfieldGpuOptions opt;
+  opt.kernel = kopt;
+  opt.sample_tiles = 8;
+  opt.max_waves = 1;
+  FarfieldGpu gpu(opt);
+  const auto res = gpu.run_timed(set);
+  Row row;
+  row.name = gravit::kernel_label(kopt);
+  row.regs = res.regs_per_thread;
+  row.occupancy = res.stats.occupancy;
+  row.local_requests = res.stats.local_requests;
+  row.cycles = res.cycles;
+  return row;
+}
+
+std::vector<Row> run_all() {
+  auto set = gravit::spawn_uniform_cube(8192, 1.0f, 61);
+  std::vector<Row> rows;
+  gravit::KernelOptions rolled;          // 18 regs, 50%
+  gravit::KernelOptions capped = rolled; // spill to 16 regs, 67%
+  capped.max_regs = 16;
+  gravit::KernelOptions unrolled = rolled;  // 16 regs via unrolling, 67%
+  unrolled.unroll = 128;
+  rows.push_back(run_variant(rolled, set));
+  rows.push_back(run_variant(capped, set));
+  rows.push_back(run_variant(unrolled, set));
+  return rows;
+}
+
+void print_table(const std::vector<Row>& rows) {
+  bench::Table table({"kernel", "regs", "occupancy", "local req (sampled)",
+                      "cycles", "vs rolled"});
+  const double base = rows.front().cycles;
+  for (const Row& r : rows) {
+    table.add_row({r.name, std::to_string(r.regs),
+                   fmt(100.0 * r.occupancy, 0) + "%",
+                   std::to_string(r.local_requests), fmt(r.cycles, 0),
+                   fmt(base / r.cycles, 3) + "x"});
+  }
+  table.print("Ablation - -maxrregcount vs unrolling as the route to 67% "
+              "occupancy (n = 8192)",
+              "the cap reaches the occupancy but adds spill traffic to the "
+              "inner loop; unrolling removes instructions instead");
+}
+
+void bm_capped_kernel_compile(benchmark::State& state) {
+  for (auto _ : state) {
+    gravit::KernelOptions opt;
+    opt.max_regs = 16;
+    auto built = gravit::make_farfield_kernel(opt);
+    benchmark::DoNotOptimize(built);
+  }
+}
+BENCHMARK(bm_capped_kernel_compile)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table(run_all());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

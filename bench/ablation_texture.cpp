@@ -1,0 +1,94 @@
+// ablation_texture - the texture-cache alternative the paper's related work
+// (GPU Gems n-body) used and the paper names as one of the device's only
+// caches: fetch particle data through the texture cache instead of plain
+// global loads. Two questions:
+//   1. does the texture path rescue the *untiled* kernel (where every
+//      interaction hits memory and AoS scatters badly)?
+//   2. does it still matter once shared-memory tiling is in place?
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gravit/gpu_runner.hpp"
+#include "gravit/spawn.hpp"
+
+namespace {
+
+using bench::fmt;
+using gravit::FarfieldGpu;
+using gravit::FarfieldGpuOptions;
+
+struct Row {
+  std::string name;
+  double global_cycles = 0;
+  double tex_cycles = 0;
+  double hit_rate = 0;
+};
+
+Row run_config(layout::SchemeKind scheme, bool tiled,
+               const gravit::ParticleSet& set) {
+  Row row;
+  row.name = std::string(layout::to_string(scheme)) + (tiled ? " tiled" : " untiled");
+  for (const bool tex : {false, true}) {
+    FarfieldGpuOptions opt;
+    opt.kernel.scheme = scheme;
+    opt.kernel.use_shared_tiles = tiled;
+    opt.kernel.use_texture_fetches = tex;
+    opt.sample_tiles = 8;
+    opt.max_waves = 1;
+    FarfieldGpu gpu(opt);
+    const auto res = gpu.run_timed(set);
+    if (tex) {
+      row.tex_cycles = res.cycles;
+      const double total =
+          static_cast<double>(res.stats.tex_hits + res.stats.tex_misses);
+      row.hit_rate = total > 0 ? static_cast<double>(res.stats.tex_hits) / total : 0;
+    } else {
+      row.global_cycles = res.cycles;
+    }
+  }
+  return row;
+}
+
+std::vector<Row> run_all() {
+  auto set = gravit::spawn_uniform_cube(4096, 1.0f, 43);
+  std::vector<Row> rows;
+  for (const bool tiled : {false, true}) {
+    for (layout::SchemeKind scheme :
+         {layout::SchemeKind::kAoS, layout::SchemeKind::kSoAoaS}) {
+      rows.push_back(run_config(scheme, tiled, set));
+    }
+  }
+  return rows;
+}
+
+void print_table(const std::vector<Row>& rows) {
+  bench::Table table({"configuration", "global cycles", "texture cycles",
+                      "tex speedup", "tex hit rate"});
+  for (const Row& r : rows) {
+    table.add_row({r.name, fmt(r.global_cycles, 0), fmt(r.tex_cycles, 0),
+                   fmt(r.global_cycles / r.tex_cycles) + "x",
+                   fmt(100.0 * r.hit_rate, 1) + "%"});
+  }
+  table.print("Ablation - texture-cache fetches vs plain global loads (n = 4096)",
+              "untiled: the cache absorbs the per-interaction re-reads; "
+              "tiled: shared memory already did that job (the paper's design)");
+}
+
+void bm_tex_kernel_compile(benchmark::State& state) {
+  for (auto _ : state) {
+    gravit::KernelOptions opt;
+    opt.use_texture_fetches = true;
+    auto built = gravit::make_farfield_kernel(opt);
+    benchmark::DoNotOptimize(built);
+  }
+}
+BENCHMARK(bm_tex_kernel_compile)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table(run_all());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// access_patterns - reproduces the transaction analyses of the paper's
+// Figs. 3, 5, 7 and 9: for one half-warp fetching a full particle record,
+// the number and shape of global-memory transactions under each layout.
+// Also prints the Sec. IV layout-advisor output for the Gravit record.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "layout/advisor.hpp"
+#include "layout/analyzer.hpp"
+
+namespace {
+
+using bench::fmt;
+using layout::SchemeKind;
+using vgpu::DriverModel;
+
+void print_tables() {
+  // Figs. 3/5/7/9 are drawn for the launch-era strict rules (CUDA 1.0).
+  bench::Table table({"layout", "fig", "loads/thread", "txn/half-warp",
+                      "bus bytes", "coalesced", "paper"});
+  const char* figs[] = {"Fig. 3", "Fig. 5", "Fig. 7", "Fig. 9"};
+  const char* paper[] = {"7x16 scattered 4B", "7 coalesced 64B",
+                         "2x16 scattered 16B", "2x2 coalesced 128B"};
+  int k = 0;
+  for (SchemeKind scheme : layout::all_schemes()) {
+    const auto rep = layout::analyze_half_warp(
+        layout::plan_layout(layout::gravit_record(), scheme), DriverModel::kCuda10);
+    table.add_row({layout::to_string(scheme), figs[k],
+                   std::to_string(rep.loads_per_thread()),
+                   std::to_string(rep.total_transactions()),
+                   std::to_string(rep.total_bytes()),
+                   rep.fully_coalesced() ? "yes" : "no", paper[k]});
+    ++k;
+  }
+  table.print("Figs. 3/5/7/9 - global-memory transactions per half-warp "
+              "record fetch (CUDA 1.0 rules)");
+
+  // the same analysis under the later drivers
+  bench::Table drivers({"layout", "CUDA 1.0 txn", "CUDA 1.1 txn", "CUDA 2.2 txn"});
+  for (SchemeKind scheme : layout::all_schemes()) {
+    const auto phys = layout::plan_layout(layout::gravit_record(), scheme);
+    drivers.add_row(
+        {layout::to_string(scheme),
+         std::to_string(layout::analyze_half_warp(phys, DriverModel::kCuda10)
+                            .total_transactions()),
+         std::to_string(layout::analyze_half_warp(phys, DriverModel::kCuda11)
+                            .total_transactions()),
+         std::to_string(layout::analyze_half_warp(phys, DriverModel::kCuda22)
+                            .total_transactions())});
+  }
+  drivers.print("Transaction counts per driver generation");
+
+  const layout::Advice advice = layout::advise(layout::gravit_record());
+  std::printf("\n=== Sec. IV - the three-step layout advisor on particle_t ===\n%s",
+              layout::format_advice(advice).c_str());
+}
+
+void bm_access_patterns(benchmark::State& state) {
+  for (auto _ : state) {
+    auto advice = layout::advise(layout::gravit_record());
+    benchmark::DoNotOptimize(advice);
+  }
+}
+BENCHMARK(bm_access_patterns)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

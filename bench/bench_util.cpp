@@ -1,0 +1,95 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <numeric>
+
+#include "layout/microbench.hpp"
+#include "layout/transform.hpp"
+#include "vgpu/device.hpp"
+
+namespace bench {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(const std::string& title, const std::string& note) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::printf("\n=== %s ===\n", title.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(width[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+ReadBenchResult run_read_benchmark(layout::SchemeKind scheme,
+                                   vgpu::DriverModel driver, std::uint32_t n,
+                                   std::uint32_t block) {
+  const layout::PhysicalLayout phys =
+      layout::plan_layout(layout::gravit_record(), scheme);
+  const vgpu::Program prog = layout::make_read_kernel(phys);
+
+  std::vector<float> data(static_cast<std::size_t>(n) * 7);
+  for (std::size_t k = 0; k < data.size(); ++k) {
+    data[k] = static_cast<float>(k % 101) * 0.01f;
+  }
+  const std::vector<std::byte> image = layout::pack(phys, data, n);
+
+  vgpu::Device dev;
+  vgpu::Buffer img = dev.malloc(image.size());
+  dev.memcpy_h2d(img, image);
+  vgpu::Buffer out = dev.malloc(static_cast<std::size_t>(n) * 8);
+  std::vector<std::uint32_t> params;
+  for (const std::uint64_t base : phys.group_bases(n)) {
+    params.push_back(img.addr + static_cast<std::uint32_t>(base));
+  }
+  params.push_back(out.addr);
+
+  vgpu::TimingOptions topt;
+  topt.driver = driver;
+  ReadBenchResult res;
+  res.stats = dev.launch_timed(prog, vgpu::LaunchConfig{n / block, block}, params,
+                               topt);
+  std::vector<std::uint32_t> raw(static_cast<std::size_t>(n) * 2);
+  dev.download<std::uint32_t>(raw, out);
+  double total = 0.0;
+  for (std::uint32_t k = 0; k < n; ++k) total += raw[n + k];
+  res.avg_cycles_per_element =
+      total / static_cast<double>(n) /
+      static_cast<double>(layout::gravit_record().num_fields());
+  return res;
+}
+
+Fig10Reference fig10_reference(vgpu::DriverModel driver) {
+  // Values read off the published Fig. 10 plot (approximate).
+  switch (driver) {
+    case vgpu::DriverModel::kCuda10: return {490, 480, 440, 355, 325};
+    case vgpu::DriverModel::kCuda11: return {300, 300, 295, 290, 285};
+    case vgpu::DriverModel::kCuda22: return {450, 440, 400, 355, 345};
+  }
+  return {0, 0, 0, 0, 0};
+}
+
+}  // namespace bench

@@ -1,0 +1,56 @@
+// bench_util.hpp - shared helpers for the reproduction benches.
+//
+// Each bench binary regenerates one of the paper's figures (or reported
+// numbers): it prints the paper-style table to stdout and registers a
+// google-benchmark timer (single deterministic iteration) so the standard
+// `for b in build/bench/*; do $b; done` loop produces both the reproduced
+// data and harness timings.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "layout/plan.hpp"
+#include "vgpu/arch.hpp"
+#include "vgpu/launch.hpp"
+
+namespace bench {
+
+/// Column-aligned table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print(const std::string& title, const std::string& note = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+[[nodiscard]] std::string fmt(double v, int precision = 2);
+
+/// Runs the Sec. III strip-down read benchmark for one layout/driver:
+/// returns the average per-thread clock() cycles per 4-byte element
+/// (Fig. 10's metric) plus the launch stats.
+struct ReadBenchResult {
+  double avg_cycles_per_element = 0.0;
+  vgpu::LaunchStats stats;
+};
+
+[[nodiscard]] ReadBenchResult run_read_benchmark(layout::SchemeKind scheme,
+                                                 vgpu::DriverModel driver,
+                                                 std::uint32_t n = 4096,
+                                                 std::uint32_t block = 128);
+
+/// Paper reference values for Fig. 10 (estimated from the published plot;
+/// used in the printed comparison columns, not for calibration).
+struct Fig10Reference {
+  double unopt, aos, soa, aoas, soaoas;
+};
+[[nodiscard]] Fig10Reference fig10_reference(vgpu::DriverModel driver);
+
+}  // namespace bench

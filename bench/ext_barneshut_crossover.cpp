@@ -1,0 +1,99 @@
+// ext_barneshut_crossover - the comparison the paper motivates in
+// Sec. I-C/I-D: the CPU-friendly O(n log n) Barnes-Hut tree code against
+// the GPU-friendly O(n^2) direct sum. For small n the CPU tree wins; the
+// GPU's brute force overtakes it as n grows. (CPU milliseconds are host
+// time, GPU milliseconds simulated-device time - indicative, like the
+// paper's own cross-machine 87x.)
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gravit/barneshut.hpp"
+#include "gravit/forces_cpu.hpp"
+#include "gravit/gpu_runner.hpp"
+#include "gravit/spawn.hpp"
+
+namespace {
+
+using bench::fmt;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+struct Row {
+  std::uint32_t n = 0;
+  double cpu_bh_ms = 0;
+  double cpu_direct_ms = 0;
+  double gpu_ms = 0;
+};
+
+std::vector<Row> run_all() {
+  std::vector<Row> rows;
+  gravit::FarfieldGpuOptions gopt;
+  gopt.kernel.unroll = 128;
+  gopt.sample_tiles = 8;
+  gopt.max_waves = 1;
+  gravit::FarfieldGpu gpu(gopt);
+
+  double direct_4096_ms = 0;
+  for (const std::uint32_t n : {1024u, 2048u, 4096u, 8192u, 16384u, 32768u}) {
+    auto set = gravit::spawn_plummer(n, 1.0f, 51);
+    Row row;
+    row.n = n;
+
+    auto t0 = Clock::now();
+    gravit::Octree tree(set.pos(), set.mass());
+    auto bh = tree.accelerations(0.6f, gravit::kDefaultSoftening);
+    benchmark::DoNotOptimize(bh);
+    row.cpu_bh_ms = ms_since(t0);
+
+    if (n <= 4096) {
+      t0 = Clock::now();
+      auto direct = gravit::farfield_direct(set);
+      benchmark::DoNotOptimize(direct);
+      row.cpu_direct_ms = ms_since(t0);
+      if (n == 4096) direct_4096_ms = row.cpu_direct_ms;
+    } else {
+      const double s = static_cast<double>(n) / 4096.0;
+      row.cpu_direct_ms = direct_4096_ms * s * s;  // O(n^2) extrapolation
+    }
+
+    const auto res = gpu.run_timed(set);
+    row.gpu_ms = res.end_to_end_ms;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void print_table(const std::vector<Row>& rows) {
+  bench::Table table({"n", "CPU Barnes-Hut ms", "CPU direct ms",
+                      "GPU direct ms (sim)", "BH/GPU"});
+  for (const Row& r : rows) {
+    table.add_row({std::to_string(r.n), fmt(r.cpu_bh_ms, 1),
+                   fmt(r.cpu_direct_ms, 1), fmt(r.gpu_ms, 1),
+                   fmt(r.cpu_bh_ms / r.gpu_ms)});
+  }
+  table.print("Extension - Barnes-Hut (CPU) vs direct sum (GPU) crossover",
+              "theta = 0.6; CPU direct extrapolated (n/4096)^2 beyond 4096");
+}
+
+void bm_crossover(benchmark::State& state) {
+  for (auto _ : state) {
+    auto set = gravit::spawn_plummer(4096, 1.0f, 51);
+    gravit::Octree tree(set.pos(), set.mass());
+    auto acc = tree.accelerations(0.6f, gravit::kDefaultSoftening);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(bm_crossover)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table(run_all());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// fig11_layout_speedup - reproduces Fig. 11 of the paper: the speedup of
+// each optimized memory layout over the unoptimized AoS baseline, per CUDA
+// driver revision. Headline claims: ~1.5x for SoAoaS on CUDA 1.0, ~1.3x on
+// CUDA 2.2, and the anomalous near-flat pattern on CUDA 1.1.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using bench::fmt;
+using bench::run_read_benchmark;
+using layout::SchemeKind;
+using vgpu::DriverModel;
+
+struct Row {
+  DriverModel driver;
+  double soa = 0, aoas = 0, soaoas = 0;
+};
+
+std::vector<Row> run_all() {
+  std::vector<Row> rows;
+  for (DriverModel driver : {DriverModel::kCuda10, DriverModel::kCuda11,
+                             DriverModel::kCuda22}) {
+    const double base =
+        run_read_benchmark(SchemeKind::kAoS, driver).avg_cycles_per_element;
+    Row row;
+    row.driver = driver;
+    row.soa = base / run_read_benchmark(SchemeKind::kSoA, driver).avg_cycles_per_element;
+    row.aoas = base / run_read_benchmark(SchemeKind::kAoaS, driver).avg_cycles_per_element;
+    row.soaoas =
+        base / run_read_benchmark(SchemeKind::kSoAoaS, driver).avg_cycles_per_element;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void print_table(const std::vector<Row>& rows) {
+  bench::Table table(
+      {"CUDA rev", "SoA", "AoaS", "SoAoaS", "paper SoA", "paper AoaS", "paper SoAoaS"});
+  for (const Row& row : rows) {
+    const bench::Fig10Reference ref = bench::fig10_reference(row.driver);
+    table.add_row({vgpu::to_string(row.driver), fmt(row.soa), fmt(row.aoas),
+                   fmt(row.soaoas), fmt(ref.aos / ref.soa),
+                   fmt(ref.aos / ref.aoas), fmt(ref.aos / ref.soaoas)});
+  }
+  table.print("Fig. 11 - speedup of the memory layouts over the AoS baseline",
+              "paper columns derived from the Fig. 10 plot values");
+}
+
+void bm_fig11(benchmark::State& state) {
+  for (auto _ : state) {
+    auto rows = run_all();
+    benchmark::DoNotOptimize(rows);
+    state.counters["cuda10_soaoas_speedup"] = rows[0].soaoas;
+    state.counters["cuda22_soaoas_speedup"] = rows[2].soaoas;
+  }
+}
+BENCHMARK(bm_fig11)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table(run_all());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

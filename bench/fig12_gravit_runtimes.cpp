@@ -1,0 +1,177 @@
+// fig12_gravit_runtimes - reproduces Fig. 12 of the paper: end-to-end
+// Gravit far-field runtimes (host->device copy + kernel + device->host
+// copy) for problem sizes 40,000 .. 1,000,000 particles at each
+// optimization level, plus the serial CPU baseline.
+//
+// Headline claims reproduced here:
+//  * memory-layout changes move the *application* by only a few percent
+//    (global reads live in the per-tile B phase);
+//  * full unrolling is worth ~18-20%;
+//  * the fully optimized version is ~1.27x over the GPU AoS baseline;
+//  * ~87x over the serial CPU implementation.
+//
+// Methodology: per GPU variant, the kernel is simulated once at two tile
+// counts on two block waves; cycles for every n follow from affine tile
+// extrapolation x wave scaling (exact for this perfectly periodic kernel;
+// validated in tests/gravit/gpu_farfield_test.cpp). The CPU row is measured
+// at n = 4096 and scaled by (n/4096)^2; CPU milliseconds are host time,
+// GPU milliseconds are simulated-device time - the cross-domain ratio is
+// reported as indicative only (see EXPERIMENTS.md).
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gravit/forces_cpu.hpp"
+#include "gravit/gpu_runner.hpp"
+#include "gravit/spawn.hpp"
+#include "vgpu/occupancy.hpp"
+
+namespace {
+
+using bench::fmt;
+using gravit::FarfieldGpu;
+using gravit::FarfieldGpuOptions;
+using gravit::KernelOptions;
+
+constexpr std::uint32_t kBlock = 128;
+const std::vector<std::uint32_t> kSizes = {40'000,  100'000, 200'000,
+                                           400'000, 700'000, 1'000'000};
+
+struct VariantResult {
+  std::string name;
+  std::uint32_t regs = 0;
+  double occupancy = 0;
+  // affine model: cycles(blocks, tiles) = (c1 + slope*(tiles-t1)) * blocks/bs
+  double t1 = 0, c1 = 0, t2 = 0, c2 = 0;
+  double blocks_sampled = 0;
+  std::vector<double> ms;  // end-to-end per size
+};
+
+double copy_ms(const vgpu::DeviceSpec& spec, double bytes) {
+  return spec.pcie_latency_us / 1000.0 + bytes / (spec.pcie_bandwidth_mb_s * 1000.0);
+}
+
+VariantResult run_variant(const std::string& name, const KernelOptions& kopt) {
+  FarfieldGpuOptions opt;
+  opt.kernel = kopt;
+  opt.sample_tiles = 8;
+  opt.max_waves = 2;
+  FarfieldGpu gpu(opt);
+
+  // one sampled measurement; the sample cycles are independent of n
+  auto set = gravit::spawn_uniform_cube(40'960, 1.0f, 3);
+  auto res = gpu.run_timed(set);
+
+  VariantResult v;
+  v.name = name;
+  v.regs = res.regs_per_thread;
+  v.occupancy = res.stats.occupancy;
+  v.t1 = res.sample_t1;
+  v.c1 = res.sample_c1;
+  v.t2 = res.sample_t2;
+  v.c2 = res.sample_c2;
+  v.blocks_sampled = static_cast<double>(res.stats.blocks_simulated);
+
+  const vgpu::DeviceSpec spec = vgpu::g80_spec();
+  for (const std::uint32_t n : kSizes) {
+    const std::uint32_t n_pad = (n + kBlock - 1) / kBlock * kBlock;
+    const double n_tiles = static_cast<double>(n_pad) / kBlock;
+    const double blocks = n_tiles;
+    const double slope = (v.c2 - v.c1) / (v.t2 - v.t1);
+    const double cycles =
+        (v.c1 + slope * (n_tiles - v.t1)) * (blocks / v.blocks_sampled);
+    const double kernel_ms = spec.cycles_to_ms(cycles);
+    const double h2d = copy_ms(spec, static_cast<double>(gpu.kernel().phys.bytes(n_pad)));
+    const double d2h = copy_ms(spec, 12.0 * n_pad);
+    v.ms.push_back(h2d + kernel_ms + d2h + spec.launch_overhead_us / 1000.0);
+  }
+  return v;
+}
+
+double measure_cpu_ms_at_4096() {
+  auto set = gravit::spawn_uniform_cube(4096, 1.0f, 5);
+  const auto start = std::chrono::steady_clock::now();
+  auto acc = gravit::farfield_direct(set);
+  const auto stop = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(acc);
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+struct AllResults {
+  std::vector<VariantResult> gpu;
+  std::vector<double> cpu_ms;
+};
+
+AllResults run_all() {
+  using layout::SchemeKind;
+  AllResults all;
+  auto kernel = [](SchemeKind scheme, std::uint32_t unroll, bool icm) {
+    KernelOptions k;
+    k.scheme = scheme;
+    k.block = kBlock;
+    k.unroll = unroll;
+    k.icm = icm;
+    return k;
+  };
+  all.gpu.push_back(run_variant("GPU AoS (baseline)", kernel(SchemeKind::kAoS, 1, false)));
+  all.gpu.push_back(run_variant("GPU SoA", kernel(SchemeKind::kSoA, 1, false)));
+  all.gpu.push_back(run_variant("GPU AoaS", kernel(SchemeKind::kAoaS, 1, false)));
+  all.gpu.push_back(run_variant("GPU SoAoaS", kernel(SchemeKind::kSoAoaS, 1, false)));
+  all.gpu.push_back(run_variant("GPU SoAoaS+unroll", kernel(SchemeKind::kSoAoaS, kBlock, false)));
+  all.gpu.push_back(run_variant("GPU SoAoaS+unroll+icm", kernel(SchemeKind::kSoAoaS, kBlock, true)));
+
+  const double cpu_4096 = measure_cpu_ms_at_4096();
+  for (const std::uint32_t n : kSizes) {
+    const double scale = (static_cast<double>(n) / 4096.0) * (static_cast<double>(n) / 4096.0);
+    all.cpu_ms.push_back(cpu_4096 * scale);
+  }
+  return all;
+}
+
+void print_tables(const AllResults& all) {
+  std::vector<std::string> headers = {"variant", "regs", "occ"};
+  for (const std::uint32_t n : kSizes) headers.push_back(std::to_string(n / 1000) + "k");
+  bench::Table table(headers);
+  {
+    std::vector<std::string> row = {"CPU serial (host ms)", "-", "-"};
+    for (const double ms : all.cpu_ms) row.push_back(fmt(ms, 0));
+    table.add_row(row);
+  }
+  for (const auto& v : all.gpu) {
+    std::vector<std::string> row = {v.name, std::to_string(v.regs), fmt(v.occupancy)};
+    for (const double ms : v.ms) row.push_back(fmt(ms, 1));
+    table.add_row(row);
+  }
+  table.print("Fig. 12 - Gravit far-field runtimes (ms, end-to-end window)",
+              "GPU rows: simulated-device ms incl. modeled PCIe copies; "
+              "CPU row: measured at n=4096, scaled by (n/4096)^2");
+
+  bench::Table ratios({"n", "opt vs GPU-AoS (paper: 1.27x)",
+                       "opt vs CPU serial (paper: 87x)"});
+  const auto& base = all.gpu.front();
+  const auto& best = all.gpu.back();
+  for (std::size_t s = 0; s < kSizes.size(); ++s) {
+    ratios.add_row({std::to_string(kSizes[s]), fmt(base.ms[s] / best.ms[s]),
+                    fmt(all.cpu_ms[s] / best.ms[s], 0) + "x"});
+  }
+  ratios.print("Fig. 12 headline speedups",
+               "the CPU ratio compares host ms with simulated-device ms "
+               "(indicative; see EXPERIMENTS.md)");
+}
+
+void bm_cpu_reference(benchmark::State& state) {
+  // harness timing: the measured CPU leg of the 87x comparison
+  for (auto _ : state) {
+    state.counters["cpu_ms_4096"] = measure_cpu_ms_at_4096();
+  }
+}
+BENCHMARK(bm_cpu_reference)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables(run_all());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

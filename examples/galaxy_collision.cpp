@@ -1,0 +1,88 @@
+// galaxy_collision - the pretty-pictures scenario Gravit is loved for:
+// two Plummer spheres on a collision course, integrated with leapfrog
+// using the simulated-GPU far-field kernel for the forces. Prints a coarse
+// ASCII rendering of the xy plane at regular intervals plus conservation
+// diagnostics.
+//
+//   ./build/examples/galaxy_collision [n_per_cluster] [steps] [out_prefix]
+//
+// With an out_prefix, the final state is written to <prefix>.grv (binary
+// snapshot) and <prefix>_trajectory.csv (per-interval diagnostics).
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "gravit/diagnostics.hpp"
+#include "gravit/gpu_runner.hpp"
+#include "gravit/integrator.hpp"
+#include "gravit/snapshot.hpp"
+#include "gravit/spawn.hpp"
+
+namespace {
+
+void render(const gravit::ParticleSet& set, float half_extent) {
+  constexpr int kW = 72;
+  constexpr int kH = 24;
+  std::array<std::array<int, kW>, kH> grid{};
+  for (const gravit::Vec3& p : set.pos()) {
+    const float u = (p.x + half_extent) / (2 * half_extent);
+    const float v = (p.y + half_extent) / (2 * half_extent);
+    if (u < 0 || u >= 1 || v < 0 || v >= 1) continue;
+    const int col = static_cast<int>(u * kW);
+    const int row = static_cast<int>((1.0f - v) * kH);
+    ++grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)];
+  }
+  const char shades[] = " .:+*#@";
+  for (const auto& row : grid) {
+    for (const int count : row) {
+      const int idx = std::min(6, count);
+      std::putchar(shades[idx]);
+    }
+    std::putchar('\n');
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n_half = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 768;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 60;
+
+  gravit::ParticleSet set = gravit::spawn_cluster_pair(
+      n_half, /*separation=*/3.0f, /*impact_parameter=*/0.6f,
+      /*approach_speed=*/0.45f);
+  std::printf("galaxy collision: 2 x %zu particles, %d leapfrog steps\n",
+              n_half, steps);
+
+  gravit::FarfieldGpuOptions opt;
+  opt.kernel.unroll = 128;  // fully optimized kernel
+  gravit::FarfieldGpu gpu(opt);
+  gravit::AccelFn accel = [&gpu](const gravit::ParticleSet& s) {
+    return gpu.run_functional(s).accel;
+  };
+
+  const double e0 = gravit::energy(set).total();
+  const gravit::Vec3 p0 = gravit::total_momentum(set);
+  gravit::TrajectoryRecorder recorder;
+  for (int step = 0; step <= steps; ++step) {
+    if (step % (steps / 3) == 0) {
+      std::printf("\n--- t = %.2f ---\n", static_cast<double>(step) * 0.05);
+      render(set, 2.5f);
+      recorder.record(static_cast<double>(step) * 0.05, set);
+    }
+    if (step < steps) gravit::step_leapfrog(set, accel, 0.05f);
+  }
+  const double e1 = gravit::energy(set).total();
+  const gravit::Vec3 p1 = gravit::total_momentum(set);
+  std::printf("\nenergy drift: %.3e (relative %.2e), momentum drift |dp| = %.2e\n",
+              std::abs(e1 - e0), std::abs((e1 - e0) / e0), (p1 - p0).norm());
+  if (argc > 3) {
+    const std::string prefix(argv[3]);
+    gravit::save_snapshot(set, prefix + ".grv");
+    recorder.export_csv(prefix + "_trajectory.csv");
+    std::printf("wrote %s.grv and %s_trajectory.csv\n", prefix.c_str(),
+                prefix.c_str());
+  }
+  return 0;
+}

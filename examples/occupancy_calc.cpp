@@ -1,0 +1,54 @@
+// occupancy_calc - a command-line G80 occupancy calculator (the tool the
+// paper's Sec. IV-A analysis implies), plus the occupancy table of the
+// reproduction's own far-field kernel variants.
+//
+//   ./build/examples/occupancy_calc [block_threads regs_per_thread shared_bytes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "gravit/kernels.hpp"
+#include "vgpu/occupancy.hpp"
+
+namespace {
+
+void print_occ(const char* label, std::uint32_t block, std::uint32_t regs,
+               std::uint32_t shared) {
+  const vgpu::DeviceSpec spec = vgpu::g80_spec();
+  const vgpu::OccupancyResult r = vgpu::compute_occupancy(spec, block, regs, shared);
+  std::printf("%-28s block=%3u regs=%2u shared=%5uB -> %u blocks/SM, %2u warps, "
+              "%3.0f%% (limited by %s)\n",
+              label, block, regs, shared, r.blocks_per_sm, r.warps_per_sm,
+              100.0 * r.occupancy, vgpu::to_string(r.limiter));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 4) {
+    const auto block = static_cast<std::uint32_t>(std::atoi(argv[1]));
+    const auto regs = static_cast<std::uint32_t>(std::atoi(argv[2]));
+    const auto shared = static_cast<std::uint32_t>(std::atoi(argv[3]));
+    print_occ("user kernel", block, regs, shared);
+    return 0;
+  }
+
+  std::printf("G80 occupancy calculator (8192 regs/SM, 16 KiB shared, "
+              "768 threads, 8 blocks)\n\n");
+  std::printf("register sweep at block 128 (the paper's Sec. IV-A table):\n");
+  for (std::uint32_t regs = 14; regs <= 22; ++regs) {
+    print_occ("  sweep", 128, regs, 2048);
+  }
+
+  std::printf("\nthis reproduction's far-field kernel variants:\n");
+  for (const std::uint32_t unroll : {1u, 128u}) {
+    for (const bool icm : {false, true}) {
+      gravit::KernelOptions opt;
+      opt.unroll = unroll;
+      opt.icm = icm;
+      const gravit::BuiltKernel built = gravit::make_farfield_kernel(opt);
+      print_occ(gravit::kernel_label(opt).c_str(), opt.block,
+                built.regs_per_thread, built.prog.shared_bytes);
+    }
+  }
+  return 0;
+}

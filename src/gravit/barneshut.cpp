@@ -1,0 +1,187 @@
+#include "gravit/barneshut.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vgpu/check.hpp"
+
+namespace gravit {
+
+namespace {
+constexpr int kMaxDepth = 48;
+}
+
+Octree::Octree(std::span<const Vec3> pos, std::span<const float> mass)
+    : pos_(pos), mass_(mass) {
+  VGPU_EXPECTS(pos.size() == mass.size());
+  if (pos.empty()) return;
+
+  // bounding cube
+  Vec3 lo = pos[0];
+  Vec3 hi = pos[0];
+  for (const Vec3& p : pos) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+    hi.z = std::max(hi.z, p.z);
+  }
+  Node root;
+  root.center = (lo + hi) * 0.5f;
+  root.half = std::max({hi.x - lo.x, hi.y - lo.y, hi.z - lo.z}) * 0.5f + 1e-6f;
+  nodes_.reserve(pos.size() * 2);
+  nodes_.push_back(root);
+
+  for (std::uint32_t k = 0; k < pos.size(); ++k) {
+    insert(0, k, 0);
+  }
+  std::sort(overflow_.begin(), overflow_.end());
+  finalize(0);
+}
+
+std::size_t Octree::child_for(const Node& n, Vec3 p) const {
+  std::size_t oct = 0;
+  if (p.x >= n.center.x) oct |= 1;
+  if (p.y >= n.center.y) oct |= 2;
+  if (p.z >= n.center.z) oct |= 4;
+  return oct;
+}
+
+std::size_t Octree::make_child(std::size_t node, std::size_t octant) {
+  Node child;
+  const Node& parent = nodes_[node];
+  const float q = parent.half * 0.5f;
+  child.half = q;
+  child.center = parent.center;
+  child.center.x += (octant & 1) ? q : -q;
+  child.center.y += (octant & 2) ? q : -q;
+  child.center.z += (octant & 4) ? q : -q;
+  nodes_.push_back(child);
+  const auto idx = static_cast<std::int32_t>(nodes_.size() - 1);
+  nodes_[node].children[octant] = idx;
+  return static_cast<std::size_t>(idx);
+}
+
+void Octree::insert(std::size_t node, std::uint32_t particle, int depth) {
+  Node& n = nodes_[node];
+  if (n.is_leaf) {
+    if (n.particle < 0) {
+      n.particle = static_cast<std::int32_t>(particle);
+      return;
+    }
+    if (depth >= kMaxDepth) {
+      // coincident particles: merge into this leaf's aggregate (finalize
+      // sums masses over stored leaf particles; keep the first index and
+      // fold the extra mass in during finalize via the overflow list).
+      overflow_.push_back({node, particle});
+      return;
+    }
+    // split: push the resident particle down
+    const std::int32_t old = n.particle;
+    n.particle = -1;
+    n.is_leaf = false;
+    const std::size_t oct_old = child_for(n, pos_[static_cast<std::size_t>(old)]);
+    std::size_t child_old = make_child(node, oct_old);
+    // note: make_child may reallocate nodes_; re-read references afterwards
+    insert(child_old, static_cast<std::uint32_t>(old), depth + 1);
+  }
+  Node& n2 = nodes_[node];
+  const std::size_t oct = child_for(n2, pos_[particle]);
+  std::int32_t child = n2.children[oct];
+  std::size_t child_idx;
+  if (child < 0) {
+    child_idx = make_child(node, oct);
+  } else {
+    child_idx = static_cast<std::size_t>(child);
+  }
+  insert(child_idx, particle, depth + 1);
+}
+
+void Octree::finalize(std::size_t node) {
+  Node& n = nodes_[node];
+  if (n.is_leaf) {
+    if (n.particle >= 0) {
+      n.mass = mass_[static_cast<std::size_t>(n.particle)];
+      n.com = pos_[static_cast<std::size_t>(n.particle)] * n.mass;
+    }
+    // fold coincident particles parked on this leaf (rare; sorted lookup)
+    auto it = std::lower_bound(
+        overflow_.begin(), overflow_.end(),
+        std::pair<std::size_t, std::uint32_t>{node, 0});
+    for (; it != overflow_.end() && it->first == node; ++it) {
+      const float m = mass_[it->second];
+      n.mass += m;
+      n.com += pos_[it->second] * m;
+    }
+  } else {
+    for (const std::int32_t c : n.children) {
+      if (c < 0) continue;
+      finalize(static_cast<std::size_t>(c));
+      n.mass += nodes_[static_cast<std::size_t>(c)].mass;
+      n.com += nodes_[static_cast<std::size_t>(c)].com;
+    }
+  }
+}
+
+Vec3 Octree::accel_at(Vec3 p, float theta, float softening) const {
+  Vec3 acc{};
+  if (!nodes_.empty()) {
+    accumulate(0, p, -1, theta, softening * softening, acc);
+  }
+  return acc;
+}
+
+std::vector<Vec3> Octree::accelerations(float theta, float softening) const {
+  std::vector<Vec3> acc(pos_.size());
+  const float eps2 = softening * softening;
+  for (std::size_t i = 0; i < pos_.size(); ++i) {
+    Vec3 a{};
+    if (!nodes_.empty()) {
+      accumulate(0, pos_[i], static_cast<std::int32_t>(i), theta, eps2, a);
+    }
+    acc[i] = a;
+  }
+  return acc;
+}
+
+void Octree::accumulate(std::size_t node, Vec3 p, std::int32_t skip, float theta,
+                        float eps2, Vec3& acc) const {
+  const Node& n = nodes_[node];
+  if (n.mass <= 0.0f) return;
+  const Vec3 com = n.com * (1.0f / n.mass);
+  if (n.is_leaf) {
+    if (n.particle == skip) return;
+    const Vec3 d = com - p;
+    const float r2 = d.norm2() + eps2;
+    const float inv = 1.0f / std::sqrt(r2);
+    acc += d * (n.mass * inv * inv * inv);
+    return;
+  }
+  const Vec3 d = com - p;
+  const float dist2 = d.norm2();
+  const float size = 2.0f * n.half;
+  if (size * size < theta * theta * dist2) {
+    const float r2 = dist2 + eps2;
+    const float inv = 1.0f / std::sqrt(r2);
+    acc += d * (n.mass * inv * inv * inv);
+    return;
+  }
+  for (const std::int32_t c : n.children) {
+    if (c >= 0) accumulate(static_cast<std::size_t>(c), p, skip, theta, eps2, acc);
+  }
+}
+
+std::size_t Octree::depth_of(std::size_t node) const {
+  const Node& n = nodes_[node];
+  if (n.is_leaf) return 1;
+  std::size_t d = 0;
+  for (const std::int32_t c : n.children) {
+    if (c >= 0) d = std::max(d, depth_of(static_cast<std::size_t>(c)));
+  }
+  return d + 1;
+}
+
+std::size_t Octree::depth() const { return nodes_.empty() ? 0 : depth_of(0); }
+
+}  // namespace gravit

@@ -1,0 +1,65 @@
+// barneshut.hpp - the Barnes-Hut O(n log n) tree code.
+//
+// The paper (Sec. I-C/I-D) describes Gravit's two far-field strategies: the
+// Barnes-Hut octree, well suited to CPUs but too recursive for CUDA 1.x,
+// and the direct O(n^2) sum it ports to the GPU instead. This is the
+// octree: (1) build, (2) per-cell centre of mass and total mass,
+// (3) per-particle traversal with the theta opening criterion - the
+// three steps exactly as the paper lists them. It serves as the strong CPU
+// baseline for the crossover study (bench/ext_barneshut_crossover).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gravit/particle.hpp"
+
+namespace gravit {
+
+class Octree {
+ public:
+  /// Builds the tree over the given particles (positions/masses are copied
+  /// by reference into the tree's lifetime - keep the set alive).
+  Octree(std::span<const Vec3> pos, std::span<const float> mass);
+
+  /// Far-field acceleration on every particle using opening angle `theta`
+  /// (0 = exact direct sum behaviour, larger = coarser and faster) and
+  /// Plummer softening.
+  [[nodiscard]] std::vector<Vec3> accelerations(float theta, float softening) const;
+
+  /// Acceleration at an arbitrary point (no self-exclusion).
+  [[nodiscard]] Vec3 accel_at(Vec3 p, float theta, float softening) const;
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t depth() const;
+
+ private:
+  struct Node {
+    Vec3 center{};       ///< geometric cell centre
+    float half = 0.0f;   ///< half edge length
+    Vec3 com{};          ///< centre of mass
+    float mass = 0.0f;
+    std::int32_t children[8] = {-1, -1, -1, -1, -1, -1, -1, -1};
+    std::int32_t particle = -1;  ///< leaf payload (particle index), -1 if none
+    bool is_leaf = true;
+  };
+
+  void insert(std::size_t node, std::uint32_t particle, int depth);
+  void finalize(std::size_t node);
+  [[nodiscard]] std::size_t child_for(const Node& n, Vec3 p) const;
+  std::size_t make_child(std::size_t node, std::size_t octant);
+  void accumulate(std::size_t node, Vec3 p, std::int32_t skip, float theta,
+                  float eps2, Vec3& acc) const;
+  [[nodiscard]] std::size_t depth_of(std::size_t node) const;
+
+  std::span<const Vec3> pos_;
+  std::span<const float> mass_;
+  std::vector<Node> nodes_;
+  /// (leaf node, particle) pairs for particles that could not be separated
+  /// at maximum depth (coincident positions); folded into leaf aggregates
+  /// by finalize. Sorted by leaf before use.
+  std::vector<std::pair<std::size_t, std::uint32_t>> overflow_;
+};
+
+}  // namespace gravit

@@ -1,0 +1,43 @@
+#include "gravit/diagnostics.hpp"
+
+namespace gravit {
+
+double kinetic_energy(const ParticleSet& set) {
+  double e = 0.0;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    e += 0.5 * static_cast<double>(set.mass()[i]) * set.vel()[i].norm2();
+  }
+  return e;
+}
+
+EnergyReport energy(const ParticleSet& set, float softening) {
+  return EnergyReport{kinetic_energy(set), potential_energy(set, softening)};
+}
+
+Vec3 total_momentum(const ParticleSet& set) {
+  Vec3 p{};
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    p += set.vel()[i] * set.mass()[i];
+  }
+  return p;
+}
+
+Vec3 total_angular_momentum(const ParticleSet& set) {
+  Vec3 l{};
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    l += cross(set.pos()[i], set.vel()[i] * set.mass()[i]);
+  }
+  return l;
+}
+
+Vec3 center_of_mass(const ParticleSet& set) {
+  Vec3 c{};
+  float m = 0.0f;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    c += set.pos()[i] * set.mass()[i];
+    m += set.mass()[i];
+  }
+  return m > 0.0f ? c * (1.0f / m) : c;
+}
+
+}  // namespace gravit

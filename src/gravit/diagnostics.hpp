@@ -1,0 +1,22 @@
+// diagnostics.hpp - conservation diagnostics for simulation validation.
+#pragma once
+
+#include "gravit/forces_cpu.hpp"
+#include "gravit/particle.hpp"
+
+namespace gravit {
+
+struct EnergyReport {
+  double kinetic = 0.0;
+  double potential = 0.0;
+  [[nodiscard]] double total() const { return kinetic + potential; }
+};
+
+[[nodiscard]] double kinetic_energy(const ParticleSet& set);
+[[nodiscard]] EnergyReport energy(const ParticleSet& set,
+                                  float softening = kDefaultSoftening);
+[[nodiscard]] Vec3 total_momentum(const ParticleSet& set);
+[[nodiscard]] Vec3 total_angular_momentum(const ParticleSet& set);
+[[nodiscard]] Vec3 center_of_mass(const ParticleSet& set);
+
+}  // namespace gravit

@@ -1,0 +1,138 @@
+#include "gravit/forces_cpu.hpp"
+
+#include <cmath>
+
+#include "vgpu/check.hpp"
+
+namespace gravit {
+
+namespace {
+
+/// One pairwise interaction, written to match the GPU kernel's operation
+/// order exactly: r2 via fma chain, rsqrt, inv3 = inv*inv*inv*m, fma
+/// accumulate.
+inline void accumulate_pair(Vec3 pi, Vec3 pj, float mj, float eps2, Vec3& acc) {
+  const float dx = pj.x - pi.x;
+  const float dy = pj.y - pi.y;
+  const float dz = pj.z - pi.z;
+  const float r2 = std::fmaf(dx, dx, std::fmaf(dy, dy, std::fmaf(dz, dz, eps2)));
+  const float inv = 1.0f / std::sqrt(r2);
+  const float inv3 = inv * inv * inv * mj;
+  acc.x = std::fmaf(dx, inv3, acc.x);
+  acc.y = std::fmaf(dy, inv3, acc.y);
+  acc.z = std::fmaf(dz, inv3, acc.z);
+}
+
+}  // namespace
+
+std::vector<Vec3> farfield_direct(const ParticleSet& set, float softening) {
+  VGPU_EXPECTS_MSG(softening > 0.0f,
+                   "softening must be positive (it nulls the self-pair)");
+  const std::size_t n = set.size();
+  const float eps2 = softening * softening;
+  std::vector<Vec3> acc(n);
+  const auto pos = set.pos();
+  const auto mass = set.mass();
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec3 a{};
+    for (std::size_t j = 0; j < n; ++j) {
+      accumulate_pair(pos[i], pos[j], mass[j], eps2, a);
+    }
+    acc[i] = a;
+  }
+  return acc;
+}
+
+std::vector<Vec3> farfield_direct_tiled(const ParticleSet& set,
+                                        std::uint32_t tile, float softening) {
+  VGPU_EXPECTS(tile >= 1);
+  VGPU_EXPECTS_MSG(softening > 0.0f,
+                   "softening must be positive (it nulls the self-pair)");
+  const std::size_t n = set.size();
+  const float eps2 = softening * softening;
+  std::vector<Vec3> acc(n);
+  const auto pos = set.pos();
+  const auto mass = set.mass();
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec3 a{};
+    for (std::size_t t0 = 0; t0 < n; t0 += tile) {
+      const std::size_t t1 = std::min(n, t0 + tile);
+      for (std::size_t j = t0; j < t1; ++j) {
+        accumulate_pair(pos[i], pos[j], mass[j], eps2, a);
+      }
+    }
+    acc[i] = a;
+  }
+  return acc;
+}
+
+std::vector<Vec3> nearest_neighbour(const ParticleSet& set, float h,
+                                    float strength) {
+  const std::size_t n = set.size();
+  std::vector<Vec3> acc(n);
+  if (h <= 0.0f) return acc;
+  const auto pos = set.pos();
+  const auto mass = set.mass();
+  const float h2 = h * h;
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec3 a{};
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const Vec3 d = pos[i] - pos[j];
+      const float r2 = d.norm2();
+      if (r2 >= h2 || r2 == 0.0f) continue;
+      // repulsion ramping up linearly as the pair closes below h
+      const float r = std::sqrt(r2);
+      const float w = strength * mass[j] * (h - r) / (h * r);
+      a += d * w;
+    }
+    acc[i] = a;
+  }
+  return acc;
+}
+
+std::vector<Vec3> external_accel(const ParticleSet& set,
+                                 const ExternalField& field) {
+  const std::size_t n = set.size();
+  std::vector<Vec3> acc(n, field.uniform);
+  if (field.central_mass != 0.0f) {
+    const float eps2 = field.central_softening * field.central_softening;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Vec3 p = set.pos()[i];
+      const float r2 = p.norm2() + eps2;
+      const float inv = 1.0f / std::sqrt(r2);
+      acc[i] -= p * (field.central_mass * inv * inv * inv);
+    }
+  }
+  return acc;
+}
+
+std::vector<Vec3> total_accel(const ParticleSet& set, const ForceModel& model) {
+  std::vector<Vec3> acc = farfield_direct(set, model.softening);
+  if (model.nn_radius > 0.0f) {
+    const std::vector<Vec3> nn =
+        nearest_neighbour(set, model.nn_radius, model.nn_strength);
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += nn[i];
+  }
+  const std::vector<Vec3> ext = external_accel(set, model.external);
+  for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += ext[i];
+  return acc;
+}
+
+double potential_energy(const ParticleSet& set, float softening) {
+  const std::size_t n = set.size();
+  const double eps2 = static_cast<double>(softening) * softening;
+  double u = 0.0;
+  const auto pos = set.pos();
+  const auto mass = set.mass();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Vec3 d = pos[i] - pos[j];
+      const double r = std::sqrt(static_cast<double>(d.norm2()) + eps2);
+      u -= static_cast<double>(mass[i]) * mass[j] / r;
+    }
+  }
+  return u;
+}
+
+}  // namespace gravit

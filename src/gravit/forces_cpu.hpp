@@ -1,0 +1,68 @@
+// forces_cpu.hpp - the serial CPU force paths.
+//
+// Implements the three force terms of the paper's Eq. 1,
+//     Force = F_E + F_NN + F_FF,
+// on the host: the O(n^2) far-field sum (the term the paper offloads to
+// the GPU and the 87x baseline), an optional nearest-neighbour softening
+// correction, and external forces (central attractor / uniform field).
+// All math is single precision to match the device path bit-for-bit in
+// structure (identical operation order per pair).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gravit/particle.hpp"
+
+namespace gravit {
+
+/// Plummer softening used everywhere (avoids the singular 1/r^2 and the
+/// i == j branch: a particle exerts zero force on itself).
+inline constexpr float kDefaultSoftening = 0.025f;
+
+/// Far-field accelerations by direct summation, O(n^2). Matches the GPU
+/// kernel's operation order (dx*inv3 fma accumulation) so results agree to
+/// float rounding.
+[[nodiscard]] std::vector<Vec3> farfield_direct(const ParticleSet& set,
+                                                float softening = kDefaultSoftening);
+
+/// Tiled direct summation: identical math to farfield_direct but walks the
+/// source particles in tiles of `tile` (the GPU kernel's summation order),
+/// used to validate exact agreement with the device path.
+[[nodiscard]] std::vector<Vec3> farfield_direct_tiled(
+    const ParticleSet& set, std::uint32_t tile,
+    float softening = kDefaultSoftening);
+
+/// Nearest-neighbour repulsive correction: for pairs closer than `h`, add a
+/// short-range repulsion so close encounters stay bounded (Gravit's "NN"
+/// term). O(n^2) reference implementation.
+[[nodiscard]] std::vector<Vec3> nearest_neighbour(const ParticleSet& set, float h,
+                                                  float strength = 1.0f);
+
+/// External force field descriptor: uniform gravity plus an optional
+/// central attractor at the origin.
+struct ExternalField {
+  Vec3 uniform{};
+  float central_mass = 0.0f;
+  float central_softening = 0.05f;
+};
+
+[[nodiscard]] std::vector<Vec3> external_accel(const ParticleSet& set,
+                                               const ExternalField& field);
+
+/// Eq. 1 assembled: far field + nearest neighbour + external.
+struct ForceModel {
+  float softening = kDefaultSoftening;
+  float nn_radius = 0.0f;  ///< 0 disables the NN term
+  float nn_strength = 1.0f;
+  ExternalField external;
+};
+
+[[nodiscard]] std::vector<Vec3> total_accel(const ParticleSet& set,
+                                            const ForceModel& model);
+
+/// Gravitational potential energy (pairwise, softened), for diagnostics.
+[[nodiscard]] double potential_energy(const ParticleSet& set,
+                                      float softening = kDefaultSoftening);
+
+}  // namespace gravit

@@ -1,0 +1,243 @@
+#include "gravit/gpu_kernels2.hpp"
+
+#include <array>
+#include <bit>
+
+#include "layout/transform.hpp"
+#include "vgpu/builder.hpp"
+#include "vgpu/check.hpp"
+#include "vgpu/opt.hpp"
+#include "vgpu/regalloc.hpp"
+
+namespace gravit {
+
+using layout::LoadStep;
+using layout::PhysicalLayout;
+using vgpu::CmpOp;
+using vgpu::KernelBuilder;
+using vgpu::MemWidth;
+using vgpu::Program;
+using vgpu::PVal;
+using vgpu::Val;
+
+namespace {
+
+[[nodiscard]] std::uint32_t ilog2(std::uint32_t v) {
+  std::uint32_t l = 0;
+  while ((1u << (l + 1)) <= v) ++l;
+  return l;
+}
+
+/// Emit the classic shared-memory tree reduction of `value` across the
+/// block; returns after thread 0 stored the block total to out[ctaid].
+void emit_block_reduce_and_store(KernelBuilder& kb, Val value, Val out_base,
+                                 std::uint32_t block) {
+  VGPU_EXPECTS_MSG(std::has_single_bit(block), "reduction needs a power-of-two block");
+  Val smem = kb.shared_alloc(block * 4);
+  Val tid = kb.tid();
+  Val my_slot = kb.iadd(smem, kb.shl(tid, 2));
+  kb.st_shared(my_slot, value);
+  kb.bar();
+
+  Val stride = kb.var_u32(kb.imm_u32(block / 2));
+  kb.for_counted(ilog2(block), [&](Val) {
+    PVal active = kb.setp_u32(CmpOp::kLt, tid, stride);
+    kb.if_then(active, [&] {
+      Val other = kb.iadd(tid, stride);
+      Val other_addr = kb.iadd(smem, kb.shl(other, 2));
+      Val a = kb.ld_shared_f32(my_slot);
+      Val b = kb.ld_shared_f32(other_addr);
+      kb.st_shared(my_slot, kb.fadd(a, b));
+    });
+    kb.bar();
+    kb.assign(stride, kb.shr(stride, 1));
+  });
+
+  PVal leader = kb.setp_u32_imm(CmpOp::kEq, tid, 0);
+  kb.if_then(leader, [&] {
+    Val total = kb.ld_shared_f32(smem);
+    Val out_addr = kb.imad(kb.ctaid(), kb.imm_u32(4), out_base);
+    kb.st_global(out_addr, total);
+  });
+}
+
+/// Per-group element addresses (only groups containing a requested field).
+std::vector<Val> element_addresses(KernelBuilder& kb, const PhysicalLayout& phys,
+                                   Val element, std::uint32_t first_param,
+                                   const std::array<bool, 7>& wanted) {
+  std::vector<Val> addr(phys.groups.size());
+  for (std::uint32_t g = 0; g < phys.groups.size(); ++g) {
+    bool needed = false;
+    for (const std::uint32_t f : phys.groups[g].field_ids) {
+      needed = needed || wanted[f];
+    }
+    if (!needed) continue;
+    addr[g] = kb.imad(element, kb.imm_u32(phys.groups[g].stride),
+                      kb.param_u32(first_param + g));
+  }
+  return addr;
+}
+
+/// Load the requested record fields through the layout's load plan.
+std::array<Val, 7> load_fields(KernelBuilder& kb, const PhysicalLayout& phys,
+                               const std::vector<Val>& elem_addr,
+                               const std::array<bool, 7>& wanted) {
+  std::array<Val, 7> fields{};
+  for (const LoadStep& step : phys.load_plan) {
+    if (!elem_addr[step.group].valid()) continue;
+    const layout::ArrayGroup& group = phys.groups[step.group];
+    bool covers = false;
+    for (std::uint8_t c = 0; c < vgpu::width_words(step.width); ++c) {
+      const std::uint32_t w = step.offset / 4 + c;
+      if (w < group.field_ids.size() && wanted[group.field_ids[w]]) covers = true;
+    }
+    if (!covers) continue;
+    Val v = kb.ld_global_vec(elem_addr[step.group], step.width, vgpu::VType::kF32,
+                             step.offset);
+    for (std::uint8_t c = 0; c < vgpu::width_words(step.width); ++c) {
+      const std::uint32_t w = step.offset / 4 + c;
+      if (w < group.field_ids.size()) {
+        fields[group.field_ids[w]] = kb.comp(v, c);
+      }
+    }
+  }
+  for (std::size_t f = 0; f < 7; ++f) {
+    VGPU_EXPECTS_MSG(!wanted[f] || fields[f].valid(),
+                     "layout does not cover a requested field");
+  }
+  return fields;
+}
+
+/// Store one record field through the layout (scalar store at the field's
+/// offset within its group).
+void store_field(KernelBuilder& kb, const PhysicalLayout& phys,
+                 const std::vector<Val>& elem_addr, std::uint32_t field_id,
+                 Val value) {
+  for (std::uint32_t g = 0; g < phys.groups.size(); ++g) {
+    const auto& ids = phys.groups[g].field_ids;
+    for (std::uint32_t k = 0; k < ids.size(); ++k) {
+      if (ids[k] != field_id) continue;
+      VGPU_EXPECTS_MSG(elem_addr[g].valid(), "group address missing for store");
+      kb.st_global(elem_addr[g], value, 4 * k);
+      return;
+    }
+  }
+  throw vgpu::ContractViolation("field not present in layout");
+}
+
+Program finalize(KernelBuilder&& kb) {
+  Program prog = std::move(kb).finish();
+  vgpu::run_standard_pipeline(prog);
+  vgpu::allocate_registers(prog);
+  return prog;
+}
+
+}  // namespace
+
+Program make_block_sum_kernel(std::uint32_t block) {
+  KernelBuilder kb("block_sum", 2);
+  Val i = kb.iadd(kb.imul(kb.ctaid(), kb.ntid()), kb.tid());
+  Val v = kb.ld_global_f32(kb.imad(i, kb.imm_u32(4), kb.param_u32(0)));
+  emit_block_reduce_and_store(kb, v, kb.param_u32(1), block);
+  return finalize(std::move(kb));
+}
+
+double gpu_sum(vgpu::Device& dev, vgpu::Buffer data, std::uint32_t n,
+               std::uint32_t block) {
+  VGPU_EXPECTS(n % block == 0);
+  const Program prog = make_block_sum_kernel(block);
+  const std::uint32_t blocks = n / block;
+  vgpu::Buffer partials = dev.malloc_n<float>(blocks);
+  const std::uint32_t params[2] = {data.addr, partials.addr};
+  dev.launch_functional(prog, vgpu::LaunchConfig{blocks, block}, params);
+  std::vector<float> host(blocks);
+  dev.download<float>(host, partials);
+  double total = 0.0;
+  for (const float p : host) total += p;
+  return total;
+}
+
+Program make_kinetic_kernel(const PhysicalLayout& phys, std::uint32_t block) {
+  const auto ngroups = static_cast<std::uint32_t>(phys.groups.size());
+  KernelBuilder kb("kinetic_" + std::string(layout::to_string(phys.kind)),
+                   ngroups + 1);
+  Val i = kb.iadd(kb.imul(kb.ctaid(), kb.ntid()), kb.tid());
+  const std::array<bool, 7> wanted = {false, false, false, true, true, true, true};
+  const std::vector<Val> addr = element_addresses(kb, phys, i, 0, wanted);
+  const std::array<Val, 7> f = load_fields(kb, phys, addr, wanted);
+  Val v2 = kb.fmul(f[3], f[3]);
+  v2 = kb.ffma(f[4], f[4], v2);
+  v2 = kb.ffma(f[5], f[5], v2);
+  Val e = kb.fmul(kb.fmul(kb.imm_f32(0.5f), f[6]), v2);
+  emit_block_reduce_and_store(kb, e, kb.param_u32(ngroups), block);
+  return finalize(std::move(kb));
+}
+
+Program make_integrate_kernel(const PhysicalLayout& phys, std::uint32_t block) {
+  (void)block;
+  const auto ngroups = static_cast<std::uint32_t>(phys.groups.size());
+  // params: group bases..., accel base, n_pad (elements), dt bits
+  KernelBuilder kb("integrate_" + std::string(layout::to_string(phys.kind)),
+                   ngroups + 3);
+  Val i = kb.iadd(kb.imul(kb.ctaid(), kb.ntid()), kb.tid());
+  const std::array<bool, 7> wanted = {true, true, true, true, true, true, false};
+  const std::vector<Val> addr = element_addresses(kb, phys, i, 0, wanted);
+  const std::array<Val, 7> f = load_fields(kb, phys, addr, wanted);
+
+  Val accel = kb.param_u32(ngroups);
+  Val npad = kb.param_u32(ngroups + 1);
+  Val dt = kb.param_f32(ngroups + 2);
+  Val ax = kb.ld_global_f32(kb.imad(i, kb.imm_u32(4), accel));
+  Val ay = kb.ld_global_f32(kb.imad(kb.iadd(npad, i), kb.imm_u32(4), accel));
+  Val az = kb.ld_global_f32(
+      kb.imad(kb.iadd(kb.iadd(npad, npad), i), kb.imm_u32(4), accel));
+
+  Val vx = kb.ffma(ax, dt, f[3]);
+  Val vy = kb.ffma(ay, dt, f[4]);
+  Val vz = kb.ffma(az, dt, f[5]);
+  Val px = kb.ffma(vx, dt, f[0]);
+  Val py = kb.ffma(vy, dt, f[1]);
+  Val pz = kb.ffma(vz, dt, f[2]);
+
+  store_field(kb, phys, addr, 3, vx);
+  store_field(kb, phys, addr, 4, vy);
+  store_field(kb, phys, addr, 5, vz);
+  store_field(kb, phys, addr, 0, px);
+  store_field(kb, phys, addr, 1, py);
+  store_field(kb, phys, addr, 2, pz);
+  return finalize(std::move(kb));
+}
+
+GpuDiagnostics gpu_kinetic_energy(const ParticleSet& set,
+                                  layout::SchemeKind scheme,
+                                  std::uint32_t block) {
+  const PhysicalLayout phys = plan_layout(layout::gravit_record(), scheme);
+  const Program prog = make_kinetic_kernel(phys, block);
+
+  ParticleSet padded = set;
+  const auto n_pad = static_cast<std::uint32_t>(
+      (set.size() + block - 1) / block * block);
+  padded.pad_to(n_pad);
+  const std::vector<float> flat = padded.flatten();
+  const std::vector<std::byte> image = layout::pack(phys, flat, n_pad);
+
+  vgpu::Device dev;
+  vgpu::Buffer img = dev.malloc(image.size());
+  dev.memcpy_h2d(img, image);
+  const std::uint32_t blocks = n_pad / block;
+  vgpu::Buffer partials = dev.malloc_n<float>(blocks);
+  std::vector<std::uint32_t> params;
+  for (const std::uint64_t base : phys.group_bases(n_pad)) {
+    params.push_back(img.addr + static_cast<std::uint32_t>(base));
+  }
+  params.push_back(partials.addr);
+
+  GpuDiagnostics out;
+  out.stats = dev.launch_functional(prog, vgpu::LaunchConfig{blocks, block}, params);
+  std::vector<float> host(blocks);
+  dev.download<float>(host, partials);
+  for (const float p : host) out.kinetic += p;
+  return out;
+}
+
+}  // namespace gravit

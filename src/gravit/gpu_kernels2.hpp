@@ -1,0 +1,54 @@
+// gpu_kernels2.hpp - the rest of the simulation step on the device:
+// block-tree reductions (diagnostics) and the leapfrog update kernel.
+//
+// These kernels matter for the paper's Sec. IV grouping argument: the force
+// kernel only ever touches the hot fields (positions + mass), while the
+// integration kernel is the consumer of the cold velocity fields. Under
+// SoAoaS the two kernels each stream exactly the arrays they need; under
+// AoS both drag the full 28-byte record through the bus
+// (bench/ablation_hotcold measures the difference).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "gravit/kernels.hpp"
+#include "gravit/particle.hpp"
+#include "vgpu/device.hpp"
+
+namespace gravit {
+
+/// Block-level tree reduction: out[block] = sum of in[block*K .. block*K+K).
+/// params: [in_addr, out_addr]. Input length must be a block multiple.
+[[nodiscard]] vgpu::Program make_block_sum_kernel(std::uint32_t block = 128);
+
+/// Sum a device float array with the reduction kernel (partials summed on
+/// the host, the classic two-phase scheme). `n` must be a block multiple.
+[[nodiscard]] double gpu_sum(vgpu::Device& dev, vgpu::Buffer data,
+                             std::uint32_t n, std::uint32_t block = 128);
+
+/// Kinetic-energy kernel: per-thread 0.5 * m * |v|^2 through the layout
+/// (reads the *cold* velocity group + mass), then block-reduced.
+/// params: [group bases..., partials_out]. One output per block.
+[[nodiscard]] vgpu::Program make_kinetic_kernel(const layout::PhysicalLayout& phys,
+                                                std::uint32_t block = 128);
+
+/// Leapfrog kick-drift update kernel: v += a*dt; p += v*dt, reading the
+/// acceleration arrays (SoA ax/ay/az) and updating positions and velocities
+/// in the particle layout. params: [group bases..., accel_addr, n_pad_words,
+/// dt_bits]. Touches every field of the record - the workload the
+/// access-frequency grouping (Sec. IV step 1) is designed around.
+[[nodiscard]] vgpu::Program make_integrate_kernel(const layout::PhysicalLayout& phys,
+                                                  std::uint32_t block = 128);
+
+/// Device-side kinetic energy of a packed particle image.
+struct GpuDiagnostics {
+  double kinetic = 0.0;
+  vgpu::LaunchStats stats;
+};
+
+[[nodiscard]] GpuDiagnostics gpu_kinetic_energy(const ParticleSet& set,
+                                                layout::SchemeKind scheme,
+                                                std::uint32_t block = 128);
+
+}  // namespace gravit

@@ -1,0 +1,76 @@
+#include "gravit/gpu_simulation.hpp"
+
+#include <bit>
+
+#include "layout/transform.hpp"
+#include "vgpu/check.hpp"
+
+namespace gravit {
+
+GpuSimulation::GpuSimulation(const ParticleSet& initial,
+                             GpuSimulationOptions options)
+    : options_(std::move(options)),
+      force_(make_farfield_kernel(options_.kernel)),
+      integrate_(make_integrate_kernel(force_.phys, options_.kernel.block)),
+      phys_(force_.phys),
+      dev_(vgpu::g80_spec(), options_.device_memory) {
+  VGPU_EXPECTS_MSG(!initial.empty(), "empty particle set");
+  const std::uint32_t block = options_.kernel.block;
+  n_ = static_cast<std::uint32_t>(initial.size());
+  n_pad_ = (n_ + block - 1) / block * block;
+
+  ParticleSet padded = initial;
+  padded.pad_to(n_pad_);
+  const std::vector<float> flat = padded.flatten();
+  const std::vector<std::byte> img = layout::pack(phys_, flat, n_pad_);
+  image_ = dev_.malloc(img.size());
+  dev_.memcpy_h2d(image_, img);
+  accel_ = dev_.malloc_n<float>(static_cast<std::size_t>(n_pad_) * 3);
+
+  for (const std::uint64_t base : phys_.group_bases(n_pad_)) {
+    force_params_.push_back(image_.addr + static_cast<std::uint32_t>(base));
+    integrate_params_.push_back(image_.addr + static_cast<std::uint32_t>(base));
+  }
+  force_params_.push_back(accel_.addr);
+  force_params_.push_back(n_pad_ / block);  // n_tiles
+  integrate_params_.push_back(accel_.addr);
+  integrate_params_.push_back(n_pad_);
+  integrate_params_.push_back(std::bit_cast<std::uint32_t>(options_.dt));
+}
+
+void GpuSimulation::step() {
+  const vgpu::LaunchConfig cfg{n_pad_ / options_.kernel.block,
+                               options_.kernel.block};
+  if (options_.timed) {
+    vgpu::TimingOptions topt;
+    topt.driver = options_.driver;
+    force_stats_ = dev_.launch_timed(force_.prog, cfg, force_params_, topt);
+    (void)dev_.launch_timed(integrate_, cfg, integrate_params_, topt);
+  } else {
+    force_stats_ =
+        dev_.launch_functional(force_.prog, cfg, force_params_, options_.driver);
+    (void)dev_.launch_functional(integrate_, cfg, integrate_params_,
+                                 options_.driver);
+  }
+  time_ += options_.dt;
+  ++steps_;
+}
+
+void GpuSimulation::run(std::uint32_t steps) {
+  for (std::uint32_t k = 0; k < steps; ++k) step();
+}
+
+ParticleSet GpuSimulation::download() const {
+  std::vector<std::byte> img(phys_.bytes(n_pad_));
+  dev_.memcpy_d2h(img, image_);
+  std::vector<float> flat(static_cast<std::size_t>(n_pad_) * 7);
+  layout::unpack(phys_, img, flat, n_pad_);
+  ParticleSet padded = ParticleSet::unflatten(flat);
+  ParticleSet out;
+  for (std::uint32_t k = 0; k < n_; ++k) {
+    out.push_back(padded.pos()[k], padded.vel()[k], padded.mass()[k]);
+  }
+  return out;
+}
+
+}  // namespace gravit

@@ -1,0 +1,68 @@
+// gpu_simulation.hpp - the device-resident simulation loop.
+//
+// Fig. 12's protocol pays the PCIe copies on every measurement because the
+// paper times one kernel invocation end to end. A production port keeps the
+// particles resident: upload once, then alternate the far-field force
+// kernel and the leapfrog update kernel on the device, downloading only
+// when a snapshot is wanted. bench/ext_resident quantifies how much of the
+// end-to-end time the paper's protocol spends on the bus.
+#pragma once
+
+#include <optional>
+
+#include "gravit/gpu_kernels2.hpp"
+#include "gravit/kernels.hpp"
+#include "gravit/particle.hpp"
+#include "vgpu/device.hpp"
+
+namespace gravit {
+
+struct GpuSimulationOptions {
+  KernelOptions kernel;  ///< force-kernel variant (layout, unroll, ...)
+  float dt = 0.01f;
+  vgpu::DriverModel driver = vgpu::DriverModel::kCuda10;
+  /// true: run kernels under the timing model (exact results *and* a
+  /// device-time ledger; slower to simulate). false: functional only.
+  bool timed = false;
+  std::size_t device_memory = 512u * 1024 * 1024;
+};
+
+class GpuSimulation {
+ public:
+  GpuSimulation(const ParticleSet& initial, GpuSimulationOptions options);
+
+  /// One force + integrate round trip, entirely on the device.
+  void step();
+  void run(std::uint32_t steps);
+
+  /// Download the current particle state.
+  [[nodiscard]] ParticleSet download() const;
+
+  [[nodiscard]] double time() const { return time_; }
+  [[nodiscard]] std::uint64_t steps_taken() const { return steps_; }
+  /// Simulated device milliseconds accumulated so far (timed mode), plus
+  /// the initial upload; excludes downloads requested by the caller.
+  [[nodiscard]] double device_ms() const { return dev_.timeline_ms(); }
+  [[nodiscard]] const vgpu::LaunchStats& last_force_stats() const {
+    return force_stats_;
+  }
+  [[nodiscard]] const BuiltKernel& force_kernel() const { return force_; }
+
+ private:
+  GpuSimulationOptions options_;
+  BuiltKernel force_;
+  vgpu::Program integrate_;
+  layout::PhysicalLayout phys_;
+  mutable vgpu::Device dev_;
+  vgpu::Buffer image_;
+  vgpu::Buffer accel_;
+  std::uint32_t n_ = 0;
+  std::uint32_t n_pad_ = 0;
+  std::vector<std::uint32_t> force_params_;
+  std::vector<std::uint32_t> integrate_params_;
+  vgpu::LaunchStats force_stats_;
+  double time_ = 0.0;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace gravit

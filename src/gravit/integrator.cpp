@@ -1,0 +1,37 @@
+#include "gravit/integrator.hpp"
+
+#include "vgpu/check.hpp"
+
+namespace gravit {
+
+void step_euler(ParticleSet& set, const AccelFn& accel, float dt) {
+  const std::vector<Vec3> a = accel(set);
+  VGPU_EXPECTS(a.size() == set.size());
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    set.vel()[i] += a[i] * dt;
+    set.pos()[i] += set.vel()[i] * dt;
+  }
+}
+
+std::vector<Vec3> step_leapfrog(ParticleSet& set, const AccelFn& accel, float dt,
+                                const std::vector<Vec3>* accel_now) {
+  std::vector<Vec3> a0;
+  if (accel_now != nullptr) {
+    VGPU_EXPECTS(accel_now->size() == set.size());
+    a0 = *accel_now;
+  } else {
+    a0 = accel(set);
+  }
+  const float half = 0.5f * dt;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    set.vel()[i] += a0[i] * half;          // half kick
+    set.pos()[i] += set.vel()[i] * dt;     // drift
+  }
+  std::vector<Vec3> a1 = accel(set);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    set.vel()[i] += a1[i] * half;          // half kick
+  }
+  return a1;
+}
+
+}  // namespace gravit

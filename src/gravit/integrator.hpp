@@ -1,0 +1,28 @@
+// integrator.hpp - time integration.
+//
+// Gravit advances its particles with simple Newtonian stepping; we provide
+// the original forward Euler plus the symplectic leapfrog (kick-drift-kick)
+// whose bounded energy drift the physics tests rely on.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "gravit/particle.hpp"
+
+namespace gravit {
+
+/// Computes accelerations for the current state.
+using AccelFn = std::function<std::vector<Vec3>(const ParticleSet&)>;
+
+/// Forward Euler: v += a dt; x += v dt. First order, Gravit's original.
+void step_euler(ParticleSet& set, const AccelFn& accel, float dt);
+
+/// Leapfrog (kick-drift-kick): second order, symplectic.
+/// `accel_now` may pass cached accelerations for the current positions to
+/// avoid one force evaluation; returns the accelerations at the new
+/// positions for reuse.
+std::vector<Vec3> step_leapfrog(ParticleSet& set, const AccelFn& accel, float dt,
+                                const std::vector<Vec3>* accel_now = nullptr);
+
+}  // namespace gravit

@@ -1,0 +1,259 @@
+#include "gravit/kernels.hpp"
+
+#include <utility>
+
+#include "unroll/icm.hpp"
+#include "unroll/unroller.hpp"
+#include "vgpu/builder.hpp"
+#include "vgpu/check.hpp"
+#include "vgpu/opt.hpp"
+#include "vgpu/regalloc.hpp"
+#include "vgpu/verify.hpp"
+
+namespace gravit {
+
+using layout::LoadStep;
+using layout::PhysicalLayout;
+using vgpu::KernelBuilder;
+using vgpu::MemWidth;
+using vgpu::Program;
+using vgpu::Region;
+using vgpu::Val;
+
+namespace {
+
+/// Loads the four hot fields (px, py, pz, mass) of element `elem_addrs[g] +
+/// elem` through the layout's load plan and returns them as four scalar
+/// values in that order. Cold-field loads that the plan bundles in (AoS
+/// reads the whole record) are emitted too; the optimizer removes scalar
+/// loads whose values are unused, mirroring what nvcc does to dead loads.
+struct HotFields {
+  Val px, py, pz, mass;
+};
+
+/// Groups containing at least one hot field (px/py/pz/mass); the kernel
+/// only materializes element addresses for these - cold-only groups
+/// (velocities under SoA/SoAoaS) are never touched by the force kernel.
+std::vector<bool> hot_groups(const PhysicalLayout& phys) {
+  std::vector<bool> hot(phys.groups.size(), false);
+  for (std::size_t g = 0; g < phys.groups.size(); ++g) {
+    for (const std::uint32_t f : phys.groups[g].field_ids) {
+      if (f <= 2 || f == 6) hot[g] = true;  // px,py,pz,mass
+    }
+  }
+  return hot;
+}
+
+HotFields load_hot_fields(KernelBuilder& kb, const PhysicalLayout& phys,
+                          const std::vector<Val>& elem_addr,
+                          bool via_texture = false) {
+  // field ids in gravit_record(): 0=px 1=py 2=pz 3..5=v* 6=mass
+  std::array<Val, 7> fields{};
+  for (const LoadStep& step : phys.load_plan) {
+    if (!elem_addr[step.group].valid()) continue;  // cold-only group
+    const layout::ArrayGroup& group = phys.groups[step.group];
+    Val v = via_texture
+                ? kb.ld_tex_vec(elem_addr[step.group], step.width,
+                                vgpu::VType::kF32, step.offset)
+                : kb.ld_global_vec(elem_addr[step.group], step.width,
+                                   vgpu::VType::kF32, step.offset);
+    // map the loaded words back to record fields
+    for (std::uint8_t c = 0; c < vgpu::width_words(step.width); ++c) {
+      const std::uint32_t word_in_elem = step.offset / 4 + c;
+      if (word_in_elem < group.field_ids.size()) {
+        fields[group.field_ids[word_in_elem]] = kb.comp(v, c);
+      }
+    }
+  }
+  VGPU_EXPECTS_MSG(fields[0].valid() && fields[1].valid() && fields[2].valid() &&
+                       fields[6].valid(),
+                   "layout does not cover the hot fields");
+  return HotFields{fields[0], fields[1], fields[2], fields[6]};
+}
+
+}  // namespace
+
+std::string kernel_label(const KernelOptions& options) {
+  std::string label = layout::to_string(options.scheme);
+  if (options.unroll > 1) {
+    label += "+unroll";
+    label += std::to_string(options.unroll);
+  }
+  if (options.icm) label += "+icm";
+  if (!options.use_shared_tiles) label += "+notile";
+  if (options.use_texture_fetches) label += "+tex";
+  if (options.max_regs != 0) {
+    label += "+maxreg";
+    label += std::to_string(options.max_regs);
+  }
+  return label;
+}
+
+BuiltKernel make_farfield_kernel(const KernelOptions& options) {
+  VGPU_EXPECTS(options.block >= 32 && options.block % 32 == 0);
+  VGPU_EXPECTS(options.unroll >= 1 && options.block % options.unroll == 0);
+
+  PhysicalLayout phys = plan_layout(layout::gravit_record(), options.scheme);
+  const auto ngroups = static_cast<std::uint32_t>(phys.groups.size());
+  const std::uint32_t k_tile = options.block;
+
+  KernelBuilder kb(std::string("farfield_") + kernel_label(options),
+                   ngroups + 2);
+
+  // ---- S: per-thread setup ------------------------------------------------
+  kb.region(Region::kSetup);
+  Val tid = kb.tid();
+  Val i = kb.iadd(kb.imul(kb.ctaid(), kb.ntid()), tid);
+  Val smem = kb.shared_alloc(k_tile * 16);
+
+  // own position: element i through the layout (hot groups only)
+  const std::vector<bool> hot = hot_groups(phys);
+  std::vector<Val> my_addr(ngroups);
+  for (std::uint32_t g = 0; g < ngroups; ++g) {
+    if (!hot[g]) continue;
+    my_addr[g] = kb.imad(i, kb.imm_u32(phys.groups[g].stride), kb.param_u32(g));
+  }
+  const HotFields me = load_hot_fields(kb, phys, my_addr);
+  Val px = kb.var_f32(me.px);
+  Val py = kb.var_f32(me.py);
+  Val pz = kb.var_f32(me.pz);
+
+  Val ax = kb.var_f32(kb.imm_f32(0.0f));
+  Val ay = kb.var_f32(kb.imm_f32(0.0f));
+  Val az = kb.var_f32(kb.imm_f32(0.0f));
+
+  // source walk addresses, strength-reduced (advance by the stride instead
+  // of recomputing from an index - fewer live registers). With tiling each
+  // thread stages element tile*K + tid; without tiling every thread walks
+  // all elements from 0.
+  std::vector<Val> tile_addr(ngroups);
+  for (std::uint32_t g = 0; g < ngroups; ++g) {
+    if (!hot[g]) continue;
+    if (options.use_shared_tiles) {
+      tile_addr[g] = kb.var_u32(
+          kb.imad(tid, kb.imm_u32(phys.groups[g].stride), kb.param_u32(g)));
+    } else {
+      tile_addr[g] = kb.var_u32(kb.param_u32(g));
+    }
+  }
+  Val my_smem = kb.iadd(smem, kb.shl(tid, 4));
+  Val n_tiles = kb.param_u32(ngroups + 1);
+
+  // one pairwise interaction given the source's hot fields
+  auto interaction = [&](Val sx, Val sy, Val sz, Val sm) {
+    // naive code recomputes the softening term every iteration; the ICM
+    // pass (options.icm) hoists it, reproducing the paper's manual fix
+    Val eps = kb.imm_f32(options.softening);
+    Val eps2 = kb.fmul(eps, eps);
+    Val dx = kb.fsub(sx, px);
+    Val dy = kb.fsub(sy, py);
+    Val dz = kb.fsub(sz, pz);
+    Val r2 = kb.ffma(dz, dz, eps2);
+    r2 = kb.ffma(dy, dy, r2);
+    r2 = kb.ffma(dx, dx, r2);
+    Val inv = kb.frsqrt(r2);
+    Val inv2 = kb.fmul(inv, inv);
+    Val inv3m = kb.fmul(kb.fmul(inv2, inv), sm);
+    kb.ffma_into(ax, dx, inv3m);
+    kb.ffma_into(ay, dy, inv3m);
+    kb.ffma_into(az, dz, inv3m);
+  };
+
+  if (options.use_shared_tiles) {
+    // ---- B: tile staging loop -----------------------------------------------
+    kb.region(Region::kBlockFetch);
+    kb.for_dynamic(n_tiles, [&](Val) {
+      const HotFields src =
+          load_hot_fields(kb, phys, tile_addr, options.use_texture_fetches);
+      kb.st_shared(my_smem, src.px, 0);
+      kb.st_shared(my_smem, src.py, 4);
+      kb.st_shared(my_smem, src.pz, 8);
+      kb.st_shared(my_smem, src.mass, 12);
+      kb.bar();
+
+      // ---- P: the innermost loop over the staged tile ----------------------
+      kb.region(Region::kInner);
+      kb.for_counted(k_tile, [&](Val j) {
+        Val saddr = kb.imad(j, kb.imm_u32(16), smem);
+        Val sp = kb.ld_shared_vec(saddr, MemWidth::kW128, vgpu::VType::kF32);
+        interaction(kb.comp(sp, 0), kb.comp(sp, 1), kb.comp(sp, 2),
+                    kb.comp(sp, 3));
+      });
+      kb.region(Region::kBlockFetch);
+      kb.bar();
+      for (std::uint32_t g = 0; g < ngroups; ++g) {
+        if (!hot[g]) continue;
+        kb.assign(tile_addr[g],
+                  kb.iadd_imm(tile_addr[g], k_tile * phys.groups[g].stride));
+      }
+    });
+  } else {
+    // ---- no tiling: every interaction reads global memory (ablation) -------
+    kb.region(Region::kInner);
+    Val n_total = kb.imul(n_tiles, kb.ntid());
+    kb.for_dynamic(n_total, [&](Val) {
+      const HotFields src =
+          load_hot_fields(kb, phys, tile_addr, options.use_texture_fetches);
+      interaction(src.px, src.py, src.pz, src.mass);
+      for (std::uint32_t g = 0; g < ngroups; ++g) {
+        if (!hot[g]) continue;
+        kb.assign(tile_addr[g],
+                  kb.iadd_imm(tile_addr[g], phys.groups[g].stride));
+      }
+    });
+  }
+
+  // ---- epilogue: coalesced SoA acceleration stores ---------------------------
+  // The thread id and tile count are rematerialized here (special registers
+  // and parameters are free to re-read) so they occupy no register across
+  // the loops - the standard nvcc rematerialization.
+  kb.region(Region::kOther);
+  Val out = kb.param_u32(ngroups);
+  Val i2 = kb.iadd(kb.imul(kb.ctaid(), kb.ntid()), kb.tid());
+  Val npad = kb.imul(kb.param_u32(ngroups + 1), kb.ntid());
+  Val out_x = kb.imad(i2, kb.imm_u32(4), out);
+  kb.st_global(out_x, ax, 0);
+  Val out_y = kb.imad(kb.iadd(npad, i2), kb.imm_u32(4), out);
+  kb.st_global(out_y, ay, 0);
+  Val out_z = kb.imad(kb.iadd(kb.iadd(npad, npad), i2), kb.imm_u32(4), out);
+  kb.st_global(out_z, az, 0);
+
+  Program prog = std::move(kb).finish();
+  vgpu::verify(prog);
+
+  // locate the counted inner loop (trip == K); the outer dynamic loop has
+  // trip 0. The untiled ablation kernel has no counted loop - its single
+  // dynamic loop cannot be unrolled, and ICM applies to it directly.
+  std::size_t inner = prog.loops.size();
+  for (std::size_t l = 0; l < prog.loops.size(); ++l) {
+    if (prog.loops[l].trip_count == k_tile) inner = l;
+  }
+  if (options.use_shared_tiles) {
+    VGPU_EXPECTS_MSG(inner < prog.loops.size(), "inner loop not found");
+    if (options.icm) {
+      unroll::hoist_invariants(prog, inner);
+    }
+    if (options.unroll > 1) {
+      unroll::unroll_loop(prog, inner, options.unroll);
+    }
+  } else {
+    VGPU_EXPECTS_MSG(options.unroll == 1,
+                     "the untiled kernel's dynamic loop cannot be unrolled");
+    if (options.icm) {
+      unroll::hoist_all_invariants(prog);
+    }
+  }
+  vgpu::run_standard_pipeline(prog);
+  const vgpu::RegAllocResult alloc =
+      vgpu::allocate_registers(prog, options.max_regs);
+
+  BuiltKernel built;
+  built.phys = std::move(phys);
+  built.options = options;
+  built.regs_per_thread = alloc.num_phys_regs;
+  built.static_sbp = unroll::static_counts(prog, options.unroll);
+  built.prog = std::move(prog);
+  return built;
+}
+
+}  // namespace gravit

@@ -1,0 +1,80 @@
+// kernels.hpp - the far-field force kernel generator.
+//
+// Builds the paper's Sec. IV kernel for any memory layout and optimization
+// level. The kernel has exactly the paper's three-part structure:
+//
+//   S  per-thread setup: global thread id, own position, zeroed
+//      accumulators (executed once per thread);
+//   B  tile fetch: each thread of the block stages one particle's hot
+//      fields (position + mass) from global memory - through the layout
+//      under test - into a shared-memory float4 tile, then synchronizes
+//      (executed n/K times);
+//   P  the innermost loop over the K staged particles: ~20 instructions of
+//      fsub/ffma/rsqrt per interaction (executed n times per thread).
+//
+// Optimization levels compose:
+//   * layout::SchemeKind - how the B-phase global reads are laid out
+//     (Sec. II: AoS / SoA / AoaS / SoAoaS);
+//   * unroll - inner-loop unroll factor, applied with the real unrolling
+//     pass + optimizer (Sec. IV-A);
+//   * icm - invariant code motion of the softening term out of the inner
+//     loop, the paper's manual register-pressure optimization.
+//
+// Kernel parameters: [group bases..., accel_out, n_tiles]. The particle
+// count must be padded to a tile multiple (zero-mass padding exerts no
+// force), which removes all control-flow guards: accelerations are written
+// as three coalesced arrays ax[0..npad), ay, az at accel_out.
+#pragma once
+
+#include <cstdint>
+
+#include "gravit/forces_cpu.hpp"
+#include "layout/plan.hpp"
+#include "unroll/model.hpp"
+#include "vgpu/ir.hpp"
+
+namespace gravit {
+
+struct KernelOptions {
+  layout::SchemeKind scheme = layout::SchemeKind::kSoAoaS;
+  std::uint32_t block = 128;  ///< threads per block = tile size K
+  std::uint32_t unroll = 1;   ///< inner-loop unroll factor (divides block)
+  bool icm = false;           ///< hoist the softening term out of the loop
+  /// Stage tiles through shared memory (the paper's B phase). false =
+  /// every interaction reads its source particle straight from global
+  /// memory - the ablation showing why tiling confines the layout effect
+  /// to a few percent of the application (bench/ablation_tiling).
+  bool use_shared_tiles = true;
+  /// Fetch particle data through the texture cache instead of plain global
+  /// loads (the GPU Gems n-body trick; the paper names the texture cache as
+  /// one of the device's only caches). Exercised by bench/ablation_texture.
+  bool use_texture_fetches = false;
+  /// Cap the per-thread register count like nvcc's -maxrregcount (0 = no
+  /// cap); excess values spill to local memory. Exercised by
+  /// bench/ablation_maxrregcount: capping the rolled kernel to 16 registers
+  /// buys the 67% occupancy with spill traffic instead of unrolling.
+  std::uint32_t max_regs = 0;
+  float softening = kDefaultSoftening;
+};
+
+struct BuiltKernel {
+  vgpu::Program prog;
+  layout::PhysicalLayout phys;
+  KernelOptions options;
+  std::uint32_t regs_per_thread = 0;
+  unroll::SbpCounts static_sbp;  ///< Eq. 3 decomposition (per-iteration P)
+
+  [[nodiscard]] std::uint32_t num_groups() const {
+    return static_cast<std::uint32_t>(phys.groups.size());
+  }
+  /// params: group bases + accel_out + n_tiles
+  [[nodiscard]] std::uint32_t num_params() const { return num_groups() + 2; }
+};
+
+/// Build, optimize, unroll and register-allocate the far-field kernel.
+[[nodiscard]] BuiltKernel make_farfield_kernel(const KernelOptions& options);
+
+/// A human-readable label ("SoAoaS+unroll128+icm") for benches and logs.
+[[nodiscard]] std::string kernel_label(const KernelOptions& options);
+
+}  // namespace gravit

@@ -1,0 +1,30 @@
+#include "gravit/particle.hpp"
+
+namespace gravit {
+
+std::vector<float> ParticleSet::flatten() const {
+  std::vector<float> out;
+  out.reserve(size() * 7);
+  for (std::size_t k = 0; k < size(); ++k) {
+    out.push_back(pos_[k].x);
+    out.push_back(pos_[k].y);
+    out.push_back(pos_[k].z);
+    out.push_back(vel_[k].x);
+    out.push_back(vel_[k].y);
+    out.push_back(vel_[k].z);
+    out.push_back(mass_[k]);
+  }
+  return out;
+}
+
+ParticleSet ParticleSet::unflatten(std::span<const float> data) {
+  VGPU_EXPECTS_MSG(data.size() % 7 == 0, "flattened stream must be 7 floats/particle");
+  ParticleSet set;
+  for (std::size_t k = 0; k < data.size(); k += 7) {
+    set.push_back(Vec3{data[k], data[k + 1], data[k + 2]},
+                  Vec3{data[k + 3], data[k + 4], data[k + 5]}, data[k + 6]);
+  }
+  return set;
+}
+
+}  // namespace gravit

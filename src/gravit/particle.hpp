@@ -1,0 +1,90 @@
+// particle.hpp - particle storage and basic vector math.
+//
+// The host keeps particles in structure-of-vectors form (convenient for the
+// CPU reference paths); flatten()/unflatten() convert to the field-major
+// AoS float stream that layout::pack marshals into any of the paper's four
+// device layouts.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "layout/record.hpp"
+#include "vgpu/check.hpp"
+
+namespace gravit {
+
+struct Vec3 {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+
+  friend Vec3 operator+(Vec3 a, Vec3 b) { return {a.x + b.x, a.y + b.y, a.z + b.z}; }
+  friend Vec3 operator-(Vec3 a, Vec3 b) { return {a.x - b.x, a.y - b.y, a.z - b.z}; }
+  friend Vec3 operator*(Vec3 a, float s) { return {a.x * s, a.y * s, a.z * s}; }
+  friend Vec3 operator*(float s, Vec3 a) { return a * s; }
+  Vec3& operator+=(Vec3 o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(Vec3 o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  [[nodiscard]] float norm2() const { return x * x + y * y + z * z; }
+  [[nodiscard]] float norm() const { return std::sqrt(norm2()); }
+  friend float dot(Vec3 a, Vec3 b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+  friend Vec3 cross(Vec3 a, Vec3 b) {
+    return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+  }
+};
+
+/// A system of particles. Invariant: pos, vel and mass have equal size.
+class ParticleSet {
+ public:
+  ParticleSet() = default;
+  explicit ParticleSet(std::size_t n) : pos_(n), vel_(n), mass_(n, 1.0f) {}
+
+  [[nodiscard]] std::size_t size() const { return pos_.size(); }
+  [[nodiscard]] bool empty() const { return pos_.empty(); }
+
+  [[nodiscard]] std::span<Vec3> pos() { return pos_; }
+  [[nodiscard]] std::span<const Vec3> pos() const { return pos_; }
+  [[nodiscard]] std::span<Vec3> vel() { return vel_; }
+  [[nodiscard]] std::span<const Vec3> vel() const { return vel_; }
+  [[nodiscard]] std::span<float> mass() { return mass_; }
+  [[nodiscard]] std::span<const float> mass() const { return mass_; }
+
+  void push_back(Vec3 p, Vec3 v, float m) {
+    pos_.push_back(p);
+    vel_.push_back(v);
+    mass_.push_back(m);
+  }
+
+  /// Append `count` zero-mass placeholder particles (device-tile padding;
+  /// massless particles exert no force and their own motion is ignored).
+  void pad_to(std::size_t count) {
+    VGPU_EXPECTS(count >= size());
+    pos_.resize(count);
+    vel_.resize(count);
+    mass_.resize(count, 0.0f);
+  }
+
+  /// Field-major AoS stream in the order of layout::gravit_record():
+  /// px,py,pz,vx,vy,vz,mass per element.
+  [[nodiscard]] std::vector<float> flatten() const;
+  static ParticleSet unflatten(std::span<const float> data);
+
+ private:
+  std::vector<Vec3> pos_;
+  std::vector<Vec3> vel_;
+  std::vector<float> mass_;
+};
+
+}  // namespace gravit

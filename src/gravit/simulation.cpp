@@ -1,0 +1,67 @@
+#include "gravit/simulation.hpp"
+
+#include "gravit/barneshut.hpp"
+#include "gravit/integrator.hpp"
+
+namespace gravit {
+
+const char* to_string(ForceBackend b) {
+  switch (b) {
+    case ForceBackend::kCpuDirect: return "cpu-direct";
+    case ForceBackend::kCpuBarnesHut: return "cpu-barnes-hut";
+    case ForceBackend::kGpuDirect: return "gpu-direct";
+  }
+  return "?";
+}
+
+Simulation::Simulation(ParticleSet initial, SimulationOptions options)
+    : set_(std::move(initial)), options_(std::move(options)) {
+  if (options_.backend == ForceBackend::kGpuDirect) {
+    gpu_ = std::make_unique<FarfieldGpu>(options_.gpu);
+  }
+}
+
+std::vector<Vec3> Simulation::accel(const ParticleSet& set) const {
+  std::vector<Vec3> far;
+  switch (options_.backend) {
+    case ForceBackend::kCpuDirect:
+      far = farfield_direct(set, options_.forces.softening);
+      break;
+    case ForceBackend::kCpuBarnesHut: {
+      Octree tree(set.pos(), set.mass());
+      far = tree.accelerations(options_.theta, options_.forces.softening);
+      break;
+    }
+    case ForceBackend::kGpuDirect:
+      far = gpu_->run_functional(set).accel;
+      break;
+  }
+  // the remaining Eq. 1 terms are always computed on the host
+  if (options_.forces.nn_radius > 0.0f) {
+    const std::vector<Vec3> nn = nearest_neighbour(
+        set, options_.forces.nn_radius, options_.forces.nn_strength);
+    for (std::size_t i = 0; i < far.size(); ++i) far[i] += nn[i];
+  }
+  const std::vector<Vec3> ext = external_accel(set, options_.forces.external);
+  for (std::size_t i = 0; i < far.size(); ++i) far[i] += ext[i];
+  return far;
+}
+
+std::vector<Vec3> Simulation::far_field() const { return accel(set_); }
+
+void Simulation::step() {
+  AccelFn fn = [this](const ParticleSet& s) { return accel(s); };
+  if (options_.integrator == Integrator::kEuler) {
+    step_euler(set_, fn, options_.dt);
+  } else {
+    step_leapfrog(set_, fn, options_.dt);
+  }
+  time_ += options_.dt;
+  ++steps_;
+}
+
+void Simulation::run(std::uint32_t count) {
+  for (std::uint32_t k = 0; k < count; ++k) step();
+}
+
+}  // namespace gravit

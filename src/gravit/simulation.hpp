@@ -1,0 +1,65 @@
+// simulation.hpp - the top-level Gravit-style simulation loop.
+//
+// Bundles a particle set, the Eq. 1 force model, an integrator and a force
+// backend (serial CPU direct sum, CPU Barnes-Hut, or the simulated-GPU
+// far-field kernel) behind one step() API - the piece of Gravit the paper's
+// kernel plugs into.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "gravit/forces_cpu.hpp"
+#include "gravit/gpu_runner.hpp"
+#include "gravit/particle.hpp"
+
+namespace gravit {
+
+enum class ForceBackend : std::uint8_t {
+  kCpuDirect,     ///< serial O(n^2) - the paper's CPU baseline
+  kCpuBarnesHut,  ///< O(n log n) octree
+  kGpuDirect,     ///< the paper's O(n^2) kernel on the simulated device
+};
+
+[[nodiscard]] const char* to_string(ForceBackend b);
+
+enum class Integrator : std::uint8_t { kEuler, kLeapfrog };
+
+struct SimulationOptions {
+  ForceBackend backend = ForceBackend::kGpuDirect;
+  Integrator integrator = Integrator::kLeapfrog;
+  float dt = 0.01f;
+  float theta = 0.5f;  ///< Barnes-Hut opening angle
+  ForceModel forces;   ///< softening, NN term, external field
+  FarfieldGpuOptions gpu;  ///< kernel variant for the GPU backend
+};
+
+class Simulation {
+ public:
+  Simulation(ParticleSet initial, SimulationOptions options);
+
+  /// Advance one step of options().dt.
+  void step();
+  /// Advance `count` steps.
+  void run(std::uint32_t count);
+
+  [[nodiscard]] const ParticleSet& particles() const { return set_; }
+  [[nodiscard]] ParticleSet& particles() { return set_; }
+  [[nodiscard]] double time() const { return time_; }
+  [[nodiscard]] std::uint64_t steps_taken() const { return steps_; }
+  [[nodiscard]] const SimulationOptions& options() const { return options_; }
+
+  /// Far-field accelerations of the current state via the active backend.
+  [[nodiscard]] std::vector<Vec3> far_field() const;
+
+ private:
+  [[nodiscard]] std::vector<Vec3> accel(const ParticleSet& set) const;
+
+  ParticleSet set_;
+  SimulationOptions options_;
+  std::unique_ptr<FarfieldGpu> gpu_;  ///< built once, reused across steps
+  double time_ = 0.0;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace gravit

@@ -1,0 +1,56 @@
+// snapshot.hpp - particle-set persistence and run recording.
+//
+// A binary snapshot format (versioned, byte-exact round trip) plus CSV
+// export for plotting, and a TrajectoryRecorder that logs conservation
+// diagnostics per step - the bookkeeping Gravit-the-application ships with.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "gravit/diagnostics.hpp"
+#include "gravit/particle.hpp"
+
+namespace gravit {
+
+/// Write/read the binary snapshot format (magic "GRV1", u64 count, then
+/// 7 floats per particle). Round trips bit-exactly.
+void save_snapshot(const ParticleSet& set, const std::filesystem::path& path);
+[[nodiscard]] ParticleSet load_snapshot(const std::filesystem::path& path);
+
+/// Stream versions (used by the file functions; handy for tests).
+void write_snapshot(const ParticleSet& set, std::ostream& os);
+[[nodiscard]] ParticleSet read_snapshot(std::istream& is);
+
+/// CSV export: header + one row per particle (px,py,pz,vx,vy,vz,mass).
+void export_csv(const ParticleSet& set, const std::filesystem::path& path);
+
+/// Records per-step diagnostics for later analysis/plotting.
+class TrajectoryRecorder {
+ public:
+  struct Sample {
+    double time = 0.0;
+    EnergyReport energy;
+    Vec3 momentum;
+    Vec3 angular_momentum;
+    Vec3 com;
+  };
+
+  /// Capture the current state (energy is O(n^2): sample sparingly).
+  void record(double time, const ParticleSet& set,
+              float softening = kDefaultSoftening);
+
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+  [[nodiscard]] double max_energy_drift() const;
+  [[nodiscard]] double max_momentum_drift() const;
+
+  /// time,kinetic,potential,total,px,py,pz,lx,ly,lz rows.
+  void export_csv(const std::filesystem::path& path) const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace gravit

@@ -1,0 +1,109 @@
+#include "gravit/spawn.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+namespace gravit {
+
+namespace {
+
+constexpr float kPi = std::numbers::pi_v<float>;
+
+Vec3 random_unit_vector(std::mt19937& rng) {
+  std::uniform_real_distribution<float> u01(0.0f, 1.0f);
+  const float z = 2.0f * u01(rng) - 1.0f;
+  const float phi = 2.0f * kPi * u01(rng);
+  const float r = std::sqrt(std::max(0.0f, 1.0f - z * z));
+  return {r * std::cos(phi), r * std::sin(phi), z};
+}
+
+}  // namespace
+
+ParticleSet spawn_uniform_cube(std::size_t n, float half, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> coord(-half, half);
+  std::uniform_real_distribution<float> vel(-0.05f, 0.05f);
+  ParticleSet set;
+  const float m = 1.0f / static_cast<float>(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    set.push_back(Vec3{coord(rng), coord(rng), coord(rng)},
+                  Vec3{vel(rng), vel(rng), vel(rng)}, m);
+  }
+  return set;
+}
+
+ParticleSet spawn_plummer(std::size_t n, float a, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> u01(1e-6f, 1.0f);
+  ParticleSet set;
+  const float m = 1.0f / static_cast<float>(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // radius from the inverse cumulative mass profile
+    const float x = u01(rng);
+    const float r = a / std::sqrt(std::pow(x, -2.0f / 3.0f) - 1.0f);
+    const Vec3 pos = random_unit_vector(rng) * r;
+    // velocity: sample from the isotropic distribution via the standard
+    // von Neumann rejection (Aarseth, Henon & Wielen 1974)
+    float q = 0.0f;
+    std::uniform_real_distribution<float> uq(0.0f, 1.0f);
+    std::uniform_real_distribution<float> ug(0.0f, 0.1f);
+    for (int tries = 0; tries < 1000; ++tries) {
+      const float qq = uq(rng);
+      const float g = qq * qq * std::pow(1.0f - qq * qq, 3.5f);
+      if (ug(rng) < g) {
+        q = qq;
+        break;
+      }
+    }
+    const float vesc = std::sqrt(2.0f) * std::pow(1.0f + r * r / (a * a), -0.25f) /
+                       std::sqrt(a);
+    const Vec3 vel = random_unit_vector(rng) * (q * vesc);
+    set.push_back(pos, vel, m);
+  }
+  return set;
+}
+
+ParticleSet spawn_disk(std::size_t n, float radius, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> u01(0.05f, 1.0f);
+  std::uniform_real_distribution<float> angle(0.0f, 2.0f * kPi);
+  std::uniform_real_distribution<float> thick(-0.02f, 0.02f);
+  ParticleSet set;
+  const float m = 1.0f / static_cast<float>(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const float r = radius * std::sqrt(u01(rng));
+    const float phi = angle(rng);
+    const Vec3 pos{r * std::cos(phi), r * std::sin(phi), thick(rng)};
+    // roughly Keplerian circular velocity around the enclosed mass (~ r^2
+    // for a uniform disk)
+    const float frac = (r / radius) * (r / radius);
+    const float v = std::sqrt(std::max(1e-4f, frac) / std::max(r, 0.05f));
+    const Vec3 vel{-v * std::sin(phi), v * std::cos(phi), 0.0f};
+    set.push_back(pos, vel, m);
+  }
+  return set;
+}
+
+ParticleSet spawn_cluster_pair(std::size_t n_per_cluster, float separation,
+                               float impact_parameter, float approach_speed,
+                               std::uint32_t seed) {
+  ParticleSet a = spawn_plummer(n_per_cluster, 0.5f, seed);
+  ParticleSet b = spawn_plummer(n_per_cluster, 0.5f, seed + 17);
+  ParticleSet out;
+  const float hs = separation / 2.0f;
+  const float hb = impact_parameter / 2.0f;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    out.push_back(a.pos()[k] + Vec3{-hs, -hb, 0.0f},
+                  a.vel()[k] + Vec3{approach_speed, 0.0f, 0.0f},
+                  a.mass()[k] * 0.5f);
+  }
+  for (std::size_t k = 0; k < b.size(); ++k) {
+    out.push_back(b.pos()[k] + Vec3{hs, hb, 0.0f},
+                  b.vel()[k] + Vec3{-approach_speed, 0.0f, 0.0f},
+                  b.mass()[k] * 0.5f);
+  }
+  return out;
+}
+
+}  // namespace gravit

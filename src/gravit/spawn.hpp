@@ -1,0 +1,38 @@
+// spawn.hpp - deterministic initial-condition generators.
+//
+// Gravit's appeal is pretty gravity patterns; these generators produce the
+// classic test scenes: a uniform cube (benchmarking), a Plummer sphere
+// (the standard astrophysics model with an analytic density profile), a
+// cold rotating disk, and a two-cluster collision (examples/galaxy_collision).
+#pragma once
+
+#include <cstdint>
+
+#include "gravit/particle.hpp"
+
+namespace gravit {
+
+/// Uniformly random positions in [-half, half]^3, small random velocities,
+/// unit total mass.
+[[nodiscard]] ParticleSet spawn_uniform_cube(std::size_t n, float half = 1.0f,
+                                             std::uint32_t seed = 1);
+
+/// Plummer (1911) sphere with scale radius a, in approximate virial
+/// equilibrium; total mass 1.
+[[nodiscard]] ParticleSet spawn_plummer(std::size_t n, float a = 1.0f,
+                                        std::uint32_t seed = 2);
+
+/// A thin disk rotating about +z with roughly circular orbits around a
+/// central mass concentration.
+[[nodiscard]] ParticleSet spawn_disk(std::size_t n, float radius = 1.0f,
+                                     std::uint32_t seed = 3);
+
+/// Two Plummer spheres approaching each other along x with impact parameter
+/// b - a miniature galaxy collision.
+[[nodiscard]] ParticleSet spawn_cluster_pair(std::size_t n_per_cluster,
+                                             float separation = 4.0f,
+                                             float impact_parameter = 0.5f,
+                                             float approach_speed = 0.3f,
+                                             std::uint32_t seed = 4);
+
+}  // namespace gravit

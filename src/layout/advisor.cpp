@@ -1,0 +1,68 @@
+#include "layout/advisor.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace layout {
+
+Advice advise(const RecordDesc& record, vgpu::DriverModel driver) {
+  Advice advice;
+  advice.recommended = plan_layout(record, SchemeKind::kSoAoaS);
+
+  for (SchemeKind kind : all_schemes()) {
+    const PhysicalLayout phys = plan_layout(record, kind);
+    const TransactionReport rep = analyze_half_warp(phys, driver);
+    SchemeComparison cmp;
+    cmp.kind = kind;
+    cmp.loads_per_thread = rep.loads_per_thread();
+    cmp.transactions_per_half_warp = rep.total_transactions();
+    cmp.bytes_per_half_warp = rep.total_bytes();
+    cmp.coalesced = rep.fully_coalesced();
+    cmp.bytes_per_element = phys.bytes_per_element();
+    advice.comparison.push_back(cmp);
+  }
+
+  std::ostringstream os;
+  os << "Procedure of Sec. IV applied to '" << record.name << "' ("
+     << record.num_fields() << " x 32-bit fields, "
+     << record.packed_bytes() << " B packed):\n";
+  os << "  1. Group by access frequency:";
+  for (AccessFreq f : {AccessFreq::kHot, AccessFreq::kCold}) {
+    os << "  " << to_string(f) << " = {";
+    bool first = true;
+    for (const Field& fld : record.fields) {
+      if (fld.freq != f) continue;
+      os << (first ? "" : ", ") << fld.name;
+      first = false;
+    }
+    os << "}";
+  }
+  os << "\n  2. Split into aligned sub-structures:";
+  for (const ArrayGroup& g : advice.recommended.groups) {
+    os << "  " << g.name << " (" << g.payload << " B payload, " << g.stride
+       << " B aligned)";
+  }
+  os << "\n  3. One array per sub-structure -> every load is a coalesced "
+     << "64/128-bit access.\n";
+  advice.rationale = std::move(os).str();
+  return advice;
+}
+
+std::string format_advice(const Advice& advice) {
+  std::ostringstream os;
+  os << advice.rationale << "\n";
+  os << std::left << std::setw(10) << "scheme" << std::right << std::setw(14)
+     << "loads/thread" << std::setw(16) << "txn/half-warp" << std::setw(14)
+     << "bus bytes" << std::setw(12) << "B/element" << std::setw(12)
+     << "coalesced" << "\n";
+  for (const SchemeComparison& c : advice.comparison) {
+    os << std::left << std::setw(10) << to_string(c.kind) << std::right
+       << std::setw(14) << c.loads_per_thread << std::setw(16)
+       << c.transactions_per_half_warp << std::setw(14) << c.bytes_per_half_warp
+       << std::setw(12) << c.bytes_per_element << std::setw(12)
+       << (c.coalesced ? "yes" : "no") << "\n";
+  }
+  return std::move(os).str();
+}
+
+}  // namespace layout

@@ -1,0 +1,42 @@
+// advisor.hpp - the three-step layout procedure of Sec. IV as a tool.
+//
+// Given any record description, the advisor runs the paper's procedure:
+//   1. group data in portions with similar access frequencies,
+//   2. split structures exceeding the alignment boundary into 64/128-bit
+//      alignable sub-structures,
+//   3. organize the aligned structures in arrays for coalesced reads,
+// and returns the recommended SoAoaS layout together with the analytic
+// transaction comparison against the other three schemes - the tool a
+// downstream user would actually reach for (see examples/layout_advisor).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "layout/analyzer.hpp"
+#include "layout/plan.hpp"
+
+namespace layout {
+
+struct SchemeComparison {
+  SchemeKind kind{};
+  std::uint32_t loads_per_thread = 0;
+  std::uint32_t transactions_per_half_warp = 0;
+  std::uint64_t bytes_per_half_warp = 0;
+  bool coalesced = false;
+  std::uint32_t bytes_per_element = 0;  ///< includes padding overhead
+};
+
+struct Advice {
+  PhysicalLayout recommended;  ///< the SoAoaS plan
+  std::vector<SchemeComparison> comparison;  ///< all four schemes
+  std::string rationale;       ///< the three steps, instantiated
+};
+
+[[nodiscard]] Advice advise(const RecordDesc& record,
+                            vgpu::DriverModel driver = vgpu::DriverModel::kCuda10);
+
+/// Formatted comparison table (used by the example and bench binaries).
+[[nodiscard]] std::string format_advice(const Advice& advice);
+
+}  // namespace layout

@@ -1,0 +1,58 @@
+#include "layout/analyzer.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "vgpu/coalesce.hpp"
+
+namespace layout {
+
+TransactionReport analyze_half_warp(const PhysicalLayout& phys,
+                                    vgpu::DriverModel driver,
+                                    std::uint64_t base_element) {
+  TransactionReport report;
+  report.kind = phys.kind;
+  report.driver = driver;
+  constexpr std::uint32_t kHalf = 16;
+  std::array<std::uint32_t, kHalf> addrs{};
+  // Group bases for a representative population (any n >= base+16 gives the
+  // same per-step pattern since bases are 256-byte aligned).
+  const std::vector<std::uint64_t> bases = phys.group_bases(base_element + kHalf);
+
+  for (const LoadStep& step : phys.load_plan) {
+    for (std::uint32_t lane = 0; lane < kHalf; ++lane) {
+      const std::uint64_t addr =
+          bases[step.group] +
+          phys.element_offset(step.group, base_element + lane) + step.offset;
+      addrs[lane] = static_cast<std::uint32_t>(addr);
+    }
+    vgpu::MemRequest req{std::span<const std::uint32_t>(addrs.data(), kHalf),
+                         0xFFFFu, step.width, false};
+    const vgpu::CoalesceResult res = vgpu::coalesce(req, driver);
+    StepReport sr;
+    sr.step = step;
+    sr.transactions = static_cast<std::uint32_t>(res.transactions.size());
+    sr.bytes = static_cast<std::uint32_t>(res.total_bytes());
+    sr.coalesced = res.coalesced;
+    report.steps.push_back(sr);
+  }
+  return report;
+}
+
+std::string format_report(const TransactionReport& report) {
+  std::ostringstream os;
+  os << to_string(report.kind) << " under " << vgpu::to_string(report.driver)
+     << ": " << report.loads_per_thread() << " loads/thread, "
+     << report.total_transactions() << " transactions/half-warp, "
+     << report.total_bytes() << " bytes"
+     << (report.fully_coalesced() ? " (coalesced)" : " (NOT coalesced)") << "\n";
+  for (const StepReport& s : report.steps) {
+    os << "    group " << s.step.group << " +" << s.step.offset << "  "
+       << vgpu::width_bytes(s.step.width) * 8 << "-bit -> " << s.transactions
+       << " txn, " << s.bytes << " B"
+       << (s.coalesced ? "" : "  [scattered]") << "\n";
+  }
+  return std::move(os).str();
+}
+
+}  // namespace layout

@@ -1,0 +1,61 @@
+// analyzer.hpp - analytic transaction model per layout and driver.
+//
+// Reproduces the access-pattern analyses of the paper's Figs. 3, 5, 7 and 9
+// without running a kernel: for one half-warp of threads reading
+// consecutive elements, compute the DRAM transactions of every load step of
+// a PhysicalLayout under a given coalescing model. The bench
+// `access_patterns` prints these; the simulator's dynamic counts are tested
+// to agree with this model (tests/layout/analyzer_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "layout/plan.hpp"
+#include "vgpu/arch.hpp"
+
+namespace layout {
+
+struct StepReport {
+  LoadStep step;
+  std::uint32_t transactions = 0;
+  std::uint32_t bytes = 0;
+  bool coalesced = false;
+};
+
+struct TransactionReport {
+  SchemeKind kind{};
+  vgpu::DriverModel driver{};
+  std::vector<StepReport> steps;
+
+  [[nodiscard]] std::uint32_t loads_per_thread() const {
+    return static_cast<std::uint32_t>(steps.size());
+  }
+  [[nodiscard]] std::uint32_t total_transactions() const {
+    std::uint32_t t = 0;
+    for (const StepReport& s : steps) t += s.transactions;
+    return t;
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    std::uint64_t b = 0;
+    for (const StepReport& s : steps) b += s.bytes;
+    return b;
+  }
+  [[nodiscard]] bool fully_coalesced() const {
+    for (const StepReport& s : steps) {
+      if (!s.coalesced) return false;
+    }
+    return true;
+  }
+};
+
+/// Analyze one half-warp reading elements base_element .. base_element+15.
+[[nodiscard]] TransactionReport analyze_half_warp(
+    const PhysicalLayout& phys, vgpu::DriverModel driver,
+    std::uint64_t base_element = 0);
+
+/// Human-readable table of one report (used by the access_patterns bench).
+[[nodiscard]] std::string format_report(const TransactionReport& report);
+
+}  // namespace layout

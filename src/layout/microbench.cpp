@@ -1,0 +1,66 @@
+#include "layout/microbench.hpp"
+
+#include "vgpu/builder.hpp"
+#include "vgpu/opt.hpp"
+#include "vgpu/regalloc.hpp"
+#include "vgpu/verify.hpp"
+
+namespace layout {
+
+using vgpu::KernelBuilder;
+using vgpu::MemWidth;
+using vgpu::Program;
+using vgpu::Region;
+using vgpu::Val;
+
+Program make_read_kernel(const PhysicalLayout& phys) {
+  const auto ngroups = static_cast<std::uint32_t>(phys.groups.size());
+  KernelBuilder kb(std::string("read_") + to_string(phys.kind), ngroups + 1);
+
+  kb.region(Region::kSetup);
+  Val i = kb.iadd(kb.imul(kb.ctaid(), kb.ntid()), kb.tid());
+  // per-group element addresses (base + i * stride)
+  std::vector<Val> elem_addr;
+  elem_addr.reserve(ngroups);
+  for (std::uint32_t g = 0; g < ngroups; ++g) {
+    Val base = kb.param_u32(g);
+    elem_addr.push_back(kb.imad(i, kb.imm_u32(phys.groups[g].stride), base));
+  }
+
+  kb.region(Region::kInner);
+  Val c0 = kb.clock();
+  // issue every load first (they are independent and can overlap in the
+  // memory pipeline), then sum the values - the paper's protocol: "load
+  // data from global memory ... sum up all the data we retrieved".
+  std::vector<Val> loaded;
+  loaded.reserve(phys.load_plan.size());
+  for (const LoadStep& step : phys.load_plan) {
+    loaded.push_back(kb.ld_global_vec(elem_addr[step.group], step.width,
+                                      vgpu::VType::kF32, step.offset));
+  }
+  Val acc = kb.var_f32(kb.imm_f32(0.0f));
+  for (std::size_t s = 0; s < loaded.size(); ++s) {
+    for (std::uint8_t c = 0; c < loaded[s].width; ++c) {
+      kb.fadd_into(acc, kb.comp(loaded[s], c));
+    }
+  }
+  Val c1 = kb.clock();
+
+  kb.region(Region::kOther);
+  // Results go to two coalesced arrays (sums at out[0..n), deltas at
+  // out[n..2n)) so the write-back does not distort the measured window.
+  Val out_base = kb.param_u32(ngroups);
+  Val n_total = kb.imul(kb.nctaid(), kb.ntid());
+  Val sum_addr = kb.imad(i, kb.imm_u32(4), out_base);
+  kb.st_global(sum_addr, acc, 0);
+  Val delta_addr = kb.imad(kb.iadd(n_total, i), kb.imm_u32(4), out_base);
+  kb.st_global(delta_addr, kb.isub(c1, c0), 0);
+
+  Program prog = std::move(kb).finish();
+  vgpu::run_standard_pipeline(prog);
+  vgpu::allocate_registers(prog);
+  vgpu::verify(prog);
+  return prog;
+}
+
+}  // namespace layout

@@ -1,0 +1,31 @@
+// microbench.hpp - the strip-down memory benchmark kernel of Sec. III.
+//
+// Builds, for any PhysicalLayout, the exact measurement kernel the paper
+// describes:
+//   1. set up all the variables needed,
+//   2. read the clock,
+//   3. load the whole record using the layout under test,
+//   4. sum the loaded values (so the loads cannot be dead-code-eliminated -
+//      the same trick the paper needed against nvcc),
+//   5. read the clock again and write the difference (and the sum) back to
+//      global memory for review.
+//
+// Kernel parameters: one group base address per layout group, then the
+// output buffer address. Each thread handles element i = global thread id
+// and writes sum (f32) at out + 4*i and delta cycles (u32) at out + 4*(n+i),
+// two coalesced result arrays sized n words each.
+#pragma once
+
+#include "layout/plan.hpp"
+#include "vgpu/ir.hpp"
+
+namespace layout {
+
+[[nodiscard]] vgpu::Program make_read_kernel(const PhysicalLayout& phys);
+
+/// Number of kernel parameters the read kernel expects (groups + out).
+[[nodiscard]] inline std::uint32_t read_kernel_params(const PhysicalLayout& phys) {
+  return static_cast<std::uint32_t>(phys.groups.size()) + 1;
+}
+
+}  // namespace layout

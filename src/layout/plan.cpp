@@ -1,0 +1,174 @@
+#include "layout/plan.hpp"
+
+#include <algorithm>
+
+#include "vgpu/check.hpp"
+
+namespace layout {
+
+using vgpu::MemWidth;
+
+const char* to_string(SchemeKind k) {
+  switch (k) {
+    case SchemeKind::kAoS: return "AoS";
+    case SchemeKind::kSoA: return "SoA";
+    case SchemeKind::kAoaS: return "AoaS";
+    case SchemeKind::kSoAoaS: return "SoAoaS";
+  }
+  return "?";
+}
+
+std::vector<SchemeKind> all_schemes() {
+  return {SchemeKind::kAoS, SchemeKind::kSoA, SchemeKind::kAoaS,
+          SchemeKind::kSoAoaS};
+}
+
+namespace {
+
+[[nodiscard]] std::uint32_t align_up(std::uint32_t v, std::uint32_t unit) {
+  return (v + unit - 1) / unit * unit;
+}
+
+/// Pad a payload to the next device-transactable size (4, 8 or a multiple
+/// of 16 bytes) so the sub-struct can be fetched with one aligned load.
+[[nodiscard]] std::uint32_t aligned_stride(std::uint32_t payload) {
+  if (payload <= 4) return 4;
+  if (payload <= 8) return 8;
+  return align_up(payload, 16);
+}
+
+/// Vector loads covering `stride` bytes (stride is 4, 8 or 16k).
+void append_loads(std::uint32_t group, std::uint32_t stride,
+                  std::vector<LoadStep>& plan) {
+  if (stride == 4) {
+    plan.push_back({group, 0, MemWidth::kW32});
+    return;
+  }
+  if (stride == 8) {
+    plan.push_back({group, 0, MemWidth::kW64});
+    return;
+  }
+  VGPU_EXPECTS(stride % 16 == 0);
+  for (std::uint32_t off = 0; off < stride; off += 16) {
+    plan.push_back({group, off, MemWidth::kW128});
+  }
+}
+
+}  // namespace
+
+PhysicalLayout plan_layout(const RecordDesc& record, SchemeKind kind) {
+  VGPU_EXPECTS_MSG(!record.fields.empty(), "record has no fields");
+  PhysicalLayout out;
+  out.kind = kind;
+  out.record = record;
+  const std::uint32_t nf = record.num_fields();
+
+  switch (kind) {
+    case SchemeKind::kAoS: {
+      ArrayGroup g;
+      g.name = record.name;
+      for (std::uint32_t f = 0; f < nf; ++f) g.field_ids.push_back(f);
+      g.payload = 4 * nf;
+      g.stride = g.payload;  // packed, no padding (Fig. 2)
+      out.groups.push_back(g);
+      for (std::uint32_t f = 0; f < nf; ++f) {
+        out.load_plan.push_back({0, 4 * f, MemWidth::kW32});
+      }
+      break;
+    }
+    case SchemeKind::kSoA: {
+      for (std::uint32_t f = 0; f < nf; ++f) {
+        ArrayGroup g;
+        g.name = record.fields[f].name;
+        g.field_ids = {f};
+        g.payload = 4;
+        g.stride = 4;
+        out.groups.push_back(g);
+        out.load_plan.push_back({f, 0, MemWidth::kW32});
+      }
+      break;
+    }
+    case SchemeKind::kAoaS: {
+      ArrayGroup g;
+      g.name = record.name + "_aligned";
+      for (std::uint32_t f = 0; f < nf; ++f) g.field_ids.push_back(f);
+      g.payload = 4 * nf;
+      g.stride = aligned_stride(g.payload);  // hidden padding (Fig. 6)
+      out.groups.push_back(g);
+      append_loads(0, g.stride, out.load_plan);
+      break;
+    }
+    case SchemeKind::kSoAoaS: {
+      // Step 1 (Sec. IV): group fields with similar access frequencies.
+      // Step 2: split groups into sub-structs of at most 16 bytes.
+      // Step 3: one array per aligned sub-struct.
+      for (AccessFreq freq : {AccessFreq::kHot, AccessFreq::kCold}) {
+        std::vector<std::uint32_t> members;
+        for (std::uint32_t f = 0; f < nf; ++f) {
+          if (record.fields[f].freq == freq) members.push_back(f);
+        }
+        std::uint32_t chunk_id = 0;
+        for (std::size_t start = 0; start < members.size(); start += 4) {
+          const std::size_t count = std::min<std::size_t>(4, members.size() - start);
+          ArrayGroup g;
+          g.name = std::string(to_string(freq)) + "_" + std::to_string(chunk_id++);
+          g.field_ids.assign(members.begin() + static_cast<std::ptrdiff_t>(start),
+                             members.begin() + static_cast<std::ptrdiff_t>(start + count));
+          g.payload = 4 * static_cast<std::uint32_t>(count);
+          g.stride = aligned_stride(g.payload);
+          const auto group_idx = static_cast<std::uint32_t>(out.groups.size());
+          out.groups.push_back(g);
+          append_loads(group_idx, out.groups.back().stride, out.load_plan);
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+std::uint32_t PhysicalLayout::bytes_per_element() const {
+  std::uint32_t total = 0;
+  for (const ArrayGroup& g : groups) total += g.stride;
+  return total;
+}
+
+std::uint64_t PhysicalLayout::bytes(std::uint64_t n) const {
+  const std::vector<std::uint64_t> bases = group_bases(n);
+  return bases.back() + static_cast<std::uint64_t>(groups.back().stride) * n;
+}
+
+std::uint64_t PhysicalLayout::element_offset(std::uint32_t group,
+                                             std::uint64_t element) const {
+  VGPU_EXPECTS(group < groups.size());
+  return static_cast<std::uint64_t>(groups[group].stride) * element;
+}
+
+std::uint64_t PhysicalLayout::field_offset(std::uint32_t field_id,
+                                           std::uint64_t element,
+                                           std::uint32_t& group_out) const {
+  for (std::uint32_t g = 0; g < groups.size(); ++g) {
+    const auto& ids = groups[g].field_ids;
+    for (std::uint32_t k = 0; k < ids.size(); ++k) {
+      if (ids[k] == field_id) {
+        group_out = g;
+        return element_offset(g, element) + 4ull * k;
+      }
+    }
+  }
+  throw vgpu::ContractViolation("field not present in layout");
+}
+
+std::vector<std::uint64_t> PhysicalLayout::group_bases(std::uint64_t n) const {
+  std::vector<std::uint64_t> bases;
+  bases.reserve(groups.size());
+  std::uint64_t cursor = 0;
+  for (const ArrayGroup& g : groups) {
+    cursor = (cursor + 255ull) & ~255ull;  // separate allocations, 256B aligned
+    bases.push_back(cursor);
+    cursor += static_cast<std::uint64_t>(g.stride) * n;
+  }
+  return bases;
+}
+
+}  // namespace layout

@@ -1,0 +1,81 @@
+// plan.hpp - physical memory layouts for a logical record.
+//
+// plan_layout() turns a RecordDesc into one of the four physical layouts
+// the paper studies (Sec. II-A..II-D):
+//
+//   AoS     - one array of packed structs (Fig. 2): stride = packed size,
+//             one 32-bit load per field, non-coalesceable for stride > 4.
+//   SoA     - one scalar array per field (Fig. 4): 32-bit loads, coalesced.
+//   AoaS    - one array of align(16) structs (Fig. 6): stride padded to a
+//             16-byte multiple, 128-bit vector loads, not coalesced.
+//   SoAoaS  - fields grouped by access frequency, split into <= 16-byte
+//             aligned sub-structs, one array per sub-struct (Fig. 8):
+//             128-bit loads *and* coalescing.
+//
+// A PhysicalLayout is addressable (group/element/field -> byte offset) and
+// carries the per-thread load plan (what a kernel issues to fetch a whole
+// record), which the analyzer, the micro-benchmarks and the Gravit kernels
+// all consume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "layout/record.hpp"
+#include "vgpu/ir.hpp"
+
+namespace layout {
+
+enum class SchemeKind : std::uint8_t { kAoS, kSoA, kAoaS, kSoAoaS };
+
+[[nodiscard]] const char* to_string(SchemeKind k);
+
+/// One contiguous device array holding a fixed sub-struct per element.
+struct ArrayGroup {
+  std::string name;
+  std::vector<std::uint32_t> field_ids;  ///< record fields stored here, in order
+  std::uint32_t stride = 0;              ///< bytes per element (incl. padding)
+  std::uint32_t payload = 0;             ///< bytes of real data per element
+};
+
+/// One load a thread issues when fetching a full record.
+struct LoadStep {
+  std::uint32_t group = 0;    ///< ArrayGroup index
+  std::uint32_t offset = 0;   ///< byte offset within the element
+  vgpu::MemWidth width = vgpu::MemWidth::kW32;
+};
+
+struct PhysicalLayout {
+  SchemeKind kind = SchemeKind::kAoS;
+  RecordDesc record;
+  std::vector<ArrayGroup> groups;
+  std::vector<LoadStep> load_plan;  ///< fetches every field exactly once
+
+  /// Total device bytes for n elements.
+  [[nodiscard]] std::uint64_t bytes(std::uint64_t n) const;
+  /// Bytes per element including padding.
+  [[nodiscard]] std::uint32_t bytes_per_element() const;
+  /// Byte offset of (group, element) relative to the group's base.
+  [[nodiscard]] std::uint64_t element_offset(std::uint32_t group,
+                                             std::uint64_t element) const;
+  /// Byte offset of field `field_id` of `element` relative to its group
+  /// base; also reports the group.
+  [[nodiscard]] std::uint64_t field_offset(std::uint32_t field_id,
+                                           std::uint64_t element,
+                                           std::uint32_t& group_out) const;
+  /// Offsets of each group's base when groups are packed consecutively into
+  /// one allocation sized for n elements (256-byte aligned between groups,
+  /// like separate cudaMalloc calls).
+  [[nodiscard]] std::vector<std::uint64_t> group_bases(std::uint64_t n) const;
+};
+
+/// Build the physical layout of `record` under `kind`. For kSoAoaS, fields
+/// are grouped by AccessFreq and each group split into 16-byte sub-structs
+/// (padded where needed), per the three-step procedure of Sec. IV.
+[[nodiscard]] PhysicalLayout plan_layout(const RecordDesc& record, SchemeKind kind);
+
+/// All four schemes in paper order.
+[[nodiscard]] std::vector<SchemeKind> all_schemes();
+
+}  // namespace layout

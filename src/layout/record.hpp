@@ -1,0 +1,59 @@
+// record.hpp - logical record descriptions.
+//
+// The memory-layout optimizations of Sec. II operate on "large structures":
+// records of scalar fields whose total size exceeds the 128-bit alignment
+// boundary of the device. A RecordDesc captures the logical record plus the
+// per-field access frequency the grouping step of the advisor uses
+// ("group data in portions with similar access frequencies", Sec. IV).
+//
+// Fields are 32-bit scalars (the paper's particle is 7 floats); wider
+// members can be modeled as several fields.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace layout {
+
+/// Relative access frequency class of a field within the hot kernel.
+enum class AccessFreq : std::uint8_t {
+  kHot,   ///< read every kernel invocation (positions, mass)
+  kCold,  ///< read rarely relative to hot fields (velocities)
+};
+
+[[nodiscard]] inline const char* to_string(AccessFreq f) {
+  return f == AccessFreq::kHot ? "hot" : "cold";
+}
+
+struct Field {
+  std::string name;
+  AccessFreq freq = AccessFreq::kHot;
+};
+
+struct RecordDesc {
+  std::string name;
+  std::vector<Field> fields;
+
+  [[nodiscard]] std::uint32_t num_fields() const {
+    return static_cast<std::uint32_t>(fields.size());
+  }
+  [[nodiscard]] std::uint32_t packed_bytes() const { return 4 * num_fields(); }
+};
+
+/// The Gravit particle record of Fig. 2: px,py,pz,vx,vy,vz,mass - positions
+/// and mass hot (needed by every far-field evaluation), velocities cold
+/// (integration only), exactly the grouping rationale of Sec. IV.
+[[nodiscard]] inline RecordDesc gravit_record() {
+  return RecordDesc{
+      "particle_t",
+      {{"px", AccessFreq::kHot},
+       {"py", AccessFreq::kHot},
+       {"pz", AccessFreq::kHot},
+       {"vx", AccessFreq::kCold},
+       {"vy", AccessFreq::kCold},
+       {"vz", AccessFreq::kCold},
+       {"mass", AccessFreq::kHot}}};
+}
+
+}  // namespace layout

@@ -1,0 +1,135 @@
+#include "layout/search.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "vgpu/check.hpp"
+
+namespace layout {
+
+namespace {
+
+[[nodiscard]] std::uint32_t aligned_stride(std::uint32_t payload) {
+  if (payload <= 4) return 4;
+  if (payload <= 8) return 8;
+  return (payload + 15) / 16 * 16;
+}
+
+/// Build a PhysicalLayout from a field partition (groups of field indices).
+PhysicalLayout layout_from_partition(const RecordDesc& record,
+                                     const std::vector<std::vector<std::uint32_t>>& parts) {
+  PhysicalLayout phys;
+  phys.kind = SchemeKind::kSoAoaS;
+  phys.record = record;
+  for (const auto& part : parts) {
+    ArrayGroup g;
+    g.name = "g";
+    g.name += std::to_string(phys.groups.size());
+    g.field_ids = part;
+    g.payload = 4 * static_cast<std::uint32_t>(part.size());
+    g.stride = aligned_stride(g.payload);
+    const auto idx = static_cast<std::uint32_t>(phys.groups.size());
+    phys.groups.push_back(g);
+    if (g.stride == 4) {
+      phys.load_plan.push_back({idx, 0, vgpu::MemWidth::kW32});
+    } else if (g.stride == 8) {
+      phys.load_plan.push_back({idx, 0, vgpu::MemWidth::kW64});
+    } else {
+      for (std::uint32_t off = 0; off < g.stride; off += 16) {
+        phys.load_plan.push_back({idx, off, vgpu::MemWidth::kW128});
+      }
+    }
+  }
+  return phys;
+}
+
+struct Cost {
+  std::uint32_t hot_txn = 0;
+  std::uint32_t hot_steps = 0;  ///< load instructions for the hot fetch -
+                                ///< the paper's Sec. III finding is that
+                                ///< reads per thread dominate, so this
+                                ///< outranks byte traffic
+  std::uint64_t hot_bytes = 0;
+  std::uint32_t elem_bytes = 0;
+
+  [[nodiscard]] bool operator<(const Cost& o) const {
+    if (hot_txn != o.hot_txn) return hot_txn < o.hot_txn;
+    if (hot_steps != o.hot_steps) return hot_steps < o.hot_steps;
+    if (hot_bytes != o.hot_bytes) return hot_bytes < o.hot_bytes;
+    return elem_bytes < o.elem_bytes;
+  }
+};
+
+Cost evaluate(const RecordDesc& record, const PhysicalLayout& phys,
+              vgpu::DriverModel driver) {
+  // hot fetch = the load steps of groups containing at least one hot field
+  std::vector<bool> hot_group(phys.groups.size(), false);
+  for (std::size_t g = 0; g < phys.groups.size(); ++g) {
+    for (const std::uint32_t f : phys.groups[g].field_ids) {
+      if (record.fields[f].freq == AccessFreq::kHot) hot_group[g] = true;
+    }
+  }
+  const TransactionReport rep = analyze_half_warp(phys, driver);
+  Cost cost;
+  cost.elem_bytes = phys.bytes_per_element();
+  for (const StepReport& s : rep.steps) {
+    if (!hot_group[s.step.group]) continue;
+    cost.hot_txn += s.transactions;
+    ++cost.hot_steps;
+    cost.hot_bytes += s.bytes;
+  }
+  return cost;
+}
+
+/// Enumerate set partitions with block size <= 4 via the standard
+/// "assign each element to an existing block or open a new one" recursion.
+void enumerate(std::uint32_t field, std::uint32_t nfields,
+               std::vector<std::vector<std::uint32_t>>& parts,
+               const std::function<void()>& visit) {
+  if (field == nfields) {
+    visit();
+    return;
+  }
+  // index-based: recursion grows `parts`, so no iterators/references may be
+  // held across the recursive calls
+  const std::size_t existing = parts.size();
+  for (std::size_t b = 0; b < existing; ++b) {
+    if (parts[b].size() >= 4) continue;
+    parts[b].push_back(field);
+    enumerate(field + 1, nfields, parts, visit);
+    parts[b].pop_back();
+  }
+  parts.emplace_back();
+  parts.back().push_back(field);
+  enumerate(field + 1, nfields, parts, visit);
+  parts.pop_back();
+}
+
+}  // namespace
+
+SearchResult search_layout(const RecordDesc& record, vgpu::DriverModel driver) {
+  VGPU_EXPECTS_MSG(record.num_fields() >= 1 && record.num_fields() <= 12,
+                   "exhaustive search supports 1..12 fields");
+  SearchResult result;
+  bool have_best = false;
+  Cost best_cost;
+
+  std::vector<std::vector<std::uint32_t>> parts;
+  enumerate(0, record.num_fields(), parts, [&] {
+    ++result.candidates;
+    const PhysicalLayout phys = layout_from_partition(record, parts);
+    const Cost cost = evaluate(record, phys, driver);
+    if (!have_best || cost < best_cost) {
+      have_best = true;
+      best_cost = cost;
+      result.best = phys;
+      result.hot_transactions = cost.hot_txn;
+      result.hot_bytes = cost.hot_bytes;
+      result.bytes_per_element = cost.elem_bytes;
+    }
+  });
+  return result;
+}
+
+}  // namespace layout

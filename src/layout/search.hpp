@@ -1,0 +1,37 @@
+// search.hpp - exhaustive layout-grouping optimization.
+//
+// The paper derives the SoAoaS grouping by hand (Sec. IV's three steps).
+// This module searches *all* partitions of a record's fields into aligned
+// sub-struct arrays (groups of at most four 32-bit fields) and returns the
+// partition minimizing, in order:
+//   1. transactions per half-warp for the hot-field fetch (the force
+//      kernel's traffic),
+//   2. bus bytes of that fetch (padding waste),
+//   3. total bytes per element (storage overhead).
+// Verifying that the paper's hand grouping is the optimum - and finding the
+// optimum for records where the split is less obvious - is what a
+// downstream user would want from the tool.
+#pragma once
+
+#include <cstdint>
+
+#include "layout/analyzer.hpp"
+#include "layout/plan.hpp"
+
+namespace layout {
+
+struct SearchResult {
+  PhysicalLayout best;
+  std::uint32_t hot_transactions = 0;  ///< per half-warp hot fetch
+  std::uint64_t hot_bytes = 0;
+  std::uint32_t bytes_per_element = 0;
+  std::size_t candidates = 0;  ///< partitions evaluated
+};
+
+/// Exhaustive search (records up to 12 fields). Fields marked kHot form the
+/// fetch whose traffic is minimized; cold fields only contribute to the
+/// storage tiebreaker.
+[[nodiscard]] SearchResult search_layout(
+    const RecordDesc& record, vgpu::DriverModel driver = vgpu::DriverModel::kCuda10);
+
+}  // namespace layout

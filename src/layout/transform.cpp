@@ -1,0 +1,43 @@
+#include "layout/transform.hpp"
+
+#include <cstring>
+
+#include "vgpu/check.hpp"
+
+namespace layout {
+
+std::vector<std::byte> pack(const PhysicalLayout& phys,
+                            std::span<const float> aos_data, std::uint64_t n) {
+  const std::uint32_t nf = phys.record.num_fields();
+  VGPU_EXPECTS_MSG(aos_data.size() == n * nf, "host data shape mismatch");
+  std::vector<std::byte> image(phys.bytes(n));
+  const std::vector<std::uint64_t> bases = phys.group_bases(n);
+  for (std::uint64_t e = 0; e < n; ++e) {
+    for (std::uint32_t f = 0; f < nf; ++f) {
+      std::uint32_t g = 0;
+      const std::uint64_t off = phys.field_offset(f, e, g);
+      const float v = aos_data[e * nf + f];
+      std::memcpy(image.data() + bases[g] + off, &v, 4);
+    }
+  }
+  return image;
+}
+
+void unpack(const PhysicalLayout& phys, std::span<const std::byte> image,
+            std::span<float> aos_out, std::uint64_t n) {
+  const std::uint32_t nf = phys.record.num_fields();
+  VGPU_EXPECTS_MSG(aos_out.size() == n * nf, "host output shape mismatch");
+  VGPU_EXPECTS_MSG(image.size() >= phys.bytes(n), "device image too small");
+  const std::vector<std::uint64_t> bases = phys.group_bases(n);
+  for (std::uint64_t e = 0; e < n; ++e) {
+    for (std::uint32_t f = 0; f < nf; ++f) {
+      std::uint32_t g = 0;
+      const std::uint64_t off = phys.field_offset(f, e, g);
+      float v = 0.0f;
+      std::memcpy(&v, image.data() + bases[g] + off, 4);
+      aos_out[e * nf + f] = v;
+    }
+  }
+}
+
+}  // namespace layout

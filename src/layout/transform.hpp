@@ -1,0 +1,30 @@
+// transform.hpp - host-side data marshalling between logical records and
+// physical device layouts.
+//
+// Host code keeps records in plain AoS float order (field 0..F-1 per
+// element); pack() produces the exact byte image a PhysicalLayout expects
+// on the device (including padding and group placement), unpack() inverts
+// it. Round-tripping through any layout is lossless (tested).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "layout/plan.hpp"
+
+namespace layout {
+
+/// Lay out n records (aos_data.size() == n * record.num_fields(), field-major
+/// within each element) into the device image of `phys`. The image length is
+/// phys.bytes(n); padding bytes are zero.
+[[nodiscard]] std::vector<std::byte> pack(const PhysicalLayout& phys,
+                                          std::span<const float> aos_data,
+                                          std::uint64_t n);
+
+/// Inverse of pack: extract n records into aos_out (same shape as pack's
+/// input).
+void unpack(const PhysicalLayout& phys, std::span<const std::byte> image,
+            std::span<float> aos_out, std::uint64_t n);
+
+}  // namespace layout

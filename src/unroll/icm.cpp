@@ -1,0 +1,125 @@
+#include "unroll/icm.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "vgpu/check.hpp"
+#include "vgpu/verify.hpp"
+
+namespace unroll {
+
+using vgpu::Block;
+using vgpu::Instruction;
+using vgpu::kNoBlock;
+using vgpu::kNoPred;
+using vgpu::LoopInfo;
+using vgpu::Opcode;
+using vgpu::Program;
+using vgpu::RegId;
+
+namespace {
+
+[[nodiscard]] bool is_pure_alu(const Instruction& in) {
+  switch (in.op) {
+    case Opcode::kFAdd:
+    case Opcode::kFSub:
+    case Opcode::kFMul:
+    case Opcode::kFFma:
+    case Opcode::kFRcp:
+    case Opcode::kFRsqrt:
+    case Opcode::kFNeg:
+    case Opcode::kFAbs:
+    case Opcode::kFMin:
+    case Opcode::kFMax:
+    case Opcode::kIAdd:
+    case Opcode::kISub:
+    case Opcode::kIMul:
+    case Opcode::kIMad:
+    case Opcode::kIAddImm:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kIMin:
+    case Opcode::kIMax:
+    case Opcode::kMov:
+    case Opcode::kMovImm:
+    case Opcode::kMovSpecial:
+    case Opcode::kMovParam:
+    case Opcode::kI2F:
+    case Opcode::kF2I:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+IcmResult hoist_invariants(Program& prog, std::size_t loop_index) {
+  VGPU_EXPECTS(loop_index < prog.loops.size());
+  const LoopInfo& loop = prog.loops[loop_index];
+  IcmResult res;
+  if (loop.body == kNoBlock) return res;
+
+  // Definition counts across the whole program (a hoisted destination must
+  // have a unique definition, otherwise moving it reorders writes).
+  std::unordered_map<RegId, std::uint32_t> def_count;
+  for (const Block& blk : prog.blocks) {
+    for (const Instruction& in : blk.instrs) {
+      if (in.dst.valid()) ++def_count[in.dst.reg];
+    }
+  }
+
+  Block& body = prog.blocks[loop.body];
+  Block& pre = prog.blocks[loop.preheader];
+  // kClock reads %clock through kMovSpecial: not invariant. Exclude the
+  // loop-varying special registers by excluding kMovSpecial kClock.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // registers defined inside the body (recomputed each round)
+    std::unordered_set<RegId> defined_in_body;
+    for (const Instruction& in : body.instrs) {
+      if (in.dst.valid()) defined_in_body.insert(in.dst.reg);
+    }
+    for (std::size_t k = 0; k + 1 < body.instrs.size(); ++k) {  // skip terminator
+      const Instruction& in = body.instrs[k];
+      if (!is_pure_alu(in) || in.guard != kNoPred || !in.dst.valid()) continue;
+      if (in.op == Opcode::kMovSpecial &&
+          static_cast<vgpu::Special>(in.imm) == vgpu::Special::kClock) {
+        continue;
+      }
+      if (def_count[in.dst.reg] != 1) continue;
+      bool invariant = true;
+      for (const vgpu::Operand& s : in.src) {
+        if (s.valid() && defined_in_body.contains(s.reg)) {
+          invariant = false;
+          break;
+        }
+      }
+      if (!invariant) continue;
+      // hoist: insert before the preheader's terminator
+      Instruction moved = in;
+      body.instrs.erase(body.instrs.begin() + static_cast<std::ptrdiff_t>(k));
+      pre.instrs.insert(pre.instrs.end() - 1, moved);
+      ++res.hoisted;
+      changed = true;
+      break;  // indices shifted; restart the scan
+    }
+  }
+  vgpu::verify(prog);
+  return res;
+}
+
+IcmResult hoist_all_invariants(Program& prog) {
+  IcmResult total;
+  for (std::size_t l = 0; l < prog.loops.size(); ++l) {
+    total.hoisted += hoist_invariants(prog, l).hoisted;
+  }
+  return total;
+}
+
+}  // namespace unroll

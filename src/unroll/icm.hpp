@@ -1,0 +1,30 @@
+// icm.hpp - invariant code motion for counted loops.
+//
+// The paper applies ICM *manually* to the Gravit inner loop and reports one
+// register of pressure saved inside the loop (Sec. IV-A), which combined
+// with full unrolling lifts occupancy from 50% to 67%. This pass hoists
+// pure, loop-invariant instructions from a single-block loop body into the
+// preheader.
+#pragma once
+
+#include <cstdint>
+
+#include "vgpu/ir.hpp"
+
+namespace unroll {
+
+struct IcmResult {
+  std::uint32_t hoisted = 0;
+};
+
+/// Hoist loop-invariant pure instructions (ALU, immediate/parameter moves)
+/// out of loop `loop_index`. An instruction is invariant when it is
+/// unguarded, its destination has exactly one definition in the program,
+/// and none of its operands are defined inside the loop body. Iterates to a
+/// fixpoint so chains of invariant computations hoist together.
+IcmResult hoist_invariants(vgpu::Program& prog, std::size_t loop_index);
+
+/// Hoist invariants out of every recorded loop (innermost-entry order).
+IcmResult hoist_all_invariants(vgpu::Program& prog);
+
+}  // namespace unroll

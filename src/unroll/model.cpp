@@ -1,0 +1,59 @@
+#include "unroll/model.hpp"
+
+#include "vgpu/check.hpp"
+
+namespace unroll {
+
+using vgpu::Program;
+using vgpu::Region;
+
+SbpCounts static_counts(const Program& prog, std::uint32_t inner_unroll) {
+  VGPU_EXPECTS(inner_unroll >= 1);
+  SbpCounts c;
+  for (const vgpu::Block& blk : prog.blocks) {
+    const auto n = static_cast<double>(blk.instrs.size());
+    switch (blk.region) {
+      case Region::kSetup: c.setup += n; break;
+      case Region::kBlockFetch: c.block_fetch += n; break;
+      case Region::kInner: c.inner += n; break;
+      case Region::kOther: c.other += n; break;
+    }
+  }
+  c.inner /= static_cast<double>(inner_unroll);
+  return c;
+}
+
+SbpCounts dynamic_counts(const vgpu::LaunchStats& stats, std::uint64_t warps,
+                         std::uint64_t tiles, std::uint64_t inner_iterations) {
+  VGPU_EXPECTS(warps > 0 && tiles > 0 && inner_iterations > 0);
+  SbpCounts c;
+  c.setup = static_cast<double>(stats.region(Region::kSetup)) /
+            static_cast<double>(warps);
+  c.block_fetch = static_cast<double>(stats.region(Region::kBlockFetch)) /
+                  static_cast<double>(tiles);
+  c.inner = static_cast<double>(stats.region(Region::kInner)) /
+            static_cast<double>(inner_iterations);
+  c.other = static_cast<double>(stats.region(Region::kOther)) /
+            static_cast<double>(warps);
+  return c;
+}
+
+double eq3_speedup(const SbpCounts& before, const SbpCounts& after, double n,
+                   double k) {
+  VGPU_EXPECTS(n > 0 && k > 0);
+  // `other` (boundary checks, epilogue stores) executes once per thread,
+  // like S.
+  const double load1 = before.setup + before.other +
+                       (n / k) * before.block_fetch + n * before.inner;
+  const double load2 = after.setup + after.other +
+                       (n / k) * after.block_fetch + n * after.inner;
+  VGPU_EXPECTS(load2 > 0);
+  return load1 / load2;
+}
+
+double eq3_speedup_asymptotic(const SbpCounts& before, const SbpCounts& after) {
+  VGPU_EXPECTS(after.inner > 0);
+  return before.inner / after.inner;
+}
+
+}  // namespace unroll

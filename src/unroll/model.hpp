@@ -1,0 +1,53 @@
+// model.hpp - the paper's Eq. 3 instruction-load model.
+//
+// A blocked O(n^2) kernel decomposes into per-thread setup S (executed once
+// per thread), tile fetch B (executed n/K times) and the innermost loop P
+// (executed n times). Eq. 3 of the paper:
+//
+//     speedup = (S1 + n/K * B1 + n * P1) / (S2 + n/K * B2 + n * P2)
+//             ~ P1 / P2                       (for large n)
+//
+// This module extracts S/B/P statically from a Program's region-tagged
+// blocks and evaluates both the exact and asymptotic predictions, which the
+// unroll_sweep bench compares against simulated cycle counts.
+#pragma once
+
+#include <cstdint>
+
+#include "vgpu/ir.hpp"
+#include "vgpu/launch.hpp"
+
+namespace unroll {
+
+/// Per-region static instruction counts of one kernel.
+struct SbpCounts {
+  double setup = 0;        ///< S: instructions executed once per thread
+  double block_fetch = 0;  ///< B: instructions executed once per tile
+  double inner = 0;        ///< P: instructions executed once per inner iteration
+  double other = 0;
+};
+
+/// Static extraction: S = instructions in Region::kSetup blocks, B = one
+/// pass of the Region::kBlockFetch blocks, P = one iteration of the
+/// Region::kInner body. `inner_unroll` divides the inner-body count back to
+/// a per-original-iteration figure when the body holds `inner_unroll`
+/// replicated iterations.
+[[nodiscard]] SbpCounts static_counts(const vgpu::Program& prog,
+                                      std::uint32_t inner_unroll = 1);
+
+/// Dynamic extraction from launch statistics: average executed warp
+/// instructions per region, normalized per thread / per tile / per inner
+/// iteration for a launch of `threads` threads, `tiles` tiles of size K.
+[[nodiscard]] SbpCounts dynamic_counts(const vgpu::LaunchStats& stats,
+                                       std::uint64_t warps, std::uint64_t tiles,
+                                       std::uint64_t inner_iterations);
+
+/// Eq. 3, exact form.
+[[nodiscard]] double eq3_speedup(const SbpCounts& before, const SbpCounts& after,
+                                 double n, double k);
+
+/// Eq. 3, asymptotic form P1/P2.
+[[nodiscard]] double eq3_speedup_asymptotic(const SbpCounts& before,
+                                            const SbpCounts& after);
+
+}  // namespace unroll

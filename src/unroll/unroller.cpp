@@ -1,0 +1,112 @@
+#include "unroll/unroller.hpp"
+
+#include <vector>
+
+#include "vgpu/check.hpp"
+#include "vgpu/verify.hpp"
+
+namespace unroll {
+
+using vgpu::Block;
+using vgpu::BlockId;
+using vgpu::Instruction;
+using vgpu::kNoBlock;
+using vgpu::LoopInfo;
+using vgpu::Opcode;
+using vgpu::Program;
+
+namespace {
+
+/// The builder terminates a counted-loop body with exactly:
+///   iadd.imm iv, iv, step ; setp.lt iv, end ; bra.cond body, exit
+/// Returns the index of the iadd.imm (start of the latch) or throws.
+std::size_t latch_start(const Block& body, const LoopInfo& loop) {
+  VGPU_EXPECTS_MSG(body.instrs.size() >= 3, "loop body too small to have a latch");
+  const std::size_t n = body.instrs.size();
+  const Instruction& inc = body.instrs[n - 3];
+  const Instruction& cmp = body.instrs[n - 2];
+  const Instruction& br = body.instrs[n - 1];
+  VGPU_EXPECTS_MSG(inc.op == Opcode::kIAddImm && inc.dst.reg == loop.iv &&
+                       inc.src[0].reg == loop.iv,
+                   "unexpected loop latch shape (induction increment)");
+  VGPU_EXPECTS_MSG(cmp.op == Opcode::kSetp, "unexpected loop latch shape (compare)");
+  VGPU_EXPECTS_MSG(br.op == Opcode::kBraCond, "unexpected loop latch shape (branch)");
+  return n - 3;
+}
+
+}  // namespace
+
+bool can_unroll(const Program& prog, std::size_t loop_index, std::uint32_t factor) {
+  if (loop_index >= prog.loops.size()) return false;
+  const LoopInfo& loop = prog.loops[loop_index];
+  if (loop.body == kNoBlock) return false;         // multi-block body
+  if (loop.trip_count == 0) return false;          // dynamic trip count
+  if (factor == 0 || factor > loop.trip_count) return false;
+  if (loop.trip_count % factor != 0) return false;
+  if (loop.step != 1 || loop.start != 0) return false;
+  return true;
+}
+
+UnrollResult unroll_loop(Program& prog, std::size_t loop_index, std::uint32_t factor) {
+  VGPU_EXPECTS_MSG(can_unroll(prog, loop_index, factor), "loop is not unrollable");
+  const LoopInfo loop = prog.loops[loop_index];
+  Block& body = prog.blocks[loop.body];
+
+  UnrollResult res;
+  res.factor = factor;
+  res.body_instrs_before = body.instrs.size();
+  if (factor == 1) {
+    res.body_instrs_after = body.instrs.size();
+    return res;
+  }
+
+  const std::size_t latch = latch_start(body, loop);
+  const std::vector<Instruction> user(body.instrs.begin(),
+                                      body.instrs.begin() + static_cast<std::ptrdiff_t>(latch));
+  const Instruction inc = body.instrs[latch];
+  const Instruction cmp = body.instrs[latch + 1];
+  const Instruction br = body.instrs[latch + 2];
+
+  std::vector<Instruction> out;
+  if (factor == loop.trip_count) {
+    // Full unroll: materialize the induction value as a constant before each
+    // copy; the optimizer folds it away entirely.
+    out.reserve(user.size() * factor + factor + 1);
+    for (std::uint32_t k = 0; k < factor; ++k) {
+      Instruction set_iv;
+      set_iv.op = Opcode::kMovImm;
+      set_iv.dst = vgpu::Operand{loop.iv, 0};
+      set_iv.imm = loop.start + k * loop.step;
+      out.push_back(set_iv);
+      out.insert(out.end(), user.begin(), user.end());
+    }
+    Instruction jump;
+    jump.op = Opcode::kBra;
+    jump.target = loop.exit;
+    out.push_back(jump);
+    body.instrs = std::move(out);
+    prog.loops.erase(prog.loops.begin() + static_cast<std::ptrdiff_t>(loop_index));
+  } else {
+    // Partial unroll: replicate body + increment, keep one compare/branch.
+    out.reserve((user.size() + 1) * factor + 2);
+    for (std::uint32_t k = 0; k < factor; ++k) {
+      out.insert(out.end(), user.begin(), user.end());
+      out.push_back(inc);
+    }
+    out.push_back(cmp);
+    out.push_back(br);
+    body.instrs = std::move(out);
+    prog.loops[loop_index].trip_count = loop.trip_count / factor;
+    prog.loops[loop_index].step = loop.step * factor;  // per latch pass
+  }
+  res.body_instrs_after = body.instrs.size();
+  vgpu::verify(prog);
+  return res;
+}
+
+UnrollResult fully_unroll(Program& prog, std::size_t loop_index) {
+  VGPU_EXPECTS(loop_index < prog.loops.size());
+  return unroll_loop(prog, loop_index, prog.loops[loop_index].trip_count);
+}
+
+}  // namespace unroll

@@ -1,0 +1,46 @@
+// unroller.hpp - IR-level loop unrolling (Sec. IV-A of the paper).
+//
+// Unrolls counted loops recorded as LoopInfo by the KernelBuilder, the
+// simulator analogue of `#pragma unroll`. Two modes:
+//
+//  * partial unrolling by a factor U dividing the trip count: the body is
+//    replicated U times with the induction-variable increment kept per
+//    copy, and one compare+branch retained per U iterations - exactly the
+//    overhead shape the paper describes (compare/jump amortized, address
+//    add still paid);
+//  * full unrolling: every copy gets its induction value as a constant, so
+//    after the standard optimization pipeline (vgpu/opt.hpp) the compare,
+//    the add, the jump *and* the address add all vanish and the iterator
+//    register is freed - the paper's ~18% instruction reduction and its
+//    18 -> 17 register step.
+#pragma once
+
+#include <cstdint>
+
+#include "vgpu/ir.hpp"
+
+namespace unroll {
+
+struct UnrollResult {
+  std::uint32_t factor = 1;
+  std::size_t body_instrs_before = 0;  ///< per original iteration
+  std::size_t body_instrs_after = 0;   ///< per replicated body
+};
+
+/// True if the loop at `loop_index` can be unrolled by `factor`
+/// (single-block body, constant trip count, factor divides it).
+[[nodiscard]] bool can_unroll(const vgpu::Program& prog, std::size_t loop_index,
+                              std::uint32_t factor);
+
+/// Unroll loop `loop_index` by `factor`. factor == trip_count performs full
+/// unrolling (and removes the LoopInfo entry); factor == 1 is a no-op.
+/// Throws ContractViolation if !can_unroll. Run
+/// vgpu::run_standard_pipeline afterwards to realize the instruction-count
+/// benefit.
+UnrollResult unroll_loop(vgpu::Program& prog, std::size_t loop_index,
+                         std::uint32_t factor);
+
+/// Convenience: fully unroll loop `loop_index`.
+UnrollResult fully_unroll(vgpu::Program& prog, std::size_t loop_index);
+
+}  // namespace unroll

@@ -1,0 +1,47 @@
+#include "vgpu/arch.hpp"
+
+namespace vgpu {
+
+const char* to_string(DriverModel m) {
+  switch (m) {
+    case DriverModel::kCuda10: return "CUDA 1.0";
+    case DriverModel::kCuda11: return "CUDA 1.1";
+    case DriverModel::kCuda22: return "CUDA 2.2";
+  }
+  return "unknown";
+}
+
+DeviceSpec g80_spec() { return DeviceSpec{}; }
+
+DeviceSpec gt200_spec() {
+  DeviceSpec spec;
+  spec.name = "vgpu GT200 (GeForce GTX 280 class)";
+  spec.sm_count = 30;
+  spec.max_threads_per_sm = 1024;
+  spec.registers_per_sm = 16 * 1024;
+  spec.register_alloc_unit = 512;
+  spec.core_clock_khz = 1'296'000;  // GTX 280 shader clock
+  // 512-bit bus at 1107 MHz GDDR3: ~141.7 GB/s ~ 109 B per core cycle
+  spec.timing.dram_bytes_per_cycle = 109;
+  spec.timing.dram_partitions = 8;
+  // CC 1.3 hardware coalesces by segments; the request path carries the
+  // CUDA 2.2-era costs regardless of the selected driver model.
+  spec.timing.port_cycles_cuda10 = spec.timing.port_cycles_cuda22;
+  spec.timing.uncoalesced_port_cuda10 = spec.timing.uncoalesced_port_cuda22;
+  spec.timing.uncoalesced_latency_cuda10 = spec.timing.uncoalesced_latency_cuda22;
+  spec.timing.max_outstanding_cuda10 = spec.timing.max_outstanding_cuda22;
+  return spec;
+}
+
+DeviceSpec tiny_spec() {
+  DeviceSpec spec;
+  spec.name = "vgpu tiny (test device)";
+  spec.sm_count = 2;
+  spec.max_threads_per_sm = 256;
+  spec.max_blocks_per_sm = 4;
+  spec.registers_per_sm = 2048;
+  spec.shared_mem_per_sm = 4 * 1024;
+  return spec;
+}
+
+}  // namespace vgpu

@@ -1,0 +1,205 @@
+// arch.hpp - device architecture description and timing calibration.
+//
+// The default DeviceSpec models the GeForce 8800 GTX (G80) the paper used:
+// 16 streaming multiprocessors (SMs) with 8 scalar processors each, a
+// 32-thread warp issued over 4 clocks, memory coalescing decided per
+// *half-warp* of 16 threads, 8192 registers and 16 KiB of shared memory per
+// SM, and at most 768 resident threads / 8 resident blocks per SM.
+//
+// TimingParams is the single calibration point of the whole simulator (see
+// DESIGN.md section 2): the values below are chosen once so that the
+// paper's Figure 10 micro-benchmark lands in its published 200-500 cycle
+// band; every comparative result is then produced by the simulated
+// mechanisms, never fitted per experiment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vgpu {
+
+/// Which CUDA driver/compiler generation's global-memory behaviour to model.
+/// The paper measures the same binary under CUDA 1.0, 1.1 and 2.2 and finds
+/// materially different memory behaviour; the coalescing model (coalesce.hpp)
+/// dispatches on this value.
+enum class DriverModel : std::uint8_t {
+  kCuda10,  ///< strict half-warp coalescing (G80 launch driver)
+  kCuda11,  ///< driver-side segment merging with higher fixed issue cost
+  kCuda22,  ///< CC1.2-style minimal-segment coalescing rules
+};
+
+[[nodiscard]] const char* to_string(DriverModel m);
+
+/// Calibrated timing constants. All values are in core clock cycles unless
+/// stated otherwise.
+struct TimingParams {
+  /// Round-trip latency of a global-memory access (issue to data back).
+  std::uint32_t global_latency_cycles = 800;
+  /// Maximum global-memory loads a single warp can have in flight (MSHR
+  /// capacity), per driver generation. Limits intra-warp memory-level
+  /// parallelism: a 7-load record fetch proceeds in ceil(7/m) latency
+  /// rounds - the mechanism that turns Fig. 10's 28x transaction-count
+  /// spread into its ~1.5x time spread, and the driver-generation knob
+  /// behind the paper's unexplained CUDA 1.1 flattening (the 1.1 runtime
+  /// batched requests aggressively; 2.2 partially regressed).
+  std::uint32_t max_outstanding_cuda10 = 2;
+  std::uint32_t max_outstanding_cuda11 = 8;
+  std::uint32_t max_outstanding_cuda22 = 3;
+  /// Extra data-return latency for an uncoalesced request (the multiple
+  /// memory trips genuinely take longer to complete), per driver.
+  std::uint32_t uncoalesced_latency_cuda10 = 100;
+  std::uint32_t uncoalesced_latency_cuda11 = 10;
+  std::uint32_t uncoalesced_latency_cuda22 = 180;
+
+  [[nodiscard]] std::uint32_t max_outstanding_loads(DriverModel m) const {
+    switch (m) {
+      case DriverModel::kCuda10: return max_outstanding_cuda10;
+      case DriverModel::kCuda11: return max_outstanding_cuda11;
+      case DriverModel::kCuda22: return max_outstanding_cuda22;
+    }
+    return max_outstanding_cuda10;
+  }
+  [[nodiscard]] std::uint32_t uncoalesced_latency_cycles(DriverModel m) const {
+    switch (m) {
+      case DriverModel::kCuda10: return uncoalesced_latency_cuda10;
+      case DriverModel::kCuda11: return uncoalesced_latency_cuda11;
+      case DriverModel::kCuda22: return uncoalesced_latency_cuda22;
+    }
+    return uncoalesced_latency_cuda10;
+  }
+  /// SM issue-port occupancy per global-memory *instruction* (address
+  /// generation + LSU request queue), per driver generation. In the paper's
+  /// Fig. 10 the per-instruction cost dominates on CUDA 1.0 (7 coalesced
+  /// reads are only ~10% faster than 7 scattered ones, while halving the
+  /// read count helps a lot), almost vanishes on CUDA 1.1 (the anomalous
+  /// flat pattern), and partially returns on CUDA 2.2.
+  std::uint32_t port_cycles_cuda10 = 8;
+  std::uint32_t port_cycles_cuda11 = 5;
+  std::uint32_t port_cycles_cuda22 = 7;
+  /// Extra port occupancy when the request is not coalesced (per driver).
+  std::uint32_t uncoalesced_port_cuda10 = 6;
+  std::uint32_t uncoalesced_port_cuda11 = 0;
+  std::uint32_t uncoalesced_port_cuda22 = 4;
+  /// DRAM-controller command occupancy per *transaction*, in millicycles,
+  /// per driver generation. The controller merges a half-warp's scattered
+  /// transactions that fall into the same 128-byte row segment (row-buffer
+  /// locality), so all layouts of the same record move nearly the same
+  /// bytes; what still distinguishes scattered from coalesced traffic is
+  /// the per-command overhead, which later drivers reduced by merging
+  /// requests before they reach the memory system.
+  std::uint32_t dram_txn_overhead_mcy_cuda10 = 60;
+  std::uint32_t dram_txn_overhead_mcy_cuda11 = 10;
+  std::uint32_t dram_txn_overhead_mcy_cuda22 = 30;
+
+  [[nodiscard]] double dram_txn_overhead_cycles(DriverModel m) const {
+    switch (m) {
+      case DriverModel::kCuda10: return dram_txn_overhead_mcy_cuda10 / 1000.0;
+      case DriverModel::kCuda11: return dram_txn_overhead_mcy_cuda11 / 1000.0;
+      case DriverModel::kCuda22: return dram_txn_overhead_mcy_cuda22 / 1000.0;
+    }
+    return dram_txn_overhead_mcy_cuda10 / 1000.0;
+  }
+
+  [[nodiscard]] std::uint32_t port_cycles(DriverModel m) const {
+    switch (m) {
+      case DriverModel::kCuda10: return port_cycles_cuda10;
+      case DriverModel::kCuda11: return port_cycles_cuda11;
+      case DriverModel::kCuda22: return port_cycles_cuda22;
+    }
+    return port_cycles_cuda10;
+  }
+  [[nodiscard]] std::uint32_t uncoalesced_port_cycles(DriverModel m) const {
+    switch (m) {
+      case DriverModel::kCuda10: return uncoalesced_port_cuda10;
+      case DriverModel::kCuda11: return uncoalesced_port_cuda11;
+      case DriverModel::kCuda22: return uncoalesced_port_cuda22;
+    }
+    return uncoalesced_port_cuda10;
+  }
+  /// Device-wide DRAM bandwidth expressed as bytes transferred per core
+  /// cycle across all partitions (8800 GTX: 86.4 GB/s at 1.35 GHz ~ 64 B/cy).
+  std::uint32_t dram_bytes_per_cycle = 64;
+  /// Number of independent DRAM partitions (the 8800 GTX has a 384-bit bus
+  /// organised as 6 x 64-bit channels).
+  std::uint32_t dram_partitions = 6;
+  /// Byte granularity of partition interleaving.
+  std::uint32_t partition_stride_bytes = 256;
+  /// Cycles to issue one warp-wide ALU instruction (32 threads over 8 SPs).
+  std::uint32_t alu_issue_cycles = 4;
+  /// Read-after-write latency of an ALU result (hidden by ~6 resident
+  /// warps, the reason occupancy matters even for compute-bound code).
+  std::uint32_t alu_result_latency_cycles = 16;
+  /// Read-after-write latency of a shared-memory load.
+  std::uint32_t shared_result_latency_cycles = 12;
+  /// Cycles for a conflict-free shared-memory warp access; multiplied by the
+  /// maximum bank-conflict degree of the worst half-warp.
+  std::uint32_t shared_issue_cycles = 4;
+  /// Cost of a block-wide barrier once every warp has arrived.
+  std::uint32_t barrier_cycles = 4;
+  /// Cycles to swap a finished block for the next one on an SM.
+  std::uint32_t block_start_cycles = 24;
+
+  // ---- read-only caches (the "texture- and constant cache" the paper
+  // notes are the only caches on the device) ----
+  /// Per-SM texture cache capacity and line size.
+  std::uint32_t tex_cache_bytes = 8 * 1024;
+  std::uint32_t tex_line_bytes = 32;
+  /// Latency of a texture-cache hit (data-back; pipelined).
+  std::uint32_t tex_hit_latency_cycles = 24;
+  /// Issue cost per distinct constant-cache address in a warp request
+  /// (uniform reads broadcast at register speed, divergent ones serialize).
+  std::uint32_t const_serialize_cycles = 4;
+};
+
+/// Static hardware limits of the simulated device.
+struct DeviceSpec {
+  std::string name = "vgpu G80 (GeForce 8800 GTX class)";
+  std::uint32_t sm_count = 16;
+  std::uint32_t sps_per_sm = 8;
+  std::uint32_t warp_size = 32;
+  std::uint32_t half_warp = 16;
+  std::uint32_t max_threads_per_block = 512;
+  std::uint32_t max_threads_per_sm = 768;
+  std::uint32_t max_blocks_per_sm = 8;
+  std::uint32_t registers_per_sm = 8192;
+  std::uint32_t shared_mem_per_sm = 16 * 1024;
+  std::uint32_t shared_mem_banks = 16;
+  /// Register allocation granularity per block (G80 allocates in chunks).
+  std::uint32_t register_alloc_unit = 256;
+  /// Shared memory allocation granularity per block.
+  std::uint32_t shared_alloc_unit = 512;
+  /// Core clock in kHz (8800 GTX shader clock: 1.35 GHz).
+  std::uint32_t core_clock_khz = 1'350'000;
+  /// Host<->device copy bandwidth in MB/s (PCIe 1.x x16 practical rate);
+  /// used by Device::memcpy timing, mirroring the paper's end-to-end
+  /// measurement protocol for Figure 12.
+  std::uint32_t pcie_bandwidth_mb_s = 3'000;
+  /// Fixed per-copy launch overhead in microseconds.
+  std::uint32_t pcie_latency_us = 15;
+  /// Kernel launch driver overhead in microseconds.
+  std::uint32_t launch_overhead_us = 20;
+
+  TimingParams timing;
+
+  [[nodiscard]] std::uint32_t max_warps_per_sm() const {
+    return max_threads_per_sm / warp_size;
+  }
+  [[nodiscard]] double cycles_to_ms(double cycles) const {
+    return cycles / static_cast<double>(core_clock_khz);
+  }
+};
+
+/// The paper's testbed device.
+[[nodiscard]] DeviceSpec g80_spec();
+
+/// The GT200 generation (GeForce GTX 280 class) the paper's introduction
+/// points at and its conclusion lists as future work ("how the basic
+/// principles can be tuned for different GPU models"): 30 SMs, twice the
+/// registers, 1024 resident threads, and the CC 1.3 segment coalescer
+/// (its request path carries the CUDA 2.2-era costs for every driver).
+[[nodiscard]] DeviceSpec gt200_spec();
+
+/// A half-size device useful for fast tests (2 SMs, small memories).
+[[nodiscard]] DeviceSpec tiny_spec();
+
+}  // namespace vgpu

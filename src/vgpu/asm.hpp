@@ -1,0 +1,27 @@
+// asm.hpp - textual assembler for the vgpu IR.
+//
+// Parses the exact format `disassemble()` emits, completing the
+// disassembler/assembler round trip: kernels can be dumped, hand-edited,
+// stored as golden files, and reloaded - the "debugger" leg of the paper's
+// CUDA tool chain ("drivers, a compiler, a debugger, a simulator, a
+// profiler"). Register widths are reconstructed from load widths and
+// component references; value types from the defining opcode.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "vgpu/ir.hpp"
+
+namespace vgpu {
+
+/// Parse a full kernel listing (the `disassemble(Program)` format).
+/// Throws ContractViolation with a line number on malformed input. The
+/// result is verified and carries a fresh virtual register layout.
+[[nodiscard]] Program assemble(std::string_view text);
+
+/// Round-trip helper used by golden tests: assemble(disassemble(p)) must
+/// disassemble back to the identical string.
+[[nodiscard]] bool round_trips(const Program& prog, std::string* diff = nullptr);
+
+}  // namespace vgpu

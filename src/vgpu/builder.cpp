@@ -1,0 +1,698 @@
+#include "vgpu/builder.hpp"
+
+#include <bit>
+#include <utility>
+
+namespace vgpu {
+
+KernelBuilder::KernelBuilder(std::string name, std::uint32_t num_params) {
+  prog_.name = std::move(name);
+  prog_.num_params = num_params;
+  prog_.blocks.emplace_back();
+  prog_.blocks[0].region = region_;
+}
+
+Val KernelBuilder::new_val(VType t, std::uint8_t width) {
+  const RegId id = static_cast<RegId>(prog_.regs.size());
+  prog_.regs.push_back(RegInfo{t, width});
+  return Val{id, 0, width, t};
+}
+
+PVal KernelBuilder::new_pred() { return PVal{prog_.num_preds++}; }
+
+Instruction& KernelBuilder::emit(Instruction in) {
+  VGPU_EXPECTS_MSG(!finished_, "builder already finished");
+  Block& b = prog_.blocks[current_];
+  VGPU_EXPECTS_MSG(b.instrs.empty() || !b.instrs.back().is_terminator(),
+                   "emitting past a terminator");
+  b.instrs.push_back(in);
+  return b.instrs.back();
+}
+
+void KernelBuilder::region(Region r) {
+  region_ = r;
+  if (prog_.blocks[current_].instrs.empty()) {
+    prog_.blocks[current_].region = r;
+  }
+}
+
+BlockId KernelBuilder::new_block() {
+  const BlockId id = static_cast<BlockId>(prog_.blocks.size());
+  prog_.blocks.emplace_back();
+  prog_.blocks[id].region = region_;
+  return id;
+}
+
+void KernelBuilder::require_f32(Val v) const {
+  VGPU_EXPECTS_MSG(v.valid() && v.type == VType::kF32, "expected f32 value");
+}
+void KernelBuilder::require_u32(Val v) const {
+  VGPU_EXPECTS_MSG(v.valid() && v.type == VType::kU32, "expected u32 value");
+}
+void KernelBuilder::require_scalar(Val v) const {
+  VGPU_EXPECTS_MSG(v.valid(), "invalid value");
+}
+
+// ---- constants, params, specials -----------------------------------------
+
+Val KernelBuilder::imm_u32(std::uint32_t v) {
+  Val d = new_val(VType::kU32);
+  Instruction in;
+  in.op = Opcode::kMovImm;
+  in.dst = d.operand();
+  in.imm = v;
+  emit(in);
+  return d;
+}
+
+Val KernelBuilder::imm_f32(float v) {
+  Val d = new_val(VType::kF32);
+  Instruction in;
+  in.op = Opcode::kMovImm;
+  in.dst = d.operand();
+  in.imm = std::bit_cast<std::uint32_t>(v);
+  emit(in);
+  return d;
+}
+
+Val KernelBuilder::param_u32(std::uint32_t index) {
+  VGPU_EXPECTS(index < prog_.num_params);
+  Val d = new_val(VType::kU32);
+  Instruction in;
+  in.op = Opcode::kMovParam;
+  in.dst = d.operand();
+  in.imm = index;
+  emit(in);
+  return d;
+}
+
+Val KernelBuilder::param_f32(std::uint32_t index) {
+  VGPU_EXPECTS(index < prog_.num_params);
+  Val d = new_val(VType::kF32);
+  Instruction in;
+  in.op = Opcode::kMovParam;
+  in.dst = d.operand();
+  in.imm = index;
+  emit(in);
+  return d;
+}
+
+Val KernelBuilder::special(Special s) {
+  Val d = new_val(VType::kU32);
+  Instruction in;
+  in.op = Opcode::kMovSpecial;
+  in.dst = d.operand();
+  in.imm = static_cast<std::uint32_t>(s);
+  emit(in);
+  return d;
+}
+
+Val KernelBuilder::clock() {
+  Val d = new_val(VType::kU32);
+  Instruction in;
+  in.op = Opcode::kClock;
+  in.dst = d.operand();
+  emit(in);
+  return d;
+}
+
+// ---- variables -------------------------------------------------------------
+
+Val KernelBuilder::var_f32(Val init) {
+  require_f32(init);
+  Val d = new_val(VType::kF32);
+  assign(d, init);
+  return d;
+}
+
+Val KernelBuilder::var_u32(Val init) {
+  require_u32(init);
+  Val d = new_val(VType::kU32);
+  assign(d, init);
+  return d;
+}
+
+void KernelBuilder::assign(Val dst, Val src) {
+  require_scalar(dst);
+  require_scalar(src);
+  VGPU_EXPECTS_MSG(dst.type == src.type, "assign type mismatch");
+  Instruction in;
+  in.op = Opcode::kMov;
+  in.dst = dst.operand();
+  in.src[0] = src.operand();
+  emit(in);
+}
+
+// ---- arithmetic --------------------------------------------------------------
+
+Val KernelBuilder::emit_binary(Opcode op, VType t, Val a, Val b) {
+  require_scalar(a);
+  require_scalar(b);
+  VGPU_EXPECTS_MSG(a.type == t && b.type == t, "operand type mismatch");
+  Val d = new_val(t);
+  Instruction in;
+  in.op = op;
+  in.dst = d.operand();
+  in.src[0] = a.operand();
+  in.src[1] = b.operand();
+  emit(in);
+  return d;
+}
+
+Val KernelBuilder::emit_unary(Opcode op, VType t, Val a) {
+  require_scalar(a);
+  VGPU_EXPECTS_MSG(a.type == t, "operand type mismatch");
+  Val d = new_val(t);
+  Instruction in;
+  in.op = op;
+  in.dst = d.operand();
+  in.src[0] = a.operand();
+  emit(in);
+  return d;
+}
+
+Val KernelBuilder::fadd(Val a, Val b) { return emit_binary(Opcode::kFAdd, VType::kF32, a, b); }
+Val KernelBuilder::fsub(Val a, Val b) { return emit_binary(Opcode::kFSub, VType::kF32, a, b); }
+Val KernelBuilder::fmul(Val a, Val b) { return emit_binary(Opcode::kFMul, VType::kF32, a, b); }
+
+Val KernelBuilder::ffma(Val a, Val b, Val c) {
+  require_f32(a);
+  require_f32(b);
+  require_f32(c);
+  Val d = new_val(VType::kF32);
+  Instruction in;
+  in.op = Opcode::kFFma;
+  in.dst = d.operand();
+  in.src[0] = a.operand();
+  in.src[1] = b.operand();
+  in.src[2] = c.operand();
+  emit(in);
+  return d;
+}
+
+void KernelBuilder::ffma_into(Val dst, Val a, Val b) {
+  require_f32(dst);
+  require_f32(a);
+  require_f32(b);
+  Instruction in;
+  in.op = Opcode::kFFma;
+  in.dst = dst.operand();
+  in.src[0] = a.operand();
+  in.src[1] = b.operand();
+  in.src[2] = dst.operand();
+  emit(in);
+}
+
+void KernelBuilder::fadd_into(Val dst, Val a) {
+  require_f32(dst);
+  require_f32(a);
+  Instruction in;
+  in.op = Opcode::kFAdd;
+  in.dst = dst.operand();
+  in.src[0] = dst.operand();
+  in.src[1] = a.operand();
+  emit(in);
+}
+
+Val KernelBuilder::frcp(Val a) { return emit_unary(Opcode::kFRcp, VType::kF32, a); }
+Val KernelBuilder::frsqrt(Val a) { return emit_unary(Opcode::kFRsqrt, VType::kF32, a); }
+Val KernelBuilder::fneg(Val a) { return emit_unary(Opcode::kFNeg, VType::kF32, a); }
+Val KernelBuilder::fabs(Val a) { return emit_unary(Opcode::kFAbs, VType::kF32, a); }
+Val KernelBuilder::fmin(Val a, Val b) { return emit_binary(Opcode::kFMin, VType::kF32, a, b); }
+Val KernelBuilder::fmax(Val a, Val b) { return emit_binary(Opcode::kFMax, VType::kF32, a, b); }
+
+Val KernelBuilder::iadd(Val a, Val b) { return emit_binary(Opcode::kIAdd, VType::kU32, a, b); }
+Val KernelBuilder::isub(Val a, Val b) { return emit_binary(Opcode::kISub, VType::kU32, a, b); }
+Val KernelBuilder::imul(Val a, Val b) { return emit_binary(Opcode::kIMul, VType::kU32, a, b); }
+
+Val KernelBuilder::imad(Val a, Val b, Val c) {
+  require_u32(a);
+  require_u32(b);
+  require_u32(c);
+  Val d = new_val(VType::kU32);
+  Instruction in;
+  in.op = Opcode::kIMad;
+  in.dst = d.operand();
+  in.src[0] = a.operand();
+  in.src[1] = b.operand();
+  in.src[2] = c.operand();
+  emit(in);
+  return d;
+}
+
+Val KernelBuilder::iadd_imm(Val a, std::uint32_t imm) {
+  require_u32(a);
+  Val d = new_val(VType::kU32);
+  Instruction in;
+  in.op = Opcode::kIAddImm;
+  in.dst = d.operand();
+  in.src[0] = a.operand();
+  in.imm = imm;
+  emit(in);
+  return d;
+}
+
+Val KernelBuilder::shl(Val a, std::uint32_t bits) {
+  return emit_binary(Opcode::kShl, VType::kU32, a, imm_u32(bits));
+}
+Val KernelBuilder::shr(Val a, std::uint32_t bits) {
+  return emit_binary(Opcode::kShr, VType::kU32, a, imm_u32(bits));
+}
+Val KernelBuilder::band(Val a, Val b) { return emit_binary(Opcode::kAnd, VType::kU32, a, b); }
+Val KernelBuilder::bor(Val a, Val b) { return emit_binary(Opcode::kOr, VType::kU32, a, b); }
+
+Val KernelBuilder::i2f(Val a) {
+  require_u32(a);
+  Val d = new_val(VType::kF32);
+  Instruction in;
+  in.op = Opcode::kI2F;
+  in.dst = d.operand();
+  in.src[0] = a.operand();
+  emit(in);
+  return d;
+}
+
+Val KernelBuilder::f2i(Val a) {
+  require_f32(a);
+  Val d = new_val(VType::kU32);
+  Instruction in;
+  in.op = Opcode::kF2I;
+  in.dst = d.operand();
+  in.src[0] = a.operand();
+  emit(in);
+  return d;
+}
+
+// ---- predicates ----------------------------------------------------------------
+
+PVal KernelBuilder::setp_u32(CmpOp op, Val a, Val b) {
+  require_u32(a);
+  require_u32(b);
+  PVal p = new_pred();
+  Instruction in;
+  in.op = Opcode::kSetp;
+  in.cmp = op;
+  in.cmp_is_float = false;
+  in.pdst = p.id;
+  in.src[0] = a.operand();
+  in.src[1] = b.operand();
+  emit(in);
+  return p;
+}
+
+PVal KernelBuilder::setp_u32_imm(CmpOp op, Val a, std::uint32_t imm) {
+  require_u32(a);
+  PVal p = new_pred();
+  Instruction in;
+  in.op = Opcode::kSetp;
+  in.cmp = op;
+  in.cmp_is_float = false;
+  in.pdst = p.id;
+  in.src[0] = a.operand();
+  in.imm = imm;
+  emit(in);
+  return p;
+}
+
+PVal KernelBuilder::setp_f32(CmpOp op, Val a, Val b) {
+  require_f32(a);
+  require_f32(b);
+  PVal p = new_pred();
+  Instruction in;
+  in.op = Opcode::kSetp;
+  in.cmp = op;
+  in.cmp_is_float = true;
+  in.pdst = p.id;
+  in.src[0] = a.operand();
+  in.src[1] = b.operand();
+  emit(in);
+  return p;
+}
+
+PVal KernelBuilder::pand(PVal a, PVal b) {
+  PVal p = new_pred();
+  Instruction in;
+  in.op = Opcode::kPAnd;
+  in.pdst = p.id;
+  in.psrc0 = a.id;
+  in.psrc1 = b.id;
+  emit(in);
+  return p;
+}
+
+PVal KernelBuilder::por(PVal a, PVal b) {
+  PVal p = new_pred();
+  Instruction in;
+  in.op = Opcode::kPOr;
+  in.pdst = p.id;
+  in.psrc0 = a.id;
+  in.psrc1 = b.id;
+  emit(in);
+  return p;
+}
+
+PVal KernelBuilder::pnot(PVal a) {
+  PVal p = new_pred();
+  Instruction in;
+  in.op = Opcode::kPNot;
+  in.pdst = p.id;
+  in.psrc0 = a.id;
+  emit(in);
+  return p;
+}
+
+Val KernelBuilder::sel(PVal p, Val a, Val b) {
+  require_scalar(a);
+  require_scalar(b);
+  VGPU_EXPECTS(a.type == b.type);
+  Val d = new_val(a.type);
+  Instruction in;
+  in.op = Opcode::kSel;
+  in.dst = d.operand();
+  in.psrc0 = p.id;
+  in.src[0] = a.operand();
+  in.src[1] = b.operand();
+  emit(in);
+  return d;
+}
+
+// ---- memory --------------------------------------------------------------------
+
+Val KernelBuilder::ld_global_f32(Val addr, std::uint32_t offset) {
+  return ld_global_vec(addr, MemWidth::kW32, VType::kF32, offset);
+}
+Val KernelBuilder::ld_global_u32(Val addr, std::uint32_t offset) {
+  return ld_global_vec(addr, MemWidth::kW32, VType::kU32, offset);
+}
+
+Val KernelBuilder::ld_global_vec(Val addr, MemWidth w, VType t,
+                                 std::uint32_t offset) {
+  require_u32(addr);
+  Val d = new_val(t, static_cast<std::uint8_t>(width_words(w)));
+  Instruction in;
+  in.op = Opcode::kLdGlobal;
+  in.width = w;
+  in.dst = d.operand();
+  in.src[0] = addr.operand();
+  in.imm = offset;
+  emit(in);
+  return d;
+}
+
+void KernelBuilder::st_global(Val addr, Val value, std::uint32_t offset) {
+  require_u32(addr);
+  require_scalar(value);
+  VGPU_EXPECTS_MSG(value.comp == 0 || value.width == 1,
+                   "cannot store a partial vector");
+  Instruction in;
+  in.op = Opcode::kStGlobal;
+  in.width = static_cast<MemWidth>(value.width);
+  in.src[0] = addr.operand();
+  in.src[1] = value.operand();
+  in.imm = offset;
+  emit(in);
+}
+
+Val KernelBuilder::ld_shared_f32(Val addr, std::uint32_t offset) {
+  return ld_shared_vec(addr, MemWidth::kW32, VType::kF32, offset);
+}
+Val KernelBuilder::ld_shared_u32(Val addr, std::uint32_t offset) {
+  return ld_shared_vec(addr, MemWidth::kW32, VType::kU32, offset);
+}
+
+Val KernelBuilder::ld_shared_vec(Val addr, MemWidth w, VType t,
+                                 std::uint32_t offset) {
+  require_u32(addr);
+  Val d = new_val(t, static_cast<std::uint8_t>(width_words(w)));
+  Instruction in;
+  in.op = Opcode::kLdShared;
+  in.width = w;
+  in.dst = d.operand();
+  in.src[0] = addr.operand();
+  in.imm = offset;
+  emit(in);
+  return d;
+}
+
+void KernelBuilder::st_shared(Val addr, Val value, std::uint32_t offset) {
+  require_u32(addr);
+  require_scalar(value);
+  VGPU_EXPECTS_MSG(value.comp == 0 || value.width == 1,
+                   "cannot store a partial vector");
+  Instruction in;
+  in.op = Opcode::kStShared;
+  in.width = static_cast<MemWidth>(value.width);
+  in.src[0] = addr.operand();
+  in.src[1] = value.operand();
+  in.imm = offset;
+  emit(in);
+}
+
+namespace {
+// shared helper shape for the read-only-space loads lives in the class
+}  // namespace
+
+Val KernelBuilder::ld_const_f32(Val addr, std::uint32_t offset) {
+  return ld_const_vec(addr, MemWidth::kW32, VType::kF32, offset);
+}
+Val KernelBuilder::ld_const_u32(Val addr, std::uint32_t offset) {
+  return ld_const_vec(addr, MemWidth::kW32, VType::kU32, offset);
+}
+
+Val KernelBuilder::ld_const_vec(Val addr, MemWidth w, VType t,
+                                std::uint32_t offset) {
+  require_u32(addr);
+  Val d = new_val(t, static_cast<std::uint8_t>(width_words(w)));
+  Instruction in;
+  in.op = Opcode::kLdConst;
+  in.width = w;
+  in.dst = d.operand();
+  in.src[0] = addr.operand();
+  in.imm = offset;
+  emit(in);
+  return d;
+}
+
+Val KernelBuilder::ld_tex_f32(Val addr, std::uint32_t offset) {
+  return ld_tex_vec(addr, MemWidth::kW32, VType::kF32, offset);
+}
+
+Val KernelBuilder::ld_tex_vec(Val addr, MemWidth w, VType t,
+                              std::uint32_t offset) {
+  require_u32(addr);
+  Val d = new_val(t, static_cast<std::uint8_t>(width_words(w)));
+  Instruction in;
+  in.op = Opcode::kLdTex;
+  in.width = w;
+  in.dst = d.operand();
+  in.src[0] = addr.operand();
+  in.imm = offset;
+  emit(in);
+  return d;
+}
+
+Val KernelBuilder::comp(Val v, std::uint8_t k) const {
+  VGPU_EXPECTS_MSG(v.valid() && k < v.width, "component out of range");
+  return Val{v.reg, k, 1, v.type};
+}
+
+void KernelBuilder::bar() {
+  Instruction in;
+  in.op = Opcode::kBar;
+  emit(in);
+}
+
+Val KernelBuilder::shared_alloc(std::uint32_t bytes) {
+  // 16-byte align each allocation so float4 tiles stay aligned.
+  shared_cursor_ = (shared_cursor_ + 15u) & ~15u;
+  const std::uint32_t base = shared_cursor_;
+  shared_cursor_ += bytes;
+  prog_.shared_bytes = shared_cursor_;
+  return imm_u32(base);
+}
+
+// ---- control flow ---------------------------------------------------------------
+
+void KernelBuilder::if_then(PVal p, const std::function<void()>& then_fn) {
+  VGPU_EXPECTS(p.valid());
+  const BlockId then_blk = new_block();
+  // merge block is created after the body so blocks stay in layout order;
+  // patch the branch afterwards.
+  Instruction br;
+  br.op = Opcode::kBraCond;
+  br.psrc0 = p.id;
+  br.target = then_blk;
+  emit(br);
+  Block& cond_block = prog_.blocks[current_];
+  const std::size_t br_index = cond_block.instrs.size() - 1;
+  const BlockId cond_blk = current_;
+
+  set_current(then_blk);
+  then_fn();
+
+  const BlockId merge_blk = new_block();
+  Instruction jump;
+  jump.op = Opcode::kBra;
+  jump.target = merge_blk;
+  emit(jump);
+
+  Instruction& patched = prog_.blocks[cond_blk].instrs[br_index];
+  patched.target2 = merge_blk;
+  patched.reconv = merge_blk;
+  set_current(merge_blk);
+}
+
+void KernelBuilder::if_then_else(PVal p, const std::function<void()>& then_fn,
+                                 const std::function<void()>& else_fn) {
+  VGPU_EXPECTS(p.valid());
+  const BlockId then_blk = new_block();
+  Instruction br;
+  br.op = Opcode::kBraCond;
+  br.psrc0 = p.id;
+  br.target = then_blk;
+  emit(br);
+  const BlockId cond_blk = current_;
+  const std::size_t br_index = prog_.blocks[cond_blk].instrs.size() - 1;
+
+  set_current(then_blk);
+  then_fn();
+  const BlockId then_end = current_;
+  const std::size_t then_jump_index = prog_.blocks[then_end].instrs.size();
+
+  const BlockId else_blk = new_block();
+  set_current(else_blk);
+  else_fn();
+
+  const BlockId merge_blk = new_block();
+  Instruction jump;
+  jump.op = Opcode::kBra;
+  jump.target = merge_blk;
+  emit(jump);
+
+  // terminate the then-path with a jump to merge.
+  Instruction then_jump;
+  then_jump.op = Opcode::kBra;
+  then_jump.target = merge_blk;
+  auto& then_instrs = prog_.blocks[then_end].instrs;
+  then_instrs.insert(then_instrs.begin() + static_cast<std::ptrdiff_t>(then_jump_index), then_jump);
+
+  Instruction& patched = prog_.blocks[cond_blk].instrs[br_index];
+  patched.target2 = else_blk;
+  patched.reconv = merge_blk;
+  set_current(merge_blk);
+}
+
+void KernelBuilder::for_counted(std::uint32_t trip,
+                                const std::function<void(Val iv)>& body) {
+  VGPU_EXPECTS_MSG(trip >= 1, "counted loop needs at least one iteration");
+  // Preheader: iv = 0; the bound is an immediate in the latch compare.
+  Val iv = var_u32(imm_u32(0));
+  const BlockId preheader = current_;
+
+  const BlockId body_blk = new_block();
+  Instruction enter;
+  enter.op = Opcode::kBra;
+  enter.target = body_blk;
+  emit(enter);
+
+  set_current(body_blk);
+  body(iv);
+  const bool single_block_body = (current_ == body_blk);
+
+  // Latch: iv += 1; p = iv < trip; branch back.
+  {
+    Instruction inc;
+    inc.op = Opcode::kIAddImm;
+    inc.dst = iv.operand();
+    inc.src[0] = iv.operand();
+    inc.imm = 1;
+    emit(inc);
+  }
+  PVal p = setp_u32_imm(CmpOp::kLt, iv, trip);
+  const BlockId latch_blk = current_;
+  const std::size_t br_index = prog_.blocks[latch_blk].instrs.size();
+  Instruction back;
+  back.op = Opcode::kBraCond;
+  back.psrc0 = p.id;
+  back.target = body_blk;
+  emit(back);
+
+  const BlockId exit_blk = new_block();
+  Instruction& patched = prog_.blocks[latch_blk].instrs[br_index];
+  patched.target2 = exit_blk;
+  patched.reconv = exit_blk;
+  set_current(exit_blk);
+
+  LoopInfo info;
+  info.preheader = preheader;
+  info.body = single_block_body ? body_blk : kNoBlock;
+  info.exit = exit_blk;
+  info.iv = iv.reg;
+  info.start = 0;
+  info.step = 1;
+  info.trip_count = trip;
+  prog_.loops.push_back(info);
+}
+
+void KernelBuilder::for_dynamic(Val trip,
+                                const std::function<void(Val iv)>& body) {
+  require_u32(trip);
+  // Guard the bottom-tested loop against a zero trip count.
+  PVal nonzero = setp_u32(CmpOp::kGt, trip, imm_u32(0));
+  if_then(nonzero, [&] {
+    Val iv = var_u32(imm_u32(0));
+    const BlockId preheader = current_;
+    const BlockId body_blk = new_block();
+    Instruction enter;
+    enter.op = Opcode::kBra;
+    enter.target = body_blk;
+    emit(enter);
+
+    set_current(body_blk);
+    body(iv);
+    const bool single_block_body = (current_ == body_blk);
+
+    {
+      Instruction inc;
+      inc.op = Opcode::kIAddImm;
+      inc.dst = iv.operand();
+      inc.src[0] = iv.operand();
+      inc.imm = 1;
+      emit(inc);
+    }
+    PVal p = setp_u32(CmpOp::kLt, iv, trip);
+    const BlockId latch_blk = current_;
+    const std::size_t br_index = prog_.blocks[latch_blk].instrs.size();
+    Instruction back;
+    back.op = Opcode::kBraCond;
+    back.psrc0 = p.id;
+    back.target = body_blk;
+    emit(back);
+
+    const BlockId exit_blk = new_block();
+    Instruction& patched = prog_.blocks[latch_blk].instrs[br_index];
+    patched.target2 = exit_blk;
+    patched.reconv = exit_blk;
+    set_current(exit_blk);
+
+    LoopInfo info;
+    info.preheader = preheader;
+    info.body = single_block_body ? body_blk : kNoBlock;
+    info.exit = exit_blk;
+    info.iv = iv.reg;
+    info.trip_count = 0;
+    prog_.loops.push_back(info);
+  });
+}
+
+Program KernelBuilder::finish() && {
+  VGPU_EXPECTS_MSG(!finished_, "finish called twice");
+  Instruction ex;
+  ex.op = Opcode::kExit;
+  emit(ex);
+  finished_ = true;
+  prog_.refresh_virtual_layout();
+  return std::move(prog_);
+}
+
+}  // namespace vgpu

@@ -1,0 +1,170 @@
+// builder.hpp - structured kernel construction DSL for the vgpu IR.
+//
+// KernelBuilder plays the role of the CUDA C compiler front end: kernels are
+// written as C++ code against a typed value API, and the builder emits
+// verified IR with structured control flow (if/else, bottom-tested counted
+// and dynamic loops) including the reconvergence annotations the SIMT
+// interpreter needs. Counted loops are recorded as LoopInfo so the unrolling
+// pass (src/unroll) can transform them later, exactly like `#pragma unroll`.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "vgpu/check.hpp"
+#include "vgpu/ir.hpp"
+
+namespace vgpu {
+
+/// A typed SSA-ish value handle produced by the builder. Scalar values have
+/// width 1; vector loads produce width-2/4 values whose components are
+/// addressed with KernelBuilder::comp().
+struct Val {
+  RegId reg = kNoReg;
+  std::uint8_t comp = 0;
+  std::uint8_t width = 1;
+  VType type = VType::kU32;
+
+  [[nodiscard]] bool valid() const { return reg != kNoReg; }
+  [[nodiscard]] Operand operand() const { return Operand{reg, comp}; }
+};
+
+/// A predicate (boolean per lane) value handle.
+struct PVal {
+  PredId id = kNoPred;
+  [[nodiscard]] bool valid() const { return id != kNoPred; }
+};
+
+class KernelBuilder {
+ public:
+  KernelBuilder(std::string name, std::uint32_t num_params);
+
+  KernelBuilder(const KernelBuilder&) = delete;
+  KernelBuilder& operator=(const KernelBuilder&) = delete;
+
+  // ---- constants, parameters, special registers -------------------------
+  Val imm_u32(std::uint32_t v);
+  Val imm_f32(float v);
+  Val param_u32(std::uint32_t index);
+  Val param_f32(std::uint32_t index);
+  Val special(Special s);
+  Val tid() { return special(Special::kTid); }
+  Val ctaid() { return special(Special::kCtaid); }
+  Val ntid() { return special(Special::kNtid); }
+  Val nctaid() { return special(Special::kNctaid); }
+  /// Cycle-counter probe; the measurement primitive of the paper's Fig. 10.
+  Val clock();
+
+  // ---- mutable variables (loop accumulators) ----------------------------
+  /// Declare a mutable register and initialize it.
+  Val var_f32(Val init);
+  Val var_u32(Val init);
+  /// Overwrite an existing variable (emits a mov).
+  void assign(Val dst, Val src);
+
+  // ---- f32 arithmetic ----------------------------------------------------
+  Val fadd(Val a, Val b);
+  Val fsub(Val a, Val b);
+  Val fmul(Val a, Val b);
+  Val ffma(Val a, Val b, Val c);
+  Val frcp(Val a);
+  Val frsqrt(Val a);
+  Val fneg(Val a);
+  Val fabs(Val a);
+  Val fmin(Val a, Val b);
+  Val fmax(Val a, Val b);
+  /// In-place accumulate: dst = dst + a*b (keeps accumulator count low, the
+  /// idiom the paper's kernel relies on for its register budget).
+  void ffma_into(Val dst, Val a, Val b);
+  void fadd_into(Val dst, Val a);
+
+  // ---- u32 arithmetic ----------------------------------------------------
+  Val iadd(Val a, Val b);
+  Val isub(Val a, Val b);
+  Val imul(Val a, Val b);
+  Val imad(Val a, Val b, Val c);
+  Val iadd_imm(Val a, std::uint32_t imm);
+  Val shl(Val a, std::uint32_t bits);
+  Val shr(Val a, std::uint32_t bits);
+  Val band(Val a, Val b);
+  Val bor(Val a, Val b);
+  Val i2f(Val a);
+  Val f2i(Val a);
+
+  // ---- predicates ----------------------------------------------------------
+  PVal setp_u32(CmpOp op, Val a, Val b);
+  /// Integer compare against an immediate (no register for the bound).
+  PVal setp_u32_imm(CmpOp op, Val a, std::uint32_t imm);
+  PVal setp_f32(CmpOp op, Val a, Val b);
+  PVal pand(PVal a, PVal b);
+  PVal por(PVal a, PVal b);
+  PVal pnot(PVal a);
+  Val sel(PVal p, Val a, Val b);
+
+  // ---- memory --------------------------------------------------------------
+  /// Addresses are u32 byte addresses; `offset` is a compile-time byte offset
+  /// folded into the instruction (the encoding full unrolling exploits).
+  Val ld_global_f32(Val addr, std::uint32_t offset = 0);
+  Val ld_global_u32(Val addr, std::uint32_t offset = 0);
+  Val ld_global_vec(Val addr, MemWidth w, VType t, std::uint32_t offset = 0);
+  void st_global(Val addr, Val value, std::uint32_t offset = 0);
+  Val ld_shared_f32(Val addr, std::uint32_t offset = 0);
+  Val ld_shared_u32(Val addr, std::uint32_t offset = 0);
+  Val ld_shared_vec(Val addr, MemWidth w, VType t, std::uint32_t offset = 0);
+  void st_shared(Val addr, Val value, std::uint32_t offset = 0);
+
+  /// Constant-memory loads (read-only 64 KiB space, broadcast-cached).
+  Val ld_const_f32(Val addr, std::uint32_t offset = 0);
+  Val ld_const_u32(Val addr, std::uint32_t offset = 0);
+  Val ld_const_vec(Val addr, MemWidth w, VType t, std::uint32_t offset = 0);
+  /// Texture fetches: global addresses served through the texture cache.
+  Val ld_tex_f32(Val addr, std::uint32_t offset = 0);
+  Val ld_tex_vec(Val addr, MemWidth w, VType t, std::uint32_t offset = 0);
+
+  /// Component accessor for vector values (v.x/.y/.z/.w).
+  Val comp(Val v, std::uint8_t k) const;
+
+  void bar();
+
+  // ---- control flow ----------------------------------------------------------
+  void if_then(PVal p, const std::function<void()>& then_fn);
+  void if_then_else(PVal p, const std::function<void()>& then_fn,
+                    const std::function<void()>& else_fn);
+  /// Bottom-tested counted loop over iv = 0 .. trip-1 (trip >= 1). Recorded
+  /// as LoopInfo; if the body is a single straight-line block it is a valid
+  /// unrolling candidate.
+  void for_counted(std::uint32_t trip, const std::function<void(Val iv)>& body);
+  /// Bottom-tested loop with a runtime trip count (guarded against zero).
+  void for_dynamic(Val trip, const std::function<void(Val iv)>& body);
+
+  /// Region accounting for the Eq. 3 S/B/P decomposition: blocks created
+  /// after this call are tagged with `r` (the current block is retagged too
+  /// if it has no instructions yet).
+  void region(Region r);
+
+  /// Declare static shared memory (bytes); returns the base byte address.
+  Val shared_alloc(std::uint32_t bytes);
+
+  /// Finalize: append exit, verify, and return the program.
+  [[nodiscard]] Program finish() &&;
+
+ private:
+  Val new_val(VType t, std::uint8_t width = 1);
+  PVal new_pred();
+  Instruction& emit(Instruction in);
+  Val emit_binary(Opcode op, VType t, Val a, Val b);
+  Val emit_unary(Opcode op, VType t, Val a);
+  BlockId new_block();
+  void set_current(BlockId b) { current_ = b; }
+  void require_f32(Val v) const;
+  void require_u32(Val v) const;
+  void require_scalar(Val v) const;
+
+  Program prog_;
+  BlockId current_ = 0;
+  Region region_ = Region::kOther;
+  std::uint32_t shared_cursor_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace vgpu

@@ -1,0 +1,57 @@
+// check.hpp - lightweight contract checking for the vgpu simulator.
+//
+// Follows the C++ Core Guidelines (I.6/I.8) spirit: preconditions and
+// invariants are checked at runtime and raise std::logic_error with a
+// source location, so a broken contract in a simulation is never silent.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace vgpu {
+
+/// Thrown when a VGPU_EXPECTS / VGPU_ENSURES contract is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const std::string& msg,
+                                       const std::source_location& loc) {
+  std::string out(kind);
+  out += " failed: ";
+  out += expr;
+  if (!msg.empty()) {
+    out += " (";
+    out += msg;
+    out += ")";
+  }
+  out += " at ";
+  out += loc.file_name();
+  out += ":";
+  out += std::to_string(loc.line());
+  throw ContractViolation(out);
+}
+
+}  // namespace detail
+
+inline void expects(bool cond, const char* expr, const std::string& msg = {},
+                    const std::source_location& loc = std::source_location::current()) {
+  if (!cond) detail::contract_fail("precondition", expr, msg, loc);
+}
+
+inline void ensures(bool cond, const char* expr, const std::string& msg = {},
+                    const std::source_location& loc = std::source_location::current()) {
+  if (!cond) detail::contract_fail("postcondition", expr, msg, loc);
+}
+
+}  // namespace vgpu
+
+#define VGPU_EXPECTS(cond) ::vgpu::expects(static_cast<bool>(cond), #cond)
+#define VGPU_EXPECTS_MSG(cond, msg) ::vgpu::expects(static_cast<bool>(cond), #cond, (msg))
+#define VGPU_ENSURES(cond) ::vgpu::ensures(static_cast<bool>(cond), #cond)
+#define VGPU_ENSURES_MSG(cond, msg) ::vgpu::ensures(static_cast<bool>(cond), #cond, (msg))

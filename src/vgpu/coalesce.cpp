@@ -1,0 +1,162 @@
+#include "vgpu/coalesce.hpp"
+
+#include <algorithm>
+
+#include "vgpu/check.hpp"
+
+namespace vgpu {
+
+namespace {
+
+constexpr std::uint32_t kSegment = 128;
+
+/// Collect active addresses; returns false if none.
+bool first_active(const MemRequest& req, std::uint32_t& out_lane) {
+  for (std::uint32_t k = 0; k < req.lane_addrs.size(); ++k) {
+    if (req.active & (1u << k)) {
+      out_lane = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+void emit_strict_transactions(std::uint32_t base, MemWidth width,
+                              std::vector<Transaction>& out) {
+  switch (width) {
+    case MemWidth::kW32:
+      out.push_back({base, 64});
+      break;
+    case MemWidth::kW64:
+      out.push_back({base, 128});
+      break;
+    case MemWidth::kW128:
+      out.push_back({base, 128});
+      out.push_back({base + 128, 128});
+      break;
+  }
+}
+
+/// Distinct 128-byte segments touched by the active lanes, sorted by base.
+void collect_segments(const MemRequest& req, std::vector<Transaction>& segs) {
+  segs.clear();
+  const std::uint32_t wbytes = width_bytes(req.width);
+  for (std::uint32_t k = 0; k < req.lane_addrs.size(); ++k) {
+    if (!(req.active & (1u << k))) continue;
+    const std::uint32_t a = req.lane_addrs[k];
+    // aligned accesses never straddle a segment boundary
+    const std::uint32_t seg = (a / kSegment) * kSegment;
+    bool found = false;
+    for (const Transaction& t : segs) {
+      if (t.base == seg) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) segs.push_back({seg, kSegment});
+    // 128-bit accesses at offset 112..124 would straddle; enforced aligned.
+    VGPU_EXPECTS_MSG(a % wbytes == 0, "misaligned global access");
+  }
+  std::sort(segs.begin(), segs.end(),
+            [](const Transaction& x, const Transaction& y) { return x.base < y.base; });
+}
+
+/// CC 1.2-style segment shrinking: reduce a 128B segment to 64B or 32B when
+/// all used addresses fall into one half (repeatedly).
+Transaction shrink_segment(const MemRequest& req, Transaction seg) {
+  const std::uint32_t wbytes = width_bytes(req.width);
+  while (seg.bytes > 32) {
+    const std::uint32_t half = seg.bytes / 2;
+    bool all_lo = true;
+    bool all_hi = true;
+    for (std::uint32_t k = 0; k < req.lane_addrs.size(); ++k) {
+      if (!(req.active & (1u << k))) continue;
+      const std::uint32_t a = req.lane_addrs[k];
+      if (a < seg.base || a >= seg.base + seg.bytes) continue;
+      const std::uint32_t last = a + wbytes - 1;
+      if (!(last < seg.base + half)) all_lo = false;
+      if (!(a >= seg.base + half)) all_hi = false;
+    }
+    if (all_lo) {
+      seg.bytes = half;
+    } else if (all_hi) {
+      seg.base += half;
+      seg.bytes = half;
+    } else {
+      break;
+    }
+  }
+  return seg;
+}
+
+}  // namespace
+
+bool is_strictly_coalesced(const MemRequest& req) {
+  std::uint32_t k0 = 0;
+  if (!first_active(req, k0)) return false;
+  const std::uint32_t wbytes = width_bytes(req.width);
+  const std::uint32_t a0 = req.lane_addrs[k0];
+  if (a0 < k0 * wbytes) return false;
+  const std::uint32_t base = a0 - k0 * wbytes;
+  const std::uint32_t half_lanes = static_cast<std::uint32_t>(req.lane_addrs.size());
+  if (base % (half_lanes * wbytes) != 0) return false;
+  for (std::uint32_t k = 0; k < half_lanes; ++k) {
+    if (!(req.active & (1u << k))) continue;
+    if (req.lane_addrs[k] != base + k * wbytes) return false;
+  }
+  return true;
+}
+
+void coalesce(const MemRequest& req, DriverModel model, CoalesceResult& out) {
+  out.transactions.clear();
+  out.coalesced = false;
+  std::uint32_t k0 = 0;
+  if (!first_active(req, k0)) return;
+  const std::uint32_t wbytes = width_bytes(req.width);
+
+  switch (model) {
+    case DriverModel::kCuda10: {
+      if (is_strictly_coalesced(req)) {
+        out.coalesced = true;
+        const std::uint32_t base = req.lane_addrs[k0] - k0 * wbytes;
+        emit_strict_transactions(base, req.width, out.transactions);
+      } else {
+        // worst case: one transaction per active lane
+        for (std::uint32_t k = 0; k < req.lane_addrs.size(); ++k) {
+          if (!(req.active & (1u << k))) continue;
+          out.transactions.push_back({req.lane_addrs[k], wbytes});
+        }
+      }
+      return;
+    }
+    case DriverModel::kCuda11: {
+      // Strict fast path still exists...
+      if (is_strictly_coalesced(req)) {
+        out.coalesced = true;
+        const std::uint32_t base = req.lane_addrs[k0] - k0 * wbytes;
+        emit_strict_transactions(base, req.width, out.transactions);
+        return;
+      }
+      // ...but uncoalesced requests are merged driver-side into whole 128B
+      // segments (each carrying the model's extra fixed issue cost).
+      collect_segments(req, out.transactions);
+      return;
+    }
+    case DriverModel::kCuda22: {
+      collect_segments(req, out.transactions);
+      for (Transaction& t : out.transactions) t = shrink_segment(req, t);
+      // The request counts as coalesced when it needed the minimum possible
+      // number of segments for its footprint.
+      out.coalesced = is_strictly_coalesced(req);
+      return;
+    }
+  }
+}
+
+CoalesceResult coalesce(const MemRequest& req, DriverModel model) {
+  CoalesceResult out;
+  coalesce(req, model, out);
+  return out;
+}
+
+}  // namespace vgpu

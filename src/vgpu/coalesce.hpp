@@ -1,0 +1,72 @@
+// coalesce.hpp - global-memory coalescing models per CUDA generation.
+//
+// The paper measures the same kernels under CUDA 1.0, 1.1 and 2.2 and finds
+// the drivers handle unoptimized access patterns very differently (its
+// Fig. 10). We model three request->transaction policies:
+//
+//  * kCuda10 - the strict G80 half-warp rules from the CUDA 1.0/1.1
+//    programming guide: a half-warp's accesses of width 4/8/16 bytes
+//    coalesce into one 64B / one 128B / two 128B transactions only if
+//    lane k addresses exactly word k of a properly aligned segment;
+//    otherwise every active lane issues its own transaction.
+//  * kCuda11 - the anomalous behaviour the paper observed but could not
+//    explain: modeled as driver-side merging of the half-warp's addresses
+//    into minimal 128-byte segments, with a higher fixed per-segment issue
+//    cost. This yields the "completely different", flat layout-sensitivity
+//    pattern of Fig. 10 (documented assumption; see DESIGN.md section 5).
+//  * kCuda22 - the CC 1.2-style minimal-segment rules: addresses are
+//    covered by 128B segments which shrink to 64B/32B when all used
+//    addresses fall into one half of the segment.
+//
+// The same engine is reused analytically by layout::analyzer to reproduce
+// the transaction counts of the paper's Figs. 3, 5, 7 and 9.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "vgpu/arch.hpp"
+#include "vgpu/ir.hpp"
+
+namespace vgpu {
+
+/// One DRAM transaction produced by the coalescer.
+struct Transaction {
+  std::uint32_t base = 0;   ///< byte address, aligned to `bytes`
+  std::uint32_t bytes = 0;  ///< 4..128
+};
+
+/// One half-warp memory request: per-lane byte addresses indexed by lane
+/// position within the half-warp, plus an active-lane mask (bit k = lane k).
+/// Addresses of inactive lanes are ignored.
+struct MemRequest {
+  std::span<const std::uint32_t> lane_addrs;  ///< size = half-warp lanes (16)
+  std::uint32_t active = 0xFFFFu;
+  MemWidth width = MemWidth::kW32;
+  bool is_store = false;
+};
+
+struct CoalesceResult {
+  std::vector<Transaction> transactions;
+  bool coalesced = false;  ///< whether the strict fast path was hit
+
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    std::uint64_t n = 0;
+    for (const Transaction& t : transactions) n += t.bytes;
+    return n;
+  }
+};
+
+/// Computes the DRAM transactions for one half-warp request under the given
+/// driver model. Deterministic; the out-parameter overload lets hot callers
+/// reuse the transaction vector.
+[[nodiscard]] CoalesceResult coalesce(const MemRequest& req, DriverModel model);
+void coalesce(const MemRequest& req, DriverModel model, CoalesceResult& out);
+
+/// True if the request satisfies the strict CUDA 1.0 half-warp coalescing
+/// conditions (active lane k addresses exactly word k of a segment aligned
+/// to 16 * width bytes).
+[[nodiscard]] bool is_strictly_coalesced(const MemRequest& req);
+
+}  // namespace vgpu

@@ -1,0 +1,43 @@
+#include "vgpu/device.hpp"
+
+namespace vgpu {
+
+double Device::copy_ms(std::size_t bytes) const {
+  const double latency_ms = spec_.pcie_latency_us / 1000.0;
+  const double bw_bytes_per_ms = spec_.pcie_bandwidth_mb_s * 1000.0;  // 1e6 B/s -> B/ms
+  return latency_ms + static_cast<double>(bytes) / bw_bytes_per_ms;
+}
+
+void Device::memcpy_h2d(Buffer dst, std::span<const std::byte> src) {
+  gmem_.write(dst.addr, src);
+  timeline_ms_ += copy_ms(src.size());
+}
+
+void Device::memcpy_d2h(std::span<std::byte> dst, Buffer src) {
+  gmem_.read(src.addr, dst);
+  timeline_ms_ += copy_ms(dst.size());
+}
+
+LaunchStats Device::launch_functional(const Program& prog,
+                                      const LaunchConfig& cfg,
+                                      std::span<const std::uint32_t> params,
+                                      DriverModel driver) {
+  FunctionalOptions opt;
+  opt.driver = driver;
+  opt.cmem = &cmem_;
+  return run_functional(prog, spec_, gmem_, cfg, params, opt);
+}
+
+LaunchStats Device::launch_timed(const Program& prog, const LaunchConfig& cfg,
+                                 std::span<const std::uint32_t> params,
+                                 const TimingOptions& opt) {
+  TimingOptions bound = opt;
+  if (bound.cmem == nullptr) bound.cmem = &cmem_;
+  LaunchStats stats = run_timed(prog, spec_, gmem_, cfg, params, bound);
+  const double kernel_ms =
+      spec_.cycles_to_ms(static_cast<double>(stats.cycles) * stats.extrapolation_factor);
+  timeline_ms_ += kernel_ms + spec_.launch_overhead_us / 1000.0;
+  return stats;
+}
+
+}  // namespace vgpu

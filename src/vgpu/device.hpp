@@ -1,0 +1,89 @@
+// device.hpp - host-side facade over the simulated device.
+//
+// Mirrors the CUDA runtime surface the paper's measurement protocol uses:
+// allocate device buffers, copy host<->device (with a PCIe transfer-time
+// model), launch kernels functionally or under the timing model, and read
+// back an accumulated host timeline. Fig. 12 measures "from copying the
+// data to the device, through the kernel invocation till after copying the
+// results back"; Device::timeline_ms() reproduces exactly that window.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "vgpu/arch.hpp"
+#include "vgpu/executor.hpp"
+#include "vgpu/launch.hpp"
+#include "vgpu/memory.hpp"
+#include "vgpu/timing.hpp"
+
+namespace vgpu {
+
+class Device {
+ public:
+  explicit Device(DeviceSpec spec = g80_spec(),
+                  std::size_t gmem_bytes = 512u * 1024 * 1024)
+      : spec_(std::move(spec)), gmem_(gmem_bytes) {}
+
+  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+  [[nodiscard]] DeviceSpec& spec() { return spec_; }
+  [[nodiscard]] GlobalMemory& gmem() { return gmem_; }
+
+  [[nodiscard]] Buffer malloc(std::size_t bytes) { return gmem_.alloc(bytes); }
+
+  /// cudaMemcpyToSymbol analogue: write into the 64 KiB constant space.
+  void upload_const(std::uint32_t addr, std::span<const std::byte> src) {
+    cmem_.write(addr, src);
+  }
+  [[nodiscard]] const ConstantMemory& constant_memory() const { return cmem_; }
+
+  /// Typed allocation helper.
+  template <typename T>
+  [[nodiscard]] Buffer malloc_n(std::size_t count) {
+    return gmem_.alloc(count * sizeof(T));
+  }
+
+  void memcpy_h2d(Buffer dst, std::span<const std::byte> src);
+  void memcpy_d2h(std::span<std::byte> dst, Buffer src);
+
+  template <typename T>
+  [[nodiscard]] Buffer upload(std::span<const T> host) {
+    Buffer b = malloc_n<T>(host.size());
+    memcpy_h2d(b, std::as_bytes(host));
+    return b;
+  }
+
+  template <typename T>
+  void download(std::span<T> host, Buffer src) {
+    memcpy_d2h(std::as_writable_bytes(host), src);
+  }
+
+  /// Functional launch: numerical results + event counts, no cycles.
+  LaunchStats launch_functional(const Program& prog, const LaunchConfig& cfg,
+                                std::span<const std::uint32_t> params,
+                                DriverModel driver = DriverModel::kCuda10);
+
+  /// Timed launch: adds kernel time to the host timeline.
+  LaunchStats launch_timed(const Program& prog, const LaunchConfig& cfg,
+                           std::span<const std::uint32_t> params,
+                           const TimingOptions& opt = {});
+
+  /// Accumulated host-visible milliseconds (copies + timed launches),
+  /// the paper's end-to-end measurement window.
+  [[nodiscard]] double timeline_ms() const { return timeline_ms_; }
+  void reset_timeline() { timeline_ms_ = 0.0; }
+
+  /// Free all device allocations (buffers become invalid).
+  void reset_memory() { gmem_.reset(); }
+
+ private:
+  [[nodiscard]] double copy_ms(std::size_t bytes) const;
+
+  DeviceSpec spec_;
+  GlobalMemory gmem_;
+  ConstantMemory cmem_;
+  double timeline_ms_ = 0.0;
+};
+
+}  // namespace vgpu

@@ -1,0 +1,101 @@
+#include "vgpu/executor.hpp"
+
+#include <array>
+
+#include "vgpu/check.hpp"
+#include "vgpu/coalesce.hpp"
+
+namespace vgpu {
+
+void count_global_step(const StepResult& res, const DeviceSpec& spec,
+                       DriverModel driver, LaunchStats& stats,
+                       CoalesceResult& scratch) {
+  const std::uint32_t half = spec.half_warp;
+  std::array<std::uint32_t, 16> addrs{};
+  for (std::uint32_t h = 0; h < spec.warp_size / half; ++h) {
+    std::uint32_t active = 0;
+    for (std::uint32_t k = 0; k < half; ++k) {
+      const std::uint32_t lane = h * half + k;
+      addrs[k] = res.lane_addrs[lane];
+      if (res.mem_mask & (1u << lane)) active |= 1u << k;
+    }
+    if (active == 0) continue;
+    MemRequest req{std::span<const std::uint32_t>(addrs.data(), half), active,
+                   res.width, res.is_store};
+    coalesce(req, driver, scratch);
+    ++stats.global_requests;
+    if (scratch.coalesced) {
+      ++stats.coalesced_requests;
+    } else {
+      ++stats.uncoalesced_requests;
+    }
+    stats.global_transactions += scratch.transactions.size();
+    stats.global_bytes += scratch.total_bytes();
+  }
+}
+
+LaunchStats run_functional(const Program& prog, const DeviceSpec& spec,
+                           GlobalMemory& gmem, const LaunchConfig& cfg,
+                           std::span<const std::uint32_t> params,
+                           const FunctionalOptions& opt) {
+  VGPU_EXPECTS_MSG(params.size() == prog.num_params, "parameter count mismatch");
+  VGPU_EXPECTS(cfg.grid_blocks >= 1);
+
+  LaunchStats stats;
+  stats.blocks_total = cfg.grid_blocks;
+  stats.blocks_simulated = cfg.grid_blocks;
+  CoalesceResult scratch;
+
+  for (std::uint32_t b = 0; b < cfg.grid_blocks; ++b) {
+    BlockParams bp{b, cfg, params, 0, opt.cmem};
+    BlockExec exec(prog, spec, gmem, bp);
+    while (!exec.all_done()) {
+      bool progressed = false;
+      for (std::uint32_t w = 0; w < exec.num_warps(); ++w) {
+        WarpState& ws = exec.warp(w);
+        while (!ws.done && !ws.at_barrier) {
+          const StepResult res = exec.step(w, ws.issued * 4);
+          progressed = true;
+          ++stats.warp_instructions;
+          ++stats.region_instructions[static_cast<std::size_t>(res.region)];
+          ++stats.instr_class_counts[static_cast<std::size_t>(instr_class(res.op))];
+          if (res.divergent_branch) ++stats.divergent_branches;
+          switch (res.kind) {
+            case StepResult::Kind::kGlobal:
+              count_global_step(res, spec, opt.driver, stats, scratch);
+              break;
+            case StepResult::Kind::kShared:
+              ++stats.shared_requests;
+              if (res.shared_conflict_degree > 1) {
+                stats.shared_conflict_extra += res.shared_conflict_degree - 1;
+              }
+              break;
+            case StepResult::Kind::kLocal:
+              ++stats.local_requests;
+              break;
+            case StepResult::Kind::kConst:
+              ++stats.const_requests;
+              break;
+            case StepResult::Kind::kTex:
+              ++stats.tex_requests;
+              break;
+            case StepResult::Kind::kBarrier:
+              ++stats.barriers;
+              break;
+            default:
+              break;
+          }
+        }
+      }
+      if (exec.barrier_releasable()) {
+        exec.release_barrier();
+        progressed = true;
+      }
+      VGPU_ENSURES_MSG(progressed || exec.all_done(),
+                       "functional executor deadlock (barrier mismatch?)");
+    }
+  }
+  return stats;
+}
+
+}  // namespace vgpu

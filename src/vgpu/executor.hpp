@@ -1,0 +1,39 @@
+// executor.hpp - functional (untimed) kernel execution.
+//
+// Runs a grid to completion for numerical results and architectural event
+// counts (dynamic instructions per region, memory requests/transactions,
+// bank conflicts). Cycle accounting is the timing executor's job
+// (timing.hpp); the two share BlockExec, so they always agree functionally.
+#pragma once
+
+#include <span>
+
+#include "vgpu/arch.hpp"
+#include "vgpu/coalesce.hpp"
+#include "vgpu/interp.hpp"
+#include "vgpu/launch.hpp"
+#include "vgpu/memory.hpp"
+
+namespace vgpu {
+
+struct FunctionalOptions {
+  /// Driver model used to *count* coalescing/transactions (no timing).
+  DriverModel driver = DriverModel::kCuda10;
+  /// Constant-memory image to bind (null = kernel uses none).
+  const ConstantMemory* cmem = nullptr;
+};
+
+/// Execute the whole grid block-by-block. The program must be finished
+/// (register layout present); it may be pre- or post-register-allocation.
+LaunchStats run_functional(const Program& prog, const DeviceSpec& spec,
+                           GlobalMemory& gmem, const LaunchConfig& cfg,
+                           std::span<const std::uint32_t> params,
+                           const FunctionalOptions& opt = {});
+
+/// Accumulate the memory-system statistics of one global-memory step into
+/// `stats` (shared between the functional and timing executors).
+void count_global_step(const StepResult& res, const DeviceSpec& spec,
+                       DriverModel driver, LaunchStats& stats,
+                       CoalesceResult& scratch);
+
+}  // namespace vgpu

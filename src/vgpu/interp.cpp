@@ -1,0 +1,542 @@
+#include "vgpu/interp.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "vgpu/check.hpp"
+
+namespace vgpu {
+
+namespace {
+
+[[nodiscard]] float as_f32(std::uint32_t v) { return std::bit_cast<float>(v); }
+[[nodiscard]] std::uint32_t as_u32(float v) { return std::bit_cast<std::uint32_t>(v); }
+
+[[nodiscard]] bool cmp_u32(CmpOp op, std::uint32_t a, std::uint32_t b) {
+  switch (op) {
+    case CmpOp::kEq: return a == b;
+    case CmpOp::kNe: return a != b;
+    case CmpOp::kLt: return a < b;
+    case CmpOp::kLe: return a <= b;
+    case CmpOp::kGt: return a > b;
+    case CmpOp::kGe: return a >= b;
+  }
+  return false;
+}
+
+[[nodiscard]] bool cmp_f32(CmpOp op, float a, float b) {
+  switch (op) {
+    case CmpOp::kEq: return a == b;
+    case CmpOp::kNe: return a != b;
+    case CmpOp::kLt: return a < b;
+    case CmpOp::kLe: return a <= b;
+    case CmpOp::kGt: return a > b;
+    case CmpOp::kGe: return a >= b;
+  }
+  return false;
+}
+
+}  // namespace
+
+BlockExec::BlockExec(const Program& prog, const DeviceSpec& spec,
+                     GlobalMemory& gmem, const BlockParams& bp)
+    : prog_(prog),
+      spec_(spec),
+      gmem_(gmem),
+      bp_(bp),
+      smem_(std::max(prog.shared_bytes, 4u), spec.shared_mem_banks) {
+  VGPU_EXPECTS_MSG(bp.cfg.block_threads % spec.warp_size == 0,
+                   "block size must be a warp multiple");
+  VGPU_EXPECTS_MSG(bp.cfg.block_threads <= spec.max_threads_per_block,
+                   "block size exceeds device limit");
+  VGPU_EXPECTS_MSG(prog.reg_file_size > 0 || prog.regs.empty(),
+                   "program has no register layout (finish/allocate first)");
+  const std::uint32_t warps = bp.cfg.block_threads / spec.warp_size;
+  warps_.resize(warps);
+  for (std::uint32_t w = 0; w < warps; ++w) {
+    WarpState& ws = warps_[w];
+    ws.index = w;
+    ws.regs.assign(static_cast<std::size_t>(prog.reg_file_size) * 32u, 0u);
+    ws.preds.assign(prog.num_preds, 0u);
+    ws.local.assign(static_cast<std::size_t>((prog.local_bytes + 3) / 4) * 32u, 0u);
+  }
+}
+
+bool BlockExec::all_done() const {
+  for (const WarpState& w : warps_) {
+    if (!w.done) return false;
+  }
+  return true;
+}
+
+bool BlockExec::barrier_releasable() const {
+  bool any_waiting = false;
+  for (const WarpState& w : warps_) {
+    if (w.done) continue;
+    if (!w.at_barrier) return false;
+    any_waiting = true;
+  }
+  return any_waiting;
+}
+
+void BlockExec::release_barrier() {
+  for (WarpState& w : warps_) w.at_barrier = false;
+}
+
+void BlockExec::park(WarpState& ws, BlockId reconv, Mask m) {
+  if (!ws.stack.empty() && ws.stack.back().reconv == reconv) {
+    ws.stack.back().parked |= m;
+  } else {
+    ws.stack.push_back(DivEntry{reconv, m, 0, kNoBlock});
+  }
+}
+
+const Instruction* BlockExec::peek(std::uint32_t w) const {
+  const WarpState& ws = warps_[w];
+  if (ws.done || ws.at_barrier) return nullptr;
+  return &prog_.blocks[ws.block].instrs[ws.ip];
+}
+
+void BlockExec::transfer(WarpState& ws, BlockId next) {
+  while (!ws.stack.empty() && ws.stack.back().reconv == next) {
+    DivEntry& top = ws.stack.back();
+    top.parked |= ws.active;
+    if (top.pending_mask != 0) {
+      ws.active = top.pending_mask;
+      next = top.pending_block;
+      top.pending_mask = 0;
+      continue;
+    }
+    ws.active = top.parked;
+    ws.stack.pop_back();
+  }
+  ws.block = next;
+  ws.ip = 0;
+}
+
+StepResult BlockExec::step(std::uint32_t w, std::uint64_t now) {
+  WarpState& ws = warps_[w];
+  VGPU_EXPECTS_MSG(!ws.done, "stepping a finished warp");
+  VGPU_EXPECTS_MSG(!ws.at_barrier, "stepping a warp parked at a barrier");
+  const Block& blk = prog_.blocks[ws.block];
+  const Instruction& in = blk.instrs[ws.ip];
+
+  StepResult res;
+  res.region = blk.region;
+  res.op = in.op;
+  ++ws.issued;
+
+  Mask exec = ws.active;
+  if (in.guard != kNoPred) {
+    const Mask g = ws.preds[in.guard];
+    exec &= in.guard_negated ? ~g : g;
+  }
+
+  const std::uint32_t warp_size = spec_.warp_size;
+  const std::uint32_t base_thread = ws.index * warp_size;
+
+  auto for_lanes = [&](auto&& fn) {
+    for (std::uint32_t lane = 0; lane < warp_size; ++lane) {
+      if (exec & (1u << lane)) fn(lane);
+    }
+  };
+
+  switch (in.op) {
+    // ---- f32 -------------------------------------------------------------
+    case Opcode::kFAdd:
+      for_lanes([&](std::uint32_t l) {
+        lane_reg(ws, in.dst, l) =
+            as_u32(as_f32(lane_reg(ws, in.src[0], l)) + as_f32(lane_reg(ws, in.src[1], l)));
+      });
+      break;
+    case Opcode::kFSub:
+      for_lanes([&](std::uint32_t l) {
+        lane_reg(ws, in.dst, l) =
+            as_u32(as_f32(lane_reg(ws, in.src[0], l)) - as_f32(lane_reg(ws, in.src[1], l)));
+      });
+      break;
+    case Opcode::kFMul:
+      for_lanes([&](std::uint32_t l) {
+        lane_reg(ws, in.dst, l) =
+            as_u32(as_f32(lane_reg(ws, in.src[0], l)) * as_f32(lane_reg(ws, in.src[1], l)));
+      });
+      break;
+    case Opcode::kFFma:
+      for_lanes([&](std::uint32_t l) {
+        lane_reg(ws, in.dst, l) =
+            as_u32(as_f32(lane_reg(ws, in.src[0], l)) * as_f32(lane_reg(ws, in.src[1], l)) +
+                   as_f32(lane_reg(ws, in.src[2], l)));
+      });
+      break;
+    case Opcode::kFRcp:
+      for_lanes([&](std::uint32_t l) {
+        lane_reg(ws, in.dst, l) = as_u32(1.0f / as_f32(lane_reg(ws, in.src[0], l)));
+      });
+      break;
+    case Opcode::kFRsqrt:
+      for_lanes([&](std::uint32_t l) {
+        lane_reg(ws, in.dst, l) =
+            as_u32(1.0f / std::sqrt(as_f32(lane_reg(ws, in.src[0], l))));
+      });
+      break;
+    case Opcode::kFNeg:
+      for_lanes([&](std::uint32_t l) {
+        lane_reg(ws, in.dst, l) = as_u32(-as_f32(lane_reg(ws, in.src[0], l)));
+      });
+      break;
+    case Opcode::kFAbs:
+      for_lanes([&](std::uint32_t l) {
+        lane_reg(ws, in.dst, l) = as_u32(std::fabs(as_f32(lane_reg(ws, in.src[0], l))));
+      });
+      break;
+    case Opcode::kFMin:
+      for_lanes([&](std::uint32_t l) {
+        lane_reg(ws, in.dst, l) = as_u32(std::fmin(as_f32(lane_reg(ws, in.src[0], l)),
+                                                   as_f32(lane_reg(ws, in.src[1], l))));
+      });
+      break;
+    case Opcode::kFMax:
+      for_lanes([&](std::uint32_t l) {
+        lane_reg(ws, in.dst, l) = as_u32(std::fmax(as_f32(lane_reg(ws, in.src[0], l)),
+                                                   as_f32(lane_reg(ws, in.src[1], l))));
+      });
+      break;
+
+    // ---- u32 -------------------------------------------------------------
+    case Opcode::kIAdd:
+      for_lanes([&](std::uint32_t l) {
+        lane_reg(ws, in.dst, l) = lane_reg(ws, in.src[0], l) + lane_reg(ws, in.src[1], l);
+      });
+      break;
+    case Opcode::kISub:
+      for_lanes([&](std::uint32_t l) {
+        lane_reg(ws, in.dst, l) = lane_reg(ws, in.src[0], l) - lane_reg(ws, in.src[1], l);
+      });
+      break;
+    case Opcode::kIMul:
+      for_lanes([&](std::uint32_t l) {
+        lane_reg(ws, in.dst, l) = lane_reg(ws, in.src[0], l) * lane_reg(ws, in.src[1], l);
+      });
+      break;
+    case Opcode::kIMad:
+      for_lanes([&](std::uint32_t l) {
+        lane_reg(ws, in.dst, l) = lane_reg(ws, in.src[0], l) * lane_reg(ws, in.src[1], l) +
+                                  lane_reg(ws, in.src[2], l);
+      });
+      break;
+    case Opcode::kIAddImm:
+      for_lanes([&](std::uint32_t l) {
+        lane_reg(ws, in.dst, l) = lane_reg(ws, in.src[0], l) + in.imm;
+      });
+      break;
+    case Opcode::kShl:
+      for_lanes([&](std::uint32_t l) {
+        lane_reg(ws, in.dst, l) = lane_reg(ws, in.src[0], l)
+                                  << (lane_reg(ws, in.src[1], l) & 31u);
+      });
+      break;
+    case Opcode::kShr:
+      for_lanes([&](std::uint32_t l) {
+        lane_reg(ws, in.dst, l) =
+            lane_reg(ws, in.src[0], l) >> (lane_reg(ws, in.src[1], l) & 31u);
+      });
+      break;
+    case Opcode::kAnd:
+      for_lanes([&](std::uint32_t l) {
+        lane_reg(ws, in.dst, l) = lane_reg(ws, in.src[0], l) & lane_reg(ws, in.src[1], l);
+      });
+      break;
+    case Opcode::kOr:
+      for_lanes([&](std::uint32_t l) {
+        lane_reg(ws, in.dst, l) = lane_reg(ws, in.src[0], l) | lane_reg(ws, in.src[1], l);
+      });
+      break;
+    case Opcode::kXor:
+      for_lanes([&](std::uint32_t l) {
+        lane_reg(ws, in.dst, l) = lane_reg(ws, in.src[0], l) ^ lane_reg(ws, in.src[1], l);
+      });
+      break;
+    case Opcode::kIMin:
+      for_lanes([&](std::uint32_t l) {
+        lane_reg(ws, in.dst, l) =
+            std::min(lane_reg(ws, in.src[0], l), lane_reg(ws, in.src[1], l));
+      });
+      break;
+    case Opcode::kIMax:
+      for_lanes([&](std::uint32_t l) {
+        lane_reg(ws, in.dst, l) =
+            std::max(lane_reg(ws, in.src[0], l), lane_reg(ws, in.src[1], l));
+      });
+      break;
+
+    // ---- moves / conversions ----------------------------------------------
+    case Opcode::kMov:
+      for_lanes([&](std::uint32_t l) {
+        lane_reg(ws, in.dst, l) = lane_reg(ws, in.src[0], l);
+      });
+      break;
+    case Opcode::kMovImm:
+      for_lanes([&](std::uint32_t l) { lane_reg(ws, in.dst, l) = in.imm; });
+      break;
+    case Opcode::kMovParam:
+      for_lanes([&](std::uint32_t l) { lane_reg(ws, in.dst, l) = bp_.params[in.imm]; });
+      break;
+    case Opcode::kMovSpecial: {
+      const auto s = static_cast<Special>(in.imm);
+      for_lanes([&](std::uint32_t l) {
+        std::uint32_t v = 0;
+        switch (s) {
+          case Special::kTid: v = base_thread + l; break;
+          case Special::kCtaid: v = bp_.block_id; break;
+          case Special::kNtid: v = bp_.cfg.block_threads; break;
+          case Special::kNctaid: v = bp_.cfg.grid_blocks; break;
+          case Special::kLane: v = l; break;
+          case Special::kWarpId: v = ws.index; break;
+          case Special::kSmId: v = bp_.sm_id; break;
+          case Special::kClock: v = static_cast<std::uint32_t>(now); break;
+        }
+        lane_reg(ws, in.dst, l) = v;
+      });
+      break;
+    }
+    case Opcode::kClock:
+      for_lanes([&](std::uint32_t l) {
+        lane_reg(ws, in.dst, l) = static_cast<std::uint32_t>(now);
+      });
+      break;
+    case Opcode::kI2F:
+      for_lanes([&](std::uint32_t l) {
+        lane_reg(ws, in.dst, l) =
+            as_u32(static_cast<float>(lane_reg(ws, in.src[0], l)));
+      });
+      break;
+    case Opcode::kF2I:
+      for_lanes([&](std::uint32_t l) {
+        const float f = as_f32(lane_reg(ws, in.src[0], l));
+        lane_reg(ws, in.dst, l) =
+            f <= 0.0f ? 0u : static_cast<std::uint32_t>(f);
+      });
+      break;
+
+    // ---- predicates --------------------------------------------------------
+    case Opcode::kSetp: {
+      Mask result = 0;
+      const bool has_reg_b = in.src[1].valid();
+      for_lanes([&](std::uint32_t l) {
+        const std::uint32_t a = lane_reg(ws, in.src[0], l);
+        const std::uint32_t b = has_reg_b ? lane_reg(ws, in.src[1], l) : in.imm;
+        const bool t = in.cmp_is_float ? cmp_f32(in.cmp, as_f32(a), as_f32(b))
+                                       : cmp_u32(in.cmp, a, b);
+        if (t) result |= 1u << l;
+      });
+      ws.preds[in.pdst] = (ws.preds[in.pdst] & ~exec) | (result & exec);
+      break;
+    }
+    case Opcode::kPAnd:
+      ws.preds[in.pdst] = (ws.preds[in.pdst] & ~exec) |
+                          (ws.preds[in.psrc0] & ws.preds[in.psrc1] & exec);
+      break;
+    case Opcode::kPOr:
+      ws.preds[in.pdst] = (ws.preds[in.pdst] & ~exec) |
+                          ((ws.preds[in.psrc0] | ws.preds[in.psrc1]) & exec);
+      break;
+    case Opcode::kPNot:
+      ws.preds[in.pdst] =
+          (ws.preds[in.pdst] & ~exec) | (~ws.preds[in.psrc0] & exec);
+      break;
+    case Opcode::kSel: {
+      const Mask p = ws.preds[in.psrc0];
+      for_lanes([&](std::uint32_t l) {
+        lane_reg(ws, in.dst, l) = (p & (1u << l)) ? lane_reg(ws, in.src[0], l)
+                                                  : lane_reg(ws, in.src[1], l);
+      });
+      break;
+    }
+
+    // ---- memory -------------------------------------------------------------
+    case Opcode::kLdGlobal:
+    case Opcode::kStGlobal: {
+      res.kind = StepResult::Kind::kGlobal;
+      res.width = in.width;
+      res.is_store = in.op == Opcode::kStGlobal;
+      res.mem_mask = exec;
+      const std::uint32_t words = width_words(in.width);
+      const std::uint32_t wbytes = width_bytes(in.width);
+      const bool has_base = in.src[0].valid();
+      for_lanes([&](std::uint32_t l) {
+        const std::uint32_t addr =
+            (has_base ? lane_reg(ws, in.src[0], l) : 0u) + in.imm;
+        VGPU_EXPECTS_MSG(addr % wbytes == 0, "misaligned global access");
+        res.lane_addrs[l] = addr;
+        if (res.is_store) {
+          for (std::uint32_t c = 0; c < words; ++c) {
+            gmem_.store_u32(addr + 4u * c,
+                            lane_reg(ws, in.src[1], l, static_cast<std::uint8_t>(c)));
+          }
+        } else {
+          for (std::uint32_t c = 0; c < words; ++c) {
+            lane_reg(ws, in.dst, l, static_cast<std::uint8_t>(c)) =
+                gmem_.load_u32(addr + 4u * c);
+          }
+        }
+      });
+      break;
+    }
+    case Opcode::kLdConst: {
+      res.kind = StepResult::Kind::kConst;
+      res.width = in.width;
+      res.mem_mask = exec;
+      VGPU_EXPECTS_MSG(bp_.cmem != nullptr, "kernel reads constant memory but none bound");
+      const std::uint32_t words = width_words(in.width);
+      const bool has_base = in.src[0].valid();
+      for_lanes([&](std::uint32_t l) {
+        const std::uint32_t addr =
+            (has_base ? lane_reg(ws, in.src[0], l) : 0u) + in.imm;
+        res.lane_addrs[l] = addr;
+        for (std::uint32_t c = 0; c < words; ++c) {
+          lane_reg(ws, in.dst, l, static_cast<std::uint8_t>(c)) =
+              bp_.cmem->load_u32(addr + 4u * c);
+        }
+      });
+      break;
+    }
+    case Opcode::kLdTex: {
+      res.kind = StepResult::Kind::kTex;
+      res.width = in.width;
+      res.mem_mask = exec;
+      const std::uint32_t words = width_words(in.width);
+      const std::uint32_t wbytes = width_bytes(in.width);
+      const bool has_base = in.src[0].valid();
+      for_lanes([&](std::uint32_t l) {
+        const std::uint32_t addr =
+            (has_base ? lane_reg(ws, in.src[0], l) : 0u) + in.imm;
+        VGPU_EXPECTS_MSG(addr % wbytes == 0, "misaligned texture fetch");
+        res.lane_addrs[l] = addr;
+        for (std::uint32_t c = 0; c < words; ++c) {
+          lane_reg(ws, in.dst, l, static_cast<std::uint8_t>(c)) =
+              gmem_.load_u32(addr + 4u * c);
+        }
+      });
+      break;
+    }
+    case Opcode::kLdLocal:
+    case Opcode::kStLocal: {
+      res.kind = StepResult::Kind::kLocal;
+      res.width = in.width;
+      res.is_store = in.op == Opcode::kStLocal;
+      res.mem_mask = exec;
+      const std::uint32_t word = in.imm / 4;
+      VGPU_EXPECTS_MSG(in.imm % 4 == 0 &&
+                           static_cast<std::size_t>(word) * 32u < ws.local.size(),
+                       "local access out of frame");
+      for_lanes([&](std::uint32_t l) {
+        if (res.is_store) {
+          ws.local[static_cast<std::size_t>(word) * 32u + l] =
+              lane_reg(ws, in.src[1], l);
+        } else {
+          lane_reg(ws, in.dst, l) =
+              ws.local[static_cast<std::size_t>(word) * 32u + l];
+        }
+      });
+      break;
+    }
+    case Opcode::kLdShared:
+    case Opcode::kStShared: {
+      res.kind = StepResult::Kind::kShared;
+      res.width = in.width;
+      res.is_store = in.op == Opcode::kStShared;
+      res.mem_mask = exec;
+      const std::uint32_t words = width_words(in.width);
+      const std::uint32_t wbytes = width_bytes(in.width);
+      const bool has_base = in.src[0].valid();
+      for_lanes([&](std::uint32_t l) {
+        const std::uint32_t addr =
+            (has_base ? lane_reg(ws, in.src[0], l) : 0u) + in.imm;
+        VGPU_EXPECTS_MSG(addr % wbytes == 0, "misaligned shared access");
+        res.lane_addrs[l] = addr;
+        if (res.is_store) {
+          for (std::uint32_t c = 0; c < words; ++c) {
+            smem_.store_u32(addr + 4u * c,
+                            lane_reg(ws, in.src[1], l, static_cast<std::uint8_t>(c)));
+          }
+        } else {
+          for (std::uint32_t c = 0; c < words; ++c) {
+            lane_reg(ws, in.dst, l, static_cast<std::uint8_t>(c)) =
+                smem_.load_u32(addr + 4u * c);
+          }
+        }
+      });
+      // Serialization degree: max over the half-warps; all word accesses of
+      // a wide load are presented to the banks together (adjacent banks
+      // serve a 128-bit broadcast in parallel).
+      const std::uint32_t half = spec_.half_warp;
+      std::uint32_t degree = 0;
+      std::array<std::uint32_t, 64> addrs{};
+      for (std::uint32_t h = 0; h < warp_size / half; ++h) {
+        std::size_t n = 0;
+        for (std::uint32_t k = 0; k < half; ++k) {
+          const std::uint32_t lane = h * half + k;
+          if (!(exec & (1u << lane))) continue;
+          for (std::uint32_t c = 0; c < words; ++c) {
+            addrs[n++] = res.lane_addrs[lane] + 4u * c;
+          }
+        }
+        degree = std::max(degree, bank_conflict_degree(
+                                      std::span<const std::uint32_t>(addrs.data(), n),
+                                      spec_.shared_mem_banks));
+      }
+      res.shared_conflict_degree = degree;
+      break;
+    }
+
+    // ---- control ---------------------------------------------------------------
+    case Opcode::kBar:
+      res.kind = StepResult::Kind::kBarrier;
+      ws.at_barrier = true;
+      ++ws.ip;
+      return res;
+    case Opcode::kExit:
+      res.kind = StepResult::Kind::kExit;
+      VGPU_EXPECTS_MSG(ws.stack.empty(), "exit with non-empty divergence stack");
+      ws.done = true;
+      return res;
+    case Opcode::kBra:
+      transfer(ws, in.target);
+      return res;
+    case Opcode::kBraCond: {
+      Mask p = ws.preds[in.psrc0];
+      if (in.branch_if_false) p = ~p;
+      const Mask taken = ws.active & p;
+      BlockId next;
+      if (taken == ws.active) {
+        next = in.target;
+      } else if (taken == 0) {
+        next = in.target2;
+      } else {
+        res.divergent_branch = true;
+        const BlockId r = in.reconv;
+        if (in.target == r) {
+          park(ws, r, taken);
+          ws.active &= ~taken;
+          next = in.target2;
+        } else if (in.target2 == r) {
+          park(ws, r, ws.active & ~taken);
+          ws.active = taken;
+          next = in.target;
+        } else {
+          ws.stack.push_back(DivEntry{r, 0, ws.active & ~taken, in.target2});
+          ws.active = taken;
+          next = in.target;
+        }
+      }
+      transfer(ws, next);
+      return res;
+    }
+  }
+
+  ++ws.ip;
+  return res;
+}
+
+}  // namespace vgpu

@@ -1,0 +1,142 @@
+// interp.hpp - SIMT execution of one thread block.
+//
+// BlockExec holds the architectural state of one resident thread block
+// (per-warp registers, predicates, divergence stacks, shared memory) and
+// exposes a single-instruction stepper. Both executors are built on it:
+// the functional executor (executor.hpp) runs warps to completion for
+// numerical results, and the timing executor (timing.hpp) interleaves
+// steps under a warp scheduler and charges cycle costs to each StepResult.
+//
+// Divergence uses a reconvergence stack driven by the `reconv` annotation
+// the KernelBuilder attaches to conditional branches, the software analogue
+// of the G80's SSY/join mechanism.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "vgpu/arch.hpp"
+#include "vgpu/ir.hpp"
+#include "vgpu/launch.hpp"
+#include "vgpu/memory.hpp"
+
+namespace vgpu {
+
+using Mask = std::uint32_t;
+inline constexpr Mask kFullMask = 0xFFFFFFFFu;
+
+/// One divergence-stack entry. `parked` collects lanes waiting at `reconv`;
+/// `pending_mask`/`pending_block` describe a not-yet-executed alternate path.
+struct DivEntry {
+  BlockId reconv = kNoBlock;
+  Mask parked = 0;
+  Mask pending_mask = 0;
+  BlockId pending_block = kNoBlock;
+};
+
+struct WarpState {
+  std::uint32_t index = 0;  ///< warp index within the block
+  BlockId block = 0;
+  std::uint32_t ip = 0;  ///< instruction index within the block
+  Mask active = kFullMask;
+  std::vector<DivEntry> stack;
+  bool at_barrier = false;
+  bool done = false;
+
+  std::uint64_t ready_cycle = 0;  ///< used by the timing executor
+  std::uint64_t issued = 0;       ///< dynamic warp instructions
+
+  /// Lane storage: regs[slot * 32 + lane]; slot = Program::reg_base + comp.
+  std::vector<std::uint32_t> regs;
+  /// One 32-bit lane mask per predicate register.
+  std::vector<Mask> preds;
+  /// Per-thread local memory (spill frames): local[word * 32 + lane].
+  std::vector<std::uint32_t> local;
+};
+
+/// What one instruction step did; the timing executor prices this.
+struct StepResult {
+  enum class Kind : std::uint8_t {
+    kAlu, kGlobal, kShared, kConst, kTex, kLocal, kBarrier, kExit
+  };
+  Kind kind = Kind::kAlu;
+  Region region = Region::kOther;
+  Opcode op = Opcode::kExit;      ///< the executed opcode (for profiling)
+  bool divergent_branch = false;  ///< kBraCond whose lanes split
+
+  // memory step details (kGlobal / kShared)
+  MemWidth width = MemWidth::kW32;
+  bool is_store = false;
+  Mask mem_mask = 0;                          ///< lanes that accessed memory
+  std::array<std::uint32_t, 32> lane_addrs{};  ///< byte addresses per lane
+  std::uint32_t shared_conflict_degree = 0;    ///< max serialization degree
+};
+
+/// Per-block launch parameters handed to BlockExec.
+struct BlockParams {
+  std::uint32_t block_id = 0;
+  LaunchConfig cfg;
+  std::span<const std::uint32_t> params;
+  std::uint32_t sm_id = 0;
+  /// Read-only constant space (may be null when the kernel uses none).
+  const ConstantMemory* cmem = nullptr;
+};
+
+class BlockExec {
+ public:
+  BlockExec(const Program& prog, const DeviceSpec& spec, GlobalMemory& gmem,
+            const BlockParams& bp);
+
+  BlockExec(const BlockExec&) = delete;
+  BlockExec& operator=(const BlockExec&) = delete;
+
+  [[nodiscard]] std::uint32_t num_warps() const {
+    return static_cast<std::uint32_t>(warps_.size());
+  }
+  [[nodiscard]] WarpState& warp(std::uint32_t w) { return warps_[w]; }
+  [[nodiscard]] const WarpState& warp(std::uint32_t w) const { return warps_[w]; }
+
+  /// Execute the current instruction of warp `w`. `now` feeds the kClock
+  /// probe (simulated cycle in timing mode, pseudo-time in functional mode).
+  StepResult step(std::uint32_t w, std::uint64_t now);
+
+  /// The instruction warp `w` would execute next (nullptr when the warp is
+  /// done or parked at a barrier). The timing executor uses this to check
+  /// scoreboard dependencies before issuing.
+  [[nodiscard]] const Instruction* peek(std::uint32_t w) const;
+
+  /// Register-file slot of an operand (base + component), for scoreboarding.
+  [[nodiscard]] std::uint32_t operand_slot(const Operand& o, std::uint8_t extra = 0) const {
+    return prog_.reg_base[o.reg] + o.comp + extra;
+  }
+  [[nodiscard]] const Program& program() const { return prog_; }
+
+  [[nodiscard]] bool all_done() const;
+  /// True when every warp is either done or waiting at the barrier and at
+  /// least one warp waits (i.e. the barrier may be released).
+  [[nodiscard]] bool barrier_releasable() const;
+  void release_barrier();
+
+ private:
+  void transfer(WarpState& ws, BlockId next);
+  void park(WarpState& ws, BlockId reconv, Mask m);
+
+  [[nodiscard]] std::uint32_t slot(const Operand& o, std::uint8_t extra = 0) const {
+    return prog_.reg_base[o.reg] + o.comp + extra;
+  }
+  [[nodiscard]] std::uint32_t& lane_reg(WarpState& ws, const Operand& o,
+                                        std::uint32_t lane, std::uint8_t extra = 0) {
+    return ws.regs[slot(o, extra) * 32u + lane];
+  }
+
+  const Program& prog_;
+  const DeviceSpec& spec_;
+  GlobalMemory& gmem_;
+  BlockParams bp_;
+  SharedMemory smem_;
+  std::vector<WarpState> warps_;
+};
+
+}  // namespace vgpu

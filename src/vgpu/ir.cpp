@@ -1,0 +1,313 @@
+#include "vgpu/ir.hpp"
+
+#include <sstream>
+
+#include "vgpu/launch.hpp"
+
+namespace vgpu {
+
+const char* to_string(Opcode op) {
+  switch (op) {
+    case Opcode::kFAdd: return "fadd";
+    case Opcode::kFSub: return "fsub";
+    case Opcode::kFMul: return "fmul";
+    case Opcode::kFFma: return "ffma";
+    case Opcode::kFRcp: return "frcp";
+    case Opcode::kFRsqrt: return "frsqrt";
+    case Opcode::kFNeg: return "fneg";
+    case Opcode::kFAbs: return "fabs";
+    case Opcode::kFMin: return "fmin";
+    case Opcode::kFMax: return "fmax";
+    case Opcode::kIAdd: return "iadd";
+    case Opcode::kISub: return "isub";
+    case Opcode::kIMul: return "imul";
+    case Opcode::kIMad: return "imad";
+    case Opcode::kIAddImm: return "iadd.imm";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kIMin: return "imin";
+    case Opcode::kIMax: return "imax";
+    case Opcode::kMov: return "mov";
+    case Opcode::kMovImm: return "mov.imm";
+    case Opcode::kMovSpecial: return "mov.special";
+    case Opcode::kMovParam: return "mov.param";
+    case Opcode::kI2F: return "i2f";
+    case Opcode::kF2I: return "f2i";
+    case Opcode::kSetp: return "setp";
+    case Opcode::kPAnd: return "pand";
+    case Opcode::kPOr: return "por";
+    case Opcode::kPNot: return "pnot";
+    case Opcode::kSel: return "sel";
+    case Opcode::kLdGlobal: return "ld.global";
+    case Opcode::kStGlobal: return "st.global";
+    case Opcode::kLdShared: return "ld.shared";
+    case Opcode::kStShared: return "st.shared";
+    case Opcode::kLdConst: return "ld.const";
+    case Opcode::kLdTex: return "tex.fetch";
+    case Opcode::kLdLocal: return "ld.local";
+    case Opcode::kStLocal: return "st.local";
+    case Opcode::kBra: return "bra";
+    case Opcode::kBraCond: return "bra.cond";
+    case Opcode::kExit: return "exit";
+    case Opcode::kBar: return "bar.sync";
+    case Opcode::kClock: return "clock";
+  }
+  return "invalid";
+}
+
+const char* to_string(Special s) {
+  switch (s) {
+    case Special::kTid: return "%tid";
+    case Special::kCtaid: return "%ctaid";
+    case Special::kNtid: return "%ntid";
+    case Special::kNctaid: return "%nctaid";
+    case Special::kLane: return "%lane";
+    case Special::kWarpId: return "%warpid";
+    case Special::kSmId: return "%smid";
+    case Special::kClock: return "%clock";
+  }
+  return "%invalid";
+}
+
+const char* to_string(CmpOp c) {
+  switch (c) {
+    case CmpOp::kEq: return "eq";
+    case CmpOp::kNe: return "ne";
+    case CmpOp::kLt: return "lt";
+    case CmpOp::kLe: return "le";
+    case CmpOp::kGt: return "gt";
+    case CmpOp::kGe: return "ge";
+  }
+  return "??";
+}
+
+const char* to_string(Region r) {
+  switch (r) {
+    case Region::kSetup: return "S";
+    case Region::kBlockFetch: return "B";
+    case Region::kInner: return "P";
+    case Region::kOther: return "other";
+  }
+  return "?";
+}
+
+std::size_t Program::instruction_count() const {
+  std::size_t n = 0;
+  for (const Block& b : blocks) n += b.instrs.size();
+  return n;
+}
+
+std::size_t Program::block_instruction_count(BlockId b) const {
+  return blocks.at(b).instrs.size();
+}
+
+const char* to_string(InstrClass c) {
+  switch (c) {
+    case InstrClass::kFloatAlu: return "float-alu";
+    case InstrClass::kIntAlu: return "int-alu";
+    case InstrClass::kGlobalMemory: return "global-mem";
+    case InstrClass::kSharedMemory: return "shared-mem";
+    case InstrClass::kControl: return "control";
+    case InstrClass::kOther: return "other";
+  }
+  return "?";
+}
+
+InstrClass instr_class(Opcode op) {
+  switch (op) {
+    case Opcode::kFAdd:
+    case Opcode::kFSub:
+    case Opcode::kFMul:
+    case Opcode::kFFma:
+    case Opcode::kFRcp:
+    case Opcode::kFRsqrt:
+    case Opcode::kFNeg:
+    case Opcode::kFAbs:
+    case Opcode::kFMin:
+    case Opcode::kFMax:
+    case Opcode::kI2F:
+      return InstrClass::kFloatAlu;
+    case Opcode::kIAdd:
+    case Opcode::kISub:
+    case Opcode::kIMul:
+    case Opcode::kIMad:
+    case Opcode::kIAddImm:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kIMin:
+    case Opcode::kIMax:
+    case Opcode::kF2I:
+      return InstrClass::kIntAlu;
+    case Opcode::kLdGlobal:
+    case Opcode::kStGlobal:
+      return InstrClass::kGlobalMemory;
+    case Opcode::kLdShared:
+    case Opcode::kStShared:
+      return InstrClass::kSharedMemory;
+    case Opcode::kLdConst:
+      return InstrClass::kOther;
+    case Opcode::kLdTex:
+    case Opcode::kLdLocal:
+    case Opcode::kStLocal:
+      return InstrClass::kGlobalMemory;
+    case Opcode::kBra:
+    case Opcode::kBraCond:
+    case Opcode::kExit:
+    case Opcode::kBar:
+    case Opcode::kSetp:
+    case Opcode::kPAnd:
+    case Opcode::kPOr:
+    case Opcode::kPNot:
+      return InstrClass::kControl;
+    default:
+      return InstrClass::kOther;
+  }
+}
+
+void Program::refresh_virtual_layout() {
+  reg_base.resize(regs.size());
+  std::uint32_t cursor = 0;
+  for (std::size_t r = 0; r < regs.size(); ++r) {
+    reg_base[r] = cursor;
+    cursor += regs[r].width;
+  }
+  reg_file_size = cursor;
+  allocated = false;
+  num_phys_regs = 0;
+}
+
+namespace {
+
+void print_operand(std::ostream& os, const Operand& o) {
+  if (!o.valid()) {
+    os << "_";
+    return;
+  }
+  os << "r" << o.reg;
+  if (o.comp != 0) os << "." << static_cast<int>(o.comp);
+}
+
+}  // namespace
+
+std::string disassemble(const Instruction& in) {
+  std::ostringstream os;
+  if (in.guard != kNoPred) {
+    os << "@" << (in.guard_negated ? "!" : "") << "p" << in.guard << " ";
+  }
+  os << to_string(in.op);
+  if (in.is_memory()) os << "." << width_bytes(in.width) * 8 << "b";
+  if (in.op == Opcode::kSetp) {
+    os << "." << to_string(in.cmp) << (in.cmp_is_float ? ".f32" : ".u32");
+  }
+  os << " ";
+  switch (in.op) {
+    case Opcode::kLdGlobal:
+    case Opcode::kLdShared:
+    case Opcode::kLdConst:
+    case Opcode::kLdTex:
+    case Opcode::kLdLocal:
+      print_operand(os, in.dst);
+      os << ", [";
+      print_operand(os, in.src[0]);
+      os << "+" << in.imm << "]";
+      break;
+    case Opcode::kStGlobal:
+    case Opcode::kStShared:
+    case Opcode::kStLocal:
+      os << "[";
+      print_operand(os, in.src[0]);
+      os << "+" << in.imm << "], ";
+      print_operand(os, in.src[1]);
+      break;
+    case Opcode::kMovImm:
+      print_operand(os, in.dst);
+      os << ", 0x" << std::hex << in.imm << std::dec;
+      break;
+    case Opcode::kMovSpecial:
+      print_operand(os, in.dst);
+      os << ", " << to_string(static_cast<Special>(in.imm));
+      break;
+    case Opcode::kMovParam:
+      print_operand(os, in.dst);
+      os << ", param[" << in.imm << "]";
+      break;
+    case Opcode::kIAddImm:
+      print_operand(os, in.dst);
+      os << ", ";
+      print_operand(os, in.src[0]);
+      os << ", " << in.imm;
+      break;
+    case Opcode::kSetp:
+      os << "p" << in.pdst << ", ";
+      print_operand(os, in.src[0]);
+      os << ", ";
+      if (in.src[1].valid()) {
+        print_operand(os, in.src[1]);
+      } else {
+        os << in.imm;
+      }
+      break;
+    case Opcode::kPAnd:
+    case Opcode::kPOr:
+      os << "p" << in.pdst << ", p" << in.psrc0 << ", p" << in.psrc1;
+      break;
+    case Opcode::kPNot:
+      os << "p" << in.pdst << ", p" << in.psrc0;
+      break;
+    case Opcode::kSel:
+      print_operand(os, in.dst);
+      os << ", p" << in.psrc0 << ", ";
+      print_operand(os, in.src[0]);
+      os << ", ";
+      print_operand(os, in.src[1]);
+      break;
+    case Opcode::kBra:
+      os << "B" << in.target;
+      break;
+    case Opcode::kBraCond:
+      os << (in.branch_if_false ? "!" : "") << "p" << in.psrc0 << ", B"
+         << in.target << ", else B" << in.target2 << ", reconv B" << in.reconv;
+      break;
+    case Opcode::kExit:
+    case Opcode::kBar:
+      break;
+    default: {
+      print_operand(os, in.dst);
+      bool first = true;
+      for (const Operand& s : in.src) {
+        if (!s.valid()) break;
+        os << (first ? ", " : ", ");
+        first = false;
+        print_operand(os, s);
+      }
+      break;
+    }
+  }
+  return std::move(os).str();
+}
+
+std::string disassemble(const Program& prog) {
+  std::ostringstream os;
+  os << ".kernel " << prog.name << "  (params=" << prog.num_params
+     << ", vregs=" << prog.regs.size() << ", preds=" << prog.num_preds
+     << ", shared=" << prog.shared_bytes << "B";
+  if (prog.local_bytes != 0) os << ", local=" << prog.local_bytes << "B";
+  if (prog.allocated) os << ", phys_regs=" << prog.num_phys_regs;
+  os << ")\n";
+  for (BlockId b = 0; b < prog.blocks.size(); ++b) {
+    os << "B" << b << ":   // region " << to_string(prog.blocks[b].region)
+       << "\n";
+    for (const Instruction& in : prog.blocks[b].instrs) {
+      os << "    " << disassemble(in) << "\n";
+    }
+  }
+  return std::move(os).str();
+}
+
+}  // namespace vgpu

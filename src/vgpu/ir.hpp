@@ -1,0 +1,236 @@
+// ir.hpp - the vgpu kernel intermediate representation.
+//
+// Kernels for the simulated device are expressed in a small, typed,
+// PTX-like IR: scalar 32-bit integer/float operations, vector (64/128-bit)
+// global and shared memory accesses, predicates, and structured control
+// flow over basic blocks. Divergence is handled with reconvergence
+// information attached to conditional branches (the G80 hardware used the
+// analogous SSY/join mechanism).
+//
+// The IR exists so that the paper's two optimization studies can be
+// reproduced mechanically instead of asserted:
+//   * the loop-unrolling result (~18% fewer dynamic instructions, one freed
+//     iterator register) falls out of a real unrolling pass plus constant
+//     folding and a real register allocator (regalloc.hpp), and
+//   * the memory-layout result falls out of the actual per-lane addresses
+//     the interpreter produces, fed through the coalescing models
+//     (coalesce.hpp).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace vgpu {
+
+using RegId = std::uint32_t;
+inline constexpr RegId kNoReg = std::numeric_limits<RegId>::max();
+
+using PredId = std::uint32_t;
+inline constexpr PredId kNoPred = std::numeric_limits<PredId>::max();
+
+using BlockId = std::uint32_t;
+inline constexpr BlockId kNoBlock = std::numeric_limits<BlockId>::max();
+
+/// Scalar value class of a register.
+enum class VType : std::uint8_t { kF32, kU32 };
+
+/// Memory access width in 32-bit words (1 = 32-bit, 2 = 64-bit, 4 = 128-bit).
+enum class MemWidth : std::uint8_t { kW32 = 1, kW64 = 2, kW128 = 4 };
+
+[[nodiscard]] inline std::uint32_t width_words(MemWidth w) {
+  return static_cast<std::uint32_t>(w);
+}
+[[nodiscard]] inline std::uint32_t width_bytes(MemWidth w) {
+  return 4u * static_cast<std::uint32_t>(w);
+}
+
+/// Comparison operators for kSetp.
+enum class CmpOp : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Special (hardware) registers readable with kMovSpecial.
+/// The grid is one-dimensional, matching the paper's kernels.
+enum class Special : std::uint8_t {
+  kTid,     ///< thread index within the block
+  kCtaid,   ///< block index within the grid
+  kNtid,    ///< threads per block
+  kNctaid,  ///< blocks per grid
+  kLane,    ///< lane index within the warp
+  kWarpId,  ///< warp index within the block
+  kSmId,    ///< SM the block is resident on (timing mode; 0 otherwise)
+  kClock,   ///< current cycle count - the paper's clock() probe
+};
+
+enum class Opcode : std::uint8_t {
+  // f32 arithmetic (dst and sources are scalar components)
+  kFAdd, kFSub, kFMul, kFFma,   // kFFma: d = a*b + c
+  kFRcp, kFRsqrt, kFNeg, kFAbs, kFMin, kFMax,
+  // u32/s32 arithmetic
+  kIAdd, kISub, kIMul, kIMad,   // kIMad: d = a*b + c
+  kIAddImm,                     // d = a + imm  (address arithmetic form)
+  kShl, kShr, kAnd, kOr, kXor, kIMin, kIMax,
+  // moves and conversions
+  kMov,         // d = a
+  kMovImm,      // d = imm (raw 32-bit pattern; type from dst register)
+  kMovSpecial,  // d = special register 'imm'
+  kMovParam,    // d = kernel parameter word 'imm' (constant-cache access)
+  kI2F, kF2I,
+  // predicates
+  kSetp,        // pdst = cmp(a, b); cmp_is_float selects the domain.
+                // When src[1] is invalid, b is the immediate `imm`
+                // (integer compares only), like hardware ISETP with an
+                // immediate operand - loop bounds then occupy no register.
+  kPAnd, kPOr, kPNot,
+  kSel,         // d = psrc0 ? a : b
+  // memory; address = src[0] register (byte address) + 'imm' byte offset.
+  // src[0] may be invalid: the address is then the absolute immediate
+  // (used for shared-memory accesses after full unrolling folds the index).
+  kLdGlobal, kStGlobal, kLdShared, kStShared,
+  // read-only spaces: constant memory (per-SM cached, broadcast-fast) and
+  // texture fetches (global addresses through the per-SM texture cache)
+  kLdConst, kLdTex,
+  // per-thread local memory (register spills; DRAM-backed, addresses are
+  // absolute frame offsets in `imm`, lane-interleaved so spills coalesce)
+  kLdLocal, kStLocal,
+  // control flow (block terminators)
+  kBra,      // unconditional jump to 'target'
+  kBraCond,  // jump to 'target' where psrc0 (xor branch_if_false); else
+             // fall through to 'target2'. 'reconv' gives the reconvergence
+             // block used by the divergence stack.
+  kExit,     // thread exit (must be convergence-free: empty divergence stack)
+  kBar,      // block-wide barrier (__syncthreads)
+  kClock,    // d = cycle counter (alias of kMovSpecial kClock, kept explicit
+             // because the fig. 10 protocol depends on it)
+};
+
+[[nodiscard]] const char* to_string(Opcode op);
+[[nodiscard]] const char* to_string(Special s);
+[[nodiscard]] const char* to_string(CmpOp c);
+
+/// A register operand: a (possibly vector) register plus a component index.
+/// After a 128-bit load into vector register v, `Operand{v, 2}` names its
+/// third 32-bit word, exactly like `v.z` on a float4.
+struct Operand {
+  RegId reg = kNoReg;
+  std::uint8_t comp = 0;
+
+  [[nodiscard]] bool valid() const { return reg != kNoReg; }
+  friend bool operator==(const Operand&, const Operand&) = default;
+};
+
+struct Instruction {
+  Opcode op = Opcode::kExit;
+  MemWidth width = MemWidth::kW32;  // memory ops only
+  CmpOp cmp = CmpOp::kEq;           // kSetp only
+  bool cmp_is_float = false;        // kSetp only
+  bool branch_if_false = false;     // kBraCond: branch when predicate false
+
+  Operand dst;                       // result (comp must be 0 for wide defs)
+  Operand src[3];                    // operands; src[0] is the address for
+                                     // memory ops, src[1] the store value
+  std::uint32_t imm = 0;             // immediate / param index / special id /
+                                     // byte offset for memory ops
+  PredId pdst = kNoPred;             // kSetp result
+  PredId psrc0 = kNoPred;            // predicate source (kBraCond, kSel, ...)
+  PredId psrc1 = kNoPred;            // second predicate source (kPAnd, ...)
+  PredId guard = kNoPred;            // optional per-lane guard predicate
+  bool guard_negated = false;
+
+  BlockId target = kNoBlock;         // branch target (taken path)
+  BlockId target2 = kNoBlock;        // kBraCond fall-through
+  BlockId reconv = kNoBlock;         // kBraCond reconvergence point
+
+  [[nodiscard]] bool is_terminator() const {
+    return op == Opcode::kBra || op == Opcode::kBraCond || op == Opcode::kExit;
+  }
+  [[nodiscard]] bool is_memory() const {
+    return op == Opcode::kLdGlobal || op == Opcode::kStGlobal ||
+           op == Opcode::kLdShared || op == Opcode::kStShared ||
+           op == Opcode::kLdConst || op == Opcode::kLdTex ||
+           op == Opcode::kLdLocal || op == Opcode::kStLocal;
+  }
+  [[nodiscard]] bool is_load() const {
+    return op == Opcode::kLdGlobal || op == Opcode::kLdShared ||
+           op == Opcode::kLdConst || op == Opcode::kLdTex ||
+           op == Opcode::kLdLocal;
+  }
+  [[nodiscard]] bool is_store() const {
+    return op == Opcode::kStGlobal || op == Opcode::kStShared ||
+           op == Opcode::kStLocal;
+  }
+  [[nodiscard]] bool is_global_memory() const {
+    return op == Opcode::kLdGlobal || op == Opcode::kStGlobal;
+  }
+};
+
+/// Register metadata: scalar type and width in 32-bit words (1, 2 or 4).
+struct RegInfo {
+  VType type = VType::kU32;
+  std::uint8_t width = 1;
+};
+
+/// Dynamic-instruction accounting region, used by the Eq. 3 (S/B/P)
+/// decomposition of the paper: S = per-thread setup, B = per-tile fetch,
+/// P = innermost loop. kOther covers epilogue/boundary code.
+enum class Region : std::uint8_t { kSetup, kBlockFetch, kInner, kOther };
+
+[[nodiscard]] const char* to_string(Region r);
+inline constexpr std::size_t kRegionCount = 4;
+
+struct Block {
+  std::vector<Instruction> instrs;
+  Region region = Region::kOther;
+
+  [[nodiscard]] const Instruction& terminator() const { return instrs.back(); }
+};
+
+/// Metadata describing a counted loop, recorded by the KernelBuilder so the
+/// unrolling pass (src/unroll) can operate on annotated loops instead of
+/// rediscovering structure.
+struct LoopInfo {
+  BlockId preheader = kNoBlock;  ///< block ending with a jump into the body
+  BlockId body = kNoBlock;       ///< single body block (bottom-tested loop)
+  BlockId exit = kNoBlock;       ///< block control reaches when done
+  RegId iv = kNoReg;             ///< induction variable (u32)
+  std::uint32_t start = 0;       ///< first iv value
+  std::uint32_t step = 1;        ///< iv increment per iteration
+  std::uint32_t trip_count = 0;  ///< constant trip count (0 = unknown)
+};
+
+struct Program {
+  std::string name;
+  std::vector<Block> blocks;
+  std::vector<RegInfo> regs;     ///< indexed by RegId (virtual until allocated)
+  std::uint32_t num_preds = 0;   ///< number of predicate registers
+  std::uint32_t num_params = 0;  ///< kernel parameter words
+  std::uint32_t shared_bytes = 0;///< static shared memory per block
+  std::uint32_t local_bytes = 0; ///< per-thread local frame (spills)
+  std::vector<LoopInfo> loops;
+
+  /// Set by the register allocator: physical register file size required per
+  /// thread (the paper's "registers used by a single thread").
+  std::uint32_t num_phys_regs = 0;
+  bool allocated = false;
+
+  /// Storage slot of component 0 of each register in a thread's register
+  /// file. Before allocation this is a dense virtual layout (prefix sums of
+  /// widths, filled by KernelBuilder::finish); the register allocator
+  /// rewrites it with physical assignments. The interpreter indexes lane
+  /// storage as reg_base[r] + comp.
+  std::vector<std::uint32_t> reg_base;
+  std::uint32_t reg_file_size = 0;
+
+  /// Recompute the dense virtual layout from `regs` (used by passes that
+  /// add registers before allocation).
+  void refresh_virtual_layout();
+
+  [[nodiscard]] std::size_t instruction_count() const;
+  [[nodiscard]] std::size_t block_instruction_count(BlockId b) const;
+};
+
+/// Human-readable disassembly (one instruction per line, blocks labelled).
+[[nodiscard]] std::string disassemble(const Program& prog);
+[[nodiscard]] std::string disassemble(const Instruction& in);
+
+}  // namespace vgpu

@@ -1,0 +1,72 @@
+#include "vgpu/occupancy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "vgpu/check.hpp"
+
+namespace vgpu {
+
+const char* to_string(OccupancyLimiter l) {
+  switch (l) {
+    case OccupancyLimiter::kRegisters: return "registers";
+    case OccupancyLimiter::kSharedMemory: return "shared memory";
+    case OccupancyLimiter::kThreads: return "threads";
+    case OccupancyLimiter::kBlocks: return "blocks";
+  }
+  return "?";
+}
+
+namespace {
+
+[[nodiscard]] std::uint32_t align_up(std::uint32_t v, std::uint32_t unit) {
+  return (v + unit - 1) / unit * unit;
+}
+
+}  // namespace
+
+OccupancyResult compute_occupancy(const DeviceSpec& spec,
+                                  std::uint32_t block_threads,
+                                  std::uint32_t regs_per_thread,
+                                  std::uint32_t shared_per_block) {
+  VGPU_EXPECTS(block_threads >= 1 && block_threads % spec.warp_size == 0);
+  VGPU_EXPECTS(block_threads <= spec.max_threads_per_block);
+
+  const std::uint32_t no_limit = std::numeric_limits<std::uint32_t>::max();
+
+  const std::uint32_t by_threads = spec.max_threads_per_sm / block_threads;
+  const std::uint32_t by_blocks = spec.max_blocks_per_sm;
+
+  std::uint32_t by_regs = no_limit;
+  if (regs_per_thread > 0) {
+    const std::uint32_t regs_per_block =
+        align_up(regs_per_thread * block_threads, spec.register_alloc_unit);
+    by_regs = spec.registers_per_sm / regs_per_block;
+  }
+
+  std::uint32_t by_shared = no_limit;
+  if (shared_per_block > 0) {
+    const std::uint32_t smem_per_block =
+        align_up(shared_per_block, spec.shared_alloc_unit);
+    by_shared = spec.shared_mem_per_sm / smem_per_block;
+  }
+
+  OccupancyResult r;
+  r.blocks_per_sm = std::min({by_threads, by_blocks, by_regs, by_shared});
+  if (r.blocks_per_sm == by_regs) {
+    r.limiter = OccupancyLimiter::kRegisters;
+  } else if (r.blocks_per_sm == by_shared) {
+    r.limiter = OccupancyLimiter::kSharedMemory;
+  } else if (r.blocks_per_sm == by_threads) {
+    r.limiter = OccupancyLimiter::kThreads;
+  } else {
+    r.limiter = OccupancyLimiter::kBlocks;
+  }
+  r.threads_per_sm = r.blocks_per_sm * block_threads;
+  r.warps_per_sm = r.threads_per_sm / spec.warp_size;
+  r.occupancy = static_cast<double>(r.warps_per_sm) /
+                static_cast<double>(spec.max_warps_per_sm());
+  return r;
+}
+
+}  // namespace vgpu

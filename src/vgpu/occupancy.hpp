@@ -1,0 +1,40 @@
+// occupancy.hpp - the G80 occupancy calculator.
+//
+// Mirrors NVIDIA's CUDA occupancy calculator for compute capability 1.0:
+// resident blocks per SM are limited by the register file, shared memory,
+// the resident-thread limit and the resident-block limit; occupancy is
+// resident warps over the maximum (24 on G80). Reproduces the paper's
+// 50% -> 67% step when the Gravit kernel drops from 18 to 16 registers at
+// block size 128.
+#pragma once
+
+#include <cstdint>
+
+#include "vgpu/arch.hpp"
+
+namespace vgpu {
+
+enum class OccupancyLimiter : std::uint8_t {
+  kRegisters,
+  kSharedMemory,
+  kThreads,
+  kBlocks,
+};
+
+[[nodiscard]] const char* to_string(OccupancyLimiter l);
+
+struct OccupancyResult {
+  std::uint32_t blocks_per_sm = 0;
+  std::uint32_t warps_per_sm = 0;
+  std::uint32_t threads_per_sm = 0;
+  double occupancy = 0.0;  ///< warps_per_sm / max_warps_per_sm
+  OccupancyLimiter limiter = OccupancyLimiter::kBlocks;
+};
+
+/// regs_per_thread == 0 means "no register pressure" (useful in tests).
+[[nodiscard]] OccupancyResult compute_occupancy(const DeviceSpec& spec,
+                                                std::uint32_t block_threads,
+                                                std::uint32_t regs_per_thread,
+                                                std::uint32_t shared_per_block);
+
+}  // namespace vgpu

@@ -1,0 +1,412 @@
+#include "vgpu/opt.hpp"
+
+#include <bit>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "vgpu/check.hpp"
+#include "vgpu/verify.hpp"
+
+namespace vgpu {
+
+namespace {
+
+[[nodiscard]] bool has_side_effect(const Instruction& in) {
+  switch (in.op) {
+    case Opcode::kStGlobal:
+    case Opcode::kStShared:
+    case Opcode::kStLocal:
+    case Opcode::kBra:
+    case Opcode::kBraCond:
+    case Opcode::kExit:
+    case Opcode::kBar:
+    case Opcode::kClock:  // timing probe: removal would change measurements
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Scalar, unguarded definition (the only kind the local passes track).
+[[nodiscard]] bool is_trackable_def(const Program& prog, const Instruction& in) {
+  return in.dst.valid() && in.guard == kNoPred && prog.regs[in.dst.reg].width == 1;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// constant folding
+// ---------------------------------------------------------------------------
+
+OptStats fold_constants(Program& prog) {
+  OptStats stats;
+  // Registers defined exactly once, by an unguarded kMovImm, hold their
+  // constant everywhere they are live (any use is dominated by the single
+  // definition), so they seed every block's constant map. This keeps
+  // folding working across blocks, e.g. after invariant code motion moved
+  // a constant into a loop preheader.
+  std::unordered_map<RegId, std::uint32_t> global_consts;
+  {
+    std::unordered_map<RegId, std::uint32_t> def_count;
+    for (const Block& blk : prog.blocks) {
+      for (const Instruction& in : blk.instrs) {
+        if (in.dst.valid()) ++def_count[in.dst.reg];
+      }
+    }
+    for (const Block& blk : prog.blocks) {
+      for (const Instruction& in : blk.instrs) {
+        if (in.op == Opcode::kMovImm && is_trackable_def(prog, in) &&
+            def_count[in.dst.reg] == 1) {
+          global_consts[in.dst.reg] = in.imm;
+        }
+      }
+    }
+  }
+  for (Block& blk : prog.blocks) {
+    std::unordered_map<RegId, std::uint32_t> consts = global_consts;
+    auto lookup = [&](const Operand& o, std::uint32_t& out) {
+      if (!o.valid() || o.comp != 0) return false;
+      auto it = consts.find(o.reg);
+      if (it == consts.end()) return false;
+      out = it->second;
+      return true;
+    };
+    for (Instruction& in : blk.instrs) {
+      if (in.guard == kNoPred) {
+        std::uint32_t a = 0;
+        std::uint32_t b = 0;
+        std::uint32_t c = 0;
+        const bool ca = lookup(in.src[0], a);
+        const bool cb = lookup(in.src[1], b);
+        const bool cc = lookup(in.src[2], c);
+        auto to_movimm = [&](std::uint32_t v) {
+          in.op = Opcode::kMovImm;
+          in.src[0] = in.src[1] = in.src[2] = Operand{};
+          in.imm = v;
+          ++stats.constants_folded;
+        };
+        auto to_iaddimm = [&](Operand reg_src, std::uint32_t add) {
+          in.op = Opcode::kIAddImm;
+          in.src[0] = reg_src;
+          in.src[1] = in.src[2] = Operand{};
+          in.imm = add;
+          ++stats.constants_folded;
+        };
+        switch (in.op) {
+          case Opcode::kIAdd:
+            if (ca && cb) to_movimm(a + b);
+            else if (cb) to_iaddimm(in.src[0], b);
+            else if (ca) to_iaddimm(in.src[1], a);
+            break;
+          case Opcode::kISub:
+            if (ca && cb) to_movimm(a - b);
+            else if (cb) to_iaddimm(in.src[0], 0u - b);
+            break;
+          case Opcode::kIMul:
+            if (ca && cb) to_movimm(a * b);
+            break;
+          case Opcode::kIMad:
+            if (ca && cb && cc) to_movimm(a * b + c);
+            else if (ca && cb) to_iaddimm(in.src[2], a * b);
+            break;
+          case Opcode::kIAddImm:
+            if (ca) to_movimm(a + in.imm);
+            break;
+          case Opcode::kShl:
+            if (ca && cb) to_movimm(a << (b & 31u));
+            break;
+          case Opcode::kShr:
+            if (ca && cb) to_movimm(a >> (b & 31u));
+            break;
+          case Opcode::kMov:
+            if (ca) to_movimm(a);
+            break;
+          case Opcode::kI2F:
+            if (ca) to_movimm(std::bit_cast<std::uint32_t>(static_cast<float>(a)));
+            break;
+          default:
+            break;
+        }
+      }
+      // update tracking: a definition either records a new constant or kills
+      // the old knowledge about the register.
+      if (in.dst.valid()) {
+        if (in.op == Opcode::kMovImm && is_trackable_def(prog, in)) {
+          consts[in.dst.reg] = in.imm;
+        } else {
+          consts.erase(in.dst.reg);
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// copy propagation
+// ---------------------------------------------------------------------------
+
+OptStats propagate_copies(Program& prog) {
+  OptStats stats;
+  for (Block& blk : prog.blocks) {
+    std::unordered_map<RegId, Operand> alias;
+    auto kill = [&](RegId r) {
+      alias.erase(r);
+      for (auto it = alias.begin(); it != alias.end();) {
+        if (it->second.reg == r) {
+          it = alias.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    };
+    for (Instruction& in : blk.instrs) {
+      for (Operand& o : in.src) {
+        if (!o.valid() || o.comp != 0) continue;
+        auto it = alias.find(o.reg);
+        if (it != alias.end()) {
+          o = it->second;
+          ++stats.copies_propagated;
+        }
+      }
+      if (in.dst.valid()) {
+        kill(in.dst.reg);
+        if (in.op == Opcode::kMov && is_trackable_def(prog, in) &&
+            in.src[0].reg != in.dst.reg) {
+          alias[in.dst.reg] = in.src[0];
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// address folding
+// ---------------------------------------------------------------------------
+
+OptStats fold_addresses(Program& prog) {
+  OptStats stats;
+  struct AddrInfo {
+    Operand root;
+    std::uint32_t offset = 0;
+  };
+  // single-definition MovImm registers are absolute addresses
+  std::unordered_map<RegId, std::uint32_t> abs_consts;
+  {
+    std::unordered_map<RegId, std::uint32_t> def_count;
+    for (const Block& blk : prog.blocks) {
+      for (const Instruction& in : blk.instrs) {
+        if (in.dst.valid()) ++def_count[in.dst.reg];
+      }
+    }
+    for (const Block& blk : prog.blocks) {
+      for (const Instruction& in : blk.instrs) {
+        if (in.op == Opcode::kMovImm && is_trackable_def(prog, in) &&
+            def_count[in.dst.reg] == 1) {
+          abs_consts[in.dst.reg] = in.imm;
+        }
+      }
+    }
+  }
+  for (Block& blk : prog.blocks) {
+    std::unordered_map<RegId, AddrInfo> addrs;
+    // block-local MovImm addresses (e.g. per-copy constants after full
+    // unrolling) are tracked like the global single-def ones
+    std::unordered_map<RegId, std::uint32_t> local_consts;
+    auto kill = [&](RegId r) {
+      addrs.erase(r);
+      for (auto it = addrs.begin(); it != addrs.end();) {
+        if (it->second.root.reg == r) {
+          it = addrs.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    };
+    for (Instruction& in : blk.instrs) {
+      if (in.is_memory()) {
+        Operand& a = in.src[0];
+        if (a.valid() && a.comp == 0) {
+          auto it = addrs.find(a.reg);
+          if (it != addrs.end()) {
+            a = it->second.root;
+            in.imm += it->second.offset;
+            ++stats.addresses_folded;
+          }
+        }
+        // constant base -> absolute immediate address
+        if (a.valid() && a.comp == 0) {
+          auto lc = local_consts.find(a.reg);
+          const auto gc = abs_consts.find(a.reg);
+          if (lc != local_consts.end()) {
+            in.imm += lc->second;
+            a = Operand{};
+            ++stats.addresses_folded;
+          } else if (gc != abs_consts.end()) {
+            in.imm += gc->second;
+            a = Operand{};
+            ++stats.addresses_folded;
+          }
+        }
+      }
+      if (in.dst.valid()) {
+        const RegId d = in.dst.reg;
+        if (in.op == Opcode::kIAddImm && is_trackable_def(prog, in) &&
+            in.src[0].reg != d) {
+          AddrInfo info{in.src[0], in.imm};
+          auto it = addrs.find(in.src[0].reg);
+          if (it != addrs.end() && in.src[0].comp == 0) {
+            info.root = it->second.root;
+            info.offset = it->second.offset + in.imm;
+          }
+          kill(d);
+          local_consts.erase(d);
+          addrs[d] = info;
+        } else if (in.op == Opcode::kMovImm && is_trackable_def(prog, in)) {
+          kill(d);
+          local_consts[d] = in.imm;
+        } else {
+          kill(d);
+          local_consts.erase(d);
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// dead code elimination
+// ---------------------------------------------------------------------------
+
+OptStats eliminate_dead_code(Program& prog) {
+  OptStats stats;
+  const std::size_t nregs = prog.regs.size();
+  const std::size_t npreds = prog.num_preds;
+
+  // Phase 1 (global): remove definitions of registers/predicates that have
+  // zero uses anywhere in the program. This catches multi-block leftovers
+  // such as the per-copy induction-variable moves after full unrolling.
+  {
+    std::vector<std::uint32_t> reg_uses(nregs, 0);
+    std::vector<std::uint32_t> pred_uses(npreds, 0);
+    for (const Block& blk : prog.blocks) {
+      for (const Instruction& in : blk.instrs) {
+        for (const Operand& s : in.src) {
+          if (s.valid()) ++reg_uses[s.reg];
+        }
+        if (in.psrc0 != kNoPred) ++pred_uses[in.psrc0];
+        if (in.psrc1 != kNoPred) ++pred_uses[in.psrc1];
+        if (in.guard != kNoPred) ++pred_uses[in.guard];
+      }
+    }
+    for (Block& blk : prog.blocks) {
+      auto& instrs = blk.instrs;
+      for (std::size_t k = instrs.size(); k-- > 0;) {
+        const Instruction& in = instrs[k];
+        if (has_side_effect(in) || in.guard != kNoPred) continue;
+        const bool defines_reg = in.dst.valid();
+        const bool defines_pred = in.pdst != kNoPred;
+        if (!defines_reg && !defines_pred) continue;
+        if (defines_reg && reg_uses[in.dst.reg] != 0) continue;
+        if (defines_pred && pred_uses[in.pdst] != 0) continue;
+        instrs.erase(instrs.begin() + static_cast<std::ptrdiff_t>(k));
+        ++stats.dead_removed;
+      }
+    }
+  }
+
+  // A register (or predicate) is a local candidate only if every definition
+  // and use sits in one single block.
+  std::vector<std::int32_t> reg_block(nregs, -1);   // -2 = crosses blocks
+  std::vector<std::int32_t> pred_block(npreds, -1);
+  auto touch = [](std::vector<std::int32_t>& v, std::size_t id, std::int32_t b) {
+    if (v[id] == -1) {
+      v[id] = b;
+    } else if (v[id] != b) {
+      v[id] = -2;
+    }
+  };
+  for (std::size_t bi = 0; bi < prog.blocks.size(); ++bi) {
+    const auto b = static_cast<std::int32_t>(bi);
+    for (const Instruction& in : prog.blocks[bi].instrs) {
+      if (in.dst.valid()) touch(reg_block, in.dst.reg, b);
+      for (const Operand& s : in.src) {
+        if (s.valid()) touch(reg_block, s.reg, b);
+      }
+      if (in.pdst != kNoPred) touch(pred_block, in.pdst, b);
+      if (in.psrc0 != kNoPred) touch(pred_block, in.psrc0, b);
+      if (in.psrc1 != kNoPred) touch(pred_block, in.psrc1, b);
+      if (in.guard != kNoPred) touch(pred_block, in.guard, b);
+    }
+  }
+
+  // Phase 2 (per block, backward): three-state per register -
+  //   kDead: no use before the end of the block / the next overwriting def,
+  //          so an unguarded pure definition here is removable. Block-local
+  //          registers start dead; cross-block registers become dead when a
+  //          later unconditional definition in the same block supersedes
+  //          them (dead-store elimination on registers).
+  //   kLive: used later in the block before any kill.
+  //   kUnknown: cross-block register with no later in-block event.
+  enum class St : std::uint8_t { kUnknown, kLive, kDead };
+  std::vector<St> reg_st(nregs);
+  std::vector<St> pred_st(npreds);
+  for (std::size_t bi = 0; bi < prog.blocks.size(); ++bi) {
+    const auto b = static_cast<std::int32_t>(bi);
+    for (std::size_t r = 0; r < nregs; ++r) {
+      reg_st[r] = reg_block[r] == b ? St::kDead : St::kUnknown;
+    }
+    for (std::size_t p = 0; p < npreds; ++p) {
+      pred_st[p] = pred_block[p] == b ? St::kDead : St::kUnknown;
+    }
+    auto& instrs = prog.blocks[bi].instrs;
+    for (std::size_t k = instrs.size(); k-- > 0;) {
+      Instruction& in = instrs[k];
+      const bool defines_reg = in.dst.valid();
+      const bool defines_pred = in.pdst != kNoPred;
+      const bool removable =
+          !has_side_effect(in) && in.guard == kNoPred &&
+          (defines_reg || defines_pred) &&
+          (!defines_reg || reg_st[in.dst.reg] == St::kDead) &&
+          (!defines_pred || pred_st[in.pdst] == St::kDead);
+      if (removable) {
+        instrs.erase(instrs.begin() + static_cast<std::ptrdiff_t>(k));
+        ++stats.dead_removed;
+        continue;
+      }
+      // kept: an unguarded definition kills earlier definitions...
+      if (in.dst.valid() && in.guard == kNoPred) reg_st[in.dst.reg] = St::kDead;
+      if (in.pdst != kNoPred && in.guard == kNoPred) pred_st[in.pdst] = St::kDead;
+      // ...and uses (including guarded partial defs, which read the old
+      // value) make the register live.
+      if (in.dst.valid() && in.guard != kNoPred) reg_st[in.dst.reg] = St::kLive;
+      for (const Operand& s : in.src) {
+        if (s.valid()) reg_st[s.reg] = St::kLive;
+      }
+      if (in.psrc0 != kNoPred) pred_st[in.psrc0] = St::kLive;
+      if (in.psrc1 != kNoPred) pred_st[in.psrc1] = St::kLive;
+      if (in.guard != kNoPred) pred_st[in.guard] = St::kLive;
+    }
+  }
+  return stats;
+}
+
+OptStats run_standard_pipeline(Program& prog) {
+  OptStats total;
+  for (int iter = 0; iter < 10; ++iter) {
+    OptStats round;
+    round += propagate_copies(prog);
+    round += fold_constants(prog);
+    round += fold_addresses(prog);
+    round += eliminate_dead_code(prog);
+    total += round;
+    if (round.total() == 0) break;
+  }
+  verify(prog);
+  return total;
+}
+
+}  // namespace vgpu

@@ -1,0 +1,108 @@
+#include "vgpu/profiler.hpp"
+
+#include <sstream>
+
+#include "vgpu/check.hpp"
+#include "vgpu/occupancy.hpp"
+
+namespace vgpu {
+
+KernelProfile profile_kernel(const Program& prog, Device& dev,
+                             const LaunchConfig& cfg,
+                             std::span<const std::uint32_t> params,
+                             const TimingOptions& opt) {
+  VGPU_EXPECTS_MSG(prog.allocated, "profile requires an allocated program");
+  KernelProfile p;
+  p.kernel_name = prog.name;
+  p.regs_per_thread = prog.num_phys_regs;
+  p.shared_bytes = prog.shared_bytes;
+  p.block_threads = cfg.block_threads;
+
+  const OccupancyResult occ = compute_occupancy(
+      dev.spec(), cfg.block_threads, prog.num_phys_regs, prog.shared_bytes);
+  p.limiter = occ.limiter;
+
+  p.stats = run_timed(prog, dev.spec(), dev.gmem(), cfg, params, opt);
+  const LaunchStats& s = p.stats;
+
+  const std::uint32_t n_sms = opt.sim_sms == 0 ? dev.spec().sm_count
+                                               : std::min(opt.sim_sms, dev.spec().sm_count);
+  const double sm_cycles = static_cast<double>(s.cycles) * n_sms;
+  if (s.cycles > 0) {
+    p.ipc = static_cast<double>(s.warp_instructions) / sm_cycles;
+    p.issue_utilization = static_cast<double>(s.sm_issue_cycles) / sm_cycles;
+    // bytes / cycles -> bytes/cycle; * clock(kHz) * 1000 -> bytes/s
+    const double bytes_per_cycle =
+        static_cast<double>(s.global_bytes) / static_cast<double>(s.cycles);
+    p.achieved_gbps = bytes_per_cycle * dev.spec().core_clock_khz * 1000.0 / 1e9;
+  }
+  if (s.global_requests > 0) {
+    p.coalesced_fraction = static_cast<double>(s.coalesced_requests) /
+                           static_cast<double>(s.global_requests);
+    p.avg_txn_per_request = static_cast<double>(s.global_transactions) /
+                            static_cast<double>(s.global_requests);
+  }
+  const std::uint64_t control =
+      s.instr_class_counts[static_cast<std::size_t>(InstrClass::kControl)];
+  if (control > 0) {
+    p.divergence_rate =
+        static_cast<double>(s.divergent_branches) / static_cast<double>(control);
+  }
+  return p;
+}
+
+std::string format_profile(const KernelProfile& p, const DeviceSpec& spec) {
+  const LaunchStats& s = p.stats;
+  std::ostringstream os;
+  char buf[160];
+  auto line = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    os << buf << "\n";
+  };
+  os << "=== vgpu profile: " << p.kernel_name << " ===\n";
+  line("launch         : %u blocks x %u threads  (%u simulated, x%.2f)",
+       s.blocks_total, p.block_threads, s.blocks_simulated,
+       s.extrapolation_factor);
+  line("resources      : %u regs/thread, %u B shared/block", p.regs_per_thread,
+       p.shared_bytes);
+  line("occupancy      : %.0f%% (%u blocks/SM, limited by %s)",
+       100.0 * s.occupancy, s.blocks_per_sm, to_string(p.limiter));
+  line("cycles         : %llu  (%.3f ms at %.2f GHz)",
+       static_cast<unsigned long long>(s.cycles), spec.cycles_to_ms(
+           static_cast<double>(s.cycles)),
+       spec.core_clock_khz / 1e6);
+  line("warp instrs    : %llu  (IPC/SM %.3f, issue util %.0f%%)",
+       static_cast<unsigned long long>(s.warp_instructions), p.ipc,
+       100.0 * p.issue_utilization);
+  os << "instruction mix:";
+  const std::uint64_t total = s.warp_instructions > 0 ? s.warp_instructions : 1;
+  for (std::size_t c = 0; c < s.instr_class_counts.size(); ++c) {
+    if (s.instr_class_counts[c] == 0) continue;
+    line("  %-12s %6.1f%%  (%llu)", to_string(static_cast<InstrClass>(c)),
+         100.0 * static_cast<double>(s.instr_class_counts[c]) /
+             static_cast<double>(total),
+         static_cast<unsigned long long>(s.instr_class_counts[c]));
+  }
+  line("S/B/P regions  : S %llu, B %llu, P %llu, other %llu (warp instrs)",
+       static_cast<unsigned long long>(s.region(Region::kSetup)),
+       static_cast<unsigned long long>(s.region(Region::kBlockFetch)),
+       static_cast<unsigned long long>(s.region(Region::kInner)),
+       static_cast<unsigned long long>(s.region(Region::kOther)));
+  line("global memory  : %llu requests, %.1f txn/request, %.0f%% coalesced",
+       static_cast<unsigned long long>(s.global_requests),
+       p.avg_txn_per_request, 100.0 * p.coalesced_fraction);
+  line("dram traffic   : %llu B (%.2f GB/s achieved, %.1f GB/s peak)",
+       static_cast<unsigned long long>(s.global_bytes), p.achieved_gbps,
+       static_cast<double>(spec.timing.dram_bytes_per_cycle) *
+           spec.core_clock_khz * 1000.0 / 1e9);
+  line("shared memory  : %llu requests, %llu conflict serializations",
+       static_cast<unsigned long long>(s.shared_requests),
+       static_cast<unsigned long long>(s.shared_conflict_extra));
+  line("control        : %llu barriers, %llu divergent branches (%.2f%% of control)",
+       static_cast<unsigned long long>(s.barriers),
+       static_cast<unsigned long long>(s.divergent_branches),
+       100.0 * p.divergence_rate);
+  return std::move(os).str();
+}
+
+}  // namespace vgpu

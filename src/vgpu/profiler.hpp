@@ -1,0 +1,48 @@
+// profiler.hpp - the CUDA-profiler analogue of the vgpu toolchain.
+//
+// The paper lists the CUDA tool chain as "drivers, a compiler ..., a
+// debugger, a simulator, a profiler"; this is the profiler: run a kernel
+// under the timing model and produce the report a performance engineer
+// would read - occupancy and its limiter, IPC and issue utilization,
+// instruction mix, global-memory coalescing and bandwidth, shared-memory
+// conflicts, divergence, and the Eq. 3 S/B/P split.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "vgpu/device.hpp"
+#include "vgpu/launch.hpp"
+#include "vgpu/occupancy.hpp"
+#include "vgpu/timing.hpp"
+
+namespace vgpu {
+
+struct KernelProfile {
+  std::string kernel_name;
+  LaunchStats stats;
+  std::uint32_t regs_per_thread = 0;
+  std::uint32_t shared_bytes = 0;
+  std::uint32_t block_threads = 0;
+  OccupancyLimiter limiter{};
+
+  // derived metrics
+  double ipc = 0.0;                  ///< warp instructions per cycle per SM
+  double issue_utilization = 0.0;    ///< issue cycles / (cycles * SMs)
+  double coalesced_fraction = 0.0;   ///< coalesced / all global requests
+  double achieved_gbps = 0.0;        ///< DRAM traffic over the kernel window
+  double avg_txn_per_request = 0.0;
+  double divergence_rate = 0.0;      ///< divergent branches / control instrs
+};
+
+/// Run `prog` under the timing model and assemble the profile.
+[[nodiscard]] KernelProfile profile_kernel(const Program& prog, Device& dev,
+                                           const LaunchConfig& cfg,
+                                           std::span<const std::uint32_t> params,
+                                           const TimingOptions& opt = {});
+
+/// Human-readable report (fixed-width, ~25 lines).
+[[nodiscard]] std::string format_profile(const KernelProfile& profile,
+                                         const DeviceSpec& spec);
+
+}  // namespace vgpu

@@ -1,0 +1,402 @@
+#include "vgpu/regalloc.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+#include "vgpu/check.hpp"
+
+namespace vgpu {
+
+namespace {
+
+/// Successor blocks of a block's terminator.
+void successors(const Instruction& term, std::array<BlockId, 2>& out,
+                std::size_t& n) {
+  n = 0;
+  switch (term.op) {
+    case Opcode::kBra:
+      out[n++] = term.target;
+      break;
+    case Opcode::kBraCond:
+      out[n++] = term.target;
+      out[n++] = term.target2;
+      break;
+    default:
+      break;
+  }
+}
+
+/// Slots an operand reads: (slot, count).
+struct SlotRange {
+  std::uint32_t base = 0;
+  std::uint32_t count = 0;
+};
+
+SlotRange use_slots(const Program& prog, const Instruction& in, int which) {
+  const Operand& o = in.src[which];
+  if (!o.valid()) return {};
+  const std::uint32_t base = prog.reg_base[o.reg] + o.comp;
+  // the store-value operand reads `width` consecutive slots
+  if (which == 1 && in.is_store() && width_words(in.width) > 1) {
+    return {base, width_words(in.width)};
+  }
+  return {base, 1};
+}
+
+SlotRange def_slots(const Program& prog, const Instruction& in) {
+  if (!in.dst.valid()) return {};
+  const std::uint32_t base = prog.reg_base[in.dst.reg];
+  return {base, in.is_load() ? width_words(in.width) : 1u};
+}
+
+}  // namespace
+
+Liveness compute_liveness(const Program& prog) {
+  VGPU_EXPECTS_MSG(!prog.allocated, "liveness requires the virtual layout");
+  const std::size_t nblocks = prog.blocks.size();
+  const std::size_t nslots = prog.reg_file_size;
+
+  std::vector<std::vector<bool>> use(nblocks, std::vector<bool>(nslots, false));
+  std::vector<std::vector<bool>> def(nblocks, std::vector<bool>(nslots, false));
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    for (const Instruction& in : prog.blocks[b].instrs) {
+      for (int s = 0; s < 3; ++s) {
+        const SlotRange r = use_slots(prog, in, s);
+        for (std::uint32_t k = 0; k < r.count; ++k) {
+          if (!def[b][r.base + k]) use[b][r.base + k] = true;
+        }
+      }
+      const SlotRange d = def_slots(prog, in);
+      for (std::uint32_t k = 0; k < d.count; ++k) {
+        // guarded definitions read the old value (partial write)
+        if (in.guard != kNoPred && !def[b][d.base + k]) use[b][d.base + k] = true;
+        if (in.guard == kNoPred) def[b][d.base + k] = true;
+      }
+    }
+  }
+
+  Liveness lv;
+  lv.live_in.assign(nblocks, std::vector<bool>(nslots, false));
+  lv.live_out.assign(nblocks, std::vector<bool>(nslots, false));
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t bi = nblocks; bi-- > 0;) {
+      std::array<BlockId, 2> succ{};
+      std::size_t nsucc = 0;
+      successors(prog.blocks[bi].terminator(), succ, nsucc);
+      for (std::size_t s = 0; s < nslots; ++s) {
+        bool out = false;
+        for (std::size_t k = 0; k < nsucc; ++k) {
+          if (lv.live_in[succ[k]][s]) {
+            out = true;
+            break;
+          }
+        }
+        const bool in = use[bi][s] || (out && !def[bi][s]);
+        if (out != lv.live_out[bi][s] || in != lv.live_in[bi][s]) changed = true;
+        lv.live_out[bi][s] = out;
+        lv.live_in[bi][s] = in;
+      }
+    }
+  }
+  return lv;
+}
+
+namespace {
+
+/// Rewrite `prog` so that virtual register `victim` (scalar) lives in the
+/// per-thread local frame at `frame_off`: reload into a fresh temporary
+/// before every use (including guarded definitions, which read the old
+/// value), and store after every definition.
+void spill_register(Program& prog, RegId victim, std::uint32_t frame_off) {
+  const VType vt = prog.regs[victim].type;
+  for (Block& blk : prog.blocks) {
+    for (std::size_t k = 0; k < blk.instrs.size(); ++k) {
+      Instruction& in = blk.instrs[k];
+      bool uses = false;
+      for (const Operand& o : in.src) {
+        uses = uses || (o.valid() && o.reg == victim);
+      }
+      const bool defines = in.dst.valid() && in.dst.reg == victim;
+      if (uses || (defines && in.guard != kNoPred)) {
+        // reload into a fresh temp and redirect the reads
+        const RegId temp = static_cast<RegId>(prog.regs.size());
+        prog.regs.push_back(RegInfo{vt, 1});
+        Instruction ld;
+        ld.op = Opcode::kLdLocal;
+        ld.dst = Operand{temp, 0};
+        ld.imm = frame_off;
+        blk.instrs.insert(blk.instrs.begin() + static_cast<std::ptrdiff_t>(k), ld);
+        Instruction& moved = blk.instrs[k + 1];
+        for (Operand& o : moved.src) {
+          if (o.valid() && o.reg == victim) o = Operand{temp, 0};
+        }
+        if (moved.dst.valid() && moved.dst.reg == victim &&
+            moved.guard != kNoPred) {
+          // the guarded def keeps writing `victim` (merged below by the
+          // store); seed the register with the reloaded value first so
+          // inactive lanes store the old value back
+          Instruction seed;
+          seed.op = Opcode::kMov;
+          seed.dst = Operand{victim, 0};
+          seed.src[0] = Operand{temp, 0};
+          blk.instrs.insert(blk.instrs.begin() + static_cast<std::ptrdiff_t>(k) + 1,
+                            seed);
+          ++k;
+        }
+        ++k;  // skip over the inserted load; k now indexes the original instr
+      }
+      Instruction& final_in = blk.instrs[k];
+      if (final_in.dst.valid() && final_in.dst.reg == victim) {
+        Instruction st;
+        st.op = Opcode::kStLocal;
+        st.src[1] = Operand{victim, 0};
+        st.imm = frame_off;
+        blk.instrs.insert(blk.instrs.begin() + static_cast<std::ptrdiff_t>(k) + 1,
+                          st);
+        ++k;  // skip the inserted store
+      }
+    }
+  }
+  prog.refresh_virtual_layout();
+}
+
+}  // namespace
+
+RegAllocResult allocate_registers(Program& prog, std::uint32_t max_regs) {
+  VGPU_EXPECTS_MSG(!prog.allocated, "program already register-allocated");
+  VGPU_EXPECTS_MSG(max_regs == 0 || max_regs >= 8,
+                   "register caps below 8 are not supported");
+  std::uint32_t spilled = 0;
+  std::uint32_t frame_cursor = prog.local_bytes;
+  std::vector<bool> already_spilled(prog.regs.size(), false);
+
+retry:
+  const Liveness lv = compute_liveness(prog);
+  const std::size_t nregs = prog.regs.size();
+  const std::size_t nslots = prog.reg_file_size;
+
+  // Slot-granular interference from exact per-position liveness: walking
+  // each block backward from live-out, every defined slot interferes with
+  // everything live across the definition. Vector components whose values
+  // are dead free their slots individually.
+  std::vector<std::vector<bool>> interf(nslots, std::vector<bool>(nslots, false));
+  std::vector<bool> live(nslots, false);
+  std::vector<bool> slot_used(nslots, false);
+  std::vector<std::uint32_t> first_def(nregs, std::numeric_limits<std::uint32_t>::max());
+  std::uint32_t max_pressure = 0;
+
+  auto add_edges_for_def = [&](std::uint32_t slot) {
+    for (std::size_t o = 0; o < nslots; ++o) {
+      if (live[o] && o != slot) {
+        interf[slot][o] = true;
+        interf[o][slot] = true;
+      }
+    }
+  };
+
+  {
+    std::uint32_t pos = 0;
+    for (std::size_t b = 0; b < prog.blocks.size(); ++b) {
+      for (const Instruction& in : prog.blocks[b].instrs) {
+        if (in.dst.valid()) {
+          first_def[in.dst.reg] = std::min(first_def[in.dst.reg], pos);
+          const SlotRange d = def_slots(prog, in);
+          for (std::uint32_t k = 0; k < d.count; ++k) slot_used[d.base + k] = true;
+        }
+        for (int s = 0; s < 3; ++s) {
+          const SlotRange r = use_slots(prog, in, s);
+          for (std::uint32_t k = 0; k < r.count; ++k) slot_used[r.base + k] = true;
+        }
+        ++pos;
+      }
+    }
+  }
+
+  for (std::size_t b = 0; b < prog.blocks.size(); ++b) {
+    std::fill(live.begin(), live.end(), false);
+    std::uint32_t live_count = 0;
+    for (std::size_t s = 0; s < nslots; ++s) {
+      if (lv.live_out[b][s]) {
+        live[s] = true;
+        ++live_count;
+      }
+    }
+    const auto& instrs = prog.blocks[b].instrs;
+    for (std::size_t k = instrs.size(); k-- > 0;) {
+      const Instruction& in = instrs[k];
+      const SlotRange d = def_slots(prog, in);
+      if (d.count > 0) {
+        // components of one vector register interfere with each other (they
+        // must occupy distinct physical slots)
+        for (std::uint32_t a = 0; a < d.count; ++a) {
+          add_edges_for_def(d.base + a);
+          for (std::uint32_t c = 0; c < d.count; ++c) {
+            if (a != c) {
+              interf[d.base + a][d.base + c] = true;
+              interf[d.base + c][d.base + a] = true;
+            }
+          }
+        }
+        for (std::uint32_t a = 0; a < d.count; ++a) {
+          if (in.guard == kNoPred) {
+            if (live[d.base + a]) {
+              live[d.base + a] = false;
+              --live_count;
+            }
+          } else if (!live[d.base + a]) {
+            live[d.base + a] = true;
+            ++live_count;
+          }
+        }
+      }
+      for (int s = 0; s < 3; ++s) {
+        const SlotRange r = use_slots(prog, in, s);
+        for (std::uint32_t c = 0; c < r.count; ++c) {
+          if (!live[r.base + c]) {
+            live[r.base + c] = true;
+            ++live_count;
+          }
+        }
+      }
+      max_pressure = std::max(max_pressure, live_count + d.count);
+    }
+  }
+
+  // Greedy coloring of whole registers (vectors take aligned runs where
+  // physical slot base+j must avoid the colors interfering with virtual
+  // slot j). Colors are tried from a rotating cursor within the used range
+  // before extending it: rotation gives temporally adjacent values distinct
+  // physical registers, so independent loads are not serialized by
+  // write-after-write reuse (the ILP-aware allocation real compilers do),
+  // while the count still only grows when interference demands it.
+  constexpr std::uint32_t kMaxPhys = 256;
+  std::vector<std::uint32_t> phys(nregs, 0);
+  std::vector<bool> colored(nregs, false);
+  std::vector<RegId> order;
+  order.reserve(nregs);
+  for (std::size_t r = 0; r < nregs; ++r) {
+    bool used = false;
+    for (std::uint32_t c = 0; c < prog.regs[r].width; ++c) {
+      used = used || slot_used[prog.reg_base[r] + c];
+    }
+    if (used) order.push_back(static_cast<RegId>(r));
+  }
+  std::sort(order.begin(), order.end(), [&](RegId a, RegId b) {
+    if (first_def[a] != first_def[b]) return first_def[a] < first_def[b];
+    return a < b;
+  });
+
+  std::uint32_t high_water = 0;
+  std::uint32_t cursor = 0;
+  // forbidden[j][color]: physical color unusable for component j of the
+  // register being placed
+  std::array<std::vector<bool>, 4> forbidden;
+  for (const RegId r : order) {
+    const std::uint32_t width = prog.regs[r].width;
+    const std::uint32_t vbase = prog.reg_base[r];
+    for (std::uint32_t j = 0; j < width; ++j) {
+      forbidden[j].assign(kMaxPhys, false);
+      for (std::size_t o = 0; o < nregs; ++o) {
+        if (!colored[o]) continue;
+        const std::uint32_t obase = prog.reg_base[o];
+        for (std::uint32_t oc = 0; oc < prog.regs[o].width; ++oc) {
+          if (interf[vbase + j][obase + oc]) forbidden[j][phys[o] + oc] = true;
+        }
+      }
+    }
+    auto fits = [&](std::uint32_t base) {
+      for (std::uint32_t j = 0; j < width; ++j) {
+        if (forbidden[j][base + j]) return false;
+      }
+      return true;
+    };
+    auto align_to_width = [&](std::uint32_t v) { return (v + width - 1) / width * width; };
+    bool placed = false;
+    std::uint32_t base = 0;
+    for (base = align_to_width(cursor); base + width <= high_water; base += width) {
+      if (fits(base)) {
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      for (base = 0; base + width <= std::min(high_water, align_to_width(cursor));
+           base += width) {
+        if (fits(base)) {
+          placed = true;
+          break;
+        }
+      }
+    }
+    if (!placed) {
+      for (base = align_to_width(high_water); base + width <= kMaxPhys;
+           base += width) {
+        if (fits(base)) {
+          placed = true;
+          break;
+        }
+      }
+    }
+    if (!placed) {
+      throw ContractViolation("register file exhausted (kernel too large)");
+    }
+    phys[r] = base;
+    colored[r] = true;
+    high_water = std::max(high_water, base + width);
+    cursor = base + width;
+  }
+
+  if (max_regs != 0 && high_water > max_regs) {
+    // pick the scalar value with the widest block span that has not been
+    // spilled yet (spill temps are short-lived and never re-selected)
+    RegId victim = kNoReg;
+    std::size_t best_span = 0;
+    already_spilled.resize(prog.regs.size(), false);
+    for (std::size_t r = 0; r < prog.regs.size(); ++r) {
+      if (prog.regs[r].width != 1 || already_spilled[r]) continue;
+      std::size_t span = 0;
+      for (std::size_t b = 0; b < prog.blocks.size(); ++b) {
+        for (std::uint32_t c = 0; c < prog.regs[r].width; ++c) {
+          if (lv.live_in[b][prog.reg_base[r] + c]) {
+            ++span;
+            break;
+          }
+        }
+      }
+      if (span > best_span) {
+        best_span = span;
+        victim = static_cast<RegId>(r);
+      }
+    }
+    VGPU_EXPECTS_MSG(victim != kNoReg && best_span > 0,
+                     "cannot spill further to satisfy the register cap");
+    already_spilled.resize(prog.regs.size(), false);
+    already_spilled[victim] = true;
+    spill_register(prog, victim, frame_cursor);
+    already_spilled.resize(prog.regs.size(), false);
+    frame_cursor += 4;
+    prog.local_bytes = frame_cursor;
+    ++spilled;
+    VGPU_EXPECTS_MSG(spilled < 128, "spill loop did not converge");
+    goto retry;
+  }
+
+  prog.reg_base = phys;
+  prog.num_phys_regs = high_water;
+  prog.reg_file_size = high_water;
+  prog.allocated = true;
+
+  RegAllocResult res;
+  res.num_phys_regs = high_water;
+  res.max_pressure = max_pressure;
+  res.num_intervals = static_cast<std::uint32_t>(order.size());
+  res.spilled_values = spilled;
+  res.local_frame_bytes = prog.local_bytes;
+  return res;
+}
+
+}  // namespace vgpu

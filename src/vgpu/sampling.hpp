@@ -1,0 +1,40 @@
+// sampling.hpp - extrapolation helpers for large-scale timing runs.
+//
+// The far-field kernel's work is perfectly periodic: every block processes
+// n/K identical shared-memory tiles and the grid is a sequence of identical
+// waves. Cycles are therefore affine in the tile count and (beyond one
+// wave) linear in the number of waves, so a full run at N = 10^6 particles
+// can be predicted from two short simulated runs. The error of this scheme
+// is bounded in tests/vgpu/sampling_test.cpp against full simulations at
+// small N.
+#pragma once
+
+#include <cstdint>
+
+#include "vgpu/arch.hpp"
+#include "vgpu/check.hpp"
+#include "vgpu/occupancy.hpp"
+
+namespace vgpu {
+
+/// Blocks the device executes concurrently (one "wave").
+[[nodiscard]] inline std::uint32_t wave_blocks(const DeviceSpec& spec,
+                                               const OccupancyResult& occ,
+                                               std::uint32_t sim_sms = 0) {
+  const std::uint32_t sms = sim_sms == 0 ? spec.sm_count : sim_sms;
+  return occ.blocks_per_sm * sms;
+}
+
+/// Affine extrapolation from two measurements (x1,c1), (x2,c2) to x_target:
+/// returns c1 + (c2-c1)/(x2-x1) * (x_target - x1). Requires x2 > x1 and a
+/// non-decreasing cost; slope is clamped at zero to stay monotone under
+/// simulator noise.
+[[nodiscard]] inline double extrapolate_affine(double x1, double c1, double x2,
+                                               double c2, double x_target) {
+  VGPU_EXPECTS_MSG(x2 > x1, "degenerate sampling points");
+  const double slope = (c2 - c1) / (x2 - x1);
+  const double s = slope < 0.0 ? 0.0 : slope;
+  return c1 + s * (x_target - x1);
+}
+
+}  // namespace vgpu

@@ -1,0 +1,473 @@
+#include "vgpu/timing.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <array>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "vgpu/check.hpp"
+#include "vgpu/coalesce.hpp"
+#include "vgpu/executor.hpp"
+#include "vgpu/interp.hpp"
+#include "vgpu/occupancy.hpp"
+
+namespace vgpu {
+
+namespace {
+
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+
+/// One resident block plus its per-warp register/predicate scoreboards.
+/// The scoreboard makes loads non-blocking: a warp keeps issuing after a
+/// load and only stalls when an instruction reads a register whose value is
+/// still in flight - the G80 behaviour the Fig. 10 micro-benchmark relies
+/// on (seven independent loads pipeline; the summation stalls).
+struct ResidentBlock {
+  std::unique_ptr<BlockExec> exec;
+  std::vector<std::uint64_t> reg_ready;   ///< [warp * reg_file_size + slot]
+  std::vector<std::uint64_t> pred_ready;  ///< [warp * num_preds + p]
+  /// Ring of recent global-load completion times per warp (MSHR model):
+  /// [warp * max_outstanding + k]. A new load can issue only once the entry
+  /// it replaces has completed.
+  std::vector<std::uint64_t> load_ring;
+  std::vector<std::uint32_t> load_ring_pos;  ///< per warp
+};
+
+struct Sm {
+  std::uint64_t cycle = 0;
+  std::vector<ResidentBlock> slots;
+  std::uint32_t rr = 0;  ///< round-robin cursor over (slot, warp) pairs
+  /// Per-SM texture cache: line tags in LRU order (front = most recent).
+  std::vector<std::uint32_t> tex_lines;
+
+  [[nodiscard]] bool has_work() const {
+    for (const ResidentBlock& s : slots) {
+      if (s.exec) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+LaunchStats run_timed(const Program& prog, const DeviceSpec& spec,
+                      GlobalMemory& gmem, const LaunchConfig& cfg,
+                      std::span<const std::uint32_t> params,
+                      const TimingOptions& opt) {
+  VGPU_EXPECTS_MSG(prog.allocated, "timing run requires an allocated program");
+  VGPU_EXPECTS_MSG(params.size() == prog.num_params, "parameter count mismatch");
+
+  const TimingParams& t = spec.timing;
+  const OccupancyResult occ = compute_occupancy(
+      spec, cfg.block_threads, prog.num_phys_regs, prog.shared_bytes);
+  VGPU_EXPECTS_MSG(occ.blocks_per_sm >= 1, "kernel does not fit on an SM");
+
+  const std::uint32_t n_sms =
+      opt.sim_sms == 0 ? spec.sm_count : std::min(opt.sim_sms, spec.sm_count);
+  const std::uint64_t dram_bpc = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(t.dram_bytes_per_cycle) * n_sms / spec.sm_count);
+
+  const std::uint32_t blocks_total = cfg.grid_blocks;
+  const std::uint32_t blocks_to_sim =
+      opt.max_blocks == 0 ? blocks_total : std::min(blocks_total, opt.max_blocks);
+
+  LaunchStats stats;
+  stats.blocks_total = blocks_total;
+  stats.blocks_simulated = blocks_to_sim;
+  stats.extrapolation_factor =
+      static_cast<double>(blocks_total) / static_cast<double>(blocks_to_sim);
+  stats.occupancy = occ.occupancy;
+  stats.blocks_per_sm = occ.blocks_per_sm;
+
+  const std::uint32_t warps_per_block = cfg.block_threads / spec.warp_size;
+  const std::uint32_t mshr = std::max(1u, t.max_outstanding_loads(opt.driver));
+  std::vector<Sm> sms(n_sms);
+  // Per-partition busy-until times (fractional cycles); each partition
+  // serves 1/partitions of the device bandwidth.
+  std::vector<double> channel(t.dram_partitions, 0.0);
+  const double channel_cycles_per_byte =
+      static_cast<double>(t.dram_partitions) / static_cast<double>(dram_bpc);
+  std::uint32_t next_block = 0;
+
+  auto dispatch = [&](Sm& sm, std::size_t slot, std::uint32_t sm_id,
+                      std::uint64_t when) {
+    ResidentBlock& rb = sm.slots[slot];
+    if (next_block >= blocks_to_sim) {
+      rb.exec.reset();
+      return;
+    }
+    BlockParams bp{next_block++, cfg, params, sm_id, opt.cmem};
+    rb.exec = std::make_unique<BlockExec>(prog, spec, gmem, bp);
+    rb.reg_ready.assign(static_cast<std::size_t>(prog.reg_file_size) * warps_per_block, 0);
+    rb.pred_ready.assign(static_cast<std::size_t>(prog.num_preds) * warps_per_block, 0);
+    rb.load_ring.assign(static_cast<std::size_t>(mshr) * warps_per_block, 0);
+    rb.load_ring_pos.assign(warps_per_block, 0);
+    for (std::uint32_t w = 0; w < warps_per_block; ++w) {
+      rb.exec->warp(w).ready_cycle = when + t.block_start_cycles;
+    }
+  };
+
+  for (std::uint32_t s = 0; s < n_sms; ++s) {
+    sms[s].slots.resize(occ.blocks_per_sm);
+  }
+  // breadth-first initial placement: block b goes to SM b % n_sms
+  for (std::uint32_t k = 0; k < occ.blocks_per_sm; ++k) {
+    for (std::uint32_t s = 0; s < n_sms; ++s) {
+      dispatch(sms[s], k, s, 0);
+    }
+  }
+
+  CoalesceResult scratch;
+
+  // Scoreboard: earliest cycle at which every register/predicate the
+  // instruction touches is available.
+  auto dep_ready = [&](const ResidentBlock& rb, std::uint32_t w,
+                       const Instruction& in) {
+    const std::size_t rbase = static_cast<std::size_t>(w) * prog.reg_file_size;
+    const std::size_t pbase = static_cast<std::size_t>(w) * prog.num_preds;
+    std::uint64_t ready = 0;
+    auto reg_dep = [&](const Operand& o, std::uint32_t words) {
+      if (!o.valid()) return;
+      const std::uint32_t slot = prog.reg_base[o.reg] + o.comp;
+      for (std::uint32_t c = 0; c < words; ++c) {
+        ready = std::max(ready, rb.reg_ready[rbase + slot + c]);
+      }
+    };
+    const std::uint32_t wwords = width_words(in.width);
+    reg_dep(in.src[0], 1);
+    reg_dep(in.src[1], in.is_store() ? wwords : 1);
+    reg_dep(in.src[2], 1);
+    reg_dep(in.dst, in.is_load() ? wwords : (in.dst.valid() ? 1u : 0u));
+    auto pred_dep = [&](PredId p) {
+      if (p != kNoPred) ready = std::max(ready, rb.pred_ready[pbase + p]);
+    };
+    pred_dep(in.psrc0);
+    pred_dep(in.psrc1);
+    pred_dep(in.guard);
+    if (in.op == Opcode::kLdGlobal) {
+      // MSHR limit: the slot this load would occupy must have drained.
+      const std::size_t ring_base = static_cast<std::size_t>(w) * mshr;
+      ready = std::max(ready, rb.load_ring[ring_base + rb.load_ring_pos[w]]);
+    }
+    return ready;
+  };
+
+  auto set_reg_ready = [&](ResidentBlock& rb, std::uint32_t w, const Operand& o,
+                           std::uint32_t words, std::uint64_t when) {
+    if (!o.valid()) return;
+    const std::size_t rbase = static_cast<std::size_t>(w) * prog.reg_file_size;
+    const std::uint32_t slot = prog.reg_base[o.reg] + o.comp;
+    for (std::uint32_t c = 0; c < words; ++c) {
+      rb.reg_ready[rbase + slot + c] = when;
+    }
+  };
+
+  auto sm_step = [&](Sm& sm, std::uint32_t sm_id) {
+    // 1. release any satisfiable barriers
+    for (std::size_t slot = 0; slot < sm.slots.size(); ++slot) {
+      BlockExec* exec = sm.slots[slot].exec.get();
+      if (exec && exec->barrier_releasable()) {
+        exec->release_barrier();
+        for (std::uint32_t w = 0; w < exec->num_warps(); ++w) {
+          WarpState& ws = exec->warp(w);
+          if (!ws.done) {
+            ws.ready_cycle = std::max(ws.ready_cycle, sm.cycle + t.barrier_cycles);
+          }
+        }
+      }
+    }
+
+    // 2. pick an issueable warp (loose round robin) considering both the
+    // issue pipeline and the register scoreboard
+    const std::uint32_t total = static_cast<std::uint32_t>(sm.slots.size()) * warps_per_block;
+    std::int64_t chosen = -1;
+    std::uint64_t next_event = kNever;
+    for (std::uint32_t i = 0; i < total; ++i) {
+      const std::uint32_t idx = (sm.rr + i) % total;
+      const std::size_t slot = idx / warps_per_block;
+      const std::uint32_t w = idx % warps_per_block;
+      ResidentBlock& rb = sm.slots[slot];
+      if (!rb.exec) continue;
+      const Instruction* in = rb.exec->peek(w);
+      if (in == nullptr) continue;  // done or at barrier
+      const WarpState& ws = rb.exec->warp(w);
+      const std::uint64_t ready_at = std::max(ws.ready_cycle, dep_ready(rb, w, *in));
+      if (ready_at <= sm.cycle) {
+        chosen = idx;
+        break;
+      }
+      next_event = std::min(next_event, ready_at);
+    }
+    if (chosen < 0) {
+      VGPU_EXPECTS_MSG(next_event != kNever,
+                       "timing executor stalled (barrier deadlock?)");
+      stats.sm_idle_cycles += next_event - sm.cycle;
+      sm.cycle = next_event;
+      return;
+    }
+    sm.rr = static_cast<std::uint32_t>(chosen) + 1;
+
+    const std::size_t slot = static_cast<std::size_t>(chosen) / warps_per_block;
+    const std::uint32_t w = static_cast<std::uint32_t>(chosen) % warps_per_block;
+    ResidentBlock& rb = sm.slots[slot];
+    BlockExec& exec = *rb.exec;
+    WarpState& ws = exec.warp(w);
+
+    const Instruction instr = *exec.peek(w);  // copy: step advances state
+    const std::uint64_t issue_start = sm.cycle;
+    const StepResult res = exec.step(w, sm.cycle);
+    ++stats.warp_instructions;
+    ++stats.region_instructions[static_cast<std::size_t>(res.region)];
+    ++stats.instr_class_counts[static_cast<std::size_t>(instr_class(res.op))];
+    if (res.divergent_branch) ++stats.divergent_branches;
+
+    switch (res.kind) {
+      case StepResult::Kind::kAlu:
+        sm.cycle += t.alu_issue_cycles;
+        ws.ready_cycle = sm.cycle;
+        set_reg_ready(rb, w, instr.dst, 1, sm.cycle + t.alu_result_latency_cycles);
+        if (instr.pdst != kNoPred) {
+          rb.pred_ready[static_cast<std::size_t>(w) * prog.num_preds + instr.pdst] =
+              sm.cycle + t.alu_result_latency_cycles;
+        }
+        break;
+      case StepResult::Kind::kShared: {
+        ++stats.shared_requests;
+        const std::uint32_t degree = std::max(1u, res.shared_conflict_degree);
+        if (degree > 1) stats.shared_conflict_extra += degree - 1;
+        sm.cycle += static_cast<std::uint64_t>(t.shared_issue_cycles) * degree;
+        ws.ready_cycle = sm.cycle;
+        if (instr.is_load()) {
+          set_reg_ready(rb, w, instr.dst, width_words(instr.width),
+                        sm.cycle + t.shared_result_latency_cycles);
+        }
+        break;
+      }
+      case StepResult::Kind::kGlobal: {
+        std::uint64_t completion = sm.cycle;
+        bool any_uncoalesced = false;
+        const std::uint32_t half = spec.half_warp;
+        std::array<std::uint32_t, 16> addrs{};
+        for (std::uint32_t h = 0; h < spec.warp_size / half; ++h) {
+          std::uint32_t active = 0;
+          for (std::uint32_t k = 0; k < half; ++k) {
+            const std::uint32_t lane = h * half + k;
+            addrs[k] = res.lane_addrs[lane];
+            if (res.mem_mask & (1u << lane)) active |= 1u << k;
+          }
+          if (active == 0) continue;
+          MemRequest req{std::span<const std::uint32_t>(addrs.data(), half),
+                         active, res.width, res.is_store};
+          coalesce(req, opt.driver, scratch);
+          ++stats.global_requests;
+          if (scratch.coalesced) {
+            ++stats.coalesced_requests;
+          } else {
+            ++stats.uncoalesced_requests;
+            any_uncoalesced = true;
+          }
+          const double txn_overhead =
+              t.dram_txn_overhead_cycles(opt.driver) *
+              static_cast<double>(scratch.transactions.size());
+          for (const Transaction& txn : scratch.transactions) {
+            ++stats.global_transactions;
+            stats.global_bytes += txn.bytes;
+          }
+          // DRAM stage: the controller merges accesses that hit the same
+          // 128-byte row segment (row-buffer locality), so channel occupancy
+          // is per unique segment and proportional to the bytes actually
+          // used - independent of how the driver generation packaged the
+          // request into transactions.
+          std::array<std::uint32_t, 32> seg_base{};
+          std::array<std::uint32_t, 32> seg_bytes{};
+          std::size_t nsegs = 0;
+          const std::uint32_t wbytes = width_bytes(res.width);
+          for (std::uint32_t k = 0; k < half; ++k) {
+            if (!(active & (1u << k))) continue;
+            const std::uint32_t seg = addrs[k] / 128u;
+            bool found = false;
+            for (std::size_t s = 0; s < nsegs; ++s) {
+              if (seg_base[s] == seg) {
+                seg_bytes[s] = std::min(128u, seg_bytes[s] + wbytes);
+                found = true;
+                break;
+              }
+            }
+            if (!found && nsegs < seg_base.size()) {
+              seg_base[nsegs] = seg;
+              seg_bytes[nsegs] = std::min(128u, wbytes);
+              ++nsegs;
+            }
+          }
+          for (std::size_t s = 0; s < nsegs; ++s) {
+            const std::size_t p =
+                (static_cast<std::uint64_t>(seg_base[s]) * 128u /
+                 t.partition_stride_bytes) %
+                channel.size();
+            const double start = std::max(channel[p], static_cast<double>(sm.cycle));
+            const double service =
+                txn_overhead / static_cast<double>(nsegs) +
+                static_cast<double>(seg_bytes[s]) * channel_cycles_per_byte;
+            channel[p] = start + service;
+            completion = std::max(
+                completion, static_cast<std::uint64_t>(start + service) + 1);
+          }
+        }
+        // LSU occupancy per request, with the driver-generation dependent
+        // uncoalesced handling penalty (see TimingParams).
+        std::uint64_t port = t.port_cycles(opt.driver);
+        if (any_uncoalesced) port += t.uncoalesced_port_cycles(opt.driver);
+        sm.cycle += port;
+        ws.ready_cycle = sm.cycle;  // non-blocking: warp keeps going
+        if (instr.is_load()) {
+          std::uint64_t data_back =
+              std::max(completion, sm.cycle) + t.global_latency_cycles;
+          if (any_uncoalesced) {
+            data_back += t.uncoalesced_latency_cycles(opt.driver);
+          }
+          set_reg_ready(rb, w, instr.dst, width_words(instr.width), data_back);
+          const std::size_t ring_base = static_cast<std::size_t>(w) * mshr;
+          rb.load_ring[ring_base + rb.load_ring_pos[w]] = data_back;
+          rb.load_ring_pos[w] = (rb.load_ring_pos[w] + 1) % mshr;
+        }
+        break;
+      }
+      case StepResult::Kind::kLocal: {
+        ++stats.local_requests;
+        // spills are lane-interleaved: one frame word across 32 lanes is a
+        // 128-byte consecutive run = two coalesced 64B transactions
+        sm.cycle += t.port_cycles(opt.driver);
+        ws.ready_cycle = sm.cycle;
+        std::uint64_t completion = sm.cycle;
+        for (int half_idx = 0; half_idx < 2; ++half_idx) {
+          const std::size_t p =
+              (static_cast<std::size_t>(res.lane_addrs[0]) / t.partition_stride_bytes +
+               static_cast<std::size_t>(half_idx)) %
+              channel.size();
+          const double start = std::max(channel[p], static_cast<double>(sm.cycle));
+          const double service = 64.0 * channel_cycles_per_byte;
+          channel[p] = start + service;
+          stats.global_bytes += 64;
+          completion = std::max(completion,
+                                static_cast<std::uint64_t>(start + service) + 1);
+        }
+        if (instr.is_load()) {
+          set_reg_ready(rb, w, instr.dst, 1, completion + t.global_latency_cycles);
+        }
+        break;
+      }
+      case StepResult::Kind::kConst: {
+        ++stats.const_requests;
+        // distinct addresses serialize through the constant cache
+        std::uint32_t distinct = 0;
+        std::array<std::uint32_t, 32> seen{};
+        for (std::uint32_t l = 0; l < spec.warp_size; ++l) {
+          if (!(res.mem_mask & (1u << l))) continue;
+          bool dup = false;
+          for (std::uint32_t k = 0; k < distinct; ++k) {
+            if (seen[k] == res.lane_addrs[l]) {
+              dup = true;
+              break;
+            }
+          }
+          if (!dup) seen[distinct++] = res.lane_addrs[l];
+        }
+        const std::uint64_t cost =
+            static_cast<std::uint64_t>(t.const_serialize_cycles) *
+            std::max(1u, distinct);
+        sm.cycle += cost;
+        ws.ready_cycle = sm.cycle;
+        set_reg_ready(rb, w, instr.dst, width_words(instr.width),
+                      sm.cycle + t.alu_result_latency_cycles);
+        break;
+      }
+      case StepResult::Kind::kTex: {
+        ++stats.tex_requests;
+        sm.cycle += t.alu_issue_cycles;
+        ws.ready_cycle = sm.cycle;
+        const std::uint32_t max_lines =
+            std::max(1u, t.tex_cache_bytes / t.tex_line_bytes);
+        std::uint64_t completion = sm.cycle + t.tex_hit_latency_cycles;
+        const std::uint32_t wbytes = width_bytes(res.width);
+        for (std::uint32_t l = 0; l < spec.warp_size; ++l) {
+          if (!(res.mem_mask & (1u << l))) continue;
+          for (std::uint32_t b = res.lane_addrs[l] / t.tex_line_bytes;
+               b <= (res.lane_addrs[l] + wbytes - 1) / t.tex_line_bytes; ++b) {
+            auto it = std::find(sm.tex_lines.begin(), sm.tex_lines.end(), b);
+            if (it != sm.tex_lines.end()) {
+              ++stats.tex_hits;
+              sm.tex_lines.erase(it);
+              sm.tex_lines.insert(sm.tex_lines.begin(), b);
+              continue;
+            }
+            ++stats.tex_misses;
+            // fetch the line from DRAM
+            const std::size_t p =
+                (static_cast<std::uint64_t>(b) * t.tex_line_bytes /
+                 t.partition_stride_bytes) %
+                channel.size();
+            const double start = std::max(channel[p], static_cast<double>(sm.cycle));
+            const double service =
+                static_cast<double>(t.tex_line_bytes) * channel_cycles_per_byte;
+            channel[p] = start + service;
+            stats.global_bytes += t.tex_line_bytes;
+            completion = std::max(completion,
+                                  static_cast<std::uint64_t>(start + service) +
+                                      t.global_latency_cycles);
+            sm.tex_lines.insert(sm.tex_lines.begin(), b);
+            if (sm.tex_lines.size() > max_lines) sm.tex_lines.pop_back();
+          }
+        }
+        set_reg_ready(rb, w, instr.dst, width_words(instr.width), completion);
+        break;
+      }
+      case StepResult::Kind::kBarrier:
+        ++stats.barriers;
+        sm.cycle += t.alu_issue_cycles;
+        ws.ready_cycle = sm.cycle;
+        break;
+      case StepResult::Kind::kExit:
+        sm.cycle += t.alu_issue_cycles;
+        ws.ready_cycle = sm.cycle;
+        if (exec.all_done()) {
+          dispatch(sm, slot, sm_id, sm.cycle);
+        }
+        break;
+    }
+    stats.sm_issue_cycles += sm.cycle - issue_start;
+  };
+
+  // Main loop: always advance the SM with the smallest local clock so the
+  // shared DRAM channel timeline stays nearly chronological.
+  while (true) {
+    std::int64_t pick = -1;
+    std::uint64_t best = kNever;
+    for (std::uint32_t s = 0; s < n_sms; ++s) {
+      if (!sms[s].has_work()) continue;
+      if (sms[s].cycle < best) {
+        best = sms[s].cycle;
+        pick = s;
+      }
+    }
+    if (pick < 0) break;
+    sm_step(sms[static_cast<std::size_t>(pick)], static_cast<std::uint32_t>(pick));
+  }
+
+  if (std::getenv("VGPU_TRACE") != nullptr) {
+    std::fprintf(stderr, "[vgpu] channels busy-until:");
+    for (double c : channel) std::fprintf(stderr, " %.0f", c);
+    std::fprintf(stderr, "  sm cycles:");
+    for (const Sm& sm : sms) std::fprintf(stderr, " %llu",
+        static_cast<unsigned long long>(sm.cycle));
+    std::fprintf(stderr, "\n");
+  }
+  std::uint64_t end_cycle = 0;
+  for (const Sm& sm : sms) end_cycle = std::max(end_cycle, sm.cycle);
+  stats.cycles = end_cycle;
+  return stats;
+}
+
+}  // namespace vgpu

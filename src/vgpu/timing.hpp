@@ -1,0 +1,47 @@
+// timing.hpp - cycle-approximate execution.
+//
+// An event-driven model of the G80 execution pipeline:
+//  * each SM issues one warp instruction at a time (32 threads over 8 SPs,
+//    4 cycles per issue) to the warp picked by loose round robin among the
+//    ready warps of its resident blocks - this is what makes occupancy
+//    matter: more resident warps hide more global-memory latency;
+//  * global accesses go through the coalescing model of the selected CUDA
+//    driver generation and their transactions queue on the shared DRAM
+//    partitions (bandwidth + per-transaction overhead -> contention);
+//  * shared-memory accesses serialize by bank-conflict degree;
+//  * barriers release when all warps of the block arrive;
+//  * finished blocks are replaced from the grid queue.
+//
+// Large grids/loops can be sampled: `max_blocks` simulates a prefix of the
+// grid (ideally whole waves) and reports the extrapolation factor; tile
+// sampling for periodic kernels lives in sampling.hpp.
+#pragma once
+
+#include <span>
+
+#include "vgpu/arch.hpp"
+#include "vgpu/launch.hpp"
+#include "vgpu/memory.hpp"
+
+namespace vgpu {
+
+struct TimingOptions {
+  DriverModel driver = DriverModel::kCuda10;
+  /// Number of SMs to simulate (0 = all). When fewer than the device has,
+  /// DRAM bandwidth is scaled proportionally so per-SM behaviour matches.
+  std::uint32_t sim_sms = 0;
+  /// Simulate at most this many blocks (0 = whole grid); cycles then carry
+  /// extrapolation_factor = grid / simulated.
+  std::uint32_t max_blocks = 0;
+  /// Constant-memory image to bind (null = kernel uses none).
+  const ConstantMemory* cmem = nullptr;
+};
+
+/// Run the grid under the timing model. The program must be
+/// register-allocated (occupancy needs the physical register count).
+LaunchStats run_timed(const Program& prog, const DeviceSpec& spec,
+                      GlobalMemory& gmem, const LaunchConfig& cfg,
+                      std::span<const std::uint32_t> params,
+                      const TimingOptions& opt = {});
+
+}  // namespace vgpu

@@ -1,0 +1,86 @@
+#include "vgpu/trace.hpp"
+
+#include <bit>
+#include <iomanip>
+#include <ostream>
+
+#include "vgpu/check.hpp"
+#include "vgpu/interp.hpp"
+
+namespace vgpu {
+
+namespace {
+
+void emit_line(std::ostream& os, const Program& prog, std::uint32_t block_id,
+               std::uint32_t warp, Mask active_before, const Instruction& in,
+               const WarpState& after_ws) {
+  os << "B" << block_id << " w" << warp << " [" << std::hex << std::setw(8)
+     << std::setfill('0') << active_before << std::dec << std::setfill(' ')
+     << "] " << disassemble(in);
+  // for scalar register definitions, show lane 0's new value
+  if (in.dst.valid() && prog.regs[in.dst.reg].width == 1) {
+    const std::uint32_t slot = prog.reg_base[in.dst.reg] + in.dst.comp;
+    const std::uint32_t raw = after_ws.regs[slot * 32u];
+    os << "    ; r" << in.dst.reg << "@0 = 0x" << std::hex << raw << std::dec;
+    if (prog.regs[in.dst.reg].type == VType::kF32) {
+      os << " (" << std::bit_cast<float>(raw) << ")";
+    }
+  }
+  os << "\n";
+}
+
+}  // namespace
+
+LaunchStats run_traced(const Program& prog, const DeviceSpec& spec,
+                       GlobalMemory& gmem, const LaunchConfig& cfg,
+                       std::span<const std::uint32_t> params, std::ostream& os,
+                       const TraceOptions& opt) {
+  VGPU_EXPECTS_MSG(params.size() == prog.num_params, "parameter count mismatch");
+  LaunchStats stats;
+  stats.blocks_total = cfg.grid_blocks;
+  stats.blocks_simulated = cfg.grid_blocks;
+  std::uint64_t lines = 0;
+
+  for (std::uint32_t b = 0; b < cfg.grid_blocks; ++b) {
+    BlockParams bp{b, cfg, params, 0, opt.cmem};
+    BlockExec exec(prog, spec, gmem, bp);
+    while (!exec.all_done()) {
+      bool progressed = false;
+      for (std::uint32_t w = 0; w < exec.num_warps(); ++w) {
+        WarpState& ws = exec.warp(w);
+        while (!ws.done && !ws.at_barrier) {
+          const bool trace_this =
+              b == opt.block &&
+              (opt.warp == std::numeric_limits<std::uint32_t>::max() ||
+               w == opt.warp) &&
+              (opt.max_lines == 0 || lines < opt.max_lines);
+          const Instruction in = prog.blocks[ws.block].instrs[ws.ip];
+          const Mask active_before = ws.active;
+          const StepResult res = exec.step(w, ws.issued * 4);
+          progressed = true;
+          ++stats.warp_instructions;
+          ++stats.region_instructions[static_cast<std::size_t>(res.region)];
+          if (trace_this) {
+            emit_line(os, prog, b, w, active_before, in, ws);
+            ++lines;
+            if (opt.max_lines != 0 && lines == opt.max_lines) {
+              os << "... trace truncated at " << opt.max_lines << " lines\n";
+            }
+          }
+        }
+      }
+      if (exec.barrier_releasable()) {
+        exec.release_barrier();
+        progressed = true;
+        if (b == opt.block && (opt.max_lines == 0 || lines < opt.max_lines)) {
+          os << "B" << b << " -- barrier released --\n";
+        }
+      }
+      VGPU_ENSURES_MSG(progressed || exec.all_done(),
+                       "traced executor deadlock (barrier mismatch?)");
+    }
+  }
+  return stats;
+}
+
+}  // namespace vgpu

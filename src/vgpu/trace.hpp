@@ -1,0 +1,35 @@
+// trace.hpp - instruction-level execution tracing (the tool chain's
+// "debugger"). Runs a launch functionally while streaming one line per
+// executed warp instruction: block, warp, active mask, the disassembled
+// instruction, and for scalar definitions the value written to lane 0.
+// Filters keep the output usable on real kernels.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+
+#include "vgpu/arch.hpp"
+#include "vgpu/launch.hpp"
+#include "vgpu/memory.hpp"
+
+namespace vgpu {
+
+struct TraceOptions {
+  /// Only trace this block (default: block 0).
+  std::uint32_t block = 0;
+  /// Only trace this warp within the block (UINT32_MAX = all warps).
+  std::uint32_t warp = 0;
+  /// Stop after this many trace lines (0 = unlimited).
+  std::uint64_t max_lines = 2000;
+  /// Constant-memory binding, as in FunctionalOptions.
+  const ConstantMemory* cmem = nullptr;
+};
+
+/// Execute the grid functionally, writing the trace of the selected
+/// block/warp to `os`. Returns the usual launch statistics.
+LaunchStats run_traced(const Program& prog, const DeviceSpec& spec,
+                       GlobalMemory& gmem, const LaunchConfig& cfg,
+                       std::span<const std::uint32_t> params, std::ostream& os,
+                       const TraceOptions& opt = {});
+
+}  // namespace vgpu

@@ -1,0 +1,95 @@
+#include "vgpu/verify.hpp"
+
+#include <string>
+
+#include "vgpu/check.hpp"
+
+namespace vgpu {
+
+namespace {
+
+void check_operand(const Program& prog, const Operand& o, const char* what,
+                   const std::string& where) {
+  if (!o.valid()) return;
+  VGPU_EXPECTS_MSG(o.reg < prog.regs.size(), where + ": " + what + " register out of range");
+  VGPU_EXPECTS_MSG(o.comp < prog.regs[o.reg].width,
+                   where + ": " + what + " component out of range");
+}
+
+void check_pred(const Program& prog, PredId p, const std::string& where) {
+  if (p == kNoPred) return;
+  VGPU_EXPECTS_MSG(p < prog.num_preds, where + ": predicate out of range");
+}
+
+void check_block_id(const Program& prog, BlockId b, const std::string& where) {
+  VGPU_EXPECTS_MSG(b < prog.blocks.size(), where + ": block target out of range");
+}
+
+}  // namespace
+
+void verify(const Program& prog) {
+  VGPU_EXPECTS_MSG(!prog.blocks.empty(), "program has no blocks");
+  for (BlockId bi = 0; bi < prog.blocks.size(); ++bi) {
+    const Block& b = prog.blocks[bi];
+    const std::string where = prog.name + "/B" + std::to_string(bi);
+    VGPU_EXPECTS_MSG(!b.instrs.empty(), where + ": empty block");
+    for (std::size_t k = 0; k < b.instrs.size(); ++k) {
+      const Instruction& in = b.instrs[k];
+      const std::string at = where + "/" + std::to_string(k);
+      const bool last = (k + 1 == b.instrs.size());
+      VGPU_EXPECTS_MSG(in.is_terminator() == last,
+                       at + ": terminator placement");
+
+      check_operand(prog, in.dst, "dst", at);
+      for (const Operand& s : in.src) check_operand(prog, s, "src", at);
+      check_pred(prog, in.pdst, at);
+      check_pred(prog, in.psrc0, at);
+      check_pred(prog, in.psrc1, at);
+      check_pred(prog, in.guard, at);
+
+      if (in.dst.valid()) {
+        VGPU_EXPECTS_MSG(in.dst.comp == 0, at + ": dst must address component 0");
+      }
+      if (in.is_load()) {
+        VGPU_EXPECTS_MSG(in.dst.valid(), at + ": load without destination");
+        VGPU_EXPECTS_MSG(prog.regs[in.dst.reg].width == width_words(in.width),
+                         at + ": load width mismatch with register width");
+        // src[0] may be invalid: absolute immediate address
+      }
+      if (in.is_store()) {
+        VGPU_EXPECTS_MSG(in.src[1].valid(), at + ": store needs a value");
+        if (width_words(in.width) > 1) {
+          VGPU_EXPECTS_MSG(in.src[1].comp == 0 &&
+                               prog.regs[in.src[1].reg].width == width_words(in.width),
+                           at + ": vector store value width mismatch");
+        }
+      }
+      switch (in.op) {
+        case Opcode::kBra:
+          check_block_id(prog, in.target, at);
+          break;
+        case Opcode::kBraCond:
+          check_block_id(prog, in.target, at);
+          check_block_id(prog, in.target2, at);
+          check_block_id(prog, in.reconv, at);
+          VGPU_EXPECTS_MSG(in.psrc0 != kNoPred, at + ": conditional branch needs a predicate");
+          break;
+        case Opcode::kMovParam:
+          VGPU_EXPECTS_MSG(in.imm < prog.num_params, at + ": parameter index out of range");
+          break;
+        case Opcode::kSetp:
+          VGPU_EXPECTS_MSG(in.pdst != kNoPred, at + ": setp without destination");
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  for (const LoopInfo& l : prog.loops) {
+    check_block_id(prog, l.preheader, prog.name + "/loop.preheader");
+    check_block_id(prog, l.exit, prog.name + "/loop.exit");
+    if (l.body != kNoBlock) check_block_id(prog, l.body, prog.name + "/loop.body");
+  }
+}
+
+}  // namespace vgpu

@@ -1,0 +1,16 @@
+// verify.hpp - structural IR verifier.
+//
+// Run after building a kernel and after every transformation pass; a
+// malformed program raises ContractViolation with the offending location.
+#pragma once
+
+#include "vgpu/ir.hpp"
+
+namespace vgpu {
+
+/// Throws ContractViolation if the program is structurally invalid:
+/// empty blocks, missing/misplaced terminators, out-of-range registers,
+/// predicates, params, block targets, or vector-component misuse.
+void verify(const Program& prog);
+
+}  // namespace vgpu

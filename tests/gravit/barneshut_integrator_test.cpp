@@ -1,0 +1,171 @@
+// Octree and integrator tests: approximation error bounded by theta,
+// structural invariants, symplectic energy behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gravit/barneshut.hpp"
+#include "gravit/diagnostics.hpp"
+#include "gravit/forces_cpu.hpp"
+#include "gravit/integrator.hpp"
+#include "gravit/spawn.hpp"
+
+namespace gravit {
+namespace {
+
+double relative_rms_error(std::span<const Vec3> approx, std::span<const Vec3> exact) {
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < approx.size(); ++i) {
+    num += (approx[i] - exact[i]).norm2();
+    den += exact[i].norm2();
+  }
+  return std::sqrt(num / den);
+}
+
+TEST(Octree, ZeroThetaMatchesDirectSum) {
+  auto set = spawn_plummer(300, 1.0f, 21);
+  Octree tree(set.pos(), set.mass());
+  auto bh = tree.accelerations(0.0f, kDefaultSoftening);
+  auto direct = farfield_direct(set);
+  EXPECT_LT(relative_rms_error(bh, direct), 1e-5);
+}
+
+class ThetaSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(ThetaSweep, ErrorGrowsWithThetaButStaysBounded) {
+  const float theta = GetParam();
+  auto set = spawn_plummer(500, 1.0f, 23);
+  Octree tree(set.pos(), set.mass());
+  auto bh = tree.accelerations(theta, kDefaultSoftening);
+  auto direct = farfield_direct(set);
+  const double err = relative_rms_error(bh, direct);
+  // classic Barnes-Hut error scaling: a few percent at theta <= 1
+  EXPECT_LT(err, 0.06 * theta + 1e-5) << "theta=" << theta;
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ThetaSweep,
+                         ::testing::Values(0.2f, 0.4f, 0.6f, 0.8f, 1.0f));
+
+TEST(Octree, MassIsConservedInTheRoot) {
+  auto set = spawn_uniform_cube(200, 1.0f, 25);
+  Octree tree(set.pos(), set.mass());
+  // root aggregates all mass: probe far away, compare against a point mass
+  const Vec3 far{100.0f, 0.0f, 0.0f};
+  const Vec3 a = tree.accel_at(far, 0.5f, 0.0f);
+  float total_mass = 0.0f;
+  for (float m : set.mass()) total_mass += m;
+  EXPECT_NEAR(a.norm(), total_mass / (100.0f * 100.0f), 1e-4f);
+  EXPECT_LT(a.x, 0.0f);  // pull toward the cloud
+}
+
+TEST(Octree, HandlesCoincidentParticles) {
+  ParticleSet set;
+  for (int k = 0; k < 10; ++k) set.push_back({0.5f, 0.5f, 0.5f}, {}, 0.1f);
+  set.push_back({-1.0f, 0, 0}, {}, 1.0f);
+  Octree tree(set.pos(), set.mass());
+  const Vec3 probe = tree.accel_at({5, 0, 0}, 0.5f, 0.01f);
+  EXPECT_LT(probe.x, 0.0f);
+  EXPECT_GT(tree.node_count(), 0u);
+}
+
+TEST(Octree, NodeCountIsLinearish) {
+  auto small = spawn_plummer(200, 1.0f, 27);
+  auto large = spawn_plummer(800, 1.0f, 27);
+  Octree ts(small.pos(), small.mass());
+  Octree tl(large.pos(), large.mass());
+  EXPECT_LT(tl.node_count(), 20 * ts.node_count());
+  EXPECT_GT(tl.node_count(), ts.node_count());
+}
+
+// ---- integrator ------------------------------------------------------------
+
+TEST(Integrator, LeapfrogConservesMomentum) {
+  auto set = spawn_plummer(128, 1.0f, 31);
+  const Vec3 p0 = total_momentum(set);
+  AccelFn accel = [](const ParticleSet& s) { return farfield_direct(s); };
+  for (int step = 0; step < 10; ++step) step_leapfrog(set, accel, 0.01f);
+  const Vec3 p1 = total_momentum(set);
+  EXPECT_NEAR((p1 - p0).norm(), 0.0f, 1e-4f);
+}
+
+TEST(Integrator, LeapfrogEnergyDriftBounded) {
+  auto set = spawn_plummer(96, 1.0f, 33);
+  AccelFn accel = [](const ParticleSet& s) { return farfield_direct(s); };
+  const double e0 = energy(set).total();
+  std::vector<Vec3> cached;
+  for (int step = 0; step < 50; ++step) {
+    cached = step_leapfrog(set, accel, 0.005f,
+                           step == 0 ? nullptr : &cached);
+  }
+  const double e1 = energy(set).total();
+  EXPECT_LT(std::abs(e1 - e0) / std::abs(e0), 0.02);
+}
+
+TEST(Integrator, EulerDriftsMoreThanLeapfrog) {
+  // a circular two-body orbit: forward Euler famously spirals outward,
+  // leapfrog stays bounded
+  auto make = [] {
+    ParticleSet set;
+    const float v = std::sqrt(0.5f);  // circular speed for m=1, d=1
+    set.push_back({-0.5f, 0, 0}, {0, -v, 0}, 1.0f);
+    set.push_back({0.5f, 0, 0}, {0, v, 0}, 1.0f);
+    return set;
+  };
+  const float eps = 1e-3f;
+  AccelFn accel = [eps](const ParticleSet& s) { return farfield_direct(s, eps); };
+
+  ParticleSet euler_set = make();
+  const double e0 = energy(euler_set, eps).total();
+  for (int step = 0; step < 400; ++step) step_euler(euler_set, accel, 0.02f);
+  const double euler_err = std::abs(energy(euler_set, eps).total() - e0);
+
+  ParticleSet lf_set = make();
+  for (int step = 0; step < 400; ++step) step_leapfrog(lf_set, accel, 0.02f);
+  const double lf_err = std::abs(energy(lf_set, eps).total() - e0);
+
+  EXPECT_LT(lf_err * 5.0, euler_err);
+}
+
+TEST(Diagnostics, CenterOfMassAndAngularMomentum) {
+  ParticleSet set;
+  set.push_back({1, 0, 0}, {0, 1, 0}, 1.0f);
+  set.push_back({-1, 0, 0}, {0, -1, 0}, 1.0f);
+  const Vec3 com = center_of_mass(set);
+  EXPECT_NEAR(com.x, 0.0f, 1e-6f);
+  const Vec3 l = total_angular_momentum(set);
+  EXPECT_NEAR(l.z, 2.0f, 1e-6f);  // both spin the same way
+  EXPECT_NEAR(total_momentum(set).norm(), 0.0f, 1e-6f);
+}
+
+TEST(Spawn, GeneratorsProduceRequestedCounts) {
+  EXPECT_EQ(spawn_uniform_cube(100).size(), 100u);
+  EXPECT_EQ(spawn_plummer(50).size(), 50u);
+  EXPECT_EQ(spawn_disk(70).size(), 70u);
+  EXPECT_EQ(spawn_cluster_pair(40).size(), 80u);
+}
+
+TEST(Spawn, PlummerIsCentrallyConcentrated) {
+  auto set = spawn_plummer(2000, 1.0f, 37);
+  std::size_t inner = 0;
+  for (const Vec3& p : set.pos()) {
+    if (p.norm() < 1.0f) ++inner;
+  }
+  // ~35% of the Plummer mass lies inside the scale radius
+  EXPECT_GT(inner, set.size() / 5);
+  EXPECT_LT(inner, set.size() / 2);
+}
+
+TEST(Spawn, ClusterPairApproachesEachOther) {
+  auto set = spawn_cluster_pair(100, 4.0f, 0.5f, 0.3f, 41);
+  // left half moves right, right half moves left
+  float left_vx = 0.0f;
+  float right_vx = 0.0f;
+  for (std::size_t k = 0; k < 100; ++k) left_vx += set.vel()[k].x;
+  for (std::size_t k = 100; k < 200; ++k) right_vx += set.vel()[k].x;
+  EXPECT_GT(left_vx, 0.0f);
+  EXPECT_LT(right_vx, 0.0f);
+}
+
+}  // namespace
+}  // namespace gravit

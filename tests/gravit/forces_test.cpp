@@ -1,0 +1,146 @@
+// CPU force-path tests: direct sum, tiled equivalence, Eq. 1 terms,
+// physics invariants of the pairwise law.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gravit/diagnostics.hpp"
+#include "gravit/forces_cpu.hpp"
+#include "gravit/spawn.hpp"
+
+namespace gravit {
+namespace {
+
+TEST(ForcesCpu, TwoBodySymmetry) {
+  ParticleSet set;
+  set.push_back({0, 0, 0}, {}, 2.0f);
+  set.push_back({1, 0, 0}, {}, 3.0f);
+  auto acc = farfield_direct(set, 1e-4f);  // ~unsoftened at r = 1
+  // a1 = m2/r^2 toward +x, a2 = m1/r^2 toward -x
+  EXPECT_NEAR(acc[0].x, 3.0f, 1e-4f);
+  EXPECT_NEAR(acc[1].x, -2.0f, 1e-4f);
+  EXPECT_EQ(acc[0].y, 0.0f);
+  EXPECT_EQ(acc[1].z, 0.0f);
+}
+
+TEST(ForcesCpu, ZeroSofteningIsRejected) {
+  ParticleSet set;
+  set.push_back({0, 0, 0}, {}, 1.0f);
+  EXPECT_THROW((void)farfield_direct(set, 0.0f), vgpu::ContractViolation);
+}
+
+TEST(ForcesCpu, SelfForceIsZero) {
+  ParticleSet set;
+  set.push_back({0.5f, -0.25f, 1.0f}, {}, 5.0f);
+  auto acc = farfield_direct(set);
+  EXPECT_EQ(acc[0].x, 0.0f);
+  EXPECT_EQ(acc[0].y, 0.0f);
+  EXPECT_EQ(acc[0].z, 0.0f);
+}
+
+TEST(ForcesCpu, MomentumIsConserved) {
+  // sum(m_i * a_i) == 0 for internal forces (Newton's third law holds
+  // exactly for the softened pair law too)
+  auto set = spawn_plummer(200, 1.0f, 9);
+  auto acc = farfield_direct(set);
+  Vec3 f{};
+  for (std::size_t i = 0; i < set.size(); ++i) f += acc[i] * set.mass()[i];
+  EXPECT_NEAR(f.x, 0.0f, 1e-4f);
+  EXPECT_NEAR(f.y, 0.0f, 1e-4f);
+  EXPECT_NEAR(f.z, 0.0f, 1e-4f);
+}
+
+TEST(ForcesCpu, TiledOrderMatchesUntiled) {
+  auto set = spawn_uniform_cube(257, 1.0f, 4);  // non-multiple of tile
+  auto ref = farfield_direct(set);
+  for (std::uint32_t tile : {1u, 16u, 128u, 300u}) {
+    auto tiled = farfield_direct_tiled(set, tile);
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      EXPECT_NEAR(tiled[i].x, ref[i].x, 1e-5f) << "tile=" << tile;
+      EXPECT_NEAR(tiled[i].y, ref[i].y, 1e-5f);
+      EXPECT_NEAR(tiled[i].z, ref[i].z, 1e-5f);
+    }
+  }
+}
+
+TEST(ForcesCpu, ZeroMassParticlesExertNoForce) {
+  ParticleSet set;
+  set.push_back({0, 0, 0}, {}, 1.0f);
+  set.push_back({1, 0, 0}, {}, 1.0f);
+  auto base = farfield_direct(set);
+  set.push_back({0.5f, 0.5f, 0.0f}, {}, 0.0f);  // padding-style particle
+  auto padded = farfield_direct(set);
+  EXPECT_EQ(base[0].x, padded[0].x);
+  EXPECT_EQ(base[1].x, padded[1].x);
+  EXPECT_EQ(base[0].y, padded[0].y);
+}
+
+TEST(ForcesCpu, NearestNeighbourOnlyActsWithinRadius) {
+  ParticleSet set;
+  set.push_back({0, 0, 0}, {}, 1.0f);
+  set.push_back({0.05f, 0, 0}, {}, 1.0f);   // inside h
+  set.push_back({2.0f, 0, 0}, {}, 1.0f);    // outside h
+  auto nn = nearest_neighbour(set, 0.1f, 1.0f);
+  EXPECT_LT(nn[0].x, 0.0f);  // pushed away from the close neighbour
+  EXPECT_GT(nn[1].x, 0.0f);
+  EXPECT_EQ(nn[2].x, 0.0f);
+  EXPECT_EQ(nn[2].y, 0.0f);
+}
+
+TEST(ForcesCpu, ExternalFieldTerms) {
+  ParticleSet set;
+  set.push_back({1, 0, 0}, {}, 1.0f);
+  ExternalField field;
+  field.uniform = {0, -9.8f, 0};
+  field.central_mass = 4.0f;
+  field.central_softening = 0.0f;
+  auto acc = external_accel(set, field);
+  EXPECT_NEAR(acc[0].y, -9.8f, 1e-6f);
+  EXPECT_NEAR(acc[0].x, -4.0f, 1e-5f);  // central pull
+}
+
+TEST(ForcesCpu, TotalAccelAssemblesEq1) {
+  auto set = spawn_uniform_cube(64, 1.0f, 5);
+  ForceModel model;
+  model.nn_radius = 0.2f;
+  model.external.uniform = {0, 0, -1.0f};
+  auto total = total_accel(set, model);
+  auto ff = farfield_direct(set, model.softening);
+  auto nn = nearest_neighbour(set, model.nn_radius, model.nn_strength);
+  auto ext = external_accel(set, model.external);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const Vec3 want = ff[i] + nn[i] + ext[i];
+    EXPECT_NEAR(total[i].x, want.x, 1e-6f);
+    EXPECT_NEAR(total[i].y, want.y, 1e-6f);
+    EXPECT_NEAR(total[i].z, want.z, 1e-6f);
+  }
+}
+
+TEST(ForcesCpu, PotentialEnergyNegativeAndScales) {
+  auto set = spawn_plummer(100, 1.0f, 11);
+  const double u = potential_energy(set);
+  EXPECT_LT(u, 0.0);
+  // doubling every mass quadruples |U|
+  ParticleSet heavy = set;
+  for (auto& m : heavy.mass()) m *= 2.0f;
+  EXPECT_NEAR(potential_energy(heavy) / u, 4.0, 1e-3);
+}
+
+class SofteningSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(SofteningSweep, ForceMagnitudeDecreasesWithSoftening) {
+  ParticleSet set;
+  set.push_back({0, 0, 0}, {}, 1.0f);
+  set.push_back({0.01f, 0, 0}, {}, 1.0f);
+  const float eps = GetParam();
+  auto soft = farfield_direct(set, eps);
+  auto near_hard = farfield_direct(set, 1e-4f);
+  EXPECT_LE(soft[0].x, near_hard[0].x + 1e-6f);
+  EXPECT_GT(soft[0].x, 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, SofteningSweep,
+                         ::testing::Values(0.01f, 0.05f, 0.1f, 0.5f));
+
+}  // namespace
+}  // namespace gravit

@@ -1,0 +1,163 @@
+// GPU far-field kernel tests: numerical agreement with the CPU reference
+// across every layout x unroll x icm variant, register/occupancy facts the
+// paper reports, and tile-sampling accuracy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gravit/forces_cpu.hpp"
+#include "gravit/gpu_runner.hpp"
+#include "gravit/spawn.hpp"
+#include "vgpu/occupancy.hpp"
+
+namespace gravit {
+namespace {
+
+struct Variant {
+  layout::SchemeKind scheme;
+  std::uint32_t unroll;
+  bool icm;
+};
+
+class GpuVariant : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(GpuVariant, MatchesCpuReference) {
+  const Variant v = GetParam();
+  auto set = spawn_uniform_cube(300, 1.0f, 13);  // non tile-multiple
+  FarfieldGpuOptions opt;
+  opt.kernel.scheme = v.scheme;
+  opt.kernel.unroll = v.unroll;
+  opt.kernel.icm = v.icm;
+  FarfieldGpu gpu(opt);
+  auto res = gpu.run_functional(set);
+  auto cpu = farfield_direct(set);
+  ASSERT_EQ(res.accel.size(), cpu.size());
+  for (std::size_t k = 0; k < cpu.size(); ++k) {
+    EXPECT_NEAR(res.accel[k].x, cpu[k].x, 2e-5f) << "k=" << k;
+    EXPECT_NEAR(res.accel[k].y, cpu[k].y, 2e-5f) << "k=" << k;
+    EXPECT_NEAR(res.accel[k].z, cpu[k].z, 2e-5f) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, GpuVariant,
+    ::testing::Values(Variant{layout::SchemeKind::kAoS, 1, false},
+                      Variant{layout::SchemeKind::kSoA, 1, false},
+                      Variant{layout::SchemeKind::kAoaS, 1, false},
+                      Variant{layout::SchemeKind::kSoAoaS, 1, false},
+                      Variant{layout::SchemeKind::kSoAoaS, 4, false},
+                      Variant{layout::SchemeKind::kSoAoaS, 32, false},
+                      Variant{layout::SchemeKind::kSoAoaS, 128, false},
+                      Variant{layout::SchemeKind::kSoAoaS, 128, true},
+                      Variant{layout::SchemeKind::kAoS, 128, true}));
+
+TEST(GpuFarfield, PaperRegisterCounts) {
+  // Sec. IV-A: the Gravit kernel uses 18 registers; full unrolling frees
+  // the iterator; with ICM the loop needs one register less. Our compiler
+  // realizes the register relief at the unroll step (16) and ICM trades one
+  // register back for ~12% fewer instructions - documented in
+  // EXPERIMENTS.md.
+  KernelOptions base;
+  base.scheme = layout::SchemeKind::kSoAoaS;
+  EXPECT_EQ(make_farfield_kernel(base).regs_per_thread, 18u);
+
+  KernelOptions unrolled = base;
+  unrolled.unroll = 128;
+  EXPECT_EQ(make_farfield_kernel(unrolled).regs_per_thread, 16u);
+}
+
+TEST(GpuFarfield, PaperOccupancyStep) {
+  // 18 regs @ block 128 -> 3 blocks/SM = 50%; 16 regs -> 4 blocks = 67%.
+  const vgpu::DeviceSpec spec = vgpu::g80_spec();
+  KernelOptions base;
+  base.scheme = layout::SchemeKind::kSoAoaS;
+  auto rolled = make_farfield_kernel(base);
+  auto occ0 = vgpu::compute_occupancy(spec, 128, rolled.regs_per_thread,
+                                      rolled.prog.shared_bytes);
+  EXPECT_NEAR(occ0.occupancy, 0.50, 1e-9);
+
+  KernelOptions opt = base;
+  opt.unroll = 128;
+  auto unrolled = make_farfield_kernel(opt);
+  auto occ1 = vgpu::compute_occupancy(spec, 128, unrolled.regs_per_thread,
+                                      unrolled.prog.shared_bytes);
+  EXPECT_NEAR(occ1.occupancy, 2.0 / 3.0, 1e-9);
+}
+
+TEST(GpuFarfield, UnrollRemovesAboutOneFifthOfInstructions) {
+  // Sec. IV-A: ~18% dynamic instruction reduction from full unrolling.
+  auto set = spawn_uniform_cube(512, 1.0f, 17);
+  FarfieldGpuOptions rolled_opt;
+  rolled_opt.kernel.scheme = layout::SchemeKind::kSoAoaS;
+  FarfieldGpu rolled(rolled_opt);
+  FarfieldGpuOptions unrolled_opt = rolled_opt;
+  unrolled_opt.kernel.unroll = 128;
+  FarfieldGpu unrolled(unrolled_opt);
+
+  const auto r = rolled.run_functional(set);
+  const auto u = unrolled.run_functional(set);
+  const double reduction =
+      1.0 - static_cast<double>(u.stats.warp_instructions) /
+                static_cast<double>(r.stats.warp_instructions);
+  EXPECT_GT(reduction, 0.15);
+  EXPECT_LT(reduction, 0.30);
+}
+
+TEST(GpuFarfield, InnerLoopDominatesDynamicInstructions) {
+  // the paper's premise: P executes n times per thread and represents >95%
+  // of the work for large n/K ratios
+  auto set = spawn_uniform_cube(2048, 1.0f, 19);
+  FarfieldGpuOptions opt;
+  FarfieldGpu gpu(opt);
+  auto res = gpu.run_functional(set);
+  const double inner = static_cast<double>(res.stats.region(vgpu::Region::kInner));
+  const double total = static_cast<double>(res.stats.warp_instructions);
+  EXPECT_GT(inner / total, 0.90);
+}
+
+TEST(GpuFarfield, TileSamplingMatchesFullTiming) {
+  auto set = spawn_uniform_cube(2048, 1.0f, 29);  // 16 tiles at K=128
+  FarfieldGpuOptions full_opt;
+  full_opt.sample_tiles = 0;  // full simulation
+  full_opt.max_waves = 0;
+  FarfieldGpu full(full_opt);
+  auto f = full.run_timed(set);
+
+  FarfieldGpuOptions sampled_opt;
+  sampled_opt.sample_tiles = 8;  // forces extrapolation (16 > 8)
+  sampled_opt.max_waves = 0;
+  FarfieldGpu sampled(sampled_opt);
+  auto s = sampled.run_timed(set);
+
+  EXPECT_TRUE(s.sampled);
+  EXPECT_FALSE(f.sampled);
+  const double err = std::abs(s.cycles - f.cycles) / f.cycles;
+  EXPECT_LT(err, 0.06) << "sampled=" << s.cycles << " full=" << f.cycles;
+}
+
+TEST(GpuFarfield, EndToEndWindowIncludesCopies) {
+  auto set = spawn_uniform_cube(256, 1.0f, 31);
+  FarfieldGpuOptions opt;
+  opt.sample_tiles = 0;
+  FarfieldGpu gpu(opt);
+  auto res = gpu.run_timed(set);
+  EXPECT_GT(res.end_to_end_ms, res.kernel_ms);
+  EXPECT_GT(res.kernel_ms, 0.0);
+}
+
+TEST(GpuFarfield, ZeroMassPaddingDoesNotPerturbForces) {
+  // 300 particles pad to 384: the padded tail must not change the physics
+  auto set = spawn_uniform_cube(300, 1.0f, 37);
+  FarfieldGpuOptions opt;
+  FarfieldGpu gpu(opt);
+  auto res = gpu.run_functional(set);
+  auto cpu = farfield_direct(set);
+  double max_err = 0;
+  for (std::size_t k = 0; k < cpu.size(); ++k) {
+    max_err = std::max<double>(max_err, (res.accel[k] - cpu[k]).norm());
+  }
+  EXPECT_LT(max_err, 1e-5);
+}
+
+}  // namespace
+}  // namespace gravit

@@ -1,0 +1,139 @@
+// Tests of the device-side reduction and integration kernels.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gravit/diagnostics.hpp"
+#include "gravit/gpu_kernels2.hpp"
+#include "gravit/gpu_runner.hpp"
+#include "gravit/integrator.hpp"
+#include "gravit/spawn.hpp"
+#include "layout/transform.hpp"
+
+namespace gravit {
+namespace {
+
+TEST(GpuReduce, BlockSumMatchesHost) {
+  vgpu::Device dev;
+  const std::uint32_t n = 1024;
+  std::vector<float> data(n);
+  for (std::uint32_t k = 0; k < n; ++k) {
+    data[k] = 0.01f * static_cast<float>(k % 37) - 0.15f;
+  }
+  vgpu::Buffer buf = dev.upload<float>(data);
+  const double got = gpu_sum(dev, buf, n);
+  double want = 0.0;
+  for (const float v : data) want += v;
+  EXPECT_NEAR(got, want, 1e-3);
+}
+
+TEST(GpuReduce, WorksAcrossBlockSizes) {
+  vgpu::Device dev;
+  std::vector<float> data(512, 1.0f);
+  vgpu::Buffer buf = dev.upload<float>(data);
+  for (const std::uint32_t block : {32u, 64u, 128u, 256u}) {
+    EXPECT_NEAR(gpu_sum(dev, buf, 512, block), 512.0, 1e-3) << block;
+  }
+}
+
+class KineticScheme : public ::testing::TestWithParam<layout::SchemeKind> {};
+
+TEST_P(KineticScheme, MatchesHostDiagnostics) {
+  auto set = spawn_plummer(777, 1.0f, 101);  // pads to 896
+  const GpuDiagnostics gpu = gpu_kinetic_energy(set, GetParam());
+  const double host = kinetic_energy(set);
+  EXPECT_NEAR(gpu.kinetic, host, std::abs(host) * 1e-4 + 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, KineticScheme,
+                         ::testing::Values(layout::SchemeKind::kAoS,
+                                           layout::SchemeKind::kSoA,
+                                           layout::SchemeKind::kAoaS,
+                                           layout::SchemeKind::kSoAoaS));
+
+class IntegrateScheme : public ::testing::TestWithParam<layout::SchemeKind> {};
+
+TEST_P(IntegrateScheme, KickDriftMatchesHostEuler) {
+  const layout::SchemeKind scheme = GetParam();
+  const std::uint32_t block = 128;
+  auto set = spawn_uniform_cube(256, 1.0f, 103);
+  const float dt = 0.05f;
+
+  // host reference: v += a dt; p += v dt with a fixed acceleration field
+  std::vector<Vec3> accel(set.size());
+  for (std::size_t k = 0; k < accel.size(); ++k) {
+    accel[k] = Vec3{0.1f * static_cast<float>(k % 5), -0.2f,
+                    0.01f * static_cast<float>(k % 3)};
+  }
+  ParticleSet want = set;
+  for (std::size_t k = 0; k < want.size(); ++k) {
+    want.vel()[k] += accel[k] * dt;
+    want.pos()[k] += want.vel()[k] * dt;
+  }
+
+  // device: pack, upload, integrate, download
+  const layout::PhysicalLayout phys =
+      layout::plan_layout(layout::gravit_record(), scheme);
+  const vgpu::Program prog = make_integrate_kernel(phys, block);
+  const auto n = static_cast<std::uint32_t>(set.size());
+  const std::vector<float> flat = set.flatten();
+  const std::vector<std::byte> image = layout::pack(phys, flat, n);
+
+  vgpu::Device dev;
+  vgpu::Buffer img = dev.malloc(image.size());
+  dev.memcpy_h2d(img, image);
+  std::vector<float> accel_soa(static_cast<std::size_t>(n) * 3);
+  for (std::uint32_t k = 0; k < n; ++k) {
+    accel_soa[k] = accel[k].x;
+    accel_soa[n + k] = accel[k].y;
+    accel_soa[2ull * n + k] = accel[k].z;
+  }
+  vgpu::Buffer acc_buf = dev.upload<float>(accel_soa);
+
+  std::vector<std::uint32_t> params;
+  for (const std::uint64_t base : phys.group_bases(n)) {
+    params.push_back(img.addr + static_cast<std::uint32_t>(base));
+  }
+  params.push_back(acc_buf.addr);
+  params.push_back(n);
+  params.push_back(std::bit_cast<std::uint32_t>(dt));
+  dev.launch_functional(prog, vgpu::LaunchConfig{n / block, block}, params);
+
+  std::vector<std::byte> back(image.size());
+  dev.memcpy_d2h(back, img);
+  std::vector<float> unpacked(static_cast<std::size_t>(n) * 7);
+  layout::unpack(phys, back, unpacked, n);
+  const ParticleSet got = ParticleSet::unflatten(unpacked);
+
+  for (std::size_t k = 0; k < want.size(); ++k) {
+    EXPECT_NEAR((got.pos()[k] - want.pos()[k]).norm(), 0.0f, 1e-6f)
+        << layout::to_string(scheme) << " k=" << k;
+    EXPECT_NEAR((got.vel()[k] - want.vel()[k]).norm(), 0.0f, 1e-6f)
+        << layout::to_string(scheme) << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, IntegrateScheme,
+                         ::testing::Values(layout::SchemeKind::kAoS,
+                                           layout::SchemeKind::kSoA,
+                                           layout::SchemeKind::kAoaS,
+                                           layout::SchemeKind::kSoAoaS));
+
+TEST(GpuIntegrate, KineticAndForceKernelsTouchDisjointGroups) {
+  // SoAoaS: the force kernel never reads the velocity array; the kinetic
+  // kernel never reads positions. Verify via the transaction counters: the
+  // kinetic kernel's bytes are ~16B/particle (velocity group + mass),
+  // not ~32B.
+  auto set = spawn_uniform_cube(512, 1.0f, 107);
+  const GpuDiagnostics gpu =
+      gpu_kinetic_energy(set, layout::SchemeKind::kSoAoaS);
+  // velocity group (16B) + mass via hot group (16B vec4): 2 reads = 32B max;
+  // AoS would read the full 28B record per load step (7 scalars).
+  const double bytes_per_particle =
+      static_cast<double>(gpu.stats.global_bytes) / 512.0;
+  EXPECT_LT(bytes_per_particle, 48.0);
+  EXPECT_GT(bytes_per_particle, 16.0);
+}
+
+}  // namespace
+}  // namespace gravit

@@ -1,0 +1,99 @@
+// Tests of the Simulation facade: all backends agree, Eq. 1 terms compose,
+// stepping bookkeeping.
+#include <gtest/gtest.h>
+
+#include "gravit/diagnostics.hpp"
+#include "gravit/simulation.hpp"
+#include "gravit/spawn.hpp"
+
+namespace gravit {
+namespace {
+
+TEST(Simulation, BackendsProduceConsistentForces) {
+  ParticleSet set = spawn_plummer(256, 1.0f, 91);
+
+  SimulationOptions cpu_opt;
+  cpu_opt.backend = ForceBackend::kCpuDirect;
+  Simulation cpu(set, cpu_opt);
+
+  SimulationOptions bh_opt;
+  bh_opt.backend = ForceBackend::kCpuBarnesHut;
+  bh_opt.theta = 0.2f;
+  Simulation bh(set, bh_opt);
+
+  SimulationOptions gpu_opt;
+  gpu_opt.backend = ForceBackend::kGpuDirect;
+  Simulation gpu(set, gpu_opt);
+
+  const auto fc = cpu.far_field();
+  const auto fb = bh.far_field();
+  const auto fg = gpu.far_field();
+  double bh_err = 0;
+  double gpu_err = 0;
+  double norm = 0;
+  for (std::size_t k = 0; k < set.size(); ++k) {
+    bh_err += (fb[k] - fc[k]).norm2();
+    gpu_err += (fg[k] - fc[k]).norm2();
+    norm += fc[k].norm2();
+  }
+  EXPECT_LT(std::sqrt(gpu_err / norm), 1e-5);
+  EXPECT_LT(std::sqrt(bh_err / norm), 0.02);
+}
+
+TEST(Simulation, StepAdvancesTimeAndCount) {
+  SimulationOptions opt;
+  opt.backend = ForceBackend::kCpuDirect;
+  opt.dt = 0.25f;
+  Simulation sim(spawn_uniform_cube(64, 1.0f, 93), opt);
+  EXPECT_EQ(sim.steps_taken(), 0u);
+  sim.run(4);
+  EXPECT_EQ(sim.steps_taken(), 4u);
+  EXPECT_NEAR(sim.time(), 1.0, 1e-6);
+}
+
+TEST(Simulation, ExternalFieldActsOnEveryBackend) {
+  SimulationOptions opt;
+  opt.backend = ForceBackend::kGpuDirect;
+  opt.forces.external.uniform = Vec3{0, 0, -5.0f};
+  ParticleSet set = spawn_uniform_cube(128, 1.0f, 95);
+  Simulation sim(set, opt);
+  const auto acc = sim.far_field();
+  // the uniform term shifts the mean z-acceleration by exactly -5
+  double mean_z = 0;
+  for (const Vec3& a : acc) mean_z += a.z;
+  mean_z /= static_cast<double>(acc.size());
+  EXPECT_NEAR(mean_z, -5.0, 0.05);  // internal forces nearly cancel on average
+}
+
+TEST(Simulation, NearestNeighbourTermRepelsClosePairs) {
+  // for a very close pair, enabling the NN term must flip the relative
+  // acceleration from attracting to separating
+  auto relative_accel_x = [](float nn_strength) {
+    ParticleSet set;
+    set.push_back({0.0f, 0, 0}, {}, 0.5f);
+    set.push_back({0.03f, 0, 0}, {}, 0.5f);
+    SimulationOptions opt;
+    opt.backend = ForceBackend::kCpuDirect;
+    opt.forces.nn_radius = 0.1f;
+    opt.forces.nn_strength = nn_strength;
+    Simulation sim(set, opt);
+    const auto acc = sim.far_field();
+    return acc[1].x - acc[0].x;  // >0 means the pair separates
+  };
+  EXPECT_LT(relative_accel_x(0.0f), 0.0f);    // gravity only: attracting
+  EXPECT_GT(relative_accel_x(5000.0f), 0.0f); // strong NN term: repelling
+}
+
+TEST(Simulation, EulerAndLeapfrogBothRun) {
+  for (const Integrator integ : {Integrator::kEuler, Integrator::kLeapfrog}) {
+    SimulationOptions opt;
+    opt.backend = ForceBackend::kCpuDirect;
+    opt.integrator = integ;
+    Simulation sim(spawn_uniform_cube(64, 1.0f, 97), opt);
+    sim.run(3);
+    EXPECT_EQ(sim.steps_taken(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace gravit

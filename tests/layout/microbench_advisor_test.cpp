@@ -1,0 +1,172 @@
+// Tests of the Sec. III read-benchmark kernel generator and the Sec. IV
+// layout advisor.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "layout/advisor.hpp"
+#include "layout/microbench.hpp"
+#include "layout/transform.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/timing.hpp"
+
+namespace layout {
+namespace {
+
+using vgpu::Buffer;
+using vgpu::Device;
+using vgpu::DriverModel;
+using vgpu::LaunchConfig;
+
+struct BenchRun {
+  std::vector<float> sums;
+  std::vector<std::uint32_t> deltas;
+  vgpu::LaunchStats stats;
+};
+
+BenchRun run_read_bench(SchemeKind kind, std::uint32_t n, DriverModel driver,
+                        bool timed) {
+  const PhysicalLayout phys = plan_layout(gravit_record(), kind);
+  const vgpu::Program prog = make_read_kernel(phys);
+
+  std::vector<float> data(static_cast<std::size_t>(n) * 7);
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<float> dist(-2.0f, 2.0f);
+  for (float& v : data) v = dist(rng);
+  const std::vector<std::byte> image = pack(phys, data, n);
+
+  Device dev;
+  Buffer img = dev.malloc(image.size());
+  dev.memcpy_h2d(img, image);
+  Buffer out = dev.malloc(static_cast<std::size_t>(n) * 8);
+
+  std::vector<std::uint32_t> params;
+  for (std::uint64_t base : phys.group_bases(n)) {
+    params.push_back(img.addr + static_cast<std::uint32_t>(base));
+  }
+  params.push_back(out.addr);
+
+  BenchRun run;
+  const LaunchConfig cfg{n / 128, 128};
+  if (timed) {
+    vgpu::TimingOptions opt;
+    opt.driver = driver;
+    run.stats = dev.launch_timed(prog, cfg, params, opt);
+  } else {
+    run.stats = dev.launch_functional(prog, cfg, params, driver);
+  }
+  // sums occupy out[0..n), per-thread clock deltas out[n..2n)
+  std::vector<std::uint32_t> raw(static_cast<std::size_t>(n) * 2);
+  dev.download<std::uint32_t>(raw, out);
+  run.sums.resize(n);
+  run.deltas.resize(n);
+  for (std::uint32_t k = 0; k < n; ++k) {
+    run.sums[k] = std::bit_cast<float>(raw[k]);
+    run.deltas[k] = raw[n + k];
+  }
+  // host reference: sum of the 7 fields
+  for (std::uint32_t k = 0; k < n; ++k) {
+    float want = 0.0f;
+    for (std::uint32_t f = 0; f < 7; ++f) want += data[k * 7 + f];
+    EXPECT_NEAR(run.sums[k], want, 1e-4f) << "element " << k;
+  }
+  return run;
+}
+
+class ReadKernel : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(ReadKernel, SumsEveryFieldCorrectly) {
+  (void)run_read_bench(GetParam(), 512, DriverModel::kCuda10, /*timed=*/false);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, ReadKernel,
+                         ::testing::Values(SchemeKind::kAoS, SchemeKind::kSoA,
+                                           SchemeKind::kAoaS, SchemeKind::kSoAoaS));
+
+TEST(ReadKernel, LoadsSurviveOptimization) {
+  // The kernel consumes its loads, so the pipeline must keep all of them.
+  for (SchemeKind kind : all_schemes()) {
+    const PhysicalLayout phys = plan_layout(gravit_record(), kind);
+    const vgpu::Program prog = make_read_kernel(phys);
+    std::size_t loads = 0;
+    for (const vgpu::Block& blk : prog.blocks) {
+      for (const vgpu::Instruction& in : blk.instrs) {
+        if (in.op == vgpu::Opcode::kLdGlobal) ++loads;
+      }
+    }
+    EXPECT_EQ(loads, phys.load_plan.size()) << to_string(kind);
+  }
+}
+
+double mean_delta(const BenchRun& r) {
+  double total = 0;
+  for (std::uint32_t d : r.deltas) total += d;
+  return total / static_cast<double>(r.deltas.size());
+}
+
+TEST(ReadKernel, Cuda10OrderingMatchesFig10) {
+  // Fig. 10's metric is the per-thread clock() delta around the record
+  // fetch: unoptimized AoS slowest, SoA better, AoaS better still, SoAoaS
+  // best.
+  const auto aos = run_read_bench(SchemeKind::kAoS, 4096, DriverModel::kCuda10, true);
+  const auto soa = run_read_bench(SchemeKind::kSoA, 4096, DriverModel::kCuda10, true);
+  const auto aoas =
+      run_read_bench(SchemeKind::kAoaS, 4096, DriverModel::kCuda10, true);
+  const auto soaoas =
+      run_read_bench(SchemeKind::kSoAoaS, 4096, DriverModel::kCuda10, true);
+  EXPECT_LT(mean_delta(soa), mean_delta(aos));
+  EXPECT_LT(mean_delta(aoas), mean_delta(soa));
+  EXPECT_LT(mean_delta(soaoas), mean_delta(aoas));
+  // and the headline factor: SoAoaS beats the AoS baseline by ~1.5x
+  const double speedup = mean_delta(aos) / mean_delta(soaoas);
+  EXPECT_GT(speedup, 1.35);
+  EXPECT_LT(speedup, 1.85);
+}
+
+TEST(ReadKernel, PerThreadClockDeltasAreWithinThePaperBand) {
+  // Fig. 10 reports 200-500 cycles per single 4-byte element; the
+  // calibrated simulator must land inside a generous version of that band
+  // for the extreme layouts.
+  const auto aos = run_read_bench(SchemeKind::kAoS, 4096, DriverModel::kCuda10, true);
+  const auto soaoas =
+      run_read_bench(SchemeKind::kSoAoaS, 4096, DriverModel::kCuda10, true);
+  auto avg_per_read = [](const BenchRun& r) {
+    double total = 0;
+    for (std::uint32_t d : r.deltas) total += d;
+    return total / static_cast<double>(r.deltas.size()) / 7.0;
+  };
+  const double aos_avg = avg_per_read(aos);
+  const double soaoas_avg = avg_per_read(soaoas);
+  EXPECT_GT(aos_avg, 150.0);
+  EXPECT_LT(aos_avg, 700.0);
+  EXPECT_GT(soaoas_avg, 100.0);
+  EXPECT_LT(soaoas_avg, 600.0);
+  EXPECT_LT(soaoas_avg, aos_avg);
+}
+
+// ---- advisor ----------------------------------------------------------------
+
+TEST(Advisor, RecommendsSoAoaSWithFewestTransactions) {
+  const Advice advice = advise(gravit_record());
+  EXPECT_EQ(advice.recommended.kind, SchemeKind::kSoAoaS);
+  std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t soaoas_txn = 0;
+  for (const SchemeComparison& c : advice.comparison) {
+    best = std::min(best, c.transactions_per_half_warp);
+    if (c.kind == SchemeKind::kSoAoaS) soaoas_txn = c.transactions_per_half_warp;
+  }
+  EXPECT_EQ(soaoas_txn, best);
+}
+
+TEST(Advisor, RationaleNamesTheGroups) {
+  const Advice advice = advise(gravit_record());
+  EXPECT_NE(advice.rationale.find("mass"), std::string::npos);
+  EXPECT_NE(advice.rationale.find("hot"), std::string::npos);
+  const std::string table = format_advice(advice);
+  EXPECT_NE(table.find("SoAoaS"), std::string::npos);
+  EXPECT_NE(table.find("scheme"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace layout

@@ -1,0 +1,175 @@
+// Layout-plan and analyzer tests. The headline assertions reproduce the
+// paper's Figs. 3/5/7/9 transaction counts for the Gravit particle record
+// under the strict CUDA 1.0 rules.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "layout/analyzer.hpp"
+#include "layout/plan.hpp"
+#include "layout/record.hpp"
+#include "layout/transform.hpp"
+
+namespace layout {
+namespace {
+
+using vgpu::DriverModel;
+
+TEST(Plan, AoSMatchesFig2) {
+  const PhysicalLayout p = plan_layout(gravit_record(), SchemeKind::kAoS);
+  ASSERT_EQ(p.groups.size(), 1u);
+  EXPECT_EQ(p.groups[0].stride, 28u);  // 7 packed floats
+  EXPECT_EQ(p.load_plan.size(), 7u);   // 7 scalar reads per thread
+  EXPECT_EQ(p.bytes_per_element(), 28u);
+}
+
+TEST(Plan, SoAMatchesFig4) {
+  const PhysicalLayout p = plan_layout(gravit_record(), SchemeKind::kSoA);
+  ASSERT_EQ(p.groups.size(), 7u);
+  for (const ArrayGroup& g : p.groups) EXPECT_EQ(g.stride, 4u);
+  EXPECT_EQ(p.load_plan.size(), 7u);
+}
+
+TEST(Plan, AoaSMatchesFig6) {
+  const PhysicalLayout p = plan_layout(gravit_record(), SchemeKind::kAoaS);
+  ASSERT_EQ(p.groups.size(), 1u);
+  EXPECT_EQ(p.groups[0].stride, 32u);   // hidden 32-bit padding element
+  EXPECT_EQ(p.groups[0].payload, 28u);
+  ASSERT_EQ(p.load_plan.size(), 2u);    // two 128-bit reads
+  EXPECT_EQ(p.load_plan[0].width, vgpu::MemWidth::kW128);
+  EXPECT_EQ(p.load_plan[1].width, vgpu::MemWidth::kW128);
+}
+
+TEST(Plan, SoAoaSMatchesFig8) {
+  const PhysicalLayout p = plan_layout(gravit_record(), SchemeKind::kSoAoaS);
+  // posmass (px,py,pz,mass) + velocity (vx,vy,vz + hidden padding)
+  ASSERT_EQ(p.groups.size(), 2u);
+  EXPECT_EQ(p.groups[0].field_ids, (std::vector<std::uint32_t>{0, 1, 2, 6}));
+  EXPECT_EQ(p.groups[0].stride, 16u);
+  EXPECT_EQ(p.groups[0].payload, 16u);  // exactly float4, no padding
+  EXPECT_EQ(p.groups[1].field_ids, (std::vector<std::uint32_t>{3, 4, 5}));
+  EXPECT_EQ(p.groups[1].stride, 16u);
+  EXPECT_EQ(p.groups[1].payload, 12u);  // hidden padding element
+  ASSERT_EQ(p.load_plan.size(), 2u);    // two 128-bit reads
+}
+
+// ---- the paper's transaction counts (CUDA 1.0 strict rules) ------------------
+
+TEST(Analyzer, Fig3AoSSeven32BitScatteredReads) {
+  const auto rep = analyze_half_warp(plan_layout(gravit_record(), SchemeKind::kAoS),
+                                     DriverModel::kCuda10);
+  EXPECT_EQ(rep.loads_per_thread(), 7u);
+  EXPECT_EQ(rep.total_transactions(), 7u * 16u);  // one per lane per read
+  EXPECT_FALSE(rep.fully_coalesced());
+}
+
+TEST(Analyzer, Fig5SoASevenCoalescedReads) {
+  const auto rep = analyze_half_warp(plan_layout(gravit_record(), SchemeKind::kSoA),
+                                     DriverModel::kCuda10);
+  EXPECT_EQ(rep.loads_per_thread(), 7u);
+  EXPECT_EQ(rep.total_transactions(), 7u);  // one 64B transaction per read
+  EXPECT_TRUE(rep.fully_coalesced());
+}
+
+TEST(Analyzer, Fig7AoaSTwo128BitScatteredReads) {
+  const auto rep = analyze_half_warp(plan_layout(gravit_record(), SchemeKind::kAoaS),
+                                     DriverModel::kCuda10);
+  EXPECT_EQ(rep.loads_per_thread(), 2u);
+  EXPECT_EQ(rep.total_transactions(), 2u * 16u);  // per lane, 16B each
+  EXPECT_FALSE(rep.fully_coalesced());
+}
+
+TEST(Analyzer, Fig9SoAoaSTwoCoalesced128BitReads) {
+  const auto rep = analyze_half_warp(plan_layout(gravit_record(), SchemeKind::kSoAoaS),
+                                     DriverModel::kCuda10);
+  EXPECT_EQ(rep.loads_per_thread(), 2u);
+  // each 128-bit coalesced read = two 128B transactions per half-warp
+  EXPECT_EQ(rep.total_transactions(), 4u);
+  EXPECT_TRUE(rep.fully_coalesced());
+}
+
+TEST(Analyzer, BusTrafficOrderingMatchesThePaperStory) {
+  // AoS moves the least bytes but in the most transactions; SoAoaS moves
+  // slightly more bytes (padding) in by far the fewest transactions.
+  const auto aos = analyze_half_warp(plan_layout(gravit_record(), SchemeKind::kAoS),
+                                     DriverModel::kCuda10);
+  const auto soaoas = analyze_half_warp(
+      plan_layout(gravit_record(), SchemeKind::kSoAoaS), DriverModel::kCuda10);
+  EXPECT_GT(aos.total_transactions(), 20u * soaoas.total_transactions());
+  EXPECT_LT(soaoas.total_bytes(), 2u * aos.total_bytes());
+}
+
+TEST(Analyzer, ReportFormatsNicely) {
+  const auto rep = analyze_half_warp(plan_layout(gravit_record(), SchemeKind::kSoAoaS),
+                                     DriverModel::kCuda22);
+  const std::string text = format_report(rep);
+  EXPECT_NE(text.find("SoAoaS"), std::string::npos);
+  EXPECT_NE(text.find("CUDA 2.2"), std::string::npos);
+}
+
+// ---- pack/unpack ------------------------------------------------------------
+
+class RoundTrip : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(RoundTrip, PackUnpackIsLossless) {
+  const PhysicalLayout p = plan_layout(gravit_record(), GetParam());
+  const std::uint64_t n = 53;  // odd count exercises padding edges
+  std::vector<float> data(n * 7);
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<float> dist(-5.0f, 5.0f);
+  for (float& v : data) v = dist(rng);
+
+  const std::vector<std::byte> image = pack(p, data, n);
+  EXPECT_EQ(image.size(), p.bytes(n));
+  std::vector<float> back(n * 7);
+  unpack(p, image, back, n);
+  EXPECT_EQ(data, back);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, RoundTrip,
+                         ::testing::Values(SchemeKind::kAoS, SchemeKind::kSoA,
+                                           SchemeKind::kAoaS, SchemeKind::kSoAoaS));
+
+TEST(Plan, GroupBasesAre256Aligned) {
+  for (SchemeKind kind : all_schemes()) {
+    const PhysicalLayout p = plan_layout(gravit_record(), kind);
+    for (std::uint64_t base : p.group_bases(1000)) {
+      EXPECT_EQ(base % 256, 0u) << to_string(kind);
+    }
+  }
+}
+
+TEST(Plan, FieldOffsetsCoverEveryFieldOnce) {
+  for (SchemeKind kind : all_schemes()) {
+    const PhysicalLayout p = plan_layout(gravit_record(), kind);
+    std::vector<std::uint64_t> seen;
+    for (std::uint32_t f = 0; f < 7; ++f) {
+      std::uint32_t g = 0;
+      const std::uint64_t off = p.field_offset(f, 3, g);
+      const std::uint64_t key = (static_cast<std::uint64_t>(g) << 32) | off;
+      EXPECT_EQ(std::count(seen.begin(), seen.end(), key), 0) << to_string(kind);
+      seen.push_back(key);
+    }
+  }
+}
+
+TEST(Plan, WideRecordSplitsIntoMultipleHotChunks) {
+  // A 10-hot-field record: SoAoaS must split hot fields into 4+4+2 chunks
+  // (the "split structures that exceed the alignment boundaries" step).
+  RecordDesc rec{"wide", {}};
+  for (int k = 0; k < 10; ++k) {
+    std::string name("f");
+    name.append(std::to_string(k));
+    rec.fields.push_back({std::move(name), AccessFreq::kHot});
+  }
+  const PhysicalLayout p = plan_layout(rec, SchemeKind::kSoAoaS);
+  ASSERT_EQ(p.groups.size(), 3u);
+  EXPECT_EQ(p.groups[0].payload, 16u);
+  EXPECT_EQ(p.groups[1].payload, 16u);
+  EXPECT_EQ(p.groups[2].payload, 8u);   // two fields -> 64-bit sub-struct
+  EXPECT_EQ(p.groups[2].stride, 8u);
+  EXPECT_EQ(p.load_plan.back().width, vgpu::MemWidth::kW64);
+}
+
+}  // namespace
+}  // namespace layout

@@ -1,0 +1,67 @@
+// Determinism guarantees: identical launches produce identical cycles,
+// stats and results - the property every calibration and benchmark in this
+// repository silently depends on.
+#include <gtest/gtest.h>
+
+#include "gravit/gpu_runner.hpp"
+#include "gravit/kernels.hpp"
+#include "gravit/spawn.hpp"
+#include "layout/microbench.hpp"
+#include "layout/transform.hpp"
+#include "vgpu/device.hpp"
+
+namespace vgpu {
+namespace {
+
+TEST(Determinism, TimedLaunchesAreBitIdentical) {
+  const auto phys =
+      layout::plan_layout(layout::gravit_record(), layout::SchemeKind::kSoAoaS);
+  const Program prog = layout::make_read_kernel(phys);
+  auto run_once = [&] {
+    Device dev;
+    const std::uint32_t n = 1024;
+    std::vector<float> data(static_cast<std::size_t>(n) * 7, 1.0f);
+    const auto image = layout::pack(phys, data, n);
+    Buffer img = dev.malloc(image.size());
+    dev.memcpy_h2d(img, image);
+    Buffer out = dev.malloc(static_cast<std::size_t>(n) * 8);
+    std::vector<std::uint32_t> params;
+    for (const std::uint64_t base : phys.group_bases(n)) {
+      params.push_back(img.addr + static_cast<std::uint32_t>(base));
+    }
+    params.push_back(out.addr);
+    return dev.launch_timed(prog, LaunchConfig{n / 128, 128}, params, {});
+  };
+  const LaunchStats a = run_once();
+  const LaunchStats b = run_once();
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.warp_instructions, b.warp_instructions);
+  EXPECT_EQ(a.global_transactions, b.global_transactions);
+  EXPECT_EQ(a.sm_idle_cycles, b.sm_idle_cycles);
+}
+
+TEST(Determinism, KernelCompilationIsReproducible) {
+  gravit::KernelOptions opt;
+  opt.unroll = 128;
+  const gravit::BuiltKernel a = gravit::make_farfield_kernel(opt);
+  const gravit::BuiltKernel b = gravit::make_farfield_kernel(opt);
+  EXPECT_EQ(disassemble(a.prog), disassemble(b.prog));
+  EXPECT_EQ(a.regs_per_thread, b.regs_per_thread);
+}
+
+TEST(Determinism, GpuForcesAreReproducibleAcrossRuns) {
+  auto set = gravit::spawn_plummer(300, 1.0f, 401);
+  gravit::FarfieldGpuOptions opt;
+  gravit::FarfieldGpu gpu(opt);
+  const auto a = gpu.run_functional(set);
+  const auto b = gpu.run_functional(set);
+  ASSERT_EQ(a.accel.size(), b.accel.size());
+  for (std::size_t k = 0; k < a.accel.size(); ++k) {
+    EXPECT_EQ(a.accel[k].x, b.accel[k].x);
+    EXPECT_EQ(a.accel[k].y, b.accel[k].y);
+    EXPECT_EQ(a.accel[k].z, b.accel[k].z);
+  }
+}
+
+}  // namespace
+}  // namespace vgpu

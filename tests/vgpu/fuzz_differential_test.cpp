@@ -1,0 +1,202 @@
+// Differential fuzzing of the compiler pipeline: random (but type-correct)
+// kernels are generated from a seeded grammar, executed raw, then executed
+// again after every optimization pass and after register allocation - all
+// four executions must agree bit-for-bit. This is the strongest correctness
+// evidence for the pass/allocator combination the paper experiments hinge
+// on.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "vgpu/builder.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/opt.hpp"
+#include "vgpu/regalloc.hpp"
+#include "vgpu/verify.hpp"
+
+namespace vgpu {
+namespace {
+
+/// Generates a random straight-line-plus-structured kernel that reads an
+/// input array, computes through a random op DAG (reusing live values),
+/// optionally loops/branches, and writes one result per thread.
+class RandomKernelGen {
+ public:
+  explicit RandomKernelGen(std::uint32_t seed) : rng_(seed) {}
+
+  Program generate() {
+    KernelBuilder kb("fuzz", 2);
+    Val i = kb.iadd(kb.imul(kb.ctaid(), kb.ntid()), kb.tid());
+    Val in_addr = kb.iadd(kb.param_u32(0), kb.shl(i, 2));
+
+    std::vector<Val> fpool;
+    std::vector<Val> upool;
+    fpool.push_back(kb.ld_global_f32(in_addr));
+    fpool.push_back(kb.imm_f32(pick_float()));
+    fpool.push_back(kb.ld_global_f32(in_addr, 4096));
+    upool.push_back(i);
+    upool.push_back(kb.imm_u32(static_cast<std::uint32_t>(rng_() % 64)));
+    upool.push_back(kb.band(i, kb.imm_u32(7)));
+
+    const int ops = 10 + static_cast<int>(rng_() % 25);
+    for (int k = 0; k < ops; ++k) {
+      emit_random_op(kb, fpool, upool);
+    }
+
+    // maybe a counted loop accumulating over the pools, optionally with a
+    // divergent if nested inside the body
+    if (rng_() % 2 == 0) {
+      Val acc = kb.var_f32(fpool.back());
+      const std::uint32_t trip = 2u + static_cast<std::uint32_t>(rng_() % 6);
+      const bool nested_if = rng_() % 2 == 0;
+      Val sel_a = pick(fpool);
+      Val sel_b = pick(fpool);
+      kb.for_counted(trip, [&](Val iv) {
+        Val t = kb.fadd(acc, kb.fmul(pick(fpool), kb.imm_f32(0.25f)));
+        if (nested_if) {
+          PVal p = kb.setp_u32(CmpOp::kLt, kb.band(upool.front(), kb.imm_u32(3)),
+                               kb.band(iv, kb.imm_u32(3)));
+          kb.if_then_else(p, [&] { kb.assign(acc, kb.fadd(t, sel_a)); },
+                          [&] { kb.assign(acc, kb.fmax(t, sel_b)); });
+        } else {
+          kb.assign(acc, t);
+        }
+      });
+      fpool.push_back(acc);
+    }
+
+    // maybe a per-lane dynamic loop (divergent trip counts)
+    if (rng_() % 3 == 0) {
+      Val acc = kb.var_f32(kb.imm_f32(1.0f));
+      Val trips = kb.band(upool.front(), kb.imm_u32(3));
+      kb.for_dynamic(trips, [&](Val iv) {
+        kb.assign(acc, kb.ffma(kb.i2f(iv), kb.imm_f32(0.5f), acc));
+      });
+      fpool.push_back(acc);
+    }
+
+    // maybe a vector load with component reuse
+    if (rng_() % 3 == 0) {
+      Val block16 = kb.band(upool.front(), kb.imm_u32(63));
+      Val vaddr = kb.imad(block16, kb.imm_u32(16), kb.param_u32(0));
+      Val v = kb.ld_global_vec(vaddr, MemWidth::kW128, VType::kF32);
+      fpool.push_back(kb.fadd(kb.comp(v, rng_() % 4 == 0 ? 3 : 1),
+                              kb.comp(v, 0)));
+    }
+
+    // maybe a divergent if/else writing a selected value
+    Val result = pick(fpool);
+    if (rng_() % 2 == 0) {
+      Val sel_val = kb.var_f32(result);
+      PVal p = kb.setp_u32(CmpOp::kLt, kb.band(upool.front(), kb.imm_u32(3)),
+                           kb.imm_u32(1u + static_cast<std::uint32_t>(rng_() % 3)));
+      Val a = pick(fpool);
+      Val b = pick(fpool);
+      kb.if_then_else(p, [&] { kb.assign(sel_val, a); },
+                      [&] { kb.assign(sel_val, kb.fmul(b, kb.imm_f32(0.5f))); });
+      result = sel_val;
+    }
+
+    kb.st_global(kb.iadd(kb.param_u32(1), kb.shl(i, 2)), result);
+    return std::move(kb).finish();
+  }
+
+ private:
+  float pick_float() {
+    return static_cast<float>(static_cast<int>(rng_() % 1000) - 500) / 64.0f;
+  }
+  Val pick(const std::vector<Val>& pool) {
+    return pool[rng_() % pool.size()];
+  }
+  void emit_random_op(KernelBuilder& kb, std::vector<Val>& fpool,
+                      std::vector<Val>& upool) {
+    switch (rng_() % 10) {
+      case 0: fpool.push_back(kb.fadd(pick(fpool), pick(fpool))); break;
+      case 1: fpool.push_back(kb.fsub(pick(fpool), pick(fpool))); break;
+      case 2: fpool.push_back(kb.fmul(pick(fpool), pick(fpool))); break;
+      case 3:
+        fpool.push_back(kb.ffma(pick(fpool), pick(fpool), pick(fpool)));
+        break;
+      case 4: fpool.push_back(kb.fmax(pick(fpool), pick(fpool))); break;
+      case 5: fpool.push_back(kb.fabs(pick(fpool))); break;
+      case 6: upool.push_back(kb.iadd(pick(upool), pick(upool))); break;
+      case 7: upool.push_back(kb.iadd_imm(pick(upool), static_cast<std::uint32_t>(rng_() % 256))); break;
+      case 8: upool.push_back(kb.band(pick(upool), kb.imm_u32(0xFF))); break;
+      case 9: fpool.push_back(kb.i2f(kb.band(pick(upool), kb.imm_u32(31)))); break;
+      default: break;
+    }
+  }
+
+  std::mt19937 rng_;
+};
+
+std::vector<std::uint32_t> run_program(const Program& prog) {
+  const std::uint32_t n = 128;
+  Device dev(tiny_spec(), 1 << 20);
+  std::vector<float> input(4096);
+  std::mt19937 rng(99);
+  std::uniform_real_distribution<float> dist(-8.0f, 8.0f);
+  for (float& v : input) v = dist(rng);
+  Buffer bin = dev.upload<float>(input);
+  Buffer bout = dev.malloc_n<float>(n);
+  const std::uint32_t params[2] = {bin.addr, bout.addr};
+  dev.launch_functional(prog, LaunchConfig{n / 64, 64}, params);
+  std::vector<std::uint32_t> out(n);
+  dev.download<std::uint32_t>(out, bout);
+  return out;
+}
+
+class FuzzSeed : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FuzzSeed, PassesAndAllocatorPreserveSemantics) {
+  RandomKernelGen gen(GetParam());
+  Program raw = gen.generate();
+  verify(raw);
+  const auto want = run_program(raw);
+
+  // each pass in isolation
+  {
+    RandomKernelGen g2(GetParam());
+    Program p = g2.generate();
+    fold_constants(p);
+    verify(p);
+    EXPECT_EQ(run_program(p), want) << "fold_constants diverged";
+  }
+  {
+    RandomKernelGen g2(GetParam());
+    Program p = g2.generate();
+    propagate_copies(p);
+    verify(p);
+    EXPECT_EQ(run_program(p), want) << "propagate_copies diverged";
+  }
+  {
+    RandomKernelGen g2(GetParam());
+    Program p = g2.generate();
+    fold_addresses(p);
+    verify(p);
+    EXPECT_EQ(run_program(p), want) << "fold_addresses diverged";
+  }
+  {
+    RandomKernelGen g2(GetParam());
+    Program p = g2.generate();
+    eliminate_dead_code(p);
+    verify(p);
+    EXPECT_EQ(run_program(p), want) << "dce diverged";
+  }
+  // the full pipeline + register allocation
+  {
+    RandomKernelGen g2(GetParam());
+    Program p = g2.generate();
+    run_standard_pipeline(p);
+    allocate_registers(p);
+    verify(p);
+    EXPECT_EQ(run_program(p), want) << "pipeline+regalloc diverged";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed,
+                         ::testing::Range<std::uint32_t>(1, 61));
+
+}  // namespace
+}  // namespace vgpu

@@ -1,0 +1,84 @@
+// Occupancy calculator tests against known G80 reference points, including
+// the paper's 18 -> 17 -> 16 registers @ block 128 sequence (50% -> 67%).
+#include <gtest/gtest.h>
+
+#include "vgpu/occupancy.hpp"
+
+namespace vgpu {
+namespace {
+
+TEST(Occupancy, PaperSequenceAtBlock128) {
+  const DeviceSpec spec = g80_spec();
+  // 18 regs: 2304 regs/block -> 3 blocks -> 384 threads -> 12/24 warps = 50%
+  auto r18 = compute_occupancy(spec, 128, 18, 2048);
+  EXPECT_EQ(r18.blocks_per_sm, 3u);
+  EXPECT_NEAR(r18.occupancy, 0.50, 1e-9);
+  EXPECT_EQ(r18.limiter, OccupancyLimiter::kRegisters);
+
+  // 17 regs: 2176 regs/block (aligned 2304) -> still 3 blocks = 50%
+  auto r17 = compute_occupancy(spec, 128, 17, 2048);
+  EXPECT_EQ(r17.blocks_per_sm, 3u);
+  EXPECT_NEAR(r17.occupancy, 0.50, 1e-9);
+
+  // 16 regs: 2048 regs/block -> 4 blocks -> 512 threads -> 16/24 = 66.7%
+  auto r16 = compute_occupancy(spec, 128, 16, 2048);
+  EXPECT_EQ(r16.blocks_per_sm, 4u);
+  EXPECT_NEAR(r16.occupancy, 2.0 / 3.0, 1e-9);
+}
+
+TEST(Occupancy, ThreadLimited) {
+  const DeviceSpec spec = g80_spec();
+  auto r = compute_occupancy(spec, 256, 8, 0);
+  // 256 threads, 8 regs -> 2048/block -> 4 by regs; 768/256 = 3 by threads
+  EXPECT_EQ(r.blocks_per_sm, 3u);
+  EXPECT_EQ(r.limiter, OccupancyLimiter::kThreads);
+  EXPECT_NEAR(r.occupancy, 1.0, 1e-9);
+}
+
+TEST(Occupancy, SharedMemoryLimited) {
+  const DeviceSpec spec = g80_spec();
+  auto r = compute_occupancy(spec, 64, 8, 8 * 1024);
+  EXPECT_EQ(r.blocks_per_sm, 2u);
+  EXPECT_EQ(r.limiter, OccupancyLimiter::kSharedMemory);
+}
+
+TEST(Occupancy, BlockCountLimited) {
+  const DeviceSpec spec = g80_spec();
+  auto r = compute_occupancy(spec, 32, 4, 0);
+  EXPECT_EQ(r.blocks_per_sm, spec.max_blocks_per_sm);
+  EXPECT_EQ(r.limiter, OccupancyLimiter::kBlocks);
+  EXPECT_NEAR(r.occupancy, 8.0 / 24.0, 1e-9);
+}
+
+TEST(Occupancy, RegisterAllocationGranularityRoundsUp) {
+  const DeviceSpec spec = g80_spec();
+  // 10 regs * 100... block 96 threads, 10 regs = 960 -> rounded to 1024
+  auto r = compute_occupancy(spec, 96, 10, 0);
+  EXPECT_EQ(r.blocks_per_sm, 8u);  // 8192/1024 = 8, also the block cap
+}
+
+TEST(Occupancy, ZeroRegsMeansUnlimitedByRegisters) {
+  const DeviceSpec spec = g80_spec();
+  auto r = compute_occupancy(spec, 128, 0, 0);
+  EXPECT_EQ(r.blocks_per_sm, 6u);  // 768/128
+  EXPECT_EQ(r.limiter, OccupancyLimiter::kThreads);
+}
+
+class OccupancyMonotone : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(OccupancyMonotone, MoreRegistersNeverIncreaseOccupancy) {
+  const DeviceSpec spec = g80_spec();
+  const std::uint32_t block = GetParam();
+  double prev = 2.0;
+  for (std::uint32_t regs = 4; regs <= 64; ++regs) {
+    auto r = compute_occupancy(spec, block, regs, 1024);
+    EXPECT_LE(r.occupancy, prev) << "regs=" << regs;
+    prev = r.occupancy;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, OccupancyMonotone,
+                         ::testing::Values(32u, 64u, 128u, 192u, 256u, 384u, 512u));
+
+}  // namespace
+}  // namespace vgpu

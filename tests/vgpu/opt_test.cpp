@@ -1,0 +1,233 @@
+// Tests of the optimization passes: each transformation fires on the shapes
+// the unroller produces, and - the critical property - every pass preserves
+// program semantics.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "vgpu/builder.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/opt.hpp"
+#include "vgpu/regalloc.hpp"
+#include "vgpu/verify.hpp"
+
+namespace vgpu {
+namespace {
+
+std::vector<std::uint32_t> run_u32(const Program& prog, std::uint32_t n_out,
+                                   std::uint32_t extra_param = 0) {
+  Device dev(tiny_spec(), 1 << 20);
+  Buffer buf = dev.malloc_n<std::uint32_t>(n_out);
+  std::vector<std::uint32_t> params = {buf.addr};
+  if (prog.num_params > 1) params.push_back(extra_param);
+  dev.launch_functional(prog, LaunchConfig{1, 32},
+                        std::span<const std::uint32_t>(params.data(), prog.num_params));
+  std::vector<std::uint32_t> out(n_out);
+  dev.download<std::uint32_t>(out, buf);
+  return out;
+}
+
+TEST(Opt, ConstantArithmeticFoldsToMovImm) {
+  KernelBuilder kb("consts", 1);
+  Val i = kb.tid();
+  Val a = kb.imm_u32(6);
+  Val b = kb.imm_u32(7);
+  Val c = kb.imul(a, b);            // 42
+  Val d = kb.iadd(c, kb.imm_u32(8));  // 50
+  Val e = kb.iadd(d, i);            // 50 + tid (not constant)
+  kb.st_global(kb.iadd(kb.param_u32(0), kb.shl(i, 2)), e);
+  Program prog = std::move(kb).finish();
+
+  auto before = run_u32(prog, 32);
+  OptStats st = run_standard_pipeline(prog);
+  EXPECT_GT(st.constants_folded, 0u);
+  EXPECT_GT(st.dead_removed, 0u);
+  auto after = run_u32(prog, 32);
+  EXPECT_EQ(before, after);
+
+  // the 6*7+8 chain must have collapsed: no kIMul remains
+  for (const Block& blk : prog.blocks) {
+    for (const Instruction& in : blk.instrs) {
+      EXPECT_NE(in.op, Opcode::kIMul);
+    }
+  }
+}
+
+TEST(Opt, CopyPropagationRemovesMovChains) {
+  KernelBuilder kb("copies", 1);
+  Val i = kb.tid();
+  Val a = kb.var_u32(i);     // mov a, i
+  Val b = kb.var_u32(a);     // mov b, a
+  Val c = kb.var_u32(b);     // mov c, b
+  Val r = kb.iadd_imm(c, 5);
+  kb.st_global(kb.iadd(kb.param_u32(0), kb.shl(i, 2)), r);
+  Program prog = std::move(kb).finish();
+
+  auto before = run_u32(prog, 32);
+  OptStats st = run_standard_pipeline(prog);
+  EXPECT_GT(st.copies_propagated, 0u);
+  auto after = run_u32(prog, 32);
+  EXPECT_EQ(before, after);
+
+  std::size_t movs = 0;
+  for (const Block& blk : prog.blocks) {
+    for (const Instruction& in : blk.instrs) {
+      if (in.op == Opcode::kMov) ++movs;
+    }
+  }
+  EXPECT_EQ(movs, 0u);
+}
+
+TEST(Opt, AddressChainsFoldIntoLoadOffsets) {
+  // The post-unroll shape: a = base + 16; b = a + 16; ld [b] ...
+  KernelBuilder kb("addr", 2);
+  Val i = kb.tid();
+  Val base = kb.iadd(kb.param_u32(0), kb.shl(i, 2));
+  Val a1 = kb.iadd_imm(base, 128);
+  Val a2 = kb.iadd_imm(a1, 128);
+  Val v1 = kb.ld_global_u32(a1);
+  Val v2 = kb.ld_global_u32(a2);
+  kb.st_global(kb.iadd(kb.param_u32(1), kb.shl(i, 2)), kb.iadd(v1, v2));
+  Program prog = std::move(kb).finish();
+
+  OptStats st = run_standard_pipeline(prog);
+  EXPECT_GE(st.addresses_folded, 2u);
+  EXPECT_GE(st.dead_removed, 2u);  // the two iadd.imm are now dead
+
+  // all loads use the base register with immediate offsets
+  std::size_t iaddimm = 0;
+  for (const Block& blk : prog.blocks) {
+    for (const Instruction& in : blk.instrs) {
+      if (in.op == Opcode::kIAddImm) ++iaddimm;
+      if (in.op == Opcode::kLdGlobal) {
+        EXPECT_TRUE(in.imm == 128 || in.imm == 256);
+      }
+    }
+  }
+  EXPECT_EQ(iaddimm, 0u);
+
+  // semantics: out[i] = in[i+32 words] + in[i+64 words]
+  Device dev(tiny_spec(), 1 << 20);
+  std::vector<std::uint32_t> in_data(128);
+  for (std::uint32_t k = 0; k < 128; ++k) in_data[k] = k * k;
+  Buffer bin = dev.upload<std::uint32_t>(in_data);
+  Buffer bout = dev.malloc_n<std::uint32_t>(32);
+  const std::uint32_t params[2] = {bin.addr, bout.addr};
+  allocate_registers(prog);
+  dev.launch_functional(prog, LaunchConfig{1, 32}, params);
+  std::vector<std::uint32_t> out(32);
+  dev.download<std::uint32_t>(out, bout);
+  for (std::uint32_t k = 0; k < 32; ++k) {
+    EXPECT_EQ(out[k], in_data[k + 32] + in_data[k + 64]) << k;
+  }
+}
+
+TEST(Opt, DeadLoadsAreRemoved) {
+  // A load whose value is never consumed disappears - the reason the
+  // paper's micro-benchmark must sum what it loads.
+  KernelBuilder kb("deadload", 2);
+  Val i = kb.tid();
+  Val addr = kb.iadd(kb.param_u32(0), kb.shl(i, 2));
+  (void)kb.ld_global_f32(addr);            // dead
+  Val live = kb.ld_global_u32(addr, 128);  // live
+  kb.st_global(kb.iadd(kb.param_u32(1), kb.shl(i, 2)), live);
+  Program prog = std::move(kb).finish();
+
+  std::size_t loads_before = 0;
+  for (const Block& blk : prog.blocks) {
+    for (const Instruction& in : blk.instrs) {
+      if (in.op == Opcode::kLdGlobal) ++loads_before;
+    }
+  }
+  EXPECT_EQ(loads_before, 2u);
+  run_standard_pipeline(prog);
+  std::size_t loads_after = 0;
+  for (const Block& blk : prog.blocks) {
+    for (const Instruction& in : blk.instrs) {
+      if (in.op == Opcode::kLdGlobal) ++loads_after;
+    }
+  }
+  EXPECT_EQ(loads_after, 1u);
+}
+
+TEST(Opt, StoresAndBarriersAreNeverRemoved) {
+  KernelBuilder kb("effects", 1);
+  Val i = kb.tid();
+  Val smem = kb.shared_alloc(128);
+  kb.st_shared(kb.iadd(smem, kb.shl(i, 2)), i);
+  kb.bar();
+  Val v = kb.ld_shared_u32(kb.iadd(smem, kb.shl(i, 2)));
+  kb.st_global(kb.iadd(kb.param_u32(0), kb.shl(i, 2)), v);
+  Program prog = std::move(kb).finish();
+  run_standard_pipeline(prog);
+  std::size_t stores = 0;
+  std::size_t bars = 0;
+  for (const Block& blk : prog.blocks) {
+    for (const Instruction& in : blk.instrs) {
+      if (in.is_store()) ++stores;
+      if (in.op == Opcode::kBar) ++bars;
+    }
+  }
+  EXPECT_EQ(stores, 2u);
+  EXPECT_EQ(bars, 1u);
+}
+
+TEST(Opt, LoopStructureSurvivesPipeline) {
+  KernelBuilder kb("loop", 2);
+  Val i = kb.tid();
+  Val acc = kb.var_u32(kb.imm_u32(0));
+  kb.for_counted(17, [&](Val iv) {
+    kb.assign(acc, kb.iadd(acc, kb.iadd(iv, i)));
+  });
+  kb.st_global(kb.iadd(kb.param_u32(0), kb.shl(i, 2)), acc);
+  Program prog = std::move(kb).finish();
+
+  auto before = run_u32(prog, 32);
+  run_standard_pipeline(prog);
+  auto after = run_u32(prog, 32);
+  EXPECT_EQ(before, after);
+  allocate_registers(prog);
+  auto allocated = run_u32(prog, 32);
+  EXPECT_EQ(before, allocated);
+}
+
+TEST(Opt, GuardedDefsBlockFolding) {
+  // A guarded (predicated) mov must not be treated as a constant definition.
+  KernelBuilder kb("guarded", 1);
+  Val i = kb.tid();
+  Val x = kb.var_u32(kb.imm_u32(5));
+  PVal odd = kb.setp_u32(CmpOp::kEq, kb.band(i, kb.imm_u32(1)), kb.imm_u32(1));
+  // x = 9 only on odd lanes, via a guarded assignment
+  {
+    Val nine = kb.imm_u32(9);
+    // emit a guarded mov by hand through sel (public API): x = odd ? 9 : x
+    kb.assign(x, kb.sel(odd, nine, x));
+  }
+  Val r = kb.iadd_imm(x, 1);
+  kb.st_global(kb.iadd(kb.param_u32(0), kb.shl(i, 2)), r);
+  Program prog = std::move(kb).finish();
+  auto before = run_u32(prog, 32);
+  run_standard_pipeline(prog);
+  auto after = run_u32(prog, 32);
+  EXPECT_EQ(before, after);
+  for (std::uint32_t k = 0; k < 32; ++k) {
+    EXPECT_EQ(after[k], (k & 1u) ? 10u : 6u);
+  }
+}
+
+TEST(Opt, PipelineIsIdempotent) {
+  KernelBuilder kb("idem", 1);
+  Val i = kb.tid();
+  Val v = kb.imad(i, kb.imm_u32(3), kb.imm_u32(11));
+  kb.st_global(kb.iadd(kb.param_u32(0), kb.shl(i, 2)), v);
+  Program prog = std::move(kb).finish();
+  run_standard_pipeline(prog);
+  const std::size_t count1 = prog.instruction_count();
+  OptStats second = run_standard_pipeline(prog);
+  EXPECT_EQ(second.total(), 0u);
+  EXPECT_EQ(prog.instruction_count(), count1);
+}
+
+}  // namespace
+}  // namespace vgpu

@@ -1,0 +1,148 @@
+// Register allocator tests: interval validity, vector alignment, liveness
+// across loops, and allocation quality on representative kernels.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "vgpu/builder.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/opt.hpp"
+#include "vgpu/regalloc.hpp"
+#include "vgpu/verify.hpp"
+
+namespace vgpu {
+namespace {
+
+TEST(Liveness, LoopCarriedValueIsLiveAroundTheLoop) {
+  KernelBuilder kb("live", 1);
+  Val i = kb.tid();
+  Val acc = kb.var_u32(kb.imm_u32(0));
+  kb.for_counted(4, [&](Val iv) { kb.assign(acc, kb.iadd(acc, iv)); });
+  kb.st_global(kb.iadd(kb.param_u32(0), kb.shl(i, 2)), acc);
+  Program prog = std::move(kb).finish();
+  const Liveness lv = compute_liveness(prog);
+  ASSERT_EQ(prog.loops.size(), 1u);
+  const LoopInfo& loop = prog.loops[0];
+  // the accumulator and the induction variable are live into the body
+  EXPECT_TRUE(lv.reg_live_in(prog, loop.body, prog.loops[0].iv));
+  // assert several registers (iv, acc, thread id) are live around the edge
+  std::size_t live_count = 0;
+  for (std::size_t r = 0; r < prog.regs.size(); ++r) {
+    if (lv.reg_live_in(prog, loop.body, static_cast<RegId>(r))) ++live_count;
+  }
+  EXPECT_GE(live_count, 3u);
+}
+
+TEST(RegAlloc, VectorRegistersGetAlignedRuns) {
+  KernelBuilder kb("vec", 2);
+  Val i = kb.tid();
+  Val v = kb.ld_global_vec(kb.iadd(kb.param_u32(0), kb.shl(i, 4)),
+                           MemWidth::kW128, VType::kF32);
+  Val s = kb.fadd(kb.fadd(kb.comp(v, 0), kb.comp(v, 1)),
+                  kb.fadd(kb.comp(v, 2), kb.comp(v, 3)));
+  kb.st_global(kb.iadd(kb.param_u32(1), kb.shl(i, 2)), s);
+  Program prog = std::move(kb).finish();
+  RegAllocResult res = allocate_registers(prog);
+  EXPECT_GT(res.num_phys_regs, 0u);
+  // find the physical base of the vector register: must be 4-aligned
+  for (std::size_t r = 0; r < prog.regs.size(); ++r) {
+    if (prog.regs[r].width == 4) {
+      EXPECT_EQ(prog.reg_base[r] % 4, 0u);
+    }
+  }
+}
+
+TEST(RegAlloc, DisjointLifetimesShareRegisters) {
+  // A long chain of short-lived temporaries must reuse a small set of
+  // physical registers.
+  KernelBuilder kb("chain", 1);
+  Val i = kb.tid();
+  Val acc = kb.var_u32(kb.imm_u32(0));
+  for (int k = 0; k < 30; ++k) {
+    Val t = kb.iadd_imm(i, static_cast<std::uint32_t>(k));
+    kb.assign(acc, kb.iadd(acc, t));
+  }
+  kb.st_global(kb.iadd(kb.param_u32(0), kb.shl(i, 2)), acc);
+  Program prog = std::move(kb).finish();
+  const std::size_t vregs = prog.regs.size();
+  RegAllocResult res = allocate_registers(prog);
+  EXPECT_GT(vregs, 40u);             // plenty of virtuals...
+  EXPECT_LE(res.num_phys_regs, 8u);  // ...folded into a handful of physicals
+}
+
+TEST(RegAlloc, AllocationIsDeterministic) {
+  auto build = [] {
+    KernelBuilder kb("det", 1);
+    Val i = kb.tid();
+    Val a = kb.iadd_imm(i, 1);
+    Val b = kb.iadd_imm(i, 2);
+    Val c = kb.imul(a, b);
+    kb.st_global(kb.iadd(kb.param_u32(0), kb.shl(i, 2)), c);
+    return std::move(kb).finish();
+  };
+  Program p1 = build();
+  Program p2 = build();
+  allocate_registers(p1);
+  allocate_registers(p2);
+  EXPECT_EQ(p1.reg_base, p2.reg_base);
+  EXPECT_EQ(p1.num_phys_regs, p2.num_phys_regs);
+}
+
+TEST(RegAlloc, DoubleAllocationThrows) {
+  KernelBuilder kb("dbl", 1);
+  kb.st_global(kb.param_u32(0), kb.tid());
+  Program prog = std::move(kb).finish();
+  allocate_registers(prog);
+  EXPECT_THROW(allocate_registers(prog), ContractViolation);
+}
+
+TEST(RegAlloc, ComplexKernelStaysCorrectAfterOptAndAlloc) {
+  // Stress: loop + nested ifs + shared memory + vectors, compare functional
+  // output across {raw, optimized, optimized+allocated}.
+  auto build = [] {
+    KernelBuilder kb("stress", 2);
+    Val tid = kb.tid();
+    Val base = kb.imul(kb.ctaid(), kb.ntid());
+    Val i = kb.iadd(base, tid);
+    Val smem = kb.shared_alloc(32 * 4);
+    kb.st_shared(kb.iadd(smem, kb.shl(tid, 2)), kb.imul(i, i));
+    kb.bar();
+    Val acc = kb.var_u32(kb.imm_u32(0));
+    kb.for_counted(8, [&](Val iv) {
+      Val j = kb.band(kb.iadd(tid, iv), kb.imm_u32(31));
+      Val v = kb.ld_shared_u32(kb.iadd(smem, kb.shl(j, 2)));
+      kb.assign(acc, kb.iadd(acc, v));
+    });
+    PVal big = kb.setp_u32(CmpOp::kGt, acc, kb.imm_u32(1000));
+    kb.if_then_else(big, [&] { kb.assign(acc, kb.shr(acc, 1)); },
+                    [&] { kb.assign(acc, kb.iadd_imm(acc, 7)); });
+    kb.st_global(kb.iadd(kb.param_u32(0), kb.shl(i, 2)), acc);
+    return std::move(kb).finish();
+  };
+
+  auto run = [](Program& prog) {
+    Device dev(tiny_spec(), 1 << 20);
+    Buffer buf = dev.malloc_n<std::uint32_t>(64);
+    const std::uint32_t params[2] = {buf.addr, 0};
+    dev.launch_functional(prog, LaunchConfig{2, 32}, params);
+    std::vector<std::uint32_t> out(64);
+    dev.download<std::uint32_t>(out, buf);
+    return out;
+  };
+
+  Program raw = build();
+  auto base_out = run(raw);
+
+  Program opt = build();
+  run_standard_pipeline(opt);
+  auto opt_out = run(opt);
+  EXPECT_EQ(base_out, opt_out);
+
+  allocate_registers(opt);
+  verify(opt);
+  auto alloc_out = run(opt);
+  EXPECT_EQ(base_out, alloc_out);
+}
+
+}  // namespace
+}  // namespace vgpu

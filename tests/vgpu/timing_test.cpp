@@ -1,0 +1,189 @@
+// Timing-executor tests: directional architecture properties the paper's
+// results depend on. These do not pin absolute cycle values (they are
+// calibrated), only orderings and mechanisms.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "vgpu/builder.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/opt.hpp"
+#include "vgpu/regalloc.hpp"
+#include "vgpu/timing.hpp"
+
+namespace vgpu {
+namespace {
+
+/// Reads `reads_per_thread` floats with the given byte stride between
+/// consecutive threads, then sums them (loads first so they can overlap,
+/// like the paper's micro-benchmark; the sum keeps the loads alive).
+Program make_strided_reader(std::uint32_t reads_per_thread, std::uint32_t stride) {
+  KernelBuilder kb("reader", 2);
+  Val i = kb.iadd(kb.imul(kb.ctaid(), kb.ntid()), kb.tid());
+  Val base = kb.iadd(kb.param_u32(0), kb.imul(i, kb.imm_u32(stride)));
+  std::vector<Val> vals;
+  for (std::uint32_t r = 0; r < reads_per_thread; ++r) {
+    vals.push_back(kb.ld_global_f32(base, r * 4));
+  }
+  Val acc = kb.var_f32(kb.imm_f32(0.0f));
+  for (const Val& v : vals) kb.fadd_into(acc, v);
+  kb.st_global(kb.iadd(kb.param_u32(1), kb.shl(i, 2)), acc);
+  Program prog = std::move(kb).finish();
+  run_standard_pipeline(prog);
+  allocate_registers(prog);
+  return prog;
+}
+
+struct TimedRun {
+  LaunchStats stats;
+};
+
+LaunchStats time_reader(const Program& prog, std::uint32_t threads,
+                        DriverModel driver) {
+  Device dev;
+  const std::uint32_t stride_max = 64;
+  Buffer data = dev.malloc(static_cast<std::size_t>(threads) * stride_max + 64);
+  Buffer out = dev.malloc_n<float>(threads);
+  const std::uint32_t params[2] = {data.addr, out.addr};
+  TimingOptions opt;
+  opt.driver = driver;
+  return dev.launch_timed(prog, LaunchConfig{threads / 128, 128}, params, opt);
+}
+
+TEST(Timing, CoalescedBeatsUncoalescedOnCuda10) {
+  Program coalesced = make_strided_reader(1, 4);
+  Program scattered = make_strided_reader(1, 28);
+  auto c = time_reader(coalesced, 4096, DriverModel::kCuda10);
+  auto s = time_reader(scattered, 4096, DriverModel::kCuda10);
+  EXPECT_GT(c.coalesced_requests, 0u);
+  // the scattered variant's *reads* are uncoalesced (its final store is not)
+  EXPECT_GT(s.uncoalesced_requests, 0u);
+  EXPECT_LT(c.uncoalesced_requests, s.uncoalesced_requests);
+  EXPECT_LT(c.cycles, s.cycles);
+  EXPECT_LT(c.global_transactions, s.global_transactions);
+}
+
+TEST(Timing, Cuda22PenalizesScatterLessThanCuda10) {
+  Program scattered = make_strided_reader(7, 28);
+  auto c10 = time_reader(scattered, 4096, DriverModel::kCuda10);
+  auto c22 = time_reader(scattered, 4096, DriverModel::kCuda22);
+  EXPECT_LT(c22.cycles, c10.cycles);
+}
+
+TEST(Timing, MoreResidentWarpsHideLatency) {
+  // The paper's occupancy mechanism: the *same* kernel, with resident
+  // blocks per SM constrained through its static shared-memory footprint
+  // (the way register pressure constrains the real kernel). A latency-bound
+  // workload must get faster when more warps are resident.
+  auto build = [](std::uint32_t shared_bytes) {
+    KernelBuilder kb("latency_bound", 2);
+    (void)kb.shared_alloc(shared_bytes);
+    Val i = kb.iadd(kb.imul(kb.ctaid(), kb.ntid()), kb.tid());
+    Val base = kb.iadd(kb.param_u32(0), kb.shl(i, 2));
+    Val a = kb.ld_global_f32(base);
+    Val b = kb.ld_global_f32(base, 4096 * 4);
+    Val acc = kb.fadd(a, b);
+    kb.st_global(kb.iadd(kb.param_u32(1), kb.shl(i, 2)), acc);
+    Program prog = std::move(kb).finish();
+    run_standard_pipeline(prog);
+    allocate_registers(prog);
+    return prog;
+  };
+  // 1 KiB/block -> thread-limited: 6 blocks (24 warps, 100% occupancy);
+  // 7 KiB/block -> shared-limited: 2 blocks (8 warps, 33% occupancy).
+  Program hi_prog = build(1024);
+  Program lo_prog = build(7 * 1024);
+
+  Device dev;
+  const std::uint32_t threads = 32768;
+  Buffer data = dev.malloc(static_cast<std::size_t>(threads + 4096) * 4 + 64);
+  Buffer out = dev.malloc_n<float>(threads);
+  const std::uint32_t params[2] = {data.addr, out.addr};
+  const LaunchConfig cfg{threads / 128, 128};
+  auto hi = run_timed(hi_prog, dev.spec(), dev.gmem(), cfg, params, {});
+  auto lo = run_timed(lo_prog, dev.spec(), dev.gmem(), cfg, params, {});
+  EXPECT_GT(hi.occupancy, lo.occupancy);
+  EXPECT_LT(hi.cycles, lo.cycles);
+}
+
+TEST(Timing, TimedAndFunctionalAgreeNumerically) {
+  Program reader = make_strided_reader(3, 4);
+  const std::uint32_t threads = 512;
+
+  auto run_with = [&](bool timed) {
+    Device dev;
+    std::vector<float> host(static_cast<std::size_t>(threads) * 16);
+    for (std::size_t k = 0; k < host.size(); ++k) {
+      host[k] = static_cast<float>(k % 97) * 0.5f;
+    }
+    Buffer data = dev.upload<float>(host);
+    Buffer out = dev.malloc_n<float>(threads);
+    const std::uint32_t params[2] = {data.addr, out.addr};
+    LaunchConfig cfg{threads / 128, 128};
+    if (timed) {
+      dev.launch_timed(reader, cfg, params, {});
+    } else {
+      dev.launch_functional(reader, cfg, params);
+    }
+    std::vector<float> result(threads);
+    dev.download<float>(result, out);
+    return result;
+  };
+
+  EXPECT_EQ(run_with(false), run_with(true));
+}
+
+TEST(Timing, BlockSamplingExtrapolatesWithinTolerance) {
+  Program reader = make_strided_reader(4, 4);
+  Device dev;
+  const std::uint32_t threads = 32768;
+  Buffer data = dev.malloc(static_cast<std::size_t>(threads) * 16 + 64);
+  Buffer out = dev.malloc_n<float>(threads);
+  const std::uint32_t params[2] = {data.addr, out.addr};
+  const LaunchConfig cfg{threads / 128, 128};
+
+  auto full = run_timed(reader, dev.spec(), dev.gmem(), cfg, params, {});
+  TimingOptions sampled_opt;
+  sampled_opt.max_blocks = cfg.grid_blocks / 2;
+  auto sampled = run_timed(reader, dev.spec(), dev.gmem(), cfg, params, sampled_opt);
+
+  const double est = static_cast<double>(sampled.cycles) * sampled.extrapolation_factor;
+  const double err = std::abs(est - static_cast<double>(full.cycles)) /
+                     static_cast<double>(full.cycles);
+  // Block-level extrapolation is deliberately coarse (wave pipelining makes
+  // it conservative); the benches use tile sampling for precision.
+  EXPECT_LT(err, 0.35) << "est=" << est << " full=" << full.cycles;
+}
+
+TEST(Timing, ClockProbeMeasuresElapsedCycles) {
+  // c0 = clock; load; consume; c1 = clock; store (c1 - c0): the paper's
+  // Fig. 10 protocol. The measured delta must be at least the memory latency.
+  KernelBuilder kb("clocked", 2);
+  Val i = kb.iadd(kb.imul(kb.ctaid(), kb.ntid()), kb.tid());
+  Val c0 = kb.clock();
+  Val v = kb.ld_global_f32(kb.iadd(kb.param_u32(0), kb.shl(i, 2)));
+  Val sink = kb.fadd(v, kb.imm_f32(1.0f));
+  kb.st_global(kb.iadd(kb.param_u32(1), kb.shl(i, 3)), sink);
+  Val c1 = kb.clock();
+  kb.st_global(kb.iadd(kb.param_u32(1), kb.shl(i, 3)), kb.isub(c1, c0), 4);
+  Program prog = std::move(kb).finish();
+  run_standard_pipeline(prog);
+  allocate_registers(prog);
+
+  Device dev;
+  const std::uint32_t threads = 256;
+  Buffer in = dev.malloc_n<float>(threads);
+  Buffer out = dev.malloc_n<float>(threads * 2);
+  const std::uint32_t params[2] = {in.addr, out.addr};
+  dev.launch_timed(prog, LaunchConfig{threads / 128, 128}, params, {});
+  std::vector<std::uint32_t> raw(threads * 2);
+  dev.download<std::uint32_t>(raw, out);
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    const std::uint32_t delta = raw[t * 2 + 1];
+    EXPECT_GE(delta, dev.spec().timing.global_latency_cycles) << "t=" << t;
+    EXPECT_LT(delta, 100000u) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace vgpu

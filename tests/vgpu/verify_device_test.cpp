@@ -1,0 +1,149 @@
+// Verifier rejection paths, Device facade behaviour (timeline, copies),
+// and the sampling helpers.
+#include <gtest/gtest.h>
+
+#include "vgpu/builder.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/sampling.hpp"
+#include "vgpu/verify.hpp"
+
+namespace vgpu {
+namespace {
+
+Program minimal_program() {
+  KernelBuilder kb("minimal", 1);
+  kb.st_global(kb.param_u32(0), kb.tid());
+  return std::move(kb).finish();
+}
+
+TEST(Verify, AcceptsWellFormedProgram) {
+  Program prog = minimal_program();
+  EXPECT_NO_THROW(verify(prog));
+}
+
+TEST(Verify, RejectsOutOfRangeRegister) {
+  Program prog = minimal_program();
+  prog.blocks[0].instrs[0].dst.reg = 1000;
+  EXPECT_THROW(verify(prog), ContractViolation);
+}
+
+TEST(Verify, RejectsOutOfRangeBranchTarget) {
+  Program prog = minimal_program();
+  Instruction bra;
+  bra.op = Opcode::kBra;
+  bra.target = 99;
+  prog.blocks[0].instrs.back() = bra;
+  EXPECT_THROW(verify(prog), ContractViolation);
+}
+
+TEST(Verify, RejectsMisplacedTerminator) {
+  Program prog = minimal_program();
+  Instruction ex;
+  ex.op = Opcode::kExit;
+  prog.blocks[0].instrs.insert(prog.blocks[0].instrs.begin(), ex);
+  EXPECT_THROW(verify(prog), ContractViolation);
+}
+
+TEST(Verify, RejectsBadParameterIndex) {
+  Program prog = minimal_program();
+  for (Instruction& in : prog.blocks[0].instrs) {
+    if (in.op == Opcode::kMovParam) in.imm = 12;
+  }
+  EXPECT_THROW(verify(prog), ContractViolation);
+}
+
+TEST(Verify, RejectsComponentBeyondWidth) {
+  KernelBuilder kb("vec", 1);
+  Val v = kb.ld_global_vec(kb.param_u32(0), MemWidth::kW64, VType::kF32);
+  kb.st_global(kb.param_u32(0), kb.comp(v, 1));
+  Program prog = std::move(kb).finish();
+  // corrupt: address component 3 of a 2-wide register
+  for (Block& blk : prog.blocks) {
+    for (Instruction& in : blk.instrs) {
+      if (in.op == Opcode::kStGlobal && in.src[1].comp == 1) in.src[1].comp = 3;
+    }
+  }
+  EXPECT_THROW(verify(prog), ContractViolation);
+}
+
+TEST(Builder, RefusesEmitAfterTerminatorAndDoubleFinish) {
+  KernelBuilder kb("bad", 1);
+  (void)kb.tid();
+  Program prog = std::move(kb).finish();
+  EXPECT_EQ(prog.blocks.back().instrs.back().op, Opcode::kExit);
+}
+
+TEST(Builder, TypeMismatchThrows) {
+  KernelBuilder kb("types", 1);
+  Val f = kb.imm_f32(1.0f);
+  Val u = kb.imm_u32(1);
+  EXPECT_THROW((void)kb.fadd(f, u), ContractViolation);
+  EXPECT_THROW((void)kb.iadd(u, f), ContractViolation);
+  EXPECT_THROW((void)kb.comp(u, 2), ContractViolation);
+}
+
+// ---- Device facade ------------------------------------------------------------
+
+TEST(Device, TimelineAccumulatesCopies) {
+  Device dev(tiny_spec(), 1 << 20);
+  EXPECT_EQ(dev.timeline_ms(), 0.0);
+  std::vector<float> host(1024, 1.0f);
+  Buffer b = dev.upload<float>(host);
+  const double after_up = dev.timeline_ms();
+  EXPECT_GT(after_up, 0.0);
+  std::vector<float> back(1024);
+  dev.download<float>(back, b);
+  EXPECT_GT(dev.timeline_ms(), after_up);
+  EXPECT_EQ(back, host);
+  dev.reset_timeline();
+  EXPECT_EQ(dev.timeline_ms(), 0.0);
+}
+
+TEST(Device, LargerCopiesTakeLonger) {
+  Device dev;
+  std::vector<float> small(256), big(1 << 16);
+  dev.reset_timeline();
+  (void)dev.upload<float>(small);
+  const double t_small = dev.timeline_ms();
+  dev.reset_timeline();
+  (void)dev.upload<float>(big);
+  EXPECT_GT(dev.timeline_ms(), t_small);
+}
+
+TEST(Device, MemoryResetReleasesAllocations) {
+  Device dev(tiny_spec(), 1 << 12);
+  (void)dev.malloc(3000);
+  EXPECT_THROW((void)dev.malloc(3000), ContractViolation);
+  dev.reset_memory();
+  EXPECT_NO_THROW((void)dev.malloc(3000));
+}
+
+// ---- sampling helpers -------------------------------------------------------------
+
+TEST(Sampling, AffineExtrapolationIsExactOnAffineData) {
+  // c(x) = 100 + 7x
+  const double est = extrapolate_affine(4, 128, 8, 156, 100);
+  EXPECT_DOUBLE_EQ(est, 100 * 7 + 100);
+}
+
+TEST(Sampling, NegativeSlopeIsClampedToZero) {
+  const double est = extrapolate_affine(4, 100, 8, 90, 1000);
+  EXPECT_DOUBLE_EQ(est, 100.0);
+}
+
+TEST(Sampling, DegeneratePointsThrow) {
+  EXPECT_THROW((void)extrapolate_affine(4, 1, 4, 2, 8), ContractViolation);
+}
+
+TEST(Sampling, WaveBlocksScalesWithOccupancy) {
+  const DeviceSpec spec = g80_spec();
+  OccupancyResult occ;
+  occ.blocks_per_sm = 3;
+  EXPECT_EQ(wave_blocks(spec, occ), 48u);
+  occ.blocks_per_sm = 4;
+  EXPECT_EQ(wave_blocks(spec, occ), 64u);
+  EXPECT_EQ(wave_blocks(spec, occ, 2), 8u);
+}
+
+}  // namespace
+}  // namespace vgpu
