@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hotcold.dir/ablation_hotcold.cpp.o"
+  "CMakeFiles/ablation_hotcold.dir/ablation_hotcold.cpp.o.d"
+  "ablation_hotcold"
+  "ablation_hotcold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hotcold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

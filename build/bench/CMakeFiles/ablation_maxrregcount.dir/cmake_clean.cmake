@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_maxrregcount.dir/ablation_maxrregcount.cpp.o"
+  "CMakeFiles/ablation_maxrregcount.dir/ablation_maxrregcount.cpp.o.d"
+  "ablation_maxrregcount"
+  "ablation_maxrregcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_maxrregcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_barneshut_crossover.dir/ext_barneshut_crossover.cpp.o"
+  "CMakeFiles/ext_barneshut_crossover.dir/ext_barneshut_crossover.cpp.o.d"
+  "ext_barneshut_crossover"
+  "ext_barneshut_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_barneshut_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

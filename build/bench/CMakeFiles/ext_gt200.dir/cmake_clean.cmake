@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_gt200.dir/ext_gt200.cpp.o"
+  "CMakeFiles/ext_gt200.dir/ext_gt200.cpp.o.d"
+  "ext_gt200"
+  "ext_gt200.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_gt200.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

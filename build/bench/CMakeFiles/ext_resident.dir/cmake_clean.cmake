@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_resident.dir/ext_resident.cpp.o"
+  "CMakeFiles/ext_resident.dir/ext_resident.cpp.o.d"
+  "ext_resident"
+  "ext_resident.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_resident.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_read_cycles.dir/fig10_read_cycles.cpp.o"
+  "CMakeFiles/fig10_read_cycles.dir/fig10_read_cycles.cpp.o.d"
+  "fig10_read_cycles"
+  "fig10_read_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_read_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_gravit_runtimes.dir/fig12_gravit_runtimes.cpp.o"
+  "CMakeFiles/fig12_gravit_runtimes.dir/fig12_gravit_runtimes.cpp.o.d"
+  "fig12_gravit_runtimes"
+  "fig12_gravit_runtimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_gravit_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unroll_sweep.dir/unroll_sweep.cpp.o"
+  "CMakeFiles/unroll_sweep.dir/unroll_sweep.cpp.o.d"
+  "unroll_sweep"
+  "unroll_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unroll_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gravit_cli.dir/gravit_cli.cpp.o"
+  "CMakeFiles/gravit_cli.dir/gravit_cli.cpp.o.d"
+  "gravit_cli"
+  "gravit_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gravit_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

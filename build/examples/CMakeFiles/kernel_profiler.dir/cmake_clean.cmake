@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_profiler.dir/kernel_profiler.cpp.o"
+  "CMakeFiles/kernel_profiler.dir/kernel_profiler.cpp.o.d"
+  "kernel_profiler"
+  "kernel_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

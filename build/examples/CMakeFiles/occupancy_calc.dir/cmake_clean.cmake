@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occupancy_calc.dir/occupancy_calc.cpp.o"
+  "CMakeFiles/occupancy_calc.dir/occupancy_calc.cpp.o.d"
+  "occupancy_calc"
+  "occupancy_calc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occupancy_calc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

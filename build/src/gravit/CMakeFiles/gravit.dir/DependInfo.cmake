@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gravit/barneshut.cpp" "src/gravit/CMakeFiles/gravit.dir/barneshut.cpp.o" "gcc" "src/gravit/CMakeFiles/gravit.dir/barneshut.cpp.o.d"
+  "/root/repo/src/gravit/diagnostics.cpp" "src/gravit/CMakeFiles/gravit.dir/diagnostics.cpp.o" "gcc" "src/gravit/CMakeFiles/gravit.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/gravit/forces_cpu.cpp" "src/gravit/CMakeFiles/gravit.dir/forces_cpu.cpp.o" "gcc" "src/gravit/CMakeFiles/gravit.dir/forces_cpu.cpp.o.d"
+  "/root/repo/src/gravit/gpu_kernels2.cpp" "src/gravit/CMakeFiles/gravit.dir/gpu_kernels2.cpp.o" "gcc" "src/gravit/CMakeFiles/gravit.dir/gpu_kernels2.cpp.o.d"
+  "/root/repo/src/gravit/gpu_runner.cpp" "src/gravit/CMakeFiles/gravit.dir/gpu_runner.cpp.o" "gcc" "src/gravit/CMakeFiles/gravit.dir/gpu_runner.cpp.o.d"
+  "/root/repo/src/gravit/gpu_simulation.cpp" "src/gravit/CMakeFiles/gravit.dir/gpu_simulation.cpp.o" "gcc" "src/gravit/CMakeFiles/gravit.dir/gpu_simulation.cpp.o.d"
+  "/root/repo/src/gravit/integrator.cpp" "src/gravit/CMakeFiles/gravit.dir/integrator.cpp.o" "gcc" "src/gravit/CMakeFiles/gravit.dir/integrator.cpp.o.d"
+  "/root/repo/src/gravit/kernels.cpp" "src/gravit/CMakeFiles/gravit.dir/kernels.cpp.o" "gcc" "src/gravit/CMakeFiles/gravit.dir/kernels.cpp.o.d"
+  "/root/repo/src/gravit/particle.cpp" "src/gravit/CMakeFiles/gravit.dir/particle.cpp.o" "gcc" "src/gravit/CMakeFiles/gravit.dir/particle.cpp.o.d"
+  "/root/repo/src/gravit/simulation.cpp" "src/gravit/CMakeFiles/gravit.dir/simulation.cpp.o" "gcc" "src/gravit/CMakeFiles/gravit.dir/simulation.cpp.o.d"
+  "/root/repo/src/gravit/snapshot.cpp" "src/gravit/CMakeFiles/gravit.dir/snapshot.cpp.o" "gcc" "src/gravit/CMakeFiles/gravit.dir/snapshot.cpp.o.d"
+  "/root/repo/src/gravit/spawn.cpp" "src/gravit/CMakeFiles/gravit.dir/spawn.cpp.o" "gcc" "src/gravit/CMakeFiles/gravit.dir/spawn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vgpu/CMakeFiles/vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/unroll/CMakeFiles/unroll.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

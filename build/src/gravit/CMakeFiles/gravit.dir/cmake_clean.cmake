@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gravit.dir/barneshut.cpp.o"
+  "CMakeFiles/gravit.dir/barneshut.cpp.o.d"
+  "CMakeFiles/gravit.dir/diagnostics.cpp.o"
+  "CMakeFiles/gravit.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/gravit.dir/forces_cpu.cpp.o"
+  "CMakeFiles/gravit.dir/forces_cpu.cpp.o.d"
+  "CMakeFiles/gravit.dir/gpu_kernels2.cpp.o"
+  "CMakeFiles/gravit.dir/gpu_kernels2.cpp.o.d"
+  "CMakeFiles/gravit.dir/gpu_runner.cpp.o"
+  "CMakeFiles/gravit.dir/gpu_runner.cpp.o.d"
+  "CMakeFiles/gravit.dir/gpu_simulation.cpp.o"
+  "CMakeFiles/gravit.dir/gpu_simulation.cpp.o.d"
+  "CMakeFiles/gravit.dir/integrator.cpp.o"
+  "CMakeFiles/gravit.dir/integrator.cpp.o.d"
+  "CMakeFiles/gravit.dir/kernels.cpp.o"
+  "CMakeFiles/gravit.dir/kernels.cpp.o.d"
+  "CMakeFiles/gravit.dir/particle.cpp.o"
+  "CMakeFiles/gravit.dir/particle.cpp.o.d"
+  "CMakeFiles/gravit.dir/simulation.cpp.o"
+  "CMakeFiles/gravit.dir/simulation.cpp.o.d"
+  "CMakeFiles/gravit.dir/snapshot.cpp.o"
+  "CMakeFiles/gravit.dir/snapshot.cpp.o.d"
+  "CMakeFiles/gravit.dir/spawn.cpp.o"
+  "CMakeFiles/gravit.dir/spawn.cpp.o.d"
+  "libgravit.a"
+  "libgravit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gravit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

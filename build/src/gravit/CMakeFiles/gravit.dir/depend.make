@@ -1,0 +1,2 @@
+# Empty dependencies file for gravit.
+# This may be replaced when dependencies are built.

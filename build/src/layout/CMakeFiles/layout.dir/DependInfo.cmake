@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/advisor.cpp" "src/layout/CMakeFiles/layout.dir/advisor.cpp.o" "gcc" "src/layout/CMakeFiles/layout.dir/advisor.cpp.o.d"
+  "/root/repo/src/layout/analyzer.cpp" "src/layout/CMakeFiles/layout.dir/analyzer.cpp.o" "gcc" "src/layout/CMakeFiles/layout.dir/analyzer.cpp.o.d"
+  "/root/repo/src/layout/microbench.cpp" "src/layout/CMakeFiles/layout.dir/microbench.cpp.o" "gcc" "src/layout/CMakeFiles/layout.dir/microbench.cpp.o.d"
+  "/root/repo/src/layout/plan.cpp" "src/layout/CMakeFiles/layout.dir/plan.cpp.o" "gcc" "src/layout/CMakeFiles/layout.dir/plan.cpp.o.d"
+  "/root/repo/src/layout/search.cpp" "src/layout/CMakeFiles/layout.dir/search.cpp.o" "gcc" "src/layout/CMakeFiles/layout.dir/search.cpp.o.d"
+  "/root/repo/src/layout/transform.cpp" "src/layout/CMakeFiles/layout.dir/transform.cpp.o" "gcc" "src/layout/CMakeFiles/layout.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vgpu/CMakeFiles/vgpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

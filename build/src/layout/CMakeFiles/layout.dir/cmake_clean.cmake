@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout.dir/advisor.cpp.o"
+  "CMakeFiles/layout.dir/advisor.cpp.o.d"
+  "CMakeFiles/layout.dir/analyzer.cpp.o"
+  "CMakeFiles/layout.dir/analyzer.cpp.o.d"
+  "CMakeFiles/layout.dir/microbench.cpp.o"
+  "CMakeFiles/layout.dir/microbench.cpp.o.d"
+  "CMakeFiles/layout.dir/plan.cpp.o"
+  "CMakeFiles/layout.dir/plan.cpp.o.d"
+  "CMakeFiles/layout.dir/search.cpp.o"
+  "CMakeFiles/layout.dir/search.cpp.o.d"
+  "CMakeFiles/layout.dir/transform.cpp.o"
+  "CMakeFiles/layout.dir/transform.cpp.o.d"
+  "liblayout.a"
+  "liblayout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

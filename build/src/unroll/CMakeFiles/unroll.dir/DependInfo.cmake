@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/unroll/icm.cpp" "src/unroll/CMakeFiles/unroll.dir/icm.cpp.o" "gcc" "src/unroll/CMakeFiles/unroll.dir/icm.cpp.o.d"
+  "/root/repo/src/unroll/model.cpp" "src/unroll/CMakeFiles/unroll.dir/model.cpp.o" "gcc" "src/unroll/CMakeFiles/unroll.dir/model.cpp.o.d"
+  "/root/repo/src/unroll/unroller.cpp" "src/unroll/CMakeFiles/unroll.dir/unroller.cpp.o" "gcc" "src/unroll/CMakeFiles/unroll.dir/unroller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vgpu/CMakeFiles/vgpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unroll.dir/icm.cpp.o"
+  "CMakeFiles/unroll.dir/icm.cpp.o.d"
+  "CMakeFiles/unroll.dir/model.cpp.o"
+  "CMakeFiles/unroll.dir/model.cpp.o.d"
+  "CMakeFiles/unroll.dir/unroller.cpp.o"
+  "CMakeFiles/unroll.dir/unroller.cpp.o.d"
+  "libunroll.a"
+  "libunroll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unroll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

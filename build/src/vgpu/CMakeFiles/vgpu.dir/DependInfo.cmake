@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vgpu/arch.cpp" "src/vgpu/CMakeFiles/vgpu.dir/arch.cpp.o" "gcc" "src/vgpu/CMakeFiles/vgpu.dir/arch.cpp.o.d"
+  "/root/repo/src/vgpu/asm.cpp" "src/vgpu/CMakeFiles/vgpu.dir/asm.cpp.o" "gcc" "src/vgpu/CMakeFiles/vgpu.dir/asm.cpp.o.d"
+  "/root/repo/src/vgpu/builder.cpp" "src/vgpu/CMakeFiles/vgpu.dir/builder.cpp.o" "gcc" "src/vgpu/CMakeFiles/vgpu.dir/builder.cpp.o.d"
+  "/root/repo/src/vgpu/coalesce.cpp" "src/vgpu/CMakeFiles/vgpu.dir/coalesce.cpp.o" "gcc" "src/vgpu/CMakeFiles/vgpu.dir/coalesce.cpp.o.d"
+  "/root/repo/src/vgpu/device.cpp" "src/vgpu/CMakeFiles/vgpu.dir/device.cpp.o" "gcc" "src/vgpu/CMakeFiles/vgpu.dir/device.cpp.o.d"
+  "/root/repo/src/vgpu/executor.cpp" "src/vgpu/CMakeFiles/vgpu.dir/executor.cpp.o" "gcc" "src/vgpu/CMakeFiles/vgpu.dir/executor.cpp.o.d"
+  "/root/repo/src/vgpu/interp.cpp" "src/vgpu/CMakeFiles/vgpu.dir/interp.cpp.o" "gcc" "src/vgpu/CMakeFiles/vgpu.dir/interp.cpp.o.d"
+  "/root/repo/src/vgpu/ir.cpp" "src/vgpu/CMakeFiles/vgpu.dir/ir.cpp.o" "gcc" "src/vgpu/CMakeFiles/vgpu.dir/ir.cpp.o.d"
+  "/root/repo/src/vgpu/memory.cpp" "src/vgpu/CMakeFiles/vgpu.dir/memory.cpp.o" "gcc" "src/vgpu/CMakeFiles/vgpu.dir/memory.cpp.o.d"
+  "/root/repo/src/vgpu/occupancy.cpp" "src/vgpu/CMakeFiles/vgpu.dir/occupancy.cpp.o" "gcc" "src/vgpu/CMakeFiles/vgpu.dir/occupancy.cpp.o.d"
+  "/root/repo/src/vgpu/opt.cpp" "src/vgpu/CMakeFiles/vgpu.dir/opt.cpp.o" "gcc" "src/vgpu/CMakeFiles/vgpu.dir/opt.cpp.o.d"
+  "/root/repo/src/vgpu/profiler.cpp" "src/vgpu/CMakeFiles/vgpu.dir/profiler.cpp.o" "gcc" "src/vgpu/CMakeFiles/vgpu.dir/profiler.cpp.o.d"
+  "/root/repo/src/vgpu/regalloc.cpp" "src/vgpu/CMakeFiles/vgpu.dir/regalloc.cpp.o" "gcc" "src/vgpu/CMakeFiles/vgpu.dir/regalloc.cpp.o.d"
+  "/root/repo/src/vgpu/timing.cpp" "src/vgpu/CMakeFiles/vgpu.dir/timing.cpp.o" "gcc" "src/vgpu/CMakeFiles/vgpu.dir/timing.cpp.o.d"
+  "/root/repo/src/vgpu/trace.cpp" "src/vgpu/CMakeFiles/vgpu.dir/trace.cpp.o" "gcc" "src/vgpu/CMakeFiles/vgpu.dir/trace.cpp.o.d"
+  "/root/repo/src/vgpu/verify.cpp" "src/vgpu/CMakeFiles/vgpu.dir/verify.cpp.o" "gcc" "src/vgpu/CMakeFiles/vgpu.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

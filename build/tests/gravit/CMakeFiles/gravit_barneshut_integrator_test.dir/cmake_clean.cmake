@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gravit_barneshut_integrator_test.dir/barneshut_integrator_test.cpp.o"
+  "CMakeFiles/gravit_barneshut_integrator_test.dir/barneshut_integrator_test.cpp.o.d"
+  "gravit_barneshut_integrator_test"
+  "gravit_barneshut_integrator_test.pdb"
+  "gravit_barneshut_integrator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gravit_barneshut_integrator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gravit_forces_test.dir/forces_test.cpp.o"
+  "CMakeFiles/gravit_forces_test.dir/forces_test.cpp.o.d"
+  "gravit_forces_test"
+  "gravit_forces_test.pdb"
+  "gravit_forces_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gravit_forces_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gravit_gpu_farfield_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gravit_gpu_kernels2_test.dir/gpu_kernels2_test.cpp.o"
+  "CMakeFiles/gravit_gpu_kernels2_test.dir/gpu_kernels2_test.cpp.o.d"
+  "gravit_gpu_kernels2_test"
+  "gravit_gpu_kernels2_test.pdb"
+  "gravit_gpu_kernels2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gravit_gpu_kernels2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

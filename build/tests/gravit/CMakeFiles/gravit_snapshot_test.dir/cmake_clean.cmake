@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gravit_snapshot_test.dir/snapshot_test.cpp.o"
+  "CMakeFiles/gravit_snapshot_test.dir/snapshot_test.cpp.o.d"
+  "gravit_snapshot_test"
+  "gravit_snapshot_test.pdb"
+  "gravit_snapshot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gravit_snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/gravit
+# Build directory: /root/repo/build/tests/gravit
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/gravit/gravit_forces_test[1]_include.cmake")
+include("/root/repo/build/tests/gravit/gravit_barneshut_integrator_test[1]_include.cmake")
+include("/root/repo/build/tests/gravit/gravit_gpu_farfield_test[1]_include.cmake")
+include("/root/repo/build/tests/gravit/gravit_simulation_test[1]_include.cmake")
+include("/root/repo/build/tests/gravit/gravit_gpu_kernels2_test[1]_include.cmake")
+include("/root/repo/build/tests/gravit/gravit_snapshot_test[1]_include.cmake")
+include("/root/repo/build/tests/gravit/gravit_gpu_simulation_test[1]_include.cmake")

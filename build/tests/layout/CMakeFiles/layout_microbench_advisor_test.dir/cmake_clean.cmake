@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_microbench_advisor_test.dir/microbench_advisor_test.cpp.o"
+  "CMakeFiles/layout_microbench_advisor_test.dir/microbench_advisor_test.cpp.o.d"
+  "layout_microbench_advisor_test"
+  "layout_microbench_advisor_test.pdb"
+  "layout_microbench_advisor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_microbench_advisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_plan_analyzer_test.dir/plan_analyzer_test.cpp.o"
+  "CMakeFiles/layout_plan_analyzer_test.dir/plan_analyzer_test.cpp.o.d"
+  "layout_plan_analyzer_test"
+  "layout_plan_analyzer_test.pdb"
+  "layout_plan_analyzer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_plan_analyzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

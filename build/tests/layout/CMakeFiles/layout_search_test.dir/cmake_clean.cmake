@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_search_test.dir/search_test.cpp.o"
+  "CMakeFiles/layout_search_test.dir/search_test.cpp.o.d"
+  "layout_search_test"
+  "layout_search_test.pdb"
+  "layout_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

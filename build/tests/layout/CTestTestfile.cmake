@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/layout
+# Build directory: /root/repo/build/tests/layout
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/layout/layout_plan_analyzer_test[1]_include.cmake")
+include("/root/repo/build/tests/layout/layout_microbench_advisor_test[1]_include.cmake")
+include("/root/repo/build/tests/layout/layout_search_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unroll_icm_model_test.dir/icm_model_test.cpp.o"
+  "CMakeFiles/unroll_icm_model_test.dir/icm_model_test.cpp.o.d"
+  "unroll_icm_model_test"
+  "unroll_icm_model_test.pdb"
+  "unroll_icm_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unroll_icm_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unroll_unroller_test.dir/unroller_test.cpp.o"
+  "CMakeFiles/unroll_unroller_test.dir/unroller_test.cpp.o.d"
+  "unroll_unroller_test"
+  "unroll_unroller_test.pdb"
+  "unroll_unroller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unroll_unroller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

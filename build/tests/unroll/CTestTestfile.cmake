@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/unroll
+# Build directory: /root/repo/build/tests/unroll
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/unroll/unroll_unroller_test[1]_include.cmake")
+include("/root/repo/build/tests/unroll/unroll_icm_model_test[1]_include.cmake")

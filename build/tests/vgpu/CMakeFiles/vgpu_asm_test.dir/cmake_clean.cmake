@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgpu_asm_test.dir/asm_test.cpp.o"
+  "CMakeFiles/vgpu_asm_test.dir/asm_test.cpp.o.d"
+  "vgpu_asm_test"
+  "vgpu_asm_test.pdb"
+  "vgpu_asm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgpu_asm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

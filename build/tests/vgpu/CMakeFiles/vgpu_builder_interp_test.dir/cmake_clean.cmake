@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgpu_builder_interp_test.dir/builder_interp_test.cpp.o"
+  "CMakeFiles/vgpu_builder_interp_test.dir/builder_interp_test.cpp.o.d"
+  "vgpu_builder_interp_test"
+  "vgpu_builder_interp_test.pdb"
+  "vgpu_builder_interp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgpu_builder_interp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

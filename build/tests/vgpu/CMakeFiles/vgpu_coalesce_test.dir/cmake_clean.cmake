@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgpu_coalesce_test.dir/coalesce_test.cpp.o"
+  "CMakeFiles/vgpu_coalesce_test.dir/coalesce_test.cpp.o.d"
+  "vgpu_coalesce_test"
+  "vgpu_coalesce_test.pdb"
+  "vgpu_coalesce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgpu_coalesce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgpu_const_tex_test.dir/const_tex_test.cpp.o"
+  "CMakeFiles/vgpu_const_tex_test.dir/const_tex_test.cpp.o.d"
+  "vgpu_const_tex_test"
+  "vgpu_const_tex_test.pdb"
+  "vgpu_const_tex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgpu_const_tex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

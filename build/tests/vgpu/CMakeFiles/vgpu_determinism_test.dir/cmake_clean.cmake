@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgpu_determinism_test.dir/determinism_test.cpp.o"
+  "CMakeFiles/vgpu_determinism_test.dir/determinism_test.cpp.o.d"
+  "vgpu_determinism_test"
+  "vgpu_determinism_test.pdb"
+  "vgpu_determinism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgpu_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgpu_fuzz_differential_test.dir/fuzz_differential_test.cpp.o"
+  "CMakeFiles/vgpu_fuzz_differential_test.dir/fuzz_differential_test.cpp.o.d"
+  "vgpu_fuzz_differential_test"
+  "vgpu_fuzz_differential_test.pdb"
+  "vgpu_fuzz_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgpu_fuzz_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgpu_memory_test.dir/memory_test.cpp.o"
+  "CMakeFiles/vgpu_memory_test.dir/memory_test.cpp.o.d"
+  "vgpu_memory_test"
+  "vgpu_memory_test.pdb"
+  "vgpu_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgpu_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

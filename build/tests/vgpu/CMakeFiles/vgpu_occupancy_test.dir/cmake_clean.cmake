@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgpu_occupancy_test.dir/occupancy_test.cpp.o"
+  "CMakeFiles/vgpu_occupancy_test.dir/occupancy_test.cpp.o.d"
+  "vgpu_occupancy_test"
+  "vgpu_occupancy_test.pdb"
+  "vgpu_occupancy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgpu_occupancy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgpu_opt_test.dir/opt_test.cpp.o"
+  "CMakeFiles/vgpu_opt_test.dir/opt_test.cpp.o.d"
+  "vgpu_opt_test"
+  "vgpu_opt_test.pdb"
+  "vgpu_opt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgpu_opt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

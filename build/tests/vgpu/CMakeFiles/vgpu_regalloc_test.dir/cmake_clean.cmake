@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgpu_regalloc_test.dir/regalloc_test.cpp.o"
+  "CMakeFiles/vgpu_regalloc_test.dir/regalloc_test.cpp.o.d"
+  "vgpu_regalloc_test"
+  "vgpu_regalloc_test.pdb"
+  "vgpu_regalloc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgpu_regalloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

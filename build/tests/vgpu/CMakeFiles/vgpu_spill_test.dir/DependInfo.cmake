@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vgpu/spill_test.cpp" "tests/vgpu/CMakeFiles/vgpu_spill_test.dir/spill_test.cpp.o" "gcc" "tests/vgpu/CMakeFiles/vgpu_spill_test.dir/spill_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vgpu/CMakeFiles/vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/unroll/CMakeFiles/unroll.dir/DependInfo.cmake"
+  "/root/repo/build/src/gravit/CMakeFiles/gravit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgpu_spill_test.dir/spill_test.cpp.o"
+  "CMakeFiles/vgpu_spill_test.dir/spill_test.cpp.o.d"
+  "vgpu_spill_test"
+  "vgpu_spill_test.pdb"
+  "vgpu_spill_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgpu_spill_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgpu_trace_test.dir/trace_test.cpp.o"
+  "CMakeFiles/vgpu_trace_test.dir/trace_test.cpp.o.d"
+  "vgpu_trace_test"
+  "vgpu_trace_test.pdb"
+  "vgpu_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgpu_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgpu_verify_device_test.dir/verify_device_test.cpp.o"
+  "CMakeFiles/vgpu_verify_device_test.dir/verify_device_test.cpp.o.d"
+  "vgpu_verify_device_test"
+  "vgpu_verify_device_test.pdb"
+  "vgpu_verify_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgpu_verify_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/vgpu
+# Build directory: /root/repo/build/tests/vgpu
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/vgpu/vgpu_builder_interp_test[1]_include.cmake")
+include("/root/repo/build/tests/vgpu/vgpu_coalesce_test[1]_include.cmake")
+include("/root/repo/build/tests/vgpu/vgpu_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/vgpu/vgpu_occupancy_test[1]_include.cmake")
+include("/root/repo/build/tests/vgpu/vgpu_opt_test[1]_include.cmake")
+include("/root/repo/build/tests/vgpu/vgpu_regalloc_test[1]_include.cmake")
+include("/root/repo/build/tests/vgpu/vgpu_timing_test[1]_include.cmake")
+include("/root/repo/build/tests/vgpu/vgpu_verify_device_test[1]_include.cmake")
+include("/root/repo/build/tests/vgpu/vgpu_fuzz_differential_test[1]_include.cmake")
+include("/root/repo/build/tests/vgpu/vgpu_const_tex_test[1]_include.cmake")
+include("/root/repo/build/tests/vgpu/vgpu_asm_test[1]_include.cmake")
+include("/root/repo/build/tests/vgpu/vgpu_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/vgpu/vgpu_spill_test[1]_include.cmake")
+include("/root/repo/build/tests/vgpu/vgpu_determinism_test[1]_include.cmake")
