@@ -63,13 +63,15 @@ void bm_block256_kernel_compile(benchmark::State& state) {
     benchmark::DoNotOptimize(built);
   }
 }
-BENCHMARK(bm_block256_kernel_compile)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_block256_kernel_compile)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 }  // namespace
 
 int main(int argc, char** argv) {
   print_table(run_all());
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::bench_main(argc, argv,
+                           {"ablation_blocksize", "far-field force kernel",
+                            "cycles vs block size"});
 }

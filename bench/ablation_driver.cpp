@@ -84,7 +84,7 @@ BENCHMARK(bm_ablation_driver)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 int main(int argc, char** argv) {
   print_tables();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::bench_main(argc, argv,
+                           {"ablation_driver", "strip-down read kernel",
+                            "transactions / modeled cycles"});
 }

@@ -106,13 +106,15 @@ void bm_integrate_kernel_compile(benchmark::State& state) {
     benchmark::DoNotOptimize(prog);
   }
 }
-BENCHMARK(bm_integrate_kernel_compile)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_integrate_kernel_compile)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 }  // namespace
 
 int main(int argc, char** argv) {
   print_table(run_all());
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::bench_main(argc, argv,
+                           {"ablation_hotcold", "force + integrate kernels",
+                            "DRAM bytes / cycles per kernel"});
 }

@@ -82,13 +82,13 @@ void bm_tex_kernel_compile(benchmark::State& state) {
     benchmark::DoNotOptimize(built);
   }
 }
-BENCHMARK(bm_tex_kernel_compile)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_tex_kernel_compile)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 }  // namespace
 
 int main(int argc, char** argv) {
   print_table(run_all());
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::bench_main(argc, argv,
+                           {"ablation_texture", "far-field force kernel (tex)",
+                            "cycles with/without texture path"});
 }

@@ -61,13 +61,13 @@ void bm_access_patterns(benchmark::State& state) {
     benchmark::DoNotOptimize(advice);
   }
 }
-BENCHMARK(bm_access_patterns)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_access_patterns)->Unit(benchmark::kMicrosecond)->Iterations(1);
 
 }  // namespace
 
 int main(int argc, char** argv) {
   print_tables();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::bench_main(argc, argv,
+                           {"access_patterns", "half-warp record fetch",
+                            "transactions per half-warp"});
 }

@@ -1,6 +1,8 @@
 #include "bench_util.hpp"
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <numeric>
 
 #include "layout/microbench.hpp"
@@ -9,6 +11,30 @@
 
 namespace bench {
 
+namespace {
+
+/// Tables printed by this process, in print order, for the --json export.
+struct Report {
+  std::vector<telemetry::JsonValue> tables;
+};
+
+Report& report() {
+  static Report r;
+  return r;
+}
+
+/// Control characters would break both the column alignment and the
+/// surrounding text format; map them to spaces before measuring widths.
+std::string sanitize(const std::string& cell) {
+  std::string out = cell;
+  for (char& c : out) {
+    if (static_cast<unsigned char>(c) < 0x20) c = ' ';
+  }
+  return out;
+}
+
+}  // namespace
+
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
 
 void Table::add_row(std::vector<std::string> cells) {
@@ -16,18 +42,25 @@ void Table::add_row(std::vector<std::string> cells) {
 }
 
 void Table::print(const std::string& title, const std::string& note) const {
-  std::vector<std::size_t> width(headers_.size());
-  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
-  for (const auto& row : rows_) {
-    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
-      width[c] = std::max(width[c], row[c].size());
+  // widths span the widest row, not just the header row, so ragged rows
+  // (more cells than headers) stay aligned instead of reading out of range
+  std::size_t columns = headers_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  std::vector<std::size_t> width(columns, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], sanitize(row[c]).size());
     }
-  }
+  };
+  measure(headers_);
+  for (const auto& row : rows_) measure(row);
+
   std::printf("\n=== %s ===\n", title.c_str());
   if (!note.empty()) std::printf("%s\n", note.c_str());
   auto print_row = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
-      std::printf("%-*s  ", static_cast<int>(width[c]), row[c].c_str());
+      std::printf("%-*s  ", static_cast<int>(width[c]),
+                  sanitize(row[c]).c_str());
     }
     std::printf("\n");
   };
@@ -36,6 +69,72 @@ void Table::print(const std::string& title, const std::string& note) const {
   for (std::size_t w : width) total += w + 2;
   std::printf("%s\n", std::string(total, '-').c_str());
   for (const auto& row : rows_) print_row(row);
+
+  report().tables.push_back(to_json(title, note));
+}
+
+telemetry::JsonValue Table::to_json(const std::string& title,
+                                    const std::string& note) const {
+  telemetry::JsonValue t = telemetry::JsonValue::object();
+  t["title"] = title;
+  if (!note.empty()) t["note"] = note;
+  telemetry::JsonValue& headers = t["headers"];
+  headers = telemetry::JsonValue::array();
+  for (const std::string& h : headers_) headers.push_back(h);
+  telemetry::JsonValue& rows = t["rows"];
+  rows = telemetry::JsonValue::array();
+  telemetry::JsonValue& records = t["records"];
+  records = telemetry::JsonValue::array();
+  for (const auto& row : rows_) {
+    telemetry::JsonValue r = telemetry::JsonValue::array();
+    for (const std::string& cell : row) r.push_back(cell);
+    rows.push_back(std::move(r));
+    // flat self-describing form: one object per row keyed by header
+    telemetry::JsonValue rec = telemetry::JsonValue::object();
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::string key =
+          c < headers_.size() ? headers_[c] : "col" + std::to_string(c);
+      rec[key] = row[c];
+    }
+    records.push_back(std::move(rec));
+  }
+  return t;
+}
+
+int bench_main(int argc, char** argv, const BenchInfo& info) {
+  std::string json_path;
+  int out = 1;  // keep argv[0]
+  for (int a = 1; a < argc; ++a) {
+    if (std::strncmp(argv[a], "--json=", 7) == 0) {
+      json_path = argv[a] + 7;
+    } else {
+      argv[out++] = argv[a];
+    }
+  }
+  argc = out;
+
+  if (!json_path.empty()) {
+    telemetry::JsonValue root = telemetry::JsonValue::object();
+    root["schema"] = "vgpu-bench";
+    root["schema_version"] = 1;
+    root["bench"] = info.name;
+    root["kernel"] = info.kernel;
+    root["metric"] = info.metric;
+    telemetry::JsonValue& tables = root["tables"];
+    tables = telemetry::JsonValue::array();
+    for (const telemetry::JsonValue& t : report().tables) tables.push_back(t);
+    std::ofstream os(json_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    root.write(os, 1);
+    os << "\n";
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
 }
 
 std::string fmt(double v, int precision) {

@@ -14,22 +14,44 @@
 #include <vector>
 
 #include "layout/plan.hpp"
+#include "telemetry/json.hpp"
 #include "vgpu/arch.hpp"
 #include "vgpu/launch.hpp"
 
 namespace bench {
 
-/// Column-aligned table printer.
+/// Column-aligned table printer. Cells are sanitized (control characters
+/// replaced) and rows wider than the header row get their own columns, so
+/// long layout names and ragged rows cannot corrupt the output. Every
+/// printed table is also registered with the process-wide report so
+/// `--json=<path>` can export it (see bench_main).
 class Table {
  public:
   explicit Table(std::vector<std::string> headers);
   void add_row(std::vector<std::string> cells);
   void print(const std::string& title, const std::string& note = "") const;
 
+  /// {"title", "note", "headers", "rows"} - raw table form.
+  [[nodiscard]] telemetry::JsonValue to_json(const std::string& title,
+                                             const std::string& note) const;
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Identity of one bench binary for the machine-readable record.
+struct BenchInfo {
+  std::string name;    ///< bench binary name, e.g. "fig10_read_cycles"
+  std::string kernel;  ///< kernel under measurement
+  std::string metric;  ///< the figure's metric, e.g. "avg cycles per 4B read"
+};
+
+/// Shared tail of every bench main(): strips `--json=<path>` from argv,
+/// writes the BENCH_<name> record of all tables printed so far to that
+/// path (if given), then hands the remaining flags to google-benchmark.
+/// Returns the process exit code.
+int bench_main(int argc, char** argv, const BenchInfo& info);
 
 [[nodiscard]] std::string fmt(double v, int precision = 2);
 

@@ -87,13 +87,13 @@ void bm_crossover(benchmark::State& state) {
     benchmark::DoNotOptimize(acc);
   }
 }
-BENCHMARK(bm_crossover)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_crossover)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 }  // namespace
 
 int main(int argc, char** argv) {
   print_table(run_all());
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::bench_main(argc, argv,
+                           {"ext_barneshut_crossover", "far-field force kernel",
+                            "ms vs Barnes-Hut CPU"});
 }

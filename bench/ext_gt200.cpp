@@ -96,7 +96,7 @@ BENCHMARK(bm_gt200_micro)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 int main(int argc, char** argv) {
   print_tables();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::bench_main(argc, argv,
+                           {"ext_gt200", "read + far-field kernels",
+                            "G80 vs GT200 cycles"});
 }

@@ -70,7 +70,7 @@ BENCHMARK(bm_fig10)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 int main(int argc, char** argv) {
   print_table(run_all());
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::bench_main(argc, argv,
+                           {"fig10_read_cycles", "strip-down read kernel",
+                            "avg cycles per 4B read"});
 }

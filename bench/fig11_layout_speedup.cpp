@@ -62,7 +62,7 @@ BENCHMARK(bm_fig11)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 int main(int argc, char** argv) {
   print_table(run_all());
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::bench_main(argc, argv,
+                           {"fig11_layout_speedup", "strip-down read kernel",
+                            "speedup vs unoptimized AoS"});
 }

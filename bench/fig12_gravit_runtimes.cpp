@@ -171,7 +171,7 @@ BENCHMARK(bm_cpu_reference)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 int main(int argc, char** argv) {
   print_tables(run_all());
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::bench_main(argc, argv,
+                           {"fig12_gravit_runtimes", "gravit far-field step",
+                            "end-to-end ms per step"});
 }

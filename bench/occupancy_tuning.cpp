@@ -109,13 +109,13 @@ void bm_occupancy_calc(benchmark::State& state) {
     benchmark::DoNotOptimize(occ);
   }
 }
-BENCHMARK(bm_occupancy_calc)->Unit(benchmark::kNanosecond);
+BENCHMARK(bm_occupancy_calc)->Unit(benchmark::kNanosecond)->Iterations(1);
 
 }  // namespace
 
 int main(int argc, char** argv) {
   print_table(run_all());
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::bench_main(argc, argv,
+                           {"occupancy_tuning", "far-field force kernel",
+                            "occupancy / cycles"});
 }

@@ -93,13 +93,13 @@ void bm_kernel_compile(benchmark::State& state) {
     benchmark::DoNotOptimize(built);
   }
 }
-BENCHMARK(bm_kernel_compile)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_kernel_compile)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 }  // namespace
 
 int main(int argc, char** argv) {
   print_table(run_sweep());
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::bench_main(argc, argv,
+                           {"unroll_sweep", "far-field force kernel",
+                            "cycles vs unroll factor"});
 }

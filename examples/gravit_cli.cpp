@@ -1,23 +1,32 @@
 // gravit_cli - the Gravit-replacement driver: pick a scene, a force
-// backend (CPU direct / CPU Barnes-Hut / simulated-GPU kernel), an
-// integrator and a step count; run; write snapshots and a trajectory log.
+// backend (CPU direct / CPU Barnes-Hut / simulated-GPU kernel / fully
+// device-resident loop), an integrator and a step count; run; write
+// snapshots and a trajectory log.
 //
 //   ./build/examples/gravit_cli [options]
 //     --scene plummer|cube|disk|collision   (default plummer)
 //     --n <count>                           (default 2048)
-//     --backend cpu|bh|gpu                  (default gpu)
+//     --backend cpu|bh|gpu|resident         (default gpu)
 //     --steps <count>                       (default 50)
 //     --dt <float>                          (default 0.01)
 //     --theta <float>                       (default 0.5, Barnes-Hut)
 //     --out <prefix>                        (write <prefix>.grv + csv)
+//     --trace-out <path>                    (per-step telemetry: wall ms,
+//                                            force cycles, energy drift as
+//                                            Chrome Trace counter events)
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
+#include "gravit/diagnostics.hpp"
+#include "gravit/gpu_simulation.hpp"
 #include "gravit/simulation.hpp"
 #include "gravit/snapshot.hpp"
 #include "gravit/spawn.hpp"
+#include "telemetry/chrome_trace.hpp"
 
 namespace {
 
@@ -29,6 +38,7 @@ struct Options {
   float dt = 0.01f;
   float theta = 0.5f;
   std::string out;
+  std::string trace_out;
 };
 
 Options parse(int argc, char** argv) {
@@ -43,6 +53,7 @@ Options parse(int argc, char** argv) {
     else if (key == "--dt") o.dt = std::strtof(value, nullptr);
     else if (key == "--theta") o.theta = std::strtof(value, nullptr);
     else if (key == "--out") o.out = value;
+    else if (key == "--trace-out") o.trace_out = value;
     else {
       std::fprintf(stderr, "unknown option '%s'\n", key.c_str());
       std::exit(2);
@@ -62,45 +73,120 @@ gravit::ParticleSet make_scene(const Options& o) {
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
-
-  gravit::SimulationOptions sim_opt;
-  sim_opt.dt = o.dt;
-  sim_opt.theta = o.theta;
-  if (o.backend == "cpu") {
-    sim_opt.backend = gravit::ForceBackend::kCpuDirect;
-  } else if (o.backend == "bh") {
-    sim_opt.backend = gravit::ForceBackend::kCpuBarnesHut;
-  } else {
-    sim_opt.backend = gravit::ForceBackend::kGpuDirect;
-    sim_opt.gpu.kernel.unroll = 128;  // the fully optimized kernel
+  if (o.backend != "cpu" && o.backend != "bh" && o.backend != "gpu" &&
+      o.backend != "resident") {
+    std::fprintf(stderr, "unknown backend '%s' (cpu|bh|gpu|resident)\n",
+                 o.backend.c_str());
+    return 2;
   }
 
-  gravit::Simulation sim(make_scene(o), sim_opt);
-  std::printf("gravit_cli: scene=%s n=%zu backend=%s steps=%d dt=%g\n",
-              o.scene.c_str(), sim.particles().size(),
-              gravit::to_string(sim_opt.backend), o.steps, o.dt);
+  // Per-step telemetry: the observer streams counter samples (step wall
+  // time, device cycles of the force kernel, energy drift) into a Chrome
+  // Trace that opens next to any kernel_profiler --trace-out timeline.
+  // The energy term is O(n^2) on the host, so it is only computed when a
+  // trace was requested. Which counters appear depends on the backend:
+  // cycles need the device ledger (--backend resident), the energy term
+  // needs host-visible particles (every backend except resident).
+  telemetry::ChromeTraceSink trace;
+  double e0 = 0.0;
+  bool have_e0 = false;
+  const gravit::StepObserver observer = [&](const gravit::StepStats& st) {
+    const double ts = static_cast<double>(st.step);
+    trace.counter("step wall ms", ts, st.wall_ms);
+    if (st.gpu_cycles > 0) {
+      trace.counter("force kernel cycles", ts,
+                    static_cast<double>(st.gpu_cycles));
+    }
+    if (st.particles != nullptr) {
+      const double e = gravit::energy(*st.particles).total();
+      if (!have_e0) {
+        e0 = e;
+        have_e0 = true;
+      }
+      const double drift =
+          e0 != 0.0 ? std::abs((e - e0) / e0) : std::abs(e - e0);
+      trace.counter("energy drift", ts, drift);
+    }
+  };
 
   gravit::TrajectoryRecorder recorder;
   const int sample_every = std::max(1, o.steps / 10);
-  recorder.record(sim.time(), sim.particles());
-  for (int step = 1; step <= o.steps; ++step) {
-    sim.step();
-    if (step % sample_every == 0 || step == o.steps) {
-      recorder.record(sim.time(), sim.particles());
-      const auto& s = recorder.samples().back();
-      std::printf("  t=%6.3f  E=%+.6f  |p|=%.2e\n", s.time, s.energy.total(),
-                  s.momentum.norm());
+  gravit::ParticleSet final_set;
+
+  if (o.backend == "resident") {
+    gravit::GpuSimulationOptions gpu_opt;
+    gpu_opt.dt = o.dt;
+    gpu_opt.kernel.unroll = 128;  // the fully optimized kernel
+    gpu_opt.timed = true;         // device-cycle ledger for the telemetry
+    if (!o.trace_out.empty()) gpu_opt.observer = observer;
+
+    const gravit::ParticleSet initial = make_scene(o);
+    gravit::GpuSimulation sim(initial, gpu_opt);
+    std::printf("gravit_cli: scene=%s n=%zu backend=resident steps=%d dt=%g\n",
+                o.scene.c_str(), initial.size(), o.steps, o.dt);
+    recorder.record(sim.time(), sim.download());
+    for (int step = 1; step <= o.steps; ++step) {
+      sim.step();
+      if (step % sample_every == 0 || step == o.steps) {
+        recorder.record(sim.time(), sim.download());
+        const auto& s = recorder.samples().back();
+        std::printf("  t=%6.3f  E=%+.6f  |p|=%.2e\n", s.time, s.energy.total(),
+                    s.momentum.norm());
+      }
     }
+    std::printf("device time %.3f ms over %d steps\n", sim.device_ms(),
+                o.steps);
+    final_set = sim.download();
+  } else {
+    gravit::SimulationOptions sim_opt;
+    sim_opt.dt = o.dt;
+    sim_opt.theta = o.theta;
+    if (o.backend == "cpu") {
+      sim_opt.backend = gravit::ForceBackend::kCpuDirect;
+    } else if (o.backend == "bh") {
+      sim_opt.backend = gravit::ForceBackend::kCpuBarnesHut;
+    } else {
+      sim_opt.backend = gravit::ForceBackend::kGpuDirect;
+      sim_opt.gpu.kernel.unroll = 128;  // the fully optimized kernel
+    }
+    if (!o.trace_out.empty()) sim_opt.observer = observer;
+
+    gravit::Simulation sim(make_scene(o), sim_opt);
+    std::printf("gravit_cli: scene=%s n=%zu backend=%s steps=%d dt=%g\n",
+                o.scene.c_str(), sim.particles().size(),
+                gravit::to_string(sim_opt.backend), o.steps, o.dt);
+    recorder.record(sim.time(), sim.particles());
+    for (int step = 1; step <= o.steps; ++step) {
+      sim.step();
+      if (step % sample_every == 0 || step == o.steps) {
+        recorder.record(sim.time(), sim.particles());
+        const auto& s = recorder.samples().back();
+        std::printf("  t=%6.3f  E=%+.6f  |p|=%.2e\n", s.time, s.energy.total(),
+                    s.momentum.norm());
+      }
+    }
+    final_set = sim.particles();
   }
 
   std::printf("energy drift %.3e, momentum drift %.3e over %d steps\n",
               recorder.max_energy_drift(), recorder.max_momentum_drift(),
               o.steps);
   if (!o.out.empty()) {
-    gravit::save_snapshot(sim.particles(), o.out + ".grv");
+    gravit::save_snapshot(final_set, o.out + ".grv");
     recorder.export_csv(o.out + "_trajectory.csv");
     std::printf("wrote %s.grv and %s_trajectory.csv\n", o.out.c_str(),
                 o.out.c_str());
+  }
+  if (!o.trace_out.empty()) {
+    std::ofstream os(o.trace_out);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", o.trace_out.c_str());
+      return 1;
+    }
+    trace.write(os);
+    os << "\n";
+    std::printf("wrote %s (%zu counter samples)\n", o.trace_out.c_str(),
+                trace.event_count());
   }
   return 0;
 }

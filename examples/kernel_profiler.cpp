@@ -3,18 +3,31 @@
 // optimizations change the profile: coalescing ratio for the layouts,
 // instruction mix for unrolling, occupancy for the register effects.
 //
-//   ./build/examples/kernel_profiler [scheme] [unroll] [icm] [n]
+//   ./build/examples/kernel_profiler [scheme] [unroll] [icm] [n] [flags]
 //     scheme: aos | soa | aoas | soaoas        (default soaoas)
 //     unroll: 1..128 (must divide 128)         (default 1)
 //     icm:    0 | 1                            (default 0)
 //     n:      particle count                   (default 4096)
+//   flags (anywhere on the command line):
+//     --trace-out=<path>   write a Chrome Trace Event JSON timeline
+//                          (open in chrome://tracing or Perfetto)
+//     --series-out=<path>  write the cycle-bucketed counter series JSON
+//     --bucket=<cycles>    series resolution (default 2048)
+//     --json=<path>        write the KernelProfile record as JSON
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "gravit/gpu_runner.hpp"
 #include "gravit/spawn.hpp"
 #include "layout/transform.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/counters.hpp"
+#include "telemetry/multi_sink.hpp"
+#include "telemetry/serialize.hpp"
 #include "vgpu/profiler.hpp"
 
 namespace {
@@ -26,15 +39,42 @@ layout::SchemeKind parse_scheme(const char* s) {
   return layout::SchemeKind::kSoAoaS;
 }
 
+bool write_file(const std::string& path, const auto& writer) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "kernel_profiler: cannot write %s\n", path.c_str());
+    return false;
+  }
+  writer(os);
+  os << "\n";
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string trace_out, series_out, json_out;
+  std::uint64_t bucket = 2048;
+  std::vector<const char*> pos;
+  for (int a = 1; a < argc; ++a) {
+    const char* arg = argv[a];
+    if (std::strncmp(arg, "--trace-out=", 12) == 0) trace_out = arg + 12;
+    else if (std::strncmp(arg, "--series-out=", 13) == 0) series_out = arg + 13;
+    else if (std::strncmp(arg, "--json=", 7) == 0) json_out = arg + 7;
+    else if (std::strncmp(arg, "--bucket=", 9) == 0)
+      bucket = std::strtoull(arg + 9, nullptr, 10);
+    else pos.push_back(arg);
+  }
+
   gravit::KernelOptions kopt;
-  kopt.scheme = argc > 1 ? parse_scheme(argv[1]) : layout::SchemeKind::kSoAoaS;
-  kopt.unroll = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 1;
-  kopt.icm = argc > 3 && std::atoi(argv[3]) != 0;
+  kopt.scheme =
+      !pos.empty() ? parse_scheme(pos[0]) : layout::SchemeKind::kSoAoaS;
+  kopt.unroll =
+      pos.size() > 1 ? static_cast<std::uint32_t>(std::atoi(pos[1])) : 1;
+  kopt.icm = pos.size() > 2 && std::atoi(pos[2]) != 0;
   const std::uint32_t n =
-      argc > 4 ? static_cast<std::uint32_t>(std::atoi(argv[4])) : 4096;
+      pos.size() > 3 ? static_cast<std::uint32_t>(std::atoi(pos[3])) : 4096;
 
   const gravit::BuiltKernel kernel = gravit::make_farfield_kernel(kopt);
   gravit::ParticleSet set = gravit::spawn_uniform_cube(n, 1.0f, 7);
@@ -55,12 +95,36 @@ int main(int argc, char** argv) {
   params.push_back(out.addr);
   params.push_back(static_cast<std::uint32_t>(set.size()) / kopt.block);
 
+  telemetry::ChromeTraceSink trace;
+  telemetry::CounterSeries series(bucket);
+  telemetry::MultiSink tee;
+  if (!trace_out.empty()) tee.add(&trace);
+  if (!series_out.empty()) tee.add(&series);
+
   vgpu::TimingOptions topt;
   topt.max_blocks = 128;  // bound the profile run for large n
+  if (!trace_out.empty() || !series_out.empty()) topt.sink = &tee;
   const vgpu::LaunchConfig cfg{static_cast<std::uint32_t>(set.size()) / kopt.block,
                                kopt.block};
   const vgpu::KernelProfile profile =
       vgpu::profile_kernel(kernel.prog, dev, cfg, params, topt);
   std::printf("%s", vgpu::format_profile(profile, dev.spec()).c_str());
-  return 0;
+
+  int rc = 0;
+  if (!trace_out.empty() &&
+      !write_file(trace_out, [&](std::ostream& os) { trace.write(os); })) {
+    rc = 1;
+  }
+  if (!series_out.empty() &&
+      !write_file(series_out,
+                  [&](std::ostream& os) { series.write_json(os); })) {
+    rc = 1;
+  }
+  if (!json_out.empty() &&
+      !write_file(json_out, [&](std::ostream& os) {
+        telemetry::to_json(profile).write(os, 1);
+      })) {
+    rc = 1;
+  }
+  return rc;
 }

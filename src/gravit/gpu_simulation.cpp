@@ -1,6 +1,7 @@
 #include "gravit/gpu_simulation.hpp"
 
 #include <bit>
+#include <chrono>
 
 #include "layout/transform.hpp"
 #include "vgpu/check.hpp"
@@ -39,6 +40,7 @@ GpuSimulation::GpuSimulation(const ParticleSet& initial,
 }
 
 void GpuSimulation::step() {
+  const auto t0 = std::chrono::steady_clock::now();
   const vgpu::LaunchConfig cfg{n_pad_ / options_.kernel.block,
                                options_.kernel.block};
   if (options_.timed) {
@@ -54,6 +56,16 @@ void GpuSimulation::step() {
   }
   time_ += options_.dt;
   ++steps_;
+  if (options_.observer) {
+    StepStats st;
+    st.step = steps_;
+    st.sim_time = time_;
+    st.wall_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+    st.gpu_cycles = force_stats_.cycles;
+    options_.observer(st);
+  }
 }
 
 void GpuSimulation::run(std::uint32_t steps) {

@@ -12,6 +12,7 @@
 
 #include "gravit/gpu_kernels2.hpp"
 #include "gravit/kernels.hpp"
+#include "gravit/observer.hpp"
 #include "gravit/particle.hpp"
 #include "vgpu/device.hpp"
 
@@ -25,6 +26,9 @@ struct GpuSimulationOptions {
   /// device-time ledger; slower to simulate). false: functional only.
   bool timed = false;
   std::size_t device_memory = 512u * 1024 * 1024;
+  /// Per-step telemetry hook (may be empty). StepStats::particles is null
+  /// here - the state lives on the device; call download() for a snapshot.
+  StepObserver observer;
 };
 
 class GpuSimulation {

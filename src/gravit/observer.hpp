@@ -1,0 +1,33 @@
+// observer.hpp - per-step observation hook shared by the host-driven
+// (Simulation) and device-resident (GpuSimulation) loops. Consumers such
+// as examples/gravit_cli use it to stream per-step telemetry (wall time,
+// device cycles, energy drift) without the loops knowing about any sink.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace gravit {
+
+class ParticleSet;
+
+/// One completed step, as seen by a StepObserver. `particles` points at
+/// the post-step host-side state when the loop keeps one (Simulation); it
+/// is null for the device-resident loop, where a snapshot must be
+/// downloaded explicitly. Expensive derived quantities (e.g. the O(n^2)
+/// potential energy) are deliberately *not* precomputed here - observers
+/// that want them compute them from `particles`, so loops without an
+/// observer pay nothing.
+struct StepStats {
+  std::uint64_t step = 0;        ///< 1-based index of the completed step
+  double sim_time = 0.0;         ///< simulated time after the step
+  double wall_ms = 0.0;          ///< host wall-clock spent inside step()
+  std::uint64_t gpu_cycles = 0;  ///< force-kernel device cycles (0 when the
+                                 ///< backend is CPU or the run is untimed)
+  const ParticleSet* particles = nullptr;
+};
+
+/// Called synchronously at the end of every step(). Default: none.
+using StepObserver = std::function<void(const StepStats&)>;
+
+}  // namespace gravit

@@ -1,5 +1,7 @@
 #include "gravit/simulation.hpp"
 
+#include <chrono>
+
 #include "gravit/barneshut.hpp"
 #include "gravit/integrator.hpp"
 
@@ -32,9 +34,12 @@ std::vector<Vec3> Simulation::accel(const ParticleSet& set) const {
       far = tree.accelerations(options_.theta, options_.forces.softening);
       break;
     }
-    case ForceBackend::kGpuDirect:
-      far = gpu_->run_functional(set).accel;
+    case ForceBackend::kGpuDirect: {
+      FarfieldGpuResult res = gpu_->run_functional(set);
+      last_force_cycles_ = res.stats.cycles;
+      far = std::move(res.accel);
       break;
+    }
   }
   // the remaining Eq. 1 terms are always computed on the host
   if (options_.forces.nn_radius > 0.0f) {
@@ -50,6 +55,7 @@ std::vector<Vec3> Simulation::accel(const ParticleSet& set) const {
 std::vector<Vec3> Simulation::far_field() const { return accel(set_); }
 
 void Simulation::step() {
+  const auto t0 = std::chrono::steady_clock::now();
   AccelFn fn = [this](const ParticleSet& s) { return accel(s); };
   if (options_.integrator == Integrator::kEuler) {
     step_euler(set_, fn, options_.dt);
@@ -58,6 +64,17 @@ void Simulation::step() {
   }
   time_ += options_.dt;
   ++steps_;
+  if (options_.observer) {
+    StepStats st;
+    st.step = steps_;
+    st.sim_time = time_;
+    st.wall_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+    st.gpu_cycles = last_force_cycles_;
+    st.particles = &set_;
+    options_.observer(st);
+  }
 }
 
 void Simulation::run(std::uint32_t count) {

@@ -11,6 +11,7 @@
 
 #include "gravit/forces_cpu.hpp"
 #include "gravit/gpu_runner.hpp"
+#include "gravit/observer.hpp"
 #include "gravit/particle.hpp"
 
 namespace gravit {
@@ -32,6 +33,7 @@ struct SimulationOptions {
   float theta = 0.5f;  ///< Barnes-Hut opening angle
   ForceModel forces;   ///< softening, NN term, external field
   FarfieldGpuOptions gpu;  ///< kernel variant for the GPU backend
+  StepObserver observer;   ///< per-step telemetry hook (may be empty)
 };
 
 class Simulation {
@@ -60,6 +62,9 @@ class Simulation {
   std::unique_ptr<FarfieldGpu> gpu_;  ///< built once, reused across steps
   double time_ = 0.0;
   std::uint64_t steps_ = 0;
+  /// Device cycles of the most recent GPU force launch (0 for CPU backends
+  /// and functional-only runs); forwarded to StepStats::gpu_cycles.
+  mutable std::uint64_t last_force_cycles_ = 0;
 };
 
 }  // namespace gravit

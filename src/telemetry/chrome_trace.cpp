@@ -1,0 +1,179 @@
+#include "telemetry/chrome_trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "telemetry/json.hpp"
+
+namespace telemetry {
+
+namespace {
+
+/// Sort rank for equal timestamps: close spans before opening new ones so
+/// adjacent same-track spans ([a,b] then [b,c]) stay well-formed.
+int ph_rank(char ph) {
+  switch (ph) {
+    case 'E': return 0;
+    case 'B': return 1;
+    default: return 2;  // C
+  }
+}
+
+}  // namespace
+
+void ChromeTraceSink::on_begin(const RunInfo& info) {
+  info_ = info;
+  have_info_ = true;
+}
+
+std::uint16_t ChromeTraceSink::intern(const std::string& name) {
+  for (std::size_t k = 0; k < names_.size(); ++k) {
+    if (names_[k] == name) return static_cast<std::uint16_t>(k);
+  }
+  names_.push_back(name);
+  return static_cast<std::uint16_t>(names_.size() - 1);
+}
+
+std::uint32_t ChromeTraceSink::slot_tid(std::uint32_t slot) const {
+  return 1 + slot * (info_.warps_per_block + 1);
+}
+
+std::uint32_t ChromeTraceSink::warp_tid(std::uint32_t slot,
+                                        std::uint32_t warp) const {
+  return slot_tid(slot) + 1 + warp;
+}
+
+void ChromeTraceSink::span(std::uint32_t pid, std::uint32_t tid,
+                           std::uint16_t name_id, double start, double end,
+                           double value, bool has_value) {
+  if (!(end > start)) return;  // zero-length spans render as noise
+  events_.push_back({'B', start, pid, tid, name_id, value, has_value});
+  events_.push_back({'E', end, pid, tid, name_id, 0.0, false});
+}
+
+void ChromeTraceSink::on_block(const BlockSpan& s) {
+  span(s.sm, slot_tid(s.slot), intern("block " + std::to_string(s.block_id)),
+       static_cast<double>(s.start), static_cast<double>(s.end), 0.0, false);
+}
+
+void ChromeTraceSink::on_issue(const IssueSpan& s) {
+  span(s.sm, warp_tid(s.slot, s.warp), intern(vgpu::to_string(s.cls)),
+       static_cast<double>(s.start), static_cast<double>(s.end), 0.0, false);
+}
+
+void ChromeTraceSink::on_stall(const StallSpan& s) {
+  span(s.sm, 0, intern("stall"), static_cast<double>(s.start),
+       static_cast<double>(s.end), 0.0, false);
+}
+
+void ChromeTraceSink::on_barrier_wait(const BarrierWait& s) {
+  span(s.sm, warp_tid(s.slot, s.warp), intern("barrier wait"),
+       static_cast<double>(s.arrive), static_cast<double>(s.release), 0.0,
+       false);
+}
+
+void ChromeTraceSink::on_dram(const DramSpan& s) {
+  span(info_.n_sms, s.partition, intern("xfer"), s.start, s.end,
+       static_cast<double>(s.bytes), true);
+}
+
+void ChromeTraceSink::on_end(std::uint64_t cycles) { total_cycles_ = cycles; }
+
+void ChromeTraceSink::counter(const std::string& name, double ts_cycles,
+                              double value) {
+  events_.push_back({'C', ts_cycles, info_.n_sms + 1, 0, intern(name), value,
+                     true});
+}
+
+void ChromeTraceSink::write(std::ostream& os) const {
+  std::vector<Event> sorted = events_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.ts != b.ts) return a.ts < b.ts;
+                     return ph_rank(a.ph) < ph_rank(b.ph);
+                   });
+
+  const double us_per_cycle =
+      have_info_ && info_.core_clock_khz > 0
+          ? 1000.0 / static_cast<double>(info_.core_clock_khz)
+          : 1.0;
+
+  auto process_name = [&](std::uint32_t pid) -> std::string {
+    if (have_info_ && pid < info_.n_sms) return "SM " + std::to_string(pid);
+    if (pid == info_.n_sms) return "DRAM";
+    return "host";
+  };
+  auto thread_name = [&](std::uint32_t pid, std::uint32_t tid) -> std::string {
+    if (have_info_ && pid < info_.n_sms) {
+      if (tid == 0) return "stall";
+      const std::uint32_t per_slot = info_.warps_per_block + 1;
+      const std::uint32_t slot = (tid - 1) / per_slot;
+      const std::uint32_t within = (tid - 1) % per_slot;
+      if (within == 0) return "slot " + std::to_string(slot);
+      return "slot " + std::to_string(slot) + " warp " +
+             std::to_string(within - 1);
+    }
+    if (pid == info_.n_sms) return "partition " + std::to_string(tid);
+    return "counters";
+  };
+
+  os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"total_cycles\":"
+     << total_cycles_ << "},\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const JsonValue& v) {
+    if (!first) os << ",\n";
+    first = false;
+    v.write(os);
+  };
+
+  // metadata: name every (pid, tid) pair that carries events
+  std::map<std::uint32_t, std::map<std::uint32_t, bool>> tracks;
+  for (const Event& e : sorted) tracks[e.pid][e.tid] = true;
+  for (const auto& [pid, tids] : tracks) {
+    JsonValue p = JsonValue::object();
+    p["name"] = "process_name";
+    p["ph"] = "M";
+    p["pid"] = pid;
+    p["args"]["name"] = process_name(pid);
+    emit(p);
+    for (const auto& [tid, used] : tids) {
+      (void)used;
+      JsonValue t = JsonValue::object();
+      t["name"] = "thread_name";
+      t["ph"] = "M";
+      t["pid"] = pid;
+      t["tid"] = tid;
+      t["args"]["name"] = thread_name(pid, tid);
+      emit(t);
+    }
+  }
+
+  for (const Event& e : sorted) {
+    JsonValue v = JsonValue::object();
+    v["name"] = names_[e.name_id];
+    v["cat"] = "vgpu";
+    v["ph"] = std::string(1, e.ph);
+    v["ts"] = e.ts * us_per_cycle;
+    v["pid"] = e.pid;
+    v["tid"] = e.tid;
+    if (e.has_value) {
+      if (e.ph == 'C') {
+        v["args"]["value"] = e.value;
+      } else {
+        v["args"]["bytes"] = e.value;
+      }
+    }
+    emit(v);
+  }
+  os << "]}";
+}
+
+std::string ChromeTraceSink::str() const {
+  std::ostringstream os;
+  write(os);
+  return std::move(os).str();
+}
+
+}  // namespace telemetry

@@ -1,0 +1,81 @@
+// chrome_trace.hpp - Chrome Trace Event export of a timing-model run.
+//
+// ChromeTraceSink implements vgpu::TimelineSink and records the run as
+// Trace Event JSON (the format chrome://tracing and Perfetto open
+// directly). Track mapping:
+//   * one "process" per simulated SM; within it one thread per resident
+//     block slot ("slot k") carrying the block-residency spans, one thread
+//     per (slot, warp) carrying issue spans and barrier waits, and a
+//     "stall" thread with the SM's no-issue windows;
+//   * one extra process for DRAM, one thread per partition, with the
+//     channel busy windows (bytes in args);
+//   * counter events (ph "C") can be appended by the host via counter(),
+//     which is how the gravit per-step instrumentation lands in the same
+//     trace.
+// Spans are emitted as matched B/E pairs sorted by timestamp; timestamps
+// are microseconds derived from the core clock announced in on_begin (raw
+// cycles when none was announced, e.g. for pure counter traces).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "vgpu/timeline.hpp"
+
+namespace telemetry {
+
+class ChromeTraceSink : public vgpu::TimelineSink {
+ public:
+  ChromeTraceSink() = default;
+
+  // vgpu::TimelineSink
+  void on_begin(const RunInfo& info) override;
+  void on_block(const BlockSpan& s) override;
+  void on_issue(const IssueSpan& s) override;
+  void on_stall(const StallSpan& s) override;
+  void on_barrier_wait(const BarrierWait& s) override;
+  void on_dram(const DramSpan& s) override;
+  void on_end(std::uint64_t cycles) override;
+
+  /// Append a counter sample (ph "C"). `ts_cycles` uses the same clock as
+  /// the span events; pid selects the counter's process (default: a
+  /// dedicated "host" process after the SM and DRAM ones).
+  void counter(const std::string& name, double ts_cycles, double value);
+
+  /// Number of recorded events (metadata events excluded).
+  [[nodiscard]] std::size_t event_count() const { return events_.size(); }
+  [[nodiscard]] std::uint64_t total_cycles() const { return total_cycles_; }
+
+  /// Write the trace as a Trace Event JSON object. Events are sorted by
+  /// timestamp (ties: E before B) so `ts` is monotone in the output.
+  void write(std::ostream& os) const;
+  [[nodiscard]] std::string str() const;
+
+ private:
+  struct Event {
+    char ph = 'B';           // B / E / C
+    double ts = 0.0;         // cycles; converted on write
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+    std::uint16_t name_id = 0;  // index into names_
+    double value = 0.0;         // counter value or args payload (bytes)
+    bool has_value = false;
+  };
+
+  void span(std::uint32_t pid, std::uint32_t tid, std::uint16_t name_id,
+            double start, double end, double value, bool has_value);
+  [[nodiscard]] std::uint16_t intern(const std::string& name);
+  [[nodiscard]] std::uint32_t warp_tid(std::uint32_t slot,
+                                       std::uint32_t warp) const;
+  [[nodiscard]] std::uint32_t slot_tid(std::uint32_t slot) const;
+
+  RunInfo info_{};
+  bool have_info_ = false;
+  std::uint64_t total_cycles_ = 0;
+  std::vector<std::string> names_;
+  std::vector<Event> events_;
+};
+
+}  // namespace telemetry

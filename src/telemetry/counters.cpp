@@ -1,0 +1,180 @@
+#include "telemetry/counters.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "telemetry/json.hpp"
+#include "vgpu/check.hpp"
+
+namespace telemetry {
+
+CounterSeries::CounterSeries(std::uint64_t bucket_cycles)
+    : bucket_cycles_(bucket_cycles) {
+  VGPU_EXPECTS_MSG(bucket_cycles_ > 0, "bucket width must be positive");
+}
+
+void CounterSeries::on_begin(const RunInfo& info) { info_ = info; }
+
+CounterBucket& CounterSeries::bucket_at(std::uint64_t cycle) {
+  const std::size_t idx = static_cast<std::size_t>(cycle / bucket_cycles_);
+  if (idx >= buckets_.size()) {
+    const std::size_t old = buckets_.size();
+    buckets_.resize(idx + 1);
+    for (std::size_t k = old; k < buckets_.size(); ++k) {
+      buckets_[k].start_cycle = k * bucket_cycles_;
+    }
+  }
+  return buckets_[idx];
+}
+
+template <typename Field>
+void CounterSeries::add_span(std::uint64_t start, std::uint64_t end,
+                             Field field) {
+  if (end <= start) return;
+  for (std::uint64_t b = start / bucket_cycles_; b * bucket_cycles_ < end; ++b) {
+    const std::uint64_t lo = std::max(start, b * bucket_cycles_);
+    const std::uint64_t hi = std::min(end, (b + 1) * bucket_cycles_);
+    field(bucket_at(lo)) += hi - lo;
+  }
+}
+
+void CounterSeries::on_block(const BlockSpan& s) {
+  // blocks contribute overlap-cycles x resident warps (occupancy integral)
+  if (s.end <= s.start) return;
+  for (std::uint64_t b = s.start / bucket_cycles_; b * bucket_cycles_ < s.end;
+       ++b) {
+    const std::uint64_t lo = std::max(s.start, b * bucket_cycles_);
+    const std::uint64_t hi = std::min(s.end, (b + 1) * bucket_cycles_);
+    bucket_at(lo).resident_warp_cycles += (hi - lo) * s.warps;
+  }
+}
+
+void CounterSeries::on_issue(const IssueSpan& s) {
+  bucket_at(s.start).instructions += 1;
+  add_span(s.start, s.end,
+           [](CounterBucket& b) -> std::uint64_t& { return b.issue_cycles; });
+}
+
+void CounterSeries::on_stall(const StallSpan& s) {
+  add_span(s.start, s.end,
+           [](CounterBucket& b) -> std::uint64_t& { return b.stall_cycles; });
+}
+
+void CounterSeries::on_barrier_wait(const BarrierWait& s) {
+  add_span(s.arrive, s.release, [](CounterBucket& b) -> std::uint64_t& {
+    return b.barrier_wait_cycles;
+  });
+}
+
+void CounterSeries::on_dram(const DramSpan& s) {
+  if (!(s.end > s.start)) return;
+  const double total = s.end - s.start;
+  for (std::uint64_t b = static_cast<std::uint64_t>(s.start) / bucket_cycles_;
+       static_cast<double>(b * bucket_cycles_) < s.end; ++b) {
+    const double lo = std::max(s.start, static_cast<double>(b * bucket_cycles_));
+    const double hi =
+        std::min(s.end, static_cast<double>((b + 1) * bucket_cycles_));
+    if (hi <= lo) continue;
+    CounterBucket& bk = bucket_at(static_cast<std::uint64_t>(lo));
+    bk.dram_busy_cycles += hi - lo;
+    bk.dram_bytes += static_cast<double>(s.bytes) * (hi - lo) / total;
+  }
+}
+
+void CounterSeries::on_global_request(const GlobalRequest& r) {
+  CounterBucket& b = bucket_at(r.cycle);
+  b.global_requests += 1;
+  if (r.coalesced) b.coalesced_requests += 1;
+  b.global_transactions += r.transactions;
+  b.global_bytes += r.bytes;
+}
+
+void CounterSeries::on_end(std::uint64_t cycles) {
+  total_cycles_ = cycles;
+  // make the series dense up to the end of the run
+  if (cycles > 0) (void)bucket_at(cycles - 1);
+}
+
+std::uint64_t CounterSeries::width(std::size_t i) const {
+  const std::uint64_t start = buckets_[i].start_cycle;
+  const std::uint64_t end =
+      total_cycles_ > 0 ? std::min(total_cycles_, start + bucket_cycles_)
+                        : start + bucket_cycles_;
+  return end > start ? end - start : bucket_cycles_;
+}
+
+double CounterSeries::ipc(std::size_t i) const {
+  const double sm_cycles = static_cast<double>(width(i)) *
+                           std::max(1u, info_.n_sms);
+  return static_cast<double>(buckets_[i].instructions) / sm_cycles;
+}
+
+double CounterSeries::occupancy(std::size_t i) const {
+  const double cap = static_cast<double>(width(i)) *
+                     std::max(1u, info_.n_sms) *
+                     std::max(1u, info_.max_warps_per_sm);
+  return static_cast<double>(buckets_[i].resident_warp_cycles) / cap;
+}
+
+double CounterSeries::coalesced_fraction(std::size_t i) const {
+  const CounterBucket& b = buckets_[i];
+  if (b.global_requests == 0) return 0.0;
+  return static_cast<double>(b.coalesced_requests) /
+         static_cast<double>(b.global_requests);
+}
+
+double CounterSeries::achieved_gbps(std::size_t i) const {
+  const double bytes_per_cycle =
+      static_cast<double>(buckets_[i].global_bytes) /
+      static_cast<double>(width(i));
+  return bytes_per_cycle * static_cast<double>(info_.core_clock_khz) * 1000.0 /
+         1e9;
+}
+
+double CounterSeries::stall_fraction(std::size_t i) const {
+  const double sm_cycles = static_cast<double>(width(i)) *
+                           std::max(1u, info_.n_sms);
+  return static_cast<double>(buckets_[i].stall_cycles) / sm_cycles;
+}
+
+void CounterSeries::write_json(std::ostream& os) const {
+  JsonValue root = JsonValue::object();
+  root["schema"] = "vgpu-counter-series";
+  root["bucket_cycles"] = bucket_cycles_;
+  root["total_cycles"] = total_cycles_;
+  JsonValue& run = root["run"];
+  run["sim_sms"] = info_.n_sms;
+  run["warps_per_block"] = info_.warps_per_block;
+  run["max_warps_per_sm"] = info_.max_warps_per_sm;
+  run["dram_partitions"] = info_.dram_partitions;
+  run["core_clock_khz"] = info_.core_clock_khz;
+  run["blocks_per_sm"] = info_.blocks_per_sm;
+  JsonValue& arr = root["buckets"];
+  arr = JsonValue::array();
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const CounterBucket& b = buckets_[i];
+    JsonValue v = JsonValue::object();
+    v["start_cycle"] = b.start_cycle;
+    v["instructions"] = b.instructions;
+    v["issue_cycles"] = b.issue_cycles;
+    v["stall_cycles"] = b.stall_cycles;
+    v["resident_warp_cycles"] = b.resident_warp_cycles;
+    v["barrier_wait_cycles"] = b.barrier_wait_cycles;
+    v["global_requests"] = b.global_requests;
+    v["coalesced_requests"] = b.coalesced_requests;
+    v["global_transactions"] = b.global_transactions;
+    v["global_bytes"] = b.global_bytes;
+    v["dram_busy_cycles"] = b.dram_busy_cycles;
+    v["dram_bytes"] = b.dram_bytes;
+    v["ipc"] = ipc(i);
+    v["occupancy"] = occupancy(i);
+    v["coalesced_fraction"] = coalesced_fraction(i);
+    v["achieved_gbps"] = achieved_gbps(i);
+    v["stall_fraction"] = stall_fraction(i);
+    arr.push_back(std::move(v));
+  }
+  root.write(os, 1);
+  os << "\n";
+}
+
+}  // namespace telemetry

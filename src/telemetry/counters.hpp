@@ -1,0 +1,93 @@
+// counters.hpp - cycle-bucketed counter series over a timing-model run.
+//
+// A CounterSeries divides the simulated timeline into fixed-width cycle
+// buckets and attributes every timeline event to the buckets it overlaps,
+// so phase behaviour (the tile-load vs. inner-loop alternation of the
+// far-field kernel, the coalesced front half of a strided sweep, ...) is
+// visible instead of averaged away in the end-of-run LaunchStats.
+//
+// Accounting is exact, not sampled: spans are split across bucket
+// boundaries with integer arithmetic, so for any run the per-bucket sums
+// reconcile with the aggregate LaunchStats of the same launch
+//   sum(instructions)        == stats.warp_instructions
+//   sum(issue_cycles)        == stats.sm_issue_cycles
+//   sum(stall_cycles)        == stats.sm_idle_cycles
+//   sum(global_requests)     == stats.global_requests
+//   sum(coalesced_requests)  == stats.coalesced_requests
+//   sum(global_bytes)        == stats.global_bytes   (global-memory traffic;
+//                               local/texture refills appear in dram_bytes)
+// (tests/telemetry/counters_test.cpp enforces this).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "vgpu/timeline.hpp"
+
+namespace telemetry {
+
+struct CounterBucket {
+  std::uint64_t start_cycle = 0;
+  std::uint64_t instructions = 0;      ///< warp instructions issued
+  std::uint64_t issue_cycles = 0;      ///< SM issue-port busy cycles
+  std::uint64_t stall_cycles = 0;      ///< SM no-issue cycles
+  std::uint64_t resident_warp_cycles = 0;  ///< occupancy integral
+  std::uint64_t barrier_wait_cycles = 0;
+  std::uint64_t global_requests = 0;   ///< half-warp requests
+  std::uint64_t coalesced_requests = 0;
+  std::uint64_t global_transactions = 0;
+  std::uint64_t global_bytes = 0;      ///< transaction bytes (global space)
+  double dram_busy_cycles = 0.0;       ///< channel occupancy (all spaces)
+  double dram_bytes = 0.0;             ///< channel bytes (all spaces)
+};
+
+class CounterSeries : public vgpu::TimelineSink {
+ public:
+  /// `bucket_cycles` is the series resolution (e.g. 2048 for kernels of a
+  /// few hundred k cycles).
+  explicit CounterSeries(std::uint64_t bucket_cycles);
+
+  // vgpu::TimelineSink
+  void on_begin(const RunInfo& info) override;
+  void on_block(const BlockSpan& s) override;
+  void on_issue(const IssueSpan& s) override;
+  void on_stall(const StallSpan& s) override;
+  void on_barrier_wait(const BarrierWait& s) override;
+  void on_dram(const DramSpan& s) override;
+  void on_global_request(const GlobalRequest& r) override;
+  void on_end(std::uint64_t cycles) override;
+
+  [[nodiscard]] std::uint64_t bucket_cycles() const { return bucket_cycles_; }
+  [[nodiscard]] const std::vector<CounterBucket>& buckets() const {
+    return buckets_;
+  }
+  [[nodiscard]] const RunInfo& run_info() const { return info_; }
+  [[nodiscard]] std::uint64_t total_cycles() const { return total_cycles_; }
+
+  // Derived per-bucket metrics (bucket index i). The last bucket is
+  // normalized by its actual width.
+  [[nodiscard]] double ipc(std::size_t i) const;         ///< per SM
+  [[nodiscard]] double occupancy(std::size_t i) const;   ///< resident/max warps
+  [[nodiscard]] double coalesced_fraction(std::size_t i) const;
+  [[nodiscard]] double achieved_gbps(std::size_t i) const;
+  [[nodiscard]] double stall_fraction(std::size_t i) const;
+
+  /// Machine-readable export: {"bucket_cycles", "total_cycles", "run",
+  /// "buckets": [{raw counters + derived metrics}]}.
+  void write_json(std::ostream& os) const;
+
+ private:
+  [[nodiscard]] CounterBucket& bucket_at(std::uint64_t cycle);
+  /// Width of bucket i clipped to the run end (cycles).
+  [[nodiscard]] std::uint64_t width(std::size_t i) const;
+  template <typename Field>
+  void add_span(std::uint64_t start, std::uint64_t end, Field field);
+
+  std::uint64_t bucket_cycles_;
+  std::uint64_t total_cycles_ = 0;
+  RunInfo info_{};
+  std::vector<CounterBucket> buckets_;
+};
+
+}  // namespace telemetry

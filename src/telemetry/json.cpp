@@ -1,0 +1,344 @@
+#include "telemetry/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace telemetry {
+
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+namespace {
+
+void write_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";  // JSON has no inf/nan; null is the conventional fallback
+    return;
+  }
+  // Integers (the common case: cycles, counts) print exactly; everything
+  // else gets enough digits to round-trip.
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    os << buf;
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+  }
+}
+
+void put_indent(std::ostream& os, int indent, int depth) {
+  os << '\n';
+  for (int k = 0; k < indent * depth; ++k) os << ' ';
+}
+
+}  // namespace
+
+JsonValue& JsonValue::operator[](std::string_view key) {
+  kind_ = Kind::kObject;
+  for (auto& [k, v] : fields_) {
+    if (k == key) return v;
+  }
+  fields_.emplace_back(std::string(key), JsonValue());
+  return fields_.back().second;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [k, v] : fields_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void JsonValue::write_impl(std::ostream& os, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull: os << "null"; break;
+    case Kind::kBool: os << (bool_ ? "true" : "false"); break;
+    case Kind::kNumber: write_number(os, num_); break;
+    case Kind::kString: write_json_string(os, str_); break;
+    case Kind::kArray: {
+      os << '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) os << ',';
+        if (indent >= 0) put_indent(os, indent, depth + 1);
+        items_[i].write_impl(os, indent, depth + 1);
+      }
+      if (indent >= 0 && !items_.empty()) put_indent(os, indent, depth);
+      os << ']';
+      break;
+    }
+    case Kind::kObject: {
+      os << '{';
+      for (std::size_t i = 0; i < fields_.size(); ++i) {
+        if (i > 0) os << ',';
+        if (indent >= 0) put_indent(os, indent, depth + 1);
+        write_json_string(os, fields_[i].first);
+        os << (indent >= 0 ? ": " : ":");
+        fields_[i].second.write_impl(os, indent, depth + 1);
+      }
+      if (indent >= 0 && !fields_.empty()) put_indent(os, indent, depth);
+      os << '}';
+      break;
+    }
+  }
+}
+
+void JsonValue::write(std::ostream& os, int indent) const {
+  write_impl(os, indent, 0);
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::ostringstream os;
+  write(os, indent);
+  return std::move(os).str();
+}
+
+bool JsonValue::operator==(const JsonValue& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kNull: return true;
+    case Kind::kBool: return bool_ == other.bool_;
+    case Kind::kNumber: return num_ == other.num_;
+    case Kind::kString: return str_ == other.str_;
+    case Kind::kArray: return items_ == other.items_;
+    case Kind::kObject: return fields_ == other.fields_;
+  }
+  return false;
+}
+
+// ---- parser ----
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  [[nodiscard]] bool eat(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) == lit) {
+      pos += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  [[nodiscard]] std::uint32_t hex4() {
+    std::uint32_t v = 0;
+    for (int k = 0; k < 4; ++k) {
+      if (pos >= text.size()) {
+        ok = false;
+        return 0;
+      }
+      const char c = text[pos++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else {
+        ok = false;
+        return 0;
+      }
+    }
+    return v;
+  }
+
+  std::string parse_string_body() {
+    std::string out;
+    while (ok && pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) break;  // raw control char
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos >= text.size()) break;
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp = hex4();
+          if (!ok) return out;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate
+            if (!literal("\\u")) {
+              ok = false;
+              return out;
+            }
+            const std::uint32_t lo = hex4();
+            if (!ok || lo < 0xDC00 || lo > 0xDFFF) {
+              ok = false;
+              return out;
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: ok = false; return out;
+      }
+    }
+    ok = false;
+    return out;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > 200) {  // defend against pathological nesting
+      ok = false;
+      return {};
+    }
+    skip_ws();
+    if (pos >= text.size()) {
+      ok = false;
+      return {};
+    }
+    const char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      JsonValue obj = JsonValue::object();
+      skip_ws();
+      if (eat('}')) return obj;
+      while (ok) {
+        skip_ws();
+        if (!eat('"')) {
+          ok = false;
+          break;
+        }
+        std::string key = parse_string_body();
+        if (!ok) break;
+        skip_ws();
+        if (!eat(':')) {
+          ok = false;
+          break;
+        }
+        obj[key] = parse_value(depth + 1);
+        if (!ok) break;
+        skip_ws();
+        if (eat(',')) continue;
+        if (eat('}')) return obj;
+        ok = false;
+      }
+      return obj;
+    }
+    if (c == '[') {
+      ++pos;
+      JsonValue arr = JsonValue::array();
+      skip_ws();
+      if (eat(']')) return arr;
+      while (ok) {
+        arr.push_back(parse_value(depth + 1));
+        if (!ok) break;
+        skip_ws();
+        if (eat(',')) continue;
+        if (eat(']')) return arr;
+        ok = false;
+      }
+      return arr;
+    }
+    if (c == '"') {
+      ++pos;
+      std::string s = parse_string_body();
+      return ok ? JsonValue(std::move(s)) : JsonValue();
+    }
+    if (literal("true")) return JsonValue(true);
+    if (literal("false")) return JsonValue(false);
+    if (literal("null")) return JsonValue();
+    // number
+    const std::size_t start = pos;
+    if (eat('-')) {}
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-')) {
+      ++pos;
+    }
+    if (pos == start) {
+      ok = false;
+      return {};
+    }
+    const std::string num(text.substr(start, pos - start));
+    char* end = nullptr;
+    const double v = std::strtod(num.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      ok = false;
+      return {};
+    }
+    return JsonValue(v);
+  }
+};
+
+}  // namespace
+
+std::optional<JsonValue> JsonValue::parse(std::string_view text) {
+  Parser p{text};
+  JsonValue v = p.parse_value(0);
+  p.skip_ws();
+  if (!p.ok || p.pos != text.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace telemetry

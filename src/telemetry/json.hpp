@@ -1,0 +1,100 @@
+// json.hpp - minimal dependency-free JSON document model.
+//
+// The telemetry subsystem's single serialization substrate: a small value
+// tree (null / bool / number / string / array / object) with an escaping
+// writer and a strict recursive-descent parser. The parser exists so tests
+// and the bench-smoke ctest step can validate emitted files without an
+// external JSON dependency; it is not a general-purpose high-performance
+// parser and keeps object member order (insertion order) for deterministic
+// round trips.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace telemetry {
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}            // NOLINT
+  JsonValue(double v) : kind_(Kind::kNumber), num_(v) {}         // NOLINT
+  JsonValue(int v) : JsonValue(static_cast<double>(v)) {}        // NOLINT
+  JsonValue(unsigned v) : JsonValue(static_cast<double>(v)) {}   // NOLINT
+  JsonValue(std::int64_t v) : JsonValue(static_cast<double>(v)) {}   // NOLINT
+  JsonValue(std::uint64_t v) : JsonValue(static_cast<double>(v)) {}  // NOLINT
+  JsonValue(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}  // NOLINT
+  JsonValue(const char* s) : kind_(Kind::kString), str_(s) {}    // NOLINT
+
+  [[nodiscard]] static JsonValue array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  [[nodiscard]] static JsonValue object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return num_; }
+  [[nodiscard]] const std::string& as_string() const { return str_; }
+
+  /// Array access.
+  void push_back(JsonValue v) { items_.push_back(std::move(v)); }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] const JsonValue& at(std::size_t i) const { return items_[i]; }
+  [[nodiscard]] const std::vector<JsonValue>& items() const { return items_; }
+
+  /// Object access: operator[] inserts on miss (builder style), find() does
+  /// not (reader style; returns null when absent).
+  JsonValue& operator[](std::string_view key);
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members()
+      const {
+    return fields_;
+  }
+
+  /// Serialize. indent < 0 -> compact single line; >= 0 -> pretty-printed
+  /// with that many spaces per level.
+  void write(std::ostream& os, int indent = -1) const;
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Strict parse of a complete document; nullopt on any syntax error or
+  /// trailing garbage.
+  [[nodiscard]] static std::optional<JsonValue> parse(std::string_view text);
+
+  [[nodiscard]] bool operator==(const JsonValue& other) const;
+
+ private:
+  void write_impl(std::ostream& os, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> items_;                         // kArray
+  std::vector<std::pair<std::string, JsonValue>> fields_;  // kObject
+};
+
+/// Write `s` as a JSON string literal (quotes included) with all mandatory
+/// escapes (quote, backslash, control characters).
+void write_json_string(std::ostream& os, std::string_view s);
+
+}  // namespace telemetry

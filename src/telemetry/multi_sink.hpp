@@ -1,0 +1,54 @@
+// multi_sink.hpp - fan one timing run out to several TimelineSinks.
+//
+// TimingOptions carries a single sink pointer; a MultiSink lets a consumer
+// attach e.g. a ChromeTraceSink and a CounterSeries to the same run. Events
+// are forwarded in registration order; like every sink, forwarding must not
+// (and cannot) change the simulated cycle count.
+#pragma once
+
+#include <vector>
+
+#include "vgpu/timeline.hpp"
+
+namespace telemetry {
+
+class MultiSink final : public vgpu::TimelineSink {
+ public:
+  MultiSink() = default;
+  explicit MultiSink(std::vector<vgpu::TimelineSink*> sinks)
+      : sinks_(std::move(sinks)) {}
+
+  void add(vgpu::TimelineSink* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+
+  void on_begin(const RunInfo& info) override {
+    for (auto* s : sinks_) s->on_begin(info);
+  }
+  void on_block(const BlockSpan& span) override {
+    for (auto* s : sinks_) s->on_block(span);
+  }
+  void on_issue(const IssueSpan& span) override {
+    for (auto* s : sinks_) s->on_issue(span);
+  }
+  void on_stall(const StallSpan& span) override {
+    for (auto* s : sinks_) s->on_stall(span);
+  }
+  void on_barrier_wait(const BarrierWait& wait) override {
+    for (auto* s : sinks_) s->on_barrier_wait(wait);
+  }
+  void on_dram(const DramSpan& span) override {
+    for (auto* s : sinks_) s->on_dram(span);
+  }
+  void on_global_request(const GlobalRequest& req) override {
+    for (auto* s : sinks_) s->on_global_request(req);
+  }
+  void on_end(std::uint64_t cycles) override {
+    for (auto* s : sinks_) s->on_end(cycles);
+  }
+
+ private:
+  std::vector<vgpu::TimelineSink*> sinks_;
+};
+
+}  // namespace telemetry

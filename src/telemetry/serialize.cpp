@@ -1,0 +1,70 @@
+#include "telemetry/serialize.hpp"
+
+namespace telemetry {
+
+JsonValue to_json(const vgpu::LaunchStats& s) {
+  JsonValue v = JsonValue::object();
+  v["cycles"] = s.cycles;
+  v["occupancy"] = s.occupancy;
+  v["blocks_per_sm"] = s.blocks_per_sm;
+  v["warp_instructions"] = s.warp_instructions;
+  JsonValue& regions = v["region_instructions"];
+  regions["setup"] = s.region(vgpu::Region::kSetup);
+  regions["block_fetch"] = s.region(vgpu::Region::kBlockFetch);
+  regions["inner"] = s.region(vgpu::Region::kInner);
+  regions["other"] = s.region(vgpu::Region::kOther);
+  JsonValue& mix = v["instr_class_counts"];
+  for (std::size_t c = 0; c < s.instr_class_counts.size(); ++c) {
+    mix[vgpu::to_string(static_cast<vgpu::InstrClass>(c))] =
+        s.instr_class_counts[c];
+  }
+  v["divergent_branches"] = s.divergent_branches;
+  v["sm_idle_cycles"] = s.sm_idle_cycles;
+  v["sm_issue_cycles"] = s.sm_issue_cycles;
+  v["global_requests"] = s.global_requests;
+  v["global_transactions"] = s.global_transactions;
+  v["global_bytes"] = s.global_bytes;
+  v["coalesced_requests"] = s.coalesced_requests;
+  v["uncoalesced_requests"] = s.uncoalesced_requests;
+  v["shared_requests"] = s.shared_requests;
+  v["shared_conflict_extra"] = s.shared_conflict_extra;
+  v["local_requests"] = s.local_requests;
+  v["const_requests"] = s.const_requests;
+  v["tex_requests"] = s.tex_requests;
+  v["tex_hits"] = s.tex_hits;
+  v["tex_misses"] = s.tex_misses;
+  v["barriers"] = s.barriers;
+  v["blocks_total"] = s.blocks_total;
+  v["blocks_simulated"] = s.blocks_simulated;
+  v["extrapolation_factor"] = s.extrapolation_factor;
+  return v;
+}
+
+JsonValue to_json(const vgpu::OccupancyResult& o) {
+  JsonValue v = JsonValue::object();
+  v["blocks_per_sm"] = o.blocks_per_sm;
+  v["warps_per_sm"] = o.warps_per_sm;
+  v["threads_per_sm"] = o.threads_per_sm;
+  v["occupancy"] = o.occupancy;
+  v["limiter"] = vgpu::to_string(o.limiter);
+  return v;
+}
+
+JsonValue to_json(const vgpu::KernelProfile& p) {
+  JsonValue v = JsonValue::object();
+  v["kernel"] = p.kernel_name;
+  v["regs_per_thread"] = p.regs_per_thread;
+  v["shared_bytes"] = p.shared_bytes;
+  v["block_threads"] = p.block_threads;
+  v["limiter"] = vgpu::to_string(p.limiter);
+  v["ipc"] = p.ipc;
+  v["issue_utilization"] = p.issue_utilization;
+  v["coalesced_fraction"] = p.coalesced_fraction;
+  v["achieved_gbps"] = p.achieved_gbps;
+  v["avg_txn_per_request"] = p.avg_txn_per_request;
+  v["divergence_rate"] = p.divergence_rate;
+  v["stats"] = to_json(p.stats);
+  return v;
+}
+
+}  // namespace telemetry

@@ -1,0 +1,20 @@
+// serialize.hpp - JSON serializers for the vgpu result structs.
+//
+// One canonical machine-readable shape per struct, shared by the bench
+// --json exports, kernel_profiler --json and any future regression
+// tooling, so schema drift is caught in one place
+// (tests/telemetry/json_test.cpp + the bench-smoke ctest step).
+#pragma once
+
+#include "telemetry/json.hpp"
+#include "vgpu/launch.hpp"
+#include "vgpu/occupancy.hpp"
+#include "vgpu/profiler.hpp"
+
+namespace telemetry {
+
+[[nodiscard]] JsonValue to_json(const vgpu::LaunchStats& s);
+[[nodiscard]] JsonValue to_json(const vgpu::OccupancyResult& o);
+[[nodiscard]] JsonValue to_json(const vgpu::KernelProfile& p);
+
+}  // namespace telemetry

@@ -98,6 +98,12 @@ std::string format_profile(const KernelProfile& p, const DeviceSpec& spec) {
   line("shared memory  : %llu requests, %llu conflict serializations",
        static_cast<unsigned long long>(s.shared_requests),
        static_cast<unsigned long long>(s.shared_conflict_extra));
+  line("other memory   : %llu local (spill), %llu const, %llu tex (%llu hit / %llu miss)",
+       static_cast<unsigned long long>(s.local_requests),
+       static_cast<unsigned long long>(s.const_requests),
+       static_cast<unsigned long long>(s.tex_requests),
+       static_cast<unsigned long long>(s.tex_hits),
+       static_cast<unsigned long long>(s.tex_misses));
   line("control        : %llu barriers, %llu divergent branches (%.2f%% of control)",
        static_cast<unsigned long long>(s.barriers),
        static_cast<unsigned long long>(s.divergent_branches),

@@ -1,0 +1,89 @@
+// timeline.hpp - observation interface of the timing executor.
+//
+// A TimelineSink receives the events the cycle model already computes while
+// it runs: block residency intervals, per-instruction issue spans, SM stall
+// windows, barrier waits, DRAM-partition busy windows and per-request
+// coalescing outcomes. Sinks are pure observers - attaching one must never
+// change the simulated cycle count (tests/telemetry enforces this), so the
+// executor only *reads* state when emitting and every emission is guarded
+// by a null check on the sink pointer.
+//
+// Concrete sinks live in src/telemetry/ (Chrome-trace export, cycle-bucketed
+// counter series); this header stays dependency-free so vgpu does not link
+// against telemetry.
+#pragma once
+
+#include <cstdint>
+
+#include "vgpu/launch.hpp"
+
+namespace vgpu {
+
+class TimelineSink {
+ public:
+  virtual ~TimelineSink() = default;
+
+  /// Static facts of the run, emitted once before the first event.
+  struct RunInfo {
+    std::uint32_t n_sms = 0;            ///< SMs actually simulated
+    std::uint32_t warps_per_block = 0;
+    std::uint32_t max_warps_per_sm = 0;
+    std::uint32_t dram_partitions = 0;
+    std::uint32_t core_clock_khz = 0;
+    std::uint32_t blocks_per_sm = 0;    ///< resident block slots per SM
+  };
+
+  /// A block's residency on an SM slot, from dispatch to retirement.
+  struct BlockSpan {
+    std::uint32_t sm = 0, slot = 0, block_id = 0, warps = 0;
+    std::uint64_t start = 0, end = 0;
+  };
+
+  /// One warp instruction occupying the SM issue port.
+  struct IssueSpan {
+    std::uint32_t sm = 0, slot = 0, warp = 0;
+    InstrClass cls = InstrClass::kOther;
+    std::uint64_t start = 0, end = 0;
+  };
+
+  /// A window in which the SM had resident work but nothing issueable
+  /// (scoreboard stalls / memory waits) - the source of sm_idle_cycles.
+  struct StallSpan {
+    std::uint32_t sm = 0;
+    std::uint64_t start = 0, end = 0;
+  };
+
+  /// One warp waiting at a block barrier, from its arrival to the release.
+  struct BarrierWait {
+    std::uint32_t sm = 0, slot = 0, warp = 0;
+    std::uint64_t arrive = 0, release = 0;
+  };
+
+  /// A DRAM partition serving one row-segment / line transfer.
+  struct DramSpan {
+    std::uint32_t partition = 0;
+    std::uint32_t bytes = 0;
+    double start = 0.0, end = 0.0;  ///< fractional cycles
+  };
+
+  /// One half-warp global-memory request after coalescing.
+  struct GlobalRequest {
+    std::uint32_t sm = 0;
+    std::uint64_t cycle = 0;
+    bool coalesced = false;
+    std::uint32_t transactions = 0;
+    std::uint32_t bytes = 0;  ///< DRAM-bus bytes of the request's transactions
+  };
+
+  virtual void on_begin(const RunInfo&) {}
+  virtual void on_block(const BlockSpan&) {}
+  virtual void on_issue(const IssueSpan&) {}
+  virtual void on_stall(const StallSpan&) {}
+  virtual void on_barrier_wait(const BarrierWait&) {}
+  virtual void on_dram(const DramSpan&) {}
+  virtual void on_global_request(const GlobalRequest&) {}
+  /// Emitted once after the run with the final (unextrapolated) cycle count.
+  virtual void on_end(std::uint64_t /*cycles*/) {}
+};
+
+}  // namespace vgpu

@@ -13,6 +13,7 @@
 #include "vgpu/executor.hpp"
 #include "vgpu/interp.hpp"
 #include "vgpu/occupancy.hpp"
+#include "vgpu/timeline.hpp"
 
 namespace vgpu {
 
@@ -34,6 +35,10 @@ struct ResidentBlock {
   /// it replaces has completed.
   std::vector<std::uint64_t> load_ring;
   std::vector<std::uint32_t> load_ring_pos;  ///< per warp
+  // Timeline bookkeeping (only consumed when a sink is attached).
+  std::uint32_t block_id = 0;
+  std::uint64_t start_cycle = 0;
+  std::vector<std::uint64_t> barrier_arrive;  ///< per warp, sink runs only
 };
 
 struct Sm {
@@ -84,6 +89,17 @@ LaunchStats run_timed(const Program& prog, const DeviceSpec& spec,
 
   const std::uint32_t warps_per_block = cfg.block_threads / spec.warp_size;
   const std::uint32_t mshr = std::max(1u, t.max_outstanding_loads(opt.driver));
+  TimelineSink* const sink = opt.sink;
+  if (sink != nullptr) {
+    TimelineSink::RunInfo info;
+    info.n_sms = n_sms;
+    info.warps_per_block = warps_per_block;
+    info.max_warps_per_sm = spec.max_warps_per_sm();
+    info.dram_partitions = t.dram_partitions;
+    info.core_clock_khz = spec.core_clock_khz;
+    info.blocks_per_sm = occ.blocks_per_sm;
+    sink->on_begin(info);
+  }
   std::vector<Sm> sms(n_sms);
   // Per-partition busy-until times (fractional cycles); each partition
   // serves 1/partitions of the device bandwidth.
@@ -95,16 +111,23 @@ LaunchStats run_timed(const Program& prog, const DeviceSpec& spec,
   auto dispatch = [&](Sm& sm, std::size_t slot, std::uint32_t sm_id,
                       std::uint64_t when) {
     ResidentBlock& rb = sm.slots[slot];
+    if (sink != nullptr && rb.exec) {
+      sink->on_block({sm_id, static_cast<std::uint32_t>(slot), rb.block_id,
+                      warps_per_block, rb.start_cycle, when});
+    }
     if (next_block >= blocks_to_sim) {
       rb.exec.reset();
       return;
     }
     BlockParams bp{next_block++, cfg, params, sm_id, opt.cmem};
+    rb.block_id = bp.block_id;
+    rb.start_cycle = when;
     rb.exec = std::make_unique<BlockExec>(prog, spec, gmem, bp);
     rb.reg_ready.assign(static_cast<std::size_t>(prog.reg_file_size) * warps_per_block, 0);
     rb.pred_ready.assign(static_cast<std::size_t>(prog.num_preds) * warps_per_block, 0);
     rb.load_ring.assign(static_cast<std::size_t>(mshr) * warps_per_block, 0);
     rb.load_ring_pos.assign(warps_per_block, 0);
+    if (sink != nullptr) rb.barrier_arrive.assign(warps_per_block, 0);
     for (std::uint32_t w = 0; w < warps_per_block; ++w) {
       rb.exec->warp(w).ready_cycle = when + t.block_start_cycles;
     }
@@ -175,6 +198,10 @@ LaunchStats run_timed(const Program& prog, const DeviceSpec& spec,
           WarpState& ws = exec->warp(w);
           if (!ws.done) {
             ws.ready_cycle = std::max(ws.ready_cycle, sm.cycle + t.barrier_cycles);
+            if (sink != nullptr) {
+              sink->on_barrier_wait({sm_id, static_cast<std::uint32_t>(slot), w,
+                                     sm.slots[slot].barrier_arrive[w], sm.cycle});
+            }
           }
         }
       }
@@ -205,6 +232,7 @@ LaunchStats run_timed(const Program& prog, const DeviceSpec& spec,
       VGPU_EXPECTS_MSG(next_event != kNever,
                        "timing executor stalled (barrier deadlock?)");
       stats.sm_idle_cycles += next_event - sm.cycle;
+      if (sink != nullptr) sink->on_stall({sm_id, sm.cycle, next_event});
       sm.cycle = next_event;
       return;
     }
@@ -272,9 +300,17 @@ LaunchStats run_timed(const Program& prog, const DeviceSpec& spec,
           const double txn_overhead =
               t.dram_txn_overhead_cycles(opt.driver) *
               static_cast<double>(scratch.transactions.size());
+          std::uint32_t req_bytes = 0;
           for (const Transaction& txn : scratch.transactions) {
             ++stats.global_transactions;
             stats.global_bytes += txn.bytes;
+            req_bytes += txn.bytes;
+          }
+          if (sink != nullptr) {
+            sink->on_global_request(
+                {sm_id, sm.cycle, scratch.coalesced,
+                 static_cast<std::uint32_t>(scratch.transactions.size()),
+                 req_bytes});
           }
           // DRAM stage: the controller merges accesses that hit the same
           // 128-byte row segment (row-buffer locality), so channel occupancy
@@ -312,6 +348,10 @@ LaunchStats run_timed(const Program& prog, const DeviceSpec& spec,
                 txn_overhead / static_cast<double>(nsegs) +
                 static_cast<double>(seg_bytes[s]) * channel_cycles_per_byte;
             channel[p] = start + service;
+            if (sink != nullptr) {
+              sink->on_dram({static_cast<std::uint32_t>(p), seg_bytes[s], start,
+                             start + service});
+            }
             completion = std::max(
                 completion, static_cast<std::uint64_t>(start + service) + 1);
           }
@@ -351,6 +391,10 @@ LaunchStats run_timed(const Program& prog, const DeviceSpec& spec,
           const double service = 64.0 * channel_cycles_per_byte;
           channel[p] = start + service;
           stats.global_bytes += 64;
+          if (sink != nullptr) {
+            sink->on_dram(
+                {static_cast<std::uint32_t>(p), 64, start, start + service});
+          }
           completion = std::max(completion,
                                 static_cast<std::uint64_t>(start + service) + 1);
         }
@@ -414,6 +458,10 @@ LaunchStats run_timed(const Program& prog, const DeviceSpec& spec,
                 static_cast<double>(t.tex_line_bytes) * channel_cycles_per_byte;
             channel[p] = start + service;
             stats.global_bytes += t.tex_line_bytes;
+            if (sink != nullptr) {
+              sink->on_dram({static_cast<std::uint32_t>(p), t.tex_line_bytes,
+                             start, start + service});
+            }
             completion = std::max(completion,
                                   static_cast<std::uint64_t>(start + service) +
                                       t.global_latency_cycles);
@@ -428,6 +476,7 @@ LaunchStats run_timed(const Program& prog, const DeviceSpec& spec,
         ++stats.barriers;
         sm.cycle += t.alu_issue_cycles;
         ws.ready_cycle = sm.cycle;
+        if (sink != nullptr) rb.barrier_arrive[w] = sm.cycle;
         break;
       case StepResult::Kind::kExit:
         sm.cycle += t.alu_issue_cycles;
@@ -438,6 +487,10 @@ LaunchStats run_timed(const Program& prog, const DeviceSpec& spec,
         break;
     }
     stats.sm_issue_cycles += sm.cycle - issue_start;
+    if (sink != nullptr) {
+      sink->on_issue({sm_id, static_cast<std::uint32_t>(slot), w,
+                      instr_class(res.op), issue_start, sm.cycle});
+    }
   };
 
   // Main loop: always advance the SM with the smallest local clock so the
@@ -467,6 +520,7 @@ LaunchStats run_timed(const Program& prog, const DeviceSpec& spec,
   std::uint64_t end_cycle = 0;
   for (const Sm& sm : sms) end_cycle = std::max(end_cycle, sm.cycle);
   stats.cycles = end_cycle;
+  if (sink != nullptr) sink->on_end(end_cycle);
   return stats;
 }
 

@@ -25,6 +25,8 @@
 
 namespace vgpu {
 
+class TimelineSink;  // timeline.hpp - optional observer of the run
+
 struct TimingOptions {
   DriverModel driver = DriverModel::kCuda10;
   /// Number of SMs to simulate (0 = all). When fewer than the device has,
@@ -35,6 +37,9 @@ struct TimingOptions {
   std::uint32_t max_blocks = 0;
   /// Constant-memory image to bind (null = kernel uses none).
   const ConstantMemory* cmem = nullptr;
+  /// Optional timeline observer (null = off). Observing is side-effect
+  /// free: the reported stats are bit-identical with and without a sink.
+  TimelineSink* sink = nullptr;
 };
 
 /// Run the grid under the timing model. The program must be

@@ -17,8 +17,10 @@ namespace vgpu {
 struct TraceOptions {
   /// Only trace this block (default: block 0).
   std::uint32_t block = 0;
-  /// Only trace this warp within the block (UINT32_MAX = all warps).
-  std::uint32_t warp = 0;
+  /// Only trace this warp within the block. 0xFFFFFFFF traces all warps of
+  /// the block, and is the default (matching the documented behaviour; set
+  /// a warp index to narrow the trace).
+  std::uint32_t warp = 0xFFFFFFFFu;
   /// Stop after this many trace lines (0 = unlimited).
   std::uint64_t max_lines = 2000;
   /// Constant-memory binding, as in FunctionalOptions.

@@ -1,0 +1,99 @@
+// Chrome-trace exporter tests: the emitted document must be valid JSON
+// with monotone timestamps and matched B/E pairs per track, cover every
+// simulated SM, and - the cardinal sink rule - attaching the sink must not
+// change the simulated cycle count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/json.hpp"
+#include "timed_run.hpp"
+
+namespace telemetry {
+namespace {
+
+TEST(ChromeTrace, AttachingSinkDoesNotChangeTiming) {
+  const vgpu::LaunchStats bare = test::run_read_kernel(nullptr);
+  ChromeTraceSink trace;
+  const vgpu::LaunchStats observed = test::run_read_kernel(&trace);
+  EXPECT_EQ(bare.cycles, observed.cycles);
+  EXPECT_EQ(bare.warp_instructions, observed.warp_instructions);
+  EXPECT_EQ(bare.global_requests, observed.global_requests);
+  EXPECT_EQ(bare.global_bytes, observed.global_bytes);
+  EXPECT_EQ(bare.sm_issue_cycles, observed.sm_issue_cycles);
+  EXPECT_EQ(bare.sm_idle_cycles, observed.sm_idle_cycles);
+  EXPECT_GT(trace.event_count(), 0u);
+  EXPECT_EQ(trace.total_cycles(), bare.cycles);
+}
+
+TEST(ChromeTrace, EmitsValidMonotoneMatchedTrace) {
+  ChromeTraceSink trace;
+  (void)test::run_read_kernel(&trace);
+
+  const auto doc = JsonValue::parse(trace.str());
+  ASSERT_TRUE(doc.has_value()) << "trace is not valid JSON";
+  ASSERT_TRUE(doc->is_object());
+  const JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_GT(events->size(), 0u);
+
+  double last_ts = -1.0;
+  // per-(pid, tid) open-span depth; spans on one track never nest, so the
+  // depth must alternate 0 -> 1 -> 0
+  std::map<std::pair<std::uint32_t, std::uint32_t>, int> depth;
+  std::set<std::uint32_t> span_pids;
+  for (const JsonValue& e : events->items()) {
+    ASSERT_TRUE(e.is_object());
+    const std::string& ph = e.find("ph")->as_string();
+    if (ph == "M") continue;  // metadata carries no ts
+    const double ts = e.find("ts")->as_number();
+    EXPECT_GE(ts, last_ts) << "timestamps must be sorted";
+    last_ts = ts;
+    const auto pid = static_cast<std::uint32_t>(e.find("pid")->as_number());
+    const auto tid = static_cast<std::uint32_t>(e.find("tid")->as_number());
+    int& d = depth[std::make_pair(pid, tid)];
+    if (ph == "B") {
+      span_pids.insert(pid);
+      EXPECT_EQ(++d, 1) << "nested span on one track";
+    } else if (ph == "E") {
+      EXPECT_EQ(--d, 0) << "E without matching B";
+    } else {
+      EXPECT_EQ(ph, "C");
+    }
+  }
+  for (const auto& [track, d] : depth) {
+    EXPECT_EQ(d, 0) << "unclosed span on pid " << track.first << " tid "
+                    << track.second;
+  }
+
+  // 4096 threads / 128 = 32 blocks cover all 16 G80 SMs; every SM process
+  // must carry at least one span (DRAM + host processes sit above n_sms).
+  for (std::uint32_t sm = 0; sm < 16; ++sm) {
+    EXPECT_TRUE(span_pids.count(sm) > 0) << "no events for SM " << sm;
+  }
+}
+
+TEST(ChromeTrace, HostCountersLandInTrace) {
+  ChromeTraceSink trace;
+  trace.counter("energy drift", 1.0, 0.25);
+  trace.counter("energy drift", 2.0, 0.50);
+  const auto doc = JsonValue::parse(trace.str());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::size_t counters = 0;
+  for (const JsonValue& e : events->items()) {
+    if (e.find("ph")->as_string() != "C") continue;
+    ++counters;
+    EXPECT_EQ(e.find("name")->as_string(), "energy drift");
+    ASSERT_NE(e.find("args"), nullptr);
+  }
+  EXPECT_EQ(counters, 2u);
+}
+
+}  // namespace
+}  // namespace telemetry

@@ -1,0 +1,98 @@
+// CounterSeries tests: the per-bucket sums must reconcile exactly with the
+// aggregate LaunchStats of the same launch (the accounting is split, not
+// sampled), derived metrics must stay in range, and the JSON export must
+// parse.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "telemetry/counters.hpp"
+#include "telemetry/json.hpp"
+#include "timed_run.hpp"
+
+namespace telemetry {
+namespace {
+
+TEST(CounterSeries, BucketSumsReconcileWithLaunchStats) {
+  CounterSeries series(1024);
+  const vgpu::LaunchStats stats = test::run_read_kernel(&series);
+
+  std::uint64_t instructions = 0, issue = 0, stall = 0, requests = 0,
+                coalesced = 0, transactions = 0, bytes = 0, resident = 0;
+  double dram_bytes = 0.0;
+  for (const CounterBucket& b : series.buckets()) {
+    instructions += b.instructions;
+    issue += b.issue_cycles;
+    stall += b.stall_cycles;
+    requests += b.global_requests;
+    coalesced += b.coalesced_requests;
+    transactions += b.global_transactions;
+    bytes += b.global_bytes;
+    resident += b.resident_warp_cycles;
+    dram_bytes += b.dram_bytes;
+  }
+  EXPECT_EQ(instructions, stats.warp_instructions);
+  EXPECT_EQ(issue, stats.sm_issue_cycles);
+  EXPECT_EQ(stall, stats.sm_idle_cycles);
+  EXPECT_EQ(requests, stats.global_requests);
+  EXPECT_EQ(coalesced, stats.coalesced_requests);
+  EXPECT_EQ(transactions, stats.global_transactions);
+  EXPECT_EQ(bytes, stats.global_bytes);
+  EXPECT_GT(resident, 0u);
+  // the read kernel only touches global memory, and the DRAM controller
+  // merges row segments, so channel bytes are positive and never exceed the
+  // transaction bytes
+  EXPECT_GT(dram_bytes, 0.0);
+  EXPECT_LE(dram_bytes, static_cast<double>(stats.global_bytes) + 1e-6);
+  EXPECT_EQ(series.total_cycles(), stats.cycles);
+}
+
+TEST(CounterSeries, BucketLayoutCoversTheRun) {
+  CounterSeries series(512);
+  const vgpu::LaunchStats stats = test::run_read_kernel(&series);
+  ASSERT_FALSE(series.buckets().empty());
+  // dense, contiguous bucket grid from 0 to the end of the run
+  for (std::size_t i = 0; i < series.buckets().size(); ++i) {
+    EXPECT_EQ(series.buckets()[i].start_cycle, i * series.bucket_cycles());
+  }
+  const CounterBucket& last = series.buckets().back();
+  EXPECT_LT(last.start_cycle, stats.cycles);
+  EXPECT_GE(last.start_cycle + series.bucket_cycles(), stats.cycles);
+}
+
+TEST(CounterSeries, DerivedMetricsStayInRange) {
+  CounterSeries series(1024);
+  (void)test::run_read_kernel(&series);
+  bool any_activity = false;
+  for (std::size_t i = 0; i < series.buckets().size(); ++i) {
+    EXPECT_GE(series.occupancy(i), 0.0);
+    EXPECT_LE(series.occupancy(i), 1.0);
+    EXPECT_GE(series.coalesced_fraction(i), 0.0);
+    EXPECT_LE(series.coalesced_fraction(i), 1.0);
+    EXPECT_GE(series.stall_fraction(i), 0.0);
+    EXPECT_LE(series.stall_fraction(i), 1.0);
+    EXPECT_GE(series.ipc(i), 0.0);
+    EXPECT_GE(series.achieved_gbps(i), 0.0);
+    if (series.ipc(i) > 0.0) any_activity = true;
+  }
+  EXPECT_TRUE(any_activity);
+}
+
+TEST(CounterSeries, JsonExportParses) {
+  CounterSeries series(2048);
+  (void)test::run_read_kernel(&series);
+  std::ostringstream os;
+  series.write_json(os);
+  const auto doc = JsonValue::parse(os.str());
+  ASSERT_TRUE(doc.has_value()) << "series export is not valid JSON";
+  EXPECT_EQ(doc->find("schema")->as_string(), "vgpu-counter-series");
+  const JsonValue* buckets = doc->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  EXPECT_EQ(buckets->size(), series.buckets().size());
+  const JsonValue* run = doc->find("run");
+  ASSERT_NE(run, nullptr);
+  EXPECT_EQ(run->find("sim_sms")->as_number(), 16.0);  // all G80 SMs
+}
+
+}  // namespace
+}  // namespace telemetry

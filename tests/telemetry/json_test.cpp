@@ -1,0 +1,93 @@
+// JSON writer/parser tests: escaping, number formatting, round trips and
+// strict-parser rejection. The writer is the substrate of every telemetry
+// export, so a regression here corrupts all machine-readable outputs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "telemetry/json.hpp"
+
+namespace telemetry {
+namespace {
+
+std::string dump(const JsonValue& v) { return v.dump(); }
+
+TEST(Json, EscapesControlAndQuoteCharacters) {
+  JsonValue v(std::string("a\"b\\c\n\t\x01z"));
+  EXPECT_EQ(dump(v), "\"a\\\"b\\\\c\\n\\t\\u0001z\"");
+}
+
+TEST(Json, WriteJsonStringMatchesValueWriter) {
+  std::ostringstream os;
+  write_json_string(os, "x\ry");
+  EXPECT_EQ(os.str(), "\"x\\ry\"");
+}
+
+TEST(Json, IntegralNumbersPrintWithoutExponent) {
+  JsonValue v = JsonValue::object();
+  v["cycles"] = std::uint64_t{123456789012ull};
+  v["small"] = 7;
+  EXPECT_EQ(dump(v), "{\"cycles\":123456789012,\"small\":7}");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  JsonValue v(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(dump(v), "null");
+}
+
+TEST(Json, ObjectKeepsInsertionOrder) {
+  JsonValue v = JsonValue::object();
+  v["z"] = 1;
+  v["a"] = 2;
+  v["z"] = 3;  // update in place, no reorder
+  EXPECT_EQ(dump(v), "{\"z\":3,\"a\":2}");
+}
+
+TEST(Json, RoundTripThroughParser) {
+  JsonValue v = JsonValue::object();
+  v["name"] = "kernel \"q\" \\ path";
+  v["ok"] = true;
+  v["none"] = JsonValue();
+  v["x"] = 1.5;
+  JsonValue& arr = v["arr"];
+  arr = JsonValue::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  arr.push_back(false);
+
+  const auto parsed = JsonValue::parse(v.dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, v);
+  // pretty-printed form parses back to the same document too
+  const auto pretty = JsonValue::parse(v.dump(2));
+  ASSERT_TRUE(pretty.has_value());
+  EXPECT_EQ(*pretty, v);
+}
+
+TEST(Json, ParserHandlesUnicodeEscapes) {
+  const auto v = JsonValue::parse("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "A\xc3\xa9");
+}
+
+TEST(Json, ParserRejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonValue::parse("").has_value());
+  EXPECT_FALSE(JsonValue::parse("{").has_value());
+  EXPECT_FALSE(JsonValue::parse("[1,]").has_value());
+  EXPECT_FALSE(JsonValue::parse("{\"a\":1,}").has_value());
+  EXPECT_FALSE(JsonValue::parse("\"unterminated").has_value());
+  EXPECT_FALSE(JsonValue::parse("1 2").has_value());
+  EXPECT_FALSE(JsonValue::parse("{} trailing").has_value());
+  EXPECT_FALSE(JsonValue::parse("nul").has_value());
+}
+
+TEST(Json, FindDoesNotInsert) {
+  JsonValue v = JsonValue::object();
+  v["present"] = 1;
+  EXPECT_NE(v.find("present"), nullptr);
+  EXPECT_EQ(v.find("absent"), nullptr);
+  EXPECT_EQ(v.members().size(), 1u);
+}
+
+}  // namespace
+}  // namespace telemetry

@@ -78,6 +78,32 @@ TEST(Trace, MaxLinesTruncates) {
   EXPECT_NE(os.str().find("trace truncated at 3 lines"), std::string::npos);
 }
 
+TEST(Trace, DefaultOptionsTraceAllWarpsOfTheBlock) {
+  // Regression: TraceOptions.warp documented "all warps by default", but
+  // the default value was once warp 0, silencing every other warp.
+  Program prog = make_traced_kernel();
+  Device dev(tiny_spec(), 1 << 16);
+  Buffer out = dev.malloc_n<std::uint32_t>(64);
+  const std::uint32_t params[1] = {out.addr};
+  std::ostringstream os;
+  run_traced(prog, dev.spec(), dev.gmem(), LaunchConfig{1, 64}, params, os);
+  EXPECT_NE(os.str().find("B0 w0"), std::string::npos);
+  EXPECT_NE(os.str().find("B0 w1"), std::string::npos);
+}
+
+TEST(Trace, WarpFilterNarrowsToOneWarp) {
+  Program prog = make_traced_kernel();
+  Device dev(tiny_spec(), 1 << 16);
+  Buffer out = dev.malloc_n<std::uint32_t>(64);
+  const std::uint32_t params[1] = {out.addr};
+  std::ostringstream os;
+  TraceOptions opt;
+  opt.warp = 1;
+  run_traced(prog, dev.spec(), dev.gmem(), LaunchConfig{1, 64}, params, os, opt);
+  EXPECT_EQ(os.str().find("B0 w0"), std::string::npos);
+  EXPECT_NE(os.str().find("B0 w1"), std::string::npos);
+}
+
 TEST(Trace, BlockFilterSilencesOtherBlocks) {
   Program prog = make_traced_kernel();
   Device dev(tiny_spec(), 1 << 16);

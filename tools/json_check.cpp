@@ -1,0 +1,44 @@
+// json_check - validate a JSON file written by the telemetry exporters.
+//
+// Parses the file with the same strict parser the tests use and optionally
+// requires top-level object keys to be present. The bench-smoke and
+// trace-smoke ctest steps run this over freshly emitted files, so a writer
+// regression (broken escaping, truncated output, dropped field) fails the
+// suite instead of silently producing unreadable artifacts.
+//
+//   json_check <file> [required-top-level-key ...]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "telemetry/json.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: json_check <file> [required-top-level-key ...]\n");
+    return 2;
+  }
+  std::ifstream is(argv[1]);
+  if (!is) {
+    std::fprintf(stderr, "json_check: cannot read %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::optional<telemetry::JsonValue> doc =
+      telemetry::JsonValue::parse(buf.str());
+  if (!doc) {
+    std::fprintf(stderr, "json_check: %s is not valid JSON\n", argv[1]);
+    return 1;
+  }
+  for (int a = 2; a < argc; ++a) {
+    if (!doc->is_object() || doc->find(argv[a]) == nullptr) {
+      std::fprintf(stderr, "json_check: %s: missing top-level key \"%s\"\n",
+                   argv[1], argv[a]);
+      return 1;
+    }
+  }
+  std::printf("json_check: %s ok (%zu bytes)\n", argv[1], buf.str().size());
+  return 0;
+}
