@@ -1,5 +1,6 @@
 #include "bench_util.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -12,6 +13,11 @@
 namespace bench {
 
 namespace {
+
+/// Static-init timestamp, close enough to process start that the exported
+/// host_wall_ms covers the whole measurement run.
+const std::chrono::steady_clock::time_point g_bench_start =
+    std::chrono::steady_clock::now();
 
 /// Tables printed by this process, in print order, for the --json export.
 struct Report {
@@ -78,13 +84,12 @@ telemetry::JsonValue Table::to_json(const std::string& title,
   telemetry::JsonValue t = telemetry::JsonValue::object();
   t["title"] = title;
   if (!note.empty()) t["note"] = note;
-  telemetry::JsonValue& headers = t["headers"];
-  headers = telemetry::JsonValue::array();
+  // build the arrays locally: holding a reference returned by operator[]
+  // across another operator[] insertion dangles when the field vector grows
+  telemetry::JsonValue headers = telemetry::JsonValue::array();
   for (const std::string& h : headers_) headers.push_back(h);
-  telemetry::JsonValue& rows = t["rows"];
-  rows = telemetry::JsonValue::array();
-  telemetry::JsonValue& records = t["records"];
-  records = telemetry::JsonValue::array();
+  telemetry::JsonValue rows = telemetry::JsonValue::array();
+  telemetry::JsonValue records = telemetry::JsonValue::array();
   for (const auto& row : rows_) {
     telemetry::JsonValue r = telemetry::JsonValue::array();
     for (const std::string& cell : row) r.push_back(cell);
@@ -98,6 +103,9 @@ telemetry::JsonValue Table::to_json(const std::string& title,
     }
     records.push_back(std::move(rec));
   }
+  t["headers"] = std::move(headers);
+  t["rows"] = std::move(rows);
+  t["records"] = std::move(records);
   return t;
 }
 
@@ -120,6 +128,9 @@ int bench_main(int argc, char** argv, const BenchInfo& info) {
     root["bench"] = info.name;
     root["kernel"] = info.kernel;
     root["metric"] = info.metric;
+    root["host_wall_ms"] = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - g_bench_start)
+                               .count();
     telemetry::JsonValue& tables = root["tables"];
     tables = telemetry::JsonValue::array();
     for (const telemetry::JsonValue& t : report().tables) tables.push_back(t);

@@ -50,7 +50,9 @@ struct BenchInfo {
 /// Shared tail of every bench main(): strips `--json=<path>` from argv,
 /// writes the BENCH_<name> record of all tables printed so far to that
 /// path (if given), then hands the remaining flags to google-benchmark.
-/// Returns the process exit code.
+/// The record carries `host_wall_ms`, the host wall-clock from process
+/// start to export, so regressions in simulator speed itself are visible
+/// in the machine-readable output. Returns the process exit code.
 int bench_main(int argc, char** argv, const BenchInfo& info);
 
 [[nodiscard]] std::string fmt(double v, int precision = 2);

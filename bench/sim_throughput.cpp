@@ -1,0 +1,235 @@
+// sim_throughput - host-side throughput of the simulator itself.
+//
+// Unlike the fig*/ablation benches, the subject here is not the modeled
+// GPU but the machine running the model: simulated warp instructions per
+// second of host wall time, and wall ms per launch, for the pre-decoded
+// fast path vs the reference interpreter (FunctionalOptions/TimingOptions
+// `reference` flag). Workloads are real kernels from the reproduction -
+// far-field variants (rolled SoAoaS, rolled AoS, unrolled+icm) and the
+// Sec. III strip-down read kernel - under both executors.
+//
+// The fast path must be *cycle-identical*: the speedup table checks that
+// fast and reference runs report identical LaunchStats::core() (including
+// cycles) within this process, and the binary exits non-zero if they ever
+// differ; tools/bench_compare enforces the same across exported records.
+//
+// Flags: --n=<particles> (default 4096, rounded up to a tile multiple)
+// scales the workload; --json=<path> exports the tables (bench_util).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "gravit/kernels.hpp"
+#include "gravit/spawn.hpp"
+#include "layout/microbench.hpp"
+#include "layout/transform.hpp"
+#include "vgpu/device.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using bench::fmt;
+
+struct Workload {
+  std::string label;
+  vgpu::Program prog;
+  vgpu::LaunchConfig cfg{1, 128};
+  std::vector<std::uint32_t> params;
+  std::unique_ptr<vgpu::Device> dev;
+};
+
+Workload make_farfield(const gravit::KernelOptions& kopt, std::uint32_t n) {
+  Workload w;
+  gravit::BuiltKernel built = gravit::make_farfield_kernel(kopt);
+  w.label = "farfield-" + gravit::kernel_label(kopt);
+  w.dev = std::make_unique<vgpu::Device>(vgpu::g80_spec(), 64u * 1024 * 1024);
+
+  const std::uint32_t n_pad = (n + kopt.block - 1) / kopt.block * kopt.block;
+  gravit::ParticleSet set = gravit::spawn_uniform_cube(n, 1.0f, 3);
+  set.pad_to(n_pad);
+  const std::vector<float> flat = set.flatten();
+  const std::vector<std::byte> image = layout::pack(built.phys, flat, n_pad);
+  vgpu::Buffer img = w.dev->malloc(image.size());
+  w.dev->memcpy_h2d(img, image);
+  vgpu::Buffer accel = w.dev->malloc(static_cast<std::size_t>(n_pad) * 12);
+  for (const std::uint64_t base : built.phys.group_bases(n_pad)) {
+    w.params.push_back(img.addr + static_cast<std::uint32_t>(base));
+  }
+  w.params.push_back(accel.addr);
+  w.params.push_back(n_pad / kopt.block);
+  w.cfg = vgpu::LaunchConfig{n_pad / kopt.block, kopt.block};
+  w.prog = std::move(built.prog);
+  return w;
+}
+
+Workload make_read(std::uint32_t n) {
+  constexpr std::uint32_t kBlock = 128;
+  Workload w;
+  const std::uint32_t n_pad = (n + kBlock - 1) / kBlock * kBlock;
+  const layout::PhysicalLayout phys =
+      layout::plan_layout(layout::gravit_record(), layout::SchemeKind::kSoAoaS);
+  w.prog = layout::make_read_kernel(phys);
+  w.label = "read-SoAoaS";
+  w.dev = std::make_unique<vgpu::Device>(vgpu::g80_spec(), 64u * 1024 * 1024);
+
+  std::vector<float> data(static_cast<std::size_t>(n_pad) * 7);
+  for (std::size_t k = 0; k < data.size(); ++k) {
+    data[k] = static_cast<float>(k % 101) * 0.01f;
+  }
+  const std::vector<std::byte> image = layout::pack(phys, data, n_pad);
+  vgpu::Buffer img = w.dev->malloc(image.size());
+  w.dev->memcpy_h2d(img, image);
+  vgpu::Buffer out = w.dev->malloc(static_cast<std::size_t>(n_pad) * 8);
+  for (const std::uint64_t base : phys.group_bases(n_pad)) {
+    w.params.push_back(img.addr + static_cast<std::uint32_t>(base));
+  }
+  w.params.push_back(out.addr);
+  w.cfg = vgpu::LaunchConfig{n_pad / kBlock, kBlock};
+  return w;
+}
+
+struct RunResult {
+  vgpu::LaunchStats stats;
+  double wall_ms = 0.0;
+
+  [[nodiscard]] double minstr_per_s() const {
+    if (wall_ms <= 0.0) return 0.0;
+    return static_cast<double>(stats.warp_instructions) / wall_ms / 1000.0;
+  }
+};
+
+RunResult run_one(Workload& w, bool timed, bool reference) {
+  RunResult r;
+  const Clock::time_point t0 = Clock::now();
+  if (timed) {
+    vgpu::TimingOptions topt;
+    topt.reference = reference;
+    r.stats = vgpu::run_timed(w.prog, w.dev->spec(), w.dev->gmem(), w.cfg,
+                              w.params, topt);
+  } else {
+    vgpu::FunctionalOptions fopt;
+    fopt.reference = reference;
+    r.stats = vgpu::run_functional(w.prog, w.dev->spec(), w.dev->gmem(), w.cfg,
+                                   w.params, fopt);
+  }
+  r.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  return r;
+}
+
+std::string memo_rate(const vgpu::LaunchStats& s) {
+  const std::uint64_t total = s.coalesce_memo_hits + s.coalesce_memo_misses;
+  if (total == 0) return "-";
+  return fmt(100.0 * static_cast<double>(s.coalesce_memo_hits) /
+                 static_cast<double>(total),
+             1);
+}
+
+struct Summary {
+  double fast_timing_minstr = 0.0;
+  double ref_timing_minstr = 0.0;
+  bool all_identical = true;
+};
+Summary g_summary;
+
+void run_all(std::uint32_t n) {
+  std::vector<Workload> workloads;
+  {
+    gravit::KernelOptions rolled;  // SoAoaS, block 128, no unroll
+    workloads.push_back(make_farfield(rolled, n));
+    gravit::KernelOptions aos;
+    aos.scheme = layout::SchemeKind::kAoS;
+    workloads.push_back(make_farfield(aos, n));
+    gravit::KernelOptions unrolled;
+    unrolled.unroll = 32;
+    unrolled.icm = true;
+    workloads.push_back(make_farfield(unrolled, n));
+    workloads.push_back(make_read(n));
+  }
+
+  bench::Table runs(
+      {"run", "warp instrs", "wall ms", "Minstr/s", "cycles", "memo hit %"});
+  bench::Table speed({"workload", "executor", "ref wall ms", "fast wall ms",
+                      "speedup", "stats identical"});
+  for (Workload& w : workloads) {
+    for (const bool timed : {false, true}) {
+      const char* exec_name = timed ? "timing" : "functional";
+      const RunResult ref = run_one(w, timed, /*reference=*/true);
+      const RunResult fast = run_one(w, timed, /*reference=*/false);
+      auto add_run = [&](const char* path, const RunResult& r) {
+        runs.add_row({w.label + "/" + exec_name + "/" + path,
+                      std::to_string(r.stats.warp_instructions),
+                      fmt(r.wall_ms, 1), fmt(r.minstr_per_s(), 2),
+                      std::to_string(r.stats.cycles), memo_rate(r.stats)});
+      };
+      add_run("reference", ref);
+      add_run("fast", fast);
+
+      // The invariant the whole fast path is built around: identical
+      // LaunchStats::core() - cycles included - from both paths.
+      const bool identical = fast.stats.core() == ref.stats.core();
+      g_summary.all_identical = g_summary.all_identical && identical;
+      speed.add_row({w.label, exec_name, fmt(ref.wall_ms, 1),
+                     fmt(fast.wall_ms, 1),
+                     fmt(fast.wall_ms > 0.0 ? ref.wall_ms / fast.wall_ms : 0.0,
+                         2),
+                     identical ? "yes" : "NO"});
+      if (timed && w.label == "farfield-SoAoaS") {
+        g_summary.fast_timing_minstr = fast.minstr_per_s();
+        g_summary.ref_timing_minstr = ref.minstr_per_s();
+      }
+    }
+  }
+  runs.print("sim_throughput - host-side simulator throughput",
+             "n=" + std::to_string(n) +
+                 " particles; Minstr/s = simulated warp instructions per "
+                 "second of host wall time");
+  speed.print("fast path vs reference",
+              "speedup = reference wall / fast wall; 'stats identical' "
+              "compares LaunchStats::core() incl. cycles");
+}
+
+void bm_sim_throughput(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_summary);
+    state.counters["fast_timing_minstr_s"] = g_summary.fast_timing_minstr;
+    state.counters["ref_timing_minstr_s"] = g_summary.ref_timing_minstr;
+    state.counters["speedup"] =
+        g_summary.ref_timing_minstr > 0.0
+            ? g_summary.fast_timing_minstr / g_summary.ref_timing_minstr
+            : 0.0;
+  }
+}
+BENCHMARK(bm_sim_throughput)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint32_t n = 4096;
+  int out = 1;  // keep argv[0]
+  for (int a = 1; a < argc; ++a) {
+    if (std::strncmp(argv[a], "--n=", 4) == 0) {
+      n = static_cast<std::uint32_t>(std::strtoul(argv[a] + 4, nullptr, 10));
+      if (n == 0) n = 128;
+    } else {
+      argv[out++] = argv[a];
+    }
+  }
+  argc = out;
+
+  run_all(n);
+  const int rc = bench::bench_main(
+      argc, argv,
+      {"sim_throughput", "far-field + read kernels", "host Minstr/s"});
+  if (!g_summary.all_identical) {
+    std::fprintf(stderr,
+                 "sim_throughput: fast path diverged from reference stats\n");
+    return 1;
+  }
+  return rc;
+}

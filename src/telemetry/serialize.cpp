@@ -26,6 +26,8 @@ JsonValue to_json(const vgpu::LaunchStats& s) {
   v["global_bytes"] = s.global_bytes;
   v["coalesced_requests"] = s.coalesced_requests;
   v["uncoalesced_requests"] = s.uncoalesced_requests;
+  v["coalesce_memo_hits"] = s.coalesce_memo_hits;
+  v["coalesce_memo_misses"] = s.coalesce_memo_misses;
   v["shared_requests"] = s.shared_requests;
   v["shared_conflict_extra"] = s.shared_conflict_extra;
   v["local_requests"] = s.local_requests;

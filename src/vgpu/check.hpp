@@ -20,12 +20,12 @@ class ContractViolation : public std::logic_error {
 namespace detail {
 
 [[noreturn]] inline void contract_fail(const char* kind, const char* expr,
-                                       const std::string& msg,
+                                       const char* msg,
                                        const std::source_location& loc) {
   std::string out(kind);
   out += " failed: ";
   out += expr;
-  if (!msg.empty()) {
+  if (msg != nullptr && *msg != '\0') {
     out += " (";
     out += msg;
     out += ")";
@@ -39,14 +39,29 @@ namespace detail {
 
 }  // namespace detail
 
-inline void expects(bool cond, const char* expr, const std::string& msg = {},
+// The message parameter is a `const char*` so the success path materializes
+// nothing: checks sit on the simulator's per-lane hot loops, and the former
+// `const std::string&` signature heap-allocated a temporary per call. The
+// std::string overloads keep call sites that format a dynamic message (the
+// verifier, the assembler - all cold paths) working unchanged.
+inline void expects(bool cond, const char* expr, const char* msg = "",
                     const std::source_location& loc = std::source_location::current()) {
-  if (!cond) detail::contract_fail("precondition", expr, msg, loc);
+  if (!cond) [[unlikely]] detail::contract_fail("precondition", expr, msg, loc);
 }
 
-inline void ensures(bool cond, const char* expr, const std::string& msg = {},
+inline void expects(bool cond, const char* expr, const std::string& msg,
                     const std::source_location& loc = std::source_location::current()) {
-  if (!cond) detail::contract_fail("postcondition", expr, msg, loc);
+  if (!cond) [[unlikely]] detail::contract_fail("precondition", expr, msg.c_str(), loc);
+}
+
+inline void ensures(bool cond, const char* expr, const char* msg = "",
+                    const std::source_location& loc = std::source_location::current()) {
+  if (!cond) [[unlikely]] detail::contract_fail("postcondition", expr, msg, loc);
+}
+
+inline void ensures(bool cond, const char* expr, const std::string& msg,
+                    const std::source_location& loc = std::source_location::current()) {
+  if (!cond) [[unlikely]] detail::contract_fail("postcondition", expr, msg.c_str(), loc);
 }
 
 }  // namespace vgpu

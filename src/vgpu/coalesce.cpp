@@ -40,6 +40,9 @@ void emit_strict_transactions(std::uint32_t base, MemWidth width,
 /// Distinct 128-byte segments touched by the active lanes, sorted by base.
 void collect_segments(const MemRequest& req, std::vector<Transaction>& segs) {
   segs.clear();
+  // 16 lanes touch at most 16 distinct segments (32 for the widest loads);
+  // reserving up front keeps the reused scratch vector allocation-free.
+  segs.reserve(req.lane_addrs.size());
   const std::uint32_t wbytes = width_bytes(req.width);
   for (std::uint32_t k = 0; k < req.lane_addrs.size(); ++k) {
     if (!(req.active & (1u << k))) continue;

@@ -1,0 +1,104 @@
+#include "vgpu/decode.hpp"
+
+#include "vgpu/check.hpp"
+
+namespace vgpu {
+
+namespace {
+
+[[nodiscard]] StepResult::Kind classify(Opcode op) {
+  switch (op) {
+    case Opcode::kLdGlobal:
+    case Opcode::kStGlobal:
+      return StepResult::Kind::kGlobal;
+    case Opcode::kLdShared:
+    case Opcode::kStShared:
+      return StepResult::Kind::kShared;
+    case Opcode::kLdConst:
+      return StepResult::Kind::kConst;
+    case Opcode::kLdTex:
+      return StepResult::Kind::kTex;
+    case Opcode::kLdLocal:
+    case Opcode::kStLocal:
+      return StepResult::Kind::kLocal;
+    case Opcode::kBar:
+      return StepResult::Kind::kBarrier;
+    case Opcode::kExit:
+      return StepResult::Kind::kExit;
+    default:
+      return StepResult::Kind::kAlu;
+  }
+}
+
+}  // namespace
+
+DecodedProgram decode(const Program& prog) {
+  VGPU_EXPECTS_MSG(prog.reg_file_size > 0 || prog.regs.empty(),
+                   "decode requires a finished register layout");
+  DecodedProgram dec;
+  dec.block_start.reserve(prog.blocks.size());
+  dec.instrs.reserve(prog.instruction_count());
+
+  auto slot_of = [&](const Operand& o) -> std::uint32_t {
+    if (!o.valid()) return kNoSlot;
+    return prog.reg_base[o.reg] + o.comp;
+  };
+
+  for (const Block& blk : prog.blocks) {
+    dec.block_start.push_back(static_cast<std::uint32_t>(dec.instrs.size()));
+    for (const Instruction& in : blk.instrs) {
+      DecodedInstr d;
+      d.op = in.op;
+      d.kind = classify(in.op);
+      d.region = blk.region;
+      d.dst_slot = slot_of(in.dst);
+      d.src_slot[0] = slot_of(in.src[0]);
+      d.src_slot[1] = slot_of(in.src[1]);
+      d.src_slot[2] = slot_of(in.src[2]);
+      d.imm = in.imm;
+      d.width = in.width;
+      d.width_words = width_words(in.width);
+      d.width_bytes = width_bytes(in.width);
+      d.is_store = in.is_store();
+      d.is_load = in.is_load();
+      d.cmp = in.cmp;
+      d.cmp_is_float = in.cmp_is_float;
+      d.branch_if_false = in.branch_if_false;
+      d.guard_negated = in.guard_negated;
+      d.pdst = in.pdst;
+      d.psrc0 = in.psrc0;
+      d.psrc1 = in.psrc1;
+      d.guard = in.guard;
+      d.target = in.target;
+      d.target2 = in.target2;
+      d.reconv = in.reconv;
+
+      // Scoreboard read-set, mirroring the timing executor's reference
+      // dep_ready walk exactly: src[0] and src[2] are scalar reads, src[1]
+      // carries the full store width, and the destination counts as a read
+      // extent too (a load overwrites `width` words, a scalar def one word -
+      // the in-order writeback hazard the reference models).
+      auto add_reg_dep = [&](std::uint32_t slot, std::uint32_t words) {
+        if (slot == kNoSlot || words == 0) return;
+        d.deps[d.num_deps++] = DecodedInstr::RegDep{slot, words};
+      };
+      add_reg_dep(d.src_slot[0], 1);
+      add_reg_dep(d.src_slot[1], d.is_store ? d.width_words : 1);
+      add_reg_dep(d.src_slot[2], 1);
+      d.dst_words = d.dst_slot == kNoSlot ? 0u : (d.is_load ? d.width_words : 1u);
+      add_reg_dep(d.dst_slot, d.dst_words);
+
+      auto add_pred_dep = [&](PredId p) {
+        if (p != kNoPred) d.pred_deps[d.num_pred_deps++] = p;
+      };
+      add_pred_dep(d.psrc0);
+      add_pred_dep(d.psrc1);
+      add_pred_dep(d.guard);
+
+      dec.instrs.push_back(d);
+    }
+  }
+  return dec;
+}
+
+}  // namespace vgpu

@@ -28,6 +28,15 @@ LaunchStats Device::launch_functional(const Program& prog,
   return run_functional(prog, spec_, gmem_, cfg, params, opt);
 }
 
+LaunchStats Device::launch_functional(const Program& prog,
+                                      const LaunchConfig& cfg,
+                                      std::span<const std::uint32_t> params,
+                                      const FunctionalOptions& opt) {
+  FunctionalOptions bound = opt;
+  if (bound.cmem == nullptr) bound.cmem = &cmem_;
+  return run_functional(prog, spec_, gmem_, cfg, params, bound);
+}
+
 LaunchStats Device::launch_timed(const Program& prog, const LaunchConfig& cfg,
                                  std::span<const std::uint32_t> params,
                                  const TimingOptions& opt) {

@@ -64,6 +64,12 @@ class Device {
                                 std::span<const std::uint32_t> params,
                                 DriverModel driver = DriverModel::kCuda10);
 
+  /// Functional launch with full options; the device's constant memory is
+  /// bound automatically when `opt.cmem` is null.
+  LaunchStats launch_functional(const Program& prog, const LaunchConfig& cfg,
+                                std::span<const std::uint32_t> params,
+                                const FunctionalOptions& opt);
+
   /// Timed launch: adds kernel time to the host timeline.
   LaunchStats launch_timed(const Program& prog, const LaunchConfig& cfg,
                            std::span<const std::uint32_t> params,

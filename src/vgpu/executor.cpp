@@ -1,15 +1,18 @@
 #include "vgpu/executor.hpp"
 
 #include <array>
+#include <optional>
 
 #include "vgpu/check.hpp"
 #include "vgpu/coalesce.hpp"
+#include "vgpu/decode.hpp"
+#include "vgpu/memo.hpp"
 
 namespace vgpu {
 
 void count_global_step(const StepResult& res, const DeviceSpec& spec,
                        DriverModel driver, LaunchStats& stats,
-                       CoalesceResult& scratch) {
+                       CoalesceResult& scratch, CoalesceMemo* memo) {
   const std::uint32_t half = spec.half_warp;
   std::array<std::uint32_t, 16> addrs{};
   for (std::uint32_t h = 0; h < spec.warp_size / half; ++h) {
@@ -22,7 +25,11 @@ void count_global_step(const StepResult& res, const DeviceSpec& spec,
     if (active == 0) continue;
     MemRequest req{std::span<const std::uint32_t>(addrs.data(), half), active,
                    res.width, res.is_store};
-    coalesce(req, driver, scratch);
+    if (memo != nullptr) {
+      memo->lookup(req, scratch);
+    } else {
+      coalesce(req, driver, scratch);
+    }
     ++stats.global_requests;
     if (scratch.coalesced) {
       ++stats.coalesced_requests;
@@ -45,16 +52,33 @@ LaunchStats run_functional(const Program& prog, const DeviceSpec& spec,
   stats.blocks_total = cfg.grid_blocks;
   stats.blocks_simulated = cfg.grid_blocks;
   CoalesceResult scratch;
+  scratch.transactions.reserve(32);
 
+  std::optional<DecodedProgram> dec;
+  std::optional<CoalesceMemo> memo;
+  if (!opt.reference) {
+    dec.emplace(decode(prog));
+    memo.emplace(opt.driver);
+  }
+  CoalesceMemo* const memop = memo ? &*memo : nullptr;
+
+  // Fast path: one BlockExec reused across the grid (reset() per block);
+  // reference path: a fresh BlockExec per block, as the original executor
+  // allocated.
+  std::optional<BlockExec> exec;
   for (std::uint32_t b = 0; b < cfg.grid_blocks; ++b) {
     BlockParams bp{b, cfg, params, 0, opt.cmem};
-    BlockExec exec(prog, spec, gmem, bp);
-    while (!exec.all_done()) {
+    if (!exec || opt.reference) {
+      exec.emplace(prog, spec, gmem, bp, dec ? &*dec : nullptr);
+    } else {
+      exec->reset(bp);
+    }
+    while (!exec->all_done()) {
       bool progressed = false;
-      for (std::uint32_t w = 0; w < exec.num_warps(); ++w) {
-        WarpState& ws = exec.warp(w);
+      for (std::uint32_t w = 0; w < exec->num_warps(); ++w) {
+        WarpState& ws = exec->warp(w);
         while (!ws.done && !ws.at_barrier) {
-          const StepResult res = exec.step(w, ws.issued * 4);
+          const StepResult res = exec->step(w, ws.issued * 4);
           progressed = true;
           ++stats.warp_instructions;
           ++stats.region_instructions[static_cast<std::size_t>(res.region)];
@@ -62,7 +86,7 @@ LaunchStats run_functional(const Program& prog, const DeviceSpec& spec,
           if (res.divergent_branch) ++stats.divergent_branches;
           switch (res.kind) {
             case StepResult::Kind::kGlobal:
-              count_global_step(res, spec, opt.driver, stats, scratch);
+              count_global_step(res, spec, opt.driver, stats, scratch, memop);
               break;
             case StepResult::Kind::kShared:
               ++stats.shared_requests;
@@ -87,13 +111,17 @@ LaunchStats run_functional(const Program& prog, const DeviceSpec& spec,
           }
         }
       }
-      if (exec.barrier_releasable()) {
-        exec.release_barrier();
+      if (exec->barrier_releasable()) {
+        exec->release_barrier();
         progressed = true;
       }
-      VGPU_ENSURES_MSG(progressed || exec.all_done(),
+      VGPU_ENSURES_MSG(progressed || exec->all_done(),
                        "functional executor deadlock (barrier mismatch?)");
     }
+  }
+  if (memo) {
+    stats.coalesce_memo_hits = memo->hits();
+    stats.coalesce_memo_misses = memo->misses();
   }
   return stats;
 }

@@ -16,11 +16,17 @@
 
 namespace vgpu {
 
+class CoalesceMemo;
+
 struct FunctionalOptions {
   /// Driver model used to *count* coalescing/transactions (no timing).
   DriverModel driver = DriverModel::kCuda10;
   /// Constant-memory image to bind (null = kernel uses none).
   const ConstantMemory* cmem = nullptr;
+  /// Run the reference interpreter instead of the pre-decoded fast path.
+  /// Both must agree bit for bit (numerics) and field for field
+  /// (LaunchStats::core()); the differential tests exercise this flag.
+  bool reference = false;
 };
 
 /// Execute the whole grid block-by-block. The program must be finished
@@ -31,9 +37,11 @@ LaunchStats run_functional(const Program& prog, const DeviceSpec& spec,
                            const FunctionalOptions& opt = {});
 
 /// Accumulate the memory-system statistics of one global-memory step into
-/// `stats` (shared between the functional and timing executors).
+/// `stats` (shared between the functional and timing executors). With a
+/// memo the coalescing decision is served from the pattern cache; the
+/// resulting transactions are identical to the direct call.
 void count_global_step(const StepResult& res, const DeviceSpec& spec,
                        DriverModel driver, LaunchStats& stats,
-                       CoalesceResult& scratch);
+                       CoalesceResult& scratch, CoalesceMemo* memo = nullptr);
 
 }  // namespace vgpu

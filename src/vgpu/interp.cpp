@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "vgpu/check.hpp"
+#include "vgpu/decode.hpp"
 
 namespace vgpu {
 
@@ -40,26 +41,57 @@ namespace {
 }  // namespace
 
 BlockExec::BlockExec(const Program& prog, const DeviceSpec& spec,
-                     GlobalMemory& gmem, const BlockParams& bp)
+                     GlobalMemory& gmem, const BlockParams& bp,
+                     const DecodedProgram* dec)
     : prog_(prog),
       spec_(spec),
       gmem_(gmem),
       bp_(bp),
-      smem_(std::max(prog.shared_bytes, 4u), spec.shared_mem_banks) {
+      smem_(std::max(prog.shared_bytes, 4u), spec.shared_mem_banks),
+      dec_(dec) {
   VGPU_EXPECTS_MSG(bp.cfg.block_threads % spec.warp_size == 0,
                    "block size must be a warp multiple");
   VGPU_EXPECTS_MSG(bp.cfg.block_threads <= spec.max_threads_per_block,
                    "block size exceeds device limit");
   VGPU_EXPECTS_MSG(prog.reg_file_size > 0 || prog.regs.empty(),
                    "program has no register layout (finish/allocate first)");
+  full_mask_ = spec.warp_size >= 32 ? kFullMask : ((1u << spec.warp_size) - 1u);
+  local_words_ = (prog.local_bytes + 3) / 4;
+
   const std::uint32_t warps = bp.cfg.block_threads / spec.warp_size;
+  const std::size_t reg_words = static_cast<std::size_t>(prog.reg_file_size) * 32u;
+  const std::size_t local_words = static_cast<std::size_t>(local_words_) * 32u;
+  reg_arena_.assign(reg_words * warps, 0u);
+  pred_arena_.assign(static_cast<std::size_t>(prog.num_preds) * warps, 0u);
+  local_arena_.assign(local_words * warps, 0u);
+
   warps_.resize(warps);
   for (std::uint32_t w = 0; w < warps; ++w) {
     WarpState& ws = warps_[w];
     ws.index = w;
-    ws.regs.assign(static_cast<std::size_t>(prog.reg_file_size) * 32u, 0u);
-    ws.preds.assign(prog.num_preds, 0u);
-    ws.local.assign(static_cast<std::size_t>((prog.local_bytes + 3) / 4) * 32u, 0u);
+    ws.regs = reg_arena_.data() + reg_words * w;
+    ws.preds = pred_arena_.data() + static_cast<std::size_t>(prog.num_preds) * w;
+    ws.local = local_arena_.data() + local_words * w;
+  }
+}
+
+void BlockExec::reset(const BlockParams& bp) {
+  VGPU_EXPECTS_MSG(bp.cfg.block_threads == bp_.cfg.block_threads,
+                   "reset must keep the block shape");
+  bp_ = bp;
+  smem_.clear();
+  std::fill(reg_arena_.begin(), reg_arena_.end(), 0u);
+  std::fill(pred_arena_.begin(), pred_arena_.end(), 0u);
+  std::fill(local_arena_.begin(), local_arena_.end(), 0u);
+  for (WarpState& ws : warps_) {
+    ws.block = 0;
+    ws.ip = 0;
+    ws.active = kFullMask;
+    ws.stack.clear();
+    ws.at_barrier = false;
+    ws.done = false;
+    ws.ready_cycle = 0;
+    ws.issued = 0;
   }
 }
 
@@ -98,6 +130,12 @@ const Instruction* BlockExec::peek(std::uint32_t w) const {
   return &prog_.blocks[ws.block].instrs[ws.ip];
 }
 
+const DecodedInstr* BlockExec::peek_decoded(std::uint32_t w) const {
+  const WarpState& ws = warps_[w];
+  if (ws.done || ws.at_barrier) return nullptr;
+  return &dec_->at(ws.block, ws.ip);
+}
+
 void BlockExec::transfer(WarpState& ws, BlockId next) {
   while (!ws.stack.empty() && ws.stack.back().reconv == next) {
     DivEntry& top = ws.stack.back();
@@ -116,6 +154,10 @@ void BlockExec::transfer(WarpState& ws, BlockId next) {
 }
 
 StepResult BlockExec::step(std::uint32_t w, std::uint64_t now) {
+  return dec_ != nullptr ? step_fast(w, now) : step_ref(w, now);
+}
+
+StepResult BlockExec::step_ref(std::uint32_t w, std::uint64_t now) {
   WarpState& ws = warps_[w];
   VGPU_EXPECTS_MSG(!ws.done, "stepping a finished warp");
   VGPU_EXPECTS_MSG(!ws.at_barrier, "stepping a warp parked at a barrier");
@@ -427,8 +469,7 @@ StepResult BlockExec::step(std::uint32_t w, std::uint64_t now) {
       res.is_store = in.op == Opcode::kStLocal;
       res.mem_mask = exec;
       const std::uint32_t word = in.imm / 4;
-      VGPU_EXPECTS_MSG(in.imm % 4 == 0 &&
-                           static_cast<std::size_t>(word) * 32u < ws.local.size(),
+      VGPU_EXPECTS_MSG(in.imm % 4 == 0 && word < local_words_,
                        "local access out of frame");
       for_lanes([&](std::uint32_t l) {
         if (res.is_store) {
@@ -528,6 +569,503 @@ StepResult BlockExec::step(std::uint32_t w, std::uint64_t now) {
           ws.stack.push_back(DivEntry{r, 0, ws.active & ~taken, in.target2});
           ws.active = taken;
           next = in.target;
+        }
+      }
+      transfer(ws, next);
+      return res;
+    }
+  }
+
+  ++ws.ip;
+  return res;
+}
+
+// The fast path: same architectural semantics as step_ref, dispatched off
+// the pre-decoded stream. Register accesses go through row pointers hoisted
+// out of the lane loop (slot arithmetic done once per instruction, not per
+// lane), and a converged warp skips per-lane mask tests entirely. Any
+// observable divergence from step_ref is a bug; the differential fuzz and
+// real-kernel equivalence tests compare both paths bit for bit.
+StepResult BlockExec::step_fast(std::uint32_t w, std::uint64_t now) {
+  WarpState& ws = warps_[w];
+  VGPU_EXPECTS_MSG(!ws.done, "stepping a finished warp");
+  VGPU_EXPECTS_MSG(!ws.at_barrier, "stepping a warp parked at a barrier");
+  const DecodedInstr& d = dec_->at(ws.block, ws.ip);
+
+  StepResult res;
+  res.kind = d.kind;
+  res.region = d.region;
+  res.op = d.op;
+  ++ws.issued;
+
+  Mask exec = ws.active;
+  if (d.guard != kNoPred) {
+    const Mask g = ws.preds[d.guard];
+    exec &= d.guard_negated ? ~g : g;
+  }
+
+  const std::uint32_t warp_size = spec_.warp_size;
+  const std::uint32_t base_thread = ws.index * warp_size;
+  std::uint32_t* const R = ws.regs;
+  auto row = [&](std::uint32_t s) -> std::uint32_t* { return R + s * 32u; };
+
+  // Converged warps take the unmasked loop; the mask test per lane is the
+  // single hottest branch in the interpreter.
+  const bool converged = (exec & full_mask_) == full_mask_;
+  auto for_lanes = [&](auto&& fn) {
+    if (converged) {
+      for (std::uint32_t lane = 0; lane < warp_size; ++lane) fn(lane);
+    } else {
+      for (std::uint32_t lane = 0; lane < warp_size; ++lane) {
+        if (exec & (1u << lane)) fn(lane);
+      }
+    }
+  };
+
+  switch (d.op) {
+    // ---- f32 -------------------------------------------------------------
+    case Opcode::kFAdd: {
+      std::uint32_t* const o = row(d.dst_slot);
+      const std::uint32_t* const a = row(d.src_slot[0]);
+      const std::uint32_t* const b = row(d.src_slot[1]);
+      for_lanes([&](std::uint32_t l) { o[l] = as_u32(as_f32(a[l]) + as_f32(b[l])); });
+      break;
+    }
+    case Opcode::kFSub: {
+      std::uint32_t* const o = row(d.dst_slot);
+      const std::uint32_t* const a = row(d.src_slot[0]);
+      const std::uint32_t* const b = row(d.src_slot[1]);
+      for_lanes([&](std::uint32_t l) { o[l] = as_u32(as_f32(a[l]) - as_f32(b[l])); });
+      break;
+    }
+    case Opcode::kFMul: {
+      std::uint32_t* const o = row(d.dst_slot);
+      const std::uint32_t* const a = row(d.src_slot[0]);
+      const std::uint32_t* const b = row(d.src_slot[1]);
+      for_lanes([&](std::uint32_t l) { o[l] = as_u32(as_f32(a[l]) * as_f32(b[l])); });
+      break;
+    }
+    case Opcode::kFFma: {
+      std::uint32_t* const o = row(d.dst_slot);
+      const std::uint32_t* const a = row(d.src_slot[0]);
+      const std::uint32_t* const b = row(d.src_slot[1]);
+      const std::uint32_t* const c = row(d.src_slot[2]);
+      for_lanes([&](std::uint32_t l) {
+        o[l] = as_u32(as_f32(a[l]) * as_f32(b[l]) + as_f32(c[l]));
+      });
+      break;
+    }
+    case Opcode::kFRcp: {
+      std::uint32_t* const o = row(d.dst_slot);
+      const std::uint32_t* const a = row(d.src_slot[0]);
+      for_lanes([&](std::uint32_t l) { o[l] = as_u32(1.0f / as_f32(a[l])); });
+      break;
+    }
+    case Opcode::kFRsqrt: {
+      std::uint32_t* const o = row(d.dst_slot);
+      const std::uint32_t* const a = row(d.src_slot[0]);
+      for_lanes([&](std::uint32_t l) {
+        o[l] = as_u32(1.0f / std::sqrt(as_f32(a[l])));
+      });
+      break;
+    }
+    case Opcode::kFNeg: {
+      std::uint32_t* const o = row(d.dst_slot);
+      const std::uint32_t* const a = row(d.src_slot[0]);
+      for_lanes([&](std::uint32_t l) { o[l] = as_u32(-as_f32(a[l])); });
+      break;
+    }
+    case Opcode::kFAbs: {
+      std::uint32_t* const o = row(d.dst_slot);
+      const std::uint32_t* const a = row(d.src_slot[0]);
+      for_lanes([&](std::uint32_t l) { o[l] = as_u32(std::fabs(as_f32(a[l]))); });
+      break;
+    }
+    case Opcode::kFMin: {
+      std::uint32_t* const o = row(d.dst_slot);
+      const std::uint32_t* const a = row(d.src_slot[0]);
+      const std::uint32_t* const b = row(d.src_slot[1]);
+      for_lanes([&](std::uint32_t l) {
+        o[l] = as_u32(std::fmin(as_f32(a[l]), as_f32(b[l])));
+      });
+      break;
+    }
+    case Opcode::kFMax: {
+      std::uint32_t* const o = row(d.dst_slot);
+      const std::uint32_t* const a = row(d.src_slot[0]);
+      const std::uint32_t* const b = row(d.src_slot[1]);
+      for_lanes([&](std::uint32_t l) {
+        o[l] = as_u32(std::fmax(as_f32(a[l]), as_f32(b[l])));
+      });
+      break;
+    }
+
+    // ---- u32 -------------------------------------------------------------
+    case Opcode::kIAdd: {
+      std::uint32_t* const o = row(d.dst_slot);
+      const std::uint32_t* const a = row(d.src_slot[0]);
+      const std::uint32_t* const b = row(d.src_slot[1]);
+      for_lanes([&](std::uint32_t l) { o[l] = a[l] + b[l]; });
+      break;
+    }
+    case Opcode::kISub: {
+      std::uint32_t* const o = row(d.dst_slot);
+      const std::uint32_t* const a = row(d.src_slot[0]);
+      const std::uint32_t* const b = row(d.src_slot[1]);
+      for_lanes([&](std::uint32_t l) { o[l] = a[l] - b[l]; });
+      break;
+    }
+    case Opcode::kIMul: {
+      std::uint32_t* const o = row(d.dst_slot);
+      const std::uint32_t* const a = row(d.src_slot[0]);
+      const std::uint32_t* const b = row(d.src_slot[1]);
+      for_lanes([&](std::uint32_t l) { o[l] = a[l] * b[l]; });
+      break;
+    }
+    case Opcode::kIMad: {
+      std::uint32_t* const o = row(d.dst_slot);
+      const std::uint32_t* const a = row(d.src_slot[0]);
+      const std::uint32_t* const b = row(d.src_slot[1]);
+      const std::uint32_t* const c = row(d.src_slot[2]);
+      for_lanes([&](std::uint32_t l) { o[l] = a[l] * b[l] + c[l]; });
+      break;
+    }
+    case Opcode::kIAddImm: {
+      std::uint32_t* const o = row(d.dst_slot);
+      const std::uint32_t* const a = row(d.src_slot[0]);
+      const std::uint32_t imm = d.imm;
+      for_lanes([&](std::uint32_t l) { o[l] = a[l] + imm; });
+      break;
+    }
+    case Opcode::kShl: {
+      std::uint32_t* const o = row(d.dst_slot);
+      const std::uint32_t* const a = row(d.src_slot[0]);
+      const std::uint32_t* const b = row(d.src_slot[1]);
+      for_lanes([&](std::uint32_t l) { o[l] = a[l] << (b[l] & 31u); });
+      break;
+    }
+    case Opcode::kShr: {
+      std::uint32_t* const o = row(d.dst_slot);
+      const std::uint32_t* const a = row(d.src_slot[0]);
+      const std::uint32_t* const b = row(d.src_slot[1]);
+      for_lanes([&](std::uint32_t l) { o[l] = a[l] >> (b[l] & 31u); });
+      break;
+    }
+    case Opcode::kAnd: {
+      std::uint32_t* const o = row(d.dst_slot);
+      const std::uint32_t* const a = row(d.src_slot[0]);
+      const std::uint32_t* const b = row(d.src_slot[1]);
+      for_lanes([&](std::uint32_t l) { o[l] = a[l] & b[l]; });
+      break;
+    }
+    case Opcode::kOr: {
+      std::uint32_t* const o = row(d.dst_slot);
+      const std::uint32_t* const a = row(d.src_slot[0]);
+      const std::uint32_t* const b = row(d.src_slot[1]);
+      for_lanes([&](std::uint32_t l) { o[l] = a[l] | b[l]; });
+      break;
+    }
+    case Opcode::kXor: {
+      std::uint32_t* const o = row(d.dst_slot);
+      const std::uint32_t* const a = row(d.src_slot[0]);
+      const std::uint32_t* const b = row(d.src_slot[1]);
+      for_lanes([&](std::uint32_t l) { o[l] = a[l] ^ b[l]; });
+      break;
+    }
+    case Opcode::kIMin: {
+      std::uint32_t* const o = row(d.dst_slot);
+      const std::uint32_t* const a = row(d.src_slot[0]);
+      const std::uint32_t* const b = row(d.src_slot[1]);
+      for_lanes([&](std::uint32_t l) { o[l] = std::min(a[l], b[l]); });
+      break;
+    }
+    case Opcode::kIMax: {
+      std::uint32_t* const o = row(d.dst_slot);
+      const std::uint32_t* const a = row(d.src_slot[0]);
+      const std::uint32_t* const b = row(d.src_slot[1]);
+      for_lanes([&](std::uint32_t l) { o[l] = std::max(a[l], b[l]); });
+      break;
+    }
+
+    // ---- moves / conversions ----------------------------------------------
+    case Opcode::kMov: {
+      std::uint32_t* const o = row(d.dst_slot);
+      const std::uint32_t* const a = row(d.src_slot[0]);
+      for_lanes([&](std::uint32_t l) { o[l] = a[l]; });
+      break;
+    }
+    case Opcode::kMovImm: {
+      std::uint32_t* const o = row(d.dst_slot);
+      const std::uint32_t imm = d.imm;
+      for_lanes([&](std::uint32_t l) { o[l] = imm; });
+      break;
+    }
+    case Opcode::kMovParam: {
+      std::uint32_t* const o = row(d.dst_slot);
+      const std::uint32_t v = bp_.params[d.imm];
+      for_lanes([&](std::uint32_t l) { o[l] = v; });
+      break;
+    }
+    case Opcode::kMovSpecial: {
+      std::uint32_t* const o = row(d.dst_slot);
+      const auto s = static_cast<Special>(d.imm);
+      for_lanes([&](std::uint32_t l) {
+        std::uint32_t v = 0;
+        switch (s) {
+          case Special::kTid: v = base_thread + l; break;
+          case Special::kCtaid: v = bp_.block_id; break;
+          case Special::kNtid: v = bp_.cfg.block_threads; break;
+          case Special::kNctaid: v = bp_.cfg.grid_blocks; break;
+          case Special::kLane: v = l; break;
+          case Special::kWarpId: v = ws.index; break;
+          case Special::kSmId: v = bp_.sm_id; break;
+          case Special::kClock: v = static_cast<std::uint32_t>(now); break;
+        }
+        o[l] = v;
+      });
+      break;
+    }
+    case Opcode::kClock: {
+      std::uint32_t* const o = row(d.dst_slot);
+      const auto v = static_cast<std::uint32_t>(now);
+      for_lanes([&](std::uint32_t l) { o[l] = v; });
+      break;
+    }
+    case Opcode::kI2F: {
+      std::uint32_t* const o = row(d.dst_slot);
+      const std::uint32_t* const a = row(d.src_slot[0]);
+      for_lanes([&](std::uint32_t l) { o[l] = as_u32(static_cast<float>(a[l])); });
+      break;
+    }
+    case Opcode::kF2I: {
+      std::uint32_t* const o = row(d.dst_slot);
+      const std::uint32_t* const a = row(d.src_slot[0]);
+      for_lanes([&](std::uint32_t l) {
+        const float f = as_f32(a[l]);
+        o[l] = f <= 0.0f ? 0u : static_cast<std::uint32_t>(f);
+      });
+      break;
+    }
+
+    // ---- predicates --------------------------------------------------------
+    case Opcode::kSetp: {
+      Mask result = 0;
+      const std::uint32_t* const a = row(d.src_slot[0]);
+      const bool has_reg_b = d.src_slot[1] != kNoSlot;
+      const std::uint32_t* const b = has_reg_b ? row(d.src_slot[1]) : nullptr;
+      if (d.cmp_is_float) {
+        for_lanes([&](std::uint32_t l) {
+          const float bb = has_reg_b ? as_f32(b[l]) : as_f32(d.imm);
+          if (cmp_f32(d.cmp, as_f32(a[l]), bb)) result |= 1u << l;
+        });
+      } else {
+        for_lanes([&](std::uint32_t l) {
+          const std::uint32_t bb = has_reg_b ? b[l] : d.imm;
+          if (cmp_u32(d.cmp, a[l], bb)) result |= 1u << l;
+        });
+      }
+      ws.preds[d.pdst] = (ws.preds[d.pdst] & ~exec) | (result & exec);
+      break;
+    }
+    case Opcode::kPAnd:
+      ws.preds[d.pdst] = (ws.preds[d.pdst] & ~exec) |
+                         (ws.preds[d.psrc0] & ws.preds[d.psrc1] & exec);
+      break;
+    case Opcode::kPOr:
+      ws.preds[d.pdst] = (ws.preds[d.pdst] & ~exec) |
+                         ((ws.preds[d.psrc0] | ws.preds[d.psrc1]) & exec);
+      break;
+    case Opcode::kPNot:
+      ws.preds[d.pdst] =
+          (ws.preds[d.pdst] & ~exec) | (~ws.preds[d.psrc0] & exec);
+      break;
+    case Opcode::kSel: {
+      std::uint32_t* const o = row(d.dst_slot);
+      const std::uint32_t* const a = row(d.src_slot[0]);
+      const std::uint32_t* const b = row(d.src_slot[1]);
+      const Mask p = ws.preds[d.psrc0];
+      for_lanes([&](std::uint32_t l) {
+        o[l] = (p & (1u << l)) ? a[l] : b[l];
+      });
+      break;
+    }
+
+    // ---- memory -------------------------------------------------------------
+    case Opcode::kLdGlobal:
+    case Opcode::kStGlobal: {
+      res.width = d.width;
+      res.is_store = d.is_store;
+      res.mem_mask = exec;
+      const std::uint32_t words = d.width_words;
+      const std::uint32_t wbytes = d.width_bytes;
+      const bool has_base = d.src_slot[0] != kNoSlot;
+      const std::uint32_t* const ab = has_base ? row(d.src_slot[0]) : nullptr;
+      const std::uint32_t imm = d.imm;
+      if (d.is_store) {
+        const std::uint32_t* const v = row(d.src_slot[1]);
+        for_lanes([&](std::uint32_t l) {
+          const std::uint32_t addr = (has_base ? ab[l] : 0u) + imm;
+          VGPU_EXPECTS_MSG(addr % wbytes == 0, "misaligned global access");
+          res.lane_addrs[l] = addr;
+          for (std::uint32_t c = 0; c < words; ++c) {
+            gmem_.store_u32(addr + 4u * c, v[c * 32u + l]);
+          }
+        });
+      } else {
+        std::uint32_t* const o = row(d.dst_slot);
+        for_lanes([&](std::uint32_t l) {
+          const std::uint32_t addr = (has_base ? ab[l] : 0u) + imm;
+          VGPU_EXPECTS_MSG(addr % wbytes == 0, "misaligned global access");
+          res.lane_addrs[l] = addr;
+          for (std::uint32_t c = 0; c < words; ++c) {
+            o[c * 32u + l] = gmem_.load_u32(addr + 4u * c);
+          }
+        });
+      }
+      break;
+    }
+    case Opcode::kLdConst: {
+      res.width = d.width;
+      res.mem_mask = exec;
+      VGPU_EXPECTS_MSG(bp_.cmem != nullptr, "kernel reads constant memory but none bound");
+      const std::uint32_t words = d.width_words;
+      const bool has_base = d.src_slot[0] != kNoSlot;
+      const std::uint32_t* const ab = has_base ? row(d.src_slot[0]) : nullptr;
+      std::uint32_t* const o = row(d.dst_slot);
+      for_lanes([&](std::uint32_t l) {
+        const std::uint32_t addr = (has_base ? ab[l] : 0u) + d.imm;
+        res.lane_addrs[l] = addr;
+        for (std::uint32_t c = 0; c < words; ++c) {
+          o[c * 32u + l] = bp_.cmem->load_u32(addr + 4u * c);
+        }
+      });
+      break;
+    }
+    case Opcode::kLdTex: {
+      res.width = d.width;
+      res.mem_mask = exec;
+      const std::uint32_t words = d.width_words;
+      const std::uint32_t wbytes = d.width_bytes;
+      const bool has_base = d.src_slot[0] != kNoSlot;
+      const std::uint32_t* const ab = has_base ? row(d.src_slot[0]) : nullptr;
+      std::uint32_t* const o = row(d.dst_slot);
+      for_lanes([&](std::uint32_t l) {
+        const std::uint32_t addr = (has_base ? ab[l] : 0u) + d.imm;
+        VGPU_EXPECTS_MSG(addr % wbytes == 0, "misaligned texture fetch");
+        res.lane_addrs[l] = addr;
+        for (std::uint32_t c = 0; c < words; ++c) {
+          o[c * 32u + l] = gmem_.load_u32(addr + 4u * c);
+        }
+      });
+      break;
+    }
+    case Opcode::kLdLocal:
+    case Opcode::kStLocal: {
+      res.width = d.width;
+      res.is_store = d.is_store;
+      res.mem_mask = exec;
+      const std::uint32_t word = d.imm / 4;
+      VGPU_EXPECTS_MSG(d.imm % 4 == 0 && word < local_words_,
+                       "local access out of frame");
+      std::uint32_t* const frame = ws.local + static_cast<std::size_t>(word) * 32u;
+      if (d.is_store) {
+        const std::uint32_t* const v = row(d.src_slot[1]);
+        for_lanes([&](std::uint32_t l) { frame[l] = v[l]; });
+      } else {
+        std::uint32_t* const o = row(d.dst_slot);
+        for_lanes([&](std::uint32_t l) { o[l] = frame[l]; });
+      }
+      break;
+    }
+    case Opcode::kLdShared:
+    case Opcode::kStShared: {
+      res.width = d.width;
+      res.is_store = d.is_store;
+      res.mem_mask = exec;
+      const std::uint32_t words = d.width_words;
+      const std::uint32_t wbytes = d.width_bytes;
+      const bool has_base = d.src_slot[0] != kNoSlot;
+      const std::uint32_t* const ab = has_base ? row(d.src_slot[0]) : nullptr;
+      if (d.is_store) {
+        const std::uint32_t* const v = row(d.src_slot[1]);
+        for_lanes([&](std::uint32_t l) {
+          const std::uint32_t addr = (has_base ? ab[l] : 0u) + d.imm;
+          VGPU_EXPECTS_MSG(addr % wbytes == 0, "misaligned shared access");
+          res.lane_addrs[l] = addr;
+          for (std::uint32_t c = 0; c < words; ++c) {
+            smem_.store_u32(addr + 4u * c, v[c * 32u + l]);
+          }
+        });
+      } else {
+        std::uint32_t* const o = row(d.dst_slot);
+        for_lanes([&](std::uint32_t l) {
+          const std::uint32_t addr = (has_base ? ab[l] : 0u) + d.imm;
+          VGPU_EXPECTS_MSG(addr % wbytes == 0, "misaligned shared access");
+          res.lane_addrs[l] = addr;
+          for (std::uint32_t c = 0; c < words; ++c) {
+            o[c * 32u + l] = smem_.load_u32(addr + 4u * c);
+          }
+        });
+      }
+      // Serialization degree: max over the half-warps; all word accesses of
+      // a wide load are presented to the banks together (adjacent banks
+      // serve a 128-bit broadcast in parallel).
+      const std::uint32_t half = spec_.half_warp;
+      std::uint32_t degree = 0;
+      std::array<std::uint32_t, 64> addrs{};
+      for (std::uint32_t h = 0; h < warp_size / half; ++h) {
+        std::size_t n = 0;
+        for (std::uint32_t k = 0; k < half; ++k) {
+          const std::uint32_t lane = h * half + k;
+          if (!(exec & (1u << lane))) continue;
+          for (std::uint32_t c = 0; c < words; ++c) {
+            addrs[n++] = res.lane_addrs[lane] + 4u * c;
+          }
+        }
+        degree = std::max(degree, bank_conflict_degree(
+                                      std::span<const std::uint32_t>(addrs.data(), n),
+                                      spec_.shared_mem_banks));
+      }
+      res.shared_conflict_degree = degree;
+      break;
+    }
+
+    // ---- control ---------------------------------------------------------------
+    case Opcode::kBar:
+      ws.at_barrier = true;
+      ++ws.ip;
+      return res;
+    case Opcode::kExit:
+      VGPU_EXPECTS_MSG(ws.stack.empty(), "exit with non-empty divergence stack");
+      ws.done = true;
+      return res;
+    case Opcode::kBra:
+      transfer(ws, d.target);
+      return res;
+    case Opcode::kBraCond: {
+      Mask p = ws.preds[d.psrc0];
+      if (d.branch_if_false) p = ~p;
+      const Mask taken = ws.active & p;
+      BlockId next;
+      if (taken == ws.active) {
+        next = d.target;
+      } else if (taken == 0) {
+        next = d.target2;
+      } else {
+        res.divergent_branch = true;
+        const BlockId r = d.reconv;
+        if (d.target == r) {
+          park(ws, r, taken);
+          ws.active &= ~taken;
+          next = d.target2;
+        } else if (d.target2 == r) {
+          park(ws, r, ws.active & ~taken);
+          ws.active = taken;
+          next = d.target;
+        } else {
+          ws.stack.push_back(DivEntry{r, 0, ws.active & ~taken, d.target2});
+          ws.active = taken;
+          next = d.target;
         }
       }
       transfer(ws, next);

@@ -10,6 +10,15 @@
 // Divergence uses a reconvergence stack driven by the `reconv` annotation
 // the KernelBuilder attaches to conditional branches, the software analogue
 // of the G80's SSY/join mechanism.
+//
+// Two execution paths share this state:
+//   * the reference path interprets `Instruction` directly (step_ref), and
+//   * the fast path (step_fast) dispatches off a pre-decoded stream
+//     (decode.hpp) with operand slots already resolved, and is required to
+//     be bit-identical to the reference in every architectural effect.
+// Lane storage lives in per-block arenas owned by BlockExec (one
+// allocation per block, not one per warp), and `reset()` lets executors
+// reuse one BlockExec across the whole grid instead of reallocating.
 #pragma once
 
 #include <array>
@@ -23,6 +32,9 @@
 #include "vgpu/memory.hpp"
 
 namespace vgpu {
+
+struct DecodedInstr;
+struct DecodedProgram;
 
 using Mask = std::uint32_t;
 inline constexpr Mask kFullMask = 0xFFFFFFFFu;
@@ -49,11 +61,12 @@ struct WarpState {
   std::uint64_t issued = 0;       ///< dynamic warp instructions
 
   /// Lane storage: regs[slot * 32 + lane]; slot = Program::reg_base + comp.
-  std::vector<std::uint32_t> regs;
-  /// One 32-bit lane mask per predicate register.
-  std::vector<Mask> preds;
+  /// Points into the BlockExec-owned per-block arena.
+  std::uint32_t* regs = nullptr;
+  /// One 32-bit lane mask per predicate register (arena-backed).
+  Mask* preds = nullptr;
   /// Per-thread local memory (spill frames): local[word * 32 + lane].
-  std::vector<std::uint32_t> local;
+  std::uint32_t* local = nullptr;
 };
 
 /// What one instruction step did; the timing executor prices this.
@@ -86,11 +99,19 @@ struct BlockParams {
 
 class BlockExec {
  public:
+  /// When `dec` is non-null it must be `decode(prog)`; step() then runs the
+  /// fast pre-decoded path. With `dec == nullptr` the reference interpreter
+  /// runs.
   BlockExec(const Program& prog, const DeviceSpec& spec, GlobalMemory& gmem,
-            const BlockParams& bp);
+            const BlockParams& bp, const DecodedProgram* dec = nullptr);
 
   BlockExec(const BlockExec&) = delete;
   BlockExec& operator=(const BlockExec&) = delete;
+
+  /// Rewind to the launch state for another block of the same kernel:
+  /// zeroes lane storage and shared memory, resets every warp. Equivalent
+  /// to constructing a fresh BlockExec with `bp`, without the allocations.
+  void reset(const BlockParams& bp);
 
   [[nodiscard]] std::uint32_t num_warps() const {
     return static_cast<std::uint32_t>(warps_.size());
@@ -107,6 +128,12 @@ class BlockExec {
   /// scoreboard dependencies before issuing.
   [[nodiscard]] const Instruction* peek(std::uint32_t w) const;
 
+  /// Pre-decoded twin of peek(); only valid when constructed with a
+  /// DecodedProgram.
+  [[nodiscard]] const DecodedInstr* peek_decoded(std::uint32_t w) const;
+
+  [[nodiscard]] bool decoded() const { return dec_ != nullptr; }
+
   /// Register-file slot of an operand (base + component), for scoreboarding.
   [[nodiscard]] std::uint32_t operand_slot(const Operand& o, std::uint8_t extra = 0) const {
     return prog_.reg_base[o.reg] + o.comp + extra;
@@ -120,6 +147,9 @@ class BlockExec {
   void release_barrier();
 
  private:
+  StepResult step_ref(std::uint32_t w, std::uint64_t now);
+  StepResult step_fast(std::uint32_t w, std::uint64_t now);
+
   void transfer(WarpState& ws, BlockId next);
   void park(WarpState& ws, BlockId reconv, Mask m);
 
@@ -137,6 +167,17 @@ class BlockExec {
   BlockParams bp_;
   SharedMemory smem_;
   std::vector<WarpState> warps_;
+
+  const DecodedProgram* dec_ = nullptr;
+  /// Mask of lanes that exist at this warp size; `exec` covering all of
+  /// them enables the convergence fast path (no per-lane mask tests).
+  Mask full_mask_ = kFullMask;
+  std::uint32_t local_words_ = 0;  ///< per-thread local frame, in words
+
+  // Flattened per-block lane storage; WarpState pointers index into these.
+  std::vector<std::uint32_t> reg_arena_;
+  std::vector<Mask> pred_arena_;
+  std::vector<std::uint32_t> local_arena_;
 };
 
 }  // namespace vgpu

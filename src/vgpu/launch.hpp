@@ -64,8 +64,27 @@ struct LaunchStats {
   std::uint32_t blocks_simulated = 0;  ///< < blocks_total when sampled
   double extrapolation_factor = 1.0;   ///< cycles multiplier applied
 
+  // --- fast-path instrumentation ---
+  /// Coalescing-memo hit/miss totals (zero on the reference path). These are
+  /// the only fields on which the fast path may legitimately differ from the
+  /// reference; everything else is covered by the cycle-identity invariant.
+  std::uint64_t coalesce_memo_hits = 0;
+  std::uint64_t coalesce_memo_misses = 0;
+
   [[nodiscard]] std::uint64_t region(Region r) const {
     return region_instructions[static_cast<std::size_t>(r)];
+  }
+
+  friend bool operator==(const LaunchStats&, const LaunchStats&) = default;
+
+  /// Copy with the fast-path-only instrumentation zeroed: the part of the
+  /// stats every execution path must agree on exactly. Equivalence tests
+  /// compare `a.core() == b.core()`.
+  [[nodiscard]] LaunchStats core() const {
+    LaunchStats c = *this;
+    c.coalesce_memo_hits = 0;
+    c.coalesce_memo_misses = 0;
+    return c;
   }
 };
 

@@ -1,0 +1,77 @@
+#include "vgpu/memo.hpp"
+
+#include <algorithm>
+
+namespace vgpu {
+
+std::size_t CoalesceMemo::KeyHash::operator()(const Key& k) const {
+  // FNV-1a over the packed meta word and the offset pattern.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFFu;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(k.meta);
+  for (std::size_t i = 0; i + 1 < k.offsets.size(); i += 2) {
+    mix(static_cast<std::uint64_t>(k.offsets[i]) |
+        (static_cast<std::uint64_t>(k.offsets[i + 1]) << 32));
+  }
+  return static_cast<std::size_t>(h);
+}
+
+void CoalesceMemo::lookup(const MemRequest& req, CoalesceResult& out) {
+  const std::uint32_t lanes = static_cast<std::uint32_t>(req.lane_addrs.size());
+  std::uint32_t min_addr = 0;
+  bool any = false;
+  for (std::uint32_t k = 0; k < lanes; ++k) {
+    if (!(req.active & (1u << k))) continue;
+    if (!any || req.lane_addrs[k] < min_addr) min_addr = req.lane_addrs[k];
+    any = true;
+  }
+  if (!any || lanes > 16) {
+    // Nothing to normalize (or an out-of-shape request): just delegate.
+    coalesce(req, model_, out);
+    return;
+  }
+
+  // All models are translation-invariant modulo 256 bytes, so the key is the
+  // lane offsets from the 256-byte-aligned base; inactive lanes are masked
+  // to zero (their addresses must not influence the key - the models ignore
+  // them).
+  const std::uint32_t base = min_addr & ~255u;
+  Key key;
+  key.meta = static_cast<std::uint64_t>(req.active & 0xFFFFu) |
+             (static_cast<std::uint64_t>(req.width) << 16) |
+             (static_cast<std::uint64_t>(req.is_store) << 24) |
+             (static_cast<std::uint64_t>(lanes) << 32);
+  for (std::uint32_t k = 0; k < lanes; ++k) {
+    if (req.active & (1u << k)) key.offsets[k] = req.lane_addrs[k] - base;
+  }
+
+  const auto it = table_.find(key);
+  if (it != table_.end()) {
+    ++hits_;
+    const Entry& e = it->second;
+    out.coalesced = e.coalesced;
+    out.transactions.clear();
+    out.transactions.reserve(e.rel.size());
+    for (const Transaction& t : e.rel) {
+      out.transactions.push_back({t.base + base, t.bytes});
+    }
+    return;
+  }
+
+  ++misses_;
+  coalesce(req, model_, out);
+  Entry e;
+  e.coalesced = out.coalesced;
+  e.rel.reserve(out.transactions.size());
+  for (const Transaction& t : out.transactions) {
+    e.rel.push_back({t.base - base, t.bytes});
+  }
+  table_.emplace(key, std::move(e));
+}
+
+}  // namespace vgpu

@@ -1,0 +1,65 @@
+// memo.hpp - memoization of coalescing decisions.
+//
+// The coalescing models (coalesce.hpp) are pure functions of the half-warp
+// access *pattern*: all three drivers' rules are invariant under translating
+// every lane address by a multiple of 256 bytes (the strictest alignment any
+// rule inspects - 16 lanes x 16 bytes for strict W128 coalescing; segment
+// rules only look at 128-byte granularity). The tile-periodic kernels this
+// simulator runs issue the same handful of patterns millions of times at
+// marching base addresses, so CoalesceMemo normalizes each request to its
+// 256-byte-aligned base, caches the resulting transactions relative to that
+// base, and re-materializes them on a hit without re-running the model.
+//
+// A memo is bound to one DriverModel. Hit results are exact, not
+// approximate: the differential tests check memoized and direct results
+// transaction-for-transaction. Hit/miss totals surface in
+// LaunchStats::coalesce_memo_{hits,misses} - the only LaunchStats fields on
+// which the fast path may differ from the reference path.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "vgpu/coalesce.hpp"
+
+namespace vgpu {
+
+class CoalesceMemo {
+ public:
+  explicit CoalesceMemo(DriverModel model) : model_(model) {}
+
+  /// Fills `out` exactly as coalesce(req, model) would.
+  void lookup(const MemRequest& req, CoalesceResult& out);
+
+  [[nodiscard]] DriverModel model() const { return model_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::size_t distinct_patterns() const { return table_.size(); }
+
+ private:
+  /// active mask, width, store flag and lane count packed together, plus the
+  /// per-lane offsets from the request's 256-byte-aligned base address.
+  struct Key {
+    std::uint64_t meta = 0;
+    std::array<std::uint32_t, 16> offsets{};
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    [[nodiscard]] std::size_t operator()(const Key& k) const;
+  };
+  /// Transactions with bases relative to the request's aligned base.
+  struct Entry {
+    std::vector<Transaction> rel;
+    bool coalesced = false;
+  };
+
+  DriverModel model_;
+  std::unordered_map<Key, Entry, KeyHash> table_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace vgpu

@@ -91,6 +91,13 @@ std::string format_profile(const KernelProfile& p, const DeviceSpec& spec) {
   line("global memory  : %llu requests, %.1f txn/request, %.0f%% coalesced",
        static_cast<unsigned long long>(s.global_requests),
        p.avg_txn_per_request, 100.0 * p.coalesced_fraction);
+  if (s.coalesce_memo_hits + s.coalesce_memo_misses > 0) {
+    line("coalesce memo  : %llu hits / %llu misses (%.1f%% hit rate)",
+         static_cast<unsigned long long>(s.coalesce_memo_hits),
+         static_cast<unsigned long long>(s.coalesce_memo_misses),
+         100.0 * static_cast<double>(s.coalesce_memo_hits) /
+             static_cast<double>(s.coalesce_memo_hits + s.coalesce_memo_misses));
+  }
   line("dram traffic   : %llu B (%.2f GB/s achieved, %.1f GB/s peak)",
        static_cast<unsigned long long>(s.global_bytes), p.achieved_gbps,
        static_cast<double>(spec.timing.dram_bytes_per_cycle) *

@@ -6,12 +6,15 @@
 #include <array>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "vgpu/check.hpp"
 #include "vgpu/coalesce.hpp"
+#include "vgpu/decode.hpp"
 #include "vgpu/executor.hpp"
 #include "vgpu/interp.hpp"
+#include "vgpu/memo.hpp"
 #include "vgpu/occupancy.hpp"
 #include "vgpu/timeline.hpp"
 
@@ -54,6 +57,16 @@ struct Sm {
     }
     return false;
   }
+};
+
+/// The post-step fields the cycle-charging switch needs from the issued
+/// instruction, fillable from either encoding so both execution paths share
+/// one switch body.
+struct IssueView {
+  std::uint32_t dst_slot = kNoSlot;
+  std::uint32_t width_words = 1;
+  PredId pdst = kNoPred;
+  bool is_load = false;
 };
 
 }  // namespace
@@ -108,6 +121,15 @@ LaunchStats run_timed(const Program& prog, const DeviceSpec& spec,
       static_cast<double>(t.dram_partitions) / static_cast<double>(dram_bpc);
   std::uint32_t next_block = 0;
 
+  std::optional<DecodedProgram> dec;
+  std::optional<CoalesceMemo> memo;
+  if (!opt.reference) {
+    dec.emplace(decode(prog));
+    memo.emplace(opt.driver);
+  }
+  const DecodedProgram* const decp = dec ? &*dec : nullptr;
+  const bool fast = decp != nullptr;
+
   auto dispatch = [&](Sm& sm, std::size_t slot, std::uint32_t sm_id,
                       std::uint64_t when) {
     ResidentBlock& rb = sm.slots[slot];
@@ -122,7 +144,11 @@ LaunchStats run_timed(const Program& prog, const DeviceSpec& spec,
     BlockParams bp{next_block++, cfg, params, sm_id, opt.cmem};
     rb.block_id = bp.block_id;
     rb.start_cycle = when;
-    rb.exec = std::make_unique<BlockExec>(prog, spec, gmem, bp);
+    if (fast && rb.exec) {
+      rb.exec->reset(bp);  // reuse the slot's arenas instead of reallocating
+    } else {
+      rb.exec = std::make_unique<BlockExec>(prog, spec, gmem, bp, decp);
+    }
     rb.reg_ready.assign(static_cast<std::size_t>(prog.reg_file_size) * warps_per_block, 0);
     rb.pred_ready.assign(static_cast<std::size_t>(prog.num_preds) * warps_per_block, 0);
     rb.load_ring.assign(static_cast<std::size_t>(mshr) * warps_per_block, 0);
@@ -144,6 +170,7 @@ LaunchStats run_timed(const Program& prog, const DeviceSpec& spec,
   }
 
   CoalesceResult scratch;
+  scratch.transactions.reserve(32);
 
   // Scoreboard: earliest cycle at which every register/predicate the
   // instruction touches is available.
@@ -178,11 +205,36 @@ LaunchStats run_timed(const Program& prog, const DeviceSpec& spec,
     return ready;
   };
 
-  auto set_reg_ready = [&](ResidentBlock& rb, std::uint32_t w, const Operand& o,
-                           std::uint32_t words, std::uint64_t when) {
-    if (!o.valid()) return;
+  // Fast-path scoreboard scan over the pre-flattened read-set - same
+  // dependencies as dep_ready (decode() mirrors its walk), no operand
+  // re-resolution per issue attempt.
+  auto dep_ready_fast = [&](const ResidentBlock& rb, std::uint32_t w,
+                            const DecodedInstr& d) {
     const std::size_t rbase = static_cast<std::size_t>(w) * prog.reg_file_size;
-    const std::uint32_t slot = prog.reg_base[o.reg] + o.comp;
+    std::uint64_t ready = 0;
+    for (std::uint32_t i = 0; i < d.num_deps; ++i) {
+      const DecodedInstr::RegDep& dep = d.deps[i];
+      for (std::uint32_t c = 0; c < dep.words; ++c) {
+        ready = std::max(ready, rb.reg_ready[rbase + dep.slot + c]);
+      }
+    }
+    if (d.num_pred_deps != 0) {
+      const std::size_t pbase = static_cast<std::size_t>(w) * prog.num_preds;
+      for (std::uint32_t i = 0; i < d.num_pred_deps; ++i) {
+        ready = std::max(ready, rb.pred_ready[pbase + d.pred_deps[i]]);
+      }
+    }
+    if (d.op == Opcode::kLdGlobal) {
+      const std::size_t ring_base = static_cast<std::size_t>(w) * mshr;
+      ready = std::max(ready, rb.load_ring[ring_base + rb.load_ring_pos[w]]);
+    }
+    return ready;
+  };
+
+  auto set_slot_ready = [&](ResidentBlock& rb, std::uint32_t w, std::uint32_t slot,
+                            std::uint32_t words, std::uint64_t when) {
+    if (slot == kNoSlot) return;
+    const std::size_t rbase = static_cast<std::size_t>(w) * prog.reg_file_size;
     for (std::uint32_t c = 0; c < words; ++c) {
       rb.reg_ready[rbase + slot + c] = when;
     }
@@ -218,10 +270,18 @@ LaunchStats run_timed(const Program& prog, const DeviceSpec& spec,
       const std::uint32_t w = idx % warps_per_block;
       ResidentBlock& rb = sm.slots[slot];
       if (!rb.exec) continue;
-      const Instruction* in = rb.exec->peek(w);
-      if (in == nullptr) continue;  // done or at barrier
+      std::uint64_t dep;
+      if (fast) {
+        const DecodedInstr* din = rb.exec->peek_decoded(w);
+        if (din == nullptr) continue;  // done or at barrier
+        dep = dep_ready_fast(rb, w, *din);
+      } else {
+        const Instruction* in = rb.exec->peek(w);
+        if (in == nullptr) continue;  // done or at barrier
+        dep = dep_ready(rb, w, *in);
+      }
       const WarpState& ws = rb.exec->warp(w);
-      const std::uint64_t ready_at = std::max(ws.ready_cycle, dep_ready(rb, w, *in));
+      const std::uint64_t ready_at = std::max(ws.ready_cycle, dep);
       if (ready_at <= sm.cycle) {
         chosen = idx;
         break;
@@ -244,7 +304,16 @@ LaunchStats run_timed(const Program& prog, const DeviceSpec& spec,
     BlockExec& exec = *rb.exec;
     WarpState& ws = exec.warp(w);
 
-    const Instruction instr = *exec.peek(w);  // copy: step advances state
+    // Snapshot what the writeback stage needs before step advances state.
+    IssueView iv;
+    if (fast) {
+      const DecodedInstr& din = *exec.peek_decoded(w);
+      iv = IssueView{din.dst_slot, din.width_words, din.pdst, din.is_load};
+    } else {
+      const Instruction& in = *exec.peek(w);
+      iv = IssueView{in.dst.valid() ? exec.operand_slot(in.dst) : kNoSlot,
+                     width_words(in.width), in.pdst, in.is_load()};
+    }
     const std::uint64_t issue_start = sm.cycle;
     const StepResult res = exec.step(w, sm.cycle);
     ++stats.warp_instructions;
@@ -256,9 +325,9 @@ LaunchStats run_timed(const Program& prog, const DeviceSpec& spec,
       case StepResult::Kind::kAlu:
         sm.cycle += t.alu_issue_cycles;
         ws.ready_cycle = sm.cycle;
-        set_reg_ready(rb, w, instr.dst, 1, sm.cycle + t.alu_result_latency_cycles);
-        if (instr.pdst != kNoPred) {
-          rb.pred_ready[static_cast<std::size_t>(w) * prog.num_preds + instr.pdst] =
+        set_slot_ready(rb, w, iv.dst_slot, 1, sm.cycle + t.alu_result_latency_cycles);
+        if (iv.pdst != kNoPred) {
+          rb.pred_ready[static_cast<std::size_t>(w) * prog.num_preds + iv.pdst] =
               sm.cycle + t.alu_result_latency_cycles;
         }
         break;
@@ -268,9 +337,9 @@ LaunchStats run_timed(const Program& prog, const DeviceSpec& spec,
         if (degree > 1) stats.shared_conflict_extra += degree - 1;
         sm.cycle += static_cast<std::uint64_t>(t.shared_issue_cycles) * degree;
         ws.ready_cycle = sm.cycle;
-        if (instr.is_load()) {
-          set_reg_ready(rb, w, instr.dst, width_words(instr.width),
-                        sm.cycle + t.shared_result_latency_cycles);
+        if (iv.is_load) {
+          set_slot_ready(rb, w, iv.dst_slot, iv.width_words,
+                         sm.cycle + t.shared_result_latency_cycles);
         }
         break;
       }
@@ -289,7 +358,11 @@ LaunchStats run_timed(const Program& prog, const DeviceSpec& spec,
           if (active == 0) continue;
           MemRequest req{std::span<const std::uint32_t>(addrs.data(), half),
                          active, res.width, res.is_store};
-          coalesce(req, opt.driver, scratch);
+          if (memo) {
+            memo->lookup(req, scratch);
+          } else {
+            coalesce(req, opt.driver, scratch);
+          }
           ++stats.global_requests;
           if (scratch.coalesced) {
             ++stats.coalesced_requests;
@@ -362,13 +435,13 @@ LaunchStats run_timed(const Program& prog, const DeviceSpec& spec,
         if (any_uncoalesced) port += t.uncoalesced_port_cycles(opt.driver);
         sm.cycle += port;
         ws.ready_cycle = sm.cycle;  // non-blocking: warp keeps going
-        if (instr.is_load()) {
+        if (iv.is_load) {
           std::uint64_t data_back =
               std::max(completion, sm.cycle) + t.global_latency_cycles;
           if (any_uncoalesced) {
             data_back += t.uncoalesced_latency_cycles(opt.driver);
           }
-          set_reg_ready(rb, w, instr.dst, width_words(instr.width), data_back);
+          set_slot_ready(rb, w, iv.dst_slot, iv.width_words, data_back);
           const std::size_t ring_base = static_cast<std::size_t>(w) * mshr;
           rb.load_ring[ring_base + rb.load_ring_pos[w]] = data_back;
           rb.load_ring_pos[w] = (rb.load_ring_pos[w] + 1) % mshr;
@@ -398,8 +471,8 @@ LaunchStats run_timed(const Program& prog, const DeviceSpec& spec,
           completion = std::max(completion,
                                 static_cast<std::uint64_t>(start + service) + 1);
         }
-        if (instr.is_load()) {
-          set_reg_ready(rb, w, instr.dst, 1, completion + t.global_latency_cycles);
+        if (iv.is_load) {
+          set_slot_ready(rb, w, iv.dst_slot, 1, completion + t.global_latency_cycles);
         }
         break;
       }
@@ -424,8 +497,8 @@ LaunchStats run_timed(const Program& prog, const DeviceSpec& spec,
             std::max(1u, distinct);
         sm.cycle += cost;
         ws.ready_cycle = sm.cycle;
-        set_reg_ready(rb, w, instr.dst, width_words(instr.width),
-                      sm.cycle + t.alu_result_latency_cycles);
+        set_slot_ready(rb, w, iv.dst_slot, iv.width_words,
+                       sm.cycle + t.alu_result_latency_cycles);
         break;
       }
       case StepResult::Kind::kTex: {
@@ -469,7 +542,7 @@ LaunchStats run_timed(const Program& prog, const DeviceSpec& spec,
             if (sm.tex_lines.size() > max_lines) sm.tex_lines.pop_back();
           }
         }
-        set_reg_ready(rb, w, instr.dst, width_words(instr.width), completion);
+        set_slot_ready(rb, w, iv.dst_slot, iv.width_words, completion);
         break;
       }
       case StepResult::Kind::kBarrier:
@@ -520,6 +593,10 @@ LaunchStats run_timed(const Program& prog, const DeviceSpec& spec,
   std::uint64_t end_cycle = 0;
   for (const Sm& sm : sms) end_cycle = std::max(end_cycle, sm.cycle);
   stats.cycles = end_cycle;
+  if (memo) {
+    stats.coalesce_memo_hits = memo->hits();
+    stats.coalesce_memo_misses = memo->misses();
+  }
   if (sink != nullptr) sink->on_end(end_cycle);
   return stats;
 }

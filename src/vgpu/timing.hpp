@@ -40,6 +40,11 @@ struct TimingOptions {
   /// Optional timeline observer (null = off). Observing is side-effect
   /// free: the reported stats are bit-identical with and without a sink.
   TimelineSink* sink = nullptr;
+  /// Run the reference interpreter/scoreboard instead of the pre-decoded
+  /// fast path. Both must report identical LaunchStats::core() - including
+  /// cycles - and identical memory contents; the differential tests
+  /// exercise this flag.
+  bool reference = false;
 };
 
 /// Run the grid under the timing model. The program must be

@@ -1,0 +1,170 @@
+// CoalesceMemo correctness: the memo must be a transparent cache over
+// coalesce() - same transactions, same coalesced flag - for every driver
+// model, while keying on the translation-invariant access pattern. The
+// properties checked here back the fast executor's claim that memoized
+// lookups can never change LaunchStats.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <random>
+#include <vector>
+
+#include "vgpu/coalesce.hpp"
+#include "vgpu/memo.hpp"
+
+namespace vgpu {
+namespace {
+
+constexpr std::array<DriverModel, 3> kDrivers = {
+    DriverModel::kCuda10, DriverModel::kCuda11, DriverModel::kCuda22};
+
+MemRequest make_req(std::span<const std::uint32_t> addrs, std::uint32_t active,
+                    MemWidth width, bool is_store) {
+  MemRequest req;
+  req.lane_addrs = addrs;
+  req.active = active;
+  req.width = width;
+  req.is_store = is_store;
+  return req;
+}
+
+bool same_result(const CoalesceResult& a, const CoalesceResult& b) {
+  if (a.coalesced != b.coalesced) return false;
+  if (a.transactions.size() != b.transactions.size()) return false;
+  for (std::size_t i = 0; i < a.transactions.size(); ++i) {
+    if (a.transactions[i].base != b.transactions[i].base) return false;
+    if (a.transactions[i].bytes != b.transactions[i].bytes) return false;
+  }
+  return true;
+}
+
+TEST(CoalesceMemoTest, MatchesDirectCoalesceOnRandomPatterns) {
+  std::mt19937 rng(2026);
+  for (const DriverModel driver : kDrivers) {
+    CoalesceMemo memo(driver);
+    for (int trial = 0; trial < 4000; ++trial) {
+      const MemWidth width = rng() % 3 == 0
+                                 ? (rng() % 2 == 0 ? MemWidth::kW64
+                                                   : MemWidth::kW128)
+                                 : MemWidth::kW32;
+      // coalesce() requires addresses aligned to the access width
+      const std::uint32_t wbytes =
+          width == MemWidth::kW128 ? 16u : (width == MemWidth::kW64 ? 8u : 4u);
+      std::array<std::uint32_t, 16> addrs{};
+      // Mix strided, aligned, and scattered patterns at varied bases.
+      const auto base = static_cast<std::uint32_t>(rng() % 4096u) * wbytes;
+      const std::uint32_t stride = 1u << (rng() % 6);
+      const bool scatter = rng() % 4 == 0;
+      for (std::uint32_t l = 0; l < 16; ++l) {
+        addrs[l] =
+            scatter ? base + static_cast<std::uint32_t>(rng() % 512u) * wbytes
+                    : base + l * stride * wbytes;
+      }
+      // Mostly full half-warps (so repeated patterns actually hit), with a
+      // sprinkle of random partial masks.
+      const std::uint32_t active =
+          rng() % 4 == 0 ? static_cast<std::uint32_t>(rng() & 0xFFFFu)
+                         : 0xFFFFu;
+      const MemRequest req =
+          make_req(addrs, active, width, /*is_store=*/rng() % 2 == 0);
+
+      CoalesceResult via_memo;
+      memo.lookup(req, via_memo);
+      const CoalesceResult direct = coalesce(req, driver);
+      ASSERT_TRUE(same_result(via_memo, direct))
+          << "driver " << to_string(driver) << " trial " << trial;
+    }
+    EXPECT_GT(memo.hits(), 0u);
+    EXPECT_GT(memo.misses(), 0u);
+    EXPECT_EQ(memo.model(), driver);
+  }
+}
+
+TEST(CoalesceMemoTest, TranslatedPatternHitsAndTranslatesTransactions) {
+  for (const DriverModel driver : kDrivers) {
+    CoalesceMemo memo(driver);
+    std::array<std::uint32_t, 16> addrs{};
+    for (std::uint32_t l = 0; l < 16; ++l) addrs[l] = 1024u + l * 4u;
+    const MemRequest first = make_req(addrs, 0xFFFFu, MemWidth::kW32, false);
+    CoalesceResult r0;
+    memo.lookup(first, r0);
+    EXPECT_EQ(memo.misses(), 1u);
+    EXPECT_EQ(memo.hits(), 0u);
+
+    // The same pattern shifted by multiples of 256 B must hit the memo and
+    // come back exactly as coalesce() would compute it at the new base.
+    for (std::uint32_t shift = 256; shift <= 256 * 8; shift += 256) {
+      std::array<std::uint32_t, 16> moved{};
+      for (std::uint32_t l = 0; l < 16; ++l) moved[l] = addrs[l] + shift;
+      const MemRequest req = make_req(moved, 0xFFFFu, MemWidth::kW32, false);
+      CoalesceResult via_memo;
+      memo.lookup(req, via_memo);
+      const CoalesceResult direct = coalesce(req, driver);
+      ASSERT_TRUE(same_result(via_memo, direct))
+          << "driver " << to_string(driver) << " shift " << shift;
+    }
+    EXPECT_EQ(memo.hits(), 8u);
+    EXPECT_EQ(memo.misses(), 1u);
+    EXPECT_EQ(memo.distinct_patterns(), 1u);
+  }
+}
+
+TEST(CoalesceMemoTest, SubSegmentShiftIsADistinctPattern) {
+  // A 4-byte shift changes the offsets relative to the 256 B window, so it
+  // must miss (and must still agree with coalesce(), e.g. breaking strict
+  // CUDA 1.0 alignment).
+  for (const DriverModel driver : kDrivers) {
+    CoalesceMemo memo(driver);
+    for (const std::uint32_t base : {1024u, 1028u}) {
+      std::array<std::uint32_t, 16> addrs{};
+      for (std::uint32_t l = 0; l < 16; ++l) addrs[l] = base + l * 4u;
+      const MemRequest req = make_req(addrs, 0xFFFFu, MemWidth::kW32, false);
+      CoalesceResult via_memo;
+      memo.lookup(req, via_memo);
+      ASSERT_TRUE(same_result(via_memo, coalesce(req, driver)));
+    }
+    EXPECT_EQ(memo.misses(), 2u);
+    EXPECT_EQ(memo.hits(), 0u);
+    EXPECT_EQ(memo.distinct_patterns(), 2u);
+  }
+}
+
+TEST(CoalesceMemoTest, StoreAndLoadAreSeparateKeys) {
+  CoalesceMemo memo(DriverModel::kCuda10);
+  std::array<std::uint32_t, 16> addrs{};
+  for (std::uint32_t l = 0; l < 16; ++l) addrs[l] = 512u + l * 4u;
+  CoalesceResult out;
+  memo.lookup(make_req(addrs, 0xFFFFu, MemWidth::kW32, false), out);
+  memo.lookup(make_req(addrs, 0xFFFFu, MemWidth::kW32, true), out);
+  EXPECT_EQ(memo.misses(), 2u);
+  EXPECT_EQ(memo.distinct_patterns(), 2u);
+  // And widths likewise.
+  memo.lookup(make_req(addrs, 0xFFFFu, MemWidth::kW64, false), out);
+  EXPECT_EQ(memo.misses(), 3u);
+}
+
+TEST(CoalesceMemoTest, ActiveMaskIsPartOfTheKey) {
+  CoalesceMemo memo(DriverModel::kCuda22);
+  std::array<std::uint32_t, 16> addrs{};
+  for (std::uint32_t l = 0; l < 16; ++l) addrs[l] = 2048u + l * 8u;
+  CoalesceResult out;
+  memo.lookup(make_req(addrs, 0xFFFFu, MemWidth::kW32, false), out);
+  memo.lookup(make_req(addrs, 0x00FFu, MemWidth::kW32, false), out);
+  memo.lookup(make_req(addrs, 0x00FFu, MemWidth::kW32, false), out);
+  EXPECT_EQ(memo.misses(), 2u);
+  EXPECT_EQ(memo.hits(), 1u);
+}
+
+TEST(CoalesceMemoTest, EmptyRequestBypassesTheMemo) {
+  CoalesceMemo memo(DriverModel::kCuda10);
+  std::array<std::uint32_t, 16> addrs{};
+  CoalesceResult via_memo;
+  memo.lookup(make_req(addrs, 0u, MemWidth::kW32, false), via_memo);
+  const CoalesceResult direct =
+      coalesce(make_req(addrs, 0u, MemWidth::kW32, false), DriverModel::kCuda10);
+  EXPECT_TRUE(same_result(via_memo, direct));
+  EXPECT_EQ(memo.hits() + memo.misses(), 0u);
+}
+
+}  // namespace
+}  // namespace vgpu

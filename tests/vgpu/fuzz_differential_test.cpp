@@ -4,6 +4,12 @@
 // four executions must agree bit-for-bit. This is the strongest correctness
 // evidence for the pass/allocator combination the paper experiments hinge
 // on.
+//
+// A second differential axis covers the executor itself: every seed also
+// runs the pre-decoded fast path against the reference interpreter
+// (FunctionalOptions/TimingOptions `reference`) under all three driver
+// models, demanding bit-identical memory results and identical
+// LaunchStats::core() - cycles included in timing mode.
 #include <gtest/gtest.h>
 
 #include <random>
@@ -147,6 +153,42 @@ std::vector<std::uint32_t> run_program(const Program& prog) {
   return out;
 }
 
+/// One execution (fast or reference, functional or timed) of a fuzz
+/// program on a fresh device with the shared deterministic input.
+struct DiffRun {
+  std::vector<std::uint32_t> out;
+  LaunchStats stats;
+};
+
+DiffRun run_diff(const Program& prog, DriverModel driver, bool timed,
+                 bool reference) {
+  const std::uint32_t n = 128;
+  Device dev(tiny_spec(), 1 << 20);
+  std::vector<float> input(4096);
+  std::mt19937 rng(99);
+  std::uniform_real_distribution<float> dist(-8.0f, 8.0f);
+  for (float& v : input) v = dist(rng);
+  Buffer bin = dev.upload<float>(input);
+  Buffer bout = dev.malloc_n<float>(n);
+  const std::uint32_t params[2] = {bin.addr, bout.addr};
+  const LaunchConfig cfg{n / 64, 64};
+  DiffRun r;
+  if (timed) {
+    TimingOptions topt;
+    topt.driver = driver;
+    topt.reference = reference;
+    r.stats = dev.launch_timed(prog, cfg, params, topt);
+  } else {
+    FunctionalOptions fopt;
+    fopt.driver = driver;
+    fopt.reference = reference;
+    r.stats = dev.launch_functional(prog, cfg, params, fopt);
+  }
+  r.out.resize(n);
+  dev.download<std::uint32_t>(r.out, bout);
+  return r;
+}
+
 class FuzzSeed : public ::testing::TestWithParam<std::uint32_t> {};
 
 TEST_P(FuzzSeed, PassesAndAllocatorPreserveSemantics) {
@@ -192,6 +234,36 @@ TEST_P(FuzzSeed, PassesAndAllocatorPreserveSemantics) {
     allocate_registers(p);
     verify(p);
     EXPECT_EQ(run_program(p), want) << "pipeline+regalloc diverged";
+  }
+}
+
+TEST_P(FuzzSeed, FastPathMatchesReferenceExecutor) {
+  RandomKernelGen gen(GetParam());
+  Program p = gen.generate();
+  run_standard_pipeline(p);
+  allocate_registers(p);
+  verify(p);
+
+  for (const DriverModel driver :
+       {DriverModel::kCuda10, DriverModel::kCuda11, DriverModel::kCuda22}) {
+    {
+      const DiffRun ref = run_diff(p, driver, /*timed=*/false, true);
+      const DiffRun fast = run_diff(p, driver, /*timed=*/false, false);
+      EXPECT_EQ(fast.out, ref.out)
+          << "functional outputs diverged, driver " << to_string(driver);
+      EXPECT_TRUE(fast.stats.core() == ref.stats.core())
+          << "functional stats diverged, driver " << to_string(driver);
+    }
+    {
+      const DiffRun ref = run_diff(p, driver, /*timed=*/true, true);
+      const DiffRun fast = run_diff(p, driver, /*timed=*/true, false);
+      EXPECT_EQ(fast.out, ref.out)
+          << "timed outputs diverged, driver " << to_string(driver);
+      EXPECT_EQ(fast.stats.cycles, ref.stats.cycles)
+          << "cycle count diverged, driver " << to_string(driver);
+      EXPECT_TRUE(fast.stats.core() == ref.stats.core())
+          << "timed stats diverged, driver " << to_string(driver);
+    }
   }
 }
 

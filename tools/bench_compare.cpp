@@ -1,0 +1,205 @@
+// bench_compare - diff two bench --json records.
+//
+// Compares a candidate record against a baseline record (both written by
+// bench_util's --json export) table by table, matching tables by title and
+// rows by their first cell. Two column classes are enforced:
+//
+//   * headers containing "cycles" are simulator *results* and must match
+//     exactly - any drift means the model (or the fast path's
+//     cycle-identity invariant) changed;
+//   * headers containing "wall" are host timings and may regress by at
+//     most --max-wall-regress percent (default 20; faster is always fine).
+//
+// Other columns are informational and ignored. Rows or tables present in
+// the baseline but missing from the candidate fail the comparison. Exit
+// code 0 = within tolerance, 1 = drift/regression/missing data, 2 = usage
+// or unreadable input.
+//
+//   bench_compare <baseline.json> <candidate.json> [--max-wall-regress=<pct>]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.hpp"
+
+namespace {
+
+using telemetry::JsonValue;
+
+std::optional<JsonValue> load(const char* path) {
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n", path);
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  std::optional<JsonValue> doc = JsonValue::parse(buf.str());
+  if (!doc || !doc->is_object()) {
+    std::fprintf(stderr, "bench_compare: %s is not a JSON object\n", path);
+    return std::nullopt;
+  }
+  const JsonValue* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "vgpu-bench") {
+    std::fprintf(stderr, "bench_compare: %s is not a vgpu-bench record\n",
+                 path);
+    return std::nullopt;
+  }
+  return doc;
+}
+
+std::string cell(const JsonValue& row, std::size_t c) {
+  if (c >= row.size()) return "";
+  const JsonValue& v = row.at(c);
+  return v.is_string() ? v.as_string() : v.dump();
+}
+
+std::optional<double> to_number(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str()) return std::nullopt;
+  return v;
+}
+
+const JsonValue* find_table(const JsonValue& record, const std::string& title) {
+  const JsonValue* tables = record.find("tables");
+  if (tables == nullptr || !tables->is_array()) return nullptr;
+  for (const JsonValue& t : tables->items()) {
+    const JsonValue* tt = t.find("title");
+    if (tt != nullptr && tt->is_string() && tt->as_string() == title) return &t;
+  }
+  return nullptr;
+}
+
+const JsonValue* find_row(const JsonValue& table, const std::string& key) {
+  const JsonValue* rows = table.find("rows");
+  if (rows == nullptr || !rows->is_array()) return nullptr;
+  for (const JsonValue& r : rows->items()) {
+    if (r.is_array() && cell(r, 0) == key) return &r;
+  }
+  return nullptr;
+}
+
+struct Compare {
+  double max_wall_regress = 20.0;  // percent
+  int checked = 0;
+  int failures = 0;
+
+  void fail(const std::string& what) {
+    std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+    ++failures;
+  }
+
+  void compare_cell(const std::string& where, const std::string& header,
+                    const std::string& base, const std::string& cand) {
+    const bool is_cycles = header.find("cycles") != std::string::npos;
+    const bool is_wall = header.find("wall") != std::string::npos;
+    if (!is_cycles && !is_wall) return;
+    ++checked;
+    if (is_cycles) {
+      // exact: a cycle count is a simulator result, not a measurement
+      if (base != cand) {
+        fail(where + " [" + header + "]: cycle drift " + base + " -> " + cand);
+      }
+      return;
+    }
+    const std::optional<double> b = to_number(base);
+    const std::optional<double> c = to_number(cand);
+    if (!b || !c) {
+      fail(where + " [" + header + "]: non-numeric wall cell");
+      return;
+    }
+    if (*b > 0.0 && *c > *b * (1.0 + max_wall_regress / 100.0)) {
+      fail(where + " [" + header + "]: wall regression " + base + " -> " +
+           cand + " ms (> " + std::to_string(max_wall_regress) + "%)");
+    }
+  }
+
+  void compare_table(const JsonValue& base_t, const JsonValue* cand_t,
+                     const std::string& title) {
+    if (cand_t == nullptr) {
+      fail("table \"" + title + "\" missing from candidate");
+      return;
+    }
+    const JsonValue* headers = base_t.find("headers");
+    const JsonValue* rows = base_t.find("rows");
+    if (headers == nullptr || rows == nullptr || !rows->is_array()) return;
+    for (const JsonValue& row : rows->items()) {
+      if (!row.is_array() || row.size() == 0) continue;
+      const std::string key = cell(row, 0);
+      const JsonValue* cand_row = find_row(*cand_t, key);
+      if (cand_row == nullptr) {
+        fail("row \"" + key + "\" missing from candidate table \"" + title +
+             "\"");
+        continue;
+      }
+      for (std::size_t c = 1; c < row.size(); ++c) {
+        const std::string header =
+            c < headers->size() ? cell(*headers, c) : "";
+        compare_cell("\"" + title + "\" / \"" + key + "\"", header,
+                     cell(row, c), cell(*cand_row, c));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double max_wall_regress = 20.0;
+  std::vector<const char*> paths;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strncmp(argv[a], "--max-wall-regress=", 19) == 0) {
+      max_wall_regress = std::strtod(argv[a] + 19, nullptr);
+    } else {
+      paths.push_back(argv[a]);
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_compare <baseline.json> <candidate.json> "
+                 "[--max-wall-regress=<pct>]\n");
+    return 2;
+  }
+  const std::optional<JsonValue> base = load(paths[0]);
+  const std::optional<JsonValue> cand = load(paths[1]);
+  if (!base || !cand) return 2;
+
+  Compare cmp;
+  cmp.max_wall_regress = max_wall_regress;
+  const JsonValue* base_tables = base->find("tables");
+  if (base_tables == nullptr || !base_tables->is_array() ||
+      base_tables->size() == 0) {
+    std::fprintf(stderr, "bench_compare: baseline has no tables\n");
+    return 2;
+  }
+  for (const JsonValue& t : base_tables->items()) {
+    const JsonValue* tt = t.find("title");
+    if (tt == nullptr || !tt->is_string()) continue;
+    cmp.compare_table(t, find_table(*cand, tt->as_string()), tt->as_string());
+  }
+
+  // informational: whole-process host wall from the records
+  const JsonValue* bw = base->find("host_wall_ms");
+  const JsonValue* cw = cand->find("host_wall_ms");
+  if (bw != nullptr && cw != nullptr && bw->is_number() && cw->is_number()) {
+    std::printf("host_wall_ms: baseline %.1f, candidate %.1f\n",
+                bw->as_number(), cw->as_number());
+  }
+
+  if (cmp.failures > 0) {
+    std::fprintf(stderr, "bench_compare: %d failure(s) over %d checked cells\n",
+                 cmp.failures, cmp.checked);
+    return 1;
+  }
+  std::printf("bench_compare: ok (%d cells checked, wall tolerance %.0f%%)\n",
+              cmp.checked, max_wall_regress);
+  return 0;
+}
