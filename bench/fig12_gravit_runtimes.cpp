@@ -11,14 +11,24 @@
 //  * ~87x over the serial CPU implementation.
 //
 // Methodology: per GPU variant, the kernel is simulated once at two tile
-// counts on two block waves; cycles for every n follow from affine tile
-// extrapolation x wave scaling (exact for this perfectly periodic kernel;
-// validated in tests/gravit/gpu_farfield_test.cpp). The CPU row is measured
-// at n = 4096 and scaled by (n/4096)^2; CPU milliseconds are host time,
-// GPU milliseconds are simulated-device time - the cross-domain ratio is
+// counts on two block waves (TimingOptions::max_blocks); cycles for every n
+// follow from affine tile extrapolation x wave scaling (exact for this
+// perfectly periodic kernel; validated in
+// tests/gravit/gpu_farfield_test.cpp). The CPU row is measured at n = 4096
+// and scaled by (n/4096)^2; CPU milliseconds are host time, GPU
+// milliseconds are simulated-device time - the cross-domain ratio is
 // reported as indicative only (see EXPERIMENTS.md).
+//
+// Verification flags: --verify shrinks the problem (2 simulated SMs, small
+// n) so that *full* simulation of every block and tile is feasible, and
+// --sampling=off switches to that full simulation. Running both and
+// diffing the JSON records with
+//   bench_compare full.json sampled.json --approx-col="ms" --approx-tol=10
+// bounds the sampling error end to end (tools/CMakeLists.txt wires this as
+// a ctest smoke chain).
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 
 #include "bench_util.hpp"
 #include "gravit/forces_cpu.hpp"
@@ -37,6 +47,15 @@ constexpr std::uint32_t kBlock = 128;
 const std::vector<std::uint32_t> kSizes = {40'000,  100'000, 200'000,
                                            400'000, 700'000, 1'000'000};
 
+struct Mode {
+  bool sampling = true;  ///< tile sampling + max_blocks wave sampling
+  bool verify = false;   ///< reduced scale so full simulation is feasible
+  std::vector<std::uint32_t> sizes = kSizes;
+  std::uint32_t sim_sms = 0;         ///< 0 = all 16 G80 SMs
+  std::uint32_t measure_n = 40'960;  ///< particle count of the sampled run
+  int ms_precision = 1;
+};
+
 struct VariantResult {
   std::string name;
   std::uint32_t regs = 0;
@@ -51,19 +70,45 @@ double copy_ms(const vgpu::DeviceSpec& spec, double bytes) {
   return spec.pcie_latency_us / 1000.0 + bytes / (spec.pcie_bandwidth_mb_s * 1000.0);
 }
 
-VariantResult run_variant(const std::string& name, const KernelOptions& kopt) {
+VariantResult run_variant(const std::string& name, const KernelOptions& kopt,
+                          const Mode& mode) {
   FarfieldGpuOptions opt;
   opt.kernel = kopt;
+  opt.sim_sms = mode.sim_sms;
+  const vgpu::DeviceSpec spec = vgpu::g80_spec();
+
+  VariantResult v;
+  v.name = name;
+
+  if (!mode.sampling) {
+    // verification reference: fully simulate every block and every tile at
+    // every size (only feasible at --verify scale)
+    opt.sample_tiles = 0;
+    opt.max_waves = 0;
+    FarfieldGpu gpu(opt);
+    for (const std::uint32_t n : mode.sizes) {
+      auto set = gravit::spawn_uniform_cube(n, 1.0f, 3);
+      const auto res = gpu.run_timed(set);
+      v.regs = res.regs_per_thread;
+      v.occupancy = res.stats.occupancy;
+      const std::uint32_t n_pad = (n + kBlock - 1) / kBlock * kBlock;
+      const double h2d =
+          copy_ms(spec, static_cast<double>(gpu.kernel().phys.bytes(n_pad)));
+      const double d2h = copy_ms(spec, 12.0 * n_pad);
+      v.ms.push_back(h2d + spec.cycles_to_ms(res.cycles) + d2h +
+                     spec.launch_overhead_us / 1000.0);
+    }
+    return v;
+  }
+
   opt.sample_tiles = 8;
   opt.max_waves = 2;
   FarfieldGpu gpu(opt);
 
   // one sampled measurement; the sample cycles are independent of n
-  auto set = gravit::spawn_uniform_cube(40'960, 1.0f, 3);
+  auto set = gravit::spawn_uniform_cube(mode.measure_n, 1.0f, 3);
   auto res = gpu.run_timed(set);
 
-  VariantResult v;
-  v.name = name;
   v.regs = res.regs_per_thread;
   v.occupancy = res.stats.occupancy;
   v.t1 = res.sample_t1;
@@ -72,8 +117,7 @@ VariantResult run_variant(const std::string& name, const KernelOptions& kopt) {
   v.c2 = res.sample_c2;
   v.blocks_sampled = static_cast<double>(res.stats.blocks_simulated);
 
-  const vgpu::DeviceSpec spec = vgpu::g80_spec();
-  for (const std::uint32_t n : kSizes) {
+  for (const std::uint32_t n : mode.sizes) {
     const std::uint32_t n_pad = (n + kBlock - 1) / kBlock * kBlock;
     const double n_tiles = static_cast<double>(n_pad) / kBlock;
     const double blocks = n_tiles;
@@ -102,7 +146,7 @@ struct AllResults {
   std::vector<double> cpu_ms;
 };
 
-AllResults run_all() {
+AllResults run_all(const Mode& mode) {
   using layout::SchemeKind;
   AllResults all;
   auto kernel = [](SchemeKind scheme, std::uint32_t unroll, bool icm) {
@@ -113,45 +157,57 @@ AllResults run_all() {
     k.icm = icm;
     return k;
   };
-  all.gpu.push_back(run_variant("GPU AoS (baseline)", kernel(SchemeKind::kAoS, 1, false)));
-  all.gpu.push_back(run_variant("GPU SoA", kernel(SchemeKind::kSoA, 1, false)));
-  all.gpu.push_back(run_variant("GPU AoaS", kernel(SchemeKind::kAoaS, 1, false)));
-  all.gpu.push_back(run_variant("GPU SoAoaS", kernel(SchemeKind::kSoAoaS, 1, false)));
-  all.gpu.push_back(run_variant("GPU SoAoaS+unroll", kernel(SchemeKind::kSoAoaS, kBlock, false)));
-  all.gpu.push_back(run_variant("GPU SoAoaS+unroll+icm", kernel(SchemeKind::kSoAoaS, kBlock, true)));
+  all.gpu.push_back(run_variant("GPU AoS (baseline)", kernel(SchemeKind::kAoS, 1, false), mode));
+  all.gpu.push_back(run_variant("GPU SoA", kernel(SchemeKind::kSoA, 1, false), mode));
+  all.gpu.push_back(run_variant("GPU AoaS", kernel(SchemeKind::kAoaS, 1, false), mode));
+  all.gpu.push_back(run_variant("GPU SoAoaS", kernel(SchemeKind::kSoAoaS, 1, false), mode));
+  all.gpu.push_back(run_variant("GPU SoAoaS+unroll", kernel(SchemeKind::kSoAoaS, kBlock, false), mode));
+  all.gpu.push_back(run_variant("GPU SoAoaS+unroll+icm", kernel(SchemeKind::kSoAoaS, kBlock, true), mode));
 
-  const double cpu_4096 = measure_cpu_ms_at_4096();
-  for (const std::uint32_t n : kSizes) {
-    const double scale = (static_cast<double>(n) / 4096.0) * (static_cast<double>(n) / 4096.0);
-    all.cpu_ms.push_back(cpu_4096 * scale);
+  if (!mode.verify) {
+    const double cpu_4096 = measure_cpu_ms_at_4096();
+    for (const std::uint32_t n : mode.sizes) {
+      const double scale = (static_cast<double>(n) / 4096.0) * (static_cast<double>(n) / 4096.0);
+      all.cpu_ms.push_back(cpu_4096 * scale);
+    }
   }
   return all;
 }
 
-void print_tables(const AllResults& all) {
+void print_tables(const AllResults& all, const Mode& mode) {
   std::vector<std::string> headers = {"variant", "regs", "occ"};
-  for (const std::uint32_t n : kSizes) headers.push_back(std::to_string(n / 1000) + "k");
+  for (const std::uint32_t n : mode.sizes) {
+    headers.push_back(n >= 1000 ? std::to_string(n / 1000) + "k ms"
+                                : std::to_string(n) + " ms");
+  }
   bench::Table table(headers);
-  {
+  if (!all.cpu_ms.empty()) {
     std::vector<std::string> row = {"CPU serial (host ms)", "-", "-"};
     for (const double ms : all.cpu_ms) row.push_back(fmt(ms, 0));
     table.add_row(row);
   }
   for (const auto& v : all.gpu) {
     std::vector<std::string> row = {v.name, std::to_string(v.regs), fmt(v.occupancy)};
-    for (const double ms : v.ms) row.push_back(fmt(ms, 1));
+    for (const double ms : v.ms) row.push_back(fmt(ms, mode.ms_precision));
     table.add_row(row);
   }
-  table.print("Fig. 12 - Gravit far-field runtimes (ms, end-to-end window)",
-              "GPU rows: simulated-device ms incl. modeled PCIe copies; "
-              "CPU row: measured at n=4096, scaled by (n/4096)^2");
+  table.print(
+      "Fig. 12 - Gravit far-field runtimes (ms, end-to-end window)",
+      mode.verify
+          ? (mode.sampling
+                 ? "verification scale (2 simulated SMs); sampled estimate"
+                 : "verification scale (2 simulated SMs); full simulation")
+          : "GPU rows: simulated-device ms incl. modeled PCIe copies; "
+            "CPU row: measured at n=4096, scaled by (n/4096)^2");
+
+  if (mode.verify) return;  // ratios need the CPU row; skip at verify scale
 
   bench::Table ratios({"n", "opt vs GPU-AoS (paper: 1.27x)",
                        "opt vs CPU serial (paper: 87x)"});
   const auto& base = all.gpu.front();
   const auto& best = all.gpu.back();
-  for (std::size_t s = 0; s < kSizes.size(); ++s) {
-    ratios.add_row({std::to_string(kSizes[s]), fmt(base.ms[s] / best.ms[s]),
+  for (std::size_t s = 0; s < mode.sizes.size(); ++s) {
+    ratios.add_row({std::to_string(mode.sizes[s]), fmt(base.ms[s] / best.ms[s]),
                     fmt(all.cpu_ms[s] / best.ms[s], 0) + "x"});
   }
   ratios.print("Fig. 12 headline speedups",
@@ -170,7 +226,38 @@ BENCHMARK(bm_cpu_reference)->Unit(benchmark::kMillisecond)->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_tables(run_all());
+  Mode mode;
+  int out = 1;  // keep argv[0]
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--sampling=off") == 0) {
+      mode.sampling = false;
+    } else if (std::strcmp(argv[a], "--sampling=on") == 0) {
+      mode.sampling = true;
+    } else if (std::strcmp(argv[a], "--verify") == 0) {
+      mode.verify = true;
+    } else {
+      argv[out++] = argv[a];
+    }
+  }
+  argc = out;
+  if (mode.verify) {
+    // Sizes are whole multiples of the 2-SM wave (6 blocks of 128 threads)
+    // so the block-scaling leg of the extrapolation is comparing full waves
+    // against full waves, as it does at production scale where the partial
+    // tail wave is negligible. The sampled run still truncates: 3072
+    // particles = 24 blocks, of which max_waves=2 simulates 12.
+    mode.sizes = {1536, 3072};
+    mode.sim_sms = 2;
+    mode.measure_n = 3072;
+    mode.ms_precision = 4;  // verify-scale ms are small
+  }
+  if (!mode.sampling && !mode.verify) {
+    std::fprintf(stderr,
+                 "fig12_gravit_runtimes: --sampling=off requires --verify "
+                 "(full simulation at production sizes is infeasible)\n");
+    return 2;
+  }
+  print_tables(run_all(mode), mode);
   return bench::bench_main(argc, argv,
                            {"fig12_gravit_runtimes", "gravit far-field step",
                             "end-to-end ms per step"});

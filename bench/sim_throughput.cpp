@@ -13,8 +13,18 @@
 // cycles) within this process, and the binary exits non-zero if they ever
 // differ; tools/bench_compare enforces the same across exported records.
 //
+// A second axis is the multi-threaded timing executor
+// (TimingOptions::threads): the thread-scaling table runs the far-field
+// rolled-SoAoaS workload at 1, 2, ... threads and demands bit-identical
+// LaunchStats::core() - cycles included - at every thread count; any
+// divergence makes the binary exit non-zero. Wall-time speedup is reported
+// (it depends on the host's core count; cycle results never do).
+//
 // Flags: --n=<particles> (default 4096, rounded up to a tile multiple)
-// scales the workload; --json=<path> exports the tables (bench_util).
+// scales the workload; --threads=<k> (default 4) is the maximum thread
+// count the scaling table sweeps to; --json=<path> exports the tables
+// (bench_util).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -103,12 +113,14 @@ struct RunResult {
   }
 };
 
-RunResult run_one(Workload& w, bool timed, bool reference) {
+RunResult run_one(Workload& w, bool timed, bool reference,
+                  std::uint32_t threads = 1) {
   RunResult r;
   const Clock::time_point t0 = Clock::now();
   if (timed) {
     vgpu::TimingOptions topt;
     topt.reference = reference;
+    topt.threads = threads;
     r.stats = vgpu::run_timed(w.prog, w.dev->spec(), w.dev->gmem(), w.cfg,
                               w.params, topt);
   } else {
@@ -133,9 +145,39 @@ std::string memo_rate(const vgpu::LaunchStats& s) {
 struct Summary {
   double fast_timing_minstr = 0.0;
   double ref_timing_minstr = 0.0;
+  double thread_speedup = 0.0;  ///< best threads vs 1 thread, timed fast path
   bool all_identical = true;
 };
 Summary g_summary;
+
+// Thread-scaling sweep on the far-field rolled-SoAoaS workload: every
+// thread count must reproduce the single-threaded LaunchStats::core()
+// bit-for-bit (cycles included); wall time and speedup are informational
+// and host-dependent.
+void run_thread_scaling(std::uint32_t n, std::uint32_t max_threads) {
+  Workload w = make_farfield(gravit::KernelOptions{}, n);
+  bench::Table scaling({"threads", "wall ms", "Minstr/s", "cycles",
+                        "speedup vs 1", "stats identical"});
+  RunResult base;
+  for (std::uint32_t threads = 1; threads <= max_threads; threads *= 2) {
+    const RunResult r = run_one(w, /*timed=*/true, /*reference=*/false, threads);
+    if (threads == 1) base = r;
+    const bool identical = r.stats.core() == base.stats.core();
+    g_summary.all_identical = g_summary.all_identical && identical;
+    const double speedup = r.wall_ms > 0.0 ? base.wall_ms / r.wall_ms : 0.0;
+    if (threads > 1) {
+      g_summary.thread_speedup = std::max(g_summary.thread_speedup, speedup);
+    }
+    scaling.add_row({std::to_string(threads), fmt(r.wall_ms, 1),
+                     fmt(r.minstr_per_s(), 2), std::to_string(r.stats.cycles),
+                     fmt(speedup, 2), identical ? "yes" : "NO"});
+  }
+  scaling.print(
+      "timing executor thread scaling",
+      "farfield-SoAoaS n=" + std::to_string(n) +
+          "; every row must report the 1-thread cycles exactly (speedup "
+          "depends on host cores; simulated results never do)");
+}
 
 void run_all(std::uint32_t n) {
   std::vector<Workload> workloads;
@@ -203,6 +245,7 @@ void bm_sim_throughput(benchmark::State& state) {
         g_summary.ref_timing_minstr > 0.0
             ? g_summary.fast_timing_minstr / g_summary.ref_timing_minstr
             : 0.0;
+    state.counters["thread_speedup"] = g_summary.thread_speedup;
   }
 }
 BENCHMARK(bm_sim_throughput)->Unit(benchmark::kMillisecond)->Iterations(1);
@@ -211,11 +254,16 @@ BENCHMARK(bm_sim_throughput)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 int main(int argc, char** argv) {
   std::uint32_t n = 4096;
+  std::uint32_t max_threads = 4;
   int out = 1;  // keep argv[0]
   for (int a = 1; a < argc; ++a) {
     if (std::strncmp(argv[a], "--n=", 4) == 0) {
       n = static_cast<std::uint32_t>(std::strtoul(argv[a] + 4, nullptr, 10));
       if (n == 0) n = 128;
+    } else if (std::strncmp(argv[a], "--threads=", 10) == 0) {
+      max_threads =
+          static_cast<std::uint32_t>(std::strtoul(argv[a] + 10, nullptr, 10));
+      if (max_threads == 0) max_threads = 1;
     } else {
       argv[out++] = argv[a];
     }
@@ -223,6 +271,7 @@ int main(int argc, char** argv) {
   argc = out;
 
   run_all(n);
+  run_thread_scaling(n, max_threads);
   const int rc = bench::bench_main(
       argc, argv,
       {"sim_throughput", "far-field + read kernels", "host Minstr/s"});

@@ -14,6 +14,8 @@
 //     --series-out=<path>  write the cycle-bucketed counter series JSON
 //     --bucket=<cycles>    series resolution (default 2048)
 //     --json=<path>        write the KernelProfile record as JSON
+//     --threads=<k>        host threads for the timing executor (default 1;
+//                          the profile and timeline are identical for any k)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -56,6 +58,7 @@ bool write_file(const std::string& path, const auto& writer) {
 int main(int argc, char** argv) {
   std::string trace_out, series_out, json_out;
   std::uint64_t bucket = 2048;
+  std::uint32_t threads = 1;
   std::vector<const char*> pos;
   for (int a = 1; a < argc; ++a) {
     const char* arg = argv[a];
@@ -64,6 +67,8 @@ int main(int argc, char** argv) {
     else if (std::strncmp(arg, "--json=", 7) == 0) json_out = arg + 7;
     else if (std::strncmp(arg, "--bucket=", 9) == 0)
       bucket = std::strtoull(arg + 9, nullptr, 10);
+    else if (std::strncmp(arg, "--threads=", 10) == 0)
+      threads = static_cast<std::uint32_t>(std::strtoul(arg + 10, nullptr, 10));
     else pos.push_back(arg);
   }
 
@@ -103,6 +108,7 @@ int main(int argc, char** argv) {
 
   vgpu::TimingOptions topt;
   topt.max_blocks = 128;  // bound the profile run for large n
+  topt.threads = threads;
   if (!trace_out.empty() || !series_out.empty()) topt.sink = &tee;
   const vgpu::LaunchConfig cfg{static_cast<std::uint32_t>(set.size()) / kopt.block,
                                kopt.block};

@@ -80,10 +80,12 @@ FarfieldGpuResult FarfieldGpu::run_timed(const ParticleSet& set) {
   const vgpu::OccupancyResult occ = vgpu::compute_occupancy(
       dev.spec(), cfg.block_threads, kernel_.prog.num_phys_regs,
       kernel_.prog.shared_bytes);
-  const std::uint32_t wave = vgpu::wave_blocks(dev.spec(), occ);
+  const std::uint32_t wave = vgpu::wave_blocks(dev.spec(), occ, options_.sim_sms);
 
   TimingOptions topt;
   topt.driver = options_.driver;
+  topt.threads = options_.sim_threads;
+  topt.sim_sms = options_.sim_sms;
   if (options_.max_waves > 0) {
     topt.max_blocks = std::min(cfg.grid_blocks, options_.max_waves * wave);
   }

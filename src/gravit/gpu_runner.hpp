@@ -30,6 +30,12 @@ struct FarfieldGpuOptions {
   std::uint32_t sample_tiles = 16;
   /// Cap on simulated block waves for timed runs (0 = simulate all blocks).
   std::uint32_t max_waves = 2;
+  /// Host threads for the timing executor (forwarded to
+  /// TimingOptions::threads; results are bit-identical for any value).
+  std::uint32_t sim_threads = 1;
+  /// SMs to simulate (forwarded to TimingOptions::sim_sms; 0 = all). DRAM
+  /// bandwidth scales proportionally, so per-SM behaviour matches.
+  std::uint32_t sim_sms = 0;
   /// Device memory to provision.
   std::size_t device_memory = 512u * 1024 * 1024;
 };

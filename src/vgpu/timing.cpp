@@ -1,12 +1,18 @@
 #include "vgpu/timing.hpp"
 
 #include <algorithm>
+#include <array>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
-#include <array>
+#include <functional>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <string>
+#include <thread>
+#include <variant>
 #include <vector>
 
 #include "vgpu/check.hpp"
@@ -23,6 +29,24 @@ namespace vgpu {
 namespace {
 
 constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+constexpr std::uint32_t kNoRing = std::numeric_limits<std::uint32_t>::max();
+constexpr std::size_t kNoEvent = std::numeric_limits<std::size_t>::max();
+
+/// VGPU_TRACE is looked up once per process: a per-run getenv would race
+/// with concurrently launched runs, and the answer cannot change under us
+/// anyway (we never setenv).
+bool trace_enabled() {
+  static const bool enabled = std::getenv("VGPU_TRACE") != nullptr;
+  return enabled;
+}
+
+/// All VGPU_TRACE output funnels through one mutex-guarded writer so lines
+/// from concurrent launches cannot interleave mid-line on stderr.
+void trace_write(const std::string& line) {
+  static std::mutex mu;
+  const std::lock_guard<std::mutex> lock(mu);
+  std::fputs(line.c_str(), stderr);
+}
 
 /// One resident block plus its per-warp register/predicate scoreboards.
 /// The scoreboard makes loads non-blocking: a warp keeps issuing after a
@@ -38,10 +62,26 @@ struct ResidentBlock {
   /// it replaces has completed.
   std::vector<std::uint64_t> load_ring;
   std::vector<std::uint32_t> load_ring_pos;  ///< per warp
+  /// Bumped on every dispatch into this slot. A deferred DRAM completion
+  /// snapshots the generation it targets; the bucket merge drops the
+  /// scoreboard write when the block has since retired (the serial order is
+  /// write-then-reset, so a stale write must not land in the new block).
+  std::uint64_t generation = 0;
   // Timeline bookkeeping (only consumed when a sink is attached).
   std::uint32_t block_id = 0;
   std::uint64_t start_cycle = 0;
   std::vector<std::uint64_t> barrier_arrive;  ///< per warp, sink runs only
+};
+
+/// Why an SM suspended mid-bucket (multi-threaded runs only). SMs park when
+/// the next action depends on shared state - the grid block queue or an
+/// unresolved DRAM completion - and the bucket driver resumes them in the
+/// serial order.
+enum class Park : std::uint8_t {
+  kNone,
+  kStall,     ///< nothing issueable before the bucket ends; exact jump
+              ///< target known only after the DRAM merge
+  kDispatch,  ///< a block retired; needs the next grid block id
 };
 
 struct Sm {
@@ -50,6 +90,12 @@ struct Sm {
   std::uint32_t rr = 0;  ///< round-robin cursor over (slot, warp) pairs
   /// Per-SM texture cache: line tags in LRU order (front = most recent).
   std::vector<std::uint32_t> tex_lines;
+  // Parking state (deferred mode only).
+  Park park = Park::kNone;
+  std::uint64_t park_order = 0;  ///< pre-step cycle of the parking step
+  std::size_t park_slot = 0;     ///< kDispatch: slot awaiting a grid block
+  std::uint64_t park_when = 0;   ///< kDispatch: retirement cycle
+  std::size_t park_event = kNoEvent;  ///< kDispatch: reserved BlockSpan index
 
   [[nodiscard]] bool has_work() const {
     for (const ResidentBlock& s : slots) {
@@ -69,536 +115,1218 @@ struct IssueView {
   bool is_load = false;
 };
 
+/// One DRAM row-segment / texture-line transfer whose partition start time
+/// is resolved at the bucket merge. `service` is precomputed from
+/// bucket-independent inputs so the merge replays exactly the arithmetic the
+/// single-threaded executor would have done.
+struct DeferredSeg {
+  std::uint32_t partition = 0;
+  std::uint32_t bytes = 0;
+  double service = 0.0;
+  std::size_t event_idx = kNoEvent;  ///< reserved DramSpan slot, or kNoEvent
+};
+
+/// One memory operation with DRAM-dependent completion, recorded during the
+/// parallel phase and resolved at the bucket merge in serial (cycle, sm)
+/// order. Until then the destination scoreboard entries hold kNever: the
+/// conservative bucket width guarantees the resolved value lands at or after
+/// the bucket end, so "still in flight" is the exact in-bucket answer.
+struct DeferredReq {
+  std::uint64_t order_cycle = 0;  ///< pre-step cycle: global merge key
+  double chan_floor = 0.0;        ///< SM clock when the channel was touched
+  std::uint64_t comp_floor = 0;   ///< completion floor independent of DRAM
+  std::uint64_t per_seg_extra = 0;  ///< added to each segment's end cycle
+  std::uint64_t tail = 0;           ///< added after the max over segments
+  std::uint32_t seg_begin = 0;      ///< range into the per-SM segment arena
+  std::uint32_t seg_count = 0;
+  std::uint32_t rb_slot = 0;
+  std::uint64_t generation = 0;
+  std::uint32_t warp = 0;
+  std::uint32_t dst_slot = kNoSlot;
+  std::uint32_t width_words = 1;
+  std::uint32_t ring_idx = kNoRing;  ///< MSHR ring entry, or kNoRing
+};
+
+/// A buffered sink event. Multi-threaded runs cannot call the sink from
+/// worker threads, so events queue per SM and are replayed at the end of the
+/// run sorted by (key, sm, buffer index) - `key` is the pre-step cycle of
+/// the emitting step, and since the serial executor always steps the
+/// minimum-cycle SM (ties broken by lowest id), that order is exactly the
+/// single-threaded emission order.
+struct PendingEvent {
+  std::uint64_t key = 0;
+  std::variant<TimelineSink::BlockSpan, TimelineSink::IssueSpan,
+               TimelineSink::StallSpan, TimelineSink::BarrierWait,
+               TimelineSink::DramSpan, TimelineSink::GlobalRequest>
+      span;
+};
+
+/// Per-thread execution context: coalescing memo (hits are exact replays,
+/// so per-thread memos change no simulated outcome), reusable transaction
+/// scratch, and a LaunchStats partial. Every stats field touched during
+/// stepping is an integer counter, so summing the partials at the end is an
+/// exact, order-independent reduction.
+struct WorkerCtx {
+  std::optional<CoalesceMemo> memo;
+  CoalesceResult scratch;
+  LaunchStats stats;
+};
+
+/// Sums the integer counters of `part` into `into`. Header fields (cycles,
+/// occupancy, blocks_*, extrapolation_factor, memo totals) are set once on
+/// the final stats, not accumulated.
+void accumulate_counters(LaunchStats& into, const LaunchStats& part) {
+  into.warp_instructions += part.warp_instructions;
+  for (std::size_t i = 0; i < into.region_instructions.size(); ++i) {
+    into.region_instructions[i] += part.region_instructions[i];
+  }
+  for (std::size_t i = 0; i < into.instr_class_counts.size(); ++i) {
+    into.instr_class_counts[i] += part.instr_class_counts[i];
+  }
+  into.divergent_branches += part.divergent_branches;
+  into.sm_idle_cycles += part.sm_idle_cycles;
+  into.sm_issue_cycles += part.sm_issue_cycles;
+  into.global_requests += part.global_requests;
+  into.global_transactions += part.global_transactions;
+  into.global_bytes += part.global_bytes;
+  into.coalesced_requests += part.coalesced_requests;
+  into.uncoalesced_requests += part.uncoalesced_requests;
+  into.shared_requests += part.shared_requests;
+  into.shared_conflict_extra += part.shared_conflict_extra;
+  into.local_requests += part.local_requests;
+  into.const_requests += part.const_requests;
+  into.tex_requests += part.tex_requests;
+  into.tex_hits += part.tex_hits;
+  into.tex_misses += part.tex_misses;
+  into.barriers += part.barriers;
+}
+
+/// Fork/join pool for the bucket phases: one persistent thread per extra
+/// worker, woken per round through a condition variable (blocking, not
+/// spinning, so oversubscribed hosts degrade gracefully). Exceptions from
+/// workers are captured and rethrown from round() on the caller.
+class WorkerPool {
+ public:
+  WorkerPool(std::uint32_t extra, std::function<void(std::uint32_t)> body)
+      : body_(std::move(body)) {
+    threads_.reserve(extra);
+    for (std::uint32_t i = 0; i < extra; ++i) {
+      threads_.emplace_back([this, i] { loop(i + 1); });
+    }
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  ~WorkerPool() {
+    {
+      const std::lock_guard<std::mutex> lock(m_);
+      stop_ = true;
+      ++round_;
+    }
+    start_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  /// Runs body(w) for every worker - the caller acts as worker 0 - and
+  /// returns once all are done.
+  void round() {
+    {
+      const std::lock_guard<std::mutex> lock(m_);
+      ++round_;
+      running_ = static_cast<std::uint32_t>(threads_.size());
+    }
+    start_.notify_all();
+    run_one(0);
+    std::unique_lock<std::mutex> lock(m_);
+    done_.wait(lock, [this] { return running_ == 0; });
+    if (error_) {
+      const std::exception_ptr e = error_;
+      error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  void loop(std::uint32_t w) {
+    std::uint64_t seen = 0;
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(m_);
+        start_.wait(lock, [&] { return round_ != seen; });
+        seen = round_;
+        if (stop_) return;
+      }
+      run_one(w);
+      {
+        const std::lock_guard<std::mutex> lock(m_);
+        --running_;
+      }
+      done_.notify_one();
+    }
+  }
+
+  void run_one(std::uint32_t w) {
+    try {
+      body_(w);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(m_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+
+  std::function<void(std::uint32_t)> body_;
+  std::vector<std::thread> threads_;
+  std::mutex m_;
+  std::condition_variable start_;
+  std::condition_variable done_;
+  std::uint64_t round_ = 0;
+  std::uint32_t running_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+/// One timed launch. Single-threaded runs take the same step code the
+/// original executor ran; multi-threaded runs shard SMs across workers in
+/// conservative cycle buckets (docs/performance.md, "Multi-threaded
+/// timing") and must stay bit-identical to single-threaded - including
+/// cycles and the sink event stream.
+class TimedRun {
+ public:
+  TimedRun(const Program& prog, const DeviceSpec& spec, GlobalMemory& gmem,
+           const LaunchConfig& cfg, std::span<const std::uint32_t> params,
+           const TimingOptions& opt)
+      : prog_(prog),
+        spec_(spec),
+        gmem_(gmem),
+        cfg_(cfg),
+        params_(params),
+        opt_(opt),
+        t_(spec.timing) {}
+
+  LaunchStats run();
+
+ private:
+  struct Pick {
+    std::int64_t chosen = -1;
+    std::uint64_t next_event = kNever;
+    bool pending = false;  ///< a candidate waits on an unresolved DRAM value
+  };
+
+  void do_dispatch(Sm& sm, std::size_t slot, std::uint32_t sm_id,
+                   std::uint64_t when, std::uint64_t key, std::size_t reserved);
+  [[nodiscard]] std::uint64_t dep_ready(const ResidentBlock& rb,
+                                        std::uint32_t w,
+                                        const Instruction& in) const;
+  [[nodiscard]] std::uint64_t dep_ready_fast(const ResidentBlock& rb,
+                                             std::uint32_t w,
+                                             const DecodedInstr& d) const;
+  void set_slot_ready(ResidentBlock& rb, std::uint32_t w, std::uint32_t slot,
+                      std::uint32_t words, std::uint64_t when) const;
+  [[nodiscard]] Pick pick_warp(Sm& sm) const;
+  void sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
+               std::uint64_t bucket_end);
+  void run_serial();
+  void run_parallel();
+  void worker_phase(std::uint32_t w);
+  void run_sm(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx);
+  void dispatch_waves();
+  void merge_deferred();
+  void finish_parked_stalls();
+  void flush_events();
+
+  std::size_t reserve_event(std::uint32_t sm_id, std::uint64_t key) {
+    events_[sm_id].push_back(PendingEvent{key, TimelineSink::BlockSpan{}});
+    return events_[sm_id].size() - 1;
+  }
+
+  void forward(const TimelineSink::BlockSpan& s) { sink_->on_block(s); }
+  void forward(const TimelineSink::IssueSpan& s) { sink_->on_issue(s); }
+  void forward(const TimelineSink::StallSpan& s) { sink_->on_stall(s); }
+  void forward(const TimelineSink::BarrierWait& s) {
+    sink_->on_barrier_wait(s);
+  }
+  void forward(const TimelineSink::DramSpan& s) { sink_->on_dram(s); }
+  void forward(const TimelineSink::GlobalRequest& s) {
+    sink_->on_global_request(s);
+  }
+
+  /// Emits a sink event: directly in single-threaded runs, buffered per SM
+  /// in multi-threaded runs. Callers guard on sink_ != nullptr.
+  template <class Span>
+  void emit(std::uint32_t sm_id, std::uint64_t key, const Span& span) {
+    if (deferred_) {
+      events_[sm_id].push_back(PendingEvent{key, span});
+    } else {
+      forward(span);
+    }
+  }
+
+  // Inputs.
+  const Program& prog_;
+  const DeviceSpec& spec_;
+  GlobalMemory& gmem_;
+  const LaunchConfig& cfg_;
+  std::span<const std::uint32_t> params_;
+  const TimingOptions& opt_;
+  const TimingParams& t_;
+  TimelineSink* sink_ = nullptr;
+
+  // Derived configuration.
+  std::uint32_t n_sms_ = 0;
+  std::uint32_t warps_per_block_ = 0;
+  std::uint32_t mshr_ = 1;
+  std::uint32_t blocks_to_sim_ = 0;
+  std::uint32_t nthreads_ = 1;
+  bool deferred_ = false;
+  bool fast_ = false;
+  double channel_cycles_per_byte_ = 0.0;
+  std::optional<DecodedProgram> dec_;
+  const DecodedProgram* decp_ = nullptr;
+
+  // Run state.
+  std::vector<Sm> sms_;
+  /// Per-partition busy-until times (fractional cycles); each partition
+  /// serves 1/partitions of the device bandwidth. In multi-threaded runs
+  /// only the bucket merge on the main thread touches this.
+  std::vector<double> channel_;
+  std::uint32_t next_block_ = 0;
+  std::vector<WorkerCtx> workers_;
+  std::uint64_t bucket_end_ = kNever;
+  std::vector<std::vector<DeferredReq>> reqs_;   ///< per SM
+  std::vector<std::vector<DeferredSeg>> segs_;   ///< per SM
+  std::vector<std::vector<PendingEvent>> events_;  ///< per SM
+  LaunchStats stats_;
+};
+
+void TimedRun::do_dispatch(Sm& sm, std::size_t slot, std::uint32_t sm_id,
+                           std::uint64_t when, std::uint64_t key,
+                           std::size_t reserved) {
+  ResidentBlock& rb = sm.slots[slot];
+  if (sink_ != nullptr && rb.exec) {
+    const TimelineSink::BlockSpan span{sm_id, static_cast<std::uint32_t>(slot),
+                                       rb.block_id, warps_per_block_,
+                                       rb.start_cycle, when};
+    if (!deferred_) {
+      sink_->on_block(span);
+    } else if (reserved != kNoEvent) {
+      events_[sm_id][reserved] = PendingEvent{key, span};
+    } else {
+      events_[sm_id].push_back(PendingEvent{key, span});
+    }
+  }
+  ++rb.generation;  // in-flight loads of the retired block must not land
+  if (next_block_ >= blocks_to_sim_) {
+    rb.exec.reset();
+    return;
+  }
+  BlockParams bp{next_block_++, cfg_, params_, sm_id, opt_.cmem};
+  rb.block_id = bp.block_id;
+  rb.start_cycle = when;
+  if (fast_ && rb.exec) {
+    rb.exec->reset(bp);  // reuse the slot's arenas instead of reallocating
+  } else {
+    rb.exec = std::make_unique<BlockExec>(prog_, spec_, gmem_, bp, decp_);
+  }
+  rb.reg_ready.assign(
+      static_cast<std::size_t>(prog_.reg_file_size) * warps_per_block_, 0);
+  rb.pred_ready.assign(
+      static_cast<std::size_t>(prog_.num_preds) * warps_per_block_, 0);
+  rb.load_ring.assign(static_cast<std::size_t>(mshr_) * warps_per_block_, 0);
+  rb.load_ring_pos.assign(warps_per_block_, 0);
+  if (sink_ != nullptr) rb.barrier_arrive.assign(warps_per_block_, 0);
+  for (std::uint32_t w = 0; w < warps_per_block_; ++w) {
+    rb.exec->warp(w).ready_cycle = when + t_.block_start_cycles;
+  }
+}
+
+// Scoreboard: earliest cycle at which every register/predicate the
+// instruction touches is available. In deferred mode an entry may hold the
+// kNever sentinel - "still in flight, resolved at the bucket merge".
+std::uint64_t TimedRun::dep_ready(const ResidentBlock& rb, std::uint32_t w,
+                                  const Instruction& in) const {
+  const std::size_t rbase = static_cast<std::size_t>(w) * prog_.reg_file_size;
+  const std::size_t pbase = static_cast<std::size_t>(w) * prog_.num_preds;
+  std::uint64_t ready = 0;
+  auto reg_dep = [&](const Operand& o, std::uint32_t words) {
+    if (!o.valid()) return;
+    const std::uint32_t slot = prog_.reg_base[o.reg] + o.comp;
+    for (std::uint32_t c = 0; c < words; ++c) {
+      ready = std::max(ready, rb.reg_ready[rbase + slot + c]);
+    }
+  };
+  const std::uint32_t wwords = width_words(in.width);
+  reg_dep(in.src[0], 1);
+  reg_dep(in.src[1], in.is_store() ? wwords : 1);
+  reg_dep(in.src[2], 1);
+  reg_dep(in.dst, in.is_load() ? wwords : (in.dst.valid() ? 1u : 0u));
+  auto pred_dep = [&](PredId p) {
+    if (p != kNoPred) ready = std::max(ready, rb.pred_ready[pbase + p]);
+  };
+  pred_dep(in.psrc0);
+  pred_dep(in.psrc1);
+  pred_dep(in.guard);
+  if (in.op == Opcode::kLdGlobal) {
+    // MSHR limit: the slot this load would occupy must have drained.
+    const std::size_t ring_base = static_cast<std::size_t>(w) * mshr_;
+    ready = std::max(ready, rb.load_ring[ring_base + rb.load_ring_pos[w]]);
+  }
+  return ready;
+}
+
+// Fast-path scoreboard scan over the pre-flattened read-set - same
+// dependencies as dep_ready (decode() mirrors its walk), no operand
+// re-resolution per issue attempt.
+std::uint64_t TimedRun::dep_ready_fast(const ResidentBlock& rb,
+                                       std::uint32_t w,
+                                       const DecodedInstr& d) const {
+  const std::size_t rbase = static_cast<std::size_t>(w) * prog_.reg_file_size;
+  std::uint64_t ready = 0;
+  for (std::uint32_t i = 0; i < d.num_deps; ++i) {
+    const DecodedInstr::RegDep& dep = d.deps[i];
+    for (std::uint32_t c = 0; c < dep.words; ++c) {
+      ready = std::max(ready, rb.reg_ready[rbase + dep.slot + c]);
+    }
+  }
+  if (d.num_pred_deps != 0) {
+    const std::size_t pbase = static_cast<std::size_t>(w) * prog_.num_preds;
+    for (std::uint32_t i = 0; i < d.num_pred_deps; ++i) {
+      ready = std::max(ready, rb.pred_ready[pbase + d.pred_deps[i]]);
+    }
+  }
+  if (d.op == Opcode::kLdGlobal) {
+    const std::size_t ring_base = static_cast<std::size_t>(w) * mshr_;
+    ready = std::max(ready, rb.load_ring[ring_base + rb.load_ring_pos[w]]);
+  }
+  return ready;
+}
+
+void TimedRun::set_slot_ready(ResidentBlock& rb, std::uint32_t w,
+                              std::uint32_t slot, std::uint32_t words,
+                              std::uint64_t when) const {
+  if (slot == kNoSlot) return;
+  const std::size_t rbase = static_cast<std::size_t>(w) * prog_.reg_file_size;
+  for (std::uint32_t c = 0; c < words; ++c) {
+    rb.reg_ready[rbase + slot + c] = when;
+  }
+}
+
+// Picks an issueable warp (loose round robin) considering both the issue
+// pipeline and the register scoreboard. When nothing is issueable,
+// next_event is the earliest known wake-up and `pending` flags whether some
+// candidate's wake-up is an unresolved DRAM completion (deferred mode).
+TimedRun::Pick TimedRun::pick_warp(Sm& sm) const {
+  const std::uint32_t total =
+      static_cast<std::uint32_t>(sm.slots.size()) * warps_per_block_;
+  Pick p;
+  for (std::uint32_t i = 0; i < total; ++i) {
+    const std::uint32_t idx = (sm.rr + i) % total;
+    const std::size_t slot = idx / warps_per_block_;
+    const std::uint32_t w = idx % warps_per_block_;
+    ResidentBlock& rb = sm.slots[slot];
+    if (!rb.exec) continue;
+    std::uint64_t dep;
+    if (fast_) {
+      const DecodedInstr* din = rb.exec->peek_decoded(w);
+      if (din == nullptr) continue;  // done or at barrier
+      dep = dep_ready_fast(rb, w, *din);
+    } else {
+      const Instruction* in = rb.exec->peek(w);
+      if (in == nullptr) continue;  // done or at barrier
+      dep = dep_ready(rb, w, *in);
+    }
+    const WarpState& ws = rb.exec->warp(w);
+    const std::uint64_t ready_at = std::max(ws.ready_cycle, dep);
+    if (ready_at <= sm.cycle) {
+      p.chosen = idx;
+      return p;
+    }
+    if (ready_at == kNever) {
+      p.pending = true;
+    } else {
+      p.next_event = std::min(p.next_event, ready_at);
+    }
+  }
+  return p;
+}
+
+void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
+                       std::uint64_t bucket_end) {
+  LaunchStats& stats = ctx.stats;
+  // 1. release any satisfiable barriers
+  for (std::size_t slot = 0; slot < sm.slots.size(); ++slot) {
+    BlockExec* exec = sm.slots[slot].exec.get();
+    if (exec && exec->barrier_releasable()) {
+      exec->release_barrier();
+      for (std::uint32_t w = 0; w < exec->num_warps(); ++w) {
+        WarpState& ws = exec->warp(w);
+        if (!ws.done) {
+          ws.ready_cycle = std::max(ws.ready_cycle, sm.cycle + t_.barrier_cycles);
+          if (sink_ != nullptr) {
+            emit(sm_id, sm.cycle,
+                 TimelineSink::BarrierWait{
+                     sm_id, static_cast<std::uint32_t>(slot), w,
+                     sm.slots[slot].barrier_arrive[w], sm.cycle});
+          }
+        }
+      }
+    }
+  }
+
+  // 2. pick an issueable warp
+  const Pick pick = pick_warp(sm);
+  if (pick.chosen < 0) {
+    if (deferred_ && pick.pending && pick.next_event >= bucket_end) {
+      // A candidate waits on an in-flight DRAM value whose exact arrival is
+      // known only after the bucket merge, and every *known* wake-up is at
+      // or past the bucket end (unresolved ones are too: the bucket width
+      // is the global-memory latency, a lower bound on any deferred
+      // completion). Nothing can happen in this bucket - park, and finish
+      // this stall with the exact jump target once the merge has run.
+      sm.park = Park::kStall;
+      return;
+    }
+    VGPU_EXPECTS_MSG(pick.next_event != kNever,
+                     "timing executor stalled (barrier deadlock?)");
+    stats.sm_idle_cycles += pick.next_event - sm.cycle;
+    if (sink_ != nullptr) {
+      emit(sm_id, sm.cycle,
+           TimelineSink::StallSpan{sm_id, sm.cycle, pick.next_event});
+    }
+    sm.cycle = pick.next_event;
+    return;
+  }
+  sm.rr = static_cast<std::uint32_t>(pick.chosen) + 1;
+
+  const std::size_t slot =
+      static_cast<std::size_t>(pick.chosen) / warps_per_block_;
+  const std::uint32_t w =
+      static_cast<std::uint32_t>(pick.chosen) % warps_per_block_;
+  ResidentBlock& rb = sm.slots[slot];
+  BlockExec& exec = *rb.exec;
+  WarpState& ws = exec.warp(w);
+
+  // Snapshot what the writeback stage needs before step advances state.
+  IssueView iv;
+  if (fast_) {
+    const DecodedInstr& din = *exec.peek_decoded(w);
+    iv = IssueView{din.dst_slot, din.width_words, din.pdst, din.is_load};
+  } else {
+    const Instruction& in = *exec.peek(w);
+    iv = IssueView{in.dst.valid() ? exec.operand_slot(in.dst) : kNoSlot,
+                   width_words(in.width), in.pdst, in.is_load()};
+  }
+  const std::uint64_t issue_start = sm.cycle;
+  const StepResult res = exec.step(w, sm.cycle);
+  ++stats.warp_instructions;
+  ++stats.region_instructions[static_cast<std::size_t>(res.region)];
+  ++stats.instr_class_counts[static_cast<std::size_t>(instr_class(res.op))];
+  if (res.divergent_branch) ++stats.divergent_branches;
+
+  switch (res.kind) {
+    case StepResult::Kind::kAlu:
+      sm.cycle += t_.alu_issue_cycles;
+      ws.ready_cycle = sm.cycle;
+      set_slot_ready(rb, w, iv.dst_slot, 1,
+                     sm.cycle + t_.alu_result_latency_cycles);
+      if (iv.pdst != kNoPred) {
+        rb.pred_ready[static_cast<std::size_t>(w) * prog_.num_preds +
+                      iv.pdst] = sm.cycle + t_.alu_result_latency_cycles;
+      }
+      break;
+    case StepResult::Kind::kShared: {
+      ++stats.shared_requests;
+      const std::uint32_t degree = std::max(1u, res.shared_conflict_degree);
+      if (degree > 1) stats.shared_conflict_extra += degree - 1;
+      sm.cycle += static_cast<std::uint64_t>(t_.shared_issue_cycles) * degree;
+      ws.ready_cycle = sm.cycle;
+      if (iv.is_load) {
+        set_slot_ready(rb, w, iv.dst_slot, iv.width_words,
+                       sm.cycle + t_.shared_result_latency_cycles);
+      }
+      break;
+    }
+    case StepResult::Kind::kGlobal: {
+      std::uint64_t completion = sm.cycle;
+      bool any_uncoalesced = false;
+      const std::uint32_t half = spec_.half_warp;
+      std::array<std::uint32_t, 16> addrs{};
+      const std::size_t seg_begin = deferred_ ? segs_[sm_id].size() : 0;
+      for (std::uint32_t h = 0; h < spec_.warp_size / half; ++h) {
+        std::uint32_t active = 0;
+        for (std::uint32_t k = 0; k < half; ++k) {
+          const std::uint32_t lane = h * half + k;
+          addrs[k] = res.lane_addrs[lane];
+          if (res.mem_mask & (1u << lane)) active |= 1u << k;
+        }
+        if (active == 0) continue;
+        MemRequest req{std::span<const std::uint32_t>(addrs.data(), half),
+                       active, res.width, res.is_store};
+        if (ctx.memo) {
+          ctx.memo->lookup(req, ctx.scratch);
+        } else {
+          coalesce(req, opt_.driver, ctx.scratch);
+        }
+        ++stats.global_requests;
+        if (ctx.scratch.coalesced) {
+          ++stats.coalesced_requests;
+        } else {
+          ++stats.uncoalesced_requests;
+          any_uncoalesced = true;
+        }
+        const double txn_overhead =
+            t_.dram_txn_overhead_cycles(opt_.driver) *
+            static_cast<double>(ctx.scratch.transactions.size());
+        std::uint32_t req_bytes = 0;
+        for (const Transaction& txn : ctx.scratch.transactions) {
+          ++stats.global_transactions;
+          stats.global_bytes += txn.bytes;
+          req_bytes += txn.bytes;
+        }
+        if (sink_ != nullptr) {
+          emit(sm_id, issue_start,
+               TimelineSink::GlobalRequest{
+                   sm_id, sm.cycle, ctx.scratch.coalesced,
+                   static_cast<std::uint32_t>(ctx.scratch.transactions.size()),
+                   req_bytes});
+        }
+        // DRAM stage: the controller merges accesses that hit the same
+        // 128-byte row segment (row-buffer locality), so channel occupancy
+        // is per unique segment and proportional to the bytes actually
+        // used - independent of how the driver generation packaged the
+        // request into transactions.
+        std::array<std::uint32_t, 32> seg_base{};
+        std::array<std::uint32_t, 32> seg_bytes{};
+        std::size_t nsegs = 0;
+        const std::uint32_t wbytes = width_bytes(res.width);
+        for (std::uint32_t k = 0; k < half; ++k) {
+          if (!(active & (1u << k))) continue;
+          const std::uint32_t seg = addrs[k] / 128u;
+          bool found = false;
+          for (std::size_t s = 0; s < nsegs; ++s) {
+            if (seg_base[s] == seg) {
+              seg_bytes[s] = std::min(128u, seg_bytes[s] + wbytes);
+              found = true;
+              break;
+            }
+          }
+          if (!found && nsegs < seg_base.size()) {
+            seg_base[nsegs] = seg;
+            seg_bytes[nsegs] = std::min(128u, wbytes);
+            ++nsegs;
+          }
+        }
+        for (std::size_t s = 0; s < nsegs; ++s) {
+          const std::size_t p =
+              (static_cast<std::uint64_t>(seg_base[s]) * 128u /
+               t_.partition_stride_bytes) %
+              channel_.size();
+          const double service =
+              txn_overhead / static_cast<double>(nsegs) +
+              static_cast<double>(seg_bytes[s]) * channel_cycles_per_byte_;
+          if (!deferred_) {
+            const double start =
+                std::max(channel_[p], static_cast<double>(sm.cycle));
+            channel_[p] = start + service;
+            if (sink_ != nullptr) {
+              sink_->on_dram({static_cast<std::uint32_t>(p), seg_bytes[s],
+                              start, start + service});
+            }
+            completion = std::max(
+                completion, static_cast<std::uint64_t>(start + service) + 1);
+          } else {
+            std::size_t ev = kNoEvent;
+            if (sink_ != nullptr) ev = reserve_event(sm_id, issue_start);
+            segs_[sm_id].push_back(DeferredSeg{static_cast<std::uint32_t>(p),
+                                               seg_bytes[s], service, ev});
+          }
+        }
+      }
+      // LSU occupancy per request, with the driver-generation dependent
+      // uncoalesced handling penalty (see TimingParams).
+      std::uint64_t port = t_.port_cycles(opt_.driver);
+      if (any_uncoalesced) port += t_.uncoalesced_port_cycles(opt_.driver);
+      sm.cycle += port;
+      ws.ready_cycle = sm.cycle;  // non-blocking: warp keeps going
+      if (!deferred_) {
+        if (iv.is_load) {
+          std::uint64_t data_back =
+              std::max(completion, sm.cycle) + t_.global_latency_cycles;
+          if (any_uncoalesced) {
+            data_back += t_.uncoalesced_latency_cycles(opt_.driver);
+          }
+          set_slot_ready(rb, w, iv.dst_slot, iv.width_words, data_back);
+          const std::size_t ring_base = static_cast<std::size_t>(w) * mshr_;
+          rb.load_ring[ring_base + rb.load_ring_pos[w]] = data_back;
+          rb.load_ring_pos[w] = (rb.load_ring_pos[w] + 1) % mshr_;
+        }
+      } else {
+        const auto seg_count =
+            static_cast<std::uint32_t>(segs_[sm_id].size() - seg_begin);
+        std::uint64_t tail = t_.global_latency_cycles;
+        if (any_uncoalesced) tail += t_.uncoalesced_latency_cycles(opt_.driver);
+        if (seg_count == 0) {
+          // No active lane touched DRAM: the data-back time is exact.
+          if (iv.is_load) {
+            const std::uint64_t data_back = sm.cycle + tail;
+            set_slot_ready(rb, w, iv.dst_slot, iv.width_words, data_back);
+            const std::size_t ring_base = static_cast<std::size_t>(w) * mshr_;
+            rb.load_ring[ring_base + rb.load_ring_pos[w]] = data_back;
+            rb.load_ring_pos[w] = (rb.load_ring_pos[w] + 1) % mshr_;
+          }
+        } else {
+          DeferredReq r;
+          r.order_cycle = issue_start;
+          r.chan_floor = static_cast<double>(issue_start);  // pre-port clock
+          r.comp_floor = sm.cycle;  // post-port; subsumes the pre-port floor
+          r.per_seg_extra = 1;
+          r.tail = tail;
+          r.seg_begin = static_cast<std::uint32_t>(seg_begin);
+          r.seg_count = seg_count;
+          r.rb_slot = static_cast<std::uint32_t>(slot);
+          r.generation = rb.generation;
+          r.warp = w;
+          if (iv.is_load) {
+            r.dst_slot = iv.dst_slot;
+            r.width_words = iv.width_words;
+            set_slot_ready(rb, w, iv.dst_slot, iv.width_words, kNever);
+            const std::size_t ring_base = static_cast<std::size_t>(w) * mshr_;
+            r.ring_idx =
+                static_cast<std::uint32_t>(ring_base + rb.load_ring_pos[w]);
+            rb.load_ring[r.ring_idx] = kNever;
+            rb.load_ring_pos[w] = (rb.load_ring_pos[w] + 1) % mshr_;
+          }
+          reqs_[sm_id].push_back(r);
+        }
+      }
+      break;
+    }
+    case StepResult::Kind::kLocal: {
+      ++stats.local_requests;
+      // spills are lane-interleaved: one frame word across 32 lanes is a
+      // 128-byte consecutive run = two coalesced 64B transactions
+      sm.cycle += t_.port_cycles(opt_.driver);
+      ws.ready_cycle = sm.cycle;
+      if (!deferred_) {
+        std::uint64_t completion = sm.cycle;
+        for (int half_idx = 0; half_idx < 2; ++half_idx) {
+          const std::size_t p =
+              (static_cast<std::size_t>(res.lane_addrs[0]) /
+                   t_.partition_stride_bytes +
+               static_cast<std::size_t>(half_idx)) %
+              channel_.size();
+          const double start =
+              std::max(channel_[p], static_cast<double>(sm.cycle));
+          const double service = 64.0 * channel_cycles_per_byte_;
+          channel_[p] = start + service;
+          stats.global_bytes += 64;
+          if (sink_ != nullptr) {
+            sink_->on_dram(
+                {static_cast<std::uint32_t>(p), 64, start, start + service});
+          }
+          completion = std::max(
+              completion, static_cast<std::uint64_t>(start + service) + 1);
+        }
+        if (iv.is_load) {
+          set_slot_ready(rb, w, iv.dst_slot, 1,
+                         completion + t_.global_latency_cycles);
+        }
+      } else {
+        const std::size_t seg_begin = segs_[sm_id].size();
+        for (int half_idx = 0; half_idx < 2; ++half_idx) {
+          const std::size_t p =
+              (static_cast<std::size_t>(res.lane_addrs[0]) /
+                   t_.partition_stride_bytes +
+               static_cast<std::size_t>(half_idx)) %
+              channel_.size();
+          const double service = 64.0 * channel_cycles_per_byte_;
+          stats.global_bytes += 64;
+          std::size_t ev = kNoEvent;
+          if (sink_ != nullptr) ev = reserve_event(sm_id, issue_start);
+          segs_[sm_id].push_back(
+              DeferredSeg{static_cast<std::uint32_t>(p), 64, service, ev});
+        }
+        DeferredReq r;
+        r.order_cycle = issue_start;
+        r.chan_floor = static_cast<double>(sm.cycle);  // post-port clock
+        r.comp_floor = sm.cycle;
+        r.per_seg_extra = 1;
+        r.tail = t_.global_latency_cycles;
+        r.seg_begin = static_cast<std::uint32_t>(seg_begin);
+        r.seg_count = 2;
+        r.rb_slot = static_cast<std::uint32_t>(slot);
+        r.generation = rb.generation;
+        r.warp = w;
+        if (iv.is_load) {
+          r.dst_slot = iv.dst_slot;
+          r.width_words = 1;
+          set_slot_ready(rb, w, iv.dst_slot, 1, kNever);
+        }
+        reqs_[sm_id].push_back(r);
+      }
+      break;
+    }
+    case StepResult::Kind::kConst: {
+      ++stats.const_requests;
+      // distinct addresses serialize through the constant cache
+      std::uint32_t distinct = 0;
+      std::array<std::uint32_t, 32> seen{};
+      for (std::uint32_t l = 0; l < spec_.warp_size; ++l) {
+        if (!(res.mem_mask & (1u << l))) continue;
+        bool dup = false;
+        for (std::uint32_t k = 0; k < distinct; ++k) {
+          if (seen[k] == res.lane_addrs[l]) {
+            dup = true;
+            break;
+          }
+        }
+        if (!dup) seen[distinct++] = res.lane_addrs[l];
+      }
+      const std::uint64_t cost =
+          static_cast<std::uint64_t>(t_.const_serialize_cycles) *
+          std::max(1u, distinct);
+      sm.cycle += cost;
+      ws.ready_cycle = sm.cycle;
+      set_slot_ready(rb, w, iv.dst_slot, iv.width_words,
+                     sm.cycle + t_.alu_result_latency_cycles);
+      break;
+    }
+    case StepResult::Kind::kTex: {
+      ++stats.tex_requests;
+      sm.cycle += t_.alu_issue_cycles;
+      ws.ready_cycle = sm.cycle;
+      const std::uint32_t max_lines =
+          std::max(1u, t_.tex_cache_bytes / t_.tex_line_bytes);
+      std::uint64_t completion = sm.cycle + t_.tex_hit_latency_cycles;
+      const std::uint32_t wbytes = width_bytes(res.width);
+      const std::size_t seg_begin = deferred_ ? segs_[sm_id].size() : 0;
+      for (std::uint32_t l = 0; l < spec_.warp_size; ++l) {
+        if (!(res.mem_mask & (1u << l))) continue;
+        for (std::uint32_t b = res.lane_addrs[l] / t_.tex_line_bytes;
+             b <= (res.lane_addrs[l] + wbytes - 1) / t_.tex_line_bytes; ++b) {
+          auto it = std::find(sm.tex_lines.begin(), sm.tex_lines.end(), b);
+          if (it != sm.tex_lines.end()) {
+            ++stats.tex_hits;
+            sm.tex_lines.erase(it);
+            sm.tex_lines.insert(sm.tex_lines.begin(), b);
+            continue;
+          }
+          ++stats.tex_misses;
+          // fetch the line from DRAM
+          const std::size_t p =
+              (static_cast<std::uint64_t>(b) * t_.tex_line_bytes /
+               t_.partition_stride_bytes) %
+              channel_.size();
+          const double service =
+              static_cast<double>(t_.tex_line_bytes) * channel_cycles_per_byte_;
+          stats.global_bytes += t_.tex_line_bytes;
+          if (!deferred_) {
+            const double start =
+                std::max(channel_[p], static_cast<double>(sm.cycle));
+            channel_[p] = start + service;
+            if (sink_ != nullptr) {
+              sink_->on_dram({static_cast<std::uint32_t>(p), t_.tex_line_bytes,
+                              start, start + service});
+            }
+            completion =
+                std::max(completion, static_cast<std::uint64_t>(start + service) +
+                                         t_.global_latency_cycles);
+          } else {
+            std::size_t ev = kNoEvent;
+            if (sink_ != nullptr) ev = reserve_event(sm_id, issue_start);
+            segs_[sm_id].push_back(DeferredSeg{static_cast<std::uint32_t>(p),
+                                               t_.tex_line_bytes, service, ev});
+          }
+          sm.tex_lines.insert(sm.tex_lines.begin(), b);
+          if (sm.tex_lines.size() > max_lines) sm.tex_lines.pop_back();
+        }
+      }
+      if (!deferred_ || segs_[sm_id].size() == seg_begin) {
+        // Single-threaded, or every line hit the cache: completion is exact.
+        set_slot_ready(rb, w, iv.dst_slot, iv.width_words, completion);
+      } else {
+        DeferredReq r;
+        r.order_cycle = issue_start;
+        r.chan_floor = static_cast<double>(sm.cycle);  // post-issue clock
+        r.comp_floor = completion;  // the hit-latency floor
+        r.per_seg_extra = t_.global_latency_cycles;
+        r.tail = 0;
+        r.seg_begin = static_cast<std::uint32_t>(seg_begin);
+        r.seg_count =
+            static_cast<std::uint32_t>(segs_[sm_id].size() - seg_begin);
+        r.rb_slot = static_cast<std::uint32_t>(slot);
+        r.generation = rb.generation;
+        r.warp = w;
+        r.dst_slot = iv.dst_slot;
+        r.width_words = iv.width_words;
+        set_slot_ready(rb, w, iv.dst_slot, iv.width_words, kNever);
+        reqs_[sm_id].push_back(r);
+      }
+      break;
+    }
+    case StepResult::Kind::kBarrier:
+      ++stats.barriers;
+      sm.cycle += t_.alu_issue_cycles;
+      ws.ready_cycle = sm.cycle;
+      if (sink_ != nullptr) rb.barrier_arrive[w] = sm.cycle;
+      break;
+    case StepResult::Kind::kExit:
+      sm.cycle += t_.alu_issue_cycles;
+      ws.ready_cycle = sm.cycle;
+      if (exec.all_done()) {
+        if (!deferred_) {
+          do_dispatch(sm, slot, sm_id, sm.cycle, issue_start, kNoEvent);
+        } else {
+          // The grid block queue is shared state: park, and let the bucket
+          // driver hand out block ids in the serial (cycle, sm) order.
+          sm.park = Park::kDispatch;
+          sm.park_order = issue_start;
+          sm.park_slot = slot;
+          sm.park_when = sm.cycle;
+          sm.park_event =
+              sink_ != nullptr ? reserve_event(sm_id, issue_start) : kNoEvent;
+        }
+      }
+      break;
+  }
+  stats.sm_issue_cycles += sm.cycle - issue_start;
+  if (sink_ != nullptr) {
+    emit(sm_id, issue_start,
+         TimelineSink::IssueSpan{sm_id, static_cast<std::uint32_t>(slot), w,
+                                 instr_class(res.op), issue_start, sm.cycle});
+  }
+}
+
+// Main loop of the single-threaded path: always advance the SM with the
+// smallest local clock so the shared DRAM channel timeline stays nearly
+// chronological.
+void TimedRun::run_serial() {
+  while (true) {
+    std::int64_t pick = -1;
+    std::uint64_t best = kNever;
+    for (std::uint32_t s = 0; s < n_sms_; ++s) {
+      if (!sms_[s].has_work()) continue;
+      if (sms_[s].cycle < best) {
+        best = sms_[s].cycle;
+        pick = s;
+      }
+    }
+    if (pick < 0) break;
+    sm_step(sms_[static_cast<std::size_t>(pick)],
+            static_cast<std::uint32_t>(pick), workers_[0], kNever);
+  }
+}
+
+// Steps one SM until it leaves the bucket, parks, or runs out of work.
+void TimedRun::run_sm(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx) {
+  while (sm.park == Park::kNone && sm.cycle < bucket_end_ && sm.has_work()) {
+    sm_step(sm, sm_id, ctx, bucket_end_);
+  }
+}
+
+// One worker's share of a bucket: the statically owned SMs (worker w owns
+// SMs w, w + T, w + 2T, ...). The static map keeps per-worker memo hit
+// counts reproducible for a given thread count.
+void TimedRun::worker_phase(std::uint32_t w) {
+  for (std::uint32_t s = w; s < n_sms_; s += nthreads_) {
+    run_sm(sms_[s], s, workers_[w]);
+  }
+}
+
+// Resolves blocks retired during the bucket, strictly in the serial grid
+// order: repeatedly the globally smallest (pre-exit cycle, sm id) parked
+// dispatch gets the next block id and its SM resumes to the bucket end.
+// This is safe to run after the parallel phase because an SM's in-bucket
+// step sequence never reads another SM's state, so resuming one SM at a
+// time cannot change what any other SM already did.
+void TimedRun::dispatch_waves() {
+  while (true) {
+    std::int64_t pick = -1;
+    for (std::uint32_t s = 0; s < n_sms_; ++s) {
+      if (sms_[s].park != Park::kDispatch) continue;
+      if (pick < 0 ||
+          sms_[s].park_order < sms_[static_cast<std::size_t>(pick)].park_order) {
+        pick = s;
+      }
+    }
+    if (pick < 0) break;
+    Sm& sm = sms_[static_cast<std::size_t>(pick)];
+    const auto sm_id = static_cast<std::uint32_t>(pick);
+    sm.park = Park::kNone;
+    do_dispatch(sm, sm.park_slot, sm_id, sm.park_when, sm.park_order,
+                sm.park_event);
+    sm.park_event = kNoEvent;
+    run_sm(sm, sm_id, workers_[sm_id % nthreads_]);
+  }
+}
+
+// Applies the bucket's deferred DRAM traffic to the partition busy-until
+// times in the serial order and writes the exact completion cycles into the
+// waiting scoreboard/MSHR entries. The merge key (pre-step cycle, sm id,
+// record index) replays the single-threaded order exactly: the serial loop
+// always steps the minimum-cycle SM with ties broken by lowest id, and
+// every step strictly advances its SM's clock, so per-SM keys are unique
+// and globally ordered. Identical operands combined in an identical order
+// make the floating-point busy-until timeline bit-identical.
+void TimedRun::merge_deferred() {
+  struct MergeRef {
+    std::uint64_t cycle;
+    std::uint32_t sm;
+    std::uint32_t idx;
+  };
+  std::vector<MergeRef> order;
+  std::size_t total = 0;
+  for (std::uint32_t s = 0; s < n_sms_; ++s) total += reqs_[s].size();
+  if (total == 0) return;
+  order.reserve(total);
+  for (std::uint32_t s = 0; s < n_sms_; ++s) {
+    for (std::size_t i = 0; i < reqs_[s].size(); ++i) {
+      order.push_back(
+          MergeRef{reqs_[s][i].order_cycle, s, static_cast<std::uint32_t>(i)});
+    }
+  }
+  std::sort(order.begin(), order.end(),
+            [](const MergeRef& a, const MergeRef& b) {
+              if (a.cycle != b.cycle) return a.cycle < b.cycle;
+              if (a.sm != b.sm) return a.sm < b.sm;
+              return a.idx < b.idx;
+            });
+  for (const MergeRef& ref : order) {
+    const DeferredReq& r = reqs_[ref.sm][ref.idx];
+    std::uint64_t comp = r.comp_floor;
+    for (std::uint32_t k = 0; k < r.seg_count; ++k) {
+      const DeferredSeg& g = segs_[ref.sm][r.seg_begin + k];
+      const double start = std::max(channel_[g.partition], r.chan_floor);
+      const double end = start + g.service;
+      channel_[g.partition] = end;
+      if (g.event_idx != kNoEvent) {
+        events_[ref.sm][g.event_idx] = PendingEvent{
+            r.order_cycle,
+            TimelineSink::DramSpan{g.partition, g.bytes, start, end}};
+      }
+      comp = std::max(comp, static_cast<std::uint64_t>(end) + r.per_seg_extra);
+    }
+    if (r.dst_slot != kNoSlot || r.ring_idx != kNoRing) {
+      ResidentBlock& rb = sms_[ref.sm].slots[r.rb_slot];
+      if (rb.generation == r.generation) {
+        const std::uint64_t value = comp + r.tail;
+        set_slot_ready(rb, r.warp, r.dst_slot, r.width_words, value);
+        if (r.ring_idx != kNoRing) rb.load_ring[r.ring_idx] = value;
+      }
+    }
+  }
+  for (std::uint32_t s = 0; s < n_sms_; ++s) {
+    reqs_[s].clear();
+    segs_[s].clear();
+  }
+}
+
+// Completes stalls parked in the previous bucket: with the merge done every
+// scoreboard entry is concrete, so re-running the warp pick yields the same
+// stall window - and the same single idle charge and event - the serial
+// executor would have produced in one step.
+void TimedRun::finish_parked_stalls() {
+  for (std::uint32_t s = 0; s < n_sms_; ++s) {
+    Sm& sm = sms_[s];
+    if (sm.park != Park::kStall) continue;
+    sm.park = Park::kNone;
+    const Pick pick = pick_warp(sm);
+    VGPU_EXPECTS_MSG(pick.chosen < 0 && !pick.pending,
+                     "parked stall resolved to an issueable warp");
+    VGPU_EXPECTS_MSG(pick.next_event != kNever,
+                     "timing executor stalled (barrier deadlock?)");
+    WorkerCtx& ctx = workers_[s % nthreads_];
+    ctx.stats.sm_idle_cycles += pick.next_event - sm.cycle;
+    if (sink_ != nullptr) {
+      emit(s, sm.cycle, TimelineSink::StallSpan{s, sm.cycle, pick.next_event});
+    }
+    sm.cycle = pick.next_event;
+  }
+}
+
+// Main loop of the multi-threaded path. The bucket width is the global
+// memory latency: any DRAM completion recorded at cycle >= base resolves at
+// or after base + latency = bucket end, so within a bucket "in flight" is
+// the exact answer and SMs only interact at the (serialized) bucket
+// boundaries - the merge, the parked stalls, and the dispatch waves.
+void TimedRun::run_parallel() {
+  const std::uint64_t window = std::max<std::uint64_t>(1, t_.global_latency_cycles);
+  WorkerPool pool(nthreads_ - 1, [this](std::uint32_t w) { worker_phase(w); });
+  while (true) {
+    merge_deferred();
+    finish_parked_stalls();
+    std::uint64_t base = kNever;
+    for (std::uint32_t s = 0; s < n_sms_; ++s) {
+      if (sms_[s].has_work()) base = std::min(base, sms_[s].cycle);
+    }
+    if (base == kNever) break;
+    bucket_end_ = base + window;
+    pool.round();
+    dispatch_waves();
+  }
+}
+
+// Replays the buffered sink events in the serial emission order.
+void TimedRun::flush_events() {
+  struct Ref {
+    std::uint64_t key;
+    std::uint32_t sm;
+    std::uint32_t idx;
+  };
+  std::vector<Ref> order;
+  std::size_t total = 0;
+  for (const std::vector<PendingEvent>& v : events_) total += v.size();
+  order.reserve(total);
+  for (std::uint32_t s = 0; s < n_sms_; ++s) {
+    for (std::size_t i = 0; i < events_[s].size(); ++i) {
+      order.push_back(
+          Ref{events_[s][i].key, s, static_cast<std::uint32_t>(i)});
+    }
+  }
+  std::sort(order.begin(), order.end(), [](const Ref& a, const Ref& b) {
+    if (a.key != b.key) return a.key < b.key;
+    if (a.sm != b.sm) return a.sm < b.sm;
+    return a.idx < b.idx;
+  });
+  for (const Ref& ref : order) {
+    std::visit([this](const auto& span) { forward(span); },
+               events_[ref.sm][ref.idx].span);
+  }
+}
+
+LaunchStats TimedRun::run() {
+  VGPU_EXPECTS_MSG(prog_.allocated, "timing run requires an allocated program");
+  VGPU_EXPECTS_MSG(params_.size() == prog_.num_params,
+                   "parameter count mismatch");
+  // An empty grid has no cycles to extrapolate (and blocks_total /
+  // blocks_simulated would be 0/0 = NaN, silently poisoning every consumer
+  // of extrapolation_factor).
+  VGPU_EXPECTS_MSG(cfg_.grid_blocks >= 1,
+                   "timed launch requires a non-empty grid");
+
+  const OccupancyResult occ = compute_occupancy(
+      spec_, cfg_.block_threads, prog_.num_phys_regs, prog_.shared_bytes);
+  VGPU_EXPECTS_MSG(occ.blocks_per_sm >= 1, "kernel does not fit on an SM");
+
+  n_sms_ = opt_.sim_sms == 0 ? spec_.sm_count
+                             : std::min(opt_.sim_sms, spec_.sm_count);
+  const std::uint64_t dram_bpc = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(t_.dram_bytes_per_cycle) * n_sms_ /
+             spec_.sm_count);
+
+  const std::uint32_t blocks_total = cfg_.grid_blocks;
+  blocks_to_sim_ = opt_.max_blocks == 0
+                       ? blocks_total
+                       : std::min(blocks_total, opt_.max_blocks);
+
+  stats_.blocks_total = blocks_total;
+  stats_.blocks_simulated = blocks_to_sim_;
+  stats_.extrapolation_factor =
+      static_cast<double>(blocks_total) / static_cast<double>(blocks_to_sim_);
+  stats_.occupancy = occ.occupancy;
+  stats_.blocks_per_sm = occ.blocks_per_sm;
+
+  warps_per_block_ = cfg_.block_threads / spec_.warp_size;
+  mshr_ = std::max(1u, t_.max_outstanding_loads(opt_.driver));
+  sink_ = opt_.sink;
+
+  const std::uint32_t want = opt_.threads == 0 ? 1u : opt_.threads;
+  nthreads_ = std::min(want, n_sms_);
+  // The conservative bucket width is the global-memory latency; a model
+  // without one has no deferral window, so it runs single-threaded.
+  deferred_ = nthreads_ > 1 && t_.global_latency_cycles > 0;
+  if (!deferred_) nthreads_ = 1;
+
+  if (sink_ != nullptr) {
+    TimelineSink::RunInfo info;
+    info.n_sms = n_sms_;
+    info.warps_per_block = warps_per_block_;
+    info.max_warps_per_sm = spec_.max_warps_per_sm();
+    info.dram_partitions = t_.dram_partitions;
+    info.core_clock_khz = spec_.core_clock_khz;
+    info.blocks_per_sm = occ.blocks_per_sm;
+    sink_->on_begin(info);
+  }
+
+  sms_.resize(n_sms_);
+  channel_.assign(t_.dram_partitions, 0.0);
+  channel_cycles_per_byte_ =
+      static_cast<double>(t_.dram_partitions) / static_cast<double>(dram_bpc);
+
+  if (!opt_.reference) dec_.emplace(decode(prog_));
+  decp_ = dec_ ? &*dec_ : nullptr;
+  fast_ = decp_ != nullptr;
+
+  workers_.resize(nthreads_);
+  for (WorkerCtx& ctx : workers_) {
+    if (fast_) ctx.memo.emplace(opt_.driver);
+    ctx.scratch.transactions.reserve(32);
+  }
+  if (deferred_) {
+    reqs_.resize(n_sms_);
+    segs_.resize(n_sms_);
+    if (sink_ != nullptr) events_.resize(n_sms_);
+  }
+
+  for (std::uint32_t s = 0; s < n_sms_; ++s) {
+    sms_[s].slots.resize(occ.blocks_per_sm);
+  }
+  // breadth-first initial placement: block b goes to SM b % n_sms
+  for (std::uint32_t k = 0; k < occ.blocks_per_sm; ++k) {
+    for (std::uint32_t s = 0; s < n_sms_; ++s) {
+      do_dispatch(sms_[s], k, s, 0, 0, kNoEvent);
+    }
+  }
+
+  if (deferred_) {
+    run_parallel();
+  } else {
+    run_serial();
+  }
+
+  if (trace_enabled()) {
+    std::string line = "[vgpu] channels busy-until:";
+    char buf[32];
+    for (double c : channel_) {
+      std::snprintf(buf, sizeof buf, " %.0f", c);
+      line += buf;
+    }
+    line += "  sm cycles:";
+    for (const Sm& sm : sms_) {
+      std::snprintf(buf, sizeof buf, " %llu",
+                    static_cast<unsigned long long>(sm.cycle));
+      line += buf;
+    }
+    line += "\n";
+    trace_write(line);
+  }
+
+  std::uint64_t end_cycle = 0;
+  for (const Sm& sm : sms_) end_cycle = std::max(end_cycle, sm.cycle);
+  stats_.cycles = end_cycle;
+  for (const WorkerCtx& ctx : workers_) {
+    accumulate_counters(stats_, ctx.stats);
+    if (ctx.memo) {
+      stats_.coalesce_memo_hits += ctx.memo->hits();
+      stats_.coalesce_memo_misses += ctx.memo->misses();
+    }
+  }
+  if (sink_ != nullptr) {
+    if (deferred_) flush_events();
+    sink_->on_end(end_cycle);
+  }
+  return stats_;
+}
+
 }  // namespace
 
 LaunchStats run_timed(const Program& prog, const DeviceSpec& spec,
                       GlobalMemory& gmem, const LaunchConfig& cfg,
                       std::span<const std::uint32_t> params,
                       const TimingOptions& opt) {
-  VGPU_EXPECTS_MSG(prog.allocated, "timing run requires an allocated program");
-  VGPU_EXPECTS_MSG(params.size() == prog.num_params, "parameter count mismatch");
-
-  const TimingParams& t = spec.timing;
-  const OccupancyResult occ = compute_occupancy(
-      spec, cfg.block_threads, prog.num_phys_regs, prog.shared_bytes);
-  VGPU_EXPECTS_MSG(occ.blocks_per_sm >= 1, "kernel does not fit on an SM");
-
-  const std::uint32_t n_sms =
-      opt.sim_sms == 0 ? spec.sm_count : std::min(opt.sim_sms, spec.sm_count);
-  const std::uint64_t dram_bpc = std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(t.dram_bytes_per_cycle) * n_sms / spec.sm_count);
-
-  const std::uint32_t blocks_total = cfg.grid_blocks;
-  const std::uint32_t blocks_to_sim =
-      opt.max_blocks == 0 ? blocks_total : std::min(blocks_total, opt.max_blocks);
-
-  LaunchStats stats;
-  stats.blocks_total = blocks_total;
-  stats.blocks_simulated = blocks_to_sim;
-  stats.extrapolation_factor =
-      static_cast<double>(blocks_total) / static_cast<double>(blocks_to_sim);
-  stats.occupancy = occ.occupancy;
-  stats.blocks_per_sm = occ.blocks_per_sm;
-
-  const std::uint32_t warps_per_block = cfg.block_threads / spec.warp_size;
-  const std::uint32_t mshr = std::max(1u, t.max_outstanding_loads(opt.driver));
-  TimelineSink* const sink = opt.sink;
-  if (sink != nullptr) {
-    TimelineSink::RunInfo info;
-    info.n_sms = n_sms;
-    info.warps_per_block = warps_per_block;
-    info.max_warps_per_sm = spec.max_warps_per_sm();
-    info.dram_partitions = t.dram_partitions;
-    info.core_clock_khz = spec.core_clock_khz;
-    info.blocks_per_sm = occ.blocks_per_sm;
-    sink->on_begin(info);
-  }
-  std::vector<Sm> sms(n_sms);
-  // Per-partition busy-until times (fractional cycles); each partition
-  // serves 1/partitions of the device bandwidth.
-  std::vector<double> channel(t.dram_partitions, 0.0);
-  const double channel_cycles_per_byte =
-      static_cast<double>(t.dram_partitions) / static_cast<double>(dram_bpc);
-  std::uint32_t next_block = 0;
-
-  std::optional<DecodedProgram> dec;
-  std::optional<CoalesceMemo> memo;
-  if (!opt.reference) {
-    dec.emplace(decode(prog));
-    memo.emplace(opt.driver);
-  }
-  const DecodedProgram* const decp = dec ? &*dec : nullptr;
-  const bool fast = decp != nullptr;
-
-  auto dispatch = [&](Sm& sm, std::size_t slot, std::uint32_t sm_id,
-                      std::uint64_t when) {
-    ResidentBlock& rb = sm.slots[slot];
-    if (sink != nullptr && rb.exec) {
-      sink->on_block({sm_id, static_cast<std::uint32_t>(slot), rb.block_id,
-                      warps_per_block, rb.start_cycle, when});
-    }
-    if (next_block >= blocks_to_sim) {
-      rb.exec.reset();
-      return;
-    }
-    BlockParams bp{next_block++, cfg, params, sm_id, opt.cmem};
-    rb.block_id = bp.block_id;
-    rb.start_cycle = when;
-    if (fast && rb.exec) {
-      rb.exec->reset(bp);  // reuse the slot's arenas instead of reallocating
-    } else {
-      rb.exec = std::make_unique<BlockExec>(prog, spec, gmem, bp, decp);
-    }
-    rb.reg_ready.assign(static_cast<std::size_t>(prog.reg_file_size) * warps_per_block, 0);
-    rb.pred_ready.assign(static_cast<std::size_t>(prog.num_preds) * warps_per_block, 0);
-    rb.load_ring.assign(static_cast<std::size_t>(mshr) * warps_per_block, 0);
-    rb.load_ring_pos.assign(warps_per_block, 0);
-    if (sink != nullptr) rb.barrier_arrive.assign(warps_per_block, 0);
-    for (std::uint32_t w = 0; w < warps_per_block; ++w) {
-      rb.exec->warp(w).ready_cycle = when + t.block_start_cycles;
-    }
-  };
-
-  for (std::uint32_t s = 0; s < n_sms; ++s) {
-    sms[s].slots.resize(occ.blocks_per_sm);
-  }
-  // breadth-first initial placement: block b goes to SM b % n_sms
-  for (std::uint32_t k = 0; k < occ.blocks_per_sm; ++k) {
-    for (std::uint32_t s = 0; s < n_sms; ++s) {
-      dispatch(sms[s], k, s, 0);
-    }
-  }
-
-  CoalesceResult scratch;
-  scratch.transactions.reserve(32);
-
-  // Scoreboard: earliest cycle at which every register/predicate the
-  // instruction touches is available.
-  auto dep_ready = [&](const ResidentBlock& rb, std::uint32_t w,
-                       const Instruction& in) {
-    const std::size_t rbase = static_cast<std::size_t>(w) * prog.reg_file_size;
-    const std::size_t pbase = static_cast<std::size_t>(w) * prog.num_preds;
-    std::uint64_t ready = 0;
-    auto reg_dep = [&](const Operand& o, std::uint32_t words) {
-      if (!o.valid()) return;
-      const std::uint32_t slot = prog.reg_base[o.reg] + o.comp;
-      for (std::uint32_t c = 0; c < words; ++c) {
-        ready = std::max(ready, rb.reg_ready[rbase + slot + c]);
-      }
-    };
-    const std::uint32_t wwords = width_words(in.width);
-    reg_dep(in.src[0], 1);
-    reg_dep(in.src[1], in.is_store() ? wwords : 1);
-    reg_dep(in.src[2], 1);
-    reg_dep(in.dst, in.is_load() ? wwords : (in.dst.valid() ? 1u : 0u));
-    auto pred_dep = [&](PredId p) {
-      if (p != kNoPred) ready = std::max(ready, rb.pred_ready[pbase + p]);
-    };
-    pred_dep(in.psrc0);
-    pred_dep(in.psrc1);
-    pred_dep(in.guard);
-    if (in.op == Opcode::kLdGlobal) {
-      // MSHR limit: the slot this load would occupy must have drained.
-      const std::size_t ring_base = static_cast<std::size_t>(w) * mshr;
-      ready = std::max(ready, rb.load_ring[ring_base + rb.load_ring_pos[w]]);
-    }
-    return ready;
-  };
-
-  // Fast-path scoreboard scan over the pre-flattened read-set - same
-  // dependencies as dep_ready (decode() mirrors its walk), no operand
-  // re-resolution per issue attempt.
-  auto dep_ready_fast = [&](const ResidentBlock& rb, std::uint32_t w,
-                            const DecodedInstr& d) {
-    const std::size_t rbase = static_cast<std::size_t>(w) * prog.reg_file_size;
-    std::uint64_t ready = 0;
-    for (std::uint32_t i = 0; i < d.num_deps; ++i) {
-      const DecodedInstr::RegDep& dep = d.deps[i];
-      for (std::uint32_t c = 0; c < dep.words; ++c) {
-        ready = std::max(ready, rb.reg_ready[rbase + dep.slot + c]);
-      }
-    }
-    if (d.num_pred_deps != 0) {
-      const std::size_t pbase = static_cast<std::size_t>(w) * prog.num_preds;
-      for (std::uint32_t i = 0; i < d.num_pred_deps; ++i) {
-        ready = std::max(ready, rb.pred_ready[pbase + d.pred_deps[i]]);
-      }
-    }
-    if (d.op == Opcode::kLdGlobal) {
-      const std::size_t ring_base = static_cast<std::size_t>(w) * mshr;
-      ready = std::max(ready, rb.load_ring[ring_base + rb.load_ring_pos[w]]);
-    }
-    return ready;
-  };
-
-  auto set_slot_ready = [&](ResidentBlock& rb, std::uint32_t w, std::uint32_t slot,
-                            std::uint32_t words, std::uint64_t when) {
-    if (slot == kNoSlot) return;
-    const std::size_t rbase = static_cast<std::size_t>(w) * prog.reg_file_size;
-    for (std::uint32_t c = 0; c < words; ++c) {
-      rb.reg_ready[rbase + slot + c] = when;
-    }
-  };
-
-  auto sm_step = [&](Sm& sm, std::uint32_t sm_id) {
-    // 1. release any satisfiable barriers
-    for (std::size_t slot = 0; slot < sm.slots.size(); ++slot) {
-      BlockExec* exec = sm.slots[slot].exec.get();
-      if (exec && exec->barrier_releasable()) {
-        exec->release_barrier();
-        for (std::uint32_t w = 0; w < exec->num_warps(); ++w) {
-          WarpState& ws = exec->warp(w);
-          if (!ws.done) {
-            ws.ready_cycle = std::max(ws.ready_cycle, sm.cycle + t.barrier_cycles);
-            if (sink != nullptr) {
-              sink->on_barrier_wait({sm_id, static_cast<std::uint32_t>(slot), w,
-                                     sm.slots[slot].barrier_arrive[w], sm.cycle});
-            }
-          }
-        }
-      }
-    }
-
-    // 2. pick an issueable warp (loose round robin) considering both the
-    // issue pipeline and the register scoreboard
-    const std::uint32_t total = static_cast<std::uint32_t>(sm.slots.size()) * warps_per_block;
-    std::int64_t chosen = -1;
-    std::uint64_t next_event = kNever;
-    for (std::uint32_t i = 0; i < total; ++i) {
-      const std::uint32_t idx = (sm.rr + i) % total;
-      const std::size_t slot = idx / warps_per_block;
-      const std::uint32_t w = idx % warps_per_block;
-      ResidentBlock& rb = sm.slots[slot];
-      if (!rb.exec) continue;
-      std::uint64_t dep;
-      if (fast) {
-        const DecodedInstr* din = rb.exec->peek_decoded(w);
-        if (din == nullptr) continue;  // done or at barrier
-        dep = dep_ready_fast(rb, w, *din);
-      } else {
-        const Instruction* in = rb.exec->peek(w);
-        if (in == nullptr) continue;  // done or at barrier
-        dep = dep_ready(rb, w, *in);
-      }
-      const WarpState& ws = rb.exec->warp(w);
-      const std::uint64_t ready_at = std::max(ws.ready_cycle, dep);
-      if (ready_at <= sm.cycle) {
-        chosen = idx;
-        break;
-      }
-      next_event = std::min(next_event, ready_at);
-    }
-    if (chosen < 0) {
-      VGPU_EXPECTS_MSG(next_event != kNever,
-                       "timing executor stalled (barrier deadlock?)");
-      stats.sm_idle_cycles += next_event - sm.cycle;
-      if (sink != nullptr) sink->on_stall({sm_id, sm.cycle, next_event});
-      sm.cycle = next_event;
-      return;
-    }
-    sm.rr = static_cast<std::uint32_t>(chosen) + 1;
-
-    const std::size_t slot = static_cast<std::size_t>(chosen) / warps_per_block;
-    const std::uint32_t w = static_cast<std::uint32_t>(chosen) % warps_per_block;
-    ResidentBlock& rb = sm.slots[slot];
-    BlockExec& exec = *rb.exec;
-    WarpState& ws = exec.warp(w);
-
-    // Snapshot what the writeback stage needs before step advances state.
-    IssueView iv;
-    if (fast) {
-      const DecodedInstr& din = *exec.peek_decoded(w);
-      iv = IssueView{din.dst_slot, din.width_words, din.pdst, din.is_load};
-    } else {
-      const Instruction& in = *exec.peek(w);
-      iv = IssueView{in.dst.valid() ? exec.operand_slot(in.dst) : kNoSlot,
-                     width_words(in.width), in.pdst, in.is_load()};
-    }
-    const std::uint64_t issue_start = sm.cycle;
-    const StepResult res = exec.step(w, sm.cycle);
-    ++stats.warp_instructions;
-    ++stats.region_instructions[static_cast<std::size_t>(res.region)];
-    ++stats.instr_class_counts[static_cast<std::size_t>(instr_class(res.op))];
-    if (res.divergent_branch) ++stats.divergent_branches;
-
-    switch (res.kind) {
-      case StepResult::Kind::kAlu:
-        sm.cycle += t.alu_issue_cycles;
-        ws.ready_cycle = sm.cycle;
-        set_slot_ready(rb, w, iv.dst_slot, 1, sm.cycle + t.alu_result_latency_cycles);
-        if (iv.pdst != kNoPred) {
-          rb.pred_ready[static_cast<std::size_t>(w) * prog.num_preds + iv.pdst] =
-              sm.cycle + t.alu_result_latency_cycles;
-        }
-        break;
-      case StepResult::Kind::kShared: {
-        ++stats.shared_requests;
-        const std::uint32_t degree = std::max(1u, res.shared_conflict_degree);
-        if (degree > 1) stats.shared_conflict_extra += degree - 1;
-        sm.cycle += static_cast<std::uint64_t>(t.shared_issue_cycles) * degree;
-        ws.ready_cycle = sm.cycle;
-        if (iv.is_load) {
-          set_slot_ready(rb, w, iv.dst_slot, iv.width_words,
-                         sm.cycle + t.shared_result_latency_cycles);
-        }
-        break;
-      }
-      case StepResult::Kind::kGlobal: {
-        std::uint64_t completion = sm.cycle;
-        bool any_uncoalesced = false;
-        const std::uint32_t half = spec.half_warp;
-        std::array<std::uint32_t, 16> addrs{};
-        for (std::uint32_t h = 0; h < spec.warp_size / half; ++h) {
-          std::uint32_t active = 0;
-          for (std::uint32_t k = 0; k < half; ++k) {
-            const std::uint32_t lane = h * half + k;
-            addrs[k] = res.lane_addrs[lane];
-            if (res.mem_mask & (1u << lane)) active |= 1u << k;
-          }
-          if (active == 0) continue;
-          MemRequest req{std::span<const std::uint32_t>(addrs.data(), half),
-                         active, res.width, res.is_store};
-          if (memo) {
-            memo->lookup(req, scratch);
-          } else {
-            coalesce(req, opt.driver, scratch);
-          }
-          ++stats.global_requests;
-          if (scratch.coalesced) {
-            ++stats.coalesced_requests;
-          } else {
-            ++stats.uncoalesced_requests;
-            any_uncoalesced = true;
-          }
-          const double txn_overhead =
-              t.dram_txn_overhead_cycles(opt.driver) *
-              static_cast<double>(scratch.transactions.size());
-          std::uint32_t req_bytes = 0;
-          for (const Transaction& txn : scratch.transactions) {
-            ++stats.global_transactions;
-            stats.global_bytes += txn.bytes;
-            req_bytes += txn.bytes;
-          }
-          if (sink != nullptr) {
-            sink->on_global_request(
-                {sm_id, sm.cycle, scratch.coalesced,
-                 static_cast<std::uint32_t>(scratch.transactions.size()),
-                 req_bytes});
-          }
-          // DRAM stage: the controller merges accesses that hit the same
-          // 128-byte row segment (row-buffer locality), so channel occupancy
-          // is per unique segment and proportional to the bytes actually
-          // used - independent of how the driver generation packaged the
-          // request into transactions.
-          std::array<std::uint32_t, 32> seg_base{};
-          std::array<std::uint32_t, 32> seg_bytes{};
-          std::size_t nsegs = 0;
-          const std::uint32_t wbytes = width_bytes(res.width);
-          for (std::uint32_t k = 0; k < half; ++k) {
-            if (!(active & (1u << k))) continue;
-            const std::uint32_t seg = addrs[k] / 128u;
-            bool found = false;
-            for (std::size_t s = 0; s < nsegs; ++s) {
-              if (seg_base[s] == seg) {
-                seg_bytes[s] = std::min(128u, seg_bytes[s] + wbytes);
-                found = true;
-                break;
-              }
-            }
-            if (!found && nsegs < seg_base.size()) {
-              seg_base[nsegs] = seg;
-              seg_bytes[nsegs] = std::min(128u, wbytes);
-              ++nsegs;
-            }
-          }
-          for (std::size_t s = 0; s < nsegs; ++s) {
-            const std::size_t p =
-                (static_cast<std::uint64_t>(seg_base[s]) * 128u /
-                 t.partition_stride_bytes) %
-                channel.size();
-            const double start = std::max(channel[p], static_cast<double>(sm.cycle));
-            const double service =
-                txn_overhead / static_cast<double>(nsegs) +
-                static_cast<double>(seg_bytes[s]) * channel_cycles_per_byte;
-            channel[p] = start + service;
-            if (sink != nullptr) {
-              sink->on_dram({static_cast<std::uint32_t>(p), seg_bytes[s], start,
-                             start + service});
-            }
-            completion = std::max(
-                completion, static_cast<std::uint64_t>(start + service) + 1);
-          }
-        }
-        // LSU occupancy per request, with the driver-generation dependent
-        // uncoalesced handling penalty (see TimingParams).
-        std::uint64_t port = t.port_cycles(opt.driver);
-        if (any_uncoalesced) port += t.uncoalesced_port_cycles(opt.driver);
-        sm.cycle += port;
-        ws.ready_cycle = sm.cycle;  // non-blocking: warp keeps going
-        if (iv.is_load) {
-          std::uint64_t data_back =
-              std::max(completion, sm.cycle) + t.global_latency_cycles;
-          if (any_uncoalesced) {
-            data_back += t.uncoalesced_latency_cycles(opt.driver);
-          }
-          set_slot_ready(rb, w, iv.dst_slot, iv.width_words, data_back);
-          const std::size_t ring_base = static_cast<std::size_t>(w) * mshr;
-          rb.load_ring[ring_base + rb.load_ring_pos[w]] = data_back;
-          rb.load_ring_pos[w] = (rb.load_ring_pos[w] + 1) % mshr;
-        }
-        break;
-      }
-      case StepResult::Kind::kLocal: {
-        ++stats.local_requests;
-        // spills are lane-interleaved: one frame word across 32 lanes is a
-        // 128-byte consecutive run = two coalesced 64B transactions
-        sm.cycle += t.port_cycles(opt.driver);
-        ws.ready_cycle = sm.cycle;
-        std::uint64_t completion = sm.cycle;
-        for (int half_idx = 0; half_idx < 2; ++half_idx) {
-          const std::size_t p =
-              (static_cast<std::size_t>(res.lane_addrs[0]) / t.partition_stride_bytes +
-               static_cast<std::size_t>(half_idx)) %
-              channel.size();
-          const double start = std::max(channel[p], static_cast<double>(sm.cycle));
-          const double service = 64.0 * channel_cycles_per_byte;
-          channel[p] = start + service;
-          stats.global_bytes += 64;
-          if (sink != nullptr) {
-            sink->on_dram(
-                {static_cast<std::uint32_t>(p), 64, start, start + service});
-          }
-          completion = std::max(completion,
-                                static_cast<std::uint64_t>(start + service) + 1);
-        }
-        if (iv.is_load) {
-          set_slot_ready(rb, w, iv.dst_slot, 1, completion + t.global_latency_cycles);
-        }
-        break;
-      }
-      case StepResult::Kind::kConst: {
-        ++stats.const_requests;
-        // distinct addresses serialize through the constant cache
-        std::uint32_t distinct = 0;
-        std::array<std::uint32_t, 32> seen{};
-        for (std::uint32_t l = 0; l < spec.warp_size; ++l) {
-          if (!(res.mem_mask & (1u << l))) continue;
-          bool dup = false;
-          for (std::uint32_t k = 0; k < distinct; ++k) {
-            if (seen[k] == res.lane_addrs[l]) {
-              dup = true;
-              break;
-            }
-          }
-          if (!dup) seen[distinct++] = res.lane_addrs[l];
-        }
-        const std::uint64_t cost =
-            static_cast<std::uint64_t>(t.const_serialize_cycles) *
-            std::max(1u, distinct);
-        sm.cycle += cost;
-        ws.ready_cycle = sm.cycle;
-        set_slot_ready(rb, w, iv.dst_slot, iv.width_words,
-                       sm.cycle + t.alu_result_latency_cycles);
-        break;
-      }
-      case StepResult::Kind::kTex: {
-        ++stats.tex_requests;
-        sm.cycle += t.alu_issue_cycles;
-        ws.ready_cycle = sm.cycle;
-        const std::uint32_t max_lines =
-            std::max(1u, t.tex_cache_bytes / t.tex_line_bytes);
-        std::uint64_t completion = sm.cycle + t.tex_hit_latency_cycles;
-        const std::uint32_t wbytes = width_bytes(res.width);
-        for (std::uint32_t l = 0; l < spec.warp_size; ++l) {
-          if (!(res.mem_mask & (1u << l))) continue;
-          for (std::uint32_t b = res.lane_addrs[l] / t.tex_line_bytes;
-               b <= (res.lane_addrs[l] + wbytes - 1) / t.tex_line_bytes; ++b) {
-            auto it = std::find(sm.tex_lines.begin(), sm.tex_lines.end(), b);
-            if (it != sm.tex_lines.end()) {
-              ++stats.tex_hits;
-              sm.tex_lines.erase(it);
-              sm.tex_lines.insert(sm.tex_lines.begin(), b);
-              continue;
-            }
-            ++stats.tex_misses;
-            // fetch the line from DRAM
-            const std::size_t p =
-                (static_cast<std::uint64_t>(b) * t.tex_line_bytes /
-                 t.partition_stride_bytes) %
-                channel.size();
-            const double start = std::max(channel[p], static_cast<double>(sm.cycle));
-            const double service =
-                static_cast<double>(t.tex_line_bytes) * channel_cycles_per_byte;
-            channel[p] = start + service;
-            stats.global_bytes += t.tex_line_bytes;
-            if (sink != nullptr) {
-              sink->on_dram({static_cast<std::uint32_t>(p), t.tex_line_bytes,
-                             start, start + service});
-            }
-            completion = std::max(completion,
-                                  static_cast<std::uint64_t>(start + service) +
-                                      t.global_latency_cycles);
-            sm.tex_lines.insert(sm.tex_lines.begin(), b);
-            if (sm.tex_lines.size() > max_lines) sm.tex_lines.pop_back();
-          }
-        }
-        set_slot_ready(rb, w, iv.dst_slot, iv.width_words, completion);
-        break;
-      }
-      case StepResult::Kind::kBarrier:
-        ++stats.barriers;
-        sm.cycle += t.alu_issue_cycles;
-        ws.ready_cycle = sm.cycle;
-        if (sink != nullptr) rb.barrier_arrive[w] = sm.cycle;
-        break;
-      case StepResult::Kind::kExit:
-        sm.cycle += t.alu_issue_cycles;
-        ws.ready_cycle = sm.cycle;
-        if (exec.all_done()) {
-          dispatch(sm, slot, sm_id, sm.cycle);
-        }
-        break;
-    }
-    stats.sm_issue_cycles += sm.cycle - issue_start;
-    if (sink != nullptr) {
-      sink->on_issue({sm_id, static_cast<std::uint32_t>(slot), w,
-                      instr_class(res.op), issue_start, sm.cycle});
-    }
-  };
-
-  // Main loop: always advance the SM with the smallest local clock so the
-  // shared DRAM channel timeline stays nearly chronological.
-  while (true) {
-    std::int64_t pick = -1;
-    std::uint64_t best = kNever;
-    for (std::uint32_t s = 0; s < n_sms; ++s) {
-      if (!sms[s].has_work()) continue;
-      if (sms[s].cycle < best) {
-        best = sms[s].cycle;
-        pick = s;
-      }
-    }
-    if (pick < 0) break;
-    sm_step(sms[static_cast<std::size_t>(pick)], static_cast<std::uint32_t>(pick));
-  }
-
-  if (std::getenv("VGPU_TRACE") != nullptr) {
-    std::fprintf(stderr, "[vgpu] channels busy-until:");
-    for (double c : channel) std::fprintf(stderr, " %.0f", c);
-    std::fprintf(stderr, "  sm cycles:");
-    for (const Sm& sm : sms) std::fprintf(stderr, " %llu",
-        static_cast<unsigned long long>(sm.cycle));
-    std::fprintf(stderr, "\n");
-  }
-  std::uint64_t end_cycle = 0;
-  for (const Sm& sm : sms) end_cycle = std::max(end_cycle, sm.cycle);
-  stats.cycles = end_cycle;
-  if (memo) {
-    stats.coalesce_memo_hits = memo->hits();
-    stats.coalesce_memo_misses = memo->misses();
-  }
-  if (sink != nullptr) sink->on_end(end_cycle);
-  return stats;
+  TimedRun run(prog, spec, gmem, cfg, params, opt);
+  return run.run();
 }
 
 }  // namespace vgpu

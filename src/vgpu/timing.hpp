@@ -45,6 +45,12 @@ struct TimingOptions {
   /// cycles - and identical memory contents; the differential tests
   /// exercise this flag.
   bool reference = false;
+  /// Host threads stepping SMs (0 or 1 = single-threaded). Multi-threaded
+  /// runs shard SMs across threads inside conservative cycle buckets and
+  /// merge DRAM-partition traffic deterministically, so LaunchStats::core()
+  /// - including cycles - and memory contents are bit-identical to a
+  /// single-threaded run (docs/performance.md, "Multi-threaded timing").
+  std::uint32_t threads = 1;
 };
 
 /// Run the grid under the timing model. The program must be

@@ -29,6 +29,59 @@ TEST(ChromeTrace, AttachingSinkDoesNotChangeTiming) {
   EXPECT_EQ(trace.total_cycles(), bare.cycles);
 }
 
+/// Flattens every sink callback into a comparable log line.
+class RecordingSink final : public vgpu::TimelineSink {
+ public:
+  std::vector<std::string> log;
+
+ private:
+  void on_begin(const RunInfo& i) override {
+    add("begin", i.n_sms, i.warps_per_block, i.dram_partitions, i.blocks_per_sm);
+  }
+  void on_block(const BlockSpan& s) override {
+    add("block", s.sm, s.slot, s.block_id, s.warps, s.start, s.end);
+  }
+  void on_issue(const IssueSpan& s) override {
+    add("issue", s.sm, s.slot, s.warp, static_cast<int>(s.cls), s.start, s.end);
+  }
+  void on_stall(const StallSpan& s) override {
+    add("stall", s.sm, s.start, s.end);
+  }
+  void on_barrier_wait(const BarrierWait& s) override {
+    add("barrier", s.sm, s.slot, s.warp, s.arrive, s.release);
+  }
+  void on_dram(const DramSpan& s) override {
+    add("dram", s.partition, s.bytes, s.start, s.end);
+  }
+  void on_global_request(const GlobalRequest& s) override {
+    add("greq", s.sm, s.cycle, s.coalesced ? 1 : 0, s.transactions, s.bytes);
+  }
+  void on_end(std::uint64_t cycles) override { add("end", cycles); }
+
+  template <class... Args>
+  void add(const char* tag, Args... args) {
+    std::string line = tag;
+    ((line.append(1, ' ').append(std::to_string(args))), ...);
+    log.push_back(std::move(line));
+  }
+};
+
+// The multi-threaded executor buffers events and replays them at the end of
+// the run; the replayed stream must be the single-threaded stream exactly -
+// same events, same payloads, same order.
+TEST(ChromeTrace, ThreadedRunEmitsIdenticalEventStream) {
+  RecordingSink solo;
+  const vgpu::LaunchStats solo_stats = test::run_read_kernel(&solo);
+  RecordingSink par;
+  const vgpu::LaunchStats par_stats =
+      test::run_read_kernel(&par, 4096, 128, /*threads=*/4);
+  EXPECT_EQ(par_stats.cycles, solo_stats.cycles);
+  ASSERT_EQ(par.log.size(), solo.log.size());
+  for (std::size_t k = 0; k < solo.log.size(); ++k) {
+    ASSERT_EQ(par.log[k], solo.log[k]) << "event " << k << " diverged";
+  }
+}
+
 TEST(ChromeTrace, EmitsValidMonotoneMatchedTrace) {
   ChromeTraceSink trace;
   (void)test::run_read_kernel(&trace);

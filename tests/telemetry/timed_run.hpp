@@ -16,7 +16,8 @@ namespace telemetry::test {
 
 inline vgpu::LaunchStats run_read_kernel(vgpu::TimelineSink* sink,
                                          std::uint32_t n = 4096,
-                                         std::uint32_t block = 128) {
+                                         std::uint32_t block = 128,
+                                         std::uint32_t threads = 1) {
   const layout::PhysicalLayout phys =
       layout::plan_layout(layout::gravit_record(), layout::SchemeKind::kSoAoaS);
   const vgpu::Program prog = layout::make_read_kernel(phys);
@@ -39,6 +40,7 @@ inline vgpu::LaunchStats run_read_kernel(vgpu::TimelineSink* sink,
 
   vgpu::TimingOptions topt;
   topt.sink = sink;
+  topt.threads = threads;
   return dev.launch_timed(prog, vgpu::LaunchConfig{n / block, block}, params,
                           topt);
 }

@@ -36,12 +36,13 @@ struct RunOutput {
 RunOutput run_once(Device& dev, const Program& prog, const LaunchConfig& cfg,
                    std::span<const std::uint32_t> params, DriverModel driver,
                    bool timed, bool reference, Buffer out_buf,
-                   std::size_t out_words) {
+                   std::size_t out_words, std::uint32_t threads = 1) {
   RunOutput r;
   if (timed) {
     TimingOptions topt;
     topt.driver = driver;
     topt.reference = reference;
+    topt.threads = threads;
     r.stats = dev.launch_timed(prog, cfg, params, topt);
   } else {
     FunctionalOptions fopt;
@@ -76,6 +77,21 @@ void expect_equivalent(Device& dev, const Program& prog,
       EXPECT_GT(fast.stats.coalesce_memo_hits + fast.stats.coalesce_memo_misses,
                 0u)
           << what;
+      // Multi-threaded timing must be bit-identical to single-threaded:
+      // memory contents and LaunchStats::core(), cycles included. These
+      // kernels run on the full g80 spec (16 SMs), so 2 and 4 threads are
+      // genuinely concurrent, not clamped.
+      for (const std::uint32_t threads : {2u, 4u}) {
+        const RunOutput par =
+            run_once(dev, prog, cfg, params, driver, /*timed=*/true,
+                     /*reference=*/false, out_buf, out_words, threads);
+        EXPECT_EQ(par.out, fast.out)
+            << what << ": threads=" << threads << " outputs diverged";
+        EXPECT_EQ(par.stats.cycles, fast.stats.cycles)
+            << what << ": threads=" << threads << " cycles diverged";
+        EXPECT_TRUE(par.stats.core() == fast.stats.core())
+            << what << ": threads=" << threads << " stats diverged";
+      }
     }
   }
 }

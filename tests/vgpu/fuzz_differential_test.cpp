@@ -161,7 +161,7 @@ struct DiffRun {
 };
 
 DiffRun run_diff(const Program& prog, DriverModel driver, bool timed,
-                 bool reference) {
+                 bool reference, std::uint32_t threads = 1) {
   const std::uint32_t n = 128;
   Device dev(tiny_spec(), 1 << 20);
   std::vector<float> input(4096);
@@ -177,6 +177,7 @@ DiffRun run_diff(const Program& prog, DriverModel driver, bool timed,
     TimingOptions topt;
     topt.driver = driver;
     topt.reference = reference;
+    topt.threads = threads;
     r.stats = dev.launch_timed(prog, cfg, params, topt);
   } else {
     FunctionalOptions fopt;
@@ -264,6 +265,40 @@ TEST_P(FuzzSeed, FastPathMatchesReferenceExecutor) {
       EXPECT_TRUE(fast.stats.core() == ref.stats.core())
           << "timed stats diverged, driver " << to_string(driver);
     }
+  }
+}
+
+// Third differential axis: the multi-threaded timing executor
+// (TimingOptions::threads) must be bit-identical to the single-threaded one
+// - memory contents and LaunchStats::core() including cycles - for every
+// seed and driver model, on both execution paths.
+TEST_P(FuzzSeed, ThreadedTimingMatchesSingleThreaded) {
+  RandomKernelGen gen(GetParam());
+  Program p = gen.generate();
+  run_standard_pipeline(p);
+  allocate_registers(p);
+  verify(p);
+
+  for (const DriverModel driver :
+       {DriverModel::kCuda10, DriverModel::kCuda11, DriverModel::kCuda22}) {
+    const DiffRun solo = run_diff(p, driver, /*timed=*/true, false);
+    for (const std::uint32_t threads : {2u, 4u}) {
+      const DiffRun par = run_diff(p, driver, /*timed=*/true, false, threads);
+      EXPECT_EQ(par.out, solo.out)
+          << "threaded outputs diverged, driver " << to_string(driver)
+          << ", threads " << threads;
+      EXPECT_EQ(par.stats.cycles, solo.stats.cycles)
+          << "cycle count diverged, driver " << to_string(driver)
+          << ", threads " << threads;
+      EXPECT_TRUE(par.stats.core() == solo.stats.core())
+          << "timed stats diverged, driver " << to_string(driver)
+          << ", threads " << threads;
+    }
+    // threading composes with the reference interpreter too
+    const DiffRun ref = run_diff(p, driver, /*timed=*/true, true);
+    const DiffRun refpar = run_diff(p, driver, /*timed=*/true, true, 2);
+    EXPECT_TRUE(refpar.stats.core() == ref.stats.core())
+        << "threaded reference stats diverged, driver " << to_string(driver);
   }
 }
 

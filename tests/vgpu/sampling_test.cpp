@@ -1,0 +1,169 @@
+// Sampling / extrapolation tests (referenced by sampling.hpp): the
+// far-field kernel's cost is affine in the tile count and linear in whole
+// block waves, so the production sampling paths - TimingOptions::max_blocks
+// wave truncation and two-point tile extrapolation - must reproduce full
+// simulations at small N within a bounded relative error. Also pins the
+// degenerate-launch contracts: a zero-block grid must be rejected by both
+// executors instead of extrapolating to NaN.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gravit/kernels.hpp"
+#include "gravit/spawn.hpp"
+#include "layout/transform.hpp"
+#include "vgpu/check.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/occupancy.hpp"
+#include "vgpu/sampling.hpp"
+
+namespace vgpu {
+namespace {
+
+/// One uploaded far-field launch (default SoAoaS kernel) whose tile count
+/// can be overridden per run, mirroring the tile-sampling protocol of
+/// gravit::FarfieldGpu::run_timed.
+struct Harness {
+  gravit::BuiltKernel built;
+  Device dev;
+  LaunchConfig cfg{0, 0};
+  std::vector<std::uint32_t> params;
+
+  explicit Harness(std::uint32_t n)
+      : built(gravit::make_farfield_kernel(gravit::KernelOptions{})),
+        dev(g80_spec(), 32u * 1024 * 1024) {
+    const std::uint32_t block = gravit::KernelOptions{}.block;
+    const std::uint32_t n_pad = (n + block - 1) / block * block;
+    gravit::ParticleSet set = gravit::spawn_uniform_cube(n, 1.0f, 3);
+    set.pad_to(n_pad);
+    const std::vector<float> flat = set.flatten();
+    const std::vector<std::byte> image = layout::pack(built.phys, flat, n_pad);
+    Buffer img = dev.malloc(image.size());
+    dev.memcpy_h2d(img, image);
+    Buffer accel = dev.malloc(static_cast<std::size_t>(n_pad) * 12);
+    for (const std::uint64_t base : built.phys.group_bases(n_pad)) {
+      params.push_back(img.addr + static_cast<std::uint32_t>(base));
+    }
+    params.push_back(accel.addr);
+    params.push_back(n_pad / block);
+    cfg = LaunchConfig{n_pad / block, block};
+  }
+
+  LaunchStats timed(const TimingOptions& topt, std::uint32_t tiles = 0) {
+    std::vector<std::uint32_t> p = params;
+    if (tiles != 0) p.back() = tiles;
+    return dev.launch_timed(built.prog, cfg, p, topt);
+  }
+
+  [[nodiscard]] std::uint32_t wave(std::uint32_t sim_sms) const {
+    const OccupancyResult occ =
+        compute_occupancy(dev.spec(), cfg.block_threads,
+                          built.prog.num_phys_regs, built.prog.shared_bytes);
+    return wave_blocks(dev.spec(), occ, sim_sms);
+  }
+};
+
+double rel_err(double estimate, double reference) {
+  return std::abs(estimate - reference) / reference;
+}
+
+TEST(Sampling, WaveBlocksScalesWithSimulatedSms) {
+  const DeviceSpec spec = g80_spec();
+  OccupancyResult occ;
+  occ.blocks_per_sm = 3;
+  EXPECT_EQ(wave_blocks(spec, occ), 3u * spec.sm_count);
+  EXPECT_EQ(wave_blocks(spec, occ, 0), 3u * spec.sm_count);
+  EXPECT_EQ(wave_blocks(spec, occ, 2), 6u);
+  EXPECT_EQ(wave_blocks(spec, occ, 1), 3u);
+}
+
+TEST(Sampling, ExtrapolateAffineIsExactOnAffineData) {
+  // cycles = 20 * tiles + 20: two samples recover any target exactly
+  EXPECT_DOUBLE_EQ(extrapolate_affine(4.0, 100.0, 8.0, 180.0, 16.0), 340.0);
+  EXPECT_DOUBLE_EQ(extrapolate_affine(4.0, 100.0, 8.0, 180.0, 4.0), 100.0);
+  // a negative slope is simulator noise; the clamp keeps the cost monotone
+  EXPECT_DOUBLE_EQ(extrapolate_affine(4.0, 100.0, 8.0, 80.0, 16.0), 100.0);
+}
+
+TEST(Sampling, ExtrapolateAffineRejectsDegenerateSamples) {
+  EXPECT_THROW((void)extrapolate_affine(8.0, 100.0, 8.0, 180.0, 16.0),
+               ContractViolation);
+  EXPECT_THROW((void)extrapolate_affine(8.0, 100.0, 4.0, 180.0, 16.0),
+               ContractViolation);
+}
+
+// A grid with zero blocks has nothing to simulate; extrapolation_factor =
+// grid / simulated would be 0/0. Both executors must reject the launch.
+TEST(Sampling, ZeroBlockGridIsRejectedByBothExecutors) {
+  Harness h(128);
+  const LaunchConfig zero{0, h.cfg.block_threads};
+  EXPECT_THROW((void)h.dev.launch_timed(h.built.prog, zero, h.params,
+                                        TimingOptions{}),
+               ContractViolation);
+  EXPECT_THROW((void)h.dev.launch_functional(h.built.prog, zero, h.params,
+                                             FunctionalOptions{}),
+               ContractViolation);
+}
+
+// max_blocks wave sampling: simulate two whole waves of a four-wave grid
+// (2 simulated SMs keep full simulation cheap) and extrapolate; the
+// estimate must land within 10% of the fully simulated cycle count.
+TEST(Sampling, WaveSamplingMatchesFullSimulation) {
+  Harness h(3072);  // 24 blocks of 128 threads
+  TimingOptions full;
+  full.sim_sms = 2;
+  const LaunchStats f = h.timed(full);
+  EXPECT_EQ(f.blocks_total, 24u);
+  EXPECT_EQ(f.blocks_simulated, 24u);
+  EXPECT_DOUBLE_EQ(f.extrapolation_factor, 1.0);
+
+  TimingOptions sampled = full;
+  sampled.max_blocks = 2 * h.wave(2);
+  const LaunchStats s = h.timed(sampled);
+  EXPECT_EQ(s.blocks_total, 24u);
+  EXPECT_EQ(s.blocks_simulated, sampled.max_blocks);
+  EXPECT_LT(s.blocks_simulated, s.blocks_total);
+  EXPECT_GT(s.extrapolation_factor, 1.0);
+
+  const double estimate =
+      static_cast<double>(s.cycles) * s.extrapolation_factor;
+  EXPECT_LT(rel_err(estimate, static_cast<double>(f.cycles)), 0.10)
+      << "estimate " << estimate << " vs full " << f.cycles;
+}
+
+// Tile sampling: measure the full grid at 4 and 8 tiles, extrapolate
+// affinely to the real 12-tile count, and compare against the full run.
+// The kernel's tile loop is perfectly periodic, so this is nearly exact.
+TEST(Sampling, TileExtrapolationMatchesFullSimulation) {
+  Harness h(1536);  // 12 blocks, 12 tiles
+  TimingOptions topt;
+  topt.sim_sms = 2;
+  const LaunchStats s4 = h.timed(topt, 4);
+  const LaunchStats s8 = h.timed(topt, 8);
+  const LaunchStats f = h.timed(topt);
+  const double estimate = extrapolate_affine(
+      4.0, static_cast<double>(s4.cycles), 8.0,
+      static_cast<double>(s8.cycles), 12.0);
+  EXPECT_LT(rel_err(estimate, static_cast<double>(f.cycles)), 0.05)
+      << "estimate " << estimate << " vs full " << f.cycles;
+}
+
+// The sampling paths must not depend on the host thread count either.
+TEST(Sampling, SampledRunsAreThreadCountInvariant) {
+  Harness h(3072);
+  TimingOptions sampled;
+  sampled.sim_sms = 2;
+  sampled.max_blocks = 2 * h.wave(2);
+  const LaunchStats solo = h.timed(sampled);
+  TimingOptions par = sampled;
+  par.threads = 4;
+  const LaunchStats threaded = h.timed(par);
+  EXPECT_EQ(threaded.cycles, solo.cycles);
+  EXPECT_TRUE(threaded.core() == solo.core());
+}
+
+}  // namespace
+}  // namespace vgpu

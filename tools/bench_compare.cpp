@@ -10,12 +10,21 @@
 //   * headers containing "wall" are host timings and may regress by at
 //     most --max-wall-regress percent (default 20; faster is always fine).
 //
+// A third, opt-in class supports estimate-vs-reference comparisons (e.g.
+// fig12_gravit_runtimes --verify, sampled vs full simulation): headers
+// containing the --approx-col substring must agree within --approx-tol
+// percent two-sided (default 10) - the candidate is an approximation of
+// the baseline, so being "faster" is just as wrong as being slower.
+//
 // Other columns are informational and ignored. Rows or tables present in
 // the baseline but missing from the candidate fail the comparison. Exit
 // code 0 = within tolerance, 1 = drift/regression/missing data, 2 = usage
 // or unreadable input.
 //
-//   bench_compare <baseline.json> <candidate.json> [--max-wall-regress=<pct>]
+//   bench_compare <baseline.json> <candidate.json>
+//       [--max-wall-regress=<pct>] [--approx-col=<substr>]
+//       [--approx-tol=<pct>]
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -89,6 +98,8 @@ const JsonValue* find_row(const JsonValue& table, const std::string& key) {
 
 struct Compare {
   double max_wall_regress = 20.0;  // percent
+  std::string approx_col;          // empty = no approximate columns
+  double approx_tol = 10.0;        // percent, two-sided
   int checked = 0;
   int failures = 0;
 
@@ -101,7 +112,9 @@ struct Compare {
                     const std::string& base, const std::string& cand) {
     const bool is_cycles = header.find("cycles") != std::string::npos;
     const bool is_wall = header.find("wall") != std::string::npos;
-    if (!is_cycles && !is_wall) return;
+    const bool is_approx = !is_cycles && !is_wall && !approx_col.empty() &&
+                           header.find(approx_col) != std::string::npos;
+    if (!is_cycles && !is_wall && !is_approx) return;
     ++checked;
     if (is_cycles) {
       // exact: a cycle count is a simulator result, not a measurement
@@ -113,7 +126,18 @@ struct Compare {
     const std::optional<double> b = to_number(base);
     const std::optional<double> c = to_number(cand);
     if (!b || !c) {
-      fail(where + " [" + header + "]: non-numeric wall cell");
+      fail(where + " [" + header + "]: non-numeric " +
+           (is_wall ? "wall" : "approximate") + " cell");
+      return;
+    }
+    if (is_approx) {
+      // two-sided: the candidate estimates the baseline
+      const double limit =
+          approx_tol / 100.0 * std::max(std::abs(*b), 1e-12);
+      if (std::abs(*c - *b) > limit) {
+        fail(where + " [" + header + "]: estimate " + cand + " vs reference " +
+             base + " (> " + std::to_string(approx_tol) + "% off)");
+      }
       return;
     }
     if (*b > 0.0 && *c > *b * (1.0 + max_wall_regress / 100.0)) {
@@ -154,10 +178,16 @@ struct Compare {
 
 int main(int argc, char** argv) {
   double max_wall_regress = 20.0;
+  std::string approx_col;
+  double approx_tol = 10.0;
   std::vector<const char*> paths;
   for (int a = 1; a < argc; ++a) {
     if (std::strncmp(argv[a], "--max-wall-regress=", 19) == 0) {
       max_wall_regress = std::strtod(argv[a] + 19, nullptr);
+    } else if (std::strncmp(argv[a], "--approx-col=", 13) == 0) {
+      approx_col = argv[a] + 13;
+    } else if (std::strncmp(argv[a], "--approx-tol=", 13) == 0) {
+      approx_tol = std::strtod(argv[a] + 13, nullptr);
     } else {
       paths.push_back(argv[a]);
     }
@@ -165,7 +195,8 @@ int main(int argc, char** argv) {
   if (paths.size() != 2) {
     std::fprintf(stderr,
                  "usage: bench_compare <baseline.json> <candidate.json> "
-                 "[--max-wall-regress=<pct>]\n");
+                 "[--max-wall-regress=<pct>] [--approx-col=<substr>] "
+                 "[--approx-tol=<pct>]\n");
     return 2;
   }
   const std::optional<JsonValue> base = load(paths[0]);
@@ -174,6 +205,8 @@ int main(int argc, char** argv) {
 
   Compare cmp;
   cmp.max_wall_regress = max_wall_regress;
+  cmp.approx_col = approx_col;
+  cmp.approx_tol = approx_tol;
   const JsonValue* base_tables = base->find("tables");
   if (base_tables == nullptr || !base_tables->is_array() ||
       base_tables->size() == 0) {
