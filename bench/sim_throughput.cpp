@@ -20,10 +20,19 @@
 // divergence makes the binary exit non-zero. Wall-time speedup is reported
 // (it depends on the host's core count; cycle results never do).
 //
+// A third axis is batched straight-line dispatch (FunctionalOptions::
+// batched): the batched-dispatch table runs every workload's functional
+// executor with batching off and on and demands bit-identical
+// LaunchStats::core() between the two (and the reference); any divergence
+// makes the binary exit non-zero. The ctest gate runs this binary twice,
+// --batched=on and --batched=off, so both dispatch modes stay exercised.
+//
 // Flags: --n=<particles> (default 4096, rounded up to a tile multiple)
 // scales the workload; --threads=<k> (default 4) is the maximum thread
-// count the scaling table sweeps to; --json=<path> exports the tables
-// (bench_util).
+// count the scaling table sweeps to; --batched=on|off (default on) selects
+// the functional fast path's dispatch mode for the main tables (the
+// batched differential always runs both); --json=<path> exports the
+// tables (bench_util).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -113,8 +122,12 @@ struct RunResult {
   }
 };
 
+/// Dispatch mode for the functional fast path (--batched=on|off). The
+/// batched differential in run_all always runs both modes regardless.
+bool g_batched = true;
+
 RunResult run_one(Workload& w, bool timed, bool reference,
-                  std::uint32_t threads = 1) {
+                  std::uint32_t threads = 1, bool batched = g_batched) {
   RunResult r;
   const Clock::time_point t0 = Clock::now();
   if (timed) {
@@ -126,6 +139,7 @@ RunResult run_one(Workload& w, bool timed, bool reference,
   } else {
     vgpu::FunctionalOptions fopt;
     fopt.reference = reference;
+    fopt.batched = batched;
     r.stats = vgpu::run_functional(w.prog, w.dev->spec(), w.dev->gmem(), w.cfg,
                                    w.params, fopt);
   }
@@ -138,6 +152,14 @@ std::string memo_rate(const vgpu::LaunchStats& s) {
   const std::uint64_t total = s.coalesce_memo_hits + s.coalesce_memo_misses;
   if (total == 0) return "-";
   return fmt(100.0 * static_cast<double>(s.coalesce_memo_hits) /
+                 static_cast<double>(total),
+             1);
+}
+
+std::string cmemo_rate(const vgpu::LaunchStats& s) {
+  const std::uint64_t total = s.conflict_memo_hits + s.conflict_memo_misses;
+  if (total == 0) return "-";
+  return fmt(100.0 * static_cast<double>(s.conflict_memo_hits) /
                  static_cast<double>(total),
              1);
 }
@@ -194,10 +216,12 @@ void run_all(std::uint32_t n) {
     workloads.push_back(make_read(n));
   }
 
-  bench::Table runs(
-      {"run", "warp instrs", "wall ms", "Minstr/s", "cycles", "memo hit %"});
+  bench::Table runs({"run", "warp instrs", "wall ms", "Minstr/s", "cycles",
+                     "memo hit %", "cmemo hit %"});
   bench::Table speed({"workload", "executor", "ref wall ms", "fast wall ms",
                       "speedup", "stats identical"});
+  bench::Table batch({"workload", "off wall ms", "on wall ms", "speedup",
+                      "stats identical"});
   for (Workload& w : workloads) {
     for (const bool timed : {false, true}) {
       const char* exec_name = timed ? "timing" : "functional";
@@ -207,7 +231,8 @@ void run_all(std::uint32_t n) {
         runs.add_row({w.label + "/" + exec_name + "/" + path,
                       std::to_string(r.stats.warp_instructions),
                       fmt(r.wall_ms, 1), fmt(r.minstr_per_s(), 2),
-                      std::to_string(r.stats.cycles), memo_rate(r.stats)});
+                      std::to_string(r.stats.cycles), memo_rate(r.stats),
+                      cmemo_rate(r.stats)});
       };
       add_run("reference", ref);
       add_run("fast", fast);
@@ -225,15 +250,38 @@ void run_all(std::uint32_t n) {
         g_summary.fast_timing_minstr = fast.minstr_per_s();
         g_summary.ref_timing_minstr = ref.minstr_per_s();
       }
+
+      // Batched-dispatch differential: the functional executor with whole-run
+      // dispatch must be bit-identical on core() to single stepping and to
+      // the reference, independently of which mode --batched selected for
+      // the tables above.
+      if (!timed) {
+        const RunResult off =
+            run_one(w, /*timed=*/false, /*reference=*/false, 1,
+                    /*batched=*/false);
+        const RunResult on = run_one(w, /*timed=*/false, /*reference=*/false,
+                                     1, /*batched=*/true);
+        const bool b_ident = on.stats.core() == off.stats.core() &&
+                             on.stats.core() == ref.stats.core();
+        g_summary.all_identical = g_summary.all_identical && b_ident;
+        batch.add_row({w.label, fmt(off.wall_ms, 1), fmt(on.wall_ms, 1),
+                       fmt(on.wall_ms > 0.0 ? off.wall_ms / on.wall_ms : 0.0,
+                           2),
+                       b_ident ? "yes" : "NO"});
+      }
     }
   }
   runs.print("sim_throughput - host-side simulator throughput",
              "n=" + std::to_string(n) +
                  " particles; Minstr/s = simulated warp instructions per "
-                 "second of host wall time");
+                 "second of host wall time; batched dispatch " +
+                 (g_batched ? "on" : "off"));
   speed.print("fast path vs reference",
               "speedup = reference wall / fast wall; 'stats identical' "
               "compares LaunchStats::core() incl. cycles");
+  batch.print("batched straight-line dispatch (functional executor)",
+              "whole converged runs per dispatch vs single stepping; both "
+              "must report identical LaunchStats::core()");
 }
 
 void bm_sim_throughput(benchmark::State& state) {
@@ -264,6 +312,10 @@ int main(int argc, char** argv) {
       max_threads =
           static_cast<std::uint32_t>(std::strtoul(argv[a] + 10, nullptr, 10));
       if (max_threads == 0) max_threads = 1;
+    } else if (std::strcmp(argv[a], "--batched=off") == 0) {
+      g_batched = false;
+    } else if (std::strcmp(argv[a], "--batched=on") == 0) {
+      g_batched = true;
     } else {
       argv[out++] = argv[a];
     }

@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "example_util.hpp"
 #include "gravit/diagnostics.hpp"
 #include "gravit/gpu_runner.hpp"
 #include "gravit/integrator.hpp"
@@ -46,8 +47,15 @@ void render(const gravit::ParticleSet& set, float half_extent) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t n_half = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 768;
-  const int steps = argc > 2 ? std::atoi(argv[2]) : 60;
+  const std::size_t n_half =
+      argc > 1 ? examples::parse_u64(argv[0], "n_per_cluster", argv[1], 1,
+                                     1u << 20)
+               : 768;
+  // The rendering interval is steps / 3, so fewer than 3 steps would divide
+  // by zero; the strict parser rejects that up front.
+  const int steps =
+      argc > 2 ? examples::parse_int(argv[0], "steps", argv[2], 3, 1000000)
+               : 60;
 
   gravit::ParticleSet set = gravit::spawn_cluster_pair(
       n_half, /*separation=*/3.0f, /*impact_parameter=*/0.6f,

@@ -21,6 +21,7 @@
 #include <fstream>
 #include <string>
 
+#include "example_util.hpp"
 #include "gravit/diagnostics.hpp"
 #include "gravit/gpu_simulation.hpp"
 #include "gravit/simulation.hpp"
@@ -43,20 +44,29 @@ struct Options {
 
 Options parse(int argc, char** argv) {
   Options o;
-  for (int a = 1; a + 1 < argc; a += 2) {
+  const char* prog = argv[0];
+  for (int a = 1; a < argc; a += 2) {
     const std::string key = argv[a];
+    if (a + 1 >= argc) {
+      std::fprintf(stderr, "%s: option '%s' needs a value\n", prog,
+                   key.c_str());
+      std::exit(examples::kUsageExit);
+    }
     const char* value = argv[a + 1];
     if (key == "--scene") o.scene = value;
-    else if (key == "--n") o.n = std::strtoul(value, nullptr, 10);
+    else if (key == "--n")
+      o.n = examples::parse_u64(prog, "--n", value, 1, 1u << 22);
     else if (key == "--backend") o.backend = value;
-    else if (key == "--steps") o.steps = std::atoi(value);
-    else if (key == "--dt") o.dt = std::strtof(value, nullptr);
-    else if (key == "--theta") o.theta = std::strtof(value, nullptr);
+    else if (key == "--steps")
+      o.steps = examples::parse_int(prog, "--steps", value, 1, 1000000);
+    else if (key == "--dt") o.dt = examples::parse_float(prog, "--dt", value);
+    else if (key == "--theta")
+      o.theta = examples::parse_float(prog, "--theta", value);
     else if (key == "--out") o.out = value;
     else if (key == "--trace-out") o.trace_out = value;
     else {
       std::fprintf(stderr, "unknown option '%s'\n", key.c_str());
-      std::exit(2);
+      std::exit(examples::kUsageExit);
     }
   }
   return o;

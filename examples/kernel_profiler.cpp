@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "example_util.hpp"
 #include "gravit/gpu_runner.hpp"
 #include "gravit/spawn.hpp"
 #include "layout/transform.hpp"
@@ -34,11 +35,12 @@
 
 namespace {
 
-layout::SchemeKind parse_scheme(const char* s) {
+layout::SchemeKind parse_scheme(const char* prog, const char* s) {
   if (std::strcmp(s, "aos") == 0) return layout::SchemeKind::kAoS;
   if (std::strcmp(s, "soa") == 0) return layout::SchemeKind::kSoA;
   if (std::strcmp(s, "aoas") == 0) return layout::SchemeKind::kAoaS;
-  return layout::SchemeKind::kSoAoaS;
+  if (std::strcmp(s, "soaoas") == 0) return layout::SchemeKind::kSoAoaS;
+  examples::die_usage(prog, "scheme", s, "aos | soa | aoas | soaoas");
 }
 
 bool write_file(const std::string& path, const auto& writer) {
@@ -66,20 +68,25 @@ int main(int argc, char** argv) {
     else if (std::strncmp(arg, "--series-out=", 13) == 0) series_out = arg + 13;
     else if (std::strncmp(arg, "--json=", 7) == 0) json_out = arg + 7;
     else if (std::strncmp(arg, "--bucket=", 9) == 0)
-      bucket = std::strtoull(arg + 9, nullptr, 10);
+      bucket = examples::parse_u64(argv[0], "--bucket", arg + 9, 1,
+                                   1ull << 32);
     else if (std::strncmp(arg, "--threads=", 10) == 0)
-      threads = static_cast<std::uint32_t>(std::strtoul(arg + 10, nullptr, 10));
+      threads = examples::parse_u32(argv[0], "--threads", arg + 10, 1, 64);
     else pos.push_back(arg);
   }
 
   gravit::KernelOptions kopt;
-  kopt.scheme =
-      !pos.empty() ? parse_scheme(pos[0]) : layout::SchemeKind::kSoAoaS;
-  kopt.unroll =
-      pos.size() > 1 ? static_cast<std::uint32_t>(std::atoi(pos[1])) : 1;
-  kopt.icm = pos.size() > 2 && std::atoi(pos[2]) != 0;
+  kopt.scheme = !pos.empty() ? parse_scheme(argv[0], pos[0])
+                             : layout::SchemeKind::kSoAoaS;
+  kopt.unroll = pos.size() > 1
+                    ? examples::parse_u32(argv[0], "unroll", pos[1], 1, 128)
+                    : 1;
+  kopt.icm =
+      pos.size() > 2 && examples::parse_u32(argv[0], "icm", pos[2], 0, 1) != 0;
   const std::uint32_t n =
-      pos.size() > 3 ? static_cast<std::uint32_t>(std::atoi(pos[3])) : 4096;
+      pos.size() > 3
+          ? examples::parse_u32(argv[0], "n", pos[3], 1, 1u << 22)
+          : 4096;
 
   const gravit::BuiltKernel kernel = gravit::make_farfield_kernel(kopt);
   gravit::ParticleSet set = gravit::spawn_uniform_cube(n, 1.0f, 7);

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "example_util.hpp"
 #include "gravit/kernels.hpp"
 #include "vgpu/occupancy.hpp"
 
@@ -25,11 +26,20 @@ void print_occ(const char* label, std::uint32_t block, std::uint32_t regs,
 
 int main(int argc, char** argv) {
   if (argc == 4) {
-    const auto block = static_cast<std::uint32_t>(std::atoi(argv[1]));
-    const auto regs = static_cast<std::uint32_t>(std::atoi(argv[2]));
-    const auto shared = static_cast<std::uint32_t>(std::atoi(argv[3]));
+    const std::uint32_t block =
+        examples::parse_u32(argv[0], "block_threads", argv[1], 1, 1024);
+    const std::uint32_t regs =
+        examples::parse_u32(argv[0], "regs_per_thread", argv[2], 1, 256);
+    const std::uint32_t shared =
+        examples::parse_u32(argv[0], "shared_bytes", argv[3], 0, 1u << 20);
     print_occ("user kernel", block, regs, shared);
     return 0;
+  }
+  if (argc != 1) {
+    std::fprintf(stderr,
+                 "usage: %s [block_threads regs_per_thread shared_bytes]\n",
+                 argv[0]);
+    return examples::kUsageExit;
   }
 
   std::printf("G80 occupancy calculator (8192 regs/SM, 16 KiB shared, "

@@ -30,6 +30,8 @@ JsonValue to_json(const vgpu::LaunchStats& s) {
   v["coalesce_memo_misses"] = s.coalesce_memo_misses;
   v["shared_requests"] = s.shared_requests;
   v["shared_conflict_extra"] = s.shared_conflict_extra;
+  v["conflict_memo_hits"] = s.conflict_memo_hits;
+  v["conflict_memo_misses"] = s.conflict_memo_misses;
   v["local_requests"] = s.local_requests;
   v["const_requests"] = s.const_requests;
   v["tex_requests"] = s.tex_requests;

@@ -30,6 +30,24 @@ namespace {
   }
 }
 
+/// True when the instruction can sit inside a converged straight-line run:
+/// a register ALU op with no guard, no predicate write, no control flow and
+/// no clock read. Branches classify() as kAlu, so they are excluded by
+/// opcode; kMovSpecial is batchable except for the %clock special, whose
+/// value depends on the issue cycle.
+[[nodiscard]] bool batchable(const DecodedInstr& d) {
+  if (d.kind != StepResult::Kind::kAlu) return false;
+  if (d.op == Opcode::kBra || d.op == Opcode::kBraCond) return false;
+  if (d.op == Opcode::kClock) return false;
+  if (d.op == Opcode::kMovSpecial &&
+      static_cast<Special>(d.imm) == Special::kClock) {
+    return false;
+  }
+  if (d.guard != kNoPred) return false;
+  if (d.pdst != kNoPred) return false;
+  return true;
+}
+
 }  // namespace
 
 DecodedProgram decode(const Program& prog) {
@@ -96,6 +114,30 @@ DecodedProgram decode(const Program& prog) {
       add_pred_dep(d.guard);
 
       dec.instrs.push_back(d);
+    }
+  }
+
+  // Segment each block into maximal straight-line runs with a backward scan:
+  // a batchable instruction's run is itself plus the run that starts right
+  // after it (still 0 past a non-batchable instruction or the block end).
+  dec.runs.assign(dec.instrs.size(), DecodedRun{});
+  for (std::size_t b = 0; b < prog.blocks.size(); ++b) {
+    const std::size_t begin = dec.block_start[b];
+    const std::size_t end = begin + prog.blocks[b].instrs.size();
+    for (std::size_t i = end; i-- > begin;) {
+      const DecodedInstr& d = dec.instrs[i];
+      if (!batchable(d)) continue;
+      DecodedRun& r = dec.runs[i];
+      r.len = 1;
+      r.region = d.region;
+      ++r.class_counts[static_cast<std::size_t>(instr_class(d.op))];
+      if (i + 1 < end && dec.runs[i + 1].len != 0) {
+        const DecodedRun& next = dec.runs[i + 1];
+        r.len += next.len;
+        for (std::size_t c = 0; c < r.class_counts.size(); ++c) {
+          r.class_counts[c] += next.class_counts[c];
+        }
+      }
     }
   }
   return dec;

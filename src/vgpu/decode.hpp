@@ -23,12 +23,14 @@
 // equivalence tests enforce that invariant.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <vector>
 
 #include "vgpu/interp.hpp"
 #include "vgpu/ir.hpp"
+#include "vgpu/launch.hpp"
 
 namespace vgpu {
 
@@ -84,14 +86,35 @@ struct DecodedInstr {
   std::uint32_t dst_words = 0;
 };
 
+/// The maximal converged straight-line run starting at an instruction:
+/// `len` consecutive instructions (0 = this instruction cannot be batched)
+/// that are all guard-free register ALU ops — no control flow, no memory
+/// access, no barrier, no predicate write, no clock read. A fully converged
+/// warp can execute the whole run in one dispatch without re-checking its
+/// mask, and the per-instruction accounting the functional executor would
+/// have done step by step is pre-aggregated here. Runs never cross block
+/// boundaries (every block ends in control flow), so the region is single.
+struct DecodedRun {
+  std::uint32_t len = 0;
+  Region region = Region::kOther;
+  /// Dynamic instruction-class histogram of the run (InstrClass order).
+  std::array<std::uint32_t, 6> class_counts{};
+};
+
 /// The flattened stream: blocks are concatenated in order, and
 /// `block_start[b] + ip` addresses the instruction warp state points at.
+/// `runs` parallels `instrs` (kept out of DecodedInstr so the single-step
+/// stream stays cache-dense).
 struct DecodedProgram {
   std::vector<DecodedInstr> instrs;
+  std::vector<DecodedRun> runs;
   std::vector<std::uint32_t> block_start;
 
   [[nodiscard]] const DecodedInstr& at(BlockId b, std::uint32_t ip) const {
     return instrs[block_start[b] + ip];
+  }
+  [[nodiscard]] const DecodedRun& run_at(BlockId b, std::uint32_t ip) const {
+    return runs[block_start[b] + ip];
   }
 };
 

@@ -56,11 +56,14 @@ LaunchStats run_functional(const Program& prog, const DeviceSpec& spec,
 
   std::optional<DecodedProgram> dec;
   std::optional<CoalesceMemo> memo;
+  std::optional<ConflictMemo> cmemo;
   if (!opt.reference) {
     dec.emplace(decode(prog));
     memo.emplace(opt.driver);
+    cmemo.emplace(spec.warp_size, spec.half_warp, spec.shared_mem_banks);
   }
   CoalesceMemo* const memop = memo ? &*memo : nullptr;
+  const bool batched = opt.batched && !opt.reference;
 
   // Fast path: one BlockExec reused across the grid (reset() per block);
   // reference path: a fresh BlockExec per block, as the original executor
@@ -70,6 +73,7 @@ LaunchStats run_functional(const Program& prog, const DeviceSpec& spec,
     BlockParams bp{b, cfg, params, 0, opt.cmem};
     if (!exec || opt.reference) {
       exec.emplace(prog, spec, gmem, bp, dec ? &*dec : nullptr);
+      if (cmemo) exec->set_conflict_memo(&*cmemo);
     } else {
       exec->reset(bp);
     }
@@ -78,6 +82,21 @@ LaunchStats run_functional(const Program& prog, const DeviceSpec& spec,
       for (std::uint32_t w = 0; w < exec->num_warps(); ++w) {
         WarpState& ws = exec->warp(w);
         while (!ws.done && !ws.at_barrier) {
+          if (batched) {
+            // Issue a whole converged straight-line run in one dispatch and
+            // fold in its pre-aggregated accounting. A maximal run is always
+            // followed by a non-batchable instruction, so fall through to
+            // the single-step dispatch for it directly.
+            if (const DecodedRun* run = exec->step_run(w)) {
+              progressed = true;
+              stats.warp_instructions += run->len;
+              stats.region_instructions[static_cast<std::size_t>(run->region)] +=
+                  run->len;
+              for (std::size_t c = 0; c < run->class_counts.size(); ++c) {
+                stats.instr_class_counts[c] += run->class_counts[c];
+              }
+            }
+          }
           const StepResult res = exec->step(w, ws.issued * 4);
           progressed = true;
           ++stats.warp_instructions;
@@ -89,10 +108,7 @@ LaunchStats run_functional(const Program& prog, const DeviceSpec& spec,
               count_global_step(res, spec, opt.driver, stats, scratch, memop);
               break;
             case StepResult::Kind::kShared:
-              ++stats.shared_requests;
-              if (res.shared_conflict_degree > 1) {
-                stats.shared_conflict_extra += res.shared_conflict_degree - 1;
-              }
+              count_shared_step(res, stats);
               break;
             case StepResult::Kind::kLocal:
               ++stats.local_requests;
@@ -122,6 +138,10 @@ LaunchStats run_functional(const Program& prog, const DeviceSpec& spec,
   if (memo) {
     stats.coalesce_memo_hits = memo->hits();
     stats.coalesce_memo_misses = memo->misses();
+  }
+  if (cmemo) {
+    stats.conflict_memo_hits = cmemo->hits();
+    stats.conflict_memo_misses = cmemo->misses();
   }
   return stats;
 }

@@ -27,6 +27,12 @@ struct FunctionalOptions {
   /// Both must agree bit for bit (numerics) and field for field
   /// (LaunchStats::core()); the differential tests exercise this flag.
   bool reference = false;
+  /// Issue whole converged straight-line runs per dispatch (BlockExec::
+  /// step_run) instead of one decoded instruction. Ignored on the reference
+  /// path. Batched and single-step execution must agree bit for bit and on
+  /// LaunchStats::core(); `sim_throughput --batched=off` and the batched
+  /// equivalence tests exercise this flag.
+  bool batched = true;
 };
 
 /// Execute the whole grid block-by-block. The program must be finished
@@ -43,5 +49,17 @@ LaunchStats run_functional(const Program& prog, const DeviceSpec& spec,
 void count_global_step(const StepResult& res, const DeviceSpec& spec,
                        DriverModel driver, LaunchStats& stats,
                        CoalesceResult& scratch, CoalesceMemo* memo = nullptr);
+
+/// Accumulate the shared-memory counters of one step into `stats`: one
+/// request, plus `degree - 1` extra serialization steps when the banks
+/// conflict. This is the single definition both the functional and the
+/// timing executor use, so the two can never drift apart on
+/// `shared_requests` / `shared_conflict_extra` for the same kernel.
+inline void count_shared_step(const StepResult& res, LaunchStats& stats) {
+  ++stats.shared_requests;
+  if (res.shared_conflict_degree > 1) {
+    stats.shared_conflict_extra += res.shared_conflict_degree - 1;
+  }
+}
 
 }  // namespace vgpu

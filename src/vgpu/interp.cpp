@@ -6,6 +6,7 @@
 
 #include "vgpu/check.hpp"
 #include "vgpu/decode.hpp"
+#include "vgpu/memo.hpp"
 
 namespace vgpu {
 
@@ -511,23 +512,9 @@ StepResult BlockExec::step_ref(std::uint32_t w, std::uint64_t now) {
       // Serialization degree: max over the half-warps; all word accesses of
       // a wide load are presented to the banks together (adjacent banks
       // serve a 128-bit broadcast in parallel).
-      const std::uint32_t half = spec_.half_warp;
-      std::uint32_t degree = 0;
-      std::array<std::uint32_t, 64> addrs{};
-      for (std::uint32_t h = 0; h < warp_size / half; ++h) {
-        std::size_t n = 0;
-        for (std::uint32_t k = 0; k < half; ++k) {
-          const std::uint32_t lane = h * half + k;
-          if (!(exec & (1u << lane))) continue;
-          for (std::uint32_t c = 0; c < words; ++c) {
-            addrs[n++] = res.lane_addrs[lane] + 4u * c;
-          }
-        }
-        degree = std::max(degree, bank_conflict_degree(
-                                      std::span<const std::uint32_t>(addrs.data(), n),
-                                      spec_.shared_mem_banks));
-      }
-      res.shared_conflict_degree = degree;
+      res.shared_conflict_degree = warp_bank_conflict_degree(
+          std::span<const std::uint32_t>(res.lane_addrs.data(), warp_size),
+          exec, words, spec_.half_warp, spec_.shared_mem_banks);
       break;
     }
 
@@ -612,6 +599,235 @@ StepResult BlockExec::step_fast(std::uint32_t w, std::uint64_t now) {
   // Converged warps take the unmasked loop; the mask test per lane is the
   // single hottest branch in the interpreter.
   const bool converged = (exec & full_mask_) == full_mask_;
+  auto for_lanes = [&](auto&& fn) {
+    if (converged) {
+      for (std::uint32_t lane = 0; lane < warp_size; ++lane) fn(lane);
+    } else {
+      for (std::uint32_t lane = 0; lane < warp_size; ++lane) {
+        if (exec & (1u << lane)) fn(lane);
+      }
+    }
+  };
+
+  switch (d.op) {
+    // ---- memory -------------------------------------------------------------
+    case Opcode::kLdGlobal:
+    case Opcode::kStGlobal: {
+      res.width = d.width;
+      res.is_store = d.is_store;
+      res.mem_mask = exec;
+      const std::uint32_t words = d.width_words;
+      const std::uint32_t wbytes = d.width_bytes;
+      const bool has_base = d.src_slot[0] != kNoSlot;
+      const std::uint32_t* const ab = has_base ? row(d.src_slot[0]) : nullptr;
+      const std::uint32_t imm = d.imm;
+      if (d.is_store) {
+        const std::uint32_t* const v = row(d.src_slot[1]);
+        for_lanes([&](std::uint32_t l) {
+          const std::uint32_t addr = (has_base ? ab[l] : 0u) + imm;
+          VGPU_EXPECTS_MSG(addr % wbytes == 0, "misaligned global access");
+          res.lane_addrs[l] = addr;
+          for (std::uint32_t c = 0; c < words; ++c) {
+            gmem_.store_u32(addr + 4u * c, v[c * 32u + l]);
+          }
+        });
+      } else {
+        std::uint32_t* const o = row(d.dst_slot);
+        for_lanes([&](std::uint32_t l) {
+          const std::uint32_t addr = (has_base ? ab[l] : 0u) + imm;
+          VGPU_EXPECTS_MSG(addr % wbytes == 0, "misaligned global access");
+          res.lane_addrs[l] = addr;
+          for (std::uint32_t c = 0; c < words; ++c) {
+            o[c * 32u + l] = gmem_.load_u32(addr + 4u * c);
+          }
+        });
+      }
+      break;
+    }
+    case Opcode::kLdConst: {
+      res.width = d.width;
+      res.mem_mask = exec;
+      VGPU_EXPECTS_MSG(bp_.cmem != nullptr, "kernel reads constant memory but none bound");
+      const std::uint32_t words = d.width_words;
+      const bool has_base = d.src_slot[0] != kNoSlot;
+      const std::uint32_t* const ab = has_base ? row(d.src_slot[0]) : nullptr;
+      std::uint32_t* const o = row(d.dst_slot);
+      for_lanes([&](std::uint32_t l) {
+        const std::uint32_t addr = (has_base ? ab[l] : 0u) + d.imm;
+        res.lane_addrs[l] = addr;
+        for (std::uint32_t c = 0; c < words; ++c) {
+          o[c * 32u + l] = bp_.cmem->load_u32(addr + 4u * c);
+        }
+      });
+      break;
+    }
+    case Opcode::kLdTex: {
+      res.width = d.width;
+      res.mem_mask = exec;
+      const std::uint32_t words = d.width_words;
+      const std::uint32_t wbytes = d.width_bytes;
+      const bool has_base = d.src_slot[0] != kNoSlot;
+      const std::uint32_t* const ab = has_base ? row(d.src_slot[0]) : nullptr;
+      std::uint32_t* const o = row(d.dst_slot);
+      for_lanes([&](std::uint32_t l) {
+        const std::uint32_t addr = (has_base ? ab[l] : 0u) + d.imm;
+        VGPU_EXPECTS_MSG(addr % wbytes == 0, "misaligned texture fetch");
+        res.lane_addrs[l] = addr;
+        for (std::uint32_t c = 0; c < words; ++c) {
+          o[c * 32u + l] = gmem_.load_u32(addr + 4u * c);
+        }
+      });
+      break;
+    }
+    case Opcode::kLdLocal:
+    case Opcode::kStLocal: {
+      res.width = d.width;
+      res.is_store = d.is_store;
+      res.mem_mask = exec;
+      const std::uint32_t word = d.imm / 4;
+      VGPU_EXPECTS_MSG(d.imm % 4 == 0 && word < local_words_,
+                       "local access out of frame");
+      std::uint32_t* const frame = ws.local + static_cast<std::size_t>(word) * 32u;
+      if (d.is_store) {
+        const std::uint32_t* const v = row(d.src_slot[1]);
+        for_lanes([&](std::uint32_t l) { frame[l] = v[l]; });
+      } else {
+        std::uint32_t* const o = row(d.dst_slot);
+        for_lanes([&](std::uint32_t l) { o[l] = frame[l]; });
+      }
+      break;
+    }
+    case Opcode::kLdShared:
+    case Opcode::kStShared: {
+      res.width = d.width;
+      res.is_store = d.is_store;
+      res.mem_mask = exec;
+      const std::uint32_t words = d.width_words;
+      const std::uint32_t wbytes = d.width_bytes;
+      const bool has_base = d.src_slot[0] != kNoSlot;
+      const std::uint32_t* const ab = has_base ? row(d.src_slot[0]) : nullptr;
+      if (d.is_store) {
+        const std::uint32_t* const v = row(d.src_slot[1]);
+        for_lanes([&](std::uint32_t l) {
+          const std::uint32_t addr = (has_base ? ab[l] : 0u) + d.imm;
+          VGPU_EXPECTS_MSG(addr % wbytes == 0, "misaligned shared access");
+          res.lane_addrs[l] = addr;
+          for (std::uint32_t c = 0; c < words; ++c) {
+            smem_.store_u32(addr + 4u * c, v[c * 32u + l]);
+          }
+        });
+      } else {
+        std::uint32_t* const o = row(d.dst_slot);
+        for_lanes([&](std::uint32_t l) {
+          const std::uint32_t addr = (has_base ? ab[l] : 0u) + d.imm;
+          VGPU_EXPECTS_MSG(addr % wbytes == 0, "misaligned shared access");
+          res.lane_addrs[l] = addr;
+          for (std::uint32_t c = 0; c < words; ++c) {
+            o[c * 32u + l] = smem_.load_u32(addr + 4u * c);
+          }
+        });
+      }
+      // Serialization degree: same single definition as the reference path
+      // (warp_bank_conflict_degree), optionally served from the pattern memo
+      // - hits are exact, so the degree can never differ from a direct
+      // computation.
+      const std::span<const std::uint32_t> la(res.lane_addrs.data(), warp_size);
+      res.shared_conflict_degree =
+          cmemo_ != nullptr
+              ? cmemo_->lookup(la, exec, words)
+              : warp_bank_conflict_degree(la, exec, words, spec_.half_warp,
+                                          spec_.shared_mem_banks);
+      break;
+    }
+
+    // ---- control ---------------------------------------------------------------
+    case Opcode::kBar:
+      ws.at_barrier = true;
+      ++ws.ip;
+      return res;
+    case Opcode::kExit:
+      VGPU_EXPECTS_MSG(ws.stack.empty(), "exit with non-empty divergence stack");
+      ws.done = true;
+      return res;
+    case Opcode::kBra:
+      transfer(ws, d.target);
+      return res;
+    case Opcode::kBraCond: {
+      Mask p = ws.preds[d.psrc0];
+      if (d.branch_if_false) p = ~p;
+      const Mask taken = ws.active & p;
+      BlockId next;
+      if (taken == ws.active) {
+        next = d.target;
+      } else if (taken == 0) {
+        next = d.target2;
+      } else {
+        res.divergent_branch = true;
+        const BlockId r = d.reconv;
+        if (d.target == r) {
+          park(ws, r, taken);
+          ws.active &= ~taken;
+          next = d.target2;
+        } else if (d.target2 == r) {
+          park(ws, r, ws.active & ~taken);
+          ws.active = taken;
+          next = d.target;
+        } else {
+          ws.stack.push_back(DivEntry{r, 0, ws.active & ~taken, d.target2});
+          ws.active = taken;
+          next = d.target;
+        }
+      }
+      transfer(ws, next);
+      return res;
+    }
+
+    // ---- register ALU / predicates / moves / clock -----------------------
+    default:
+      exec_alu(d, ws, exec, converged, base_thread, now);
+      break;
+  }
+
+  ++ws.ip;
+  return res;
+}
+
+
+// Batched dispatch over a pre-segmented straight-line run. Inside a run no
+// instruction can read the clock, touch memory, branch, take a guard, or
+// write a predicate, so with a fully converged warp the per-step work of
+// step_fast (guard evaluation, convergence test, StepResult construction)
+// collapses to a tight loop over exec_alu. The warp's mask cannot change
+// within the run, so checking convergence once up front is exact.
+const DecodedRun* BlockExec::step_run(std::uint32_t w) {
+  if (dec_ == nullptr) return nullptr;
+  WarpState& ws = warps_[w];
+  if (ws.done || ws.at_barrier) return nullptr;
+  if ((ws.active & full_mask_) != full_mask_) return nullptr;
+  const std::size_t first = dec_->block_start[ws.block] + ws.ip;
+  const DecodedRun& run = dec_->runs[first];
+  if (run.len == 0) return nullptr;
+  const std::uint32_t base_thread = ws.index * spec_.warp_size;
+  const DecodedInstr* const ds = dec_->instrs.data() + first;
+  for (std::uint32_t i = 0; i < run.len; ++i) {
+    exec_alu(ds[i], ws, full_mask_, /*converged=*/true, base_thread, 0);
+  }
+  ws.ip += run.len;
+  ws.issued += run.len;
+  return &run;
+}
+
+// The register-ALU subset of the fast path, shared between step_fast
+// (single-step dispatch, any mask) and step_run (batched dispatch of
+// converged straight-line runs). Architectural effects are exactly those of
+// the corresponding step_ref cases. `now` feeds only the clock reads, which
+// decode() never places inside a run.
+void BlockExec::exec_alu(const DecodedInstr& d, WarpState& ws, Mask exec,
+                         bool converged, std::uint32_t base_thread,
+                         std::uint64_t now) {
+  const std::uint32_t warp_size = spec_.warp_size;
+  std::uint32_t* const R = ws.regs;
+  auto row = [&](std::uint32_t s) -> std::uint32_t* { return R + s * 32u; };
   auto for_lanes = [&](auto&& fn) {
     if (converged) {
       for (std::uint32_t lane = 0; lane < warp_size; ++lane) fn(lane);
@@ -889,192 +1105,9 @@ StepResult BlockExec::step_fast(std::uint32_t w, std::uint64_t now) {
       });
       break;
     }
-
-    // ---- memory -------------------------------------------------------------
-    case Opcode::kLdGlobal:
-    case Opcode::kStGlobal: {
-      res.width = d.width;
-      res.is_store = d.is_store;
-      res.mem_mask = exec;
-      const std::uint32_t words = d.width_words;
-      const std::uint32_t wbytes = d.width_bytes;
-      const bool has_base = d.src_slot[0] != kNoSlot;
-      const std::uint32_t* const ab = has_base ? row(d.src_slot[0]) : nullptr;
-      const std::uint32_t imm = d.imm;
-      if (d.is_store) {
-        const std::uint32_t* const v = row(d.src_slot[1]);
-        for_lanes([&](std::uint32_t l) {
-          const std::uint32_t addr = (has_base ? ab[l] : 0u) + imm;
-          VGPU_EXPECTS_MSG(addr % wbytes == 0, "misaligned global access");
-          res.lane_addrs[l] = addr;
-          for (std::uint32_t c = 0; c < words; ++c) {
-            gmem_.store_u32(addr + 4u * c, v[c * 32u + l]);
-          }
-        });
-      } else {
-        std::uint32_t* const o = row(d.dst_slot);
-        for_lanes([&](std::uint32_t l) {
-          const std::uint32_t addr = (has_base ? ab[l] : 0u) + imm;
-          VGPU_EXPECTS_MSG(addr % wbytes == 0, "misaligned global access");
-          res.lane_addrs[l] = addr;
-          for (std::uint32_t c = 0; c < words; ++c) {
-            o[c * 32u + l] = gmem_.load_u32(addr + 4u * c);
-          }
-        });
-      }
-      break;
-    }
-    case Opcode::kLdConst: {
-      res.width = d.width;
-      res.mem_mask = exec;
-      VGPU_EXPECTS_MSG(bp_.cmem != nullptr, "kernel reads constant memory but none bound");
-      const std::uint32_t words = d.width_words;
-      const bool has_base = d.src_slot[0] != kNoSlot;
-      const std::uint32_t* const ab = has_base ? row(d.src_slot[0]) : nullptr;
-      std::uint32_t* const o = row(d.dst_slot);
-      for_lanes([&](std::uint32_t l) {
-        const std::uint32_t addr = (has_base ? ab[l] : 0u) + d.imm;
-        res.lane_addrs[l] = addr;
-        for (std::uint32_t c = 0; c < words; ++c) {
-          o[c * 32u + l] = bp_.cmem->load_u32(addr + 4u * c);
-        }
-      });
-      break;
-    }
-    case Opcode::kLdTex: {
-      res.width = d.width;
-      res.mem_mask = exec;
-      const std::uint32_t words = d.width_words;
-      const std::uint32_t wbytes = d.width_bytes;
-      const bool has_base = d.src_slot[0] != kNoSlot;
-      const std::uint32_t* const ab = has_base ? row(d.src_slot[0]) : nullptr;
-      std::uint32_t* const o = row(d.dst_slot);
-      for_lanes([&](std::uint32_t l) {
-        const std::uint32_t addr = (has_base ? ab[l] : 0u) + d.imm;
-        VGPU_EXPECTS_MSG(addr % wbytes == 0, "misaligned texture fetch");
-        res.lane_addrs[l] = addr;
-        for (std::uint32_t c = 0; c < words; ++c) {
-          o[c * 32u + l] = gmem_.load_u32(addr + 4u * c);
-        }
-      });
-      break;
-    }
-    case Opcode::kLdLocal:
-    case Opcode::kStLocal: {
-      res.width = d.width;
-      res.is_store = d.is_store;
-      res.mem_mask = exec;
-      const std::uint32_t word = d.imm / 4;
-      VGPU_EXPECTS_MSG(d.imm % 4 == 0 && word < local_words_,
-                       "local access out of frame");
-      std::uint32_t* const frame = ws.local + static_cast<std::size_t>(word) * 32u;
-      if (d.is_store) {
-        const std::uint32_t* const v = row(d.src_slot[1]);
-        for_lanes([&](std::uint32_t l) { frame[l] = v[l]; });
-      } else {
-        std::uint32_t* const o = row(d.dst_slot);
-        for_lanes([&](std::uint32_t l) { o[l] = frame[l]; });
-      }
-      break;
-    }
-    case Opcode::kLdShared:
-    case Opcode::kStShared: {
-      res.width = d.width;
-      res.is_store = d.is_store;
-      res.mem_mask = exec;
-      const std::uint32_t words = d.width_words;
-      const std::uint32_t wbytes = d.width_bytes;
-      const bool has_base = d.src_slot[0] != kNoSlot;
-      const std::uint32_t* const ab = has_base ? row(d.src_slot[0]) : nullptr;
-      if (d.is_store) {
-        const std::uint32_t* const v = row(d.src_slot[1]);
-        for_lanes([&](std::uint32_t l) {
-          const std::uint32_t addr = (has_base ? ab[l] : 0u) + d.imm;
-          VGPU_EXPECTS_MSG(addr % wbytes == 0, "misaligned shared access");
-          res.lane_addrs[l] = addr;
-          for (std::uint32_t c = 0; c < words; ++c) {
-            smem_.store_u32(addr + 4u * c, v[c * 32u + l]);
-          }
-        });
-      } else {
-        std::uint32_t* const o = row(d.dst_slot);
-        for_lanes([&](std::uint32_t l) {
-          const std::uint32_t addr = (has_base ? ab[l] : 0u) + d.imm;
-          VGPU_EXPECTS_MSG(addr % wbytes == 0, "misaligned shared access");
-          res.lane_addrs[l] = addr;
-          for (std::uint32_t c = 0; c < words; ++c) {
-            o[c * 32u + l] = smem_.load_u32(addr + 4u * c);
-          }
-        });
-      }
-      // Serialization degree: max over the half-warps; all word accesses of
-      // a wide load are presented to the banks together (adjacent banks
-      // serve a 128-bit broadcast in parallel).
-      const std::uint32_t half = spec_.half_warp;
-      std::uint32_t degree = 0;
-      std::array<std::uint32_t, 64> addrs{};
-      for (std::uint32_t h = 0; h < warp_size / half; ++h) {
-        std::size_t n = 0;
-        for (std::uint32_t k = 0; k < half; ++k) {
-          const std::uint32_t lane = h * half + k;
-          if (!(exec & (1u << lane))) continue;
-          for (std::uint32_t c = 0; c < words; ++c) {
-            addrs[n++] = res.lane_addrs[lane] + 4u * c;
-          }
-        }
-        degree = std::max(degree, bank_conflict_degree(
-                                      std::span<const std::uint32_t>(addrs.data(), n),
-                                      spec_.shared_mem_banks));
-      }
-      res.shared_conflict_degree = degree;
-      break;
-    }
-
-    // ---- control ---------------------------------------------------------------
-    case Opcode::kBar:
-      ws.at_barrier = true;
-      ++ws.ip;
-      return res;
-    case Opcode::kExit:
-      VGPU_EXPECTS_MSG(ws.stack.empty(), "exit with non-empty divergence stack");
-      ws.done = true;
-      return res;
-    case Opcode::kBra:
-      transfer(ws, d.target);
-      return res;
-    case Opcode::kBraCond: {
-      Mask p = ws.preds[d.psrc0];
-      if (d.branch_if_false) p = ~p;
-      const Mask taken = ws.active & p;
-      BlockId next;
-      if (taken == ws.active) {
-        next = d.target;
-      } else if (taken == 0) {
-        next = d.target2;
-      } else {
-        res.divergent_branch = true;
-        const BlockId r = d.reconv;
-        if (d.target == r) {
-          park(ws, r, taken);
-          ws.active &= ~taken;
-          next = d.target2;
-        } else if (d.target2 == r) {
-          park(ws, r, ws.active & ~taken);
-          ws.active = taken;
-          next = d.target;
-        } else {
-          ws.stack.push_back(DivEntry{r, 0, ws.active & ~taken, d.target2});
-          ws.active = taken;
-          next = d.target;
-        }
-      }
-      transfer(ws, next);
-      return res;
-    }
+    default:
+      break;  // memory/control ops never reach exec_alu
   }
-
-  ++ws.ip;
-  return res;
 }
 
 }  // namespace vgpu

@@ -35,6 +35,8 @@ namespace vgpu {
 
 struct DecodedInstr;
 struct DecodedProgram;
+struct DecodedRun;
+class ConflictMemo;
 
 using Mask = std::uint32_t;
 inline constexpr Mask kFullMask = 0xFFFFFFFFu;
@@ -123,6 +125,23 @@ class BlockExec {
   /// probe (simulated cycle in timing mode, pseudo-time in functional mode).
   StepResult step(std::uint32_t w, std::uint64_t now);
 
+  /// Batched dispatch: when warp `w` is fully converged and sits at the
+  /// start of a non-empty straight-line run (DecodedRun), execute the whole
+  /// run in one call and return its pre-aggregated accounting; returns
+  /// nullptr when batching does not apply (reference path, warp done or at
+  /// a barrier, divergent mask, or a zero-length run) and the caller must
+  /// fall back to step(). Runs contain no clock reads, no memory accesses
+  /// and no control flow, so no `now` is needed and no StepResult is
+  /// produced; `issued` and `ip` advance by the run length, keeping the
+  /// functional executor's pseudo-time identical to single stepping.
+  const DecodedRun* step_run(std::uint32_t w);
+
+  /// Install a bank-conflict memo consulted by the fast path's shared-memory
+  /// steps (nullptr = compute degrees directly). The memo must be bound to
+  /// this device's warp geometry and bank count, and must not be shared
+  /// across threads.
+  void set_conflict_memo(ConflictMemo* memo) { cmemo_ = memo; }
+
   /// The instruction warp `w` would execute next (nullptr when the warp is
   /// done or parked at a barrier). The timing executor uses this to check
   /// scoreboard dependencies before issuing.
@@ -149,6 +168,10 @@ class BlockExec {
  private:
   StepResult step_ref(std::uint32_t w, std::uint64_t now);
   StepResult step_fast(std::uint32_t w, std::uint64_t now);
+  /// Architectural effects of one decoded register-ALU instruction (the
+  /// batchable subset plus the clock/special reads step_fast routes here).
+  void exec_alu(const DecodedInstr& d, WarpState& ws, Mask exec,
+                bool converged, std::uint32_t base_thread, std::uint64_t now);
 
   void transfer(WarpState& ws, BlockId next);
   void park(WarpState& ws, BlockId reconv, Mask m);
@@ -169,6 +192,7 @@ class BlockExec {
   std::vector<WarpState> warps_;
 
   const DecodedProgram* dec_ = nullptr;
+  ConflictMemo* cmemo_ = nullptr;  ///< optional, fast path only
   /// Mask of lanes that exist at this warp size; `exec` covering all of
   /// them enables the convergence fast path (no per-lane mask tests).
   Mask full_mask_ = kFullMask;

@@ -70,6 +70,9 @@ struct LaunchStats {
   /// reference; everything else is covered by the cycle-identity invariant.
   std::uint64_t coalesce_memo_hits = 0;
   std::uint64_t coalesce_memo_misses = 0;
+  /// Bank-conflict-memo hit/miss totals (zero on the reference path).
+  std::uint64_t conflict_memo_hits = 0;
+  std::uint64_t conflict_memo_misses = 0;
 
   [[nodiscard]] std::uint64_t region(Region r) const {
     return region_instructions[static_cast<std::size_t>(r)];
@@ -84,6 +87,8 @@ struct LaunchStats {
     LaunchStats c = *this;
     c.coalesce_memo_hits = 0;
     c.coalesce_memo_misses = 0;
+    c.conflict_memo_hits = 0;
+    c.conflict_memo_misses = 0;
     return c;
   }
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "vgpu/memory.hpp"
+
 namespace vgpu {
 
 std::size_t CoalesceMemo::KeyHash::operator()(const Key& k) const {
@@ -72,6 +74,63 @@ void CoalesceMemo::lookup(const MemRequest& req, CoalesceResult& out) {
     e.rel.push_back({t.base - base, t.bytes});
   }
   table_.emplace(key, std::move(e));
+}
+
+std::size_t ConflictMemo::KeyHash::operator()(const Key& k) const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFFu;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(k.meta);
+  for (std::size_t i = 0; i + 1 < k.offsets.size(); i += 2) {
+    mix(static_cast<std::uint64_t>(k.offsets[i]) |
+        (static_cast<std::uint64_t>(k.offsets[i + 1]) << 32));
+  }
+  return static_cast<std::size_t>(h);
+}
+
+std::uint32_t ConflictMemo::lookup(std::span<const std::uint32_t> lane_addrs,
+                                   std::uint32_t active, std::uint32_t words) {
+  VGPU_EXPECTS(lane_addrs.size() == warp_size_);
+  if (active == 0) {
+    // No accesses, nothing to normalize: delegate (degree 0), uncounted.
+    return warp_bank_conflict_degree(lane_addrs, active, words, half_warp_,
+                                     banks_);
+  }
+
+  // The degree is invariant under translating every lane address by a common
+  // multiple of 4 bytes, so the key is the lane offsets from the word-aligned
+  // minimum active address; inactive lanes are masked to zero (their
+  // addresses must not influence the key - the model ignores them).
+  std::uint32_t min_addr = 0;
+  bool any = false;
+  for (std::uint32_t k = 0; k < warp_size_; ++k) {
+    if (!(active & (1u << k))) continue;
+    if (!any || lane_addrs[k] < min_addr) min_addr = lane_addrs[k];
+    any = true;
+  }
+  const std::uint32_t base = min_addr & ~3u;
+  Key key;
+  key.meta = static_cast<std::uint64_t>(active) |
+             (static_cast<std::uint64_t>(words) << 32);
+  for (std::uint32_t k = 0; k < warp_size_; ++k) {
+    if (active & (1u << k)) key.offsets[k] = lane_addrs[k] - base;
+  }
+
+  const auto it = table_.find(key);
+  if (it != table_.end()) {
+    ++hits_;
+    return it->second;
+  }
+
+  ++misses_;
+  const std::uint32_t degree =
+      warp_bank_conflict_degree(lane_addrs, active, words, half_warp_, banks_);
+  table_.emplace(key, degree);
+  return degree;
 }
 
 }  // namespace vgpu

@@ -20,6 +20,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -58,6 +59,57 @@ class CoalesceMemo {
 
   DriverModel model_;
   std::unordered_map<Key, Entry, KeyHash> table_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Memoization of shared-memory bank-conflict degrees, by the same
+/// pattern-replay argument as CoalesceMemo: the degree is a pure function of
+/// which banks the distinct requested words land in, and translating every
+/// lane address by a common multiple of 4 bytes rotates all bank indices
+/// uniformly — per-bank distinct-word counts permute, so the max (the
+/// degree) is unchanged. ConflictMemo therefore keys on (active mask, words
+/// per lane, per-lane offsets from the word-aligned minimum active address)
+/// and replays the cached degree on a hit. Hits are exact, not approximate.
+///
+/// A memo is bound to one (warp geometry, bank count) at construction. Hit
+/// and miss totals surface in LaunchStats::conflict_memo_{hits,misses},
+/// which — like the coalesce memo counters — are zeroed by
+/// LaunchStats::core().
+class ConflictMemo {
+ public:
+  ConflictMemo(std::uint32_t warp_size, std::uint32_t half_warp,
+               std::uint32_t banks)
+      : warp_size_(warp_size), half_warp_(half_warp), banks_(banks) {}
+
+  /// Returns exactly warp_bank_conflict_degree(lane_addrs, active, words,
+  /// half_warp, banks). `lane_addrs` must have warp_size entries.
+  [[nodiscard]] std::uint32_t lookup(std::span<const std::uint32_t> lane_addrs,
+                                     std::uint32_t active, std::uint32_t words);
+
+  [[nodiscard]] std::uint32_t warp_size() const { return warp_size_; }
+  [[nodiscard]] std::uint32_t half_warp() const { return half_warp_; }
+  [[nodiscard]] std::uint32_t banks() const { return banks_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::size_t distinct_patterns() const { return table_.size(); }
+
+ private:
+  /// active mask and words-per-lane packed together, plus the per-lane
+  /// offsets from the word-aligned minimum active address.
+  struct Key {
+    std::uint64_t meta = 0;
+    std::array<std::uint32_t, 32> offsets{};
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    [[nodiscard]] std::size_t operator()(const Key& k) const;
+  };
+
+  std::uint32_t warp_size_;
+  std::uint32_t half_warp_;
+  std::uint32_t banks_;
+  std::unordered_map<Key, std::uint32_t, KeyHash> table_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

@@ -60,4 +60,27 @@ std::uint32_t bank_conflict_degree(std::span<const std::uint32_t> addrs,
   return degree;
 }
 
+std::uint32_t warp_bank_conflict_degree(
+    std::span<const std::uint32_t> lane_addrs, std::uint32_t active_mask,
+    std::uint32_t words, std::uint32_t half_warp, std::uint32_t banks) {
+  VGPU_EXPECTS(half_warp > 0);
+  const auto warp_size = static_cast<std::uint32_t>(lane_addrs.size());
+  std::uint32_t degree = 0;
+  std::array<std::uint32_t, 64> addrs{};
+  for (std::uint32_t h = 0; h < warp_size / half_warp; ++h) {
+    std::size_t n = 0;
+    for (std::uint32_t k = 0; k < half_warp; ++k) {
+      const std::uint32_t lane = h * half_warp + k;
+      if (!(active_mask & (1u << lane))) continue;
+      for (std::uint32_t c = 0; c < words; ++c) {
+        addrs[n++] = lane_addrs[lane] + 4u * c;
+      }
+    }
+    degree = std::max(
+        degree, bank_conflict_degree(
+                    std::span<const std::uint32_t>(addrs.data(), n), banks));
+  }
+  return degree;
+}
+
 }  // namespace vgpu

@@ -133,4 +133,14 @@ class SharedMemory {
 [[nodiscard]] std::uint32_t bank_conflict_degree(
     std::span<const std::uint32_t> addrs, std::uint32_t banks);
 
+/// Warp-level serialization degree of one shared-memory access: the max of
+/// bank_conflict_degree() over the warp's half-warps, where every active lane
+/// issues `words` consecutive word accesses starting at its byte address.
+/// `lane_addrs` holds one address per lane (warp_size entries); inactive
+/// lanes are ignored. This is the single definition both the reference
+/// interpreter and the fast path report.
+[[nodiscard]] std::uint32_t warp_bank_conflict_degree(
+    std::span<const std::uint32_t> lane_addrs, std::uint32_t active_mask,
+    std::uint32_t words, std::uint32_t half_warp, std::uint32_t banks);
+
 }  // namespace vgpu

@@ -105,6 +105,13 @@ std::string format_profile(const KernelProfile& p, const DeviceSpec& spec) {
   line("shared memory  : %llu requests, %llu conflict serializations",
        static_cast<unsigned long long>(s.shared_requests),
        static_cast<unsigned long long>(s.shared_conflict_extra));
+  if (s.conflict_memo_hits + s.conflict_memo_misses > 0) {
+    line("conflict memo  : %llu hits / %llu misses (%.1f%% hit rate)",
+         static_cast<unsigned long long>(s.conflict_memo_hits),
+         static_cast<unsigned long long>(s.conflict_memo_misses),
+         100.0 * static_cast<double>(s.conflict_memo_hits) /
+             static_cast<double>(s.conflict_memo_hits + s.conflict_memo_misses));
+  }
   line("other memory   : %llu local (spill), %llu const, %llu tex (%llu hit / %llu miss)",
        static_cast<unsigned long long>(s.local_requests),
        static_cast<unsigned long long>(s.const_requests),

@@ -161,13 +161,14 @@ struct PendingEvent {
       span;
 };
 
-/// Per-thread execution context: coalescing memo (hits are exact replays,
-/// so per-thread memos change no simulated outcome), reusable transaction
-/// scratch, and a LaunchStats partial. Every stats field touched during
-/// stepping is an integer counter, so summing the partials at the end is an
-/// exact, order-independent reduction.
+/// Per-thread execution context: coalescing and bank-conflict memos (hits
+/// are exact replays, so per-thread memos change no simulated outcome),
+/// reusable transaction scratch, and a LaunchStats partial. Every stats
+/// field touched during stepping is an integer counter, so summing the
+/// partials at the end is an exact, order-independent reduction.
 struct WorkerCtx {
   std::optional<CoalesceMemo> memo;
+  std::optional<ConflictMemo> cmemo;
   CoalesceResult scratch;
   LaunchStats stats;
 };
@@ -428,6 +429,13 @@ void TimedRun::do_dispatch(Sm& sm, std::size_t slot, std::uint32_t sm_id,
     rb.exec->reset(bp);  // reuse the slot's arenas instead of reallocating
   } else {
     rb.exec = std::make_unique<BlockExec>(prog_, spec_, gmem_, bp, decp_);
+    if (fast_) {
+      // The SM->worker map is static (s % nthreads_), so this exec's shared
+      // steps only ever touch its owning worker's memo - no sharing across
+      // threads. Installed once; reset() keeps the pointer.
+      WorkerCtx& ctx = workers_[sm_id % nthreads_];
+      rb.exec->set_conflict_memo(ctx.cmemo ? &*ctx.cmemo : nullptr);
+    }
   }
   rb.reg_ready.assign(
       static_cast<std::size_t>(prog_.reg_file_size) * warps_per_block_, 0);
@@ -636,9 +644,8 @@ void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
       }
       break;
     case StepResult::Kind::kShared: {
-      ++stats.shared_requests;
+      count_shared_step(res, stats);
       const std::uint32_t degree = std::max(1u, res.shared_conflict_degree);
-      if (degree > 1) stats.shared_conflict_extra += degree - 1;
       sm.cycle += static_cast<std::uint64_t>(t_.shared_issue_cycles) * degree;
       ws.ready_cycle = sm.cycle;
       if (iv.is_load) {
@@ -1260,7 +1267,11 @@ LaunchStats TimedRun::run() {
 
   workers_.resize(nthreads_);
   for (WorkerCtx& ctx : workers_) {
-    if (fast_) ctx.memo.emplace(opt_.driver);
+    if (fast_) {
+      ctx.memo.emplace(opt_.driver);
+      ctx.cmemo.emplace(spec_.warp_size, spec_.half_warp,
+                        spec_.shared_mem_banks);
+    }
     ctx.scratch.transactions.reserve(32);
   }
   if (deferred_) {
@@ -1310,6 +1321,10 @@ LaunchStats TimedRun::run() {
     if (ctx.memo) {
       stats_.coalesce_memo_hits += ctx.memo->hits();
       stats_.coalesce_memo_misses += ctx.memo->misses();
+    }
+    if (ctx.cmemo) {
+      stats_.conflict_memo_hits += ctx.cmemo->hits();
+      stats_.conflict_memo_misses += ctx.cmemo->misses();
     }
   }
   if (sink_ != nullptr) {

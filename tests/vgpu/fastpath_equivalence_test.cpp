@@ -36,7 +36,8 @@ struct RunOutput {
 RunOutput run_once(Device& dev, const Program& prog, const LaunchConfig& cfg,
                    std::span<const std::uint32_t> params, DriverModel driver,
                    bool timed, bool reference, Buffer out_buf,
-                   std::size_t out_words, std::uint32_t threads = 1) {
+                   std::size_t out_words, std::uint32_t threads = 1,
+                   bool batched = true) {
   RunOutput r;
   if (timed) {
     TimingOptions topt;
@@ -48,6 +49,7 @@ RunOutput run_once(Device& dev, const Program& prog, const LaunchConfig& cfg,
     FunctionalOptions fopt;
     fopt.driver = driver;
     fopt.reference = reference;
+    fopt.batched = batched;
     r.stats = dev.launch_functional(prog, cfg, params, fopt);
   }
   r.out.resize(out_words);
@@ -71,6 +73,20 @@ void expect_equivalent(Device& dev, const Program& prog,
     EXPECT_TRUE(fast.stats.core() == ref.stats.core())
         << what << ": " << mode << " stats diverged (cycles " << fast.stats.cycles
         << " vs " << ref.stats.cycles << ")";
+    if (!timed) {
+      // Batched straight-line dispatch (the default above) vs single
+      // stepping: memory contents and LaunchStats::core() must both be
+      // bit-identical, on every kernel this suite pins - including the
+      // divergent and barrier-heavy ones where batching must bail out.
+      const RunOutput unbatched =
+          run_once(dev, prog, cfg, params, driver, /*timed=*/false,
+                   /*reference=*/false, out_buf, out_words, 1,
+                   /*batched=*/false);
+      EXPECT_EQ(unbatched.out, fast.out)
+          << what << ": batched vs single-step outputs diverged";
+      EXPECT_TRUE(unbatched.stats.core() == fast.stats.core())
+          << what << ": batched vs single-step stats diverged";
+    }
     if (timed) {
       EXPECT_GT(fast.stats.cycles, 0u) << what;
       // the fast path must actually be exercising the memo on these kernels
@@ -217,6 +233,85 @@ TEST(FastPathEquivalence, ConstantMemoryKernel) {
 
   expect_equivalent(dev, prog, LaunchConfig{n / 64, 64}, params,
                     DriverModel::kCuda10, bout, n, "const-memory kernel");
+}
+
+TEST(FastPathEquivalence, DivergentKernelBatchedDispatch) {
+  // Lanes split three ways on tid bits inside a counted loop, so warps are
+  // almost never fully converged: batched dispatch must keep bailing out to
+  // single stepping and still match it (and the reference) exactly.
+  KernelBuilder kb("divergent", 2);
+  Val i = kb.iadd(kb.imul(kb.ctaid(), kb.ntid()), kb.tid());
+  Val x = kb.ld_global_f32(kb.iadd(kb.param_u32(0), kb.shl(i, 2)));
+  Val acc = kb.var_f32(kb.imm_f32(0.0f));
+  kb.for_counted(8, [&](Val iv) {
+    PVal low = kb.setp_u32_imm(CmpOp::kLt, kb.band(kb.tid(), kb.imm_u32(3)), 2);
+    kb.if_then_else(
+        low,
+        [&] {
+          kb.assign(acc, kb.fadd(acc, kb.fmul(x, kb.imm_f32(1.5f))));
+          PVal odd = kb.setp_u32_imm(CmpOp::kEq, kb.band(kb.tid(), kb.imm_u32(1)), 1);
+          kb.if_then(odd, [&] { kb.assign(acc, kb.fadd(acc, kb.imm_f32(0.25f))); });
+        },
+        [&] { kb.assign(acc, kb.fsub(acc, x)); });
+    kb.assign(acc, kb.fadd(acc, kb.i2f(iv)));
+  });
+  kb.st_global(kb.iadd(kb.param_u32(1), kb.shl(i, 2)), acc);
+  Program prog = std::move(kb).finish();
+  run_standard_pipeline(prog);
+  allocate_registers(prog);
+
+  const std::uint32_t n = 512;
+  Device dev(g80_spec(), 1 << 20);
+  std::vector<float> input(n);
+  for (std::size_t k = 0; k < input.size(); ++k) {
+    input[k] = static_cast<float>(k % 37) * 0.5f - 9.0f;
+  }
+  Buffer bin = dev.upload<float>(input);
+  Buffer bout = dev.malloc_n<float>(n);
+  const std::vector<std::uint32_t> params = {bin.addr, bout.addr};
+
+  expect_equivalent(dev, prog, LaunchConfig{n / 64, 64}, params,
+                    DriverModel::kCuda10, bout, n, "divergent kernel");
+}
+
+TEST(FastPathEquivalence, BarrierHeavyKernelBatchedDispatch) {
+  // Shared-memory rotation with a barrier on both sides of every access:
+  // runs are at most a couple of instructions long and every one ends at a
+  // non-batchable barrier or memory op, exercising the run-boundary
+  // fallback (and conflict-memo parity) under 2/4 timing threads.
+  constexpr std::uint32_t kBlock = 128;
+  KernelBuilder kb("barrier_heavy", 2);
+  Val sbase = kb.shared_alloc(kBlock * 4);
+  Val saddr = kb.iadd(sbase, kb.shl(kb.tid(), 2));
+  Val i = kb.iadd(kb.imul(kb.ctaid(), kb.ntid()), kb.tid());
+  Val v = kb.var_f32(kb.ld_global_f32(kb.iadd(kb.param_u32(0), kb.shl(i, 2))));
+  // neighbor = shared[(tid + 1) % ntid]
+  Val next = kb.band(kb.iadd(kb.tid(), kb.imm_u32(1)), kb.imm_u32(kBlock - 1));
+  Val naddr = kb.iadd(sbase, kb.shl(next, 2));
+  kb.for_counted(6, [&](Val) {
+    kb.st_shared(saddr, v);
+    kb.bar();
+    Val neigh = kb.ld_shared_f32(naddr);
+    kb.bar();
+    kb.assign(v, kb.fadd(kb.fmul(v, kb.imm_f32(0.5f)), neigh));
+  });
+  kb.st_global(kb.iadd(kb.param_u32(1), kb.shl(i, 2)), v);
+  Program prog = std::move(kb).finish();
+  run_standard_pipeline(prog);
+  allocate_registers(prog);
+
+  const std::uint32_t n = 512;
+  Device dev(g80_spec(), 1 << 20);
+  std::vector<float> input(n);
+  for (std::size_t k = 0; k < input.size(); ++k) {
+    input[k] = static_cast<float>(k % 53) * 0.125f;
+  }
+  Buffer bin = dev.upload<float>(input);
+  Buffer bout = dev.malloc_n<float>(n);
+  const std::vector<std::uint32_t> params = {bin.addr, bout.addr};
+
+  expect_equivalent(dev, prog, LaunchConfig{n / kBlock, kBlock}, params,
+                    DriverModel::kCuda10, bout, n, "barrier-heavy kernel");
 }
 
 }  // namespace

@@ -161,7 +161,8 @@ struct DiffRun {
 };
 
 DiffRun run_diff(const Program& prog, DriverModel driver, bool timed,
-                 bool reference, std::uint32_t threads = 1) {
+                 bool reference, std::uint32_t threads = 1,
+                 bool batched = true) {
   const std::uint32_t n = 128;
   Device dev(tiny_spec(), 1 << 20);
   std::vector<float> input(4096);
@@ -183,6 +184,7 @@ DiffRun run_diff(const Program& prog, DriverModel driver, bool timed,
     FunctionalOptions fopt;
     fopt.driver = driver;
     fopt.reference = reference;
+    fopt.batched = batched;
     r.stats = dev.launch_functional(prog, cfg, params, fopt);
   }
   r.out.resize(n);
@@ -254,6 +256,13 @@ TEST_P(FuzzSeed, FastPathMatchesReferenceExecutor) {
           << "functional outputs diverged, driver " << to_string(driver);
       EXPECT_TRUE(fast.stats.core() == ref.stats.core())
           << "functional stats diverged, driver " << to_string(driver);
+      // batched straight-line dispatch vs single stepping, same invariant
+      const DiffRun single =
+          run_diff(p, driver, /*timed=*/false, false, 1, /*batched=*/false);
+      EXPECT_EQ(single.out, fast.out)
+          << "batched outputs diverged, driver " << to_string(driver);
+      EXPECT_TRUE(single.stats.core() == fast.stats.core())
+          << "batched stats diverged, driver " << to_string(driver);
     }
     {
       const DiffRun ref = run_diff(p, driver, /*timed=*/true, true);
