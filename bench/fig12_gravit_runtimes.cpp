@@ -29,12 +29,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <numeric>
 
 #include "bench_util.hpp"
 #include "gravit/forces_cpu.hpp"
 #include "gravit/gpu_runner.hpp"
 #include "gravit/spawn.hpp"
 #include "vgpu/occupancy.hpp"
+#include "vgpu/sampling.hpp"
 
 namespace {
 
@@ -44,8 +46,76 @@ using gravit::FarfieldGpuOptions;
 using gravit::KernelOptions;
 
 constexpr std::uint32_t kBlock = 128;
+/// The paper's nominal problem sizes. The defaults actually run are these
+/// rounded to the nearest whole number of concurrent block waves common to
+/// every variant (wave_quantum_particles below), so the wave-scaling leg of
+/// the extrapolation always compares full waves against full waves.
 const std::vector<std::uint32_t> kSizes = {40'000,  100'000, 200'000,
                                            400'000, 700'000, 1'000'000};
+
+struct Variant {
+  const char* name;
+  KernelOptions kopt;
+};
+
+std::vector<Variant> variants() {
+  auto kernel = [](layout::SchemeKind scheme, std::uint32_t unroll, bool icm) {
+    KernelOptions k;
+    k.scheme = scheme;
+    k.block = kBlock;
+    k.unroll = unroll;
+    k.icm = icm;
+    return k;
+  };
+  using layout::SchemeKind;
+  return {
+      {"GPU AoS (baseline)", kernel(SchemeKind::kAoS, 1, false)},
+      {"GPU SoA", kernel(SchemeKind::kSoA, 1, false)},
+      {"GPU AoaS", kernel(SchemeKind::kAoaS, 1, false)},
+      {"GPU SoAoaS", kernel(SchemeKind::kSoAoaS, 1, false)},
+      {"GPU SoAoaS+unroll", kernel(SchemeKind::kSoAoaS, kBlock, false)},
+      {"GPU SoAoaS+unroll+icm", kernel(SchemeKind::kSoAoaS, kBlock, true)},
+  };
+}
+
+/// Smallest particle count that is a whole number of concurrent block waves
+/// for *every* variant: lcm of the per-variant wave sizes (blocks_per_sm
+/// differs with register pressure - 2, 3 and 4 across the six kernels)
+/// times the block size. Sizes that are multiples of this quantum keep the
+/// wave-scaling leg of the sampled extrapolation exact for all variants at
+/// once (ROADMAP: wave-align the default sizes).
+std::uint32_t wave_quantum_particles(std::uint32_t sim_sms) {
+  const vgpu::DeviceSpec spec = vgpu::g80_spec();
+  std::uint64_t blocks = 1;
+  for (const Variant& v : variants()) {
+    const gravit::BuiltKernel k = gravit::make_farfield_kernel(v.kopt);
+    const vgpu::OccupancyResult occ = vgpu::compute_occupancy(
+        spec, v.kopt.block, k.prog.num_phys_regs, k.prog.shared_bytes);
+    blocks = std::lcm(blocks, static_cast<std::uint64_t>(
+                                  vgpu::wave_blocks(spec, occ, sim_sms)));
+  }
+  return static_cast<std::uint32_t>(blocks) * kBlock;
+}
+
+/// Round each requested size to the nearest (nonzero) multiple of the wave
+/// quantum and self-check the result: aligned, still distinct, still
+/// ascending - a quantum regression (occupancy change upstream) fails loudly
+/// here instead of silently skewing the extrapolation.
+std::vector<std::uint32_t> align_sizes(const std::vector<std::uint32_t>& req,
+                                       std::uint32_t quantum) {
+  std::vector<std::uint32_t> out;
+  for (const std::uint32_t n : req) {
+    const std::uint64_t waves =
+        std::max<std::uint64_t>(1, (n + quantum / 2) / quantum);
+    out.push_back(static_cast<std::uint32_t>(waves * quantum));
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    VGPU_EXPECTS_MSG(out[i] % quantum == 0, "size not wave-aligned");
+    VGPU_EXPECTS_MSG(i == 0 || out[i] > out[i - 1],
+                     "wave alignment collapsed adjacent sizes");
+  }
+  return out;
+}
 
 struct Mode {
   bool sampling = true;  ///< tile sampling + max_blocks wave sampling
@@ -147,22 +217,10 @@ struct AllResults {
 };
 
 AllResults run_all(const Mode& mode) {
-  using layout::SchemeKind;
   AllResults all;
-  auto kernel = [](SchemeKind scheme, std::uint32_t unroll, bool icm) {
-    KernelOptions k;
-    k.scheme = scheme;
-    k.block = kBlock;
-    k.unroll = unroll;
-    k.icm = icm;
-    return k;
-  };
-  all.gpu.push_back(run_variant("GPU AoS (baseline)", kernel(SchemeKind::kAoS, 1, false), mode));
-  all.gpu.push_back(run_variant("GPU SoA", kernel(SchemeKind::kSoA, 1, false), mode));
-  all.gpu.push_back(run_variant("GPU AoaS", kernel(SchemeKind::kAoaS, 1, false), mode));
-  all.gpu.push_back(run_variant("GPU SoAoaS", kernel(SchemeKind::kSoAoaS, 1, false), mode));
-  all.gpu.push_back(run_variant("GPU SoAoaS+unroll", kernel(SchemeKind::kSoAoaS, kBlock, false), mode));
-  all.gpu.push_back(run_variant("GPU SoAoaS+unroll+icm", kernel(SchemeKind::kSoAoaS, kBlock, true), mode));
+  for (const Variant& v : variants()) {
+    all.gpu.push_back(run_variant(v.name, v.kopt, mode));
+  }
 
   if (!mode.verify) {
     const double cpu_4096 = measure_cpu_ms_at_4096();
@@ -241,15 +299,21 @@ int main(int argc, char** argv) {
   }
   argc = out;
   if (mode.verify) {
-    // Sizes are whole multiples of the 2-SM wave (6 blocks of 128 threads)
-    // so the block-scaling leg of the extrapolation is comparing full waves
-    // against full waves, as it does at production scale where the partial
-    // tail wave is negligible. The sampled run still truncates: 3072
-    // particles = 24 blocks, of which max_waves=2 simulates 12.
-    mode.sizes = {1536, 3072};
+    // One and two common waves at 2 simulated SMs, so the block-scaling leg
+    // of the extrapolation compares full waves against full waves for every
+    // variant (the quantum is the lcm of the per-variant waves - a fixed
+    // size can't do this, since blocks_per_sm differs across variants).
     mode.sim_sms = 2;
-    mode.measure_n = 3072;
+    const std::uint32_t quantum = wave_quantum_particles(mode.sim_sms);
+    mode.sizes = align_sizes({quantum, 2 * quantum}, quantum);
+    mode.measure_n = mode.sizes.back();
     mode.ms_precision = 4;  // verify-scale ms are small
+  } else {
+    // Production sizes: the paper's nominal counts rounded to whole common
+    // waves of the full 16-SM device.
+    const std::uint32_t quantum = wave_quantum_particles(0);
+    mode.sizes = align_sizes(kSizes, quantum);
+    mode.measure_n = mode.sizes.front();
   }
   if (!mode.sampling && !mode.verify) {
     std::fprintf(stderr,

@@ -27,12 +27,20 @@
 // makes the binary exit non-zero. The ctest gate runs this binary twice,
 // --batched=on and --batched=off, so both dispatch modes stay exercised.
 //
+// A fourth axis is timed run batching (TimingOptions::batched): the
+// timed-dispatch table runs every workload's timing executor with the
+// closed-form run issue off and on and demands bit-identical
+// LaunchStats::core() - cycles included - between the two and the
+// reference; any divergence makes the binary exit non-zero. The ctest
+// gates run --timed-batched=on and --timed-batched=off.
+//
 // Flags: --n=<particles> (default 4096, rounded up to a tile multiple)
 // scales the workload; --threads=<k> (default 4) is the maximum thread
 // count the scaling table sweeps to; --batched=on|off (default on) selects
-// the functional fast path's dispatch mode for the main tables (the
-// batched differential always runs both); --json=<path> exports the
-// tables (bench_util).
+// the functional fast path's dispatch mode for the main tables;
+// --timed-batched=on|off (default on) does the same for the timing
+// executor (the dispatch differentials always run both modes);
+// --json=<path> exports the tables (bench_util).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -125,21 +133,36 @@ struct RunResult {
 /// Dispatch mode for the functional fast path (--batched=on|off). The
 /// batched differential in run_all always runs both modes regardless.
 bool g_batched = true;
+/// Dispatch mode for the timing fast path (--timed-batched=on|off); the
+/// timed dispatch differential always runs both modes regardless.
+bool g_timed_batched = true;
 
+/// The dispatch-mode tag exported with a run's table rows, so records stay
+/// attributable across PRs when defaults change.
+const char* dispatch_name(bool timed, bool reference, int batched) {
+  if (reference) return "single-step";
+  const bool on = batched < 0 ? (timed ? g_timed_batched : g_batched)
+                              : batched != 0;
+  return on ? "batched" : "single-step";
+}
+
+/// `batched` selects the fast path's dispatch mode (functional or timed,
+/// whichever runs): -1 = the mode the matching command-line flag picked.
 RunResult run_one(Workload& w, bool timed, bool reference,
-                  std::uint32_t threads = 1, bool batched = g_batched) {
+                  std::uint32_t threads = 1, int batched = -1) {
   RunResult r;
   const Clock::time_point t0 = Clock::now();
   if (timed) {
     vgpu::TimingOptions topt;
     topt.reference = reference;
     topt.threads = threads;
+    topt.batched = batched < 0 ? g_timed_batched : batched != 0;
     r.stats = vgpu::run_timed(w.prog, w.dev->spec(), w.dev->gmem(), w.cfg,
                               w.params, topt);
   } else {
     vgpu::FunctionalOptions fopt;
     fopt.reference = reference;
-    fopt.batched = batched;
+    fopt.batched = batched < 0 ? g_batched : batched != 0;
     r.stats = vgpu::run_functional(w.prog, w.dev->spec(), w.dev->gmem(), w.cfg,
                                    w.params, fopt);
   }
@@ -178,7 +201,7 @@ Summary g_summary;
 // and host-dependent.
 void run_thread_scaling(std::uint32_t n, std::uint32_t max_threads) {
   Workload w = make_farfield(gravit::KernelOptions{}, n);
-  bench::Table scaling({"threads", "wall ms", "Minstr/s", "cycles",
+  bench::Table scaling({"threads", "dispatch", "wall ms", "Minstr/s", "cycles",
                         "speedup vs 1", "stats identical"});
   RunResult base;
   for (std::uint32_t threads = 1; threads <= max_threads; threads *= 2) {
@@ -190,9 +213,11 @@ void run_thread_scaling(std::uint32_t n, std::uint32_t max_threads) {
     if (threads > 1) {
       g_summary.thread_speedup = std::max(g_summary.thread_speedup, speedup);
     }
-    scaling.add_row({std::to_string(threads), fmt(r.wall_ms, 1),
-                     fmt(r.minstr_per_s(), 2), std::to_string(r.stats.cycles),
-                     fmt(speedup, 2), identical ? "yes" : "NO"});
+    scaling.add_row({std::to_string(threads),
+                     dispatch_name(/*timed=*/true, /*reference=*/false, -1),
+                     fmt(r.wall_ms, 1), fmt(r.minstr_per_s(), 2),
+                     std::to_string(r.stats.cycles), fmt(speedup, 2),
+                     identical ? "yes" : "NO"});
   }
   scaling.print(
       "timing executor thread scaling",
@@ -216,26 +241,29 @@ void run_all(std::uint32_t n) {
     workloads.push_back(make_read(n));
   }
 
-  bench::Table runs({"run", "warp instrs", "wall ms", "Minstr/s", "cycles",
-                     "memo hit %", "cmemo hit %"});
+  bench::Table runs({"run", "dispatch", "warp instrs", "wall ms", "Minstr/s",
+                     "cycles", "memo hit %", "cmemo hit %"});
   bench::Table speed({"workload", "executor", "ref wall ms", "fast wall ms",
                       "speedup", "stats identical"});
   bench::Table batch({"workload", "off wall ms", "on wall ms", "speedup",
                       "stats identical"});
+  bench::Table tbatch({"workload", "off wall ms", "on wall ms", "speedup",
+                       "runs issued", "fallbacks", "stats identical"});
   for (Workload& w : workloads) {
     for (const bool timed : {false, true}) {
       const char* exec_name = timed ? "timing" : "functional";
       const RunResult ref = run_one(w, timed, /*reference=*/true);
       const RunResult fast = run_one(w, timed, /*reference=*/false);
-      auto add_run = [&](const char* path, const RunResult& r) {
+      auto add_run = [&](const char* path, bool reference, const RunResult& r) {
         runs.add_row({w.label + "/" + exec_name + "/" + path,
+                      dispatch_name(timed, reference, -1),
                       std::to_string(r.stats.warp_instructions),
                       fmt(r.wall_ms, 1), fmt(r.minstr_per_s(), 2),
                       std::to_string(r.stats.cycles), memo_rate(r.stats),
                       cmemo_rate(r.stats)});
       };
-      add_run("reference", ref);
-      add_run("fast", fast);
+      add_run("reference", true, ref);
+      add_run("fast", false, fast);
 
       // The invariant the whole fast path is built around: identical
       // LaunchStats::core() - cycles included - from both paths.
@@ -258,9 +286,9 @@ void run_all(std::uint32_t n) {
       if (!timed) {
         const RunResult off =
             run_one(w, /*timed=*/false, /*reference=*/false, 1,
-                    /*batched=*/false);
+                    /*batched=*/0);
         const RunResult on = run_one(w, /*timed=*/false, /*reference=*/false,
-                                     1, /*batched=*/true);
+                                     1, /*batched=*/1);
         const bool b_ident = on.stats.core() == off.stats.core() &&
                              on.stats.core() == ref.stats.core();
         g_summary.all_identical = g_summary.all_identical && b_ident;
@@ -268,20 +296,50 @@ void run_all(std::uint32_t n) {
                        fmt(on.wall_ms > 0.0 ? off.wall_ms / on.wall_ms : 0.0,
                            2),
                        b_ident ? "yes" : "NO"});
+      } else {
+        // Timed-dispatch differential: the timing executor's closed-form
+        // run issue must be bit-identical on core() *including cycles* to
+        // per-instruction issue and to the reference, whatever mode
+        // --timed-batched selected for the tables above. Wall times are the
+        // min over two interleaved off/on pairs: host noise only ever adds
+        // time, so the min is the stable estimator for the speedup column.
+        RunResult off, on;
+        double off_min = 0.0, on_min = 0.0;
+        for (int pair = 0; pair < 2; ++pair) {
+          off = run_one(w, /*timed=*/true, /*reference=*/false, 1,
+                        /*batched=*/0);
+          on = run_one(w, /*timed=*/true, /*reference=*/false, 1,
+                       /*batched=*/1);
+          if (pair == 0 || off.wall_ms < off_min) off_min = off.wall_ms;
+          if (pair == 0 || on.wall_ms < on_min) on_min = on.wall_ms;
+        }
+        const bool b_ident = on.stats.core() == off.stats.core() &&
+                             on.stats.core() == ref.stats.core();
+        g_summary.all_identical = g_summary.all_identical && b_ident;
+        tbatch.add_row({w.label, fmt(off_min, 1), fmt(on_min, 1),
+                        fmt(on_min > 0.0 ? off_min / on_min : 0.0, 2),
+                        std::to_string(on.stats.timed_runs_issued),
+                        std::to_string(on.stats.timed_run_fallbacks),
+                        b_ident ? "yes" : "NO"});
       }
     }
   }
   runs.print("sim_throughput - host-side simulator throughput",
              "n=" + std::to_string(n) +
                  " particles; Minstr/s = simulated warp instructions per "
-                 "second of host wall time; batched dispatch " +
-                 (g_batched ? "on" : "off"));
+                 "second of host wall time; functional batched dispatch " +
+                 (g_batched ? "on" : "off") + ", timed run batching " +
+                 (g_timed_batched ? "on" : "off"));
   speed.print("fast path vs reference",
               "speedup = reference wall / fast wall; 'stats identical' "
               "compares LaunchStats::core() incl. cycles");
   batch.print("batched straight-line dispatch (functional executor)",
               "whole converged runs per dispatch vs single stepping; both "
               "must report identical LaunchStats::core()");
+  tbatch.print("timed run batching (timing executor)",
+               "closed-form run issue vs per-instruction issue; both must "
+               "report identical LaunchStats::core() incl. cycles; walls "
+               "are min over two interleaved off/on pairs");
 }
 
 void bm_sim_throughput(benchmark::State& state) {
@@ -316,6 +374,10 @@ int main(int argc, char** argv) {
       g_batched = false;
     } else if (std::strcmp(argv[a], "--batched=on") == 0) {
       g_batched = true;
+    } else if (std::strcmp(argv[a], "--timed-batched=off") == 0) {
+      g_timed_batched = false;
+    } else if (std::strcmp(argv[a], "--timed-batched=on") == 0) {
+      g_timed_batched = true;
     } else {
       argv[out++] = argv[a];
     }

@@ -32,6 +32,8 @@ JsonValue to_json(const vgpu::LaunchStats& s) {
   v["shared_conflict_extra"] = s.shared_conflict_extra;
   v["conflict_memo_hits"] = s.conflict_memo_hits;
   v["conflict_memo_misses"] = s.conflict_memo_misses;
+  v["timed_runs_issued"] = s.timed_runs_issued;
+  v["timed_run_fallbacks"] = s.timed_run_fallbacks;
   v["local_requests"] = s.local_requests;
   v["const_requests"] = s.const_requests;
   v["tex_requests"] = s.tex_requests;

@@ -799,7 +799,7 @@ StepResult BlockExec::step_fast(std::uint32_t w, std::uint64_t now) {
 // step_fast (guard evaluation, convergence test, StepResult construction)
 // collapses to a tight loop over exec_alu. The warp's mask cannot change
 // within the run, so checking convergence once up front is exact.
-const DecodedRun* BlockExec::step_run(std::uint32_t w) {
+const DecodedRun* BlockExec::step_run(std::uint32_t w, std::uint32_t max_len) {
   if (dec_ == nullptr) return nullptr;
   WarpState& ws = warps_[w];
   if (ws.done || ws.at_barrier) return nullptr;
@@ -807,13 +807,15 @@ const DecodedRun* BlockExec::step_run(std::uint32_t w) {
   const std::size_t first = dec_->block_start[ws.block] + ws.ip;
   const DecodedRun& run = dec_->runs[first];
   if (run.len == 0) return nullptr;
+  const std::uint32_t n =
+      max_len == 0 ? run.len : std::min(max_len, run.len);
   const std::uint32_t base_thread = ws.index * spec_.warp_size;
   const DecodedInstr* const ds = dec_->instrs.data() + first;
-  for (std::uint32_t i = 0; i < run.len; ++i) {
+  for (std::uint32_t i = 0; i < n; ++i) {
     exec_alu(ds[i], ws, full_mask_, /*converged=*/true, base_thread, 0);
   }
-  ws.ip += run.len;
-  ws.issued += run.len;
+  ws.ip += n;
+  ws.issued += n;
   return &run;
 }
 

@@ -132,9 +132,19 @@ class BlockExec {
   /// a barrier, divergent mask, or a zero-length run) and the caller must
   /// fall back to step(). Runs contain no clock reads, no memory accesses
   /// and no control flow, so no `now` is needed and no StepResult is
-  /// produced; `issued` and `ip` advance by the run length, keeping the
+  /// produced; `issued` and `ip` advance by the executed count, keeping the
   /// functional executor's pseudo-time identical to single stepping.
-  const DecodedRun* step_run(std::uint32_t w);
+  /// `max_len` caps the executed prefix (0 = the whole run; the timing
+  /// executor stops early at preemption and bucket horizons); the returned
+  /// descriptor always describes the full run, callers accounting prefixes
+  /// use their own counts.
+  const DecodedRun* step_run(std::uint32_t w, std::uint32_t max_len = 0);
+
+  /// True when every existing lane of warp `w` is active - the precondition
+  /// for batched dispatch (a converged mask cannot change inside a run).
+  [[nodiscard]] bool warp_converged(std::uint32_t w) const {
+    return (warps_[w].active & full_mask_) == full_mask_;
+  }
 
   /// Install a bank-conflict memo consulted by the fast path's shared-memory
   /// steps (nullptr = compute degrees directly). The memo must be bound to

@@ -73,6 +73,12 @@ struct LaunchStats {
   /// Bank-conflict-memo hit/miss totals (zero on the reference path).
   std::uint64_t conflict_memo_hits = 0;
   std::uint64_t conflict_memo_misses = 0;
+  /// Timed run-batching totals (zero on the reference path and with
+  /// TimingOptions::batched off): whole or prefix straight-line runs the
+  /// timing executor issued through the closed-form scoreboard advance, and
+  /// batch attempts that degenerated to single-step issue.
+  std::uint64_t timed_runs_issued = 0;
+  std::uint64_t timed_run_fallbacks = 0;
 
   [[nodiscard]] std::uint64_t region(Region r) const {
     return region_instructions[static_cast<std::size_t>(r)];
@@ -89,6 +95,8 @@ struct LaunchStats {
     c.coalesce_memo_misses = 0;
     c.conflict_memo_hits = 0;
     c.conflict_memo_misses = 0;
+    c.timed_runs_issued = 0;
+    c.timed_run_fallbacks = 0;
     return c;
   }
 };

@@ -74,6 +74,14 @@ std::string format_profile(const KernelProfile& p, const DeviceSpec& spec) {
   line("warp instrs    : %llu  (IPC/SM %.3f, issue util %.0f%%)",
        static_cast<unsigned long long>(s.warp_instructions), p.ipc,
        100.0 * p.issue_utilization);
+  if (s.timed_runs_issued + s.timed_run_fallbacks > 0) {
+    line("timed runs     : %llu batched / %llu single-step fallbacks "
+         "(%.1f%% batched)",
+         static_cast<unsigned long long>(s.timed_runs_issued),
+         static_cast<unsigned long long>(s.timed_run_fallbacks),
+         100.0 * static_cast<double>(s.timed_runs_issued) /
+             static_cast<double>(s.timed_runs_issued + s.timed_run_fallbacks));
+  }
   os << "instruction mix:";
   const std::uint64_t total = s.warp_instructions > 0 ? s.warp_instructions : 1;
   for (std::size_t c = 0; c < s.instr_class_counts.size(); ++c) {

@@ -67,11 +67,25 @@ struct ResidentBlock {
   /// scoreboard write when the block has since retired (the serial order is
   /// write-then-reset, so a stale write must not land in the new block).
   std::uint64_t generation = 0;
+  /// Batched mode's hoisted scoreboard walk: per warp, the cached result of
+  /// a pick_warp probe - the warp's next-instruction ready cycle
+  /// (ready_cache, valid while ready_state is kReadyCached) or a skip mark
+  /// for done/at-barrier warps (kReadySkip). A cached probe is a compare
+  /// instead of a peek + dependency walk; every event that could change the
+  /// probe result invalidates the warp's entry: its own issue (ip moved),
+  /// any scoreboard write through set_slot_ready (covers serial load
+  /// completions and deferred merges; scoreboards are per-warp, so other
+  /// warps' writes never affect this entry), a barrier release (ready_cycle
+  /// bumped, at-barrier cleared), and a dispatch into the slot.
+  std::vector<std::uint64_t> ready_cache;
+  std::vector<std::uint8_t> ready_state;
   // Timeline bookkeeping (only consumed when a sink is attached).
   std::uint32_t block_id = 0;
   std::uint64_t start_cycle = 0;
   std::vector<std::uint64_t> barrier_arrive;  ///< per warp, sink runs only
 };
+
+enum : std::uint8_t { kReadyInvalid = 0, kReadyCached = 1, kReadySkip = 2 };
 
 /// Why an SM suspended mid-bucket (multi-threaded runs only). SMs park when
 /// the next action depends on shared state - the grid block queue or an
@@ -88,6 +102,19 @@ struct Sm {
   std::uint64_t cycle = 0;
   std::vector<ResidentBlock> slots;
   std::uint32_t rr = 0;  ///< round-robin cursor over (slot, warp) pairs
+  /// A warp's done/at-barrier state may have changed since the last
+  /// barrier-release scan. Batched ALU issues cannot change it, so the
+  /// batched mode elides the scan while this stays false.
+  bool barrier_dirty = true;
+  /// Adaptive attempt gate for batched issue. When every other warp keeps
+  /// the SM saturated, round-robin preempts every batch at one instruction;
+  /// after such a degenerate attempt further attempts are skipped until the
+  /// candidate population could have thinned (an idle jump, a parked-stall
+  /// resume, a warp going done/at-barrier, or a dispatch). Purely a
+  /// cost gate: issuing through the batch path or the per-instruction path
+  /// is bit-identical, so when attempts run is unobservable in
+  /// LaunchStats::core(), memory, and the event stream.
+  bool batch_ok = true;
   /// Per-SM texture cache: line tags in LRU order (front = most recent).
   std::vector<std::uint32_t> tex_lines;
   // Parking state (deferred mode only).
@@ -96,6 +123,11 @@ struct Sm {
   std::size_t park_slot = 0;     ///< kDispatch: slot awaiting a grid block
   std::uint64_t park_when = 0;   ///< kDispatch: retirement cycle
   std::size_t park_event = kNoEvent;  ///< kDispatch: reserved BlockSpan index
+
+  /// Cached has_work(): only do_dispatch installs or retires blocks, so it
+  /// alone updates this. The serial driver reads it once per step; walking
+  /// the slots there cost more than the step bookkeeping itself.
+  bool any_work = false;
 
   [[nodiscard]] bool has_work() const {
     for (const ResidentBlock& s : slots) {
@@ -200,6 +232,8 @@ void accumulate_counters(LaunchStats& into, const LaunchStats& part) {
   into.tex_hits += part.tex_hits;
   into.tex_misses += part.tex_misses;
   into.barriers += part.barriers;
+  into.timed_runs_issued += part.timed_runs_issued;
+  into.timed_run_fallbacks += part.timed_run_fallbacks;
 }
 
 /// Fork/join pool for the bucket phases: one persistent thread per extra
@@ -313,6 +347,10 @@ class TimedRun {
     std::int64_t chosen = -1;
     std::uint64_t next_event = kNever;
     bool pending = false;  ///< a candidate waits on an unresolved DRAM value
+    /// The chosen warp is batch-eligible (converged, at a run of len >= 2).
+    /// `next_event`/`pending` then describe every *other* candidate - the
+    /// earliest cycle at which one could preempt the run.
+    bool batch = false;
   };
 
   void do_dispatch(Sm& sm, std::size_t slot, std::uint32_t sm_id,
@@ -326,6 +364,9 @@ class TimedRun {
   void set_slot_ready(ResidentBlock& rb, std::uint32_t w, std::uint32_t slot,
                       std::uint32_t words, std::uint64_t when) const;
   [[nodiscard]] Pick pick_warp(Sm& sm) const;
+  void issue_run(Sm& sm, std::uint32_t sm_id, std::size_t slot,
+                 std::uint32_t w, const Pick& pick, WorkerCtx& ctx,
+                 std::uint64_t bucket_end);
   void sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
                std::uint64_t bucket_end);
   void run_serial();
@@ -353,11 +394,15 @@ class TimedRun {
     sink_->on_global_request(s);
   }
 
-  /// Emits a sink event: directly in single-threaded runs, buffered per SM
-  /// in multi-threaded runs. Callers guard on sink_ != nullptr.
+  /// Emits a sink event: directly when events can be forwarded in the
+  /// serial order as they happen, buffered per SM otherwise (multi-threaded
+  /// runs, and single-threaded batched runs - a batch emits its whole run
+  /// consecutively while the serial per-instruction executor interleaves
+  /// SMs, so order is restored by the (key, sm, idx) sort in flush_events).
+  /// Callers guard on sink_ != nullptr.
   template <class Span>
   void emit(std::uint32_t sm_id, std::uint64_t key, const Span& span) {
-    if (deferred_) {
+    if (buffer_) {
       events_[sm_id].push_back(PendingEvent{key, span});
     } else {
       forward(span);
@@ -382,9 +427,12 @@ class TimedRun {
   std::uint32_t nthreads_ = 1;
   bool deferred_ = false;
   bool fast_ = false;
+  bool batched_ = false;  ///< fast path with TimingOptions::batched
+  bool buffer_ = false;   ///< sink events buffered per SM, flushed sorted
   double channel_cycles_per_byte_ = 0.0;
   std::optional<DecodedProgram> dec_;
   const DecodedProgram* decp_ = nullptr;
+  std::optional<RunScheduleTable> sched_;  ///< batched_ only
 
   // Run state.
   std::vector<Sm> sms_;
@@ -405,11 +453,13 @@ void TimedRun::do_dispatch(Sm& sm, std::size_t slot, std::uint32_t sm_id,
                            std::uint64_t when, std::uint64_t key,
                            std::size_t reserved) {
   ResidentBlock& rb = sm.slots[slot];
+  sm.barrier_dirty = true;  // a fresh block's warps invalidate the elision
+  sm.batch_ok = true;       // dispatch changes the candidate population
   if (sink_ != nullptr && rb.exec) {
     const TimelineSink::BlockSpan span{sm_id, static_cast<std::uint32_t>(slot),
                                        rb.block_id, warps_per_block_,
                                        rb.start_cycle, when};
-    if (!deferred_) {
+    if (!buffer_) {
       sink_->on_block(span);
     } else if (reserved != kNoEvent) {
       events_[sm_id][reserved] = PendingEvent{key, span};
@@ -420,8 +470,10 @@ void TimedRun::do_dispatch(Sm& sm, std::size_t slot, std::uint32_t sm_id,
   ++rb.generation;  // in-flight loads of the retired block must not land
   if (next_block_ >= blocks_to_sim_) {
     rb.exec.reset();
+    sm.any_work = sm.has_work();
     return;
   }
+  sm.any_work = true;
   BlockParams bp{next_block_++, cfg_, params_, sm_id, opt_.cmem};
   rb.block_id = bp.block_id;
   rb.start_cycle = when;
@@ -443,6 +495,8 @@ void TimedRun::do_dispatch(Sm& sm, std::size_t slot, std::uint32_t sm_id,
       static_cast<std::size_t>(prog_.num_preds) * warps_per_block_, 0);
   rb.load_ring.assign(static_cast<std::size_t>(mshr_) * warps_per_block_, 0);
   rb.load_ring_pos.assign(warps_per_block_, 0);
+  rb.ready_cache.assign(warps_per_block_, 0);
+  rb.ready_state.assign(warps_per_block_, kReadyInvalid);
   if (sink_ != nullptr) rb.barrier_arrive.assign(warps_per_block_, 0);
   for (std::uint32_t w = 0; w < warps_per_block_; ++w) {
     rb.exec->warp(w).ready_cycle = when + t_.block_start_cycles;
@@ -513,6 +567,7 @@ std::uint64_t TimedRun::dep_ready_fast(const ResidentBlock& rb,
 void TimedRun::set_slot_ready(ResidentBlock& rb, std::uint32_t w,
                               std::uint32_t slot, std::uint32_t words,
                               std::uint64_t when) const {
+  rb.ready_state[w] = kReadyInvalid;
   if (slot == kNoSlot) return;
   const std::size_t rbase = static_cast<std::size_t>(w) * prog_.reg_file_size;
   for (std::uint32_t c = 0; c < words; ++c) {
@@ -524,67 +579,265 @@ void TimedRun::set_slot_ready(ResidentBlock& rb, std::uint32_t w,
 // pipeline and the register scoreboard. When nothing is issueable,
 // next_event is the earliest known wake-up and `pending` flags whether some
 // candidate's wake-up is an unresolved DRAM completion (deferred mode).
+//
+// When the chosen warp is batch-eligible (converged at a run of len >= 2)
+// the scan continues over the remaining candidates: after an issue the
+// round-robin cursor makes the issuing warp the *last* candidate scanned,
+// so the batch may keep issuing exactly while it strictly beats every other
+// candidate's ready cycle - `next_event`/`pending` then carry that bound
+// (issue_run). A non-eligible chosen warp keeps the early return.
 TimedRun::Pick TimedRun::pick_warp(Sm& sm) const {
   const std::uint32_t total =
       static_cast<std::uint32_t>(sm.slots.size()) * warps_per_block_;
   Pick p;
-  for (std::uint32_t i = 0; i < total; ++i) {
-    const std::uint32_t idx = (sm.rr + i) % total;
-    const std::size_t slot = idx / warps_per_block_;
-    const std::uint32_t w = idx % warps_per_block_;
+  std::uint64_t veto = 0;
+  // Walk (slot, warp) incrementally from the round-robin cursor instead of
+  // dividing per probe; most picks touch only the first candidate.
+  std::uint32_t idx = sm.rr % total;
+  std::size_t slot = idx / warps_per_block_;
+  std::uint32_t w = idx % warps_per_block_;
+  const auto advance = [&] {
+    ++idx;
+    ++w;
+    if (w == warps_per_block_) {
+      w = 0;
+      ++slot;
+    }
+    if (idx == total) {
+      idx = 0;
+      slot = 0;
+    }
+  };
+  for (std::uint32_t i = 0; i < total; ++i, advance()) {
     ResidentBlock& rb = sm.slots[slot];
     if (!rb.exec) continue;
-    std::uint64_t dep;
-    if (fast_) {
+    std::uint64_t ready_at;
+    if (batched_ && rb.ready_state[w] != kReadyInvalid) {
+      // Hoisted scoreboard walk: nothing that feeds this warp's probe has
+      // changed since it was last computed.
+      if (rb.ready_state[w] == kReadySkip) continue;  // done or at barrier
+      ready_at = rb.ready_cache[w];
+    } else if (fast_) {
       const DecodedInstr* din = rb.exec->peek_decoded(w);
-      if (din == nullptr) continue;  // done or at barrier
-      dep = dep_ready_fast(rb, w, *din);
+      if (din == nullptr) {  // done or at barrier
+        if (batched_) {
+          rb.ready_state[w] = kReadySkip;
+          sm.batch_ok = true;  // the candidate population thinned
+        }
+        continue;
+      }
+      ready_at =
+          std::max(rb.exec->warp(w).ready_cycle, dep_ready_fast(rb, w, *din));
+      if (batched_ && !(p.chosen < 0 && ready_at <= sm.cycle)) {
+        // A probe about to be chosen gets invalidated by its own issue in
+        // this same step; storing it would be wasted work on the dominant
+        // saturated path.
+        rb.ready_cache[w] = ready_at;
+        rb.ready_state[w] = kReadyCached;
+      }
     } else {
       const Instruction* in = rb.exec->peek(w);
       if (in == nullptr) continue;  // done or at barrier
-      dep = dep_ready(rb, w, *in);
+      ready_at = std::max(rb.exec->warp(w).ready_cycle, dep_ready(rb, w, *in));
     }
-    const WarpState& ws = rb.exec->warp(w);
-    const std::uint64_t ready_at = std::max(ws.ready_cycle, dep);
-    if (ready_at <= sm.cycle) {
+    if (p.chosen < 0 && ready_at <= sm.cycle) {
       p.chosen = idx;
+      const WarpState& ws = rb.exec->warp(w);
+      if (batched_ && sm.batch_ok && rb.exec->warp_converged(w) &&
+          decp_->run_at(ws.block, ws.ip).len >= 2) {
+        p.batch = true;
+        // Any other candidate ready at or before the run's second issue
+        // offset already kills every batch longer than one instruction, so
+        // the tail scan can stop at the first such veto (its ready cycle
+        // is bound enough - issue_run only compares against it).
+        const RunSchedule& rs =
+            sched_->runs[decp_->block_start[ws.block] + ws.ip];
+        veto = sm.cycle + sched_->offs[rs.off_begin + 1];
+        continue;  // keep scanning: the rest bound the batch length
+      }
       return p;
     }
     if (ready_at == kNever) {
       p.pending = true;
     } else {
       p.next_event = std::min(p.next_event, ready_at);
+      if (ready_at <= veto) {
+        sm.batch_ok = false;  // saturated: stop attempting until it thins
+        break;
+      }
     }
   }
   return p;
 }
 
+// Batched issue of a converged straight-line run: replays, in one step,
+// exactly what the per-instruction loop would have done for the longest
+// prefix of the run that is provably uninterrupted.
+//
+// The closed form rests on three facts. (1) Inside a run every instruction
+// is a guard-free register ALU op, so its issue offset depends only on the
+// fixed issue/latency parameters and in-run producers - precomputed by
+// schedule_runs(). (2) External reads (slots/predicates with no in-run
+// writer) cannot *move* an issue offset, only veto it: if the scoreboard
+// says an external slot becomes ready after its first in-run read would
+// issue, the batch stops right before that reader and the shorter prefix
+// stays exact (instruction 0's reads were validated by pick_warp). No
+// scoreboard entry our run reads can change mid-run: other warps' loads
+// write other warps' scoreboards, serial completions are written at issue
+// time, and deferred merges only run between buckets. (3) After an issue
+// the round-robin cursor makes our warp the last candidate scanned, so
+// instruction j continues the run iff its issue cycle strictly beats every
+// other candidate's ready cycle (ties preempt: the other candidate is
+// scanned first). pick_warp's tail scan provides that bound; an unresolved
+// DRAM wake-up (deferred mode) resolves at or after the bucket end, so
+// `bucket_end` stands in for it exactly like the park-kStall reasoning.
+//
+// Cycle, sm_issue_cycles, sm_idle_cycles, scoreboard writebacks and - with
+// a sink attached - the per-instruction Issue/Stall spans all match the
+// per-instruction loop bit for bit. A batch that degenerates to one
+// instruction (preempted or externally capped) still issues through this
+// path - the k = 1 charge is the plain kAlu charge, minus the generic
+// dispatch machinery - and counts as a fallback.
+void TimedRun::issue_run(Sm& sm, std::uint32_t sm_id, std::size_t slot,
+                         std::uint32_t w, const Pick& pick, WorkerCtx& ctx,
+                         std::uint64_t bucket_end) {
+  ResidentBlock& rb = sm.slots[slot];
+  BlockExec& exec = *rb.exec;
+  WarpState& ws = exec.warp(w);
+  const std::size_t first = decp_->block_start[ws.block] + ws.ip;
+  const DecodedRun& run = decp_->runs[first];
+  const RunSchedule& rs = sched_->runs[first];
+  const std::uint32_t* off = sched_->offs.data() + rs.off_begin;
+  const std::uint64_t c = sm.cycle;
+  LaunchStats& stats = ctx.stats;
+
+  // The earliest cycle at which any other candidate could claim the issue
+  // slot. Unresolved DRAM wake-ups are bounded below by the bucket end.
+  const std::uint64_t other_eff =
+      pick.pending ? std::min(pick.next_event, bucket_end) : pick.next_event;
+
+  // Preemption bound first (cheap offset compares), then the external
+  // read-set validation caps the batch at the first surviving reader whose
+  // dependency the scoreboard cannot prove ready in time. Instruction 0's
+  // reads were already validated by pick_warp, so k never drops to zero.
+  std::uint32_t k = 1;
+  while (k < run.len && c + off[k] < other_eff) ++k;
+  const std::size_t rbase = static_cast<std::size_t>(w) * prog_.reg_file_size;
+  for (std::uint32_t e = 0; e < rs.ext_count; ++e) {
+    const RunScheduleTable::ExtDep& d = sched_->ext[rs.ext_begin + e];
+    if (d.idx < k && rb.reg_ready[rbase + d.slot] > c + d.off) k = d.idx;
+  }
+  if (rs.pext_count != 0) {
+    const std::size_t pbase = static_cast<std::size_t>(w) * prog_.num_preds;
+    for (std::uint32_t e = 0; e < rs.pext_count; ++e) {
+      const RunScheduleTable::ExtPred& d = sched_->pext[rs.pext_begin + e];
+      if (d.idx < k && rb.pred_ready[pbase + d.pred] > c + d.off) {
+        k = d.idx;
+      }
+    }
+  }
+
+  const DecodedRun* stepped = exec.step_run(w, k);
+  VGPU_EXPECTS_MSG(stepped != nullptr, "batched issue lost its run");
+  rb.ready_state[w] = kReadyInvalid;  // ip moved: the cached probe is stale
+  if (k < 2) {
+    ++stats.timed_run_fallbacks;
+    sm.batch_ok = false;  // saturated: stop attempting until it thins
+  } else {
+    ++stats.timed_runs_issued;
+  }
+  stats.warp_instructions += k;
+  stats.region_instructions[static_cast<std::size_t>(run.region)] += k;
+  if (k == run.len) {
+    for (std::size_t cidx = 0; cidx < run.class_counts.size(); ++cidx) {
+      stats.instr_class_counts[cidx] += run.class_counts[cidx];
+    }
+  } else {
+    // Prefix histogram = this run's minus the suffix run's (runs[] holds
+    // the suffix starting at every in-run position).
+    const DecodedRun& rest = decp_->runs[first + k];
+    for (std::size_t cidx = 0; cidx < run.class_counts.size(); ++cidx) {
+      stats.instr_class_counts[cidx] +=
+          run.class_counts[cidx] - rest.class_counts[cidx];
+    }
+  }
+
+  const std::uint64_t end = c + off[k - 1] + t_.alu_issue_cycles;
+  stats.sm_issue_cycles +=
+      static_cast<std::uint64_t>(k) * t_.alu_issue_cycles;
+  stats.sm_idle_cycles +=
+      off[k - 1] - static_cast<std::uint64_t>(k - 1) * t_.alu_issue_cycles;
+  sm.cycle = end;
+  ws.ready_cycle = end;
+
+  if (k == run.len) {
+    for (std::uint32_t i = 0; i < rs.wb_count; ++i) {
+      const RunScheduleTable::Writeback& wb = sched_->wb[rs.wb_begin + i];
+      set_slot_ready(rb, w, wb.slot, 1, c + wb.ready_off);
+    }
+  } else {
+    const DecodedInstr* const ds = decp_->instrs.data() + first;
+    for (std::uint32_t j = 0; j < k; ++j) {
+      set_slot_ready(rb, w, ds[j].dst_slot, 1,
+                     c + off[j] + t_.alu_issue_cycles +
+                         t_.alu_result_latency_cycles);
+    }
+  }
+
+  if (sink_ != nullptr) {
+    const DecodedInstr* const ds = decp_->instrs.data() + first;
+    std::uint64_t prev_end = c;
+    for (std::uint32_t j = 0; j < k; ++j) {
+      const std::uint64_t start = c + off[j];
+      if (start > prev_end) {
+        emit(sm_id, prev_end,
+             TimelineSink::StallSpan{sm_id, prev_end, start});
+      }
+      emit(sm_id, start,
+           TimelineSink::IssueSpan{sm_id, static_cast<std::uint32_t>(slot), w,
+                                   instr_class(ds[j].op), start,
+                                   start + t_.alu_issue_cycles});
+      prev_end = start + t_.alu_issue_cycles;
+    }
+  }
+}
+
 void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
                        std::uint64_t bucket_end) {
   LaunchStats& stats = ctx.stats;
-  // 1. release any satisfiable barriers
-  for (std::size_t slot = 0; slot < sm.slots.size(); ++slot) {
-    BlockExec* exec = sm.slots[slot].exec.get();
-    if (exec && exec->barrier_releasable()) {
-      exec->release_barrier();
-      for (std::uint32_t w = 0; w < exec->num_warps(); ++w) {
-        WarpState& ws = exec->warp(w);
-        if (!ws.done) {
-          ws.ready_cycle = std::max(ws.ready_cycle, sm.cycle + t_.barrier_cycles);
-          if (sink_ != nullptr) {
-            emit(sm_id, sm.cycle,
-                 TimelineSink::BarrierWait{
-                     sm_id, static_cast<std::uint32_t>(slot), w,
-                     sm.slots[slot].barrier_arrive[w], sm.cycle});
+  // 1. release any satisfiable barriers. Batched issues execute only in-run
+  // ALU instructions, which cannot change any warp's done/at-barrier state,
+  // so in batched mode the scan is elided until a generic step or a
+  // dispatch could have dirtied it (single-step mode keeps the
+  // unconditional scan of the reference schedule).
+  if (!batched_ || sm.barrier_dirty) {
+    for (std::size_t slot = 0; slot < sm.slots.size(); ++slot) {
+      BlockExec* exec = sm.slots[slot].exec.get();
+      if (exec && exec->barrier_releasable()) {
+        exec->release_barrier();
+        for (std::uint32_t w = 0; w < exec->num_warps(); ++w) {
+          WarpState& ws = exec->warp(w);
+          if (!ws.done) {
+            sm.slots[slot].ready_state[w] = kReadyInvalid;
+            ws.ready_cycle =
+                std::max(ws.ready_cycle, sm.cycle + t_.barrier_cycles);
+            if (sink_ != nullptr) {
+              emit(sm_id, sm.cycle,
+                   TimelineSink::BarrierWait{
+                       sm_id, static_cast<std::uint32_t>(slot), w,
+                       sm.slots[slot].barrier_arrive[w], sm.cycle});
+            }
           }
         }
       }
     }
+    sm.barrier_dirty = false;
   }
 
   // 2. pick an issueable warp
   const Pick pick = pick_warp(sm);
   if (pick.chosen < 0) {
+    sm.batch_ok = true;  // nothing issueable: the population thinned
     if (deferred_ && pick.pending && pick.next_event >= bucket_end) {
       // A candidate waits on an in-flight DRAM value whose exact arrival is
       // known only after the bucket merge, and every *known* wake-up is at
@@ -615,6 +868,14 @@ void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
   BlockExec& exec = *rb.exec;
   WarpState& ws = exec.warp(w);
 
+  // Batched issue of a straight-line run (a preempted batch degenerates to
+  // a single closed-form ALU issue inside issue_run - same charge as the
+  // kAlu case below, without the generic dispatch machinery).
+  if (pick.batch) {
+    issue_run(sm, sm_id, slot, w, pick, ctx, bucket_end);
+    return;
+  }
+
   // Snapshot what the writeback stage needs before step advances state.
   IssueView iv;
   if (fast_) {
@@ -627,6 +888,13 @@ void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
   }
   const std::uint64_t issue_start = sm.cycle;
   const StepResult res = exec.step(w, sm.cycle);
+  // Only a barrier arrival or an exit can change a warp's done/at-barrier
+  // state, the sole inputs of the barrier-release scan.
+  if (res.kind == StepResult::Kind::kBarrier ||
+      res.kind == StepResult::Kind::kExit) {
+    sm.barrier_dirty = true;
+  }
+  rb.ready_state[w] = kReadyInvalid;  // ip moved: the cached probe is stale
   ++stats.warp_instructions;
   ++stats.region_instructions[static_cast<std::size_t>(res.region)];
   ++stats.instr_class_counts[static_cast<std::size_t>(instr_class(res.op))];
@@ -737,8 +1005,10 @@ void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
                 std::max(channel_[p], static_cast<double>(sm.cycle));
             channel_[p] = start + service;
             if (sink_ != nullptr) {
-              sink_->on_dram({static_cast<std::uint32_t>(p), seg_bytes[s],
-                              start, start + service});
+              emit(sm_id, issue_start,
+                   TimelineSink::DramSpan{static_cast<std::uint32_t>(p),
+                                          seg_bytes[s], start,
+                                          start + service});
             }
             completion = std::max(
                 completion, static_cast<std::uint64_t>(start + service) + 1);
@@ -829,8 +1099,9 @@ void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
           channel_[p] = start + service;
           stats.global_bytes += 64;
           if (sink_ != nullptr) {
-            sink_->on_dram(
-                {static_cast<std::uint32_t>(p), 64, start, start + service});
+            emit(sm_id, issue_start,
+                 TimelineSink::DramSpan{static_cast<std::uint32_t>(p), 64,
+                                        start, start + service});
           }
           completion = std::max(
               completion, static_cast<std::uint64_t>(start + service) + 1);
@@ -933,8 +1204,10 @@ void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
                 std::max(channel_[p], static_cast<double>(sm.cycle));
             channel_[p] = start + service;
             if (sink_ != nullptr) {
-              sink_->on_dram({static_cast<std::uint32_t>(p), t_.tex_line_bytes,
-                              start, start + service});
+              emit(sm_id, issue_start,
+                   TimelineSink::DramSpan{static_cast<std::uint32_t>(p),
+                                          t_.tex_line_bytes, start,
+                                          start + service});
             }
             completion =
                 std::max(completion, static_cast<std::uint64_t>(start + service) +
@@ -1013,7 +1286,7 @@ void TimedRun::run_serial() {
     std::int64_t pick = -1;
     std::uint64_t best = kNever;
     for (std::uint32_t s = 0; s < n_sms_; ++s) {
-      if (!sms_[s].has_work()) continue;
+      if (!sms_[s].any_work) continue;
       if (sms_[s].cycle < best) {
         best = sms_[s].cycle;
         pick = s;
@@ -1027,7 +1300,7 @@ void TimedRun::run_serial() {
 
 // Steps one SM until it leaves the bucket, parks, or runs out of work.
 void TimedRun::run_sm(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx) {
-  while (sm.park == Park::kNone && sm.cycle < bucket_end_ && sm.has_work()) {
+  while (sm.park == Park::kNone && sm.cycle < bucket_end_ && sm.any_work) {
     sm_step(sm, sm_id, ctx, bucket_end_);
   }
 }
@@ -1138,6 +1411,7 @@ void TimedRun::finish_parked_stalls() {
     Sm& sm = sms_[s];
     if (sm.park != Park::kStall) continue;
     sm.park = Park::kNone;
+    sm.batch_ok = true;  // parked stall: the population thinned
     const Pick pick = pick_warp(sm);
     VGPU_EXPECTS_MSG(pick.chosen < 0 && !pick.pending,
                      "parked stall resolved to an issueable warp");
@@ -1165,7 +1439,7 @@ void TimedRun::run_parallel() {
     finish_parked_stalls();
     std::uint64_t base = kNever;
     for (std::uint32_t s = 0; s < n_sms_; ++s) {
-      if (sms_[s].has_work()) base = std::min(base, sms_[s].cycle);
+      if (sms_[s].any_work) base = std::min(base, sms_[s].cycle);
     }
     if (base == kNever) break;
     bucket_end_ = base + window;
@@ -1264,6 +1538,12 @@ LaunchStats TimedRun::run() {
   if (!opt_.reference) dec_.emplace(decode(prog_));
   decp_ = dec_ ? &*dec_ : nullptr;
   fast_ = decp_ != nullptr;
+  batched_ = fast_ && opt_.batched;
+  if (batched_) sched_.emplace(schedule_runs(*decp_, t_));
+  // Batched issue emits a run's events consecutively, while the serial
+  // per-instruction executor interleaves SMs - so a single-threaded batched
+  // run with a sink buffers too and restores the order in flush_events().
+  buffer_ = deferred_ || (sink_ != nullptr && batched_);
 
   workers_.resize(nthreads_);
   for (WorkerCtx& ctx : workers_) {
@@ -1277,8 +1557,8 @@ LaunchStats TimedRun::run() {
   if (deferred_) {
     reqs_.resize(n_sms_);
     segs_.resize(n_sms_);
-    if (sink_ != nullptr) events_.resize(n_sms_);
   }
+  if (sink_ != nullptr && buffer_) events_.resize(n_sms_);
 
   for (std::uint32_t s = 0; s < n_sms_; ++s) {
     sms_[s].slots.resize(occ.blocks_per_sm);
@@ -1328,7 +1608,7 @@ LaunchStats TimedRun::run() {
     }
   }
   if (sink_ != nullptr) {
-    if (deferred_) flush_events();
+    if (buffer_) flush_events();
     sink_->on_end(end_cycle);
   }
   return stats_;

@@ -45,6 +45,14 @@ struct TimingOptions {
   /// cycles - and identical memory contents; the differential tests
   /// exercise this flag.
   bool reference = false;
+  /// Issue whole converged straight-line runs (DecodedRun) per scheduling
+  /// decision on the fast path, replaying the closed-form issue schedule
+  /// precomputed at decode time instead of walking the scoreboard per
+  /// instruction. Bit-identical to single-step issue - LaunchStats::core()
+  /// *including cycles*, memory, and the sink event stream - at every
+  /// thread count (docs/performance.md, "Timed run batching"); off forces
+  /// per-instruction issue. Ignored on the reference path.
+  bool batched = true;
   /// Host threads stepping SMs (0 or 1 = single-threaded). Multi-threaded
   /// runs shard SMs across threads inside conservative cycle buckets and
   /// merge DRAM-partition traffic deterministically, so LaunchStats::core()

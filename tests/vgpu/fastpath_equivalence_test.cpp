@@ -44,6 +44,7 @@ RunOutput run_once(Device& dev, const Program& prog, const LaunchConfig& cfg,
     topt.driver = driver;
     topt.reference = reference;
     topt.threads = threads;
+    topt.batched = batched;
     r.stats = dev.launch_timed(prog, cfg, params, topt);
   } else {
     FunctionalOptions fopt;
@@ -107,6 +108,26 @@ void expect_equivalent(Device& dev, const Program& prog,
             << what << ": threads=" << threads << " cycles diverged";
         EXPECT_TRUE(par.stats.core() == fast.stats.core())
             << what << ": threads=" << threads << " stats diverged";
+      }
+      // Timed run batching (the default above) vs per-instruction issue:
+      // LaunchStats::core() *including cycles* and memory contents must be
+      // bit-identical at every thread count, on every kernel this suite
+      // pins - including the divergent and barrier-heavy ones where the
+      // batch must keep degenerating to single-instruction issue.
+      for (const std::uint32_t threads : {1u, 2u, 4u}) {
+        const RunOutput off =
+            run_once(dev, prog, cfg, params, driver, /*timed=*/true,
+                     /*reference=*/false, out_buf, out_words, threads,
+                     /*batched=*/false);
+        EXPECT_EQ(off.out, fast.out)
+            << what << ": timed single-step threads=" << threads
+            << " outputs diverged";
+        EXPECT_EQ(off.stats.cycles, fast.stats.cycles)
+            << what << ": timed single-step threads=" << threads
+            << " cycles diverged";
+        EXPECT_TRUE(off.stats.core() == fast.stats.core())
+            << what << ": timed single-step threads=" << threads
+            << " stats diverged";
       }
     }
   }

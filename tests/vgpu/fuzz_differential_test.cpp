@@ -179,6 +179,7 @@ DiffRun run_diff(const Program& prog, DriverModel driver, bool timed,
     topt.driver = driver;
     topt.reference = reference;
     topt.threads = threads;
+    topt.batched = batched;
     r.stats = dev.launch_timed(prog, cfg, params, topt);
   } else {
     FunctionalOptions fopt;
@@ -273,6 +274,16 @@ TEST_P(FuzzSeed, FastPathMatchesReferenceExecutor) {
           << "cycle count diverged, driver " << to_string(driver);
       EXPECT_TRUE(fast.stats.core() == ref.stats.core())
           << "timed stats diverged, driver " << to_string(driver);
+      // timed run batching vs per-instruction issue, same invariant -
+      // cycles included
+      const DiffRun single =
+          run_diff(p, driver, /*timed=*/true, false, 1, /*batched=*/false);
+      EXPECT_EQ(single.out, fast.out)
+          << "timed batched outputs diverged, driver " << to_string(driver);
+      EXPECT_EQ(single.stats.cycles, fast.stats.cycles)
+          << "timed batched cycles diverged, driver " << to_string(driver);
+      EXPECT_TRUE(single.stats.core() == fast.stats.core())
+          << "timed batched stats diverged, driver " << to_string(driver);
     }
   }
 }
@@ -302,6 +313,16 @@ TEST_P(FuzzSeed, ThreadedTimingMatchesSingleThreaded) {
       EXPECT_TRUE(par.stats.core() == solo.stats.core())
           << "timed stats diverged, driver " << to_string(driver)
           << ", threads " << threads;
+      // threading composes with per-instruction issue as well: batched off
+      // at every thread count still reproduces the solo (batched) run
+      const DiffRun par_off = run_diff(p, driver, /*timed=*/true, false,
+                                       threads, /*batched=*/false);
+      EXPECT_EQ(par_off.out, solo.out)
+          << "threaded single-step outputs diverged, driver "
+          << to_string(driver) << ", threads " << threads;
+      EXPECT_TRUE(par_off.stats.core() == solo.stats.core())
+          << "threaded single-step stats diverged, driver "
+          << to_string(driver) << ", threads " << threads;
     }
     // threading composes with the reference interpreter too
     const DiffRun ref = run_diff(p, driver, /*timed=*/true, true);

@@ -1,0 +1,231 @@
+// Unit tests for schedule_runs(): the closed-form issue schedules the
+// timing executor's batched dispatch replays. Exact-offset cases pin the
+// issue/latency arithmetic on hand-built chains; structural invariants are
+// then checked over every run of the real far-field kernels; and a
+// launch-level case confirms the batching counters move (and only move)
+// when TimingOptions::batched is on, at several thread counts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "gravit/kernels.hpp"
+#include "gravit/spawn.hpp"
+#include "layout/transform.hpp"
+#include "vgpu/builder.hpp"
+#include "vgpu/decode.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/opt.hpp"
+#include "vgpu/regalloc.hpp"
+
+namespace vgpu {
+namespace {
+
+DecodedProgram decode_built(Program& prog) {
+  run_standard_pipeline(prog);
+  allocate_registers(prog);
+  return decode(prog);
+}
+
+/// Every schedule of `tab` (for runs of `dec` with len >= 2) must satisfy
+/// the closed-form's structural contract:
+///  * the first instruction issues at offset 0 and later offsets are spaced
+///    by at least the issue interval (the SM issues serially);
+///  * no offset exceeds what a full dependence chain could produce;
+///  * each external dep is recorded at its first in-run reader: idx < len
+///    and off equals that reader's issue offset, slots deduplicated;
+///  * each writeback completes a run instruction: ready_off equals some
+///    instruction's issue offset plus issue + result latency, slots
+///    deduplicated.
+void check_invariants(const DecodedProgram& dec, const RunScheduleTable& tab,
+                      const TimingParams& t) {
+  ASSERT_EQ(tab.runs.size(), dec.instrs.size());
+  const std::uint32_t issue = t.alu_issue_cycles;
+  const std::uint32_t latency = t.alu_result_latency_cycles;
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < dec.instrs.size(); ++i) {
+    if (dec.runs[i].len < 2) continue;
+    ++checked;
+    const RunSchedule& rs = tab.runs[i];
+    const std::uint32_t len = dec.runs[i].len;
+    ASSERT_LE(rs.off_begin + len, tab.offs.size());
+    const std::uint32_t* offs = &tab.offs[rs.off_begin];
+    EXPECT_EQ(offs[0], 0u);
+    for (std::uint32_t j = 1; j < len; ++j) {
+      EXPECT_GE(offs[j], offs[j - 1] + issue) << "run " << i << " instr " << j;
+      // a chain of j dependent ALU ops can delay the issue by at most
+      // j * (issue + latency)
+      EXPECT_LE(offs[j], j * (issue + latency)) << "run " << i;
+    }
+    ASSERT_LE(rs.ext_begin + rs.ext_count, tab.ext.size());
+    for (std::uint32_t e = 0; e < rs.ext_count; ++e) {
+      const RunScheduleTable::ExtDep& d = tab.ext[rs.ext_begin + e];
+      ASSERT_LT(d.idx, len);
+      EXPECT_EQ(d.off, offs[d.idx]) << "run " << i << " ext " << e;
+      for (std::uint32_t f = 0; f < e; ++f) {
+        EXPECT_NE(tab.ext[rs.ext_begin + f].slot, d.slot)
+            << "duplicate external slot in run " << i;
+      }
+    }
+    ASSERT_LE(rs.wb_begin + rs.wb_count, tab.wb.size());
+    for (std::uint32_t wi = 0; wi < rs.wb_count; ++wi) {
+      const RunScheduleTable::Writeback& w = tab.wb[rs.wb_begin + wi];
+      bool from_run_instr = false;
+      for (std::uint32_t j = 0; j < len && !from_run_instr; ++j) {
+        from_run_instr = w.ready_off == offs[j] + issue + latency;
+      }
+      EXPECT_TRUE(from_run_instr)
+          << "run " << i << " writeback " << wi << " ready_off "
+          << w.ready_off << " matches no instruction";
+      for (std::uint32_t f = 0; f < wi; ++f) {
+        EXPECT_NE(tab.wb[rs.wb_begin + f].slot, w.slot)
+            << "duplicate writeback slot in run " << i;
+      }
+    }
+  }
+  EXPECT_GT(checked, 0u) << "no batching-eligible runs to check";
+}
+
+// A chain of dependent fadds: every consecutive pair of in-run offsets on
+// the chain is spaced by the full issue + result latency, and the final
+// writeback completes latency cycles after the last issue slot.
+TEST(RunSchedule, DependentChainSpacedByLatency) {
+  KernelBuilder kb("chain", 2);
+  Val i = kb.iadd(kb.imul(kb.ctaid(), kb.ntid()), kb.tid());
+  Val x = kb.ld_global_f32(kb.iadd(kb.param_u32(0), kb.shl(i, 2)));
+  Val a = kb.fadd(x, x);
+  Val b = kb.fadd(a, a);
+  Val c = kb.fadd(b, b);
+  kb.st_global(kb.iadd(kb.param_u32(1), kb.shl(i, 2)), c);
+  Program prog = std::move(kb).finish();
+  const DecodedProgram dec = decode_built(prog);
+  const TimingParams t = g80_spec().timing;
+  const RunScheduleTable tab = schedule_runs(dec, t);
+  check_invariants(dec, tab, t);
+
+  // somewhere a run carries the a->b->c chain: two consecutive offsets
+  // spaced by exactly issue + latency
+  bool latency_bound = false;
+  for (std::size_t i2 = 0; i2 < dec.instrs.size() && !latency_bound; ++i2) {
+    if (dec.runs[i2].len < 2) continue;
+    const RunSchedule& rs = tab.runs[i2];
+    for (std::uint32_t j = 1; j < dec.runs[i2].len; ++j) {
+      const std::uint32_t delta =
+          tab.offs[rs.off_begin + j] - tab.offs[rs.off_begin + j - 1];
+      latency_bound |= delta == t.alu_issue_cycles + t.alu_result_latency_cycles;
+    }
+  }
+  EXPECT_TRUE(latency_bound) << "dependent chain never latency-bound";
+}
+
+// Independent ops issue back to back: a run of fadds that all read the same
+// external input has offsets spaced by exactly the issue interval, one
+// deduplicated external dep for the shared input, and per-destination
+// writebacks.
+TEST(RunSchedule, IndependentOpsIssueBackToBack) {
+  KernelBuilder kb("indep", 2);
+  Val i = kb.iadd(kb.imul(kb.ctaid(), kb.ntid()), kb.tid());
+  // all four read only the loaded register - no materialized immediates,
+  // whose movs would make each pair latency-bound
+  Val x = kb.ld_global_f32(kb.iadd(kb.param_u32(0), kb.shl(i, 2)));
+  Val a = kb.fadd(x, x);
+  Val b = kb.fmul(x, x);
+  Val c = kb.fsub(x, x);
+  Val d = kb.fadd(x, x);
+  kb.st_global(kb.iadd(kb.param_u32(1), kb.shl(i, 2)),
+               kb.fadd(kb.fadd(a, b), kb.fadd(c, d)));
+  Program prog = std::move(kb).finish();
+  const DecodedProgram dec = decode_built(prog);
+  const TimingParams t = g80_spec().timing;
+  const RunScheduleTable tab = schedule_runs(dec, t);
+  check_invariants(dec, tab, t);
+
+  // the four independent fadds sit somewhere in one run with issue-spaced
+  // offsets: at least three consecutive deltas of exactly alu_issue_cycles
+  bool issue_bound = false;
+  for (std::size_t i2 = 0; i2 < dec.instrs.size() && !issue_bound; ++i2) {
+    if (dec.runs[i2].len < 4) continue;
+    const RunSchedule& rs = tab.runs[i2];
+    std::uint32_t streak = 0;
+    for (std::uint32_t j = 1; j < dec.runs[i2].len; ++j) {
+      const std::uint32_t delta =
+          tab.offs[rs.off_begin + j] - tab.offs[rs.off_begin + j - 1];
+      streak = delta == t.alu_issue_cycles ? streak + 1 : 0;
+      issue_bound |= streak >= 3;
+    }
+  }
+  EXPECT_TRUE(issue_bound) << "independent ops never issue-bound";
+}
+
+// The invariants hold across every run of the real application kernels -
+// rolled, unrolled + icm, and the register-capped spill variant.
+TEST(RunSchedule, ApplicationKernelInvariants) {
+  for (int variant = 0; variant < 3; ++variant) {
+    gravit::KernelOptions kopt;
+    if (variant == 1) {
+      kopt.unroll = 32;
+      kopt.icm = true;
+    } else if (variant == 2) {
+      kopt.max_regs = 16;
+    }
+    gravit::BuiltKernel built = gravit::make_farfield_kernel(kopt);
+    const DecodedProgram dec = decode(built.prog);
+    const TimingParams t = g80_spec().timing;
+    const RunScheduleTable tab = schedule_runs(dec, t);
+    check_invariants(dec, tab, t);
+  }
+}
+
+// Launch-level contract of the counters: batched timing moves
+// timed_runs_issued/timed_run_fallbacks, per-instruction issue reports
+// zero for both, and LaunchStats::core() (cycles included) and memory are
+// bit-identical between the two at every thread count.
+TEST(RunSchedule, BatchingCountersAndEquivalence) {
+  const std::uint32_t n = 256;
+  gravit::KernelOptions kopt;
+  gravit::BuiltKernel built = gravit::make_farfield_kernel(kopt);
+  Device dev(g80_spec(), 16u * 1024 * 1024);
+  const std::uint32_t n_pad = (n + kopt.block - 1) / kopt.block * kopt.block;
+  gravit::ParticleSet set = gravit::spawn_uniform_cube(n, 1.0f, 3);
+  set.pad_to(n_pad);
+  const std::vector<float> flat = set.flatten();
+  const std::vector<std::byte> image = layout::pack(built.phys, flat, n_pad);
+  Buffer img = dev.malloc(image.size());
+  dev.memcpy_h2d(img, image);
+  Buffer accel = dev.malloc(static_cast<std::size_t>(n_pad) * 12);
+  std::vector<std::uint32_t> params;
+  for (const std::uint64_t base : built.phys.group_bases(n_pad)) {
+    params.push_back(img.addr + static_cast<std::uint32_t>(base));
+  }
+  params.push_back(accel.addr);
+  params.push_back(n_pad / kopt.block);
+  const LaunchConfig cfg{n_pad / kopt.block, kopt.block};
+
+  auto run = [&](bool batched, std::uint32_t threads) {
+    TimingOptions topt;
+    topt.batched = batched;
+    topt.threads = threads;
+    LaunchStats st = dev.launch_timed(built.prog, cfg, params, topt);
+    std::vector<std::uint32_t> out(static_cast<std::size_t>(n_pad) * 3);
+    dev.download<std::uint32_t>(out, accel);
+    return std::pair{st, out};
+  };
+
+  const auto [on1, out_on1] = run(true, 1);
+  EXPECT_GT(on1.timed_runs_issued + on1.timed_run_fallbacks, 0u)
+      << "batched timing never attempted a run";
+  for (const std::uint32_t threads : {1u, 2u, 4u}) {
+    const auto [off, out_off] = run(false, threads);
+    EXPECT_EQ(off.timed_runs_issued, 0u);
+    EXPECT_EQ(off.timed_run_fallbacks, 0u);
+    EXPECT_EQ(out_off, out_on1) << "threads=" << threads;
+    EXPECT_EQ(off.cycles, on1.cycles) << "threads=" << threads;
+    EXPECT_TRUE(off.core() == on1.core()) << "threads=" << threads;
+    const auto [on, out_on] = run(true, threads);
+    EXPECT_EQ(out_on, out_on1) << "threads=" << threads;
+    EXPECT_TRUE(on.core() == on1.core()) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace vgpu

@@ -1,15 +1,17 @@
 // json_check - validate a JSON file written by the telemetry exporters.
 //
 // Parses the file with the same strict parser the tests use and optionally
-// requires top-level object keys to be present. The bench-smoke and
-// trace-smoke ctest steps run this over freshly emitted files, so a writer
-// regression (broken escaping, truncated output, dropped field) fails the
-// suite instead of silently producing unreadable artifacts.
+// requires object keys to be present. A required key may be a dotted path
+// ("stats.timed_runs_issued") which descends through nested objects. The
+// bench-smoke and trace-smoke ctest steps run this over freshly emitted
+// files, so a writer regression (broken escaping, truncated output, dropped
+// field) fails the suite instead of silently producing unreadable artifacts.
 //
-//   json_check <file> [required-top-level-key ...]
+//   json_check <file> [required-key[.nested-key ...] ...]
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
 
 #include "telemetry/json.hpp"
 
@@ -33,9 +35,22 @@ int main(int argc, char** argv) {
     return 1;
   }
   for (int a = 2; a < argc; ++a) {
-    if (!doc->is_object() || doc->find(argv[a]) == nullptr) {
-      std::fprintf(stderr, "json_check: %s: missing top-level key \"%s\"\n",
-                   argv[1], argv[a]);
+    const std::string path = argv[a];
+    const telemetry::JsonValue* node = &*doc;
+    std::size_t begin = 0;
+    bool found = true;
+    while (found) {
+      const std::size_t dot = path.find('.', begin);
+      const std::string key = path.substr(
+          begin, dot == std::string::npos ? std::string::npos : dot - begin);
+      node = node->is_object() ? node->find(key) : nullptr;
+      found = node != nullptr;
+      if (dot == std::string::npos) break;
+      begin = dot + 1;
+    }
+    if (!found) {
+      std::fprintf(stderr, "json_check: %s: missing key \"%s\"\n", argv[1],
+                   argv[a]);
       return 1;
     }
   }
