@@ -22,6 +22,7 @@ const std::chrono::steady_clock::time_point g_bench_start =
 /// Tables printed by this process, in print order, for the --json export.
 struct Report {
   std::vector<telemetry::JsonValue> tables;
+  telemetry::JsonValue summary = telemetry::JsonValue::object();
 };
 
 Report& report() {
@@ -134,6 +135,9 @@ int bench_main(int argc, char** argv, const BenchInfo& info) {
     telemetry::JsonValue& tables = root["tables"];
     tables = telemetry::JsonValue::array();
     for (const telemetry::JsonValue& t : report().tables) tables.push_back(t);
+    if (!report().summary.members().empty()) {
+      root["summary"] = report().summary;
+    }
     std::ofstream os(json_path);
     if (!os) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
@@ -146,6 +150,10 @@ int bench_main(int argc, char** argv, const BenchInfo& info) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;
+}
+
+void add_summary(const std::string& key, telemetry::JsonValue value) {
+  report().summary[key] = std::move(value);
 }
 
 std::string fmt(double v, int precision) {

@@ -55,6 +55,14 @@ struct BenchInfo {
 /// in the machine-readable output. Returns the process exit code.
 int bench_main(int argc, char** argv, const BenchInfo& info);
 
+/// Registers one key of the record's top-level `summary` object (written
+/// by bench_main when at least one key was added). Tables serialize as
+/// arrays, which dotted-path validators like tools/json_check cannot
+/// reach; scalar headline results (top stall reason, memory-bound
+/// fraction, ...) go here so the ctest gate can assert on them directly.
+/// Re-adding a key overwrites the previous value.
+void add_summary(const std::string& key, telemetry::JsonValue value);
+
 [[nodiscard]] std::string fmt(double v, int precision = 2);
 
 /// Runs the Sec. III strip-down read benchmark for one layout/driver:

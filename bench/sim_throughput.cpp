@@ -34,6 +34,16 @@
 // reference; any divergence makes the binary exit non-zero. The ctest
 // gates run --timed-batched=on and --timed-batched=off.
 //
+// A fifth axis is stall attribution (TimingOptions::attribution): the
+// attribution table runs the far-field rolled-SoAoaS workload once plain
+// and once with the per-PC stall-attribution table enabled, and demands
+// (a) bit-identical LaunchStats::core() - cycles included - between the
+// two, and (b) exact reconciliation of the attribution table against the
+// attributed run's LaunchStats (every issue, stall cycle, request and
+// byte accounted). The stall-reason breakdown is printed and the headline
+// verdict (top stall reason, memory-bound fraction) is exported in the
+// record's `summary` object for the json_check ctest gate.
+//
 // Flags: --n=<particles> (default 4096, rounded up to a tile multiple)
 // scales the workload; --threads=<k> (default 4) is the maximum thread
 // count the scaling table sweeps to; --batched=on|off (default on) selects
@@ -42,6 +52,7 @@
 // executor (the dispatch differentials always run both modes);
 // --json=<path> exports the tables (bench_util).
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -55,6 +66,7 @@
 #include "gravit/spawn.hpp"
 #include "layout/microbench.hpp"
 #include "layout/transform.hpp"
+#include "vgpu/attribution.hpp"
 #include "vgpu/device.hpp"
 
 namespace {
@@ -226,6 +238,83 @@ void run_thread_scaling(std::uint32_t n, std::uint32_t max_threads) {
           "depends on host cores; simulated results never do)");
 }
 
+// Stall-attribution differential on the far-field rolled-SoAoaS workload:
+// the attributed run must reproduce the plain run's LaunchStats::core()
+// bit-for-bit (attribution never perturbs the model) and the per-PC table
+// must reconcile exactly with the run's own LaunchStats. The breakdown of
+// stall cycles by reason is printed, and the headline verdict lands in the
+// exported record's `summary` object.
+void run_attribution(std::uint32_t n) {
+  Workload w = make_farfield(gravit::KernelOptions{}, n);
+  const RunResult plain = run_one(w, /*timed=*/true, /*reference=*/false);
+
+  vgpu::Attribution attr;
+  RunResult attributed;
+  {
+    const Clock::time_point t0 = Clock::now();
+    vgpu::TimingOptions topt;
+    topt.batched = g_timed_batched;
+    topt.attribution = &attr;
+    attributed.stats = vgpu::run_timed(w.prog, w.dev->spec(), w.dev->gmem(),
+                                       w.cfg, w.params, topt);
+    attributed.wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  }
+
+  const bool identical = attributed.stats.core() == plain.stats.core();
+  const bool reconciled =
+      attr.collected && vgpu::reconciles(attr, attributed.stats);
+  g_summary.all_identical =
+      g_summary.all_identical && identical && reconciled;
+
+  bench::Table cost({"run", "wall ms", "Minstr/s", "cycles",
+                     "stats identical", "reconciles"});
+  cost.add_row({"plain", fmt(plain.wall_ms, 1), fmt(plain.minstr_per_s(), 2),
+                std::to_string(plain.stats.cycles), "yes", "-"});
+  cost.add_row({"attributed", fmt(attributed.wall_ms, 1),
+                fmt(attributed.minstr_per_s(), 2),
+                std::to_string(attributed.stats.cycles),
+                identical ? "yes" : "NO", reconciled ? "yes" : "NO"});
+  cost.print("stall attribution overhead",
+             "farfield-SoAoaS n=" + std::to_string(n) +
+                 "; the attributed run must report the plain run's cycles "
+                 "exactly and its per-PC table must reconcile with "
+                 "LaunchStats to the cycle/byte");
+
+  bench::Table stall({"stall reason", "cycles", "% of stall"});
+  std::array<std::size_t, vgpu::kStallReasonCount> order{};
+  for (std::size_t r = 0; r < order.size(); ++r) order[r] = r;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (attr.stall_by_reason[a] != attr.stall_by_reason[b]) {
+      return attr.stall_by_reason[a] > attr.stall_by_reason[b];
+    }
+    return a < b;
+  });
+  for (const std::size_t r : order) {
+    const std::uint64_t cycles = attr.stall_by_reason[r];
+    if (cycles == 0) continue;
+    stall.add_row({vgpu::to_string(static_cast<vgpu::StallReason>(r)),
+                   std::to_string(cycles),
+                   fmt(attr.total_stall_cycles > 0
+                           ? 100.0 * static_cast<double>(cycles) /
+                                 static_cast<double>(attr.total_stall_cycles)
+                           : 0.0,
+                       1)});
+  }
+  stall.print("stall attribution - why every no-issue cycle was spent",
+              "top reason: " + std::string(vgpu::to_string(
+                                   attr.top_stall_reason())) +
+                  "; memory-bound fraction " +
+                  fmt(attr.memory_bound_fraction(), 3));
+
+  bench::add_summary("top_stall_reason",
+                     vgpu::to_string(attr.top_stall_reason()));
+  bench::add_summary("memory_bound_fraction", attr.memory_bound_fraction());
+  bench::add_summary("attribution_reconciles", identical && reconciled);
+  bench::add_summary("total_stall_cycles", attr.total_stall_cycles);
+  bench::add_summary("cycles", attributed.stats.cycles);
+}
+
 void run_all(std::uint32_t n) {
   std::vector<Workload> workloads;
   {
@@ -386,6 +475,7 @@ int main(int argc, char** argv) {
 
   run_all(n);
   run_thread_scaling(n, max_threads);
+  run_attribution(n);
   const int rc = bench::bench_main(
       argc, argv,
       {"sim_throughput", "far-field + read kernels", "host Minstr/s"});

@@ -14,6 +14,12 @@
 //     --series-out=<path>  write the cycle-bucketed counter series JSON
 //     --bucket=<cycles>    series resolution (default 2048)
 //     --json=<path>        write the KernelProfile record as JSON
+//                          (includes the stall-attribution table)
+//     --hotspots[=N]       print the stall-attribution hotspot report:
+//                          roofline verdict, stall-reason breakdown, the
+//                          top-N PCs with disassembly (default 10), the
+//                          per-region coalescing table and the per-buffer
+//                          address-window heatmap
 //     --threads=<k>        host threads for the timing executor (default 1;
 //                          the profile and timeline are identical for any k)
 #include <cstdio>
@@ -61,6 +67,8 @@ int main(int argc, char** argv) {
   std::string trace_out, series_out, json_out;
   std::uint64_t bucket = 2048;
   std::uint32_t threads = 1;
+  bool hotspots = false;
+  std::uint32_t hotspot_n = 10;
   std::vector<const char*> pos;
   for (int a = 1; a < argc; ++a) {
     const char* arg = argv[a];
@@ -72,6 +80,12 @@ int main(int argc, char** argv) {
                                    1ull << 32);
     else if (std::strncmp(arg, "--threads=", 10) == 0)
       threads = examples::parse_u32(argv[0], "--threads", arg + 10, 1, 64);
+    else if (std::strcmp(arg, "--hotspots") == 0) hotspots = true;
+    else if (std::strncmp(arg, "--hotspots=", 11) == 0) {
+      hotspots = true;
+      hotspot_n =
+          examples::parse_u32(argv[0], "--hotspots", arg + 11, 1, 4096);
+    }
     else pos.push_back(arg);
   }
 
@@ -122,6 +136,12 @@ int main(int argc, char** argv) {
   const vgpu::KernelProfile profile =
       vgpu::profile_kernel(kernel.prog, dev, cfg, params, topt);
   std::printf("%s", vgpu::format_profile(profile, dev.spec()).c_str());
+  if (hotspots) {
+    std::printf(
+        "%s",
+        vgpu::format_hotspots(profile, kernel.prog, dev.spec(), hotspot_n)
+            .c_str());
+  }
 
   int rc = 0;
   if (!trace_out.empty() &&

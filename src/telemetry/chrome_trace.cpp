@@ -47,9 +47,10 @@ std::uint32_t ChromeTraceSink::warp_tid(std::uint32_t slot,
 
 void ChromeTraceSink::span(std::uint32_t pid, std::uint32_t tid,
                            std::uint16_t name_id, double start, double end,
-                           double value, bool has_value) {
+                           double value, bool has_value,
+                           std::uint16_t arg_str) {
   if (!(end > start)) return;  // zero-length spans render as noise
-  events_.push_back({'B', start, pid, tid, name_id, value, has_value});
+  events_.push_back({'B', start, pid, tid, name_id, value, has_value, arg_str});
   events_.push_back({'E', end, pid, tid, name_id, 0.0, false});
 }
 
@@ -64,8 +65,11 @@ void ChromeTraceSink::on_issue(const IssueSpan& s) {
 }
 
 void ChromeTraceSink::on_stall(const StallSpan& s) {
+  // The dominant StallReason rides in args so Perfetto shows *why* the SM
+  // window stalled, not just that it did.
   span(s.sm, 0, intern("stall"), static_cast<double>(s.start),
-       static_cast<double>(s.end), 0.0, false);
+       static_cast<double>(s.end), 0.0, false,
+       intern(vgpu::to_string(s.reason)));
 }
 
 void ChromeTraceSink::on_barrier_wait(const BarrierWait& s) {
@@ -164,6 +168,9 @@ void ChromeTraceSink::write(std::ostream& os) const {
       } else {
         v["args"]["bytes"] = e.value;
       }
+    }
+    if (e.arg_str != Event::kNoArgStr) {
+      v["args"]["reason"] = names_[e.arg_str];
     }
     emit(v);
   }

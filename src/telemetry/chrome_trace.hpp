@@ -55,6 +55,7 @@ class ChromeTraceSink : public vgpu::TimelineSink {
 
  private:
   struct Event {
+    static constexpr std::uint16_t kNoArgStr = 0xFFFF;
     char ph = 'B';           // B / E / C
     double ts = 0.0;         // cycles; converted on write
     std::uint32_t pid = 0;
@@ -62,10 +63,14 @@ class ChromeTraceSink : public vgpu::TimelineSink {
     std::uint16_t name_id = 0;  // index into names_
     double value = 0.0;         // counter value or args payload (bytes)
     bool has_value = false;
+    /// Interned string payload (args.reason on stall spans), kNoArgStr
+    /// when absent.
+    std::uint16_t arg_str = kNoArgStr;
   };
 
   void span(std::uint32_t pid, std::uint32_t tid, std::uint16_t name_id,
-            double start, double end, double value, bool has_value);
+            double start, double end, double value, bool has_value,
+            std::uint16_t arg_str = Event::kNoArgStr);
   [[nodiscard]] std::uint16_t intern(const std::string& name);
   [[nodiscard]] std::uint32_t warp_tid(std::uint32_t slot,
                                        std::uint32_t warp) const;

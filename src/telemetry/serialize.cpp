@@ -70,6 +70,57 @@ JsonValue to_json(const vgpu::KernelProfile& p) {
   v["avg_txn_per_request"] = p.avg_txn_per_request;
   v["divergence_rate"] = p.divergence_rate;
   v["stats"] = to_json(p.stats);
+  v["attribution"] = to_json(p.attribution);
+  return v;
+}
+
+JsonValue to_json(const vgpu::Attribution& a) {
+  JsonValue v = JsonValue::object();
+  v["collected"] = a.collected;
+  if (!a.collected) return v;
+  v["total_issues"] = a.total_issues;
+  v["total_issue_cycles"] = a.total_issue_cycles;
+  v["total_stall_cycles"] = a.total_stall_cycles;
+  v["top_stall_reason"] = vgpu::to_string(a.top_stall_reason());
+  v["memory_bound_fraction"] = a.memory_bound_fraction();
+  JsonValue& by_reason = v["stall_by_reason"];
+  for (std::size_t r = 0; r < vgpu::kStallReasonCount; ++r) {
+    by_reason[vgpu::to_string(static_cast<vgpu::StallReason>(r))] =
+        a.stall_by_reason[r];
+  }
+  JsonValue& rows = v["pcs"];
+  rows = JsonValue::array();
+  for (std::size_t pc = 0; pc < a.pcs.size(); ++pc) {
+    const vgpu::PcAttribution& c = a.pcs[pc];
+    if (c.issues == 0 && c.stall_total() == 0) continue;
+    JsonValue row = JsonValue::object();
+    row["pc"] = static_cast<std::uint64_t>(pc);
+    row["block"] = c.block;
+    row["ip"] = c.ip;
+    row["region"] = vgpu::to_string(c.region);
+    row["issues"] = c.issues;
+    row["issue_cycles"] = c.issue_cycles;
+    JsonValue& stall = row["stall_cycles"];
+    for (std::size_t r = 0; r < vgpu::kStallReasonCount; ++r) {
+      if (c.stall_cycles[r] == 0) continue;
+      stall[vgpu::to_string(static_cast<vgpu::StallReason>(r))] =
+          c.stall_cycles[r];
+    }
+    if (c.global_requests > 0) {
+      row["global_requests"] = c.global_requests;
+      row["coalesced_requests"] = c.coalesced_requests;
+      row["uncoalesced_requests"] = c.uncoalesced_requests;
+      row["global_transactions"] = c.global_transactions;
+      row["addr_lo"] = c.addr_lo;
+      row["addr_hi"] = c.addr_hi;
+    }
+    if (c.dram_bytes > 0) row["dram_bytes"] = c.dram_bytes;
+    if (c.shared_requests > 0) {
+      row["shared_requests"] = c.shared_requests;
+      row["shared_conflict_extra"] = c.shared_conflict_extra;
+    }
+    rows.push_back(std::move(row));
+  }
   return v;
 }
 

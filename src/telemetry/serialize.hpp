@@ -7,6 +7,7 @@
 #pragma once
 
 #include "telemetry/json.hpp"
+#include "vgpu/attribution.hpp"
 #include "vgpu/launch.hpp"
 #include "vgpu/occupancy.hpp"
 #include "vgpu/profiler.hpp"
@@ -16,5 +17,9 @@ namespace telemetry {
 [[nodiscard]] JsonValue to_json(const vgpu::LaunchStats& s);
 [[nodiscard]] JsonValue to_json(const vgpu::OccupancyResult& o);
 [[nodiscard]] JsonValue to_json(const vgpu::KernelProfile& p);
+/// Stall attribution: totals, stall cycles by reason name, the verdict
+/// fields (top reason, memory-bound fraction) and the active per-PC rows
+/// (PCs that were never issued and never stalled are omitted).
+[[nodiscard]] JsonValue to_json(const vgpu::Attribution& a);
 
 }  // namespace telemetry

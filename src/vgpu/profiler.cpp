@@ -1,6 +1,9 @@
 #include "vgpu/profiler.hpp"
 
+#include <algorithm>
+#include <array>
 #include <sstream>
+#include <vector>
 
 #include "vgpu/check.hpp"
 #include "vgpu/occupancy.hpp"
@@ -22,7 +25,13 @@ KernelProfile profile_kernel(const Program& prog, Device& dev,
       dev.spec(), cfg.block_threads, prog.num_phys_regs, prog.shared_bytes);
   p.limiter = occ.limiter;
 
-  p.stats = run_timed(prog, dev.spec(), dev.gmem(), cfg, params, opt);
+  // Always attribute: collection is cycle-identical, and every report
+  // (hotspots, JSON export) can then rely on the table being present. A
+  // caller-supplied table still receives its copy.
+  TimingOptions topt = opt;
+  topt.attribution = &p.attribution;
+  p.stats = run_timed(prog, dev.spec(), dev.gmem(), cfg, params, topt);
+  if (opt.attribution != nullptr) *opt.attribution = p.attribution;
   const LaunchStats& s = p.stats;
 
   const std::uint32_t n_sms = opt.sim_sms == 0 ? dev.spec().sm_count
@@ -130,6 +139,175 @@ std::string format_profile(const KernelProfile& p, const DeviceSpec& spec) {
        static_cast<unsigned long long>(s.barriers),
        static_cast<unsigned long long>(s.divergent_branches),
        100.0 * p.divergence_rate);
+  return std::move(os).str();
+}
+
+std::string format_hotspots(const KernelProfile& p, const Program& prog,
+                            const DeviceSpec& spec, std::uint32_t top_n) {
+  std::ostringstream os;
+  char buf[200];
+  auto line = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    os << buf << "\n";
+  };
+  os << "=== vgpu hotspots: " << p.kernel_name << " ===\n";
+  const Attribution& a = p.attribution;
+  if (!a.collected) {
+    os << "(no attribution: reference-interpreter run)\n";
+    return std::move(os).str();
+  }
+
+  // Roofline-style verdict: where did the accounted SM cycles go, and how
+  // close did the DRAM traffic come to the machine's peak bandwidth?
+  const double peak_gbps =
+      static_cast<double>(spec.timing.dram_bytes_per_cycle) *
+      spec.core_clock_khz * 1000.0 / 1e9;
+  const double mem_frac = a.memory_bound_fraction();
+  const std::uint64_t accounted = a.total_issue_cycles + a.total_stall_cycles;
+  const char* verdict = mem_frac >= 0.5 ? "MEMORY-BOUND" : "ISSUE-BOUND";
+  line("verdict        : %s  (%.0f%% of SM cycles waiting on DRAM-path data)",
+       verdict, 100.0 * mem_frac);
+  line("dram bandwidth : %.2f GB/s achieved of %.1f GB/s peak (%.0f%%)",
+       p.achieved_gbps, peak_gbps,
+       peak_gbps > 0 ? 100.0 * p.achieved_gbps / peak_gbps : 0.0);
+  line("accounted      : %llu SM cycles  (%llu issue + %llu stall)",
+       static_cast<unsigned long long>(accounted),
+       static_cast<unsigned long long>(a.total_issue_cycles),
+       static_cast<unsigned long long>(a.total_stall_cycles));
+
+  // Stall breakdown, largest reason first.
+  os << "stall breakdown:\n";
+  std::array<std::size_t, kStallReasonCount> order{};
+  for (std::size_t r = 0; r < kStallReasonCount; ++r) order[r] = r;
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    if (a.stall_by_reason[x] != a.stall_by_reason[y]) {
+      return a.stall_by_reason[x] > a.stall_by_reason[y];
+    }
+    return x < y;
+  });
+  for (const std::size_t r : order) {
+    if (a.stall_by_reason[r] == 0) continue;
+    line("  %-18s %12llu cycles  (%5.1f%%)",
+         to_string(static_cast<StallReason>(r)),
+         static_cast<unsigned long long>(a.stall_by_reason[r]),
+         a.total_stall_cycles > 0
+             ? 100.0 * static_cast<double>(a.stall_by_reason[r]) /
+                   static_cast<double>(a.total_stall_cycles)
+             : 0.0);
+  }
+
+  // Top-N PCs by accounted cycles (issue + stall), with disassembly.
+  std::vector<std::uint32_t> pcs(a.pcs.size());
+  const auto npcs = static_cast<std::uint32_t>(pcs.size());
+  for (std::uint32_t i = 0; i < npcs; ++i) pcs[i] = i;
+  std::sort(pcs.begin(), pcs.end(), [&](std::uint32_t x, std::uint32_t y) {
+    const std::uint64_t cx = a.pcs[x].issue_cycles + a.pcs[x].stall_total();
+    const std::uint64_t cy = a.pcs[y].issue_cycles + a.pcs[y].stall_total();
+    if (cx != cy) return cx > cy;
+    return x < y;
+  });
+  const std::uint32_t shown =
+      std::min<std::uint32_t>(top_n, static_cast<std::uint32_t>(pcs.size()));
+  line("top %u PCs by accounted cycles:", shown);
+  for (std::uint32_t i = 0; i < shown; ++i) {
+    const std::uint32_t pc = pcs[i];
+    const PcAttribution& c = a.pcs[pc];
+    const std::uint64_t cost = c.issue_cycles + c.stall_total();
+    if (cost == 0) break;
+    StallReason top = StallReason::kPipeline;
+    for (std::size_t r = 1; r < kStallReasonCount; ++r) {
+      if (c.stall_cycles[r] >
+          c.stall_cycles[static_cast<std::size_t>(top)]) {
+        top = static_cast<StallReason>(r);
+      }
+    }
+    const Instruction& in = prog.blocks[c.block].instrs[c.ip];
+    line("  #%-2u pc %-4u b%u.%-3u [%-11s] %10llu cyc (%llu issue + %llu "
+         "stall, top: %s)",
+         i + 1, pc, c.block, c.ip, to_string(c.region),
+         static_cast<unsigned long long>(cost),
+         static_cast<unsigned long long>(c.issue_cycles),
+         static_cast<unsigned long long>(c.stall_total()),
+         c.stall_total() > 0 ? to_string(top) : "-");
+    os << "        " << disassemble(in) << "\n";
+    if (c.global_requests > 0) {
+      line("        %llu reqs (%.0f%% coalesced), %llu txns, %llu B, addr "
+           "[0x%llx, 0x%llx)",
+           static_cast<unsigned long long>(c.global_requests),
+           100.0 * static_cast<double>(c.coalesced_requests) /
+               static_cast<double>(c.global_requests),
+           static_cast<unsigned long long>(c.global_transactions),
+           static_cast<unsigned long long>(c.dram_bytes),
+           static_cast<unsigned long long>(c.addr_lo),
+           static_cast<unsigned long long>(c.addr_hi));
+    }
+  }
+
+  // Per-region coalescing: the paper's S/B/P split, by memory behaviour.
+  os << "per-region coalescing:\n";
+  for (std::size_t reg = 0; reg < kRegionCount; ++reg) {
+    std::uint64_t req = 0;
+    std::uint64_t coal = 0;
+    std::uint64_t txn = 0;
+    std::uint64_t bytes = 0;
+    for (const PcAttribution& c : a.pcs) {
+      if (static_cast<std::size_t>(c.region) != reg) continue;
+      req += c.global_requests;
+      coal += c.coalesced_requests;
+      txn += c.global_transactions;
+      bytes += c.dram_bytes;
+    }
+    if (req == 0 && bytes == 0) continue;
+    line("  %-12s %10llu reqs  %5.1f%% coalesced  %10llu txns  %12llu B",
+         to_string(static_cast<Region>(reg)),
+         static_cast<unsigned long long>(req),
+         req > 0 ? 100.0 * static_cast<double>(coal) /
+                       static_cast<double>(req)
+                 : 0.0,
+         static_cast<unsigned long long>(txn),
+         static_cast<unsigned long long>(bytes));
+  }
+
+  // Per-buffer heatmap: cluster the PC address windows into disjoint
+  // buffers (windows that overlap touch the same allocation) and show
+  // where the coalesced and uncoalesced traffic lands.
+  struct Window {
+    std::uint64_t lo, hi;
+    std::uint64_t req, coal, txn, bytes;
+  };
+  std::vector<Window> win;
+  for (const PcAttribution& c : a.pcs) {
+    if (c.global_requests == 0) continue;
+    win.push_back(Window{c.addr_lo, c.addr_hi, c.global_requests,
+                         c.coalesced_requests, c.global_transactions,
+                         c.dram_bytes});
+  }
+  std::sort(win.begin(), win.end(),
+            [](const Window& x, const Window& y) { return x.lo < y.lo; });
+  std::vector<Window> buffers;
+  for (const Window& w : win) {
+    if (!buffers.empty() && w.lo < buffers.back().hi) {
+      Window& b = buffers.back();
+      b.hi = std::max(b.hi, w.hi);
+      b.req += w.req;
+      b.coal += w.coal;
+      b.txn += w.txn;
+      b.bytes += w.bytes;
+    } else {
+      buffers.push_back(w);
+    }
+  }
+  if (!buffers.empty()) {
+    os << "per-buffer heatmap (global address windows):\n";
+    for (const Window& b : buffers) {
+      line("  [0x%08llx, 0x%08llx) %10llu reqs  %5.1f%% coalesced  %12llu B",
+           static_cast<unsigned long long>(b.lo),
+           static_cast<unsigned long long>(b.hi),
+           static_cast<unsigned long long>(b.req),
+           100.0 * static_cast<double>(b.coal) / static_cast<double>(b.req),
+           static_cast<unsigned long long>(b.bytes));
+    }
+  }
   return std::move(os).str();
 }
 

@@ -11,6 +11,7 @@
 #include <span>
 #include <string>
 
+#include "vgpu/attribution.hpp"
 #include "vgpu/device.hpp"
 #include "vgpu/launch.hpp"
 #include "vgpu/occupancy.hpp"
@@ -21,6 +22,10 @@ namespace vgpu {
 struct KernelProfile {
   std::string kernel_name;
   LaunchStats stats;
+  /// Per-PC stall attribution of the profiled run. Always collected on
+  /// the fast path (collection is cycle-identical); `collected` is false
+  /// only for reference-interpreter profiles.
+  Attribution attribution;
   std::uint32_t regs_per_thread = 0;
   std::uint32_t shared_bytes = 0;
   std::uint32_t block_threads = 0;
@@ -44,5 +49,15 @@ struct KernelProfile {
 /// Human-readable report (fixed-width, ~25 lines).
 [[nodiscard]] std::string format_profile(const KernelProfile& profile,
                                          const DeviceSpec& spec);
+
+/// Hotspot report from the profile's stall attribution: roofline-style
+/// verdict (issue-bound vs memory-bound, achieved vs peak DRAM bandwidth),
+/// stall-reason breakdown, the top-N PCs with their disassembly, a
+/// per-region coalescing table and a per-buffer address-window heatmap.
+/// `prog` must be the profiled program (the PC table indexes its blocks).
+[[nodiscard]] std::string format_hotspots(const KernelProfile& profile,
+                                          const Program& prog,
+                                          const DeviceSpec& spec,
+                                          std::uint32_t top_n = 10);
 
 }  // namespace vgpu

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "vgpu/attribution.hpp"
 #include "vgpu/launch.hpp"
 
 namespace vgpu {
@@ -48,9 +49,12 @@ class TimelineSink {
 
   /// A window in which the SM had resident work but nothing issueable
   /// (scoreboard stalls / memory waits) - the source of sm_idle_cycles.
+  /// `reason` classifies the earliest wake-up that ended the window (the
+  /// dominant cause: every other candidate would have woken later).
   struct StallSpan {
     std::uint32_t sm = 0;
     std::uint64_t start = 0, end = 0;
+    StallReason reason = StallReason::kPipeline;
   };
 
   /// One warp waiting at a block barrier, from its arrival to the release.

@@ -32,6 +32,25 @@ constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
 constexpr std::uint32_t kNoRing = std::numeric_limits<std::uint32_t>::max();
 constexpr std::size_t kNoEvent = std::numeric_limits<std::size_t>::max();
 
+// StallReason values as plain bytes for the hot metadata arrays.
+constexpr std::uint8_t kRsnPipeline =
+    static_cast<std::uint8_t>(StallReason::kPipeline);
+constexpr std::uint8_t kRsnIssuePort =
+    static_cast<std::uint8_t>(StallReason::kIssuePort);
+constexpr std::uint8_t kRsnBarrier =
+    static_cast<std::uint8_t>(StallReason::kBarrier);
+constexpr std::uint8_t kRsnShared =
+    static_cast<std::uint8_t>(StallReason::kShared);
+constexpr std::uint8_t kRsnConst =
+    static_cast<std::uint8_t>(StallReason::kConst);
+constexpr std::uint8_t kRsnLocal =
+    static_cast<std::uint8_t>(StallReason::kLocal);
+constexpr std::uint8_t kRsnTex = static_cast<std::uint8_t>(StallReason::kTex);
+constexpr std::uint8_t kRsnGlobal =
+    static_cast<std::uint8_t>(StallReason::kGlobal);
+constexpr std::uint8_t kRsnDramBusy =
+    static_cast<std::uint8_t>(StallReason::kDramBusy);
+
 /// VGPU_TRACE is looked up once per process: a per-run getenv would race
 /// with concurrently launched runs, and the answer cannot change under us
 /// anyway (we never setenv).
@@ -79,6 +98,13 @@ struct ResidentBlock {
   /// bumped, at-barrier cleared), and a dispatch into the slot.
   std::vector<std::uint64_t> ready_cache;
   std::vector<std::uint8_t> ready_state;
+  /// Classification metadata (classify_ runs only; empty otherwise so the
+  /// attribution layer is zero-cost when off). reg_reason mirrors
+  /// reg_ready: why each slot's value arrives when it does (a StallReason
+  /// as uint8). warp_reason explains ready_cycle - normally the warp's own
+  /// issue slot, kBarrier right after a barrier release.
+  std::vector<std::uint8_t> reg_reason;
+  std::vector<std::uint8_t> warp_reason;
   // Timeline bookkeeping (only consumed when a sink is attached).
   std::uint32_t block_id = 0;
   std::uint64_t start_cycle = 0;
@@ -177,6 +203,11 @@ struct DeferredReq {
   std::uint32_t dst_slot = kNoSlot;
   std::uint32_t width_words = 1;
   std::uint32_t ring_idx = kNoRing;  ///< MSHR ring entry, or kNoRing
+  /// Classification of the scoreboard write (kRsnGlobal/kRsnLocal/kRsnTex),
+  /// upgraded to kRsnDramBusy at the merge when any segment queued behind
+  /// earlier channel traffic - the same queued test the serial path applies
+  /// at issue time, so the recorded reason is thread-count invariant.
+  std::uint8_t base_reason = kRsnGlobal;
 };
 
 /// A buffered sink event. Multi-threaded runs cannot call the sink from
@@ -203,6 +234,11 @@ struct WorkerCtx {
   std::optional<ConflictMemo> cmemo;
   CoalesceResult scratch;
   LaunchStats stats;
+  /// Per-PC attribution partial (attr_ runs only). Like the stats partial,
+  /// every field is an integer counter (plus an address min/max), so the
+  /// end-of-run reduction over workers is exact and order-independent -
+  /// the merged table is bit-identical at any thread count.
+  std::vector<PcAttribution> attr;
 };
 
 /// Sums the integer counters of `part` into `into`. Header fields (cycles,
@@ -362,8 +398,22 @@ class TimedRun {
                                              std::uint32_t w,
                                              const DecodedInstr& d) const;
   void set_slot_ready(ResidentBlock& rb, std::uint32_t w, std::uint32_t slot,
-                      std::uint32_t words, std::uint64_t when) const;
+                      std::uint32_t words, std::uint64_t when,
+                      std::uint8_t reason) const;
   [[nodiscard]] Pick pick_warp(Sm& sm) const;
+  /// Why (and at which PC) an SM-wide stall ending at `next_event` was
+  /// spent: finds the first candidate in scan order whose ready cycle
+  /// attains `next_event` - the warp whose wake-up ends the window - and
+  /// walks its dependencies for the latest-arriving contributor, breaking
+  /// ties toward the smallest StallReason value. Recomputes from concrete
+  /// state only (no cache mutation), so batched/unbatched and any thread
+  /// count classify identically. `pc` is meaningful on the fast path only.
+  struct StallCause {
+    std::uint8_t reason = kRsnPipeline;
+    std::uint32_t pc = 0;
+  };
+  [[nodiscard]] StallCause classify_stall(Sm& sm,
+                                          std::uint64_t next_event) const;
   void issue_run(Sm& sm, std::uint32_t sm_id, std::size_t slot,
                  std::uint32_t w, const Pick& pick, WorkerCtx& ctx,
                  std::uint64_t bucket_end);
@@ -429,6 +479,9 @@ class TimedRun {
   bool fast_ = false;
   bool batched_ = false;  ///< fast path with TimingOptions::batched
   bool buffer_ = false;   ///< sink events buffered per SM, flushed sorted
+  bool classify_ = false;  ///< maintain stall-reason metadata (attribution
+                           ///< requested or a sink is attached)
+  bool attr_ = false;      ///< fill per-PC attribution tables (fast path)
   double channel_cycles_per_byte_ = 0.0;
   std::optional<DecodedProgram> dec_;
   const DecodedProgram* decp_ = nullptr;
@@ -497,6 +550,12 @@ void TimedRun::do_dispatch(Sm& sm, std::size_t slot, std::uint32_t sm_id,
   rb.load_ring_pos.assign(warps_per_block_, 0);
   rb.ready_cache.assign(warps_per_block_, 0);
   rb.ready_state.assign(warps_per_block_, kReadyInvalid);
+  if (classify_) {
+    rb.reg_reason.assign(rb.reg_ready.size(), kRsnPipeline);
+    // Waiting out block_start_cycles is the SM front end setting the block
+    // up - an issue-port wait, not a data dependency.
+    rb.warp_reason.assign(warps_per_block_, kRsnIssuePort);
+  }
   if (sink_ != nullptr) rb.barrier_arrive.assign(warps_per_block_, 0);
   for (std::uint32_t w = 0; w < warps_per_block_; ++w) {
     rb.exec->warp(w).ready_cycle = when + t_.block_start_cycles;
@@ -566,12 +625,17 @@ std::uint64_t TimedRun::dep_ready_fast(const ResidentBlock& rb,
 
 void TimedRun::set_slot_ready(ResidentBlock& rb, std::uint32_t w,
                               std::uint32_t slot, std::uint32_t words,
-                              std::uint64_t when) const {
+                              std::uint64_t when, std::uint8_t reason) const {
   rb.ready_state[w] = kReadyInvalid;
   if (slot == kNoSlot) return;
   const std::size_t rbase = static_cast<std::size_t>(w) * prog_.reg_file_size;
   for (std::uint32_t c = 0; c < words; ++c) {
     rb.reg_ready[rbase + slot + c] = when;
+  }
+  if (classify_) {
+    for (std::uint32_t c = 0; c < words; ++c) {
+      rb.reg_reason[rbase + slot + c] = reason;
+    }
   }
 }
 
@@ -668,6 +732,117 @@ TimedRun::Pick TimedRun::pick_warp(Sm& sm) const {
     }
   }
   return p;
+}
+
+// Classifies an SM-wide stall window ending at next_event: scan the
+// candidates in pick_warp's order for the first whose ready cycle attains
+// next_event (its wake-up is what ends the window - every other candidate
+// wakes at or after it), then re-walk that candidate's dependencies for
+// the latest-arriving contributor. Ties go to the smallest StallReason
+// value, which is what makes the batched path's arithmetic gap
+// attribution (always kPipeline) agree with this walk: a positive
+// intra-run gap is always attained by an in-run ALU producer, and a
+// surviving external dependency can at most tie.
+//
+// The walk recomputes ready cycles from concrete scoreboard state and
+// never touches the probe caches, so it is a pure read: batched and
+// unbatched dispatch, and any thread count, classify identically. In
+// deferred mode an unresolved (kNever) contributor can never attain
+// next_event (< bucket end <= any deferred completion), so candidates
+// with in-flight values are skipped exactly as the serial executor's
+// concrete values would dictate.
+TimedRun::StallCause TimedRun::classify_stall(Sm& sm,
+                                              std::uint64_t next_event) const {
+  std::uint64_t at = 0;
+  std::uint8_t reason = kRsnPipeline;
+  const auto consider = [&](std::uint64_t v, std::uint8_t r) {
+    if (v > at) {
+      at = v;
+      reason = r;
+    } else if (v == at && r < reason) {
+      reason = r;
+    }
+  };
+  const std::uint32_t total =
+      static_cast<std::uint32_t>(sm.slots.size()) * warps_per_block_;
+  std::uint32_t idx = sm.rr % total;
+  std::size_t slot = idx / warps_per_block_;
+  std::uint32_t w = idx % warps_per_block_;
+  const auto advance = [&] {
+    ++idx;
+    ++w;
+    if (w == warps_per_block_) {
+      w = 0;
+      ++slot;
+    }
+    if (idx == total) {
+      idx = 0;
+      slot = 0;
+    }
+  };
+  for (std::uint32_t i = 0; i < total; ++i, advance()) {
+    ResidentBlock& rb = sm.slots[slot];
+    if (!rb.exec) continue;
+    const WarpState& ws = rb.exec->warp(w);
+    const std::size_t rbase =
+        static_cast<std::size_t>(w) * prog_.reg_file_size;
+    const std::size_t pbase = static_cast<std::size_t>(w) * prog_.num_preds;
+    at = 0;
+    reason = kRsnPipeline;
+    Opcode op;
+    if (fast_) {
+      const DecodedInstr* d = rb.exec->peek_decoded(w);
+      if (d == nullptr) continue;  // done or at barrier
+      consider(ws.ready_cycle, rb.warp_reason[w]);
+      for (std::uint32_t k = 0; k < d->num_deps; ++k) {
+        const DecodedInstr::RegDep& dep = d->deps[k];
+        for (std::uint32_t c = 0; c < dep.words; ++c) {
+          consider(rb.reg_ready[rbase + dep.slot + c],
+                   rb.reg_reason[rbase + dep.slot + c]);
+        }
+      }
+      for (std::uint32_t k = 0; k < d->num_pred_deps; ++k) {
+        // Predicates are written only by ALU ops: always pipeline latency.
+        consider(rb.pred_ready[pbase + d->pred_deps[k]], kRsnPipeline);
+      }
+      op = d->op;
+    } else {
+      const Instruction* in = rb.exec->peek(w);
+      if (in == nullptr) continue;  // done or at barrier
+      consider(ws.ready_cycle, rb.warp_reason[w]);
+      const auto reg_dep = [&](const Operand& o, std::uint32_t words) {
+        if (!o.valid()) return;
+        const std::uint32_t s0 = prog_.reg_base[o.reg] + o.comp;
+        for (std::uint32_t c = 0; c < words; ++c) {
+          consider(rb.reg_ready[rbase + s0 + c],
+                   rb.reg_reason[rbase + s0 + c]);
+        }
+      };
+      const std::uint32_t wwords = width_words(in->width);
+      reg_dep(in->src[0], 1);
+      reg_dep(in->src[1], in->is_store() ? wwords : 1);
+      reg_dep(in->src[2], 1);
+      reg_dep(in->dst, in->is_load() ? wwords : (in->dst.valid() ? 1u : 0u));
+      const auto pred_dep = [&](PredId p) {
+        if (p != kNoPred) consider(rb.pred_ready[pbase + p], kRsnPipeline);
+      };
+      pred_dep(in->psrc0);
+      pred_dep(in->psrc1);
+      pred_dep(in->guard);
+      op = in->op;
+    }
+    if (op == Opcode::kLdGlobal) {
+      // MSHR ring wait: gated by an older global load still in flight.
+      const std::size_t ring_base = static_cast<std::size_t>(w) * mshr_;
+      consider(rb.load_ring[ring_base + rb.load_ring_pos[w]], kRsnGlobal);
+    }
+    if (at != next_event) continue;
+    const std::uint32_t pc =
+        fast_ ? decp_->block_start[ws.block] + ws.ip : 0u;
+    return StallCause{reason, pc};
+  }
+  VGPU_EXPECTS_MSG(false, "stall classification lost the wake-up candidate");
+  return StallCause{};
 }
 
 // Batched issue of a converged straight-line run: replays, in one step,
@@ -769,18 +944,42 @@ void TimedRun::issue_run(Sm& sm, std::uint32_t sm_id, std::size_t slot,
       off[k - 1] - static_cast<std::uint64_t>(k - 1) * t_.alu_issue_cycles;
   sm.cycle = end;
   ws.ready_cycle = end;
+  if (classify_) rb.warp_reason[w] = kRsnIssuePort;
+
+  if (attr_) {
+    // The closed-form offsets attribute the batch exactly, no replay
+    // needed: each issued instruction occupied the port for alu_issue
+    // cycles at its own PC, and a positive gap before instruction j is a
+    // wait for an in-run ALU producer - pipeline latency by construction
+    // (an external dependency validated by the ext table can only tie,
+    // and pipeline wins ties in classify_stall's walk too).
+    PcAttribution* const a = ctx.attr.data() + first;
+    for (std::uint32_t j = 0; j < k; ++j) {
+      ++a[j].issues;
+      a[j].issue_cycles += t_.alu_issue_cycles;
+    }
+    for (std::uint32_t j = 1; j < k; ++j) {
+      const std::uint64_t gap =
+          static_cast<std::uint64_t>(off[j]) - off[j - 1] -
+          t_.alu_issue_cycles;
+      if (gap != 0) {
+        a[j].stall_cycles[kRsnPipeline] += gap;
+      }
+    }
+  }
 
   if (k == run.len) {
     for (std::uint32_t i = 0; i < rs.wb_count; ++i) {
       const RunScheduleTable::Writeback& wb = sched_->wb[rs.wb_begin + i];
-      set_slot_ready(rb, w, wb.slot, 1, c + wb.ready_off);
+      set_slot_ready(rb, w, wb.slot, 1, c + wb.ready_off, kRsnPipeline);
     }
   } else {
     const DecodedInstr* const ds = decp_->instrs.data() + first;
     for (std::uint32_t j = 0; j < k; ++j) {
       set_slot_ready(rb, w, ds[j].dst_slot, 1,
                      c + off[j] + t_.alu_issue_cycles +
-                         t_.alu_result_latency_cycles);
+                         t_.alu_result_latency_cycles,
+                     kRsnPipeline);
     }
   }
 
@@ -791,7 +990,8 @@ void TimedRun::issue_run(Sm& sm, std::uint32_t sm_id, std::size_t slot,
       const std::uint64_t start = c + off[j];
       if (start > prev_end) {
         emit(sm_id, prev_end,
-             TimelineSink::StallSpan{sm_id, prev_end, start});
+             TimelineSink::StallSpan{sm_id, prev_end, start,
+                                     StallReason::kPipeline});
       }
       emit(sm_id, start,
            TimelineSink::IssueSpan{sm_id, static_cast<std::uint32_t>(slot), w,
@@ -821,6 +1021,7 @@ void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
             sm.slots[slot].ready_state[w] = kReadyInvalid;
             ws.ready_cycle =
                 std::max(ws.ready_cycle, sm.cycle + t_.barrier_cycles);
+            if (classify_) sm.slots[slot].warp_reason[w] = kRsnBarrier;
             if (sink_ != nullptr) {
               emit(sm_id, sm.cycle,
                    TimelineSink::BarrierWait{
@@ -850,10 +1051,17 @@ void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
     }
     VGPU_EXPECTS_MSG(pick.next_event != kNever,
                      "timing executor stalled (barrier deadlock?)");
-    stats.sm_idle_cycles += pick.next_event - sm.cycle;
+    const std::uint64_t idle = pick.next_event - sm.cycle;
+    stats.sm_idle_cycles += idle;
+    StallCause cause;
+    if (classify_) {
+      cause = classify_stall(sm, pick.next_event);
+      if (attr_) ctx.attr[cause.pc].stall_cycles[cause.reason] += idle;
+    }
     if (sink_ != nullptr) {
       emit(sm_id, sm.cycle,
-           TimelineSink::StallSpan{sm_id, sm.cycle, pick.next_event});
+           TimelineSink::StallSpan{sm_id, sm.cycle, pick.next_event,
+                                   static_cast<StallReason>(cause.reason)});
     }
     sm.cycle = pick.next_event;
     return;
@@ -887,6 +1095,8 @@ void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
                    width_words(in.width), in.pdst, in.is_load()};
   }
   const std::uint64_t issue_start = sm.cycle;
+  // Static PC of the instruction about to issue (step advances ws.ip).
+  const std::uint32_t pc = attr_ ? decp_->block_start[ws.block] + ws.ip : 0u;
   const StepResult res = exec.step(w, sm.cycle);
   // Only a barrier arrival or an exit can change a warp's done/at-barrier
   // state, the sole inputs of the barrier-release scan.
@@ -905,7 +1115,7 @@ void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
       sm.cycle += t_.alu_issue_cycles;
       ws.ready_cycle = sm.cycle;
       set_slot_ready(rb, w, iv.dst_slot, 1,
-                     sm.cycle + t_.alu_result_latency_cycles);
+                     sm.cycle + t_.alu_result_latency_cycles, kRsnPipeline);
       if (iv.pdst != kNoPred) {
         rb.pred_ready[static_cast<std::size_t>(w) * prog_.num_preds +
                       iv.pdst] = sm.cycle + t_.alu_result_latency_cycles;
@@ -913,19 +1123,28 @@ void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
       break;
     case StepResult::Kind::kShared: {
       count_shared_step(res, stats);
+      if (attr_) {
+        PcAttribution& a = ctx.attr[pc];
+        ++a.shared_requests;
+        if (res.shared_conflict_degree > 1) {
+          a.shared_conflict_extra += res.shared_conflict_degree - 1;
+        }
+      }
       const std::uint32_t degree = std::max(1u, res.shared_conflict_degree);
       sm.cycle += static_cast<std::uint64_t>(t_.shared_issue_cycles) * degree;
       ws.ready_cycle = sm.cycle;
       if (iv.is_load) {
         set_slot_ready(rb, w, iv.dst_slot, iv.width_words,
-                       sm.cycle + t_.shared_result_latency_cycles);
+                       sm.cycle + t_.shared_result_latency_cycles, kRsnShared);
       }
       break;
     }
     case StepResult::Kind::kGlobal: {
       std::uint64_t completion = sm.cycle;
       bool any_uncoalesced = false;
+      bool queued = false;  // any segment waited behind earlier DRAM traffic
       const std::uint32_t half = spec_.half_warp;
+      const std::uint32_t wbytes = width_bytes(res.width);
       std::array<std::uint32_t, 16> addrs{};
       const std::size_t seg_begin = deferred_ ? segs_[sm_id].size() : 0;
       for (std::uint32_t h = 0; h < spec_.warp_size / half; ++h) {
@@ -959,6 +1178,23 @@ void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
           stats.global_bytes += txn.bytes;
           req_bytes += txn.bytes;
         }
+        if (attr_) {
+          PcAttribution& a = ctx.attr[pc];
+          ++a.global_requests;
+          if (ctx.scratch.coalesced) {
+            ++a.coalesced_requests;
+          } else {
+            ++a.uncoalesced_requests;
+          }
+          a.global_transactions += ctx.scratch.transactions.size();
+          a.dram_bytes += req_bytes;
+          for (std::uint32_t k = 0; k < half; ++k) {
+            if (!(active & (1u << k))) continue;
+            const std::uint64_t lo = addrs[k];
+            a.addr_lo = std::min(a.addr_lo, lo);
+            a.addr_hi = std::max(a.addr_hi, lo + wbytes);
+          }
+        }
         if (sink_ != nullptr) {
           emit(sm_id, issue_start,
                TimelineSink::GlobalRequest{
@@ -974,7 +1210,6 @@ void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
         std::array<std::uint32_t, 32> seg_base{};
         std::array<std::uint32_t, 32> seg_bytes{};
         std::size_t nsegs = 0;
-        const std::uint32_t wbytes = width_bytes(res.width);
         for (std::uint32_t k = 0; k < half; ++k) {
           if (!(active & (1u << k))) continue;
           const std::uint32_t seg = addrs[k] / 128u;
@@ -1003,6 +1238,12 @@ void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
           if (!deferred_) {
             const double start =
                 std::max(channel_[p], static_cast<double>(sm.cycle));
+            // Same queued test the deferred merge applies against the
+            // identical chan_floor (pre-port clock), so the attributed
+            // reason is thread-count invariant.
+            if (classify_ && start > static_cast<double>(sm.cycle)) {
+              queued = true;
+            }
             channel_[p] = start + service;
             if (sink_ != nullptr) {
               emit(sm_id, issue_start,
@@ -1033,7 +1274,8 @@ void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
           if (any_uncoalesced) {
             data_back += t_.uncoalesced_latency_cycles(opt_.driver);
           }
-          set_slot_ready(rb, w, iv.dst_slot, iv.width_words, data_back);
+          set_slot_ready(rb, w, iv.dst_slot, iv.width_words, data_back,
+                         queued ? kRsnDramBusy : kRsnGlobal);
           const std::size_t ring_base = static_cast<std::size_t>(w) * mshr_;
           rb.load_ring[ring_base + rb.load_ring_pos[w]] = data_back;
           rb.load_ring_pos[w] = (rb.load_ring_pos[w] + 1) % mshr_;
@@ -1047,7 +1289,8 @@ void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
           // No active lane touched DRAM: the data-back time is exact.
           if (iv.is_load) {
             const std::uint64_t data_back = sm.cycle + tail;
-            set_slot_ready(rb, w, iv.dst_slot, iv.width_words, data_back);
+            set_slot_ready(rb, w, iv.dst_slot, iv.width_words, data_back,
+                           kRsnGlobal);
             const std::size_t ring_base = static_cast<std::size_t>(w) * mshr_;
             rb.load_ring[ring_base + rb.load_ring_pos[w]] = data_back;
             rb.load_ring_pos[w] = (rb.load_ring_pos[w] + 1) % mshr_;
@@ -1067,7 +1310,8 @@ void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
           if (iv.is_load) {
             r.dst_slot = iv.dst_slot;
             r.width_words = iv.width_words;
-            set_slot_ready(rb, w, iv.dst_slot, iv.width_words, kNever);
+            set_slot_ready(rb, w, iv.dst_slot, iv.width_words, kNever,
+                           kRsnGlobal);
             const std::size_t ring_base = static_cast<std::size_t>(w) * mshr_;
             r.ring_idx =
                 static_cast<std::uint32_t>(ring_base + rb.load_ring_pos[w]);
@@ -1085,8 +1329,10 @@ void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
       // 128-byte consecutive run = two coalesced 64B transactions
       sm.cycle += t_.port_cycles(opt_.driver);
       ws.ready_cycle = sm.cycle;
+      if (attr_) ctx.attr[pc].dram_bytes += 128;  // 2 x 64B fills
       if (!deferred_) {
         std::uint64_t completion = sm.cycle;
+        bool queued = false;
         for (int half_idx = 0; half_idx < 2; ++half_idx) {
           const std::size_t p =
               (static_cast<std::size_t>(res.lane_addrs[0]) /
@@ -1095,6 +1341,9 @@ void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
               channel_.size();
           const double start =
               std::max(channel_[p], static_cast<double>(sm.cycle));
+          if (classify_ && start > static_cast<double>(sm.cycle)) {
+            queued = true;
+          }
           const double service = 64.0 * channel_cycles_per_byte_;
           channel_[p] = start + service;
           stats.global_bytes += 64;
@@ -1108,7 +1357,8 @@ void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
         }
         if (iv.is_load) {
           set_slot_ready(rb, w, iv.dst_slot, 1,
-                         completion + t_.global_latency_cycles);
+                         completion + t_.global_latency_cycles,
+                         queued ? kRsnDramBusy : kRsnLocal);
         }
       } else {
         const std::size_t seg_begin = segs_[sm_id].size();
@@ -1136,10 +1386,11 @@ void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
         r.rb_slot = static_cast<std::uint32_t>(slot);
         r.generation = rb.generation;
         r.warp = w;
+        r.base_reason = kRsnLocal;
         if (iv.is_load) {
           r.dst_slot = iv.dst_slot;
           r.width_words = 1;
-          set_slot_ready(rb, w, iv.dst_slot, 1, kNever);
+          set_slot_ready(rb, w, iv.dst_slot, 1, kNever, kRsnLocal);
         }
         reqs_[sm_id].push_back(r);
       }
@@ -1167,7 +1418,7 @@ void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
       sm.cycle += cost;
       ws.ready_cycle = sm.cycle;
       set_slot_ready(rb, w, iv.dst_slot, iv.width_words,
-                     sm.cycle + t_.alu_result_latency_cycles);
+                     sm.cycle + t_.alu_result_latency_cycles, kRsnConst);
       break;
     }
     case StepResult::Kind::kTex: {
@@ -1177,6 +1428,7 @@ void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
       const std::uint32_t max_lines =
           std::max(1u, t_.tex_cache_bytes / t_.tex_line_bytes);
       std::uint64_t completion = sm.cycle + t_.tex_hit_latency_cycles;
+      bool queued = false;
       const std::uint32_t wbytes = width_bytes(res.width);
       const std::size_t seg_begin = deferred_ ? segs_[sm_id].size() : 0;
       for (std::uint32_t l = 0; l < spec_.warp_size; ++l) {
@@ -1199,9 +1451,13 @@ void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
           const double service =
               static_cast<double>(t_.tex_line_bytes) * channel_cycles_per_byte_;
           stats.global_bytes += t_.tex_line_bytes;
+          if (attr_) ctx.attr[pc].dram_bytes += t_.tex_line_bytes;
           if (!deferred_) {
             const double start =
                 std::max(channel_[p], static_cast<double>(sm.cycle));
+            if (classify_ && start > static_cast<double>(sm.cycle)) {
+              queued = true;
+            }
             channel_[p] = start + service;
             if (sink_ != nullptr) {
               emit(sm_id, issue_start,
@@ -1224,7 +1480,8 @@ void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
       }
       if (!deferred_ || segs_[sm_id].size() == seg_begin) {
         // Single-threaded, or every line hit the cache: completion is exact.
-        set_slot_ready(rb, w, iv.dst_slot, iv.width_words, completion);
+        set_slot_ready(rb, w, iv.dst_slot, iv.width_words, completion,
+                       queued ? kRsnDramBusy : kRsnTex);
       } else {
         DeferredReq r;
         r.order_cycle = issue_start;
@@ -1238,9 +1495,10 @@ void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
         r.rb_slot = static_cast<std::uint32_t>(slot);
         r.generation = rb.generation;
         r.warp = w;
+        r.base_reason = kRsnTex;
         r.dst_slot = iv.dst_slot;
         r.width_words = iv.width_words;
-        set_slot_ready(rb, w, iv.dst_slot, iv.width_words, kNever);
+        set_slot_ready(rb, w, iv.dst_slot, iv.width_words, kNever, kRsnTex);
         reqs_[sm_id].push_back(r);
       }
       break;
@@ -1271,6 +1529,12 @@ void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
       break;
   }
   stats.sm_issue_cycles += sm.cycle - issue_start;
+  if (classify_) rb.warp_reason[w] = kRsnIssuePort;
+  if (attr_) {
+    PcAttribution& a = ctx.attr[pc];
+    ++a.issues;
+    a.issue_cycles += sm.cycle - issue_start;
+  }
   if (sink_ != nullptr) {
     emit(sm_id, issue_start,
          TimelineSink::IssueSpan{sm_id, static_cast<std::uint32_t>(slot), w,
@@ -1375,9 +1639,14 @@ void TimedRun::merge_deferred() {
   for (const MergeRef& ref : order) {
     const DeferredReq& r = reqs_[ref.sm][ref.idx];
     std::uint64_t comp = r.comp_floor;
+    bool queued = false;
     for (std::uint32_t k = 0; k < r.seg_count; ++k) {
       const DeferredSeg& g = segs_[ref.sm][r.seg_begin + k];
       const double start = std::max(channel_[g.partition], r.chan_floor);
+      // chan_floor is the same clock value the serial executor compares
+      // channel_[p] against, and the merge replays requests in the serial
+      // chronological order, so this queued bit matches the serial one.
+      if (classify_ && start > r.chan_floor) queued = true;
       const double end = start + g.service;
       channel_[g.partition] = end;
       if (g.event_idx != kNoEvent) {
@@ -1391,7 +1660,8 @@ void TimedRun::merge_deferred() {
       ResidentBlock& rb = sms_[ref.sm].slots[r.rb_slot];
       if (rb.generation == r.generation) {
         const std::uint64_t value = comp + r.tail;
-        set_slot_ready(rb, r.warp, r.dst_slot, r.width_words, value);
+        set_slot_ready(rb, r.warp, r.dst_slot, r.width_words, value,
+                       queued ? kRsnDramBusy : r.base_reason);
         if (r.ring_idx != kNoRing) rb.load_ring[r.ring_idx] = value;
       }
     }
@@ -1418,9 +1688,17 @@ void TimedRun::finish_parked_stalls() {
     VGPU_EXPECTS_MSG(pick.next_event != kNever,
                      "timing executor stalled (barrier deadlock?)");
     WorkerCtx& ctx = workers_[s % nthreads_];
-    ctx.stats.sm_idle_cycles += pick.next_event - sm.cycle;
+    const std::uint64_t idle = pick.next_event - sm.cycle;
+    ctx.stats.sm_idle_cycles += idle;
+    StallCause cause;
+    if (classify_) {
+      cause = classify_stall(sm, pick.next_event);
+      if (attr_) ctx.attr[cause.pc].stall_cycles[cause.reason] += idle;
+    }
     if (sink_ != nullptr) {
-      emit(s, sm.cycle, TimelineSink::StallSpan{s, sm.cycle, pick.next_event});
+      emit(s, sm.cycle,
+           TimelineSink::StallSpan{s, sm.cycle, pick.next_event,
+                                   static_cast<StallReason>(cause.reason)});
     }
     sm.cycle = pick.next_event;
   }
@@ -1540,6 +1818,12 @@ LaunchStats TimedRun::run() {
   fast_ = decp_ != nullptr;
   batched_ = fast_ && opt_.batched;
   if (batched_) sched_.emplace(schedule_runs(*decp_, t_));
+  // Per-PC attribution needs the decoded PC mapping (fast path only);
+  // stall classification additionally feeds StallSpan reasons, so it runs
+  // whenever a sink is attached, on either path.
+  if (opt_.attribution != nullptr) *opt_.attribution = {};
+  attr_ = opt_.attribution != nullptr && fast_;
+  classify_ = attr_ || sink_ != nullptr;
   // Batched issue emits a run's events consecutively, while the serial
   // per-instruction executor interleaves SMs - so a single-threaded batched
   // run with a sink buffers too and restores the order in flush_events().
@@ -1552,6 +1836,7 @@ LaunchStats TimedRun::run() {
       ctx.cmemo.emplace(spec_.warp_size, spec_.half_warp,
                         spec_.shared_mem_banks);
     }
+    if (attr_) ctx.attr.assign(decp_->instrs.size(), PcAttribution{});
     ctx.scratch.transactions.reserve(32);
   }
   if (deferred_) {
@@ -1606,6 +1891,30 @@ LaunchStats TimedRun::run() {
       stats_.conflict_memo_hits += ctx.cmemo->hits();
       stats_.conflict_memo_misses += ctx.cmemo->misses();
     }
+  }
+  if (attr_) {
+    // Deterministic reduction: element-wise integer sums over the fixed
+    // worker order, so the table is bit-identical at any thread count.
+    Attribution& out = *opt_.attribution;
+    out.pcs.assign(decp_->instrs.size(), PcAttribution{});
+    for (const WorkerCtx& ctx : workers_) {
+      for (std::size_t p = 0; p < out.pcs.size(); ++p) {
+        out.pcs[p].merge_from(ctx.attr[p]);
+      }
+    }
+    for (std::size_t b = 0; b < prog_.blocks.size(); ++b) {
+      const std::size_t begin = decp_->block_start[b];
+      const std::size_t end = b + 1 < prog_.blocks.size()
+                                  ? decp_->block_start[b + 1]
+                                  : decp_->instrs.size();
+      for (std::size_t p = begin; p < end; ++p) {
+        out.pcs[p].block = static_cast<std::uint32_t>(b);
+        out.pcs[p].ip = static_cast<std::uint32_t>(p - begin);
+        out.pcs[p].region = prog_.blocks[b].region;
+      }
+    }
+    out.finalize_totals();
+    out.collected = true;
   }
   if (sink_ != nullptr) {
     if (buffer_) flush_events();

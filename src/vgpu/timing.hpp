@@ -20,6 +20,7 @@
 #include <span>
 
 #include "vgpu/arch.hpp"
+#include "vgpu/attribution.hpp"
 #include "vgpu/launch.hpp"
 #include "vgpu/memory.hpp"
 
@@ -53,6 +54,15 @@ struct TimingOptions {
   /// thread count (docs/performance.md, "Timed run batching"); off forces
   /// per-instruction issue. Ignored on the reference path.
   bool batched = true;
+  /// Per-static-PC stall attribution output (null = off). When set on the
+  /// fast path, the run fills the table with issue cycles, stall cycles by
+  /// StallReason and memory traffic per decoded PC; the per-PC sums
+  /// reconcile exactly with the returned LaunchStats (see
+  /// attribution.hpp::reconciles). Collection is cycle-identical - it
+  /// observes scheduling decisions the executor already makes - and
+  /// bit-identical at any thread count and with batching on or off.
+  /// Reference-interpreter runs leave the table with collected = false.
+  Attribution* attribution = nullptr;
   /// Host threads stepping SMs (0 or 1 = single-threaded). Multi-threaded
   /// runs shard SMs across threads inside conservative cycle buckets and
   /// merge DRAM-partition traffic deterministically, so LaunchStats::core()

@@ -45,7 +45,9 @@ class RecordingSink final : public vgpu::TimelineSink {
     add("issue", s.sm, s.slot, s.warp, static_cast<int>(s.cls), s.start, s.end);
   }
   void on_stall(const StallSpan& s) override {
-    add("stall", s.sm, s.start, s.end);
+    // The reason is part of the comparable payload: the threaded replay
+    // must reproduce the classification bit-for-bit, not just the window.
+    add("stall", s.sm, s.start, s.end, static_cast<int>(s.reason));
   }
   void on_barrier_wait(const BarrierWait& s) override {
     add("barrier", s.sm, s.slot, s.warp, s.arrive, s.release);
@@ -99,6 +101,8 @@ TEST(ChromeTrace, EmitsValidMonotoneMatchedTrace) {
   // depth must alternate 0 -> 1 -> 0
   std::map<std::pair<std::uint32_t, std::uint32_t>, int> depth;
   std::set<std::uint32_t> span_pids;
+  std::size_t stall_spans = 0;
+  std::size_t stall_reasons = 0;
   for (const JsonValue& e : events->items()) {
     ASSERT_TRUE(e.is_object());
     const std::string& ph = e.find("ph")->as_string();
@@ -108,6 +112,16 @@ TEST(ChromeTrace, EmitsValidMonotoneMatchedTrace) {
     last_ts = ts;
     const auto pid = static_cast<std::uint32_t>(e.find("pid")->as_number());
     const auto tid = static_cast<std::uint32_t>(e.find("tid")->as_number());
+    if (ph == "B" && e.find("name")->as_string() == "stall") {
+      // every stall span opening must say *why* the SM window stalled
+      ++stall_spans;
+      const JsonValue* args = e.find("args");
+      if (args != nullptr && args->find("reason") != nullptr &&
+          args->find("reason")->is_string() &&
+          !args->find("reason")->as_string().empty()) {
+        ++stall_reasons;
+      }
+    }
     int& d = depth[std::make_pair(pid, tid)];
     if (ph == "B") {
       span_pids.insert(pid);
@@ -118,6 +132,9 @@ TEST(ChromeTrace, EmitsValidMonotoneMatchedTrace) {
       EXPECT_EQ(ph, "C");
     }
   }
+  EXPECT_GT(stall_spans, 0u) << "read kernel should stall at least once";
+  EXPECT_EQ(stall_reasons, stall_spans)
+      << "every stall span must carry args.reason";
   for (const auto& [track, d] : depth) {
     EXPECT_EQ(d, 0) << "unclosed span on pid " << track.first << " tid "
                     << track.second;

@@ -162,7 +162,7 @@ struct DiffRun {
 
 DiffRun run_diff(const Program& prog, DriverModel driver, bool timed,
                  bool reference, std::uint32_t threads = 1,
-                 bool batched = true) {
+                 bool batched = true, Attribution* attr = nullptr) {
   const std::uint32_t n = 128;
   Device dev(tiny_spec(), 1 << 20);
   std::vector<float> input(4096);
@@ -180,6 +180,7 @@ DiffRun run_diff(const Program& prog, DriverModel driver, bool timed,
     topt.reference = reference;
     topt.threads = threads;
     topt.batched = batched;
+    topt.attribution = attr;
     r.stats = dev.launch_timed(prog, cfg, params, topt);
   } else {
     FunctionalOptions fopt;
@@ -329,6 +330,52 @@ TEST_P(FuzzSeed, ThreadedTimingMatchesSingleThreaded) {
     const DiffRun refpar = run_diff(p, driver, /*timed=*/true, true, 2);
     EXPECT_TRUE(refpar.stats.core() == ref.stats.core())
         << "threaded reference stats diverged, driver " << to_string(driver);
+  }
+}
+
+// Fourth differential axis: stall attribution. For every seed and driver
+// the per-PC table must (a) not perturb a single simulated counter, (b)
+// reconcile exactly with the LaunchStats aggregates, and (c) come out
+// bit-identical at 1/2/4 threads and with timed-run batching on or off.
+TEST_P(FuzzSeed, AttributionReconcilesAcrossConfigs) {
+  RandomKernelGen gen(GetParam());
+  Program p = gen.generate();
+  run_standard_pipeline(p);
+  allocate_registers(p);
+  verify(p);
+
+  for (const DriverModel driver :
+       {DriverModel::kCuda10, DriverModel::kCuda11, DriverModel::kCuda22}) {
+    const DiffRun plain = run_diff(p, driver, /*timed=*/true, false);
+    Attribution base;
+    const DiffRun first =
+        run_diff(p, driver, /*timed=*/true, false, 1, true, &base);
+    EXPECT_TRUE(first.stats.core() == plain.stats.core())
+        << "attribution perturbed the run, driver " << to_string(driver);
+    ASSERT_TRUE(base.collected) << to_string(driver);
+    EXPECT_TRUE(reconciles(base, first.stats))
+        << "attribution does not reconcile, driver " << to_string(driver);
+
+    struct Cfg {
+      std::uint32_t threads;
+      bool batched;
+    };
+    for (const Cfg c : {Cfg{1, false}, Cfg{2, true}, Cfg{2, false},
+                        Cfg{4, true}, Cfg{4, false}}) {
+      Attribution other;
+      const DiffRun r =
+          run_diff(p, driver, /*timed=*/true, false, c.threads, c.batched,
+                   &other);
+      EXPECT_TRUE(r.stats.core() == first.stats.core())
+          << "stats diverged, driver " << to_string(driver)
+          << " threads=" << c.threads << " batched=" << c.batched;
+      EXPECT_TRUE(reconciles(other, r.stats))
+          << "attribution does not reconcile, driver " << to_string(driver)
+          << " threads=" << c.threads << " batched=" << c.batched;
+      EXPECT_TRUE(other == base)
+          << "attribution table diverged, driver " << to_string(driver)
+          << " threads=" << c.threads << " batched=" << c.batched;
+    }
   }
 }
 

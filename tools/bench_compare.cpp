@@ -24,6 +24,15 @@
 //   bench_compare <baseline.json> <candidate.json>
 //       [--max-wall-regress=<pct>] [--approx-col=<substr>]
 //       [--approx-tol=<pct>]
+//   bench_compare --baseline=<file> <candidate.json> [flags]
+//   bench_compare --save-baseline=<file> <fresh.json>
+//
+// --baseline=<file> names the baseline by flag (the form the ctest
+// regression gates use with the records committed under bench/baselines/).
+// --save-baseline=<file> is the update path: it validates the fresh record
+// (parse + schema check) and then copies it byte-for-byte to <file>, so a
+// truncated or hand-mangled record can never become the committed
+// baseline.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -109,11 +118,21 @@ struct Compare {
   }
 
   void compare_cell(const std::string& where, const std::string& header,
-                    const std::string& base, const std::string& cand) {
-    const bool is_cycles = header.find("cycles") != std::string::npos;
-    const bool is_wall = header.find("wall") != std::string::npos;
-    const bool is_approx = !is_cycles && !is_wall && !approx_col.empty() &&
-                           header.find(approx_col) != std::string::npos;
+                    const std::string& row_key, const std::string& base,
+                    const std::string& cand) {
+    const bool col_cycles = header.find("cycles") != std::string::npos;
+    const bool col_wall = header.find("wall") != std::string::npos;
+    const bool col_approx = !approx_col.empty() &&
+                            header.find(approx_col) != std::string::npos;
+    // A row labeled "host" holds host measurements even where the column
+    // class would demand exactness (e.g. fig12's "CPU serial (host ms)"
+    // row inside the simulated-ms table): its checkable cells get the
+    // one-sided wall tolerance instead. Informational columns stay
+    // informational.
+    const bool host_row = row_key.find("host") != std::string::npos;
+    const bool is_cycles = col_cycles && !host_row;
+    const bool is_wall = col_wall || (host_row && (col_cycles || col_approx));
+    const bool is_approx = col_approx && !is_cycles && !is_wall;
     if (!is_cycles && !is_wall && !is_approx) return;
     ++checked;
     if (is_cycles) {
@@ -167,7 +186,7 @@ struct Compare {
       for (std::size_t c = 1; c < row.size(); ++c) {
         const std::string header =
             c < headers->size() ? cell(*headers, c) : "";
-        compare_cell("\"" + title + "\" / \"" + key + "\"", header,
+        compare_cell("\"" + title + "\" / \"" + key + "\"", header, key,
                      cell(row, c), cell(*cand_row, c));
       }
     }
@@ -179,6 +198,8 @@ struct Compare {
 int main(int argc, char** argv) {
   double max_wall_regress = 20.0;
   std::string approx_col;
+  std::string baseline_path;
+  std::string save_path;
   double approx_tol = 10.0;
   std::vector<const char*> paths;
   for (int a = 1; a < argc; ++a) {
@@ -188,15 +209,43 @@ int main(int argc, char** argv) {
       approx_col = argv[a] + 13;
     } else if (std::strncmp(argv[a], "--approx-tol=", 13) == 0) {
       approx_tol = std::strtod(argv[a] + 13, nullptr);
+    } else if (std::strncmp(argv[a], "--baseline=", 11) == 0) {
+      baseline_path = argv[a] + 11;
+    } else if (std::strncmp(argv[a], "--save-baseline=", 16) == 0) {
+      save_path = argv[a] + 16;
     } else {
       paths.push_back(argv[a]);
     }
   }
+  if (!baseline_path.empty()) paths.insert(paths.begin(), baseline_path.c_str());
+
+  if (!save_path.empty()) {
+    // Update path: validate the fresh record, then copy it verbatim.
+    if (paths.size() != 1) {
+      std::fprintf(stderr,
+                   "usage: bench_compare --save-baseline=<file> <fresh.json>\n");
+      return 2;
+    }
+    if (!load(paths[0])) return 2;
+    std::ifstream is(paths[0], std::ios::binary);
+    std::ofstream os(save_path, std::ios::binary);
+    if (!os) {
+      std::fprintf(stderr, "bench_compare: cannot write %s\n",
+                   save_path.c_str());
+      return 2;
+    }
+    os << is.rdbuf();
+    std::printf("bench_compare: saved baseline %s -> %s\n", paths[0],
+                save_path.c_str());
+    return 0;
+  }
+
   if (paths.size() != 2) {
     std::fprintf(stderr,
                  "usage: bench_compare <baseline.json> <candidate.json> "
-                 "[--max-wall-regress=<pct>] [--approx-col=<substr>] "
-                 "[--approx-tol=<pct>]\n");
+                 "[--baseline=<file>] [--max-wall-regress=<pct>] "
+                 "[--approx-col=<substr>] [--approx-tol=<pct>] | "
+                 "bench_compare --save-baseline=<file> <fresh.json>\n");
     return 2;
   }
   const std::optional<JsonValue> base = load(paths[0]);
