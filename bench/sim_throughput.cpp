@@ -44,13 +44,25 @@
 // verdict (top stall reason, memory-bound fraction) is exported in the
 // record's `summary` object for the json_check ctest gate.
 //
+// A sixth axis is the run-dispatch backend (FunctionalOptions/
+// TimingOptions `dispatch`): issued runs execute either through the
+// compiled threaded-code loop (threaded.hpp, the default) or the legacy
+// per-instruction exec_alu switch. The threaded-dispatch table runs every
+// workload's functional executor under both backends and demands
+// bit-identical LaunchStats::core() between the two and the reference;
+// any divergence makes the binary exit non-zero. The ctest gates run
+// --dispatch=threaded and --dispatch=switch so both backends stay
+// exercised end to end.
+//
 // Flags: --n=<particles> (default 4096, rounded up to a tile multiple)
 // scales the workload; --threads=<k> (default 4) is the maximum thread
 // count the scaling table sweeps to; --batched=on|off (default on) selects
 // the functional fast path's dispatch mode for the main tables;
 // --timed-batched=on|off (default on) does the same for the timing
 // executor (the dispatch differentials always run both modes);
-// --json=<path> exports the tables (bench_util).
+// --dispatch=threaded|switch (default threaded) selects the run-dispatch
+// backend for the main tables (the threaded differential always runs
+// both); --json=<path> exports the tables (bench_util).
 #include <algorithm>
 #include <array>
 #include <chrono>
@@ -148,6 +160,20 @@ bool g_batched = true;
 /// Dispatch mode for the timing fast path (--timed-batched=on|off); the
 /// timed dispatch differential always runs both modes regardless.
 bool g_timed_batched = true;
+/// Run-dispatch backend for issued runs (--dispatch=threaded|switch); the
+/// threaded-dispatch differential always runs both backends regardless.
+vgpu::RunDispatch g_dispatch = vgpu::RunDispatch::kThreaded;
+
+/// The run-dispatch tag for a fast-path table row ("-" on the reference
+/// interpreter, which has no decoded runs to dispatch).
+const char* backend_name(bool reference, int dispatch) {
+  if (reference) return "-";
+  const vgpu::RunDispatch d =
+      dispatch < 0 ? g_dispatch
+                   : (dispatch != 0 ? vgpu::RunDispatch::kThreaded
+                                    : vgpu::RunDispatch::kSwitch);
+  return d == vgpu::RunDispatch::kThreaded ? "threaded" : "switch";
+}
 
 /// The dispatch-mode tag exported with a run's table rows, so records stay
 /// attributable across PRs when defaults change.
@@ -159,9 +185,15 @@ const char* dispatch_name(bool timed, bool reference, int batched) {
 }
 
 /// `batched` selects the fast path's dispatch mode (functional or timed,
-/// whichever runs): -1 = the mode the matching command-line flag picked.
+/// whichever runs) and `dispatch` the run-dispatch backend: -1 = the mode
+/// the matching command-line flag picked.
 RunResult run_one(Workload& w, bool timed, bool reference,
-                  std::uint32_t threads = 1, int batched = -1) {
+                  std::uint32_t threads = 1, int batched = -1,
+                  int dispatch = -1) {
+  const vgpu::RunDispatch backend =
+      dispatch < 0 ? g_dispatch
+                   : (dispatch != 0 ? vgpu::RunDispatch::kThreaded
+                                    : vgpu::RunDispatch::kSwitch);
   RunResult r;
   const Clock::time_point t0 = Clock::now();
   if (timed) {
@@ -169,12 +201,14 @@ RunResult run_one(Workload& w, bool timed, bool reference,
     topt.reference = reference;
     topt.threads = threads;
     topt.batched = batched < 0 ? g_timed_batched : batched != 0;
+    topt.dispatch = backend;
     r.stats = vgpu::run_timed(w.prog, w.dev->spec(), w.dev->gmem(), w.cfg,
                               w.params, topt);
   } else {
     vgpu::FunctionalOptions fopt;
     fopt.reference = reference;
     fopt.batched = batched < 0 ? g_batched : batched != 0;
+    fopt.dispatch = backend;
     r.stats = vgpu::run_functional(w.prog, w.dev->spec(), w.dev->gmem(), w.cfg,
                                    w.params, fopt);
   }
@@ -197,6 +231,11 @@ std::string cmemo_rate(const vgpu::LaunchStats& s) {
   return fmt(100.0 * static_cast<double>(s.conflict_memo_hits) /
                  static_cast<double>(total),
              1);
+}
+
+std::string dcache_state(const vgpu::LaunchStats& s) {
+  if (s.decode_cache_hits + s.decode_cache_misses == 0) return "-";
+  return s.decode_cache_hits > 0 ? "hit" : "miss";
 }
 
 struct Summary {
@@ -330,14 +369,17 @@ void run_all(std::uint32_t n) {
     workloads.push_back(make_read(n));
   }
 
-  bench::Table runs({"run", "dispatch", "warp instrs", "wall ms", "Minstr/s",
-                     "cycles", "memo hit %", "cmemo hit %"});
+  bench::Table runs({"run", "dispatch", "backend", "dcache", "warp instrs",
+                     "wall ms", "Minstr/s", "cycles", "memo hit %",
+                     "cmemo hit %"});
   bench::Table speed({"workload", "executor", "ref wall ms", "fast wall ms",
                       "speedup", "stats identical"});
   bench::Table batch({"workload", "off wall ms", "on wall ms", "speedup",
                       "stats identical"});
   bench::Table tbatch({"workload", "off wall ms", "on wall ms", "speedup",
                        "runs issued", "fallbacks", "stats identical"});
+  bench::Table tdispatch({"workload", "switch wall ms", "threaded wall ms",
+                          "speedup", "stats identical"});
   for (Workload& w : workloads) {
     for (const bool timed : {false, true}) {
       const char* exec_name = timed ? "timing" : "functional";
@@ -346,6 +388,7 @@ void run_all(std::uint32_t n) {
       auto add_run = [&](const char* path, bool reference, const RunResult& r) {
         runs.add_row({w.label + "/" + exec_name + "/" + path,
                       dispatch_name(timed, reference, -1),
+                      backend_name(reference, -1), dcache_state(r.stats),
                       std::to_string(r.stats.warp_instructions),
                       fmt(r.wall_ms, 1), fmt(r.minstr_per_s(), 2),
                       std::to_string(r.stats.cycles), memo_rate(r.stats),
@@ -385,6 +428,29 @@ void run_all(std::uint32_t n) {
                        fmt(on.wall_ms > 0.0 ? off.wall_ms / on.wall_ms : 0.0,
                            2),
                        b_ident ? "yes" : "NO"});
+
+        // Threaded-dispatch differential: the compiled threaded-code loop
+        // must be bit-identical on core() to the exec_alu switch and the
+        // reference, whatever backend --dispatch selected for the tables
+        // above. Walls are the min over two interleaved switch/threaded
+        // pairs: host noise only ever adds time, so the min is the stable
+        // estimator for the speedup column.
+        RunResult sw, th;
+        double sw_min = 0.0, th_min = 0.0;
+        for (int pair = 0; pair < 2; ++pair) {
+          sw = run_one(w, /*timed=*/false, /*reference=*/false, 1,
+                       /*batched=*/-1, /*dispatch=*/0);
+          th = run_one(w, /*timed=*/false, /*reference=*/false, 1,
+                       /*batched=*/-1, /*dispatch=*/1);
+          if (pair == 0 || sw.wall_ms < sw_min) sw_min = sw.wall_ms;
+          if (pair == 0 || th.wall_ms < th_min) th_min = th.wall_ms;
+        }
+        const bool d_ident = th.stats.core() == sw.stats.core() &&
+                             th.stats.core() == ref.stats.core();
+        g_summary.all_identical = g_summary.all_identical && d_ident;
+        tdispatch.add_row({w.label, fmt(sw_min, 1), fmt(th_min, 1),
+                           fmt(th_min > 0.0 ? sw_min / th_min : 0.0, 2),
+                           d_ident ? "yes" : "NO"});
       } else {
         // Timed-dispatch differential: the timing executor's closed-form
         // run issue must be bit-identical on core() *including cycles* to
@@ -418,7 +484,9 @@ void run_all(std::uint32_t n) {
                  " particles; Minstr/s = simulated warp instructions per "
                  "second of host wall time; functional batched dispatch " +
                  (g_batched ? "on" : "off") + ", timed run batching " +
-                 (g_timed_batched ? "on" : "off"));
+                 (g_timed_batched ? "on" : "off") + ", run dispatch " +
+                 (g_dispatch == vgpu::RunDispatch::kThreaded ? "threaded"
+                                                             : "switch"));
   speed.print("fast path vs reference",
               "speedup = reference wall / fast wall; 'stats identical' "
               "compares LaunchStats::core() incl. cycles");
@@ -429,6 +497,11 @@ void run_all(std::uint32_t n) {
                "closed-form run issue vs per-instruction issue; both must "
                "report identical LaunchStats::core() incl. cycles; walls "
                "are min over two interleaved off/on pairs");
+  tdispatch.print("threaded dispatch (functional executor)",
+                  "compiled threaded-code run loop vs the per-instruction "
+                  "exec_alu switch; both must report identical "
+                  "LaunchStats::core(); walls are min over two interleaved "
+                  "switch/threaded pairs");
 }
 
 void bm_sim_throughput(benchmark::State& state) {
@@ -467,6 +540,10 @@ int main(int argc, char** argv) {
       g_timed_batched = false;
     } else if (std::strcmp(argv[a], "--timed-batched=on") == 0) {
       g_timed_batched = true;
+    } else if (std::strcmp(argv[a], "--dispatch=switch") == 0) {
+      g_dispatch = vgpu::RunDispatch::kSwitch;
+    } else if (std::strcmp(argv[a], "--dispatch=threaded") == 0) {
+      g_dispatch = vgpu::RunDispatch::kThreaded;
     } else {
       argv[out++] = argv[a];
     }

@@ -34,6 +34,8 @@ JsonValue to_json(const vgpu::LaunchStats& s) {
   v["conflict_memo_misses"] = s.conflict_memo_misses;
   v["timed_runs_issued"] = s.timed_runs_issued;
   v["timed_run_fallbacks"] = s.timed_run_fallbacks;
+  v["decode_cache_hits"] = s.decode_cache_hits;
+  v["decode_cache_misses"] = s.decode_cache_misses;
   v["local_requests"] = s.local_requests;
   v["const_requests"] = s.const_requests;
   v["tex_requests"] = s.tex_requests;

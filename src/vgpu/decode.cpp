@@ -1,44 +1,20 @@
 #include "vgpu/decode.hpp"
 
 #include "vgpu/check.hpp"
+#include "vgpu/opclass.hpp"
 
 namespace vgpu {
 
 namespace {
 
-[[nodiscard]] StepResult::Kind classify(Opcode op) {
-  switch (op) {
-    case Opcode::kLdGlobal:
-    case Opcode::kStGlobal:
-      return StepResult::Kind::kGlobal;
-    case Opcode::kLdShared:
-    case Opcode::kStShared:
-      return StepResult::Kind::kShared;
-    case Opcode::kLdConst:
-      return StepResult::Kind::kConst;
-    case Opcode::kLdTex:
-      return StepResult::Kind::kTex;
-    case Opcode::kLdLocal:
-    case Opcode::kStLocal:
-      return StepResult::Kind::kLocal;
-    case Opcode::kBar:
-      return StepResult::Kind::kBarrier;
-    case Opcode::kExit:
-      return StepResult::Kind::kExit;
-    default:
-      return StepResult::Kind::kAlu;
-  }
-}
-
 /// True when the instruction can sit inside a converged straight-line run:
 /// a register ALU op with no guard, no predicate write, no control flow and
-/// no clock read. Branches classify() as kAlu, so they are excluded by
-/// opcode; kMovSpecial is batchable except for the %clock special, whose
-/// value depends on the issue cycle.
+/// no clock read. The opcode-level half lives in the shared trait table
+/// (opclass.hpp, run_eligible - which already excludes branches, predicate
+/// writers and %clock); kMovSpecial additionally excludes the %clock
+/// special, whose value depends on the issue cycle.
 [[nodiscard]] bool batchable(const DecodedInstr& d) {
-  if (d.kind != StepResult::Kind::kAlu) return false;
-  if (d.op == Opcode::kBra || d.op == Opcode::kBraCond) return false;
-  if (d.op == Opcode::kClock) return false;
+  if (!op_traits(d.op).run_eligible) return false;
   if (d.op == Opcode::kMovSpecial &&
       static_cast<Special>(d.imm) == Special::kClock) {
     return false;
@@ -67,7 +43,7 @@ DecodedProgram decode(const Program& prog) {
     for (const Instruction& in : blk.instrs) {
       DecodedInstr d;
       d.op = in.op;
-      d.kind = classify(in.op);
+      d.kind = op_traits(in.op).kind;
       d.region = blk.region;
       d.dst_slot = slot_of(in.dst);
       d.src_slot[0] = slot_of(in.src[0]);

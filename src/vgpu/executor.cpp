@@ -7,6 +7,7 @@
 #include "vgpu/coalesce.hpp"
 #include "vgpu/decode.hpp"
 #include "vgpu/memo.hpp"
+#include "vgpu/progcache.hpp"
 
 namespace vgpu {
 
@@ -54,11 +55,15 @@ LaunchStats run_functional(const Program& prog, const DeviceSpec& spec,
   CoalesceResult scratch;
   scratch.transactions.reserve(32);
 
-  std::optional<DecodedProgram> dec;
+  std::shared_ptr<const CompiledKernel> ck;
   std::optional<CoalesceMemo> memo;
   std::optional<ConflictMemo> cmemo;
   if (!opt.reference) {
-    dec.emplace(decode(prog));
+    bool cache_hit = false;
+    ck = acquire_compiled(prog, opt.decode_cache, &cache_hit);
+    if (opt.decode_cache) {
+      ++(cache_hit ? stats.decode_cache_hits : stats.decode_cache_misses);
+    }
     memo.emplace(opt.driver);
     cmemo.emplace(spec.warp_size, spec.half_warp, spec.shared_mem_banks);
   }
@@ -72,8 +77,11 @@ LaunchStats run_functional(const Program& prog, const DeviceSpec& spec,
   for (std::uint32_t b = 0; b < cfg.grid_blocks; ++b) {
     BlockParams bp{b, cfg, params, 0, opt.cmem};
     if (!exec || opt.reference) {
-      exec.emplace(prog, spec, gmem, bp, dec ? &*dec : nullptr);
+      exec.emplace(prog, spec, gmem, bp, ck ? &ck->decoded() : nullptr);
       if (cmemo) exec->set_conflict_memo(&*cmemo);
+      if (ck && opt.dispatch == RunDispatch::kThreaded) {
+        exec->set_threaded(&ck->threaded());
+      }
     } else {
       exec->reset(bp);
     }

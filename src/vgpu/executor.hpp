@@ -13,6 +13,7 @@
 #include "vgpu/interp.hpp"
 #include "vgpu/launch.hpp"
 #include "vgpu/memory.hpp"
+#include "vgpu/threaded.hpp"
 
 namespace vgpu {
 
@@ -33,6 +34,15 @@ struct FunctionalOptions {
   /// LaunchStats::core(); `sim_throughput --batched=off` and the batched
   /// equivalence tests exercise this flag.
   bool batched = true;
+  /// How batched runs execute: the compiled threaded-code loop
+  /// (threaded.hpp, the default) or the legacy per-instruction exec_alu
+  /// switch. Bit-identical by construction; `sim_throughput
+  /// --dispatch=switch` and the threaded-dispatch tests exercise both.
+  RunDispatch dispatch = RunDispatch::kThreaded;
+  /// Serve decode + threaded compilation from the process-wide cache
+  /// (progcache.hpp) so repeat launches of the same program skip redecode.
+  /// Off: compile privately per launch. Ignored on the reference path.
+  bool decode_cache = true;
 };
 
 /// Execute the whole grid block-by-block. The program must be finished

@@ -7,6 +7,8 @@
 #include "vgpu/check.hpp"
 #include "vgpu/decode.hpp"
 #include "vgpu/memo.hpp"
+#include "vgpu/opclass.hpp"
+#include "vgpu/threaded.hpp"
 
 namespace vgpu {
 
@@ -15,28 +17,15 @@ namespace {
 [[nodiscard]] float as_f32(std::uint32_t v) { return std::bit_cast<float>(v); }
 [[nodiscard]] std::uint32_t as_u32(float v) { return std::bit_cast<std::uint32_t>(v); }
 
+// Both interpreter paths and the threaded backend evaluate kSetp through
+// the one shared eval_cmp (opclass.hpp); these aliases keep the call sites
+// below readable.
 [[nodiscard]] bool cmp_u32(CmpOp op, std::uint32_t a, std::uint32_t b) {
-  switch (op) {
-    case CmpOp::kEq: return a == b;
-    case CmpOp::kNe: return a != b;
-    case CmpOp::kLt: return a < b;
-    case CmpOp::kLe: return a <= b;
-    case CmpOp::kGt: return a > b;
-    case CmpOp::kGe: return a >= b;
-  }
-  return false;
+  return eval_cmp(op, a, b);
 }
 
 [[nodiscard]] bool cmp_f32(CmpOp op, float a, float b) {
-  switch (op) {
-    case CmpOp::kEq: return a == b;
-    case CmpOp::kNe: return a != b;
-    case CmpOp::kLt: return a < b;
-    case CmpOp::kLe: return a <= b;
-    case CmpOp::kGt: return a > b;
-    case CmpOp::kGe: return a >= b;
-  }
-  return false;
+  return eval_cmp(op, a, b);
 }
 
 }  // namespace
@@ -706,7 +695,43 @@ StepResult BlockExec::step_fast(std::uint32_t w, std::uint64_t now) {
       const std::uint32_t wbytes = d.width_bytes;
       const bool has_base = d.src_slot[0] != kNoSlot;
       const std::uint32_t* const ab = has_base ? row(d.src_slot[0]) : nullptr;
-      if (d.is_store) {
+      if (converged && has_base && !d.is_store) {
+        // Converged loads (the tile kernels' inner loop) skip the per-lane
+        // checked accessors: one vectorizable pass computes every lane
+        // address and aggregates alignment (OR of the low bits - wbytes is a
+        // power of two), the broadcast test and the maximum for a single
+        // warp-wide bounds check, then the data moves through the raw word
+        // array. A broadcast (all lanes at one address - every tile read)
+        // collapses the 32-lane gather to one load per word, splatted.
+        std::uint32_t agg = 0, mx = 0, diff = 0;
+        const std::uint32_t first = ab[0] + d.imm;
+        for (std::uint32_t l = 0; l < warp_size; ++l) {
+          const std::uint32_t addr = ab[l] + d.imm;
+          res.lane_addrs[l] = addr;
+          agg |= addr;
+          diff |= addr ^ first;
+          mx = std::max(mx, addr);
+        }
+        VGPU_EXPECTS_MSG((agg & (wbytes - 1u)) == 0, "misaligned shared access");
+        VGPU_EXPECTS_MSG(static_cast<std::uint64_t>(mx) + 4ull * words <=
+                             smem_.size_bytes(),
+                         "shared load out of bounds");
+        const std::uint32_t* const sp = smem_.words();
+        std::uint32_t* const o = row(d.dst_slot);
+        if (diff == 0) {
+          for (std::uint32_t c = 0; c < words; ++c) {
+            const std::uint32_t v = sp[first / 4u + c];
+            for (std::uint32_t l = 0; l < warp_size; ++l) o[c * 32u + l] = v;
+          }
+        } else {
+          for (std::uint32_t l = 0; l < warp_size; ++l) {
+            const std::uint32_t w0 = res.lane_addrs[l] / 4u;
+            for (std::uint32_t c = 0; c < words; ++c) {
+              o[c * 32u + l] = sp[w0 + c];
+            }
+          }
+        }
+      } else if (d.is_store) {
         const std::uint32_t* const v = row(d.src_slot[1]);
         for_lanes([&](std::uint32_t l) {
           const std::uint32_t addr = (has_base ? ab[l] : 0u) + d.imm;
@@ -810,9 +835,25 @@ const DecodedRun* BlockExec::step_run(std::uint32_t w, std::uint32_t max_len) {
   const std::uint32_t n =
       max_len == 0 ? run.len : std::min(max_len, run.len);
   const std::uint32_t base_thread = ws.index * spec_.warp_size;
-  const DecodedInstr* const ds = dec_->instrs.data() + first;
-  for (std::uint32_t i = 0; i < n; ++i) {
-    exec_alu(ds[i], ws, full_mask_, /*converged=*/true, base_thread, 0);
+  if (threaded_ != nullptr) {
+    // Compiled dispatch: pre-resolved operand rows, dense handlers, one
+    // indirect jump per instruction (threaded.cpp). Bit-identical to the
+    // exec_alu loop below.
+    ThreadedCtx ctx;
+    ctx.params = bp_.params.data();
+    ctx.block_id = bp_.block_id;
+    ctx.block_threads = bp_.cfg.block_threads;
+    ctx.grid_blocks = bp_.cfg.grid_blocks;
+    ctx.sm_id = bp_.sm_id;
+    ctx.warp_index = ws.index;
+    ctx.base_thread = base_thread;
+    ctx.warp_size = spec_.warp_size;
+    exec_threaded(threaded_->ops.data() + first, n, ws.regs, ws.preds, ctx);
+  } else {
+    const DecodedInstr* const ds = dec_->instrs.data() + first;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      exec_alu(ds[i], ws, full_mask_, /*converged=*/true, base_thread, 0);
+    }
   }
   ws.ip += n;
   ws.issued += n;
@@ -1071,16 +1112,43 @@ void BlockExec::exec_alu(const DecodedInstr& d, WarpState& ws, Mask exec,
       const std::uint32_t* const a = row(d.src_slot[0]);
       const bool has_reg_b = d.src_slot[1] != kNoSlot;
       const std::uint32_t* const b = has_reg_b ? row(d.src_slot[1]) : nullptr;
-      if (d.cmp_is_float) {
-        for_lanes([&](std::uint32_t l) {
-          const float bb = has_reg_b ? as_f32(b[l]) : as_f32(d.imm);
-          if (cmp_f32(d.cmp, as_f32(a[l]), bb)) result |= 1u << l;
-        });
-      } else {
-        for_lanes([&](std::uint32_t l) {
-          const std::uint32_t bb = has_reg_b ? b[l] : d.imm;
-          if (cmp_u32(d.cmp, a[l], bb)) result |= 1u << l;
-        });
+      // The comparison op is dispatched once, outside the lane loop, to a
+      // branchless cmp-specialized loop (result bits accumulate by shift-or,
+      // not a data-dependent branch); semantics per case are exactly
+      // eval_cmp's operators.
+      auto cmp_loop = [&](auto cmpfn) {
+        if (d.cmp_is_float) {
+          if (has_reg_b) {
+            for_lanes([&](std::uint32_t l) {
+              result |= static_cast<Mask>(cmpfn(as_f32(a[l]), as_f32(b[l])))
+                        << l;
+            });
+          } else {
+            const float bi = as_f32(d.imm);
+            for_lanes([&](std::uint32_t l) {
+              result |= static_cast<Mask>(cmpfn(as_f32(a[l]), bi)) << l;
+            });
+          }
+        } else {
+          if (has_reg_b) {
+            for_lanes([&](std::uint32_t l) {
+              result |= static_cast<Mask>(cmpfn(a[l], b[l])) << l;
+            });
+          } else {
+            const std::uint32_t bi = d.imm;
+            for_lanes([&](std::uint32_t l) {
+              result |= static_cast<Mask>(cmpfn(a[l], bi)) << l;
+            });
+          }
+        }
+      };
+      switch (d.cmp) {
+        case CmpOp::kEq: cmp_loop([](auto x, auto y) { return x == y; }); break;
+        case CmpOp::kNe: cmp_loop([](auto x, auto y) { return x != y; }); break;
+        case CmpOp::kLt: cmp_loop([](auto x, auto y) { return x < y; }); break;
+        case CmpOp::kLe: cmp_loop([](auto x, auto y) { return x <= y; }); break;
+        case CmpOp::kGt: cmp_loop([](auto x, auto y) { return x > y; }); break;
+        case CmpOp::kGe: cmp_loop([](auto x, auto y) { return x >= y; }); break;
       }
       ws.preds[d.pdst] = (ws.preds[d.pdst] & ~exec) | (result & exec);
       break;

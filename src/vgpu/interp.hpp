@@ -36,6 +36,7 @@ namespace vgpu {
 struct DecodedInstr;
 struct DecodedProgram;
 struct DecodedRun;
+struct ThreadedProgram;
 class ConflictMemo;
 
 using Mask = std::uint32_t;
@@ -146,6 +147,14 @@ class BlockExec {
     return (warps_[w].active & full_mask_) == full_mask_;
   }
 
+  /// Install a compiled threaded-code program (threaded.hpp) for batched
+  /// run dispatch: step_run then executes runs through the threaded
+  /// executor instead of the per-instruction exec_alu switch. The program
+  /// must be `build_threaded(*dec)` for the decoded program this BlockExec
+  /// was constructed with; nullptr restores the exec_alu loop. Both
+  /// dispatches are bit-identical in every architectural effect.
+  void set_threaded(const ThreadedProgram* tp) { threaded_ = tp; }
+
   /// Install a bank-conflict memo consulted by the fast path's shared-memory
   /// steps (nullptr = compute degrees directly). The memo must be bound to
   /// this device's warp geometry and bank count, and must not be shared
@@ -202,6 +211,7 @@ class BlockExec {
   std::vector<WarpState> warps_;
 
   const DecodedProgram* dec_ = nullptr;
+  const ThreadedProgram* threaded_ = nullptr;  ///< optional run dispatch
   ConflictMemo* cmemo_ = nullptr;  ///< optional, fast path only
   /// Mask of lanes that exist at this warp size; `exec` covering all of
   /// them enables the convergence fast path (no per-lane mask tests).

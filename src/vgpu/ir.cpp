@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "vgpu/launch.hpp"
+#include "vgpu/opclass.hpp"
 
 namespace vgpu {
 
@@ -116,59 +117,7 @@ const char* to_string(InstrClass c) {
   return "?";
 }
 
-InstrClass instr_class(Opcode op) {
-  switch (op) {
-    case Opcode::kFAdd:
-    case Opcode::kFSub:
-    case Opcode::kFMul:
-    case Opcode::kFFma:
-    case Opcode::kFRcp:
-    case Opcode::kFRsqrt:
-    case Opcode::kFNeg:
-    case Opcode::kFAbs:
-    case Opcode::kFMin:
-    case Opcode::kFMax:
-    case Opcode::kI2F:
-      return InstrClass::kFloatAlu;
-    case Opcode::kIAdd:
-    case Opcode::kISub:
-    case Opcode::kIMul:
-    case Opcode::kIMad:
-    case Opcode::kIAddImm:
-    case Opcode::kShl:
-    case Opcode::kShr:
-    case Opcode::kAnd:
-    case Opcode::kOr:
-    case Opcode::kXor:
-    case Opcode::kIMin:
-    case Opcode::kIMax:
-    case Opcode::kF2I:
-      return InstrClass::kIntAlu;
-    case Opcode::kLdGlobal:
-    case Opcode::kStGlobal:
-      return InstrClass::kGlobalMemory;
-    case Opcode::kLdShared:
-    case Opcode::kStShared:
-      return InstrClass::kSharedMemory;
-    case Opcode::kLdConst:
-      return InstrClass::kOther;
-    case Opcode::kLdTex:
-    case Opcode::kLdLocal:
-    case Opcode::kStLocal:
-      return InstrClass::kGlobalMemory;
-    case Opcode::kBra:
-    case Opcode::kBraCond:
-    case Opcode::kExit:
-    case Opcode::kBar:
-    case Opcode::kSetp:
-    case Opcode::kPAnd:
-    case Opcode::kPOr:
-    case Opcode::kPNot:
-      return InstrClass::kControl;
-    default:
-      return InstrClass::kOther;
-  }
-}
+InstrClass instr_class(Opcode op) { return op_traits(op).klass; }
 
 void Program::refresh_virtual_layout() {
   reg_base.resize(regs.size());

@@ -162,12 +162,16 @@ struct Instruction {
   [[nodiscard]] bool is_global_memory() const {
     return op == Opcode::kLdGlobal || op == Opcode::kStGlobal;
   }
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
 };
 
 /// Register metadata: scalar type and width in 32-bit words (1, 2 or 4).
 struct RegInfo {
   VType type = VType::kU32;
   std::uint8_t width = 1;
+
+  friend bool operator==(const RegInfo&, const RegInfo&) = default;
 };
 
 /// Dynamic-instruction accounting region, used by the Eq. 3 (S/B/P)
@@ -183,6 +187,8 @@ struct Block {
   Region region = Region::kOther;
 
   [[nodiscard]] const Instruction& terminator() const { return instrs.back(); }
+
+  friend bool operator==(const Block&, const Block&) = default;
 };
 
 /// Metadata describing a counted loop, recorded by the KernelBuilder so the
@@ -196,6 +202,8 @@ struct LoopInfo {
   std::uint32_t start = 0;       ///< first iv value
   std::uint32_t step = 1;        ///< iv increment per iteration
   std::uint32_t trip_count = 0;  ///< constant trip count (0 = unknown)
+
+  friend bool operator==(const LoopInfo&, const LoopInfo&) = default;
 };
 
 struct Program {
@@ -227,6 +235,10 @@ struct Program {
 
   [[nodiscard]] std::size_t instruction_count() const;
   [[nodiscard]] std::size_t block_instruction_count(BlockId b) const;
+
+  /// Structural equality over every field that affects decode/compilation;
+  /// the decode cache (progcache.hpp) uses this to verify hash hits.
+  friend bool operator==(const Program&, const Program&) = default;
 };
 
 /// Human-readable disassembly (one instruction per line, blocks labelled).

@@ -79,6 +79,11 @@ struct LaunchStats {
   /// batch attempts that degenerated to single-step issue.
   std::uint64_t timed_runs_issued = 0;
   std::uint64_t timed_run_fallbacks = 0;
+  /// Decode-cache totals (zero on the reference path and with the cache
+  /// disabled): compiled-kernel lookups served from the process-wide cache
+  /// (progcache.hpp) vs. populated by a fresh decode + threaded compile.
+  std::uint64_t decode_cache_hits = 0;
+  std::uint64_t decode_cache_misses = 0;
 
   [[nodiscard]] std::uint64_t region(Region r) const {
     return region_instructions[static_cast<std::size_t>(r)];
@@ -97,6 +102,8 @@ struct LaunchStats {
     c.conflict_memo_misses = 0;
     c.timed_runs_issued = 0;
     c.timed_run_fallbacks = 0;
+    c.decode_cache_hits = 0;
+    c.decode_cache_misses = 0;
     return c;
   }
 };

@@ -116,6 +116,12 @@ class SharedMemory {
 
   void clear() { std::fill(data_.begin(), data_.end(), 0u); }
 
+  /// Raw word storage for bulk warp accesses whose alignment and bounds the
+  /// caller has already checked in aggregate (BlockExec's converged-warp
+  /// shared path); word w is byte address 4*w.
+  [[nodiscard]] std::uint32_t* words() { return data_.data(); }
+  [[nodiscard]] const std::uint32_t* words() const { return data_.data(); }
+
   /// Bank index of a byte address (one 32-bit word per bank, round robin).
   [[nodiscard]] std::uint32_t bank_of(std::uint32_t addr) const {
     return (addr / 4) % banks_;

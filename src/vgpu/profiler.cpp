@@ -91,6 +91,13 @@ std::string format_profile(const KernelProfile& p, const DeviceSpec& spec) {
          100.0 * static_cast<double>(s.timed_runs_issued) /
              static_cast<double>(s.timed_runs_issued + s.timed_run_fallbacks));
   }
+  if (s.decode_cache_hits + s.decode_cache_misses > 0) {
+    line("decode cache   : %llu hits / %llu misses (%.1f%% hit rate)",
+         static_cast<unsigned long long>(s.decode_cache_hits),
+         static_cast<unsigned long long>(s.decode_cache_misses),
+         100.0 * static_cast<double>(s.decode_cache_hits) /
+             static_cast<double>(s.decode_cache_hits + s.decode_cache_misses));
+  }
   os << "instruction mix:";
   const std::uint64_t total = s.warp_instructions > 0 ? s.warp_instructions : 1;
   for (std::size_t c = 0; c < s.instr_class_counts.size(); ++c) {

@@ -22,6 +22,7 @@
 #include "vgpu/interp.hpp"
 #include "vgpu/memo.hpp"
 #include "vgpu/occupancy.hpp"
+#include "vgpu/progcache.hpp"
 #include "vgpu/timeline.hpp"
 
 namespace vgpu {
@@ -86,8 +87,8 @@ struct ResidentBlock {
   /// scoreboard write when the block has since retired (the serial order is
   /// write-then-reset, so a stale write must not land in the new block).
   std::uint64_t generation = 0;
-  /// Batched mode's hoisted scoreboard walk: per warp, the cached result of
-  /// a pick_warp probe - the warp's next-instruction ready cycle
+  /// The fast path's hoisted scoreboard walk: per warp, the cached result
+  /// of a pick_warp probe - the warp's next-instruction ready cycle
   /// (ready_cache, valid while ready_state is kReadyCached) or a skip mark
   /// for done/at-barrier warps (kReadySkip). A cached probe is a compare
   /// instead of a peek + dependency walk; every event that could change the
@@ -129,8 +130,9 @@ struct Sm {
   std::vector<ResidentBlock> slots;
   std::uint32_t rr = 0;  ///< round-robin cursor over (slot, warp) pairs
   /// A warp's done/at-barrier state may have changed since the last
-  /// barrier-release scan. Batched ALU issues cannot change it, so the
-  /// batched mode elides the scan while this stays false.
+  /// barrier-release scan. Only generic steps reaching a barrier/exit and
+  /// dispatches can change it (and both set this), so the fast path elides
+  /// the scan while it stays false.
   bool barrier_dirty = true;
   /// Adaptive attempt gate for batched issue. When every other warp keeps
   /// the SM saturated, round-robin preempts every batch at one instruction;
@@ -483,9 +485,9 @@ class TimedRun {
                            ///< requested or a sink is attached)
   bool attr_ = false;      ///< fill per-PC attribution tables (fast path)
   double channel_cycles_per_byte_ = 0.0;
-  std::optional<DecodedProgram> dec_;
+  std::shared_ptr<const CompiledKernel> ck_;  ///< fast path only
   const DecodedProgram* decp_ = nullptr;
-  std::optional<RunScheduleTable> sched_;  ///< batched_ only
+  const RunScheduleTable* sched_ = nullptr;  ///< batched_ only
 
   // Run state.
   std::vector<Sm> sms_;
@@ -540,6 +542,9 @@ void TimedRun::do_dispatch(Sm& sm, std::size_t slot, std::uint32_t sm_id,
       // threads. Installed once; reset() keeps the pointer.
       WorkerCtx& ctx = workers_[sm_id % nthreads_];
       rb.exec->set_conflict_memo(ctx.cmemo ? &*ctx.cmemo : nullptr);
+      if (opt_.dispatch == RunDispatch::kThreaded) {
+        rb.exec->set_threaded(&ck_->threaded());
+      }
     }
   }
   rb.reg_ready.assign(
@@ -676,7 +681,7 @@ TimedRun::Pick TimedRun::pick_warp(Sm& sm) const {
     ResidentBlock& rb = sm.slots[slot];
     if (!rb.exec) continue;
     std::uint64_t ready_at;
-    if (batched_ && rb.ready_state[w] != kReadyInvalid) {
+    if (fast_ && rb.ready_state[w] != kReadyInvalid) {
       // Hoisted scoreboard walk: nothing that feeds this warp's probe has
       // changed since it was last computed.
       if (rb.ready_state[w] == kReadySkip) continue;  // done or at barrier
@@ -684,15 +689,13 @@ TimedRun::Pick TimedRun::pick_warp(Sm& sm) const {
     } else if (fast_) {
       const DecodedInstr* din = rb.exec->peek_decoded(w);
       if (din == nullptr) {  // done or at barrier
-        if (batched_) {
-          rb.ready_state[w] = kReadySkip;
-          sm.batch_ok = true;  // the candidate population thinned
-        }
+        rb.ready_state[w] = kReadySkip;
+        if (batched_) sm.batch_ok = true;  // the candidate population thinned
         continue;
       }
       ready_at =
           std::max(rb.exec->warp(w).ready_cycle, dep_ready_fast(rb, w, *din));
-      if (batched_ && !(p.chosen < 0 && ready_at <= sm.cycle)) {
+      if (!(p.chosen < 0 && ready_at <= sm.cycle)) {
         // A probe about to be chosen gets invalidated by its own issue in
         // this same step; storing it would be wasted work on the dominant
         // saturated path.
@@ -1005,12 +1008,12 @@ void TimedRun::issue_run(Sm& sm, std::uint32_t sm_id, std::size_t slot,
 void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
                        std::uint64_t bucket_end) {
   LaunchStats& stats = ctx.stats;
-  // 1. release any satisfiable barriers. Batched issues execute only in-run
-  // ALU instructions, which cannot change any warp's done/at-barrier state,
-  // so in batched mode the scan is elided until a generic step or a
-  // dispatch could have dirtied it (single-step mode keeps the
-  // unconditional scan of the reference schedule).
-  if (!batched_ || sm.barrier_dirty) {
+  // 1. release any satisfiable barriers. Only a generic step or a dispatch
+  // can change a warp's done/at-barrier state, and both dirty the flag, so
+  // the whole fast path (batched or single-step) elides the scan until then;
+  // the reference path keeps the unconditional scan of the original
+  // schedule.
+  if (!fast_ || sm.barrier_dirty) {
     for (std::size_t slot = 0; slot < sm.slots.size(); ++slot) {
       BlockExec* exec = sm.slots[slot].exec.get();
       if (exec && exec->barrier_releasable()) {
@@ -1813,11 +1816,17 @@ LaunchStats TimedRun::run() {
   channel_cycles_per_byte_ =
       static_cast<double>(t_.dram_partitions) / static_cast<double>(dram_bpc);
 
-  if (!opt_.reference) dec_.emplace(decode(prog_));
-  decp_ = dec_ ? &*dec_ : nullptr;
+  if (!opt_.reference) {
+    bool cache_hit = false;
+    ck_ = acquire_compiled(prog_, opt_.decode_cache, &cache_hit);
+    if (opt_.decode_cache) {
+      ++(cache_hit ? stats_.decode_cache_hits : stats_.decode_cache_misses);
+    }
+    decp_ = &ck_->decoded();
+  }
   fast_ = decp_ != nullptr;
   batched_ = fast_ && opt_.batched;
-  if (batched_) sched_.emplace(schedule_runs(*decp_, t_));
+  if (batched_) sched_ = &ck_->schedule(t_);
   // Per-PC attribution needs the decoded PC mapping (fast path only);
   // stall classification additionally feeds StallSpan reasons, so it runs
   // whenever a sink is attached, on either path.

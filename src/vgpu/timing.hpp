@@ -23,6 +23,7 @@
 #include "vgpu/attribution.hpp"
 #include "vgpu/launch.hpp"
 #include "vgpu/memory.hpp"
+#include "vgpu/threaded.hpp"
 
 namespace vgpu {
 
@@ -54,6 +55,14 @@ struct TimingOptions {
   /// thread count (docs/performance.md, "Timed run batching"); off forces
   /// per-instruction issue. Ignored on the reference path.
   bool batched = true;
+  /// How issued runs execute architecturally (BlockExec::step_run): the
+  /// compiled threaded-code loop (threaded.hpp, the default) or the legacy
+  /// per-instruction exec_alu switch. Bit-identical by construction.
+  RunDispatch dispatch = RunDispatch::kThreaded;
+  /// Serve decode + threaded compilation (and the per-TimingParams run
+  /// schedules) from the process-wide cache (progcache.hpp). Off: compile
+  /// privately per launch. Ignored on the reference path.
+  bool decode_cache = true;
   /// Per-static-PC stall attribution output (null = off). When set on the
   /// fast path, the run fills the table with issue cycles, stall cycles by
   /// StallReason and memory traffic per decoded PC; the per-PC sums

@@ -37,7 +37,8 @@ RunOutput run_once(Device& dev, const Program& prog, const LaunchConfig& cfg,
                    std::span<const std::uint32_t> params, DriverModel driver,
                    bool timed, bool reference, Buffer out_buf,
                    std::size_t out_words, std::uint32_t threads = 1,
-                   bool batched = true) {
+                   bool batched = true,
+                   RunDispatch dispatch = RunDispatch::kThreaded) {
   RunOutput r;
   if (timed) {
     TimingOptions topt;
@@ -45,12 +46,14 @@ RunOutput run_once(Device& dev, const Program& prog, const LaunchConfig& cfg,
     topt.reference = reference;
     topt.threads = threads;
     topt.batched = batched;
+    topt.dispatch = dispatch;
     r.stats = dev.launch_timed(prog, cfg, params, topt);
   } else {
     FunctionalOptions fopt;
     fopt.driver = driver;
     fopt.reference = reference;
     fopt.batched = batched;
+    fopt.dispatch = dispatch;
     r.stats = dev.launch_functional(prog, cfg, params, fopt);
   }
   r.out.resize(out_words);
@@ -87,6 +90,17 @@ void expect_equivalent(Device& dev, const Program& prog,
           << what << ": batched vs single-step outputs diverged";
       EXPECT_TRUE(unbatched.stats.core() == fast.stats.core())
           << what << ": batched vs single-step stats diverged";
+      // Threaded-code dispatch (the default above) vs the legacy opcode
+      // switch: same batched run boundaries, different dispatch loop; both
+      // must be bit-identical on every kernel this suite pins.
+      const RunOutput sw =
+          run_once(dev, prog, cfg, params, driver, /*timed=*/false,
+                   /*reference=*/false, out_buf, out_words, 1,
+                   /*batched=*/true, RunDispatch::kSwitch);
+      EXPECT_EQ(sw.out, fast.out)
+          << what << ": switch vs threaded dispatch outputs diverged";
+      EXPECT_TRUE(sw.stats.core() == fast.stats.core())
+          << what << ": switch vs threaded dispatch stats diverged";
     }
     if (timed) {
       EXPECT_GT(fast.stats.cycles, 0u) << what;
@@ -127,6 +141,23 @@ void expect_equivalent(Device& dev, const Program& prog,
             << " cycles diverged";
         EXPECT_TRUE(off.stats.core() == fast.stats.core())
             << what << ": timed single-step threads=" << threads
+            << " stats diverged";
+      }
+      // Switch dispatch under the timing executor, at every thread count:
+      // cycles and core() must match the threaded-dispatch default exactly.
+      for (const std::uint32_t threads : {1u, 2u, 4u}) {
+        const RunOutput sw =
+            run_once(dev, prog, cfg, params, driver, /*timed=*/true,
+                     /*reference=*/false, out_buf, out_words, threads,
+                     /*batched=*/true, RunDispatch::kSwitch);
+        EXPECT_EQ(sw.out, fast.out)
+            << what << ": timed switch dispatch threads=" << threads
+            << " outputs diverged";
+        EXPECT_EQ(sw.stats.cycles, fast.stats.cycles)
+            << what << ": timed switch dispatch threads=" << threads
+            << " cycles diverged";
+        EXPECT_TRUE(sw.stats.core() == fast.stats.core())
+            << what << ": timed switch dispatch threads=" << threads
             << " stats diverged";
       }
     }

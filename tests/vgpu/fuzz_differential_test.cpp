@@ -162,7 +162,8 @@ struct DiffRun {
 
 DiffRun run_diff(const Program& prog, DriverModel driver, bool timed,
                  bool reference, std::uint32_t threads = 1,
-                 bool batched = true, Attribution* attr = nullptr) {
+                 bool batched = true, Attribution* attr = nullptr,
+                 RunDispatch dispatch = RunDispatch::kThreaded) {
   const std::uint32_t n = 128;
   Device dev(tiny_spec(), 1 << 20);
   std::vector<float> input(4096);
@@ -181,12 +182,14 @@ DiffRun run_diff(const Program& prog, DriverModel driver, bool timed,
     topt.threads = threads;
     topt.batched = batched;
     topt.attribution = attr;
+    topt.dispatch = dispatch;
     r.stats = dev.launch_timed(prog, cfg, params, topt);
   } else {
     FunctionalOptions fopt;
     fopt.driver = driver;
     fopt.reference = reference;
     fopt.batched = batched;
+    fopt.dispatch = dispatch;
     r.stats = dev.launch_functional(prog, cfg, params, fopt);
   }
   r.out.resize(n);
@@ -285,6 +288,48 @@ TEST_P(FuzzSeed, FastPathMatchesReferenceExecutor) {
           << "timed batched cycles diverged, driver " << to_string(driver);
       EXPECT_TRUE(single.stats.core() == fast.stats.core())
           << "timed batched stats diverged, driver " << to_string(driver);
+    }
+  }
+}
+
+// Fifth differential axis: run dispatch. The threaded-code backend
+// (RunDispatch::kThreaded, the default everywhere above) and the legacy
+// per-instruction opcode switch must be bit-identical for every seed and
+// driver - memory contents and LaunchStats::core(), cycles included in
+// timing mode, at 1/2/4 timing threads.
+TEST_P(FuzzSeed, ThreadedDispatchMatchesSwitch) {
+  RandomKernelGen gen(GetParam());
+  Program p = gen.generate();
+  run_standard_pipeline(p);
+  allocate_registers(p);
+  verify(p);
+
+  for (const DriverModel driver :
+       {DriverModel::kCuda10, DriverModel::kCuda11, DriverModel::kCuda22}) {
+    {
+      const DiffRun th = run_diff(p, driver, /*timed=*/false, false);
+      const DiffRun sw = run_diff(p, driver, /*timed=*/false, false, 1, true,
+                                  nullptr, RunDispatch::kSwitch);
+      EXPECT_EQ(sw.out, th.out)
+          << "functional dispatch outputs diverged, driver "
+          << to_string(driver);
+      EXPECT_TRUE(sw.stats.core() == th.stats.core())
+          << "functional dispatch stats diverged, driver "
+          << to_string(driver);
+    }
+    const DiffRun th = run_diff(p, driver, /*timed=*/true, false);
+    for (const std::uint32_t threads : {1u, 2u, 4u}) {
+      const DiffRun sw = run_diff(p, driver, /*timed=*/true, false, threads,
+                                  true, nullptr, RunDispatch::kSwitch);
+      EXPECT_EQ(sw.out, th.out)
+          << "timed dispatch outputs diverged, driver " << to_string(driver)
+          << ", threads " << threads;
+      EXPECT_EQ(sw.stats.cycles, th.stats.cycles)
+          << "timed dispatch cycles diverged, driver " << to_string(driver)
+          << ", threads " << threads;
+      EXPECT_TRUE(sw.stats.core() == th.stats.core())
+          << "timed dispatch stats diverged, driver " << to_string(driver)
+          << ", threads " << threads;
     }
   }
 }
