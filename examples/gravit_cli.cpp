@@ -6,7 +6,13 @@
 //   ./build/examples/gravit_cli [options]
 //     --scene plummer|cube|disk|collision   (default plummer)
 //     --n <count>                           (default 2048)
-//     --backend cpu|bh|gpu|resident         (default gpu)
+//     --backend cpu|bh|gpu|resident|persistent  (default gpu)
+//                                           (persistent = the resident loop
+//                                            under one persistent kernel
+//                                            launch: grid-wide syncs per
+//                                            step instead of driver
+//                                            launches; identical physics
+//                                            and kernel cycles)
 //     --steps <count>                       (default 50)
 //     --dt <float>                          (default 0.01)
 //     --theta <float>                       (default 0.5, Barnes-Hut)
@@ -84,8 +90,9 @@ gravit::ParticleSet make_scene(const Options& o) {
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
   if (o.backend != "cpu" && o.backend != "bh" && o.backend != "gpu" &&
-      o.backend != "resident") {
-    std::fprintf(stderr, "unknown backend '%s' (cpu|bh|gpu|resident)\n",
+      o.backend != "resident" && o.backend != "persistent") {
+    std::fprintf(stderr,
+                 "unknown backend '%s' (cpu|bh|gpu|resident|persistent)\n",
                  o.backend.c_str());
     return 2;
   }
@@ -95,8 +102,8 @@ int main(int argc, char** argv) {
   // Trace that opens next to any kernel_profiler --trace-out timeline.
   // The energy term is O(n^2) on the host, so it is only computed when a
   // trace was requested. Which counters appear depends on the backend:
-  // cycles need the device ledger (--backend resident), the energy term
-  // needs host-visible particles (every backend except resident).
+  // cycles need the device ledger (--backend resident|persistent), the
+  // energy term needs host-visible particles (the other backends).
   telemetry::ChromeTraceSink trace;
   double e0 = 0.0;
   bool have_e0 = false;
@@ -123,17 +130,21 @@ int main(int argc, char** argv) {
   const int sample_every = std::max(1, o.steps / 10);
   gravit::ParticleSet final_set;
 
-  if (o.backend == "resident") {
+  if (o.backend == "resident" || o.backend == "persistent") {
     gravit::GpuSimulationOptions gpu_opt;
     gpu_opt.dt = o.dt;
     gpu_opt.kernel.unroll = 128;  // the fully optimized kernel
     gpu_opt.timed = true;         // device-cycle ledger for the telemetry
+    if (o.backend == "persistent") {
+      gpu_opt.mode = gravit::GpuExecMode::kPersistent;
+    }
     if (!o.trace_out.empty()) gpu_opt.observer = observer;
 
     const gravit::ParticleSet initial = make_scene(o);
     gravit::GpuSimulation sim(initial, gpu_opt);
-    std::printf("gravit_cli: scene=%s n=%zu backend=resident steps=%d dt=%g\n",
-                o.scene.c_str(), initial.size(), o.steps, o.dt);
+    std::printf("gravit_cli: scene=%s n=%zu backend=%s steps=%d dt=%g\n",
+                o.scene.c_str(), initial.size(), o.backend.c_str(), o.steps,
+                o.dt);
     recorder.record(sim.time(), sim.download());
     for (int step = 1; step <= o.steps; ++step) {
       sim.step();
@@ -146,6 +157,8 @@ int main(int argc, char** argv) {
     }
     std::printf("device time %.3f ms over %d steps\n", sim.device_ms(),
                 o.steps);
+    std::printf("force kernel cycles/step %llu\n",
+                static_cast<unsigned long long>(sim.last_force_stats().cycles));
     final_set = sim.download();
   } else {
     gravit::SimulationOptions sim_opt;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <utility>
 
 #include "layout/transform.hpp"
 #include "vgpu/check.hpp"
@@ -35,7 +36,8 @@ FarfieldGpu::Uploaded FarfieldGpu::upload(const ParticleSet& set,
   up.n_tiles = n_pad / k_tile;
   up.image = dev.malloc(image.size());
   dev.memcpy_h2d(up.image, image);
-  up.accel_out = dev.malloc(static_cast<std::size_t>(n_pad) * 12);
+  up.accel_out =
+      dev.malloc(static_cast<std::size_t>(kernel_.output_bytes(n_pad)));
 
   for (const std::uint64_t base : kernel_.phys.group_bases(n_pad)) {
     up.params.push_back(up.image.addr + static_cast<std::uint32_t>(base));
@@ -49,7 +51,8 @@ namespace {
 
 std::vector<Vec3> download_accel(Device& dev, const Buffer& out,
                                  std::uint32_t n_pad, std::size_t n) {
-  std::vector<float> raw(static_cast<std::size_t>(n_pad) * 3);
+  std::vector<float> raw(static_cast<std::size_t>(n_pad) *
+                         BuiltKernel::kOutputFloatsPerElement);
   dev.download<float>(raw, out);
   std::vector<Vec3> accel(n);
   for (std::size_t k = 0; k < n; ++k) {
@@ -125,7 +128,8 @@ FarfieldGpuResult FarfieldGpu::run_timed(const ParticleSet& set) {
   }
   // results copy-back (the paper's window includes it); under sampling the
   // values are partial, so copy into a scratch buffer for timing only.
-  std::vector<float> scratch(static_cast<std::size_t>(up.n_pad) * 3);
+  std::vector<float> scratch(static_cast<std::size_t>(up.n_pad) *
+                             BuiltKernel::kOutputFloatsPerElement);
   if (sample) {
     dev.download<float>(scratch, up.accel_out);
   }
@@ -137,6 +141,142 @@ FarfieldGpuResult FarfieldGpu::run_timed(const ParticleSet& set) {
     res.end_to_end_ms = dev.timeline_ms();
   }
   res.occupancy = res.stats.occupancy;
+  return res;
+}
+
+PipelineResult FarfieldGpu::run_timed_steps(const ParticleSet& set,
+                                            std::uint32_t steps, bool overlap,
+                                            std::uint32_t h2d_chunks) {
+  VGPU_EXPECTS_MSG(steps > 0, "run_timed_steps needs at least one step");
+  VGPU_EXPECTS_MSG(h2d_chunks > 0, "h2d_chunks must be at least 1");
+  Device dev(vgpu::g80_spec(), options_.device_memory);
+  dev.reset_timeline();
+
+  // Pack the padded input image once on the host. The protocol models a
+  // host that produces fresh inputs every step (Gravit re-uploads particle
+  // state each frame), so each step re-transfers the full image.
+  const std::uint32_t k_tile = options_.kernel.block;
+  const std::uint32_t n_pad = static_cast<std::uint32_t>(
+      (set.size() + k_tile - 1) / k_tile * k_tile);
+  ParticleSet padded = set;
+  padded.pad_to(n_pad);
+  const std::vector<float> flat = padded.flatten();
+  const std::vector<std::byte> image = layout::pack(kernel_.phys, flat, n_pad);
+  const std::uint32_t n_tiles = n_pad / k_tile;
+  const std::size_t out_bytes =
+      static_cast<std::size_t>(kernel_.output_bytes(n_pad));
+  VGPU_EXPECTS_MSG(h2d_chunks <= image.size(),
+                   "more h2d chunks than image bytes");
+
+  // Double-buffered device state: step i uses buffer pair i % 2, so the
+  // upload of step i+1's image can proceed while step i's kernel reads the
+  // other image (overlap mode; serial mode only touches pair 0).
+  const std::uint32_t pairs = overlap ? 2 : 1;
+  Buffer img[2], acc[2];
+  std::vector<std::uint32_t> params[2];
+  for (std::uint32_t b = 0; b < pairs; ++b) {
+    img[b] = dev.malloc(image.size());
+    acc[b] = dev.malloc(out_bytes);
+    for (const std::uint64_t base : kernel_.phys.group_bases(n_pad)) {
+      params[b].push_back(img[b].addr + static_cast<std::uint32_t>(base));
+    }
+    params[b].push_back(acc[b].addr);
+    params[b].push_back(n_tiles);
+  }
+  const LaunchConfig cfg{n_tiles, options_.kernel.block};
+
+  TimingOptions topt;
+  topt.driver = options_.driver;
+  topt.threads = options_.sim_threads;
+  topt.sim_sms = options_.sim_sms;
+  if (options_.max_waves > 0) {
+    const vgpu::OccupancyResult occ = vgpu::compute_occupancy(
+        dev.spec(), cfg.block_threads, kernel_.prog.num_phys_regs,
+        kernel_.prog.shared_bytes);
+    const std::uint32_t wave =
+        vgpu::wave_blocks(dev.spec(), occ, options_.sim_sms);
+    topt.max_blocks = std::min(cfg.grid_blocks, options_.max_waves * wave);
+  }
+
+  PipelineResult res;
+  res.kernel_ms = 0.0;  // filled from the first step's stats below
+  std::vector<std::byte> sink[2];
+  for (std::uint32_t b = 0; b < pairs; ++b) sink[b].resize(out_bytes);
+
+  // Upload chunking: h2d_chunks sub-Buffer views of the image (transfer
+  // staging granularity; each chunk pays the PCIe latency, which is what
+  // the chunked column in bench/fig12 quantifies).
+  const auto chunk_of = [&](std::uint32_t c) {
+    const std::size_t lo = image.size() * c / h2d_chunks;
+    const std::size_t hi = image.size() * (c + 1) / h2d_chunks;
+    return std::pair<std::size_t, std::size_t>{lo, hi - lo};
+  };
+
+  const auto note_cycles = [&](const vgpu::LaunchStats& stats,
+                               std::uint32_t step) {
+    const std::uint64_t cycles = stats.cycles;
+    if (step == 0) {
+      res.kernel_cycles = cycles;
+      res.kernel_ms = dev.spec().cycles_to_ms(static_cast<double>(cycles) *
+                                              stats.extrapolation_factor);
+    } else {
+      VGPU_EXPECTS_MSG(cycles == res.kernel_cycles,
+                       "kernel cycles drifted across steps");
+    }
+  };
+
+  if (!overlap) {
+    res.h2d_ms = dev.copy_ms(image.size());
+    for (std::uint32_t i = 0; i < steps; ++i) {
+      dev.memcpy_h2d(img[0], image);
+      note_cycles(dev.launch_timed(kernel_.prog, cfg, params[0], topt), i);
+      dev.memcpy_d2h(sink[0], acc[0]);
+    }
+  } else {
+    for (std::uint32_t c = 0; c < h2d_chunks; ++c) {
+      res.h2d_ms += dev.copy_ms(chunk_of(c).second);
+    }
+    const vgpu::Stream up = dev.create_stream();
+    const vgpu::Stream comp = dev.create_stream();
+    const vgpu::Stream down = dev.create_stream();
+    // Prefetching issue order: upload i+1 is enqueued before download i, so
+    // the single DMA engine's FIFO never parks the next upload behind a
+    // download that is itself waiting on the kernel (the software-pipelined
+    // order every double-buffered uploader uses; see pipelined_step_ms).
+    vgpu::Event uploaded[2], image_free[2], result_free[2];
+    const auto enqueue_upload = [&](std::uint32_t i) {
+      const std::uint32_t b = i % 2;
+      // image[b] is free once kernel i-2 stopped reading it
+      if (i >= 2) dev.wait_event(up, image_free[b]);
+      for (std::uint32_t c = 0; c < h2d_chunks; ++c) {
+        const auto [off, len] = chunk_of(c);
+        dev.memcpy_h2d_async(
+            up, Buffer{img[b].addr + static_cast<std::uint32_t>(off),
+                       static_cast<std::uint32_t>(len)},
+            std::span<const std::byte>(image).subspan(off, len));
+      }
+      uploaded[b] = dev.record_event(up);
+    };
+    enqueue_upload(0);
+    for (std::uint32_t i = 0; i < steps; ++i) {
+      const std::uint32_t b = i % 2;
+      dev.wait_event(comp, uploaded[b]);
+      // accel[b] is free once download i-2 drained it
+      if (i >= 2) dev.wait_event(comp, result_free[b]);
+      note_cycles(dev.launch_timed_async(comp, kernel_.prog, cfg, params[b],
+                                         topt),
+                  i);
+      image_free[b] = dev.record_event(comp);
+      if (i + 1 < steps) enqueue_upload(i + 1);
+      dev.wait_event(down, image_free[b]);
+      dev.memcpy_d2h_async(down, sink[b], acc[b]);
+      result_free[b] = dev.record_event(down);
+    }
+    dev.sync();
+    res.spans = dev.last_sync_spans();
+  }
+  res.d2h_ms = dev.copy_ms(out_bytes);
+  res.total_ms = dev.timeline_ms();
   return res;
 }
 

@@ -57,6 +57,21 @@ struct FarfieldGpuResult {
   double sample_t1 = 0, sample_c1 = 0, sample_t2 = 0, sample_c2 = 0;
 };
 
+/// A multi-step run of the Fig. 12 protocol (upload inputs, kernel,
+/// download results - every step), timed either strictly serially or as a
+/// double-buffered pipeline over the device's async streams: the upload of
+/// step i+1's inputs and the download of step i-1's results hide under
+/// step i's kernel (one DMA engine, event-ordered buffer reuse).
+struct PipelineResult {
+  double total_ms = 0.0;   ///< critical path of all steps (timeline delta)
+  double h2d_ms = 0.0;     ///< modeled per-step upload leg
+  double kernel_ms = 0.0;  ///< per-step kernel leg (excl. launch overhead)
+  double d2h_ms = 0.0;     ///< modeled per-step download leg
+  std::uint64_t kernel_cycles = 0;  ///< per-step cycles (same every step)
+  /// Resolved stream spans of the last sync (overlap mode only).
+  std::vector<vgpu::AsyncSpan> spans;
+};
+
 class FarfieldGpu {
  public:
   explicit FarfieldGpu(FarfieldGpuOptions options);
@@ -67,6 +82,16 @@ class FarfieldGpu {
   /// Timed execution with the paper's end-to-end window. Accelerations are
   /// only returned when no sampling was needed.
   [[nodiscard]] FarfieldGpuResult run_timed(const ParticleSet& set);
+
+  /// Timed multi-step protocol, fully simulated (no sampling, so keep the
+  /// problem small). `overlap` switches between the serial protocol and the
+  /// double-buffered async pipeline; kernel cycles are bit-identical
+  /// either way. `h2d_chunks` splits each upload into that many chunked
+  /// async copies (transfer staging granularity; 1 = whole image).
+  [[nodiscard]] PipelineResult run_timed_steps(const ParticleSet& set,
+                                               std::uint32_t steps,
+                                               bool overlap,
+                                               std::uint32_t h2d_chunks = 1);
 
   [[nodiscard]] const BuiltKernel& kernel() const { return kernel_; }
   [[nodiscard]] const FarfieldGpuOptions& options() const { return options_; }

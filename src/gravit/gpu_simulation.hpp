@@ -18,6 +18,19 @@
 
 namespace gravit {
 
+/// How the timed resident loop charges per-step launch cost.
+enum class GpuExecMode : std::uint8_t {
+  /// One driver launch per kernel per step (the classic resident loop):
+  /// every step pays 2x DeviceSpec::launch_overhead_ms().
+  kPerStepLaunch,
+  /// One persistent launch loops over the steps on the device: the single
+  /// launch overhead is charged once, and each step pays two simulated
+  /// grid-wide syncs (TimingParams::grid_sync_cycles) instead - the force
+  /// and integrate phases still need a device-wide barrier between them.
+  /// Kernel cycles are bit-identical with kPerStepLaunch.
+  kPersistent,
+};
+
 struct GpuSimulationOptions {
   KernelOptions kernel;  ///< force-kernel variant (layout, unroll, ...)
   float dt = 0.01f;
@@ -25,6 +38,8 @@ struct GpuSimulationOptions {
   /// true: run kernels under the timing model (exact results *and* a
   /// device-time ledger; slower to simulate). false: functional only.
   bool timed = false;
+  /// Launch-cost model for timed runs (ignored when !timed).
+  GpuExecMode mode = GpuExecMode::kPerStepLaunch;
   std::size_t device_memory = 512u * 1024 * 1024;
   /// Per-step telemetry hook (may be empty). StepStats::particles is null
   /// here - the state lives on the device; call download() for a snapshot.

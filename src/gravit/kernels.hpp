@@ -69,6 +69,15 @@ struct BuiltKernel {
   }
   /// params: group bases + accel_out + n_tiles
   [[nodiscard]] std::uint32_t num_params() const { return num_groups() + 2; }
+
+  /// The kernel's output layout: three coalesced float arrays ax[0..n_pad),
+  /// ay, az at accel_out. This defines the Fig. 12 protocol's d2h payload -
+  /// allocation, download and modeled copy time all derive from it (no
+  /// hard-coded bytes-per-particle in benches).
+  static constexpr std::uint32_t kOutputFloatsPerElement = 3;
+  [[nodiscard]] std::uint64_t output_bytes(std::uint64_t n_pad) const {
+    return n_pad * sizeof(float) * kOutputFloatsPerElement;
+  }
 };
 
 /// Build, optimize, unroll and register-allocate the far-field kernel.

@@ -91,6 +91,28 @@ void ChromeTraceSink::counter(const std::string& name, double ts_cycles,
                      true});
 }
 
+void ChromeTraceSink::async_spans(std::span<const vgpu::AsyncSpan> spans,
+                                  double core_clock_khz,
+                                  double epoch_start_ms) {
+  // core_clock_khz is kilocycles/s = cycles/ms: the ms->cycle conversion.
+  const double cycles_per_ms =
+      core_clock_khz > 0
+          ? core_clock_khz
+          : (have_info_ && info_.core_clock_khz > 0
+                 ? static_cast<double>(info_.core_clock_khz)
+                 : 1.0);
+  const std::uint32_t pid = info_.n_sms + 2;  // the "streams" process
+  for (const vgpu::AsyncSpan& s : spans) {
+    const bool copy = s.kind != vgpu::AsyncSpan::Kind::kKernel;
+    span(pid, s.engine,
+         intern(s.label.empty() ? std::string(vgpu::to_string(s.kind))
+                                : s.label),
+         (epoch_start_ms + s.start_ms) * cycles_per_ms,
+         (epoch_start_ms + s.end_ms) * cycles_per_ms,
+         static_cast<double>(s.bytes), copy);
+  }
+}
+
 void ChromeTraceSink::write(std::ostream& os) const {
   std::vector<Event> sorted = events_;
   std::stable_sort(sorted.begin(), sorted.end(),
@@ -107,7 +129,8 @@ void ChromeTraceSink::write(std::ostream& os) const {
   auto process_name = [&](std::uint32_t pid) -> std::string {
     if (have_info_ && pid < info_.n_sms) return "SM " + std::to_string(pid);
     if (pid == info_.n_sms) return "DRAM";
-    return "host";
+    if (pid == info_.n_sms + 1) return "host";
+    return "streams";
   };
   auto thread_name = [&](std::uint32_t pid, std::uint32_t tid) -> std::string {
     if (have_info_ && pid < info_.n_sms) {
@@ -120,7 +143,8 @@ void ChromeTraceSink::write(std::ostream& os) const {
              std::to_string(within - 1);
     }
     if (pid == info_.n_sms) return "partition " + std::to_string(tid);
-    return "counters";
+    if (pid == info_.n_sms + 1) return "counters";
+    return tid == 0 ? "compute engine" : "DMA engine " + std::to_string(tid);
   };
 
   os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"total_cycles\":"

@@ -19,9 +19,11 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "vgpu/stream.hpp"
 #include "vgpu/timeline.hpp"
 
 namespace telemetry {
@@ -43,6 +45,16 @@ class ChromeTraceSink : public vgpu::TimelineSink {
   /// the span events; pid selects the counter's process (default: a
   /// dedicated "host" process after the SM and DRAM ones).
   void counter(const std::string& name, double ts_cycles, double value);
+
+  /// Append one sync epoch of resolved async-stream spans
+  /// (vgpu::Device::last_sync_spans) as a "streams" process: one thread per
+  /// engine (tid 0 = compute engine, 1.. = DMA engines), copy spans carry
+  /// their bytes in args. Span times are epoch-relative milliseconds;
+  /// `core_clock_khz` (= cycles per ms) converts them onto the trace's
+  /// cycle clock and `epoch_start_ms` places the epoch absolutely, so
+  /// overlap windows land next to the SM/DRAM tracks of the same run.
+  void async_spans(std::span<const vgpu::AsyncSpan> spans,
+                   double core_clock_khz, double epoch_start_ms = 0.0);
 
   /// Number of recorded events (metadata events excluded).
   [[nodiscard]] std::size_t event_count() const { return events_.size(); }

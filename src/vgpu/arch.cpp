@@ -13,6 +13,13 @@ const char* to_string(DriverModel m) {
 
 DeviceSpec g80_spec() { return DeviceSpec{}; }
 
+double transfer_ms(const DeviceSpec& spec, std::uint64_t bytes) {
+  const double latency_ms = spec.pcie_latency_us / 1000.0;
+  const double bw_bytes_per_ms =
+      spec.pcie_bandwidth_mb_s * 1000.0;  // 1e6 B/s -> B/ms
+  return latency_ms + static_cast<double>(bytes) / bw_bytes_per_ms;
+}
+
 DeviceSpec gt200_spec() {
   DeviceSpec spec;
   spec.name = "vgpu GT200 (GeForce GTX 280 class)";

@@ -136,6 +136,13 @@ struct TimingParams {
   std::uint32_t shared_issue_cycles = 4;
   /// Cost of a block-wide barrier once every warp has arrived.
   std::uint32_t barrier_cycles = 4;
+  /// Cost of one simulated grid-wide synchronization inside a persistent
+  /// kernel (every block arrives at a global-memory flag, the last arrival
+  /// releases the rest): roughly two global round trips - the atomic
+  /// arrive plus the release broadcast spinning blocks observe. This is
+  /// what a resident launch pays *per step* instead of the per-launch
+  /// driver overhead (DeviceSpec::launch_overhead_us, ~27k cycles).
+  std::uint32_t grid_sync_cycles = 1600;
   /// Cycles to swap a finished block for the next one on an SM.
   std::uint32_t block_start_cycles = 24;
 
@@ -178,6 +185,11 @@ struct DeviceSpec {
   std::uint32_t pcie_latency_us = 15;
   /// Kernel launch driver overhead in microseconds.
   std::uint32_t launch_overhead_us = 20;
+  /// DMA (copy) engines: host<->device transfers that can be in flight
+  /// concurrently, each overlapping kernel execution (the async-stream
+  /// model, stream.hpp). G80-era boards expose one; kernels always
+  /// serialize on the single compute engine regardless.
+  std::uint32_t dma_engines = 1;
 
   TimingParams timing;
 
@@ -187,7 +199,21 @@ struct DeviceSpec {
   [[nodiscard]] double cycles_to_ms(double cycles) const {
     return cycles / static_cast<double>(core_clock_khz);
   }
+  [[nodiscard]] double launch_overhead_ms() const {
+    return launch_overhead_us / 1000.0;
+  }
+  /// Per-step cost of the simulated grid-wide sync in a persistent kernel.
+  [[nodiscard]] double grid_sync_ms() const {
+    return cycles_to_ms(timing.grid_sync_cycles);
+  }
 };
+
+/// The host<->device transfer-time model shared by every consumer: fixed
+/// per-copy PCIe latency plus bytes over practical bus bandwidth. This is
+/// the *only* place copy time is defined - Device::memcpy_* charge it, the
+/// async stream ops charge it, and the fig12 bench derives its modeled
+/// copy columns from it (ISSUE 8: no more re-implemented copy_ms).
+[[nodiscard]] double transfer_ms(const DeviceSpec& spec, std::uint64_t bytes);
 
 /// The paper's testbed device.
 [[nodiscard]] DeviceSpec g80_spec();

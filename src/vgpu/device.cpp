@@ -1,19 +1,35 @@
 #include "vgpu/device.hpp"
 
+#include <cmath>
+
 namespace vgpu {
 
-double Device::copy_ms(std::size_t bytes) const {
-  const double latency_ms = spec_.pcie_latency_us / 1000.0;
-  const double bw_bytes_per_ms = spec_.pcie_bandwidth_mb_s * 1000.0;  // 1e6 B/s -> B/ms
-  return latency_ms + static_cast<double>(bytes) / bw_bytes_per_ms;
+namespace {
+
+// An oversized span used to rely on GlobalMemory's bounds check (and could
+// silently spill into the adjacent allocation); an undersized one silently
+// short-copied. Both are caller bugs: the span must match the buffer
+// extent, and a genuine partial transfer goes through a sub-Buffer view.
+void expect_exact_extent(std::size_t span_bytes, const Buffer& buf,
+                         const char* what) {
+  VGPU_EXPECTS_MSG(buf.valid(), "copy with an invalid (unallocated) buffer");
+  VGPU_EXPECTS_MSG(span_bytes == buf.size, what);
 }
 
+}  // namespace
+
 void Device::memcpy_h2d(Buffer dst, std::span<const std::byte> src) {
+  expect_exact_extent(src.size(), dst,
+                      "h2d copy size mismatch: host span must equal the "
+                      "destination buffer extent");
   gmem_.write(dst.addr, src);
   timeline_ms_ += copy_ms(src.size());
 }
 
 void Device::memcpy_d2h(std::span<std::byte> dst, Buffer src) {
+  expect_exact_extent(dst.size(), src,
+                      "d2h copy size mismatch: host span must equal the "
+                      "source buffer extent");
   gmem_.read(src.addr, dst);
   timeline_ms_ += copy_ms(dst.size());
 }
@@ -37,16 +53,75 @@ LaunchStats Device::launch_functional(const Program& prog,
   return run_functional(prog, spec_, gmem_, cfg, params, bound);
 }
 
+double Device::timed_launch_ms(const Program& prog, const LaunchConfig& cfg,
+                               std::span<const std::uint32_t> params,
+                               const TimingOptions& opt, LaunchStats& stats) {
+  TimingOptions bound = opt;
+  if (bound.cmem == nullptr) bound.cmem = &cmem_;
+  stats = run_timed(prog, spec_, gmem_, cfg, params, bound);
+  return spec_.cycles_to_ms(static_cast<double>(stats.cycles) *
+                            stats.extrapolation_factor);
+}
+
 LaunchStats Device::launch_timed(const Program& prog, const LaunchConfig& cfg,
                                  std::span<const std::uint32_t> params,
                                  const TimingOptions& opt) {
-  TimingOptions bound = opt;
-  if (bound.cmem == nullptr) bound.cmem = &cmem_;
-  LaunchStats stats = run_timed(prog, spec_, gmem_, cfg, params, bound);
-  const double kernel_ms =
-      spec_.cycles_to_ms(static_cast<double>(stats.cycles) * stats.extrapolation_factor);
-  timeline_ms_ += kernel_ms + spec_.launch_overhead_us / 1000.0;
+  LaunchStats stats;
+  const double kernel_ms = timed_launch_ms(prog, cfg, params, opt, stats);
+  timeline_ms_ += kernel_ms + spec_.launch_overhead_ms();
   return stats;
+}
+
+LaunchStats Device::launch_timed_resident(const Program& prog,
+                                          const LaunchConfig& cfg,
+                                          std::span<const std::uint32_t> params,
+                                          const TimingOptions& opt) {
+  LaunchStats stats;
+  const double kernel_ms = timed_launch_ms(prog, cfg, params, opt, stats);
+  timeline_ms_ += kernel_ms + spec_.grid_sync_ms();
+  return stats;
+}
+
+void Device::memcpy_h2d_async(Stream s, Buffer dst,
+                              std::span<const std::byte> src) {
+  expect_exact_extent(src.size(), dst,
+                      "h2d copy size mismatch: host span must equal the "
+                      "destination buffer extent");
+  gmem_.write(dst.addr, src);
+  async_.push_copy(s, AsyncSpan::Kind::kH2D, src.size(), copy_ms(src.size()));
+}
+
+void Device::memcpy_d2h_async(Stream s, std::span<std::byte> dst, Buffer src) {
+  expect_exact_extent(dst.size(), src,
+                      "d2h copy size mismatch: host span must equal the "
+                      "source buffer extent");
+  gmem_.read(src.addr, dst);
+  async_.push_copy(s, AsyncSpan::Kind::kD2H, dst.size(), copy_ms(dst.size()));
+}
+
+LaunchStats Device::launch_timed_async(Stream s, const Program& prog,
+                                       const LaunchConfig& cfg,
+                                       std::span<const std::uint32_t> params,
+                                       const TimingOptions& opt) {
+  LaunchStats stats;
+  const double kernel_ms = timed_launch_ms(prog, cfg, params, opt, stats);
+  async_.push_kernel(s, kernel_ms + spec_.launch_overhead_ms(),
+                     prog.name.empty() ? "kernel" : prog.name);
+  return stats;
+}
+
+double Device::sync() {
+  const double makespan = async_.makespan();
+  last_sync_spans_ = async_.spans();
+  async_.clear();
+  timeline_ms_ += makespan;
+  return makespan;
+}
+
+void Device::advance_timeline(double ms) {
+  VGPU_EXPECTS_MSG(std::isfinite(ms) && ms >= 0.0,
+                   "timeline advance must be finite and non-negative");
+  timeline_ms_ += ms;
 }
 
 }  // namespace vgpu

@@ -6,6 +6,17 @@
 // back an accumulated host timeline. Fig. 12 measures "from copying the
 // data to the device, through the kernel invocation till after copying the
 // results back"; Device::timeline_ms() reproduces exactly that window.
+//
+// Beyond the paper's serial protocol the device exposes async streams
+// (stream.hpp): memcpy_*_async / launch_timed_async enqueue stream-ordered
+// operations whose *data* effects happen immediately (the simulator
+// executes eagerly, in enqueue order) while their *time* is resolved at
+// sync() by the shared StreamTimeline critical-path model - copies on the
+// DMA engine(s) overlap kernel execution, same-stream operations
+// serialize, cross-stream operations order only through events. Because
+// effects are eager, cross-stream operations that race on the same memory
+// resolve in enqueue order; express real dependencies with events, as the
+// double-buffered pipelines do.
 #pragma once
 
 #include <cstddef>
@@ -16,6 +27,7 @@
 #include "vgpu/executor.hpp"
 #include "vgpu/launch.hpp"
 #include "vgpu/memory.hpp"
+#include "vgpu/stream.hpp"
 #include "vgpu/timing.hpp"
 
 namespace vgpu {
@@ -24,7 +36,7 @@ class Device {
  public:
   explicit Device(DeviceSpec spec = g80_spec(),
                   std::size_t gmem_bytes = 512u * 1024 * 1024)
-      : spec_(std::move(spec)), gmem_(gmem_bytes) {}
+      : spec_(std::move(spec)), gmem_(gmem_bytes), async_(spec_.dma_engines) {}
 
   [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
   [[nodiscard]] DeviceSpec& spec() { return spec_; }
@@ -44,6 +56,9 @@ class Device {
     return gmem_.alloc(count * sizeof(T));
   }
 
+  /// Synchronous copies (the paper's serial protocol). The host span must
+  /// match the buffer extent exactly; partial copies are rejected (copy
+  /// into a sub-Buffer view for a genuine partial transfer).
   void memcpy_h2d(Buffer dst, std::span<const std::byte> src);
   void memcpy_d2h(std::span<std::byte> dst, Buffer src);
 
@@ -70,26 +85,83 @@ class Device {
                                 std::span<const std::uint32_t> params,
                                 const FunctionalOptions& opt);
 
-  /// Timed launch: adds kernel time to the host timeline.
+  /// Timed launch: adds kernel time + the per-launch driver overhead to the
+  /// host timeline.
   LaunchStats launch_timed(const Program& prog, const LaunchConfig& cfg,
                            std::span<const std::uint32_t> params,
                            const TimingOptions& opt = {});
+
+  /// Timed launch as one iteration of an already-resident persistent
+  /// kernel: identical simulation (cycles are bit-identical with
+  /// launch_timed), but the timeline is charged the kernel time plus one
+  /// simulated grid-wide sync (TimingParams::grid_sync_cycles) instead of
+  /// the per-launch driver overhead. The single launch overhead of the
+  /// resident kernel itself is the caller's to charge once, via
+  /// advance_timeline(spec().launch_overhead_ms()).
+  LaunchStats launch_timed_resident(const Program& prog,
+                                    const LaunchConfig& cfg,
+                                    std::span<const std::uint32_t> params,
+                                    const TimingOptions& opt = {});
+
+  // ---- async streams (copy/compute overlap; see stream.hpp) ----
+
+  [[nodiscard]] Stream create_stream() { return async_.new_stream(); }
+  /// Async copies/launches: data effects are immediate (enqueue order);
+  /// the time lands on the timeline at sync(). Size rules match the
+  /// synchronous copies.
+  void memcpy_h2d_async(Stream s, Buffer dst, std::span<const std::byte> src);
+  void memcpy_d2h_async(Stream s, std::span<std::byte> dst, Buffer src);
+  /// The returned stats (cycles included) are available immediately and
+  /// bit-identical with launch_timed.
+  LaunchStats launch_timed_async(Stream s, const Program& prog,
+                                 const LaunchConfig& cfg,
+                                 std::span<const std::uint32_t> params,
+                                 const TimingOptions& opt = {});
+  [[nodiscard]] Event record_event(Stream s) { return async_.record_event(s); }
+  void wait_event(Stream s, Event e) { async_.wait_event(s, e); }
+
+  /// Complete all pending async work: fold the epoch's critical path into
+  /// timeline_ms(), publish the resolved spans (last_sync_spans) and start
+  /// a new epoch. Returns the epoch's makespan. Stream handles survive;
+  /// event handles do not.
+  double sync();
+  [[nodiscard]] bool has_pending_async() const {
+    return !async_.spans().empty();
+  }
+  /// Spans resolved by the most recent sync(), for telemetry export.
+  [[nodiscard]] const std::vector<AsyncSpan>& last_sync_spans() const {
+    return last_sync_spans_;
+  }
 
   /// Accumulated host-visible milliseconds (copies + timed launches),
   /// the paper's end-to-end measurement window.
   [[nodiscard]] double timeline_ms() const { return timeline_ms_; }
   void reset_timeline() { timeline_ms_ = 0.0; }
+  /// Charge host-modeled milliseconds (e.g. the one-time launch overhead
+  /// of a persistent kernel). Prefer the typed entry points.
+  void advance_timeline(double ms);
+
+  /// The device's host<->device copy cost (transfer_ms over this spec).
+  [[nodiscard]] double copy_ms(std::size_t bytes) const {
+    return transfer_ms(spec_, bytes);
+  }
 
   /// Free all device allocations (buffers become invalid).
   void reset_memory() { gmem_.reset(); }
 
  private:
-  [[nodiscard]] double copy_ms(std::size_t bytes) const;
+  [[nodiscard]] double timed_launch_ms(const Program& prog,
+                                       const LaunchConfig& cfg,
+                                       std::span<const std::uint32_t> params,
+                                       const TimingOptions& opt,
+                                       LaunchStats& stats);
 
   DeviceSpec spec_;
   GlobalMemory gmem_;
   ConstantMemory cmem_;
   double timeline_ms_ = 0.0;
+  StreamTimeline async_;
+  std::vector<AsyncSpan> last_sync_spans_;
 };
 
 }  // namespace vgpu

@@ -1,0 +1,156 @@
+#include "vgpu/stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vgpu/check.hpp"
+
+namespace vgpu {
+
+const char* to_string(AsyncSpan::Kind k) {
+  switch (k) {
+    case AsyncSpan::Kind::kKernel: return "kernel";
+    case AsyncSpan::Kind::kH2D: return "h2d";
+    case AsyncSpan::Kind::kD2H: return "d2h";
+  }
+  return "unknown";
+}
+
+StreamTimeline::StreamTimeline(std::uint32_t dma_engines) {
+  VGPU_EXPECTS_MSG(dma_engines > 0, "device needs at least one DMA engine");
+  stream_ready_.push_back(0.0);  // the default stream
+  dma_ready_.assign(dma_engines, 0.0);
+}
+
+Stream StreamTimeline::new_stream() {
+  stream_ready_.push_back(0.0);
+  return Stream{static_cast<std::uint32_t>(stream_ready_.size() - 1)};
+}
+
+double& StreamTimeline::ready_of(Stream s) {
+  VGPU_EXPECTS_MSG(s.id < stream_ready_.size(), "unknown stream handle");
+  return stream_ready_[s.id];
+}
+
+double StreamTimeline::stream_ready(Stream s) const {
+  VGPU_EXPECTS_MSG(s.id < stream_ready_.size(), "unknown stream handle");
+  return stream_ready_[s.id];
+}
+
+void StreamTimeline::place(AsyncSpan span, Stream s, double ms) {
+  VGPU_EXPECTS_MSG(std::isfinite(ms) && ms >= 0.0,
+                   "operation duration must be finite and non-negative");
+  double& stream_clock = ready_of(s);
+  double* engine_clock = nullptr;
+  if (span.kind == AsyncSpan::Kind::kKernel) {
+    engine_clock = &compute_ready_;
+    span.engine = 0;
+  } else {
+    // earliest-available DMA engine; ties break to the lowest index
+    std::size_t best = 0;
+    for (std::size_t e = 1; e < dma_ready_.size(); ++e) {
+      if (dma_ready_[e] < dma_ready_[best]) best = e;
+    }
+    engine_clock = &dma_ready_[best];
+    span.engine = static_cast<std::uint32_t>(best) + 1;
+  }
+  const double start = std::max(stream_clock, *engine_clock);
+  span.stream = s.id;
+  span.start_ms = start;
+  span.end_ms = start + ms;
+  stream_clock = span.end_ms;
+  *engine_clock = span.end_ms;
+  makespan_ = std::max(makespan_, span.end_ms);
+  spans_.push_back(std::move(span));
+}
+
+void StreamTimeline::push_kernel(Stream s, double ms, std::string label) {
+  AsyncSpan span;
+  span.kind = AsyncSpan::Kind::kKernel;
+  span.label = std::move(label);
+  place(std::move(span), s, ms);
+}
+
+void StreamTimeline::push_copy(Stream s, AsyncSpan::Kind kind,
+                               std::uint64_t bytes, double ms,
+                               std::string label) {
+  VGPU_EXPECTS_MSG(kind != AsyncSpan::Kind::kKernel,
+                   "push_copy takes a copy kind");
+  AsyncSpan span;
+  span.kind = kind;
+  span.bytes = bytes;
+  span.label = label.empty() ? std::string(to_string(kind)) : std::move(label);
+  place(std::move(span), s, ms);
+}
+
+Event StreamTimeline::record_event(Stream s) {
+  event_time_.push_back(ready_of(s));
+  return Event{static_cast<std::uint32_t>(event_time_.size() - 1)};
+}
+
+void StreamTimeline::wait_event(Stream s, Event e) {
+  VGPU_EXPECTS_MSG(e.id < event_time_.size(),
+                   "unknown event handle (events do not survive sync)");
+  double& stream_clock = ready_of(s);
+  stream_clock = std::max(stream_clock, event_time_[e.id]);
+}
+
+void StreamTimeline::clear() {
+  std::fill(stream_ready_.begin(), stream_ready_.end(), 0.0);
+  std::fill(dma_ready_.begin(), dma_ready_.end(), 0.0);
+  compute_ready_ = 0.0;
+  event_time_.clear();
+  spans_.clear();
+  makespan_ = 0.0;
+}
+
+double pipelined_step_ms(std::uint32_t dma_engines, double h2d_ms,
+                         double kernel_ms, double d2h_ms) {
+  // Run the double-buffered pipeline for S and then 2S steps and difference
+  // the makespans: the fill and drain phases cancel, leaving the exact
+  // steady-state cost of S steps.
+  // Enqueue order matters on a single DMA engine: the engine is a FIFO, so
+  // a download enqueued before the next upload blocks it behind the kernel
+  // the download waits on. The canonical pipeline therefore prefetches:
+  // upload i+1 is enqueued *before* download i, the software-pipelined
+  // issue order every double-buffered CUDA uploader uses.
+  const std::uint32_t kHalf = 4;
+  const auto run = [&](std::uint32_t steps) {
+    StreamTimeline tl(dma_engines);
+    Stream up = tl.new_stream();
+    Stream compute = tl.new_stream();
+    Stream down = tl.new_stream();
+    // per buffer (2 of each): upload-complete, the event after the kernel
+    // stopped reading image b, and the event after the download drained
+    // result b
+    Event uploaded[2] = {};
+    Event image_free[2] = {};
+    Event result_free[2] = {};
+    bool have_image_free[2] = {false, false};
+    bool have_result_free[2] = {false, false};
+    const auto upload = [&](std::uint32_t i) {
+      const std::uint32_t b = i % 2;
+      if (have_image_free[b]) tl.wait_event(up, image_free[b]);
+      tl.push_copy(up, AsyncSpan::Kind::kH2D, 0, h2d_ms);
+      uploaded[b] = tl.record_event(up);
+    };
+    upload(0);
+    for (std::uint32_t i = 0; i < steps; ++i) {
+      const std::uint32_t b = i % 2;
+      tl.wait_event(compute, uploaded[b]);
+      if (have_result_free[b]) tl.wait_event(compute, result_free[b]);
+      tl.push_kernel(compute, kernel_ms);
+      image_free[b] = tl.record_event(compute);
+      have_image_free[b] = true;
+      if (i + 1 < steps) upload(i + 1);
+      tl.wait_event(down, image_free[b]);
+      tl.push_copy(down, AsyncSpan::Kind::kD2H, 0, d2h_ms);
+      result_free[b] = tl.record_event(down);
+      have_result_free[b] = true;
+    }
+    return tl.makespan();
+  };
+  return (run(2 * kHalf) - run(kHalf)) / static_cast<double>(kHalf);
+}
+
+}  // namespace vgpu

@@ -1,0 +1,125 @@
+// stream.hpp - asynchronous streams and the copy/compute overlap model.
+//
+// The paper's Fig. 12 protocol is strictly serial: copy in, launch, copy
+// out, every millisecond accounted on one host timeline. A production port
+// overlaps the PCIe copies with kernel execution ("Memory Layouts for
+// GPU-Data Transfer Buffering in SPH", PAPERS.md). StreamTimeline is the
+// one shared model of that overlap: stream-ordered operations are placed
+// greedily, in enqueue order, onto the device's engines -
+//
+//   * all kernels execute on the single compute engine (G80-era devices
+//     run one kernel at a time, so kernels serialize even across streams);
+//   * copies execute on one of `dma_engines` DMA engines (the earliest
+//     available; ties break to the lowest index), so a copy can overlap a
+//     kernel but two copies contend when the device has one engine;
+//   * operations on the same stream serialize in enqueue order;
+//   * operations on different streams only order through events
+//     (record_event / wait_event) and engine contention.
+//
+// Greedy in-order placement mirrors what the CUDA runtime's per-engine
+// FIFOs actually do and keeps the schedule deterministic. Device (device.hpp)
+// resolves its async API through a StreamTimeline; the fig12 bench feeds
+// the same class extrapolated durations - both therefore share one
+// critical-path model, which is the point (ISSUE 8).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vgpu {
+
+/// Opaque stream handle. Stream {0} is the default stream and always
+/// exists; it is an ordinary stream (no legacy-default-stream barrier
+/// semantics).
+struct Stream {
+  std::uint32_t id = 0;
+};
+
+/// Opaque event handle, recorded on one stream and waitable from others.
+/// Events belong to the sync epoch they were recorded in: Device::sync()
+/// invalidates them.
+struct Event {
+  std::uint32_t id = 0;
+};
+
+/// One resolved operation: what it occupied and when, in milliseconds
+/// relative to the epoch start (the previous sync).
+struct AsyncSpan {
+  enum class Kind : std::uint8_t { kKernel, kH2D, kD2H };
+  Kind kind = Kind::kKernel;
+  std::uint32_t stream = 0;
+  std::uint32_t engine = 0;  ///< 0 = compute engine, 1.. = DMA engine index
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  std::uint64_t bytes = 0;  ///< copies only
+  std::string label;
+};
+
+[[nodiscard]] const char* to_string(AsyncSpan::Kind k);
+
+class StreamTimeline {
+ public:
+  /// `dma_engines` is the DeviceSpec knob: how many host<->device copies
+  /// can be in flight at once (each still overlapping the compute engine).
+  explicit StreamTimeline(std::uint32_t dma_engines = 1);
+
+  [[nodiscard]] Stream new_stream();
+  [[nodiscard]] std::uint32_t stream_count() const {
+    return static_cast<std::uint32_t>(stream_ready_.size());
+  }
+  [[nodiscard]] std::uint32_t dma_engines() const {
+    return static_cast<std::uint32_t>(dma_ready_.size());
+  }
+
+  /// Enqueue one operation. Durations are supplied by the caller (Device
+  /// derives them from its DeviceSpec transfer/kernel models); the timeline
+  /// only decides *placement*. Placement is resolved eagerly, so spans()
+  /// and makespan() are always current.
+  void push_kernel(Stream s, double ms, std::string label = "kernel");
+  void push_copy(Stream s, AsyncSpan::Kind kind, std::uint64_t bytes,
+                 double ms, std::string label = {});
+
+  /// Event time = completion of everything enqueued on `s` so far.
+  [[nodiscard]] Event record_event(Stream s);
+  /// The next operation on `s` starts no earlier than the event time.
+  void wait_event(Stream s, Event e);
+
+  /// Completion time of everything enqueued so far (the critical path).
+  [[nodiscard]] double makespan() const { return makespan_; }
+  /// Completion time of one stream's work.
+  [[nodiscard]] double stream_ready(Stream s) const;
+  [[nodiscard]] const std::vector<AsyncSpan>& spans() const { return spans_; }
+
+  /// Start a new epoch: forget spans, events and engine/stream clocks.
+  /// Stream handles stay valid (their clocks reset to zero); event handles
+  /// do not.
+  void clear();
+
+ private:
+  double& ready_of(Stream s);
+  void place(AsyncSpan span, Stream s, double ms);
+
+  std::vector<double> stream_ready_;  // [stream id]
+  double compute_ready_ = 0.0;
+  std::vector<double> dma_ready_;  // [dma engine]
+  std::vector<double> event_time_;
+  std::vector<AsyncSpan> spans_;
+  double makespan_ = 0.0;
+};
+
+/// Steady-state per-step milliseconds of the canonical double-buffered
+/// pipeline over the stream model: step i uploads buffer i%2 on an upload
+/// stream, runs the kernel on a compute stream once the upload's event
+/// fires, and downloads the result on a third stream, with event edges for
+/// buffer reuse (upload i+2 waits until kernel i stops reading the image;
+/// kernel i+2 waits until download i drained the result buffer). With one
+/// DMA engine this converges to max(kernel_ms, h2d_ms + d2h_ms): the copy
+/// time is fully hidden whenever the kernel dominates. Computed by running
+/// the pipeline, not by that closed form - the unit tests pin the two
+/// against each other.
+[[nodiscard]] double pipelined_step_ms(std::uint32_t dma_engines,
+                                       double h2d_ms, double kernel_ms,
+                                       double d2h_ms);
+
+}  // namespace vgpu

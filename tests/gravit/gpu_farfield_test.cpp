@@ -145,6 +145,80 @@ TEST(GpuFarfield, EndToEndWindowIncludesCopies) {
   EXPECT_GT(res.kernel_ms, 0.0);
 }
 
+TEST(GpuFarfield, EndToEndWindowMatchesSharedCopyModel) {
+  // bench-vs-device agreement: the unsampled end-to-end window must equal
+  // the closed form built from the one shared copy model (vgpu::transfer_ms)
+  // and the kernel's declared output layout - the same terms
+  // bench/fig12_gravit_runtimes prices its rows with. A drift here means a
+  // bench and the Device ledger no longer agree on what a copy costs.
+  auto set = spawn_uniform_cube(256, 1.0f, 31);
+  FarfieldGpuOptions opt;
+  opt.sample_tiles = 0;
+  FarfieldGpu gpu(opt);
+  auto res = gpu.run_timed(set);
+
+  const vgpu::DeviceSpec spec = vgpu::g80_spec();
+  const std::uint32_t n_pad = 256;  // already a tile multiple
+  const double h2d = vgpu::transfer_ms(spec, gpu.kernel().phys.bytes(n_pad));
+  const double d2h = vgpu::transfer_ms(spec, gpu.kernel().output_bytes(n_pad));
+  const double expect =
+      h2d + res.kernel_ms + spec.launch_overhead_ms() + d2h;
+  EXPECT_NEAR(res.end_to_end_ms, expect, 1e-9);
+}
+
+TEST(GpuFarfield, PipelinedStepsHideCopiesAndKeepCyclesIdentical) {
+  auto set = spawn_uniform_cube(256, 1.0f, 31);
+  FarfieldGpuOptions opt;
+  opt.sample_tiles = 0;  // fully simulate: small problem
+  opt.max_waves = 0;
+  FarfieldGpu gpu(opt);
+
+  const std::uint32_t steps = 6;
+  const auto serial = gpu.run_timed_steps(set, steps, /*overlap=*/false);
+  const auto overlap = gpu.run_timed_steps(set, steps, /*overlap=*/true);
+
+  // the simulation itself is identical in both modes
+  EXPECT_EQ(serial.kernel_cycles, overlap.kernel_cycles);
+  EXPECT_GT(serial.kernel_cycles, 0u);
+
+  // overlap can only help, and per-step legs agree
+  EXPECT_LT(overlap.total_ms, serial.total_ms);
+  EXPECT_DOUBLE_EQ(serial.h2d_ms, overlap.h2d_ms);
+  EXPECT_DOUBLE_EQ(serial.d2h_ms, overlap.d2h_ms);
+
+  // serial mode is the closed-form sum of its legs
+  const vgpu::DeviceSpec spec = vgpu::g80_spec();
+  const double per_step = serial.h2d_ms + serial.kernel_ms +
+                          spec.launch_overhead_ms() + serial.d2h_ms;
+  EXPECT_NEAR(serial.total_ms, steps * per_step, 1e-9);
+
+  // the pipeline converges to the steady state the shared model predicts
+  const double steady = vgpu::pipelined_step_ms(
+      spec.dma_engines, overlap.h2d_ms,
+      overlap.kernel_ms + spec.launch_overhead_ms(), overlap.d2h_ms);
+  const auto longer = gpu.run_timed_steps(set, 2 * steps, /*overlap=*/true);
+  EXPECT_EQ(longer.kernel_cycles, overlap.kernel_cycles);
+  EXPECT_NEAR((longer.total_ms - overlap.total_ms) / steps, steady, 1e-9);
+
+  // spans are published for telemetry: 3 ops per step on 3 streams
+  EXPECT_EQ(overlap.spans.size(), 3u * steps);
+  EXPECT_TRUE(serial.spans.empty());
+}
+
+TEST(GpuFarfield, ChunkedUploadPaysLatencyPerChunk) {
+  auto set = spawn_uniform_cube(256, 1.0f, 31);
+  FarfieldGpuOptions opt;
+  opt.sample_tiles = 0;
+  opt.max_waves = 0;
+  FarfieldGpu gpu(opt);
+
+  const auto whole = gpu.run_timed_steps(set, 2, /*overlap=*/true, 1);
+  const auto chunked = gpu.run_timed_steps(set, 2, /*overlap=*/true, 4);
+  EXPECT_EQ(whole.kernel_cycles, chunked.kernel_cycles);
+  const double latency = vgpu::g80_spec().pcie_latency_us / 1000.0;
+  EXPECT_NEAR(chunked.h2d_ms, whole.h2d_ms + 3.0 * latency, 1e-12);
+}
+
 TEST(GpuFarfield, ZeroMassPaddingDoesNotPerturbForces) {
   // 300 particles pad to 384: the padded tail must not change the physics
   auto set = spawn_uniform_cube(300, 1.0f, 37);

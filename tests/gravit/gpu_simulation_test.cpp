@@ -85,5 +85,49 @@ TEST(GpuSimulation, TimedModeAccumulatesDeviceTime) {
   EXPECT_GT(sim.last_force_stats().cycles, 0u);
 }
 
+TEST(GpuSimulation, PersistentModeSameCyclesLessTime) {
+  ParticleSet set = spawn_uniform_cube(256, 1.0f, 219);
+  const int steps = 4;
+
+  GpuSimulationOptions per_launch;
+  per_launch.timed = true;
+  GpuSimulation a(set, per_launch);
+  a.run(steps);
+
+  GpuSimulationOptions persistent = per_launch;
+  persistent.mode = GpuExecMode::kPersistent;
+  GpuSimulation b(set, persistent);
+  b.run(steps);
+
+  // identical simulation: same kernel cycles, same trajectory, bit for bit
+  EXPECT_EQ(a.last_force_stats().cycles, b.last_force_stats().cycles);
+  const ParticleSet pa = a.download();
+  const ParticleSet pb = b.download();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t k = 0; k < pa.size(); ++k) {
+    EXPECT_EQ((pa.pos()[k] - pb.pos()[k]).norm(), 0.0f) << k;
+    EXPECT_EQ((pa.vel()[k] - pb.vel()[k]).norm(), 0.0f) << k;
+  }
+
+  // the ledger difference is exactly the launch-cost model: per-step mode
+  // pays 2 launch overheads per step; persistent pays one overhead total
+  // plus 2 grid syncs per step
+  const vgpu::DeviceSpec spec = vgpu::g80_spec();
+  const double expect_saving =
+      2.0 * steps * (spec.launch_overhead_ms() - spec.grid_sync_ms()) -
+      spec.launch_overhead_ms();
+  EXPECT_NEAR(a.device_ms() - b.device_ms(), expect_saving, 1e-9);
+  EXPECT_LT(b.device_ms(), a.device_ms());
+}
+
+TEST(GpuSimulation, PersistentModeIgnoredWhenNotTimed) {
+  ParticleSet set = spawn_plummer(200, 1.0f, 217);
+  GpuSimulationOptions opt;
+  opt.mode = GpuExecMode::kPersistent;  // functional path: no ledger
+  GpuSimulation sim(set, opt);
+  sim.run(2);
+  EXPECT_EQ(sim.steps_taken(), 2u);
+}
+
 }  // namespace
 }  // namespace gravit

@@ -11,6 +11,7 @@
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/json.hpp"
 #include "timed_run.hpp"
+#include "vgpu/stream.hpp"
 
 namespace telemetry {
 namespace {
@@ -145,6 +146,79 @@ TEST(ChromeTrace, EmitsValidMonotoneMatchedTrace) {
   for (std::uint32_t sm = 0; sm < 16; ++sm) {
     EXPECT_TRUE(span_pids.count(sm) > 0) << "no events for SM " << sm;
   }
+}
+
+TEST(ChromeTrace, AsyncStreamSpansLandInStreamsProcess) {
+  // build a tiny overlap window: an upload, a kernel that waits on it, and
+  // a download of the result - three streams, one compute + one DMA engine
+  vgpu::StreamTimeline tl(1);
+  const vgpu::Stream up = tl.new_stream();
+  const vgpu::Stream compute = tl.new_stream();
+  const vgpu::Stream down = tl.new_stream();
+  tl.push_copy(up, vgpu::AsyncSpan::Kind::kH2D, 4096, 2.0, "upload image");
+  const vgpu::Event uploaded = tl.record_event(up);
+  tl.wait_event(compute, uploaded);
+  tl.push_kernel(compute, 5.0, "farfield");
+  const vgpu::Event done = tl.record_event(compute);
+  tl.wait_event(down, done);
+  tl.push_copy(down, vgpu::AsyncSpan::Kind::kD2H, 1024, 1.0);
+
+  ChromeTraceSink trace;
+  const double cycles_per_ms = 1000.0;  // 1 cycle = 1 us: ts lands in us
+  trace.async_spans(tl.spans(), cycles_per_ms);
+
+  const auto doc = JsonValue::parse(trace.str());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  // every span event lives in one process whose metadata names it
+  // "streams", with engine-named threads
+  std::set<std::uint32_t> span_pids;
+  std::map<std::string, double> begin_ts;
+  std::map<std::string, double> begin_bytes;
+  std::map<std::uint32_t, std::string> pid_names;
+  std::map<std::uint32_t, std::string> tid_names;
+  for (const JsonValue& e : events->items()) {
+    const std::string ph = e.find("ph")->as_string();
+    const std::string name = e.find("name")->as_string();
+    const auto pid = static_cast<std::uint32_t>(e.find("pid")->as_number());
+    if (ph == "M") {
+      if (name == "process_name") {
+        pid_names[pid] = e.find("args")->find("name")->as_string();
+      } else if (name == "thread_name") {
+        tid_names[static_cast<std::uint32_t>(e.find("tid")->as_number())] =
+            e.find("args")->find("name")->as_string();
+      }
+      continue;
+    }
+    span_pids.insert(pid);
+    if (ph == "B") {
+      begin_ts[name] = e.find("ts")->as_number();
+      const JsonValue* args = e.find("args");
+      if (args != nullptr && args->find("bytes") != nullptr) {
+        begin_bytes[name] = args->find("bytes")->as_number();
+      }
+    }
+  }
+  ASSERT_EQ(span_pids.size(), 1u);
+  EXPECT_EQ(pid_names[*span_pids.begin()], "streams");
+  EXPECT_EQ(tid_names[0], "compute engine");
+  EXPECT_EQ(tid_names[1], "DMA engine 1");
+
+  // labels carry through; copies carry bytes, kernels do not
+  ASSERT_TRUE(begin_ts.count("upload image"));
+  ASSERT_TRUE(begin_ts.count("farfield"));
+  ASSERT_TRUE(begin_ts.count("d2h"));  // unlabeled copy falls back to kind
+  EXPECT_EQ(begin_bytes["upload image"], 4096.0);
+  EXPECT_EQ(begin_bytes["d2h"], 1024.0);
+  EXPECT_EQ(begin_bytes.count("farfield"), 0u);
+
+  // ms -> cycle conversion: at 1000 cycles/ms and the sink's 1 us/cycle
+  // fallback, ts is the span start in us
+  EXPECT_DOUBLE_EQ(begin_ts["upload image"], 0.0);
+  EXPECT_DOUBLE_EQ(begin_ts["farfield"], 2000.0);
+  EXPECT_DOUBLE_EQ(begin_ts["d2h"], 7000.0);
 }
 
 TEST(ChromeTrace, HostCountersLandInTrace) {

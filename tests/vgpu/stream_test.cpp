@@ -1,0 +1,326 @@
+// Async-stream model tests: StreamTimeline placement rules (same-stream
+// serialization, cross-stream overlap, DMA contention, events), the
+// pipelined_step_ms closed forms, and the Device async API - including the
+// contract that async launches are bit-identical with synchronous ones and
+// that the timeline ledger reconciles against closed-form accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "vgpu/builder.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/regalloc.hpp"
+#include "vgpu/stream.hpp"
+
+namespace vgpu {
+namespace {
+
+Program minimal_program() {
+  KernelBuilder kb("minimal", 1);
+  kb.st_global(kb.param_u32(0), kb.tid());
+  Program prog = std::move(kb).finish();
+  allocate_registers(prog);
+  return prog;
+}
+
+// ---- StreamTimeline placement ---------------------------------------------
+
+TEST(StreamTimeline, SameStreamSerializes) {
+  StreamTimeline tl(1);
+  Stream s = tl.new_stream();
+  tl.push_kernel(s, 2.0);
+  tl.push_copy(s, AsyncSpan::Kind::kH2D, 64, 1.0);
+  // the copy engine was free the whole time, but stream order wins
+  EXPECT_DOUBLE_EQ(tl.makespan(), 3.0);
+  ASSERT_EQ(tl.spans().size(), 2u);
+  EXPECT_DOUBLE_EQ(tl.spans()[1].start_ms, 2.0);
+}
+
+TEST(StreamTimeline, CrossStreamCopyOverlapsKernel) {
+  StreamTimeline tl(1);
+  Stream a = tl.new_stream();
+  Stream b = tl.new_stream();
+  tl.push_kernel(a, 2.0);
+  tl.push_copy(b, AsyncSpan::Kind::kD2H, 64, 1.0);
+  EXPECT_DOUBLE_EQ(tl.makespan(), 2.0);
+  EXPECT_DOUBLE_EQ(tl.spans()[1].start_ms, 0.0);
+  EXPECT_EQ(tl.spans()[0].engine, 0u);  // compute engine
+  EXPECT_EQ(tl.spans()[1].engine, 1u);  // first DMA engine
+}
+
+TEST(StreamTimeline, KernelsSerializeAcrossStreams) {
+  // G80 runs one kernel at a time: a single compute engine
+  StreamTimeline tl(1);
+  Stream a = tl.new_stream();
+  Stream b = tl.new_stream();
+  tl.push_kernel(a, 2.0);
+  tl.push_kernel(b, 3.0);
+  EXPECT_DOUBLE_EQ(tl.makespan(), 5.0);
+}
+
+TEST(StreamTimeline, DmaEngineContention) {
+  StreamTimeline one(1);
+  Stream a1 = one.new_stream();
+  Stream b1 = one.new_stream();
+  one.push_copy(a1, AsyncSpan::Kind::kH2D, 64, 1.0);
+  one.push_copy(b1, AsyncSpan::Kind::kD2H, 64, 1.0);
+  EXPECT_DOUBLE_EQ(one.makespan(), 2.0);  // one engine: copies serialize
+
+  StreamTimeline two(2);
+  Stream a2 = two.new_stream();
+  Stream b2 = two.new_stream();
+  two.push_copy(a2, AsyncSpan::Kind::kH2D, 64, 1.0);
+  two.push_copy(b2, AsyncSpan::Kind::kD2H, 64, 1.0);
+  EXPECT_DOUBLE_EQ(two.makespan(), 1.0);  // two engines: copies overlap
+  EXPECT_EQ(two.spans()[0].engine, 1u);
+  EXPECT_EQ(two.spans()[1].engine, 2u);
+}
+
+TEST(StreamTimeline, EventsOrderAcrossStreams) {
+  StreamTimeline tl(1);
+  Stream a = tl.new_stream();
+  Stream b = tl.new_stream();
+  tl.push_kernel(a, 2.0);
+  const Event done = tl.record_event(a);
+  tl.wait_event(b, done);
+  tl.push_copy(b, AsyncSpan::Kind::kD2H, 64, 1.0);
+  EXPECT_DOUBLE_EQ(tl.spans()[1].start_ms, 2.0);
+  EXPECT_DOUBLE_EQ(tl.makespan(), 3.0);
+}
+
+TEST(StreamTimeline, RejectsBadHandlesAndDurations) {
+  StreamTimeline tl(1);
+  EXPECT_THROW(tl.push_kernel(Stream{99}, 1.0), ContractViolation);
+  EXPECT_THROW(tl.wait_event(Stream{0}, Event{7}), ContractViolation);
+  EXPECT_THROW(tl.push_kernel(Stream{0}, -1.0), ContractViolation);
+  EXPECT_THROW(tl.push_copy(Stream{0}, AsyncSpan::Kind::kKernel, 0, 1.0),
+               ContractViolation);
+  EXPECT_THROW(StreamTimeline(0), ContractViolation);
+}
+
+TEST(StreamTimeline, ClearStartsNewEpochButKeepsStreams) {
+  StreamTimeline tl(1);
+  Stream s = tl.new_stream();
+  tl.push_kernel(s, 2.0);
+  const Event stale = tl.record_event(s);
+  tl.clear();
+  EXPECT_DOUBLE_EQ(tl.makespan(), 0.0);
+  EXPECT_TRUE(tl.spans().empty());
+  // stream handles survive; event handles do not
+  tl.push_kernel(s, 1.0);
+  EXPECT_DOUBLE_EQ(tl.makespan(), 1.0);
+  EXPECT_THROW(tl.wait_event(s, stale), ContractViolation);
+}
+
+// ---- the double-buffered pipeline closed forms ----------------------------
+
+TEST(PipelinedStep, KernelBoundStepHidesBothCopies) {
+  // one DMA engine, kernel >= h2d + d2h: steady state is exactly the kernel
+  EXPECT_NEAR(pipelined_step_ms(1, 1.0, 10.0, 2.0), 10.0, 1e-12);
+  EXPECT_NEAR(pipelined_step_ms(1, 3.0, 3.0, 0.0), 3.0, 1e-12);
+}
+
+TEST(PipelinedStep, CopyBoundStepIsTheCopyPair) {
+  // one DMA engine, h2d + d2h >= kernel: the engine is the bottleneck
+  EXPECT_NEAR(pipelined_step_ms(1, 6.0, 4.0, 3.0), 9.0, 1e-12);
+}
+
+TEST(PipelinedStep, SecondDmaEngineSplitsTheCopyPair) {
+  // two engines: uploads and downloads run concurrently, so the steady
+  // state is max(kernel, h2d, d2h)
+  EXPECT_NEAR(pipelined_step_ms(2, 6.0, 4.0, 3.0), 6.0, 1e-12);
+  EXPECT_NEAR(pipelined_step_ms(2, 2.0, 4.0, 3.0), 4.0, 1e-12);
+}
+
+TEST(PipelinedStep, BoundedBySerialAndByLargestLeg) {
+  const double legs[][3] = {{1, 10, 2}, {6, 4, 3},   {5, 0.1, 5},
+                            {0, 7, 0},  {2.5, 2.5, 2.5}};
+  for (const auto& l : legs) {
+    const double serial = l[0] + l[1] + l[2];
+    for (std::uint32_t engines : {1u, 2u}) {
+      const double step = pipelined_step_ms(engines, l[0], l[1], l[2]);
+      EXPECT_LE(step, serial + 1e-12);
+      EXPECT_GE(step, std::max({l[0], l[1], l[2]}) - 1e-12);
+    }
+  }
+}
+
+// ---- Device async API -----------------------------------------------------
+
+TEST(DeviceAsync, SameStreamCopiesMatchSerialTimeline) {
+  std::vector<float> host(1024, 1.0f);
+  std::vector<float> back(1024);
+
+  Device serial(tiny_spec(), 1 << 20);
+  Buffer bs = serial.malloc_n<float>(1024);
+  serial.memcpy_h2d(bs, std::as_bytes(std::span<const float>(host)));
+  serial.memcpy_d2h(std::as_writable_bytes(std::span<float>(back)), bs);
+  const double serial_ms = serial.timeline_ms();
+
+  Device dev(tiny_spec(), 1 << 20);
+  Buffer b = dev.malloc_n<float>(1024);
+  Stream s = dev.create_stream();
+  dev.memcpy_h2d_async(s, b, std::as_bytes(std::span<const float>(host)));
+  dev.memcpy_d2h_async(s, std::as_writable_bytes(std::span<float>(back)), b);
+  EXPECT_TRUE(dev.has_pending_async());
+  const double makespan = dev.sync();
+  EXPECT_FALSE(dev.has_pending_async());
+  EXPECT_NEAR(dev.timeline_ms(), serial_ms, 1e-12);
+  EXPECT_NEAR(makespan, serial_ms, 1e-12);
+  EXPECT_EQ(back, host);  // data effects are eager
+}
+
+TEST(DeviceAsync, CopyHidesUnderCrossStreamKernel) {
+  const Program prog = minimal_program();
+  const LaunchConfig cfg{1, 32};
+
+  Device ref(tiny_spec(), 1 << 20);
+  Buffer out_ref = ref.malloc(256);
+  const std::vector<std::uint32_t> params_ref = {out_ref.addr};
+  ref.reset_timeline();
+  (void)ref.launch_timed(prog, cfg, params_ref);
+  const double kernel_leg = ref.timeline_ms();  // kernel + launch overhead
+
+  Device dev(tiny_spec(), 1 << 20);
+  Buffer out = dev.malloc(256);
+  Buffer staged = dev.malloc(1 << 16);
+  const std::vector<std::uint32_t> params = {out.addr};
+  std::vector<std::byte> host(1 << 16);
+  Stream sk = dev.create_stream();
+  Stream sc = dev.create_stream();
+  dev.reset_timeline();
+  (void)dev.launch_timed_async(sk, prog, cfg, params);
+  dev.memcpy_h2d_async(sc, staged, host);
+  const double makespan = dev.sync();
+  EXPECT_NEAR(makespan, std::max(kernel_leg, dev.copy_ms(host.size())), 1e-12);
+  EXPECT_LT(makespan, kernel_leg + dev.copy_ms(host.size()) - 1e-12);
+}
+
+TEST(DeviceAsync, AsyncLaunchCyclesBitIdenticalWithSync) {
+  const Program prog = minimal_program();
+  const LaunchConfig cfg{2, 32};
+
+  Device a(tiny_spec(), 1 << 20);
+  Buffer oa = a.malloc(1024);
+  const std::vector<std::uint32_t> pa = {oa.addr};
+  const LaunchStats sync_stats = a.launch_timed(prog, cfg, pa);
+
+  Device b(tiny_spec(), 1 << 20);
+  Buffer ob = b.malloc(1024);
+  const std::vector<std::uint32_t> pb = {ob.addr};
+  Stream s = b.create_stream();
+  const LaunchStats async_stats = b.launch_timed_async(s, prog, cfg, pb);
+  (void)b.sync();
+  EXPECT_EQ(async_stats.cycles, sync_stats.cycles);
+}
+
+TEST(DeviceAsync, SyncPublishesSpansAndStartsNewEpoch) {
+  Device dev(tiny_spec(), 1 << 20);
+  Buffer b = dev.malloc(4096);
+  std::vector<std::byte> host(4096);
+  Stream s = dev.create_stream();
+  dev.memcpy_h2d_async(s, b, host);
+  (void)dev.sync();
+  ASSERT_EQ(dev.last_sync_spans().size(), 1u);
+  EXPECT_EQ(dev.last_sync_spans()[0].kind, AsyncSpan::Kind::kH2D);
+  EXPECT_EQ(dev.last_sync_spans()[0].bytes, 4096u);
+
+  // the next epoch starts at zero, not at the previous makespan
+  dev.memcpy_h2d_async(s, b, host);
+  (void)dev.sync();
+  EXPECT_DOUBLE_EQ(dev.last_sync_spans()[0].start_ms, 0.0);
+}
+
+TEST(DeviceAsync, AsyncCopyExtentMismatchThrows) {
+  Device dev(tiny_spec(), 1 << 20);
+  Buffer b = dev.malloc(1024);
+  std::vector<std::byte> small(512), big(2048);
+  Stream s = dev.create_stream();
+  EXPECT_THROW(dev.memcpy_h2d_async(s, b, small), ContractViolation);
+  EXPECT_THROW(dev.memcpy_h2d_async(s, b, big), ContractViolation);
+  EXPECT_THROW(dev.memcpy_d2h_async(s, small, b), ContractViolation);
+  EXPECT_THROW(dev.memcpy_d2h_async(s, big, b), ContractViolation);
+}
+
+// ---- timeline ledger reconciliation ---------------------------------------
+
+TEST(DeviceTimeline, SerialWindowMatchesClosedForm) {
+  const Program prog = minimal_program();
+  const LaunchConfig cfg{2, 32};
+  Device dev(tiny_spec(), 1 << 20);
+  Buffer in = dev.malloc(8192);
+  Buffer out = dev.malloc(1024);
+  const std::vector<std::uint32_t> params = {out.addr};
+  std::vector<std::byte> host_in(8192), host_out(1024);
+
+  dev.reset_timeline();
+  dev.memcpy_h2d(in, host_in);
+  const LaunchStats stats = dev.launch_timed(prog, cfg, params);
+  dev.memcpy_d2h(host_out, out);
+
+  const double kernel_ms = dev.spec().cycles_to_ms(
+      static_cast<double>(stats.cycles) * stats.extrapolation_factor);
+  const double expect = dev.copy_ms(8192) + kernel_ms +
+                        dev.spec().launch_overhead_ms() + dev.copy_ms(1024);
+  EXPECT_NEAR(dev.timeline_ms(), expect, 1e-12);
+}
+
+TEST(DeviceTimeline, ResidentLaunchChargesGridSyncNotOverhead) {
+  const Program prog = minimal_program();
+  const LaunchConfig cfg{1, 32};
+  Device dev(tiny_spec(), 1 << 20);
+  Buffer out = dev.malloc(256);
+  const std::vector<std::uint32_t> params = {out.addr};
+
+  dev.reset_timeline();
+  const LaunchStats a = dev.launch_timed(prog, cfg, params);
+  const double per_launch = dev.timeline_ms();
+  dev.reset_timeline();
+  const LaunchStats b = dev.launch_timed_resident(prog, cfg, params);
+  const double resident = dev.timeline_ms();
+
+  EXPECT_EQ(a.cycles, b.cycles);  // same simulation, bit for bit
+  EXPECT_NEAR(per_launch - resident,
+              dev.spec().launch_overhead_ms() - dev.spec().grid_sync_ms(),
+              1e-12);
+  EXPECT_LT(resident, per_launch);
+}
+
+TEST(DeviceTimeline, OverlapWindowMatchesStreamModel) {
+  // the async epoch's contribution to the ledger is exactly the
+  // StreamTimeline critical path: kernel on one stream, both copies on
+  // another, no events - copies serialize on the DMA engine, kernel
+  // overlaps them
+  const Program prog = minimal_program();
+  const LaunchConfig cfg{1, 32};
+  Device dev(tiny_spec(), 1 << 20);
+  Buffer out = dev.malloc(256);
+  Buffer staged = dev.malloc(1 << 15);
+  const std::vector<std::uint32_t> params = {out.addr};
+  std::vector<std::byte> host(1 << 15);
+
+  dev.reset_timeline();
+  (void)dev.launch_timed(prog, cfg, params);
+  const double kernel_leg = dev.timeline_ms();
+
+  dev.reset_timeline();
+  Stream sk = dev.create_stream();
+  Stream sc = dev.create_stream();
+  (void)dev.launch_timed_async(sk, prog, cfg, params);
+  dev.memcpy_h2d_async(sc, staged, host);
+  dev.memcpy_d2h_async(sc, host, staged);
+  (void)dev.sync();
+  const double copies = 2.0 * dev.copy_ms(host.size());
+  EXPECT_NEAR(dev.timeline_ms(), std::max(kernel_leg, copies), 1e-12);
+}
+
+TEST(DeviceTimeline, AdvanceTimelineValidates) {
+  Device dev(tiny_spec(), 1 << 20);
+  dev.reset_timeline();
+  dev.advance_timeline(1.5);
+  EXPECT_DOUBLE_EQ(dev.timeline_ms(), 1.5);
+  EXPECT_THROW(dev.advance_timeline(-1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace vgpu

@@ -110,6 +110,41 @@ TEST(Device, LargerCopiesTakeLonger) {
   EXPECT_GT(dev.timeline_ms(), t_small);
 }
 
+TEST(Device, CopyExtentMismatchThrows) {
+  // an oversized span used to rely on GlobalMemory's bounds check (and
+  // could spill into the adjacent allocation); an undersized one silently
+  // short-copied - both are now rejected at the Device boundary
+  Device dev(tiny_spec(), 1 << 20);
+  Buffer b = dev.malloc(1024);
+  std::vector<std::byte> small(512), exact(1024), big(2048);
+  EXPECT_THROW(dev.memcpy_h2d(b, small), ContractViolation);
+  EXPECT_THROW(dev.memcpy_h2d(b, big), ContractViolation);
+  EXPECT_THROW(dev.memcpy_d2h(small, b), ContractViolation);
+  EXPECT_THROW(dev.memcpy_d2h(big, b), ContractViolation);
+  EXPECT_NO_THROW(dev.memcpy_h2d(b, exact));
+  EXPECT_NO_THROW(dev.memcpy_d2h(exact, b));
+}
+
+TEST(Device, CopyWithInvalidBufferThrows) {
+  Device dev(tiny_spec(), 1 << 20);
+  std::vector<std::byte> host(64);
+  Buffer invalid;  // never allocated
+  EXPECT_THROW(dev.memcpy_h2d(invalid, host), ContractViolation);
+  EXPECT_THROW(dev.memcpy_d2h(host, invalid), ContractViolation);
+}
+
+TEST(Device, SubBufferViewAllowsPartialTransfer) {
+  // the sanctioned partial-copy path: a sub-Buffer view with the exact
+  // extent of the span (what the chunked async uploader uses)
+  Device dev(tiny_spec(), 1 << 20);
+  Buffer b = dev.malloc(1024);
+  std::vector<std::byte> half(512, std::byte{0x5a});
+  EXPECT_NO_THROW(dev.memcpy_h2d(Buffer{b.addr + 512, 512}, half));
+  std::vector<std::byte> back(512);
+  EXPECT_NO_THROW(dev.memcpy_d2h(back, Buffer{b.addr + 512, 512}));
+  EXPECT_EQ(back, half);
+}
+
 TEST(Device, MemoryResetReleasesAllocations) {
   Device dev(tiny_spec(), 1 << 12);
   (void)dev.malloc(3000);
