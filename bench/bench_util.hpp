@@ -9,7 +9,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cerrno>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -64,6 +67,71 @@ int bench_main(int argc, char** argv, const BenchInfo& info);
 void add_summary(const std::string& key, telemetry::JsonValue value);
 
 [[nodiscard]] std::string fmt(double v, int precision = 2);
+
+// ---- strict flag parsing (ported from examples/example_util.hpp) ----
+//
+// std::strtoul turns garbage into 0 without any diagnostic, so
+// `sim_throughput --n=banana` used to silently measure n=0 (clamped to the
+// default). These helpers accept only whole decimal tokens within the
+// caller's bounds; anything else exits with a usage message and the
+// conventional usage-error code 2. Every bench binary that takes numeric
+// flags parses them through here (WILL_FAIL rejection smokes in
+// tools/CMakeLists.txt keep it that way).
+
+inline constexpr int kUsageExit = 2;
+
+[[noreturn]] inline void die_usage(const char* prog, const char* what,
+                                   const char* value,
+                                   const std::string& expect) {
+  std::fprintf(stderr, "%s: invalid %s '%s' (expected %s)\n", prog, what,
+               value, expect.c_str());
+  std::exit(kUsageExit);
+}
+
+/// True when the token is one or more decimal digits and nothing else
+/// (no sign, no whitespace, no trailing junk).
+inline bool all_digits(const char* s) {
+  if (*s == '\0') return false;
+  for (; *s != '\0'; ++s) {
+    if (*s < '0' || *s > '9') return false;
+  }
+  return true;
+}
+
+/// Strict unsigned decimal parse: the whole token must be digits and the
+/// value must lie in [min, max]; anything else exits with a usage message.
+inline std::uint64_t parse_u64(const char* prog, const char* what,
+                               const char* value, std::uint64_t min,
+                               std::uint64_t max) {
+  const std::string expect = "integer in [" + std::to_string(min) + ", " +
+                             std::to_string(max) + "]";
+  if (!all_digits(value)) die_usage(prog, what, value, expect);
+  errno = 0;
+  const unsigned long long v = std::strtoull(value, nullptr, 10);
+  if (errno == ERANGE || v < min || v > max) {
+    die_usage(prog, what, value, expect);
+  }
+  return v;
+}
+
+inline std::uint32_t parse_u32(const char* prog, const char* what,
+                               const char* value, std::uint32_t min,
+                               std::uint32_t max) {
+  return static_cast<std::uint32_t>(parse_u64(prog, what, value, min, max));
+}
+
+/// Strict float parse: the whole token must be a number (strtof grammar,
+/// no trailing junk) and finite-representable; exits with usage otherwise.
+inline float parse_float(const char* prog, const char* what,
+                         const char* value) {
+  errno = 0;
+  char* end = nullptr;
+  const float v = std::strtof(value, &end);
+  if (end == value || *end != '\0' || errno == ERANGE) {
+    die_usage(prog, what, value, "a number");
+  }
+  return v;
+}
 
 /// Runs the Sec. III strip-down read benchmark for one layout/driver:
 /// returns the average per-thread clock() cycles per 4-byte element

@@ -404,15 +404,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[a], "--verify") == 0) {
       mode.verify = true;
     } else if (std::strncmp(argv[a], "--sample-tiles=", 15) == 0) {
-      char* end = nullptr;
-      const unsigned long t = std::strtoul(argv[a] + 15, &end, 10);
-      if (end == argv[a] + 15 || *end != '\0' || t == 0 || t > 1'000'000) {
-        std::fprintf(stderr,
-                     "fig12_gravit_runtimes: bad --sample-tiles value '%s'\n",
-                     argv[a] + 15);
-        return 2;
-      }
-      mode.sample_tiles = static_cast<std::uint32_t>(t);
+      mode.sample_tiles = bench::parse_u32("fig12_gravit_runtimes",
+                                           "--sample-tiles", argv[a] + 15, 1,
+                                           1'000'000);
     } else {
       argv[out++] = argv[a];
     }

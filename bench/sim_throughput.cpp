@@ -526,12 +526,11 @@ int main(int argc, char** argv) {
   int out = 1;  // keep argv[0]
   for (int a = 1; a < argc; ++a) {
     if (std::strncmp(argv[a], "--n=", 4) == 0) {
-      n = static_cast<std::uint32_t>(std::strtoul(argv[a] + 4, nullptr, 10));
-      if (n == 0) n = 128;
+      n = bench::parse_u32("sim_throughput", "--n", argv[a] + 4, 128,
+                           1u << 22);
     } else if (std::strncmp(argv[a], "--threads=", 10) == 0) {
       max_threads =
-          static_cast<std::uint32_t>(std::strtoul(argv[a] + 10, nullptr, 10));
-      if (max_threads == 0) max_threads = 1;
+          bench::parse_u32("sim_throughput", "--threads", argv[a] + 10, 1, 64);
     } else if (std::strcmp(argv[a], "--batched=off") == 0) {
       g_batched = false;
     } else if (std::strcmp(argv[a], "--batched=on") == 0) {

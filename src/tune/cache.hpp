@@ -1,0 +1,105 @@
+// cache.hpp - the persistent tuning cache.
+//
+// Simulated measurements are the expensive part of a tuning run, and they
+// are pure functions of (kernel content, device, driver, measurement
+// fidelity) - so they cache perfectly. Entries follow the progcache.hpp
+// keying pattern: found by content hash (vgpu::program_content_hash for the
+// kernel, an FNV-1a fold over every DeviceSpec + TimingParams field for the
+// device), then - while the entry still holds its in-memory Program copy -
+// verified with full structural equality, so a hash collision degrades to a
+// miss, never to a wrong measurement. Entries restored from disk carry only
+// the hashes; the 64-bit content hash is the documented trust boundary of
+// the persisted tier (any kernel-generator change moves the hash and
+// orphans stale entries).
+//
+// A cached measurement stores the *n-independent* sampled affine model
+// (t1,c1,t2,c2 + blocks_sampled) or a full-run cycle count, never a
+// time-at-one-n: one warm entry answers every problem size the tuner is
+// asked about. Hit/miss counters follow the decode-cache contract and are
+// surfaced in bench/autotune's JSON summary.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vgpu/arch.hpp"
+#include "vgpu/ir.hpp"
+
+namespace tune {
+
+/// Identity of one measurement. `n_tiles` is the measured grid for full
+/// runs and 0 for sampled runs (whose affine model is n-independent);
+/// `sample_tiles`/`max_waves` are 0 for full runs.
+struct CacheKey {
+  std::uint64_t program_hash = 0;  ///< vgpu::program_content_hash
+  std::uint64_t device_hash = 0;   ///< device_spec_hash
+  vgpu::DriverModel driver = vgpu::DriverModel::kCuda10;
+  std::uint32_t sim_sms = 0;       ///< SMs simulated (0 = whole device)
+  std::uint32_t max_waves = 0;
+  std::uint32_t sample_tiles = 0;
+  std::uint64_t n_tiles = 0;
+
+  [[nodiscard]] bool operator==(const CacheKey&) const = default;
+};
+
+/// One cached measurement: either the two sampled points of the affine
+/// cycles(tiles) model, or a full-run cycle count (sampled == false).
+struct Measurement {
+  bool sampled = true;
+  std::uint64_t t1 = 0, c1 = 0;  ///< per-block cycles at t1 tiles
+  std::uint64_t t2 = 0, c2 = 0;
+  std::uint64_t blocks_sampled = 0;  ///< blocks the sampled run simulated
+  std::uint64_t cycles = 0;          ///< full-run total (sampled == false)
+  std::uint64_t blocks = 0;          ///< full-run grid
+};
+
+/// FNV-1a over every DeviceSpec field, TimingParams included: any
+/// recalibration of the timing model invalidates persisted measurements.
+[[nodiscard]] std::uint64_t device_spec_hash(const vgpu::DeviceSpec& spec);
+
+class TuningCache {
+ public:
+  /// Look `key` up; verifies structural equality against `prog` when the
+  /// entry still holds its in-memory Program (collision -> miss). Counts a
+  /// hit or miss either way. Returns nullptr on miss; the pointer is valid
+  /// until the next non-const call.
+  [[nodiscard]] const Measurement* find(const CacheKey& key,
+                                        const vgpu::Program& prog);
+
+  /// Insert (or overwrite) `key`, keeping a Program copy for verification.
+  /// The key's program_hash is the caller's claim - tests forge mismatched
+  /// hashes to exercise the collision path.
+  void insert(const CacheKey& key, const vgpu::Program& prog,
+              const Measurement& m);
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  void reset_counters();
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  void clear();
+
+  /// Merge entries from a "vgpu-tune-cache" JSON file. Returns false (and
+  /// loads nothing) when the file is absent, unparsable or not the expected
+  /// schema - a cache file is advisory, never a reason to fail a run.
+  bool load(const std::string& path);
+
+  /// Persist every entry (hashes as hex strings). Returns false on I/O
+  /// failure.
+  [[nodiscard]] bool save(const std::string& path) const;
+
+ private:
+  struct Entry {
+    CacheKey key;
+    Measurement value;
+    std::shared_ptr<const vgpu::Program> prog;  ///< null when disk-restored
+  };
+
+  std::vector<Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace tune

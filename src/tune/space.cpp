@@ -1,0 +1,192 @@
+#include "tune/space.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace tune {
+
+namespace {
+
+[[noreturn]] void degenerate(const std::string& what) {
+  throw SpaceError("degenerate config space: " + what);
+}
+
+}  // namespace
+
+gravit::KernelOptions TuneConfig::kernel_options() const {
+  gravit::KernelOptions opt;
+  opt.scheme = scheme;
+  opt.block = block;
+  opt.unroll = unroll;
+  opt.icm = icm;
+  opt.use_texture_fetches = texture;
+  opt.max_regs = max_regs;
+  return opt;
+}
+
+std::string TuneConfig::label() const { return gravit::kernel_label(kernel_options()); }
+
+std::string TuneConfig::full_label() const {
+  return label() + "+b" + std::to_string(block) + "@" + driver_name(driver);
+}
+
+const char* driver_name(vgpu::DriverModel m) {
+  switch (m) {
+    case vgpu::DriverModel::kCuda10: return "cuda10";
+    case vgpu::DriverModel::kCuda11: return "cuda11";
+    case vgpu::DriverModel::kCuda22: return "cuda22";
+  }
+  return "cuda?";
+}
+
+ConfigSpace& ConfigSpace::schemes(std::vector<layout::SchemeKind> v) {
+  schemes_ = std::move(v);
+  return *this;
+}
+ConfigSpace& ConfigSpace::blocks(std::vector<std::uint32_t> v) {
+  blocks_ = std::move(v);
+  return *this;
+}
+ConfigSpace& ConfigSpace::unrolls(std::vector<std::uint32_t> v) {
+  unrolls_ = std::move(v);
+  return *this;
+}
+ConfigSpace& ConfigSpace::icm(std::vector<bool> v) {
+  icm_ = std::move(v);
+  return *this;
+}
+ConfigSpace& ConfigSpace::drivers(std::vector<vgpu::DriverModel> v) {
+  drivers_ = std::move(v);
+  return *this;
+}
+ConfigSpace& ConfigSpace::texture(std::vector<bool> v) {
+  texture_ = std::move(v);
+  return *this;
+}
+ConfigSpace& ConfigSpace::max_regs(std::vector<std::uint32_t> v) {
+  max_regs_ = std::move(v);
+  return *this;
+}
+
+void ConfigSpace::validate(const vgpu::DeviceSpec& spec) const {
+  if (schemes_.empty()) degenerate("empty layout-scheme axis");
+  if (blocks_.empty()) degenerate("empty block-size axis");
+  if (unrolls_.empty()) degenerate("empty unroll-factor axis");
+  if (icm_.empty()) degenerate("empty icm axis");
+  if (drivers_.empty()) degenerate("empty driver axis");
+  if (texture_.empty()) degenerate("empty texture axis");
+  if (max_regs_.empty()) degenerate("empty max-regs axis");
+  for (std::uint32_t b : blocks_) {
+    if (b == 0) degenerate("block size 0");
+    if (b % spec.warp_size != 0) {
+      std::ostringstream os;
+      os << "block size " << b << " is not a multiple of the warp size ("
+         << spec.warp_size << ")";
+      degenerate(os.str());
+    }
+    if (b > spec.max_threads_per_block) {
+      std::ostringstream os;
+      os << "block size " << b << " exceeds the device limit ("
+         << spec.max_threads_per_block << " threads per block)";
+      degenerate(os.str());
+    }
+  }
+  for (std::uint32_t u : unrolls_) {
+    if (u == 0) degenerate("unroll factor 0");
+  }
+  // The divisibility filter must leave at least one (block, unroll) pair,
+  // otherwise enumerate() would silently produce an empty sweep.
+  bool any_pair = false;
+  for (std::uint32_t b : blocks_) {
+    for (std::uint32_t u : unrolls_) {
+      if (b % u == 0) any_pair = true;
+    }
+  }
+  if (!any_pair) {
+    degenerate("no unroll factor divides any block size");
+  }
+}
+
+std::vector<TuneConfig> ConfigSpace::enumerate(
+    const vgpu::DeviceSpec& spec) const {
+  validate(spec);
+  std::vector<TuneConfig> out;
+  for (vgpu::DriverModel d : drivers_) {
+    for (layout::SchemeKind s : schemes_) {
+      for (std::uint32_t b : blocks_) {
+        for (std::uint32_t u : unrolls_) {
+          if (b % u != 0) continue;  // partial tail iterations unsupported
+          for (bool ic : icm_) {
+            for (bool tex : texture_) {
+              for (std::uint32_t mr : max_regs_) {
+                TuneConfig cfg;
+                cfg.scheme = s;
+                cfg.block = b;
+                cfg.unroll = u;
+                cfg.icm = ic;
+                cfg.driver = d;
+                cfg.texture = tex;
+                cfg.max_regs = mr;
+                out.push_back(cfg);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  if (out.empty()) degenerate("cross product is empty");
+  return out;
+}
+
+std::size_t ConfigSpace::size(const vgpu::DeviceSpec& spec) const {
+  return enumerate(spec).size();
+}
+
+ConfigSpace ConfigSpace::paper_space() {
+  ConfigSpace space;
+  space.blocks({64, 128, 256, 512});
+  space.unrolls({1, 32, 64, 128});
+  space.icm({false, true});
+  return space;
+}
+
+std::vector<ConfigSpace> paper_spaces() {
+  std::vector<ConfigSpace> spaces;
+  // 1. Core: layout x block x unroll x ICM under the paper's CUDA 1.0 driver.
+  spaces.push_back(ConfigSpace::paper_space());
+  // 2. Driver generations over the layout/unroll/ICM shapes at block 128
+  //    (Sec. III: the launch/copy cost model shifts, the kernel does not).
+  spaces.push_back(ConfigSpace{}
+                       .blocks({128})
+                       .unrolls({1, 128})
+                       .icm({false, true})
+                       .drivers({vgpu::DriverModel::kCuda11,
+                                 vgpu::DriverModel::kCuda22}));
+  // 3. Texture and register-cap variants around the SoAoaS kernel: the
+  //    GPU Gems texture trick and the -maxrregcount spill trade.
+  spaces.push_back(ConfigSpace{}
+                       .schemes({layout::SchemeKind::kSoAoaS})
+                       .blocks({128})
+                       .unrolls({1, 128})
+                       .icm({false, true})
+                       .texture({false, true})
+                       .max_regs({0, 16}));
+  return spaces;
+}
+
+std::vector<TuneConfig> enumerate_all(const std::vector<ConfigSpace>& spaces,
+                                      const vgpu::DeviceSpec& spec) {
+  if (spaces.empty()) throw SpaceError("degenerate config space: no spaces");
+  std::vector<TuneConfig> out;
+  std::unordered_set<std::string> seen;
+  for (const ConfigSpace& space : spaces) {
+    for (const TuneConfig& cfg : space.enumerate(spec)) {
+      if (seen.insert(cfg.full_label()).second) out.push_back(cfg);
+    }
+  }
+  return out;
+}
+
+}  // namespace tune

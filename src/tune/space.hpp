@@ -1,0 +1,122 @@
+// space.hpp - the joint optimization space of the paper's seven experiments.
+//
+// The repo exposes every axis the paper sweeps by hand - memory layout
+// (Sec. II), block size, inner-loop unroll factor and invariant code motion
+// (Sec. IV-A), driver generation (Sec. III), texture fetches and the
+// -maxrregcount spill trade (the ablation benches) - but until now each
+// axis lived in its own bench binary. ConfigSpace is the kernel_launcher
+// style cross product over those axes: set each axis to the values to
+// explore, enumerate() emits every valid combination as a TuneConfig the
+// tuner (tuner.hpp) can build, prune and measure.
+//
+// Degenerate axes fail loudly (SpaceError) instead of producing an empty
+// sweep that would "pass" every downstream gate: an empty axis, a block
+// size of zero / off the warp grid / above the device limit, an unroll
+// factor of zero, or a cross product in which no unroll factor divides any
+// block size are all programming errors, never "zero configs tried".
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gravit/kernels.hpp"
+#include "layout/plan.hpp"
+#include "vgpu/arch.hpp"
+
+namespace tune {
+
+/// One point of the joint space: the kernel-shaping axes plus the driver
+/// generation the kernel is timed under.
+struct TuneConfig {
+  layout::SchemeKind scheme = layout::SchemeKind::kSoAoaS;
+  std::uint32_t block = 128;
+  std::uint32_t unroll = 1;  ///< inner-loop unroll factor (divides block)
+  bool icm = false;
+  vgpu::DriverModel driver = vgpu::DriverModel::kCuda10;
+  bool texture = false;       ///< fetch particles through the texture cache
+  std::uint32_t max_regs = 0; ///< -maxrregcount style cap (0 = uncapped)
+
+  /// The kernel builder options this config denotes.
+  [[nodiscard]] gravit::KernelOptions kernel_options() const;
+
+  /// Kernel-axis label, e.g. "SoAoaS+unroll128+icm" (gravit::kernel_label).
+  /// Note this does NOT include the block size (kernel_label never has),
+  /// which is why it is the right string for the rediscovers-the-paper's-
+  /// winner gate but not an identity.
+  [[nodiscard]] std::string label() const;
+  /// Unique identity over every axis, e.g.
+  /// "SoAoaS+unroll128+icm+b128@cuda10" - what enumeration dedups on and
+  /// report tables key rows by.
+  [[nodiscard]] std::string full_label() const;
+};
+
+/// Compact driver-axis name ("cuda10"), distinct from vgpu::to_string's
+/// human form ("CUDA 1.0") so labels stay flag- and JSON-friendly.
+[[nodiscard]] const char* driver_name(vgpu::DriverModel m);
+
+/// Thrown on a degenerate space; bench drivers translate it into the
+/// conventional usage-error exit 2 with the message on stderr.
+class SpaceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ConfigSpace {
+ public:
+  ConfigSpace& schemes(std::vector<layout::SchemeKind> v);
+  ConfigSpace& blocks(std::vector<std::uint32_t> v);
+  ConfigSpace& unrolls(std::vector<std::uint32_t> v);
+  ConfigSpace& icm(std::vector<bool> v);
+  ConfigSpace& drivers(std::vector<vgpu::DriverModel> v);
+  ConfigSpace& texture(std::vector<bool> v);
+  ConfigSpace& max_regs(std::vector<std::uint32_t> v);
+
+  /// Loud degenerate-axis check (see file comment); throws SpaceError.
+  void validate(const vgpu::DeviceSpec& spec) const;
+
+  /// The cross product of all axes, in deterministic axis order. A
+  /// (block, unroll) pair whose factor does not divide the block is
+  /// skipped; if that filter (or the axes themselves) leave nothing,
+  /// SpaceError is thrown - an empty sweep is never returned.
+  [[nodiscard]] std::vector<TuneConfig> enumerate(
+      const vgpu::DeviceSpec& spec) const;
+
+  /// Number of configs enumerate() would yield (same validation).
+  [[nodiscard]] std::size_t size(const vgpu::DeviceSpec& spec) const;
+
+  /// The paper's core space: all four layouts x block {64,128,256,512} x
+  /// unroll {1,32,64,128} (filtered per block) x ICM on/off under the
+  /// CUDA 1.0 launch driver. Block 512 is deliberately included: at 18+
+  /// registers it cannot place a single block per SM, the configuration
+  /// the occupancy pruner exists to reject before simulation.
+  [[nodiscard]] static ConfigSpace paper_space();
+
+ private:
+  std::vector<layout::SchemeKind> schemes_{layout::SchemeKind::kAoS,
+                                           layout::SchemeKind::kSoA,
+                                           layout::SchemeKind::kAoaS,
+                                           layout::SchemeKind::kSoAoaS};
+  std::vector<std::uint32_t> blocks_{128};
+  std::vector<std::uint32_t> unrolls_{1};
+  std::vector<bool> icm_{false};
+  std::vector<vgpu::DriverModel> drivers_{vgpu::DriverModel::kCuda10};
+  std::vector<bool> texture_{false};
+  std::vector<std::uint32_t> max_regs_{0};
+};
+
+/// The default spaces bench/autotune searches, composed the way the paper
+/// composes its experiments: the core layout x block x unroll x ICM space,
+/// a driver-generation sweep of the layout/unroll/ICM shapes at the paper's
+/// block size, and the texture/spill variant space around the SoAoaS
+/// kernel. Concatenated + deduplicated by enumerate_all.
+[[nodiscard]] std::vector<ConfigSpace> paper_spaces();
+
+/// Enumerate several spaces into one deduplicated config list (first
+/// occurrence wins; identity is full_label()). Throws SpaceError if any
+/// space is degenerate or the union is empty.
+[[nodiscard]] std::vector<TuneConfig> enumerate_all(
+    const std::vector<ConfigSpace>& spaces, const vgpu::DeviceSpec& spec);
+
+}  // namespace tune

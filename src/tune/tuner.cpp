@@ -1,0 +1,350 @@
+#include "tune/tuner.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "gravit/particle.hpp"
+#include "gravit/spawn.hpp"
+#include "layout/transform.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/progcache.hpp"
+#include "vgpu/sampling.hpp"
+#include "vgpu/timing.hpp"
+
+namespace tune {
+
+namespace {
+
+[[noreturn]] void degenerate_opts(const std::string& what) {
+  throw SpaceError("degenerate tuner options: " + what);
+}
+
+/// Per-config working state across the three tiers.
+struct Built {
+  TuneConfig config;
+  gravit::BuiltKernel kernel;
+  vgpu::OccupancyResult occ;
+  std::uint64_t prog_hash = 0;
+  bool pruned = false;
+  Measurement sampled;
+  bool sampled_cached = false;
+  bool refined = false;
+  bool refined_cached = false;
+  double correction = 1.0;  ///< full / sampled-predicted cycles at n_ref
+  double kernel_ms = 0;
+  double end_to_end_ms = 0;
+};
+
+std::uint32_t pad_to_block(std::uint32_t n, std::uint32_t block) {
+  return (n + block - 1) / block * block;
+}
+
+/// Upload a packed particle image for `n_pad` particles and build the
+/// kernel's parameter list (mirrors FarfieldGpu::upload; particle *values*
+/// never influence timing, only addresses do).
+struct Prepared {
+  std::vector<std::uint32_t> params;
+  std::uint32_t n_tiles = 0;
+};
+
+Prepared prepare(vgpu::Device& dev, const gravit::BuiltKernel& kernel,
+                 std::uint32_t n_pad) {
+  const std::uint32_t block = kernel.options.block;
+  gravit::ParticleSet set = gravit::spawn_uniform_cube(n_pad, 1.0f, 3);
+  const std::vector<float> flat = set.flatten();
+  const std::vector<std::byte> image = layout::pack(kernel.phys, flat, n_pad);
+
+  Prepared p;
+  p.n_tiles = n_pad / block;
+  const vgpu::Buffer img = dev.malloc(image.size());
+  dev.memcpy_h2d(img, image);
+  const vgpu::Buffer accel =
+      dev.malloc(static_cast<std::size_t>(kernel.output_bytes(n_pad)));
+  for (const std::uint64_t base : kernel.phys.group_bases(n_pad)) {
+    p.params.push_back(img.addr + static_cast<std::uint32_t>(base));
+  }
+  p.params.push_back(accel.addr);
+  p.params.push_back(p.n_tiles);
+  return p;
+}
+
+std::size_t device_bytes_for(const gravit::BuiltKernel& kernel,
+                             std::uint32_t n_pad) {
+  return static_cast<std::size_t>(kernel.phys.bytes(n_pad) +
+                                  kernel.output_bytes(n_pad)) +
+         (1u << 20);
+}
+
+/// Tier 2: the two-point tile sample over a bounded number of block waves
+/// (the gpu_runner.cpp sampling protocol, against the already-built kernel).
+Measurement measure_sampled(const Built& b, const vgpu::DeviceSpec& spec,
+                            const TunerOptions& opts) {
+  const std::uint32_t block = b.config.block;
+  const std::uint32_t wave = vgpu::wave_blocks(spec, b.occ, opts.sim_sms);
+  const std::uint32_t t2 = opts.sample_tiles;
+  const std::uint32_t t1 = std::max(1u, t2 / 2);
+  // Grid sized so the launch both exceeds the sampled tile counts and
+  // covers the wave cap.
+  const std::uint32_t grid_tiles =
+      std::max(2 * t2, opts.max_waves == 0 ? 2 * t2 : opts.max_waves * wave);
+  const std::uint32_t n_pad = grid_tiles * block;
+
+  vgpu::Device dev(spec, device_bytes_for(b.kernel, n_pad));
+  Prepared p = prepare(dev, b.kernel, n_pad);
+
+  vgpu::TimingOptions topt;
+  topt.driver = b.config.driver;
+  topt.threads = opts.sim_threads;
+  topt.sim_sms = opts.sim_sms;
+  if (opts.max_waves > 0) {
+    topt.max_blocks = std::min(p.n_tiles, opts.max_waves * wave);
+  }
+  const vgpu::LaunchConfig cfg{p.n_tiles, block};
+
+  std::vector<std::uint32_t> params = p.params;
+  params.back() = t1;
+  const vgpu::LaunchStats s1 =
+      vgpu::run_timed(b.kernel.prog, spec, dev.gmem(), cfg, params, topt);
+  params.back() = t2;
+  const vgpu::LaunchStats s2 =
+      vgpu::run_timed(b.kernel.prog, spec, dev.gmem(), cfg, params, topt);
+
+  Measurement m;
+  m.sampled = true;
+  m.t1 = t1;
+  m.c1 = s1.cycles;
+  m.t2 = t2;
+  m.c2 = s2.cycles;
+  m.blocks_sampled = s2.blocks_simulated;
+  return m;
+}
+
+/// Tier 3: full simulation - every block, every tile - at the padded
+/// reference size.
+Measurement measure_full(const Built& b, const vgpu::DeviceSpec& spec,
+                         const TunerOptions& opts, std::uint32_t n_tiles_ref) {
+  const std::uint32_t block = b.config.block;
+  const std::uint32_t n_pad = n_tiles_ref * block;
+  vgpu::Device dev(spec, device_bytes_for(b.kernel, n_pad));
+  const Prepared p = prepare(dev, b.kernel, n_pad);
+
+  vgpu::TimingOptions topt;
+  topt.driver = b.config.driver;
+  topt.threads = opts.sim_threads;
+  topt.sim_sms = opts.sim_sms;
+  const vgpu::LaunchConfig cfg{p.n_tiles, block};
+  const vgpu::LaunchStats stats =
+      vgpu::run_timed(b.kernel.prog, spec, dev.gmem(), cfg, p.params, topt);
+
+  Measurement m;
+  m.sampled = false;
+  m.cycles = stats.cycles;
+  m.blocks = stats.blocks_simulated;
+  return m;
+}
+
+/// Cycles the sampled affine model predicts for a grid of `n_tiles` blocks
+/// each looping over `n_tiles` tiles, on the *simulated* SM count.
+double sampled_cycles_at(const Measurement& m, double n_tiles) {
+  const double per_block = vgpu::extrapolate_affine(
+      static_cast<double>(m.t1), static_cast<double>(m.c1),
+      static_cast<double>(m.t2), static_cast<double>(m.c2), n_tiles);
+  return per_block * (n_tiles / static_cast<double>(m.blocks_sampled));
+}
+
+}  // namespace
+
+const char* to_string(ConfigStatus s) {
+  switch (s) {
+    case ConfigStatus::kPruned: return "pruned";
+    case ConfigStatus::kSampled: return "sampled";
+    case ConfigStatus::kRefined: return "refined";
+  }
+  return "?";
+}
+
+TuneReport tune(const std::vector<TuneConfig>& configs,
+                const vgpu::DeviceSpec& spec, const TunerOptions& opts) {
+  if (configs.empty()) degenerate_opts("no configs to search");
+  if (opts.sample_tiles < 2) {
+    degenerate_opts("sample_tiles must be >= 2 (the affine fit needs two "
+                    "distinct tile counts)");
+  }
+  if (opts.max_occupancy_drop < 0.0) {
+    degenerate_opts("max_occupancy_drop must be >= 0");
+  }
+  if (opts.top_k == 0) degenerate_opts("top_k must be >= 1");
+  if (opts.n_target == 0) degenerate_opts("n_target must be >= 1");
+  if (opts.n_ref == 0) degenerate_opts("n_ref must be >= 1");
+
+  const std::uint64_t dev_hash = device_spec_hash(spec);
+  const std::uint32_t sim_sms_eff =
+      opts.sim_sms == 0 ? spec.sm_count : opts.sim_sms;
+  const double device_scale =
+      static_cast<double>(sim_sms_eff) / static_cast<double>(spec.sm_count);
+
+  TuningCache* cache = opts.cache;
+  const std::uint64_t hits0 = cache != nullptr ? cache->hits() : 0;
+  const std::uint64_t misses0 = cache != nullptr ? cache->misses() : 0;
+
+  // Tier 1: build everything (register allocation is the cheap part), then
+  // prune on theoretical occupancy before any simulation.
+  std::vector<Built> built;
+  built.reserve(configs.size());
+  for (const TuneConfig& cfg : configs) {
+    Built b;
+    b.config = cfg;
+    b.kernel = gravit::make_farfield_kernel(cfg.kernel_options());
+    b.occ = vgpu::compute_occupancy(spec, cfg.block,
+                                    b.kernel.prog.num_phys_regs,
+                                    b.kernel.prog.shared_bytes);
+    b.prog_hash = vgpu::program_content_hash(b.kernel.prog);
+    built.push_back(std::move(b));
+  }
+  double best_occ = 0;
+  for (const Built& b : built) best_occ = std::max(best_occ, b.occ.occupancy);
+  const double floor_occ = best_occ * (1.0 - opts.max_occupancy_drop);
+  std::size_t survivors = 0;
+  for (Built& b : built) {
+    // blocks_per_sm == 0 means the kernel cannot place at all - always cut.
+    b.pruned = b.occ.blocks_per_sm == 0 || b.occ.occupancy < floor_occ;
+    if (!b.pruned) ++survivors;
+  }
+  if (survivors == 0) {
+    degenerate_opts("the occupancy pruner discarded every config");
+  }
+
+  // Tier 2: sampled measurement of the survivors (cache-served when warm).
+  for (Built& b : built) {
+    if (b.pruned) continue;
+    CacheKey key;
+    key.program_hash = b.prog_hash;
+    key.device_hash = dev_hash;
+    key.driver = b.config.driver;
+    key.sim_sms = opts.sim_sms;
+    key.max_waves = opts.max_waves;
+    key.sample_tiles = opts.sample_tiles;
+    key.n_tiles = 0;
+    const Measurement* hit =
+        cache != nullptr ? cache->find(key, b.kernel.prog) : nullptr;
+    if (hit != nullptr) {
+      b.sampled = *hit;
+      b.sampled_cached = true;
+    } else {
+      b.sampled = measure_sampled(b, spec, opts);
+      if (cache != nullptr) cache->insert(key, b.kernel.prog, b.sampled);
+    }
+  }
+
+  // Price every survivor's end-to-end window at n_target.
+  auto price = [&](Built& b) {
+    const std::uint32_t n_pad = pad_to_block(opts.n_target, b.config.block);
+    const double n_tiles = static_cast<double>(n_pad) / b.config.block;
+    const double device_cycles =
+        sampled_cycles_at(b.sampled, n_tiles) * device_scale * b.correction;
+    b.kernel_ms = spec.cycles_to_ms(device_cycles);
+    const double h2d = vgpu::transfer_ms(spec, b.kernel.phys.bytes(n_pad));
+    const double d2h = vgpu::transfer_ms(spec, b.kernel.output_bytes(n_pad));
+    b.end_to_end_ms = h2d + b.kernel_ms + d2h + spec.launch_overhead_ms();
+  };
+  std::vector<Built*> order;
+  for (Built& b : built) {
+    if (b.pruned) continue;
+    price(b);
+    order.push_back(&b);
+  }
+  auto by_time = [](const Built* a, const Built* b) {
+    if (a->end_to_end_ms != b->end_to_end_ms) {
+      return a->end_to_end_ms < b->end_to_end_ms;
+    }
+    return a->config.full_label() < b->config.full_label();
+  };
+  std::sort(order.begin(), order.end(), by_time);
+
+  // Tier 3: fully simulate the sampled top-k at the reference size and
+  // correct their estimates with the measured/predicted cycle ratio. The
+  // correction can demote a leader below a still-unrefined config, so
+  // iterate - refine whatever currently ranks top-k, re-rank - until the
+  // head of the ranking is all refined estimates (terminates: the refined
+  // set grows every round, corrections are computed at most once each).
+  const std::size_t k = std::min<std::size_t>(opts.top_k, order.size());
+  auto refine = [&](Built& b) {
+    const std::uint32_t n_tiles_ref =
+        pad_to_block(opts.n_ref, b.config.block) / b.config.block;
+    CacheKey key;
+    key.program_hash = b.prog_hash;
+    key.device_hash = dev_hash;
+    key.driver = b.config.driver;
+    key.sim_sms = opts.sim_sms;
+    key.max_waves = 0;
+    key.sample_tiles = 0;
+    key.n_tiles = n_tiles_ref;
+    const Measurement* hit =
+        cache != nullptr ? cache->find(key, b.kernel.prog) : nullptr;
+    Measurement full;
+    if (hit != nullptr) {
+      full = *hit;
+      b.refined_cached = true;
+    } else {
+      full = measure_full(b, spec, opts, n_tiles_ref);
+      if (cache != nullptr) cache->insert(key, b.kernel.prog, full);
+    }
+    const double predicted =
+        sampled_cycles_at(b.sampled, static_cast<double>(n_tiles_ref));
+    if (predicted > 0) {
+      b.correction = static_cast<double>(full.cycles) / predicted;
+    }
+    b.refined = true;
+    price(b);
+  };
+  while (true) {
+    bool refined_any = false;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!order[i]->refined) {
+        refine(*order[i]);
+        refined_any = true;
+      }
+    }
+    if (!refined_any) break;
+    std::sort(order.begin(), order.end(), by_time);
+  }
+
+  TuneReport report;
+  for (const Built* b : order) {
+    ConfigResult r;
+    r.config = b->config;
+    r.status = b->refined ? ConfigStatus::kRefined : ConfigStatus::kSampled;
+    r.regs = b->kernel.regs_per_thread;
+    r.occ = b->occ;
+    r.cached = b->sampled_cached && (!b->refined || b->refined_cached);
+    r.sampled = b->sampled;
+    r.kernel_ms = b->kernel_ms;
+    r.end_to_end_ms = b->end_to_end_ms;
+    r.refine_correction = b->correction;
+    report.ranked.push_back(r);
+  }
+  for (const Built& b : built) {
+    if (!b.pruned) continue;
+    ConfigResult r;
+    r.config = b.config;
+    r.status = ConfigStatus::kPruned;
+    r.regs = b.kernel.regs_per_thread;
+    r.occ = b.occ;
+    report.pruned.push_back(r);
+  }
+  report.pruned_fraction =
+      static_cast<double>(report.pruned.size()) /
+      static_cast<double>(report.pruned.size() + report.ranked.size());
+  if (cache != nullptr) {
+    report.cache_hits = cache->hits() - hits0;
+    report.cache_misses = cache->misses() - misses0;
+  }
+  return report;
+}
+
+TuneReport tune(const ConfigSpace& space, const vgpu::DeviceSpec& spec,
+                const TunerOptions& opts) {
+  return tune(space.enumerate(spec), spec, opts);
+}
+
+}  // namespace tune

@@ -1,0 +1,107 @@
+// tuner.hpp - search the optimization space the paper swept by hand.
+//
+// tune() takes an enumerated config list (space.hpp) and produces a ranked
+// report of the paper's end-to-end window (h2d copy + kernel + d2h copy +
+// launch overhead, all through vgpu::transfer_ms) at a target problem size,
+// in three tiers of increasing cost:
+//
+//   1. prune   - every config is built (register allocation is cheap) and
+//                its theoretical occupancy computed (vgpu::compute_occupancy).
+//                Configs that cannot place a single block per SM, or whose
+//                occupancy drop versus the best achievable in the space
+//                exceeds TunerOptions::max_occupancy_drop, are discarded
+//                before any simulation (the compute_perf_drop idea).
+//   2. sample  - survivors are measured with wave/tile sampling
+//                (src/vgpu/sampling.hpp): two reduced tile counts over a
+//                bounded number of block waves on a few simulated SMs; the
+//                affine model plus wave scaling prices any problem size.
+//   3. refine  - the sampled top-k are fully simulated (every block, every
+//                tile) at a small reference size; the full/sampled cycle
+//                ratio corrects their estimates before the final ranking.
+//
+// Every simulated measurement (tiers 2 and 3) is served through the
+// persistent TuningCache when one is supplied: warm runs skip simulation
+// entirely and the report carries the hit/miss counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gravit/kernels.hpp"
+#include "tune/cache.hpp"
+#include "tune/space.hpp"
+#include "vgpu/arch.hpp"
+#include "vgpu/occupancy.hpp"
+
+namespace tune {
+
+struct TunerOptions {
+  /// Particle count the ranking is computed for (padded per config).
+  std::uint32_t n_target = 102'400;
+  /// Prune a config when its occupancy < (1 - bound) * best-in-space.
+  /// Deliberately loose: on an issue-bound kernel moderate occupancy loss
+  /// costs little (the paper's 50% -> 67% step is worth ~6%), so only
+  /// drops large enough that the config cannot plausibly place are cut.
+  double max_occupancy_drop = 0.55;
+  /// Configs refined with full simulation after the sampled ranking.
+  std::uint32_t top_k = 3;
+  /// Sampling fidelity (tier 2): tile counts sampled (>= 2; the affine fit
+  /// needs two distinct points) and block-wave cap.
+  std::uint32_t sample_tiles = 8;
+  std::uint32_t max_waves = 2;
+  /// SMs to simulate (0 = whole device). DRAM bandwidth scales
+  /// proportionally so per-SM behaviour matches; estimates are rescaled to
+  /// the full device.
+  std::uint32_t sim_sms = 2;
+  /// Reference particle count for tier-3 full simulation.
+  std::uint32_t n_ref = 4096;
+  /// Host threads for the timing executor (bit-identical results).
+  std::uint32_t sim_threads = 1;
+  /// Optional persistent measurement cache (cache.hpp). Not owned.
+  TuningCache* cache = nullptr;
+};
+
+enum class ConfigStatus : std::uint8_t {
+  kPruned,   ///< discarded by tier 1, never simulated
+  kSampled,  ///< tier-2 estimate
+  kRefined,  ///< tier-3 full-simulation corrected estimate
+};
+
+[[nodiscard]] const char* to_string(ConfigStatus s);
+
+struct ConfigResult {
+  TuneConfig config;
+  ConfigStatus status = ConfigStatus::kPruned;
+  std::uint32_t regs = 0;
+  vgpu::OccupancyResult occ;
+  bool cached = false;  ///< tier-2/3 measurements all served from cache
+  Measurement sampled;  ///< tier-2 points (deterministic; zero when pruned)
+  double kernel_ms = 0;      ///< device-scale kernel leg at n_target
+  double end_to_end_ms = 0;  ///< serial window at n_target (ranking metric)
+  double refine_correction = 1.0;  ///< full / sampled cycles at n_ref
+};
+
+struct TuneReport {
+  std::vector<ConfigResult> ranked;  ///< measured configs, best first
+  std::vector<ConfigResult> pruned;  ///< tier-1 discards
+  double pruned_fraction = 0;        ///< pruned / (pruned + ranked)
+  std::uint64_t cache_hits = 0;      ///< this run's cache traffic
+  std::uint64_t cache_misses = 0;
+
+  [[nodiscard]] const ConfigResult& best() const { return ranked.front(); }
+};
+
+/// Search `configs` on `spec`. Throws SpaceError on degenerate input
+/// (empty config list, sample_tiles < 2, top_k or n_target of 0, every
+/// config pruned).
+[[nodiscard]] TuneReport tune(const std::vector<TuneConfig>& configs,
+                              const vgpu::DeviceSpec& spec,
+                              const TunerOptions& opts);
+
+/// Convenience: enumerate `space` then search it.
+[[nodiscard]] TuneReport tune(const ConfigSpace& space,
+                              const vgpu::DeviceSpec& spec,
+                              const TunerOptions& opts);
+
+}  // namespace tune

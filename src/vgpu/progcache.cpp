@@ -31,7 +31,24 @@ class Fnv {
   std::uint64_t h_ = 0xcbf29ce484222325ull;
 };
 
-[[nodiscard]] std::uint64_t hash_program(const Program& p) {
+struct CacheSlot {
+  std::uint64_t hash = 0;
+  std::shared_ptr<const CompiledKernel> kernel;
+};
+
+struct Cache {
+  std::mutex mu;
+  std::vector<CacheSlot> slots;
+};
+
+Cache& cache() {
+  static Cache c;
+  return c;
+}
+
+}  // namespace
+
+std::uint64_t program_content_hash(const Program& p) {
   Fnv f;
   f.str(p.name);
   f.u64(p.blocks.size());
@@ -88,23 +105,6 @@ class Fnv {
   return f.value();
 }
 
-struct CacheSlot {
-  std::uint64_t hash = 0;
-  std::shared_ptr<const CompiledKernel> kernel;
-};
-
-struct Cache {
-  std::mutex mu;
-  std::vector<CacheSlot> slots;
-};
-
-Cache& cache() {
-  static Cache c;
-  return c;
-}
-
-}  // namespace
-
 CompiledKernel::CompiledKernel(const Program& prog)
     : key_(prog), dec_(decode(prog)), threaded_(build_threaded(dec_)) {}
 
@@ -128,7 +128,7 @@ std::shared_ptr<const CompiledKernel> acquire_compiled(const Program& prog,
   if (hit != nullptr) *hit = false;
   if (!use_cache) return std::make_shared<const CompiledKernel>(prog);
 
-  const std::uint64_t h = hash_program(prog);
+  const std::uint64_t h = program_content_hash(prog);
   Cache& c = cache();
   {
     const std::scoped_lock lock(c.mu);

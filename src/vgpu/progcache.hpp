@@ -84,4 +84,10 @@ inline constexpr std::size_t kDecodeCacheCapacity = 256;
 void decode_cache_clear();
 [[nodiscard]] std::size_t decode_cache_size();
 
+/// The cache's FNV-1a content hash over every decode-relevant Program
+/// field. Equal programs hash equal (consistent with Program::operator==);
+/// exposed so other caches - notably the tuning cache (src/tune) - can key
+/// on kernel content the same way.
+[[nodiscard]] std::uint64_t program_content_hash(const Program& prog);
+
 }  // namespace vgpu

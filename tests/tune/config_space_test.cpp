@@ -1,0 +1,159 @@
+// ConfigSpace enumeration and its loud degenerate-axis guards.
+//
+// The space is the front door of the auto-tuner: if it silently produced an
+// empty or collapsed sweep, every downstream gate would "pass" on nothing.
+// These tests pin the enumeration contents (counts, axis order effects, the
+// unroll-divisibility filter, cross-space dedup) and require every
+// degenerate shape to throw SpaceError instead.
+#include "tune/space.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "vgpu/arch.hpp"
+
+namespace {
+
+const vgpu::DeviceSpec kSpec = vgpu::g80_spec();
+
+TEST(ConfigSpaceTest, DefaultSpaceIsTheFourLayouts) {
+  const std::vector<tune::TuneConfig> configs =
+      tune::ConfigSpace{}.enumerate(kSpec);
+  ASSERT_EQ(configs.size(), 4u);
+  std::set<layout::SchemeKind> schemes;
+  for (const tune::TuneConfig& c : configs) {
+    schemes.insert(c.scheme);
+    EXPECT_EQ(c.block, 128u);
+    EXPECT_EQ(c.unroll, 1u);
+    EXPECT_FALSE(c.icm);
+    EXPECT_EQ(c.driver, vgpu::DriverModel::kCuda10);
+  }
+  EXPECT_EQ(schemes.size(), 4u);
+}
+
+TEST(ConfigSpaceTest, PaperSpaceCountsDivisiblePairsOnly) {
+  // blocks {64,128,256,512} x unrolls {1,32,64,128}: 64 admits {1,32,64}
+  // (128 does not divide it), the rest admit all four -> 15 pairs, times
+  // 4 schemes and 2 icm settings.
+  EXPECT_EQ(tune::ConfigSpace::paper_space().size(kSpec), 15u * 4u * 2u);
+}
+
+TEST(ConfigSpaceTest, UnrollMustDivideBlock) {
+  const std::vector<tune::TuneConfig> configs =
+      tune::ConfigSpace{}
+          .schemes({layout::SchemeKind::kSoAoaS})
+          .blocks({64})
+          .unrolls({1, 48, 64, 128})
+          .enumerate(kSpec);
+  std::set<std::uint32_t> unrolls;
+  for (const tune::TuneConfig& c : configs) unrolls.insert(c.unroll);
+  EXPECT_EQ(unrolls, (std::set<std::uint32_t>{1, 64}));
+}
+
+TEST(ConfigSpaceTest, FullLabelCarriesBlockAndDriverLabelDoesNot) {
+  tune::TuneConfig cfg;
+  cfg.scheme = layout::SchemeKind::kSoAoaS;
+  cfg.block = 256;
+  cfg.unroll = 64;
+  cfg.icm = true;
+  cfg.driver = vgpu::DriverModel::kCuda11;
+  EXPECT_EQ(cfg.label().find("b256"), std::string::npos);
+  EXPECT_EQ(cfg.label().find("cuda11"), std::string::npos);
+  EXPECT_NE(cfg.full_label().find("+b256"), std::string::npos);
+  EXPECT_NE(cfg.full_label().find("@cuda11"), std::string::npos);
+  EXPECT_EQ(cfg.full_label().find(cfg.label()), 0u);
+}
+
+TEST(ConfigSpaceTest, EnumerateAllDedupsByFullLabel) {
+  const tune::ConfigSpace space = tune::ConfigSpace::paper_space();
+  const std::size_t one = tune::enumerate_all({space}, kSpec).size();
+  const std::vector<tune::TuneConfig> twice =
+      tune::enumerate_all({space, space}, kSpec);
+  EXPECT_EQ(twice.size(), one);
+  std::set<std::string> labels;
+  for (const tune::TuneConfig& c : twice) labels.insert(c.full_label());
+  EXPECT_EQ(labels.size(), twice.size());
+}
+
+TEST(ConfigSpaceTest, PaperSpacesUnionIsDeduplicated) {
+  const std::vector<tune::TuneConfig> all =
+      tune::enumerate_all(tune::paper_spaces(), kSpec);
+  std::set<std::string> labels;
+  for (const tune::TuneConfig& c : all) labels.insert(c.full_label());
+  EXPECT_EQ(labels.size(), all.size());
+  // The union must cover all three driver generations and the variant axes.
+  EXPECT_TRUE(std::any_of(all.begin(), all.end(), [](const tune::TuneConfig& c) {
+    return c.driver == vgpu::DriverModel::kCuda22;
+  }));
+  EXPECT_TRUE(std::any_of(all.begin(), all.end(),
+                          [](const tune::TuneConfig& c) { return c.texture; }));
+  EXPECT_TRUE(std::any_of(all.begin(), all.end(), [](const tune::TuneConfig& c) {
+    return c.max_regs != 0;
+  }));
+}
+
+// --- degenerate shapes: every one must throw, none may yield an empty sweep
+
+TEST(ConfigSpaceTest, EmptyAxisThrows) {
+  EXPECT_THROW(tune::ConfigSpace{}.schemes({}).enumerate(kSpec),
+               tune::SpaceError);
+  EXPECT_THROW(tune::ConfigSpace{}.blocks({}).enumerate(kSpec),
+               tune::SpaceError);
+  EXPECT_THROW(tune::ConfigSpace{}.unrolls({}).enumerate(kSpec),
+               tune::SpaceError);
+  EXPECT_THROW(tune::ConfigSpace{}.icm({}).enumerate(kSpec), tune::SpaceError);
+  EXPECT_THROW(tune::ConfigSpace{}.drivers({}).enumerate(kSpec),
+               tune::SpaceError);
+  EXPECT_THROW(tune::ConfigSpace{}.texture({}).enumerate(kSpec),
+               tune::SpaceError);
+  EXPECT_THROW(tune::ConfigSpace{}.max_regs({}).enumerate(kSpec),
+               tune::SpaceError);
+}
+
+TEST(ConfigSpaceTest, BlockZeroThrows) {
+  EXPECT_THROW(tune::ConfigSpace{}.blocks({0}).enumerate(kSpec),
+               tune::SpaceError);
+}
+
+TEST(ConfigSpaceTest, BlockOffTheWarpGridThrows) {
+  EXPECT_THROW(tune::ConfigSpace{}.blocks({100}).enumerate(kSpec),
+               tune::SpaceError);
+}
+
+TEST(ConfigSpaceTest, BlockAboveDeviceLimitThrows) {
+  ASSERT_EQ(kSpec.max_threads_per_block, 512u);
+  EXPECT_THROW(tune::ConfigSpace{}.blocks({1024}).enumerate(kSpec),
+               tune::SpaceError);
+}
+
+TEST(ConfigSpaceTest, UnrollZeroThrows) {
+  EXPECT_THROW(tune::ConfigSpace{}.unrolls({0}).enumerate(kSpec),
+               tune::SpaceError);
+}
+
+TEST(ConfigSpaceTest, NoDivisiblePairThrows) {
+  EXPECT_THROW(
+      tune::ConfigSpace{}.blocks({64}).unrolls({128}).enumerate(kSpec),
+      tune::SpaceError);
+}
+
+TEST(ConfigSpaceTest, NoSpacesThrows) {
+  EXPECT_THROW(tune::enumerate_all({}, kSpec), tune::SpaceError);
+}
+
+TEST(ConfigSpaceTest, DiagnosticNamesTheDegeneracy) {
+  try {
+    (void)tune::ConfigSpace{}.blocks({0}).enumerate(kSpec);
+    FAIL() << "expected SpaceError";
+  } catch (const tune::SpaceError& e) {
+    EXPECT_NE(std::string(e.what()).find("degenerate config space"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("block size 0"), std::string::npos);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+// Tiered-tuner properties: pruner safety, cache contract, determinism and
+// the loud degenerate-options guards.
+//
+// The central property is the one the shipped default bound must uphold:
+// the occupancy pruner never discards a config whose fully-simulated time
+// would rank top-k. Ground truth is a refine-everything run (prune bound
+// effectively off, top_k covering the whole space) so every placeable
+// config's estimate is full-simulation corrected; the pruned run at the
+// default bound must not have discarded any of that ranking's head. On
+// this kernel family low occupancy *correlates with speed* (the unrolled
+// winners run 256 threads/SM), which is exactly why the default bound is
+// loose - a companion test pins that at the default bound no placeable
+// config is bound-pruned, and a third exercises the bound machinery with
+// an aggressive drop to show what it would cut.
+#include "tune/tuner.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tune/space.hpp"
+#include "vgpu/arch.hpp"
+
+namespace {
+
+const vgpu::DeviceSpec kSpec = vgpu::g80_spec();
+
+// 4 schemes x blocks {64,128,512} x unrolls {1,64} x icm off: 16 placeable
+// configs plus 8 block-512 shapes that cannot place a single block per SM
+// (512 threads x 17+ registers exceed the 8192-register file).
+tune::ConfigSpace small_space() {
+  tune::ConfigSpace space;
+  space.blocks({64, 128, 512});
+  space.unrolls({1, 64});
+  return space;
+}
+
+tune::TunerOptions fast_opts() {
+  tune::TunerOptions opts;
+  opts.n_target = 16'384;
+  opts.sample_tiles = 4;
+  opts.max_waves = 2;
+  opts.sim_sms = 2;
+  opts.n_ref = 1024;
+  opts.top_k = 3;
+  return opts;
+}
+
+std::set<std::string> labels_of(const std::vector<tune::ConfigResult>& v) {
+  std::set<std::string> out;
+  for (const tune::ConfigResult& r : v) out.insert(r.config.full_label());
+  return out;
+}
+
+TEST(TunerTest, PrunerNeverDiscardsAGroundTruthTopK) {
+  const std::vector<tune::TuneConfig> configs =
+      small_space().enumerate(kSpec);
+
+  // Ground truth: keep every placeable config and refine all of them, so
+  // the ranking is full-simulation corrected end to end.
+  tune::TunerOptions truth_opts = fast_opts();
+  truth_opts.max_occupancy_drop = 1.0;
+  truth_opts.top_k = 64;
+  const tune::TuneReport truth = tune::tune(configs, kSpec, truth_opts);
+  for (const tune::ConfigResult& r : truth.ranked) {
+    EXPECT_EQ(r.status, tune::ConfigStatus::kRefined) << r.config.full_label();
+  }
+
+  // The run under test: default bound, small top_k.
+  const tune::TuneReport report = tune::tune(configs, kSpec, fast_opts());
+  ASSERT_FALSE(report.pruned.empty());  // the property must not be vacuous
+  EXPECT_GT(report.pruned_fraction, 0.0);
+
+  const std::set<std::string> pruned = labels_of(report.pruned);
+  for (std::size_t i = 0; i < fast_opts().top_k && i < truth.ranked.size();
+       ++i) {
+    const std::string label = truth.ranked[i].config.full_label();
+    EXPECT_EQ(pruned.count(label), 0u)
+        << "pruner discarded ground-truth rank " << i << ": " << label;
+  }
+  // And the winner agrees with ground truth outright.
+  EXPECT_EQ(report.best().config.full_label(),
+            truth.best().config.full_label());
+}
+
+TEST(TunerTest, DefaultBoundOnlyCutsUnplaceableConfigs) {
+  // At the shipped bound every pruned config is one that cannot place at
+  // all (occupancy 0). If this starts failing, the bound got tight enough
+  // to cut running configs - re-verify PrunerNeverDiscards above still
+  // holds before accepting it.
+  const tune::TuneReport report =
+      tune::tune(small_space().enumerate(kSpec), kSpec, fast_opts());
+  ASSERT_FALSE(report.pruned.empty());
+  for (const tune::ConfigResult& r : report.pruned) {
+    EXPECT_EQ(r.occ.blocks_per_sm, 0u) << r.config.full_label();
+    EXPECT_EQ(r.config.block, 512u) << r.config.full_label();
+  }
+}
+
+TEST(TunerTest, AggressiveBoundCutsPlaceableLowOccupancyConfigs) {
+  // drop = 0 puts the floor at the best occupancy in the space: every
+  // placeable config below it is cut by the bound (not by placement). On
+  // this kernel family that includes the high-register unrolled shapes -
+  // the demonstration of why the default bound must stay loose.
+  tune::TunerOptions opts = fast_opts();
+  opts.max_occupancy_drop = 0.0;
+  const tune::TuneReport report =
+      tune::tune(small_space().enumerate(kSpec), kSpec, opts);
+  bool cut_a_placeable = false;
+  for (const tune::ConfigResult& r : report.pruned) {
+    if (r.occ.blocks_per_sm > 0) {
+      cut_a_placeable = true;
+      EXPECT_GT(r.occ.occupancy, 0.0);
+    }
+  }
+  EXPECT_TRUE(cut_a_placeable);
+  // Survivors are exactly the max-occupancy shapes.
+  double best_occ = 0;
+  for (const tune::ConfigResult& r : report.ranked) {
+    best_occ = std::max(best_occ, r.occ.occupancy);
+  }
+  for (const tune::ConfigResult& r : report.ranked) {
+    EXPECT_EQ(r.occ.occupancy, best_occ) << r.config.full_label();
+  }
+}
+
+TEST(TunerTest, DeterministicAcrossRuns) {
+  const std::vector<tune::TuneConfig> configs =
+      small_space().enumerate(kSpec);
+  const tune::TuneReport a = tune::tune(configs, kSpec, fast_opts());
+  const tune::TuneReport b = tune::tune(configs, kSpec, fast_opts());
+  ASSERT_EQ(a.ranked.size(), b.ranked.size());
+  for (std::size_t i = 0; i < a.ranked.size(); ++i) {
+    EXPECT_EQ(a.ranked[i].config.full_label(),
+              b.ranked[i].config.full_label());
+    EXPECT_EQ(a.ranked[i].sampled.c1, b.ranked[i].sampled.c1);
+    EXPECT_EQ(a.ranked[i].sampled.c2, b.ranked[i].sampled.c2);
+    EXPECT_EQ(a.ranked[i].end_to_end_ms, b.ranked[i].end_to_end_ms);
+  }
+}
+
+TEST(TunerTest, WarmCacheRunIsAllHitsAndIdentical) {
+  const std::vector<tune::TuneConfig> configs =
+      small_space().enumerate(kSpec);
+  tune::TuningCache cache;
+  tune::TunerOptions opts = fast_opts();
+  opts.cache = &cache;
+
+  const tune::TuneReport cold = tune::tune(configs, kSpec, opts);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_GT(cold.cache_misses, 0u);
+
+  const tune::TuneReport warm = tune::tune(configs, kSpec, opts);
+  EXPECT_GT(warm.cache_hits, 0u);
+  EXPECT_EQ(warm.cache_misses, 0u);
+  ASSERT_EQ(warm.ranked.size(), cold.ranked.size());
+  for (std::size_t i = 0; i < warm.ranked.size(); ++i) {
+    EXPECT_EQ(warm.ranked[i].config.full_label(),
+              cold.ranked[i].config.full_label());
+    EXPECT_EQ(warm.ranked[i].end_to_end_ms, cold.ranked[i].end_to_end_ms);
+    EXPECT_TRUE(warm.ranked[i].cached) << warm.ranked[i].config.full_label();
+  }
+}
+
+TEST(TunerTest, DegenerateOptionsThrow) {
+  const std::vector<tune::TuneConfig> configs =
+      small_space().enumerate(kSpec);
+  const tune::TunerOptions good = fast_opts();
+
+  EXPECT_THROW(tune::tune(std::vector<tune::TuneConfig>{}, kSpec, good),
+               tune::SpaceError);
+
+  tune::TunerOptions opts = good;
+  opts.sample_tiles = 1;  // the affine fit needs two distinct points
+  EXPECT_THROW(tune::tune(configs, kSpec, opts), tune::SpaceError);
+
+  opts = good;
+  opts.top_k = 0;
+  EXPECT_THROW(tune::tune(configs, kSpec, opts), tune::SpaceError);
+
+  opts = good;
+  opts.n_target = 0;
+  EXPECT_THROW(tune::tune(configs, kSpec, opts), tune::SpaceError);
+
+  opts = good;
+  opts.max_occupancy_drop = -0.1;
+  EXPECT_THROW(tune::tune(configs, kSpec, opts), tune::SpaceError);
+
+  // A space whose every config fails to place prunes to nothing - loud,
+  // not an empty "ranking".
+  const std::vector<tune::TuneConfig> unplaceable =
+      tune::ConfigSpace{}.blocks({512}).unrolls({64}).enumerate(kSpec);
+  EXPECT_THROW(tune::tune(unplaceable, kSpec, good), tune::SpaceError);
+}
+
+}  // namespace
