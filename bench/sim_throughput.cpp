@@ -163,6 +163,11 @@ bool g_timed_batched = true;
 /// Run-dispatch backend for issued runs (--dispatch=threaded|switch); the
 /// threaded-dispatch differential always runs both backends regardless.
 vgpu::RunDispatch g_dispatch = vgpu::RunDispatch::kThreaded;
+/// Specialized run execution - trace-compiled superblocks, boundary-step
+/// fusion and the timing executor's ready-heap pick loop
+/// (--specialized=on|off). The specialization differential in run_all
+/// always runs both modes regardless.
+bool g_specialized = true;
 
 /// The run-dispatch tag for a fast-path table row ("-" on the reference
 /// interpreter, which has no decoded runs to dispatch).
@@ -189,7 +194,7 @@ const char* dispatch_name(bool timed, bool reference, int batched) {
 /// the matching command-line flag picked.
 RunResult run_one(Workload& w, bool timed, bool reference,
                   std::uint32_t threads = 1, int batched = -1,
-                  int dispatch = -1) {
+                  int dispatch = -1, int specialized = -1) {
   const vgpu::RunDispatch backend =
       dispatch < 0 ? g_dispatch
                    : (dispatch != 0 ? vgpu::RunDispatch::kThreaded
@@ -202,6 +207,7 @@ RunResult run_one(Workload& w, bool timed, bool reference,
     topt.threads = threads;
     topt.batched = batched < 0 ? g_timed_batched : batched != 0;
     topt.dispatch = backend;
+    topt.specialized = specialized < 0 ? g_specialized : specialized != 0;
     r.stats = vgpu::run_timed(w.prog, w.dev->spec(), w.dev->gmem(), w.cfg,
                               w.params, topt);
   } else {
@@ -209,6 +215,7 @@ RunResult run_one(Workload& w, bool timed, bool reference,
     fopt.reference = reference;
     fopt.batched = batched < 0 ? g_batched : batched != 0;
     fopt.dispatch = backend;
+    fopt.specialized = specialized < 0 ? g_specialized : specialized != 0;
     r.stats = vgpu::run_functional(w.prog, w.dev->spec(), w.dev->gmem(), w.cfg,
                                    w.params, fopt);
   }
@@ -380,6 +387,9 @@ void run_all(std::uint32_t n) {
                        "runs issued", "fallbacks", "stats identical"});
   bench::Table tdispatch({"workload", "switch wall ms", "threaded wall ms",
                           "speedup", "stats identical"});
+  bench::Table spec({"workload", "executor", "off wall ms", "on wall ms",
+                     "speedup", "traces", "fused ops", "heap pops",
+                     "stats identical"});
   for (Workload& w : workloads) {
     for (const bool timed : {false, true}) {
       const char* exec_name = timed ? "timing" : "functional";
@@ -477,6 +487,48 @@ void run_all(std::uint32_t n) {
                         std::to_string(on.stats.timed_run_fallbacks),
                         b_ident ? "yes" : "NO"});
       }
+
+      // Specialization differential: trace-compiled superblocks,
+      // boundary-step fusion and (timing executor) the ready-heap pick loop
+      // must be bit-identical on core() - cycles included - to the plain
+      // batched fast path and to the reference. Walls are the min over two
+      // interleaved off/on pairs: host noise only ever adds time, so the
+      // min is the stable estimator for the speedup column.
+      RunResult soff, son;
+      double soff_min = 0.0, son_min = 0.0;
+      for (int pair = 0; pair < 2; ++pair) {
+        soff = run_one(w, timed, /*reference=*/false, 1, /*batched=*/1,
+                       /*dispatch=*/-1, /*specialized=*/0);
+        son = run_one(w, timed, /*reference=*/false, 1, /*batched=*/1,
+                      /*dispatch=*/-1, /*specialized=*/1);
+        if (pair == 0 || soff.wall_ms < soff_min) soff_min = soff.wall_ms;
+        if (pair == 0 || son.wall_ms < son_min) son_min = son.wall_ms;
+      }
+      const bool s_ident = son.stats.core() == soff.stats.core() &&
+                           son.stats.core() == ref.stats.core();
+      g_summary.all_identical = g_summary.all_identical && s_ident;
+      spec.add_row({w.label, exec_name, fmt(soff_min, 1), fmt(son_min, 1),
+                    fmt(son_min > 0.0 ? soff_min / son_min : 0.0, 2),
+                    std::to_string(son.stats.traces_entered),
+                    std::to_string(son.stats.fused_boundary_ops),
+                    std::to_string(son.stats.pick_heap_pops),
+                    s_ident ? "yes" : "NO"});
+      if (w.label == "farfield-SoAoaS") {
+        if (timed) {
+          bench::add_summary("pick_heap_pops", son.stats.pick_heap_pops);
+          bench::add_summary("timed_run_fallbacks",
+                             son.stats.timed_run_fallbacks);
+          bench::add_summary("timed_run_fallbacks_plain",
+                             soff.stats.timed_run_fallbacks);
+          bench::add_summary(
+              "timed_run_fallbacks_decreased",
+              son.stats.timed_run_fallbacks < soff.stats.timed_run_fallbacks);
+        } else {
+          bench::add_summary("traces_entered", son.stats.traces_entered);
+          bench::add_summary("fused_boundary_ops",
+                             son.stats.fused_boundary_ops);
+        }
+      }
     }
   }
   runs.print("sim_throughput - host-side simulator throughput",
@@ -486,7 +538,8 @@ void run_all(std::uint32_t n) {
                  (g_batched ? "on" : "off") + ", timed run batching " +
                  (g_timed_batched ? "on" : "off") + ", run dispatch " +
                  (g_dispatch == vgpu::RunDispatch::kThreaded ? "threaded"
-                                                             : "switch"));
+                                                             : "switch") +
+                 ", specialized " + (g_specialized ? "on" : "off"));
   speed.print("fast path vs reference",
               "speedup = reference wall / fast wall; 'stats identical' "
               "compares LaunchStats::core() incl. cycles");
@@ -502,6 +555,11 @@ void run_all(std::uint32_t n) {
                   "exec_alu switch; both must report identical "
                   "LaunchStats::core(); walls are min over two interleaved "
                   "switch/threaded pairs");
+  spec.print("specialized run execution (traces + boundary fusion + "
+             "ready-heap pick)",
+             "specialization off vs on over the batched fast path; both "
+             "must report identical LaunchStats::core() incl. cycles; walls "
+             "are min over two interleaved off/on pairs");
 }
 
 void bm_sim_throughput(benchmark::State& state) {
@@ -543,6 +601,10 @@ int main(int argc, char** argv) {
       g_dispatch = vgpu::RunDispatch::kSwitch;
     } else if (std::strcmp(argv[a], "--dispatch=threaded") == 0) {
       g_dispatch = vgpu::RunDispatch::kThreaded;
+    } else if (std::strcmp(argv[a], "--specialized=off") == 0) {
+      g_specialized = false;
+    } else if (std::strcmp(argv[a], "--specialized=on") == 0) {
+      g_specialized = true;
     } else {
       argv[out++] = argv[a];
     }

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "example_util.hpp"
 #include "gravit/barneshut.hpp"
 #include "gravit/diagnostics.hpp"
 #include "gravit/forces_cpu.hpp"
@@ -17,7 +18,14 @@
 #include "gravit/spawn.hpp"
 
 int main(int argc, char** argv) {
-  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 1024;
+  if (argc > 2) {
+    std::fprintf(stderr, "usage: %s [n_particles]\n", argv[0]);
+    return examples::kUsageExit;
+  }
+  const std::size_t n =
+      argc > 1 ? examples::parse_u64(argv[0], "n_particles", argv[1], 16,
+                                     1u << 20)
+               : 1024;
   std::printf("gravit-cuda-memopt quickstart: %zu particles\n\n", n);
 
   // 1. initial conditions: a Plummer sphere in rough virial equilibrium

@@ -36,6 +36,9 @@ JsonValue to_json(const vgpu::LaunchStats& s) {
   v["timed_run_fallbacks"] = s.timed_run_fallbacks;
   v["decode_cache_hits"] = s.decode_cache_hits;
   v["decode_cache_misses"] = s.decode_cache_misses;
+  v["traces_entered"] = s.traces_entered;
+  v["fused_boundary_ops"] = s.fused_boundary_ops;
+  v["pick_heap_pops"] = s.pick_heap_pops;
   v["local_requests"] = s.local_requests;
   v["const_requests"] = s.const_requests;
   v["tex_requests"] = s.tex_requests;

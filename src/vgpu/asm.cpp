@@ -9,6 +9,7 @@
 
 #include "vgpu/check.hpp"
 #include "vgpu/launch.hpp"
+#include "vgpu/opclass.hpp"
 #include "vgpu/verify.hpp"
 
 namespace vgpu {

@@ -24,6 +24,24 @@ namespace {
   return true;
 }
 
+/// True when a run ending at this instruction may execute it fused into the
+/// run's dispatch (boundary-step fusion): an unguarded memory access with no
+/// predicate write. Control flow, barriers and exits still dispatch
+/// separately - they change the warp's mask or scheduling state.
+[[nodiscard]] bool fusable_boundary(const DecodedInstr& d) {
+  switch (d.kind) {
+    case StepResult::Kind::kGlobal:
+    case StepResult::Kind::kShared:
+    case StepResult::Kind::kLocal:
+    case StepResult::Kind::kConst:
+    case StepResult::Kind::kTex:
+      break;
+    default:
+      return false;
+  }
+  return d.guard == kNoPred && d.pdst == kNoPred;
+}
+
 }  // namespace
 
 DecodedProgram decode(const Program& prog) {
@@ -114,6 +132,10 @@ DecodedProgram decode(const Program& prog) {
           r.class_counts[c] += next.class_counts[c];
         }
       }
+      // Every suffix of a maximal run shares the run's terminator; record
+      // whether that terminator may be executed fused into the dispatch.
+      const std::size_t bnd = i + r.len;
+      r.fuse_boundary = bnd < end && fusable_boundary(dec.instrs[bnd]);
     }
   }
   return dec;

@@ -99,6 +99,11 @@ struct DecodedRun {
   Region region = Region::kOther;
   /// Dynamic instruction-class histogram of the run (InstrClass order).
   std::array<std::uint32_t, 6> class_counts{};
+  /// True when the instruction terminating this run (at `start + len`) is a
+  /// guard-free memory op a converged warp may execute fused into the same
+  /// dispatch (boundary-step fusion). Executors gate on their `specialized`
+  /// option; fused execution is bit-identical to the separate step.
+  bool fuse_boundary = false;
 };
 
 /// The flattened stream: blocks are concatenated in order, and

@@ -7,6 +7,7 @@
 #include "vgpu/coalesce.hpp"
 #include "vgpu/decode.hpp"
 #include "vgpu/memo.hpp"
+#include "vgpu/opclass.hpp"
 #include "vgpu/progcache.hpp"
 
 namespace vgpu {
@@ -69,6 +70,43 @@ LaunchStats run_functional(const Program& prog, const DeviceSpec& spec,
   }
   CoalesceMemo* const memop = memo ? &*memo : nullptr;
   const bool batched = opt.batched && !opt.reference;
+  const bool specialized = batched && opt.specialized;
+
+  // Per-step accounting, shared between the single-step dispatch and the
+  // fused boundary step (both see the same StepResult the step would have
+  // produced, so the stats cannot differ between the two paths).
+  auto account_step = [&](const StepResult& res) {
+    ++stats.warp_instructions;
+    ++stats.region_instructions[static_cast<std::size_t>(res.region)];
+    ++stats.instr_class_counts[static_cast<std::size_t>(instr_class(res.op))];
+    if (res.divergent_branch) ++stats.divergent_branches;
+    switch (res.kind) {
+      case StepResult::Kind::kGlobal:
+        count_global_step(res, spec, opt.driver, stats, scratch, memop);
+        break;
+      case StepResult::Kind::kShared:
+        count_shared_step(res, stats);
+        break;
+      case StepResult::Kind::kLocal:
+        ++stats.local_requests;
+        break;
+      case StepResult::Kind::kConst:
+        ++stats.const_requests;
+        break;
+      case StepResult::Kind::kTex:
+        ++stats.tex_requests;
+        break;
+      case StepResult::Kind::kBarrier:
+        ++stats.barriers;
+        break;
+      default:
+        break;
+    }
+  };
+  // Reused across fused boundary steps; exec_boundary rewrites every field
+  // the accounting below reads.
+  StepResult fres;
+  StepResult* const fusedp = specialized ? &fres : nullptr;
 
   // Fast path: one BlockExec reused across the grid (reset() per block);
   // reference path: a fresh BlockExec per block, as the original executor
@@ -81,6 +119,9 @@ LaunchStats run_functional(const Program& prog, const DeviceSpec& spec,
       if (cmemo) exec->set_conflict_memo(&*cmemo);
       if (ck && opt.dispatch == RunDispatch::kThreaded) {
         exec->set_threaded(&ck->threaded());
+        if (specialized) {
+          exec->set_traces(&ck->traces(), &stats.traces_entered);
+        }
       }
     } else {
       exec->reset(bp);
@@ -93,9 +134,12 @@ LaunchStats run_functional(const Program& prog, const DeviceSpec& spec,
           if (batched) {
             // Issue a whole converged straight-line run in one dispatch and
             // fold in its pre-aggregated accounting. A maximal run is always
-            // followed by a non-batchable instruction, so fall through to
-            // the single-step dispatch for it directly.
-            if (const DecodedRun* run = exec->step_run(w)) {
+            // followed by a non-batchable instruction: with specialization
+            // on, a fusable memory terminator executes inside the same
+            // dispatch (fused boundary step); otherwise fall through to the
+            // single-step dispatch for it directly.
+            bool fdone = false;
+            if (const DecodedRun* run = exec->step_run(w, 0, fusedp, &fdone)) {
               progressed = true;
               stats.warp_instructions += run->len;
               stats.region_instructions[static_cast<std::size_t>(run->region)] +=
@@ -103,36 +147,16 @@ LaunchStats run_functional(const Program& prog, const DeviceSpec& spec,
               for (std::size_t c = 0; c < run->class_counts.size(); ++c) {
                 stats.instr_class_counts[c] += run->class_counts[c];
               }
+              if (fdone) {
+                account_step(fres);
+                ++stats.fused_boundary_ops;
+                continue;
+              }
             }
           }
           const StepResult res = exec->step(w, ws.issued * 4);
           progressed = true;
-          ++stats.warp_instructions;
-          ++stats.region_instructions[static_cast<std::size_t>(res.region)];
-          ++stats.instr_class_counts[static_cast<std::size_t>(instr_class(res.op))];
-          if (res.divergent_branch) ++stats.divergent_branches;
-          switch (res.kind) {
-            case StepResult::Kind::kGlobal:
-              count_global_step(res, spec, opt.driver, stats, scratch, memop);
-              break;
-            case StepResult::Kind::kShared:
-              count_shared_step(res, stats);
-              break;
-            case StepResult::Kind::kLocal:
-              ++stats.local_requests;
-              break;
-            case StepResult::Kind::kConst:
-              ++stats.const_requests;
-              break;
-            case StepResult::Kind::kTex:
-              ++stats.tex_requests;
-              break;
-            case StepResult::Kind::kBarrier:
-              ++stats.barriers;
-              break;
-            default:
-              break;
-          }
+          account_step(res);
         }
       }
       if (exec->barrier_releasable()) {

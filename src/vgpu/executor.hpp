@@ -43,6 +43,13 @@ struct FunctionalOptions {
   /// (progcache.hpp) so repeat launches of the same program skip redecode.
   /// Off: compile privately per launch. Ignored on the reference path.
   bool decode_cache = true;
+  /// Specialized run execution: dispatch converged runs through compiled
+  /// superblock traces (traces.hpp) and fuse the run-terminating memory op
+  /// into the same dispatch. Ignored on the reference path and with
+  /// `batched` off. Bit-identical on/off; `sim_throughput
+  /// --specialized=off` and the SpecializedMatchesPlain differentials
+  /// exercise this flag.
+  bool specialized = true;
 };
 
 /// Execute the whole grid block-by-block. The program must be finished

@@ -9,6 +9,7 @@
 #include "vgpu/memo.hpp"
 #include "vgpu/opclass.hpp"
 #include "vgpu/threaded.hpp"
+#include "vgpu/traces.hpp"
 
 namespace vgpu {
 
@@ -824,7 +825,8 @@ StepResult BlockExec::step_fast(std::uint32_t w, std::uint64_t now) {
 // step_fast (guard evaluation, convergence test, StepResult construction)
 // collapses to a tight loop over exec_alu. The warp's mask cannot change
 // within the run, so checking convergence once up front is exact.
-const DecodedRun* BlockExec::step_run(std::uint32_t w, std::uint32_t max_len) {
+const DecodedRun* BlockExec::step_run(std::uint32_t w, std::uint32_t max_len,
+                                      StepResult* fused, bool* fused_done) {
   if (dec_ == nullptr) return nullptr;
   WarpState& ws = warps_[w];
   if (ws.done || ws.at_barrier) return nullptr;
@@ -837,8 +839,10 @@ const DecodedRun* BlockExec::step_run(std::uint32_t w, std::uint32_t max_len) {
   const std::uint32_t base_thread = ws.index * spec_.warp_size;
   if (threaded_ != nullptr) {
     // Compiled dispatch: pre-resolved operand rows, dense handlers, one
-    // indirect jump per instruction (threaded.cpp). Bit-identical to the
-    // exec_alu loop below.
+    // indirect jump per instruction (threaded.cpp) - or, for a full run
+    // starting at a compiled trace head, one jump per trace *segment*
+    // (traces.cpp). All dispatches are bit-identical to the exec_alu loop
+    // below.
     ThreadedCtx ctx;
     ctx.params = bp_.params.data();
     ctx.block_id = bp_.block_id;
@@ -848,7 +852,15 @@ const DecodedRun* BlockExec::step_run(std::uint32_t w, std::uint32_t max_len) {
     ctx.warp_index = ws.index;
     ctx.base_thread = base_thread;
     ctx.warp_size = spec_.warp_size;
-    exec_threaded(threaded_->ops.data() + first, n, ws.regs, ws.preds, ctx);
+    const std::uint32_t tr = traces_ != nullptr && n == run.len
+                                 ? traces_->trace_at[first]
+                                 : kNoTrace;
+    if (tr != kNoTrace) {
+      exec_trace(*traces_, tr, ws.regs, ws.preds, ctx);
+      ++*trace_hits_;
+    } else {
+      exec_threaded(threaded_->ops.data() + first, n, ws.regs, ws.preds, ctx);
+    }
   } else {
     const DecodedInstr* const ds = dec_->instrs.data() + first;
     for (std::uint32_t i = 0; i < n; ++i) {
@@ -857,7 +869,198 @@ const DecodedRun* BlockExec::step_run(std::uint32_t w, std::uint32_t max_len) {
   }
   ws.ip += n;
   ws.issued += n;
+  // Boundary-step fusion: the run's terminating memory op executes in the
+  // same dispatch when the caller asks for it and the whole run was taken.
+  // Ordering matches the separate step() call exactly: the terminator sees
+  // the run's register writes, `issued` counts it after the run.
+  if (fused != nullptr && n == run.len && run.fuse_boundary) {
+    ++ws.issued;
+    exec_boundary(dec_->instrs[first + n], ws, *fused);
+    ++ws.ip;
+    *fused_done = true;
+  }
   return &run;
+}
+
+// The memory cases of step_fast, specialized for the boundary-fusion
+// preconditions decode() checked (fusable_boundary): a converged warp and
+// an unguarded memory op with no predicate write. Guard evaluation and the
+// per-lane mask tests drop out; every architectural effect and every
+// StepResult field a pricing/accounting path reads is produced exactly as
+// step_fast would. `out` is caller-owned and may be reused across calls, so
+// every field step_fast's fresh StepResult would default is written here.
+void BlockExec::exec_boundary(const DecodedInstr& d, WarpState& ws,
+                              StepResult& out) {
+  out.kind = d.kind;
+  out.region = d.region;
+  out.op = d.op;
+  out.divergent_branch = false;
+  out.width = d.width;
+  out.is_store = d.is_store;
+  const Mask exec = ws.active;
+  out.mem_mask = exec;
+  out.shared_conflict_degree = 0;
+  const std::uint32_t warp_size = spec_.warp_size;
+  std::uint32_t* const R = ws.regs;
+  auto row = [&](std::uint32_t s) -> std::uint32_t* { return R + s * 32u; };
+  const std::uint32_t words = d.width_words;
+  const std::uint32_t wbytes = d.width_bytes;
+  // Lanes past the warp size never execute; a fresh StepResult leaves their
+  // addresses zero and `mem_mask` can carry their bits, so match that.
+  for (std::uint32_t l = warp_size; l < 32u; ++l) out.lane_addrs[l] = 0;
+
+  switch (d.op) {
+    case Opcode::kLdGlobal:
+    case Opcode::kStGlobal: {
+      const bool has_base = d.src_slot[0] != kNoSlot;
+      const std::uint32_t* const ab = has_base ? row(d.src_slot[0]) : nullptr;
+      const std::uint32_t imm = d.imm;
+      if (d.is_store) {
+        const std::uint32_t* const v = row(d.src_slot[1]);
+        for (std::uint32_t l = 0; l < warp_size; ++l) {
+          const std::uint32_t addr = (has_base ? ab[l] : 0u) + imm;
+          VGPU_EXPECTS_MSG(addr % wbytes == 0, "misaligned global access");
+          out.lane_addrs[l] = addr;
+          for (std::uint32_t c = 0; c < words; ++c) {
+            gmem_.store_u32(addr + 4u * c, v[c * 32u + l]);
+          }
+        }
+      } else {
+        std::uint32_t* const o = row(d.dst_slot);
+        for (std::uint32_t l = 0; l < warp_size; ++l) {
+          const std::uint32_t addr = (has_base ? ab[l] : 0u) + imm;
+          VGPU_EXPECTS_MSG(addr % wbytes == 0, "misaligned global access");
+          out.lane_addrs[l] = addr;
+          for (std::uint32_t c = 0; c < words; ++c) {
+            o[c * 32u + l] = gmem_.load_u32(addr + 4u * c);
+          }
+        }
+      }
+      break;
+    }
+    case Opcode::kLdConst: {
+      VGPU_EXPECTS_MSG(bp_.cmem != nullptr,
+                       "kernel reads constant memory but none bound");
+      const bool has_base = d.src_slot[0] != kNoSlot;
+      const std::uint32_t* const ab = has_base ? row(d.src_slot[0]) : nullptr;
+      std::uint32_t* const o = row(d.dst_slot);
+      for (std::uint32_t l = 0; l < warp_size; ++l) {
+        const std::uint32_t addr = (has_base ? ab[l] : 0u) + d.imm;
+        out.lane_addrs[l] = addr;
+        for (std::uint32_t c = 0; c < words; ++c) {
+          o[c * 32u + l] = bp_.cmem->load_u32(addr + 4u * c);
+        }
+      }
+      break;
+    }
+    case Opcode::kLdTex: {
+      const bool has_base = d.src_slot[0] != kNoSlot;
+      const std::uint32_t* const ab = has_base ? row(d.src_slot[0]) : nullptr;
+      std::uint32_t* const o = row(d.dst_slot);
+      for (std::uint32_t l = 0; l < warp_size; ++l) {
+        const std::uint32_t addr = (has_base ? ab[l] : 0u) + d.imm;
+        VGPU_EXPECTS_MSG(addr % wbytes == 0, "misaligned texture fetch");
+        out.lane_addrs[l] = addr;
+        for (std::uint32_t c = 0; c < words; ++c) {
+          o[c * 32u + l] = gmem_.load_u32(addr + 4u * c);
+        }
+      }
+      break;
+    }
+    case Opcode::kLdLocal:
+    case Opcode::kStLocal: {
+      const std::uint32_t word = d.imm / 4;
+      VGPU_EXPECTS_MSG(d.imm % 4 == 0 && word < local_words_,
+                       "local access out of frame");
+      std::uint32_t* const frame =
+          ws.local + static_cast<std::size_t>(word) * 32u;
+      if (d.is_store) {
+        const std::uint32_t* const v = row(d.src_slot[1]);
+        for (std::uint32_t l = 0; l < warp_size; ++l) frame[l] = v[l];
+      } else {
+        std::uint32_t* const o = row(d.dst_slot);
+        for (std::uint32_t l = 0; l < warp_size; ++l) o[l] = frame[l];
+      }
+      break;
+    }
+    case Opcode::kLdShared:
+    case Opcode::kStShared: {
+      const bool has_base = d.src_slot[0] != kNoSlot;
+      const std::uint32_t* const ab = has_base ? row(d.src_slot[0]) : nullptr;
+      if (has_base && !d.is_store) {
+        // The converged-load fast path of step_fast: aggregate
+        // alignment/bounds across the warp, then move data through the raw
+        // word array, collapsing broadcasts to one load per word. A
+        // broadcast (every lane at the same address, the dominant shape in
+        // tiled kernels) additionally skips the lane-address array and the
+        // conflict memo: with a full mask the degree is exactly
+        // warp_bank_conflict_degree's ceil(words / banks) - `words`
+        // consecutive word accesses from one address, each bank hit at most
+        // that often - and nothing downstream reads kShared lane addresses.
+        std::uint32_t agg = 0, mx = 0, diff = 0;
+        const std::uint32_t first = ab[0] + d.imm;
+        for (std::uint32_t l = 0; l < warp_size; ++l) {
+          const std::uint32_t addr = ab[l] + d.imm;
+          agg |= addr;
+          diff |= addr ^ first;
+          mx = std::max(mx, addr);
+        }
+        VGPU_EXPECTS_MSG((agg & (wbytes - 1u)) == 0,
+                         "misaligned shared access");
+        VGPU_EXPECTS_MSG(static_cast<std::uint64_t>(mx) + 4ull * words <=
+                             smem_.size_bytes(),
+                         "shared load out of bounds");
+        const std::uint32_t* const sp = smem_.words();
+        std::uint32_t* const o = row(d.dst_slot);
+        if (diff == 0) {
+          for (std::uint32_t c = 0; c < words; ++c) {
+            const std::uint32_t v = sp[first / 4u + c];
+            for (std::uint32_t l = 0; l < warp_size; ++l) o[c * 32u + l] = v;
+          }
+          out.shared_conflict_degree =
+              (words + spec_.shared_mem_banks - 1u) / spec_.shared_mem_banks;
+          return;
+        }
+        for (std::uint32_t l = 0; l < warp_size; ++l) {
+          const std::uint32_t addr = ab[l] + d.imm;
+          out.lane_addrs[l] = addr;
+          for (std::uint32_t c = 0; c < words; ++c) {
+            o[c * 32u + l] = sp[addr / 4u + c];
+          }
+        }
+      } else if (d.is_store) {
+        const std::uint32_t* const v = row(d.src_slot[1]);
+        for (std::uint32_t l = 0; l < warp_size; ++l) {
+          const std::uint32_t addr = (has_base ? ab[l] : 0u) + d.imm;
+          VGPU_EXPECTS_MSG(addr % wbytes == 0, "misaligned shared access");
+          out.lane_addrs[l] = addr;
+          for (std::uint32_t c = 0; c < words; ++c) {
+            smem_.store_u32(addr + 4u * c, v[c * 32u + l]);
+          }
+        }
+      } else {
+        std::uint32_t* const o = row(d.dst_slot);
+        for (std::uint32_t l = 0; l < warp_size; ++l) {
+          const std::uint32_t addr = (has_base ? ab[l] : 0u) + d.imm;
+          VGPU_EXPECTS_MSG(addr % wbytes == 0, "misaligned shared access");
+          out.lane_addrs[l] = addr;
+          for (std::uint32_t c = 0; c < words; ++c) {
+            o[c * 32u + l] = smem_.load_u32(addr + 4u * c);
+          }
+        }
+      }
+      const std::span<const std::uint32_t> la(out.lane_addrs.data(),
+                                              warp_size);
+      out.shared_conflict_degree =
+          cmemo_ != nullptr
+              ? cmemo_->lookup(la, exec, words)
+              : warp_bank_conflict_degree(la, exec, words, spec_.half_warp,
+                                          spec_.shared_mem_banks);
+      break;
+    }
+    default:
+      VGPU_EXPECTS_MSG(false, "non-fusable boundary op");
+  }
 }
 
 // The register-ALU subset of the fast path, shared between step_fast

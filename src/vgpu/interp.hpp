@@ -37,6 +37,7 @@ struct DecodedInstr;
 struct DecodedProgram;
 struct DecodedRun;
 struct ThreadedProgram;
+struct TraceProgram;
 class ConflictMemo;
 
 using Mask = std::uint32_t;
@@ -139,7 +140,17 @@ class BlockExec {
   /// executor stops early at preemption and bucket horizons); the returned
   /// descriptor always describes the full run, callers accounting prefixes
   /// use their own counts.
-  const DecodedRun* step_run(std::uint32_t w, std::uint32_t max_len = 0);
+  ///
+  /// Boundary-step fusion: when `fused` is non-null, the whole run executed
+  /// and the run's terminator is a fusable memory op (DecodedRun::
+  /// fuse_boundary), the terminator executes in the same call - `*fused` is
+  /// filled exactly as step() would have and `*fused_done` set true. The
+  /// caller prices/accounts `*fused` as it would a separate step; with
+  /// `fused_done` false nothing past the run executed. Architectural
+  /// effects are bit-identical to the separate step() call.
+  const DecodedRun* step_run(std::uint32_t w, std::uint32_t max_len = 0,
+                             StepResult* fused = nullptr,
+                             bool* fused_done = nullptr);
 
   /// True when every existing lane of warp `w` is active - the precondition
   /// for batched dispatch (a converged mask cannot change inside a run).
@@ -154,6 +165,19 @@ class BlockExec {
   /// was constructed with; nullptr restores the exec_alu loop. Both
   /// dispatches are bit-identical in every architectural effect.
   void set_threaded(const ThreadedProgram* tp) { threaded_ = tp; }
+
+  /// Install compiled superblock traces (traces.hpp) for batched run
+  /// dispatch: full-run step_run calls starting at a trace head execute
+  /// through exec_trace instead of the threaded loop, incrementing
+  /// `*entered` per trace call (the `traces_entered` stat). The program
+  /// must be `build_traces(*dec, *tp)` for the installed threaded program;
+  /// only meaningful with a threaded program installed. nullptr disables
+  /// trace dispatch. Both dispatches are bit-identical in every
+  /// architectural effect.
+  void set_traces(const TraceProgram* traces, std::uint64_t* entered) {
+    traces_ = traces;
+    trace_hits_ = entered;
+  }
 
   /// Install a bank-conflict memo consulted by the fast path's shared-memory
   /// steps (nullptr = compute degrees directly). The memo must be bound to
@@ -187,6 +211,11 @@ class BlockExec {
  private:
   StepResult step_ref(std::uint32_t w, std::uint64_t now);
   StepResult step_fast(std::uint32_t w, std::uint64_t now);
+  /// Fused execution of a run-terminating memory op on a converged warp
+  /// (decode.cpp::fusable_boundary): the memory cases of step_fast with the
+  /// guard evaluation and convergence test specialized away, writing into a
+  /// caller-owned StepResult. Effects are exactly step_fast's.
+  void exec_boundary(const DecodedInstr& d, WarpState& ws, StepResult& out);
   /// Architectural effects of one decoded register-ALU instruction (the
   /// batchable subset plus the clock/special reads step_fast routes here).
   void exec_alu(const DecodedInstr& d, WarpState& ws, Mask exec,
@@ -212,6 +241,8 @@ class BlockExec {
 
   const DecodedProgram* dec_ = nullptr;
   const ThreadedProgram* threaded_ = nullptr;  ///< optional run dispatch
+  const TraceProgram* traces_ = nullptr;       ///< optional trace dispatch
+  std::uint64_t* trace_hits_ = nullptr;        ///< counts exec_trace entries
   ConflictMemo* cmemo_ = nullptr;  ///< optional, fast path only
   /// Mask of lanes that exist at this warp size; `exec` covering all of
   /// them enables the convergence fast path (no per-lane mask tests).

@@ -117,8 +117,6 @@ const char* to_string(InstrClass c) {
   return "?";
 }
 
-InstrClass instr_class(Opcode op) { return op_traits(op).klass; }
-
 void Program::refresh_virtual_layout() {
   reg_base.resize(regs.size());
   std::uint32_t cursor = 0;

@@ -84,6 +84,14 @@ struct LaunchStats {
   /// (progcache.hpp) vs. populated by a fresh decode + threaded compile.
   std::uint64_t decode_cache_hits = 0;
   std::uint64_t decode_cache_misses = 0;
+  /// Specialization-layer totals (zero with `specialized` off and on the
+  /// reference path): converged runs dispatched through a compiled
+  /// superblock trace (traces.hpp), boundary memory/control steps executed
+  /// fused into the run dispatch that preceded them, and ready-heap pops in
+  /// the timing executor's event-ordered pick loop.
+  std::uint64_t traces_entered = 0;
+  std::uint64_t fused_boundary_ops = 0;
+  std::uint64_t pick_heap_pops = 0;
 
   [[nodiscard]] std::uint64_t region(Region r) const {
     return region_instructions[static_cast<std::size_t>(r)];
@@ -104,6 +112,9 @@ struct LaunchStats {
     c.timed_run_fallbacks = 0;
     c.decode_cache_hits = 0;
     c.decode_cache_misses = 0;
+    c.traces_entered = 0;
+    c.fused_boundary_ops = 0;
+    c.pick_heap_pops = 0;
     return c;
   }
 };
@@ -119,6 +130,8 @@ enum class InstrClass : std::uint8_t {
 };
 
 [[nodiscard]] const char* to_string(InstrClass c);
+/// Profiling class of an opcode; defined inline in opclass.hpp (include it
+/// to call this - the accounting hot paths need the definition visible).
 [[nodiscard]] InstrClass instr_class(Opcode op);
 
 }  // namespace vgpu

@@ -122,6 +122,13 @@ inline constexpr std::array<OpTraits, kOpcodeCount> kOpTraits =
   return detail::kOpTraits[static_cast<std::size_t>(op)];
 }
 
+/// Inline definition of launch.hpp's instr_class: per-step accounting in
+/// both executors calls this once per non-batched instruction, so it must
+/// compile down to one table load.
+[[nodiscard]] inline InstrClass instr_class(Opcode op) {
+  return op_traits(op).klass;
+}
+
 /// The kSetp comparison, shared by the reference interpreter, the decoded
 /// fast path and the threaded backend (instantiated for std::uint32_t and
 /// float - the two compare domains the IR has).

@@ -98,6 +98,13 @@ std::string format_profile(const KernelProfile& p, const DeviceSpec& spec) {
          100.0 * static_cast<double>(s.decode_cache_hits) /
              static_cast<double>(s.decode_cache_hits + s.decode_cache_misses));
   }
+  if (s.traces_entered + s.fused_boundary_ops + s.pick_heap_pops > 0) {
+    line("specialized    : %llu trace entries, %llu fused boundary ops, "
+         "%llu pick-heap pops",
+         static_cast<unsigned long long>(s.traces_entered),
+         static_cast<unsigned long long>(s.fused_boundary_ops),
+         static_cast<unsigned long long>(s.pick_heap_pops));
+  }
   os << "instruction mix:";
   const std::uint64_t total = s.warp_instructions > 0 ? s.warp_instructions : 1;
   for (std::size_t c = 0; c < s.instr_class_counts.size(); ++c) {

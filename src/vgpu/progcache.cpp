@@ -106,7 +106,10 @@ std::uint64_t program_content_hash(const Program& p) {
 }
 
 CompiledKernel::CompiledKernel(const Program& prog)
-    : key_(prog), dec_(decode(prog)), threaded_(build_threaded(dec_)) {}
+    : key_(prog),
+      dec_(decode(prog)),
+      threaded_(build_threaded(dec_)),
+      traces_(build_traces(dec_, threaded_)) {}
 
 const RunScheduleTable& CompiledKernel::schedule(const TimingParams& t) const {
   const std::scoped_lock lock(sched_mu_);

@@ -32,6 +32,7 @@
 #include "vgpu/decode.hpp"
 #include "vgpu/ir.hpp"
 #include "vgpu/threaded.hpp"
+#include "vgpu/traces.hpp"
 
 namespace vgpu {
 
@@ -48,6 +49,10 @@ class CompiledKernel {
   [[nodiscard]] const Program& key() const { return key_; }
   [[nodiscard]] const DecodedProgram& decoded() const { return dec_; }
   [[nodiscard]] const ThreadedProgram& threaded() const { return threaded_; }
+  /// Superblock traces compiled from the threaded program (traces.hpp);
+  /// executors with `specialized` on install these beside the threaded
+  /// stream.
+  [[nodiscard]] const TraceProgram& traces() const { return traces_; }
 
   /// The run-schedule table for `t`, computing and memoizing it on first
   /// use (thread-safe; the returned reference stays valid for the kernel's
@@ -65,6 +70,7 @@ class CompiledKernel {
   Program key_;
   DecodedProgram dec_;
   ThreadedProgram threaded_;
+  TraceProgram traces_;
   mutable std::mutex sched_mu_;
   mutable std::vector<SchedEntry> sched_;
 };

@@ -16,69 +16,16 @@ namespace {
   return std::bit_cast<std::uint32_t>(v);
 }
 
-// Every handler body, written exactly once and expanded into both dispatch
-// loops (computed goto and portable switch). The bodies are the expressions
-// of the corresponding exec_alu cases in interp.cpp verbatim - the
-// differential suites hold all three loops bit-identical. A body may read
-// `op` (the current ThreadedOp), `R` (lane storage), `preds`, `ctx`, and
-// the lane count `lanes` (a compile-time 32 on the warp-size-32
+// Every handler body, written exactly once (threaded_handlers.inc) and
+// expanded into both dispatch loops here (computed goto and portable
+// switch) plus the superblock trace dispatcher (traces.cpp). The bodies are
+// the expressions of the corresponding exec_alu cases in interp.cpp
+// verbatim - the differential suites hold every loop bit-identical. A body
+// may read `op` (the current ThreadedOp), `R` (lane storage), `preds`,
+// `ctx`, and the lane count `lanes` (a compile-time 32 on the warp-size-32
 // instantiation, which is what lets the compiler unroll/vectorize the lane
 // loops).
-//
-// T_O/T_A/T_B/T_C name the operand rows; entries are listed in THandler
-// order (the label table is built positionally).
-#define T_O std::uint32_t* const o = R + op->dst;
-#define T_A const std::uint32_t* const a = R + op->a;
-#define T_B const std::uint32_t* const b = R + op->b;
-#define T_C const std::uint32_t* const c = R + op->c;
-#define T_LANES for (std::uint32_t l = 0; l < lanes; ++l)
-
-#define VGPU_THREADED_HANDLERS(X)                                             \
-  X(kFAdd, T_O T_A T_B T_LANES o[l] = as_u32(as_f32(a[l]) + as_f32(b[l]));)   \
-  X(kFSub, T_O T_A T_B T_LANES o[l] = as_u32(as_f32(a[l]) - as_f32(b[l]));)   \
-  X(kFMul, T_O T_A T_B T_LANES o[l] = as_u32(as_f32(a[l]) * as_f32(b[l]));)   \
-  X(kFFma, T_O T_A T_B T_C T_LANES o[l] =                                     \
-        as_u32(as_f32(a[l]) * as_f32(b[l]) + as_f32(c[l]));)                  \
-  X(kFRcp, T_O T_A T_LANES o[l] = as_u32(1.0f / as_f32(a[l]));)               \
-  X(kFRsqrt, T_O T_A T_LANES o[l] = as_u32(1.0f / std::sqrt(as_f32(a[l])));)  \
-  X(kFNeg, T_O T_A T_LANES o[l] = as_u32(-as_f32(a[l]));)                     \
-  X(kFAbs, T_O T_A T_LANES o[l] = as_u32(std::fabs(as_f32(a[l])));)           \
-  X(kFMin, T_O T_A T_B T_LANES o[l] =                                         \
-        as_u32(std::fmin(as_f32(a[l]), as_f32(b[l])));)                       \
-  X(kFMax, T_O T_A T_B T_LANES o[l] =                                         \
-        as_u32(std::fmax(as_f32(a[l]), as_f32(b[l])));)                       \
-  X(kIAdd, T_O T_A T_B T_LANES o[l] = a[l] + b[l];)                           \
-  X(kISub, T_O T_A T_B T_LANES o[l] = a[l] - b[l];)                           \
-  X(kIMul, T_O T_A T_B T_LANES o[l] = a[l] * b[l];)                           \
-  X(kIMad, T_O T_A T_B T_C T_LANES o[l] = a[l] * b[l] + c[l];)                \
-  X(kIAddImm, T_O T_A const std::uint32_t imm = op->imm;                      \
-    T_LANES o[l] = a[l] + imm;)                                               \
-  X(kShl, T_O T_A T_B T_LANES o[l] = a[l] << (b[l] & 31u);)                   \
-  X(kShr, T_O T_A T_B T_LANES o[l] = a[l] >> (b[l] & 31u);)                   \
-  X(kAnd, T_O T_A T_B T_LANES o[l] = a[l] & b[l];)                            \
-  X(kOr, T_O T_A T_B T_LANES o[l] = a[l] | b[l];)                             \
-  X(kXor, T_O T_A T_B T_LANES o[l] = a[l] ^ b[l];)                            \
-  X(kIMin, T_O T_A T_B T_LANES o[l] = std::min(a[l], b[l]);)                  \
-  X(kIMax, T_O T_A T_B T_LANES o[l] = std::max(a[l], b[l]);)                  \
-  X(kF2I, T_O T_A T_LANES {                                                   \
-      const float f = as_f32(a[l]);                                           \
-      o[l] = f <= 0.0f ? 0u : static_cast<std::uint32_t>(f);                  \
-    })                                                                        \
-  X(kI2F, T_O T_A T_LANES o[l] = as_u32(static_cast<float>(a[l]));)           \
-  X(kMov, T_O T_A T_LANES o[l] = a[l];)                                       \
-  X(kMovImm, T_O const std::uint32_t v = op->imm; T_LANES o[l] = v;)          \
-  X(kMovParam, T_O const std::uint32_t v = ctx.params[op->imm];               \
-    T_LANES o[l] = v;)                                                        \
-  X(kSel, T_O T_A T_B const std::uint32_t p = preds[op->c];                   \
-    T_LANES o[l] = (p & (1u << l)) ? a[l] : b[l];)                            \
-  X(kTid, T_O const std::uint32_t base = ctx.base_thread;                     \
-    T_LANES o[l] = base + l;)                                                 \
-  X(kCtaid, T_O const std::uint32_t v = ctx.block_id; T_LANES o[l] = v;)      \
-  X(kNtid, T_O const std::uint32_t v = ctx.block_threads; T_LANES o[l] = v;)  \
-  X(kNctaid, T_O const std::uint32_t v = ctx.grid_blocks; T_LANES o[l] = v;)  \
-  X(kLane, T_O T_LANES o[l] = l;)                                             \
-  X(kWarpId, T_O const std::uint32_t v = ctx.warp_index; T_LANES o[l] = v;)   \
-  X(kSmId, T_O const std::uint32_t v = ctx.sm_id; T_LANES o[l] = v;)
+#include "vgpu/threaded_handlers.inc"
 
 // Portable fallback: one dense switch over the handler index per
 // instruction. Still much faster than exec_alu - operands are pre-resolved

@@ -21,6 +21,7 @@
 #include "vgpu/executor.hpp"
 #include "vgpu/interp.hpp"
 #include "vgpu/memo.hpp"
+#include "vgpu/opclass.hpp"
 #include "vgpu/occupancy.hpp"
 #include "vgpu/progcache.hpp"
 #include "vgpu/timeline.hpp"
@@ -114,6 +115,23 @@ struct ResidentBlock {
 
 enum : std::uint8_t { kReadyInvalid = 0, kReadyCached = 1, kReadySkip = 2 };
 
+/// One sleeping pick candidate (specialized runs only): (slot, warp) index
+/// `idx` is provably not issueable before `when` - its cached probe value
+/// at push time. Entries are lazily deleted: when one surfaces at the heap
+/// top it is validated against the live probe cache and dropped if the
+/// probe has been invalidated or re-cached since the push.
+struct HeapEntry {
+  std::uint64_t when = 0;
+  std::uint32_t idx = 0;
+};
+
+/// Min-heap order for std::push_heap/std::pop_heap (which build max-heaps).
+struct HeapLater {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    return a.when > b.when;
+  }
+};
+
 /// Why an SM suspended mid-bucket (multi-threaded runs only). SMs park when
 /// the next action depends on shared state - the grid block queue or an
 /// unresolved DRAM completion - and the bucket driver resumes them in the
@@ -151,6 +169,18 @@ struct Sm {
   std::size_t park_slot = 0;     ///< kDispatch: slot awaiting a grid block
   std::uint64_t park_when = 0;   ///< kDispatch: retirement cycle
   std::size_t park_event = kNoEvent;  ///< kDispatch: reserved BlockSpan index
+
+  /// Ready-heap pick state (specialized runs only). Candidates whose cached
+  /// probe says "not ready before cycle X" sleep in a bucketed min-heap
+  /// keyed on X instead of being rescanned every pick; `asleep[idx]` marks
+  /// the (slot, warp) indices whose *current* cached probe has a live heap
+  /// entry. pick_warp's scan skips sleeping candidates and the heap top
+  /// bounds their contribution to next_event exactly. Sleep entries go
+  /// stale - never wrong - through the existing invalidation hooks: every
+  /// set_slot_ready / barrier release / dispatch / own-issue already resets
+  /// ready_state, which the liveness check reads.
+  std::vector<HeapEntry> ready_heap;
+  std::vector<std::uint8_t> asleep;
 
   /// Cached has_work(): only do_dispatch installs or retires blocks, so it
   /// alone updates this. The serial driver reads it once per step; walking
@@ -272,6 +302,9 @@ void accumulate_counters(LaunchStats& into, const LaunchStats& part) {
   into.barriers += part.barriers;
   into.timed_runs_issued += part.timed_runs_issued;
   into.timed_run_fallbacks += part.timed_run_fallbacks;
+  into.traces_entered += part.traces_entered;
+  into.fused_boundary_ops += part.fused_boundary_ops;
+  into.pick_heap_pops += part.pick_heap_pops;
 }
 
 /// Fork/join pool for the bucket phases: one persistent thread per extra
@@ -402,7 +435,7 @@ class TimedRun {
   void set_slot_ready(ResidentBlock& rb, std::uint32_t w, std::uint32_t slot,
                       std::uint32_t words, std::uint64_t when,
                       std::uint8_t reason) const;
-  [[nodiscard]] Pick pick_warp(Sm& sm) const;
+  [[nodiscard]] Pick pick_warp(Sm& sm, LaunchStats& stats) const;
   /// Why (and at which PC) an SM-wide stall ending at `next_event` was
   /// spent: finds the first candidate in scan order whose ready cycle
   /// attains `next_event` - the warp whose wake-up ends the window - and
@@ -416,7 +449,10 @@ class TimedRun {
   };
   [[nodiscard]] StallCause classify_stall(Sm& sm,
                                           std::uint64_t next_event) const;
-  void issue_run(Sm& sm, std::uint32_t sm_id, std::size_t slot,
+  /// Returns true when the whole run issued (k == run.len) and it ends in a
+  /// fusable boundary memory op (DecodedRun::fuse_boundary) - sm_step may
+  /// then fuse that op into the same dispatch if its own gates hold.
+  bool issue_run(Sm& sm, std::uint32_t sm_id, std::size_t slot,
                  std::uint32_t w, const Pick& pick, WorkerCtx& ctx,
                  std::uint64_t bucket_end);
   void sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
@@ -480,6 +516,8 @@ class TimedRun {
   bool deferred_ = false;
   bool fast_ = false;
   bool batched_ = false;  ///< fast path with TimingOptions::batched
+  bool specialized_ = false;  ///< batched_ with TimingOptions::specialized:
+                              ///< traces, boundary fusion, ready-heap pick
   bool buffer_ = false;   ///< sink events buffered per SM, flushed sorted
   bool classify_ = false;  ///< maintain stall-reason metadata (attribution
                            ///< requested or a sink is attached)
@@ -544,6 +582,12 @@ void TimedRun::do_dispatch(Sm& sm, std::size_t slot, std::uint32_t sm_id,
       rb.exec->set_conflict_memo(ctx.cmemo ? &*ctx.cmemo : nullptr);
       if (opt_.dispatch == RunDispatch::kThreaded) {
         rb.exec->set_threaded(&ck_->threaded());
+      }
+      if (specialized_) {
+        // Full batches (k == run.len) dispatch through the compiled trace;
+        // the hit counter lands in the owning worker's stats partial (the
+        // SM->worker map is static, so no cross-thread writes).
+        rb.exec->set_traces(&ck_->traces(), &ctx.stats.traces_entered);
       }
     }
   }
@@ -655,11 +699,31 @@ void TimedRun::set_slot_ready(ResidentBlock& rb, std::uint32_t w,
 // so the batch may keep issuing exactly while it strictly beats every other
 // candidate's ready cycle - `next_event`/`pending` then carry that bound
 // (issue_run). A non-eligible chosen warp keeps the early return.
-TimedRun::Pick TimedRun::pick_warp(Sm& sm) const {
+TimedRun::Pick TimedRun::pick_warp(Sm& sm, LaunchStats& stats) const {
   const std::uint32_t total =
       static_cast<std::uint32_t>(sm.slots.size()) * warps_per_block_;
   Pick p;
   std::uint64_t veto = 0;
+  if (specialized_) {
+    // Ready-heap pick loop: wake every sleeping candidate whose cycle has
+    // come, dropping stale entries that surface at the top. Afterwards the
+    // heap top is a lower bound on every sleeping candidate (min-heap over
+    // live and stale keys alike), so anything still asleep is provably not
+    // issueable this pick and the scan below skips it.
+    while (!sm.ready_heap.empty()) {
+      const HeapEntry top = sm.ready_heap.front();
+      const ResidentBlock& trb = sm.slots[top.idx / warps_per_block_];
+      const std::uint32_t tw = top.idx % warps_per_block_;
+      const bool live = sm.asleep[top.idx] != 0 &&
+                        trb.ready_state[tw] == kReadyCached &&
+                        trb.ready_cache[tw] == top.when;
+      if (live && top.when > sm.cycle) break;
+      std::pop_heap(sm.ready_heap.begin(), sm.ready_heap.end(), HeapLater{});
+      sm.ready_heap.pop_back();
+      ++stats.pick_heap_pops;
+      if (live) sm.asleep[top.idx] = 0;  // due: rejoin the scanned set
+    }
+  }
   // Walk (slot, warp) incrementally from the round-robin cursor instead of
   // dividing per probe; most picks touch only the first candidate.
   std::uint32_t idx = sm.rr % total;
@@ -685,6 +749,7 @@ TimedRun::Pick TimedRun::pick_warp(Sm& sm) const {
       // Hoisted scoreboard walk: nothing that feeds this warp's probe has
       // changed since it was last computed.
       if (rb.ready_state[w] == kReadySkip) continue;  // done or at barrier
+      if (specialized_ && sm.asleep[idx] != 0) continue;  // heap-bounded
       ready_at = rb.ready_cache[w];
     } else if (fast_) {
       const DecodedInstr* din = rb.exec->peek_decoded(w);
@@ -701,6 +766,20 @@ TimedRun::Pick TimedRun::pick_warp(Sm& sm) const {
         // saturated path.
         rb.ready_cache[w] = ready_at;
         rb.ready_state[w] = kReadyCached;
+        if (specialized_) {
+          // Put the freshly cached probe to sleep (kNever probes stay in
+          // the scan - they carry the `pending` flag). The candidate still
+          // contributes to this pick's next_event/veto bounds below;
+          // subsequent picks read it from the heap top instead.
+          if (ready_at != kNever) {
+            sm.asleep[idx] = 1;
+            sm.ready_heap.push_back(HeapEntry{ready_at, idx});
+            std::push_heap(sm.ready_heap.begin(), sm.ready_heap.end(),
+                           HeapLater{});
+          } else {
+            sm.asleep[idx] = 0;  // a stale sleep entry must not shadow it
+          }
+        }
       }
     } else {
       const Instruction* in = rb.exec->peek(w);
@@ -730,8 +809,34 @@ TimedRun::Pick TimedRun::pick_warp(Sm& sm) const {
       p.next_event = std::min(p.next_event, ready_at);
       if (ready_at <= veto) {
         sm.batch_ok = false;  // saturated: stop attempting until it thins
+        // A vetoed batch degenerates to one instruction whose closed-form
+        // charge is the plain kAlu charge; specialized runs route it
+        // through the per-instruction path instead of counting a fallback.
+        if (specialized_) p.batch = false;
+        return p;
+      }
+    }
+  }
+  if (specialized_) {
+    // Fold the sleeping candidates back in: the first live heap entry is
+    // their exact minimum wake-up (the wake loop above already removed
+    // everything due, so live entries are strictly in the future).
+    while (!sm.ready_heap.empty()) {
+      const HeapEntry top = sm.ready_heap.front();
+      const ResidentBlock& trb = sm.slots[top.idx / warps_per_block_];
+      const std::uint32_t tw = top.idx % warps_per_block_;
+      if (sm.asleep[top.idx] != 0 && trb.ready_state[tw] == kReadyCached &&
+          trb.ready_cache[tw] == top.when) {
+        p.next_event = std::min(p.next_event, top.when);
+        if (p.batch && top.when <= veto) {
+          sm.batch_ok = false;  // a sleeper preempts the second instruction
+          p.batch = false;
+        }
         break;
       }
+      std::pop_heap(sm.ready_heap.begin(), sm.ready_heap.end(), HeapLater{});
+      sm.ready_heap.pop_back();
+      ++stats.pick_heap_pops;
     }
   }
   return p;
@@ -876,7 +981,7 @@ TimedRun::StallCause TimedRun::classify_stall(Sm& sm,
 // instruction (preempted or externally capped) still issues through this
 // path - the k = 1 charge is the plain kAlu charge, minus the generic
 // dispatch machinery - and counts as a fallback.
-void TimedRun::issue_run(Sm& sm, std::uint32_t sm_id, std::size_t slot,
+bool TimedRun::issue_run(Sm& sm, std::uint32_t sm_id, std::size_t slot,
                          std::uint32_t w, const Pick& pick, WorkerCtx& ctx,
                          std::uint64_t bucket_end) {
   ResidentBlock& rb = sm.slots[slot];
@@ -1003,6 +1108,7 @@ void TimedRun::issue_run(Sm& sm, std::uint32_t sm_id, std::size_t slot,
       prev_end = start + t_.alu_issue_cycles;
     }
   }
+  return k == run.len && run.fuse_boundary;
 }
 
 void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
@@ -1039,7 +1145,7 @@ void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
   }
 
   // 2. pick an issueable warp
-  const Pick pick = pick_warp(sm);
+  const Pick pick = pick_warp(sm, stats);
   if (pick.chosen < 0) {
     sm.batch_ok = true;  // nothing issueable: the population thinned
     if (deferred_ && pick.pending && pick.next_event >= bucket_end) {
@@ -1083,8 +1189,36 @@ void TimedRun::sm_step(Sm& sm, std::uint32_t sm_id, WorkerCtx& ctx,
   // a single closed-form ALU issue inside issue_run - same charge as the
   // kAlu case below, without the generic dispatch machinery).
   if (pick.batch) {
-    issue_run(sm, sm_id, slot, w, pick, ctx, bucket_end);
-    return;
+    const bool fusable = issue_run(sm, sm_id, slot, w, pick, ctx, bucket_end);
+    // Boundary-step fusion (specialized runs): when the whole run issued,
+    // it ends in a fusable memory op, and no other candidate becomes
+    // issueable at or before the run's end (ties preempt: the round-robin
+    // cursor scans this warp last), the next pick is provably this same
+    // warp at that memory op - skip the pick scan and issue it in the same
+    // dispatch through the generic path below, which prices it exactly as
+    // a separate step would. The elided barrier-release scan is dead (a
+    // run issues no barriers/exits, so barrier_dirty stayed false) and the
+    // elided `sm.rr` update is a no-op (same chosen index either way).
+    if (!specialized_ || !fusable || pick.next_event <= sm.cycle ||
+        sm.cycle >= bucket_end) {
+      return;
+    }
+    const DecodedInstr& bnd = *exec.peek_decoded(w);
+    if (!deferred_) {
+      // The serial driver interleaves SMs in minimum-cycle order on the
+      // shared DRAM timeline; only SM-local boundary steps (shared memory,
+      // constant cache) may run ahead of that order. In deferred mode SMs
+      // are independent until the bucket merge, so every kind fuses.
+      const StepResult::Kind bk = op_traits(bnd.op).kind;
+      if (bk != StepResult::Kind::kShared && bk != StepResult::Kind::kConst) {
+        return;
+      }
+    }
+    // The boundary op's own dependencies, read after the run's writebacks
+    // (issue_run already set ws.ready_cycle to the run end = sm.cycle).
+    if (dep_ready_fast(rb, w, bnd) > sm.cycle) return;
+    ++stats.fused_boundary_ops;
+    // fall through: issue the boundary op now
   }
 
   // Snapshot what the writeback stage needs before step advances state.
@@ -1685,12 +1819,12 @@ void TimedRun::finish_parked_stalls() {
     if (sm.park != Park::kStall) continue;
     sm.park = Park::kNone;
     sm.batch_ok = true;  // parked stall: the population thinned
-    const Pick pick = pick_warp(sm);
+    WorkerCtx& ctx = workers_[s % nthreads_];
+    const Pick pick = pick_warp(sm, ctx.stats);
     VGPU_EXPECTS_MSG(pick.chosen < 0 && !pick.pending,
                      "parked stall resolved to an issueable warp");
     VGPU_EXPECTS_MSG(pick.next_event != kNever,
                      "timing executor stalled (barrier deadlock?)");
-    WorkerCtx& ctx = workers_[s % nthreads_];
     const std::uint64_t idle = pick.next_event - sm.cycle;
     ctx.stats.sm_idle_cycles += idle;
     StallCause cause;
@@ -1826,6 +1960,7 @@ LaunchStats TimedRun::run() {
   }
   fast_ = decp_ != nullptr;
   batched_ = fast_ && opt_.batched;
+  specialized_ = batched_ && opt_.specialized;
   if (batched_) sched_ = &ck_->schedule(t_);
   // Per-PC attribution needs the decoded PC mapping (fast path only);
   // stall classification additionally feeds StallSpan reasons, so it runs
@@ -1856,6 +1991,12 @@ LaunchStats TimedRun::run() {
 
   for (std::uint32_t s = 0; s < n_sms_; ++s) {
     sms_[s].slots.resize(occ.blocks_per_sm);
+    if (specialized_) {
+      const std::size_t cands =
+          static_cast<std::size_t>(occ.blocks_per_sm) * warps_per_block_;
+      sms_[s].asleep.assign(cands, 0);
+      sms_[s].ready_heap.reserve(cands);
+    }
   }
   // breadth-first initial placement: block b goes to SM b % n_sms
   for (std::uint32_t k = 0; k < occ.blocks_per_sm; ++k) {

@@ -72,6 +72,14 @@ struct TimingOptions {
   /// bit-identical at any thread count and with batching on or off.
   /// Reference-interpreter runs leave the table with collected = false.
   Attribution* attribution = nullptr;
+  /// Specialized run execution: event-ordered ready-heap pick loop,
+  /// superblock trace dispatch for issued runs, and boundary-step fusion of
+  /// the run-terminating op into its run's dispatch. Bit-identical on/off -
+  /// LaunchStats::core() *including cycles* - at every thread count and
+  /// with batching on or off; `sim_throughput --specialized=off` and the
+  /// SpecializedMatchesPlain differentials exercise this flag. Ignored on
+  /// the reference path.
+  bool specialized = true;
   /// Host threads stepping SMs (0 or 1 = single-threaded). Multi-threaded
   /// runs shard SMs across threads inside conservative cycle buckets and
   /// merge DRAM-partition traffic deterministically, so LaunchStats::core()

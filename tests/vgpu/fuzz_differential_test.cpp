@@ -163,7 +163,8 @@ struct DiffRun {
 DiffRun run_diff(const Program& prog, DriverModel driver, bool timed,
                  bool reference, std::uint32_t threads = 1,
                  bool batched = true, Attribution* attr = nullptr,
-                 RunDispatch dispatch = RunDispatch::kThreaded) {
+                 RunDispatch dispatch = RunDispatch::kThreaded,
+                 bool specialized = true) {
   const std::uint32_t n = 128;
   Device dev(tiny_spec(), 1 << 20);
   std::vector<float> input(4096);
@@ -183,6 +184,7 @@ DiffRun run_diff(const Program& prog, DriverModel driver, bool timed,
     topt.batched = batched;
     topt.attribution = attr;
     topt.dispatch = dispatch;
+    topt.specialized = specialized;
     r.stats = dev.launch_timed(prog, cfg, params, topt);
   } else {
     FunctionalOptions fopt;
@@ -190,6 +192,7 @@ DiffRun run_diff(const Program& prog, DriverModel driver, bool timed,
     fopt.reference = reference;
     fopt.batched = batched;
     fopt.dispatch = dispatch;
+    fopt.specialized = specialized;
     r.stats = dev.launch_functional(prog, cfg, params, fopt);
   }
   r.out.resize(n);
@@ -420,6 +423,51 @@ TEST_P(FuzzSeed, AttributionReconcilesAcrossConfigs) {
       EXPECT_TRUE(other == base)
           << "attribution table diverged, driver " << to_string(driver)
           << " threads=" << c.threads << " batched=" << c.batched;
+    }
+  }
+}
+
+// Sixth differential axis: specialized run execution. Trace-compiled
+// superblocks, boundary-step fusion, and the ready-heap pick loop
+// (FunctionalOptions/TimingOptions `specialized`, the default everywhere
+// above) must be bit-identical to the plain run machinery for every seed
+// and driver - memory contents and LaunchStats::core(), cycles included in
+// timing mode, at 1/2/4 timing threads.
+TEST_P(FuzzSeed, SpecializedMatchesPlain) {
+  RandomKernelGen gen(GetParam());
+  Program p = gen.generate();
+  run_standard_pipeline(p);
+  allocate_registers(p);
+  verify(p);
+
+  for (const DriverModel driver :
+       {DriverModel::kCuda10, DriverModel::kCuda11, DriverModel::kCuda22}) {
+    {
+      const DiffRun on = run_diff(p, driver, /*timed=*/false, false);
+      const DiffRun off =
+          run_diff(p, driver, /*timed=*/false, false, 1, true, nullptr,
+                   RunDispatch::kThreaded, /*specialized=*/false);
+      EXPECT_EQ(off.out, on.out)
+          << "functional specialized outputs diverged, driver "
+          << to_string(driver);
+      EXPECT_TRUE(off.stats.core() == on.stats.core())
+          << "functional specialized stats diverged, driver "
+          << to_string(driver);
+    }
+    const DiffRun on = run_diff(p, driver, /*timed=*/true, false);
+    for (const std::uint32_t threads : {1u, 2u, 4u}) {
+      const DiffRun off =
+          run_diff(p, driver, /*timed=*/true, false, threads, true, nullptr,
+                   RunDispatch::kThreaded, /*specialized=*/false);
+      EXPECT_EQ(off.out, on.out)
+          << "timed specialized outputs diverged, driver "
+          << to_string(driver) << ", threads " << threads;
+      EXPECT_EQ(off.stats.cycles, on.stats.cycles)
+          << "timed specialized cycles diverged, driver "
+          << to_string(driver) << ", threads " << threads;
+      EXPECT_TRUE(off.stats.core() == on.stats.core())
+          << "timed specialized stats diverged, driver " << to_string(driver)
+          << ", threads " << threads;
     }
   }
 }
